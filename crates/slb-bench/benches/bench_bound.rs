@@ -1,0 +1,52 @@
+//! Criterion bench for the analytic machinery behind D-Choices: evaluating
+//! the expected worker-set size b_h and checking the full set of prefix
+//! constraints of Eqn. 3 (the work FINDOPTIMALCHOICES performs per candidate
+//! d). Supports the Appendix A / Section IV-A reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use slb_core::{constraints_hold, expected_worker_set_size};
+use slb_workloads::zipf::ZipfDistribution;
+
+fn worker_set_size(c: &mut Criterion) {
+    c.bench_function("expected_worker_set_size", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for h in 1..=64usize {
+                for d in 2..=32usize {
+                    acc += expected_worker_set_size(black_box(100), h, d);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn constraint_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eqn3_constraints");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &z in &[1.0f64, 2.0] {
+        let dist = ZipfDistribution::new(10_000, z);
+        let n = 100usize;
+        let theta = 1.0 / (5.0 * n as f64);
+        let head: Vec<f64> =
+            dist.probabilities().iter().copied().take_while(|&p| p >= theta).collect();
+        let tail = 1.0 - head.iter().sum::<f64>();
+        group.bench_with_input(BenchmarkId::new("z", format!("{z}")), &z, |b, _| {
+            b.iter(|| {
+                let mut feasible = 0usize;
+                for d in 2..=n {
+                    if constraints_hold(black_box(&head), tail, n, d, 1e-4) {
+                        feasible += 1;
+                    }
+                }
+                black_box(feasible)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, worker_set_size, constraint_check);
+criterion_main!(benches);

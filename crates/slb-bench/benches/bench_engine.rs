@@ -1,0 +1,38 @@
+//! Criterion end-to-end bench: throughput of the mini-DSPE under each
+//! grouping scheme at a small scale (the micro counterpart of Figure 13).
+//!
+//! Keep the per-iteration work small: Criterion repeats each measurement
+//! many times and a full-size topology per iteration would take minutes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use slb_core::PartitionerKind;
+use slb_engine::{EngineConfig, Topology};
+
+fn engine_throughput(c: &mut Criterion) {
+    let messages = 20_000u64;
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(messages));
+    for kind in [
+        PartitionerKind::KeyGrouping,
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+        PartitionerKind::ShuffleGrouping,
+    ] {
+        group.bench_with_input(BenchmarkId::new("scheme", kind.symbol()), &kind, |b, &kind| {
+            b.iter(|| {
+                let cfg = EngineConfig::smoke(kind, 2.0).with_messages(messages);
+                let result = Topology::new(cfg).run();
+                black_box(result.processed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

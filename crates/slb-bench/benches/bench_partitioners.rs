@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks: per-tuple routing cost of each grouping
+//! scheme.
+//!
+//! These complement the figure harnesses: the paper argues the head-aware
+//! schemes add negligible per-message overhead (a SpaceSaving update plus,
+//! for head keys, a few extra hash evaluations); this bench quantifies that
+//! on a skewed stream.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use slb_core::{build_partitioner, PartitionConfig, PartitionerKind};
+use slb_workloads::zipf::ZipfGenerator;
+use slb_workloads::KeyStream;
+
+fn routing_cost(c: &mut Criterion) {
+    let workers = 50;
+    let messages = 50_000u64;
+    let mut group = c.benchmark_group("route_per_tuple");
+    // Each iteration replays 50k messages; keep the sample count small so the
+    // whole suite stays in CI-friendly territory.
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(messages));
+    for kind in PartitionerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("scheme", kind.symbol()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let cfg = PartitionConfig::new(workers).with_seed(7);
+                    let mut p = build_partitioner::<u64>(kind, &cfg);
+                    let mut stream = ZipfGenerator::with_limit(10_000, 1.6, 7, messages);
+                    let mut acc = 0usize;
+                    while let Some(k) = KeyStream::next_key(&mut stream) {
+                        acc += p.route(black_box(&k));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn solver_cost(c: &mut Criterion) {
+    use slb_core::find_optimal_choices;
+    use slb_workloads::zipf::ZipfDistribution;
+
+    let mut group = c.benchmark_group("find_optimal_choices");
+    for &(n, z) in &[(50usize, 1.4f64), (100, 2.0)] {
+        let dist = ZipfDistribution::new(10_000, z);
+        let theta = 1.0 / (5.0 * n as f64);
+        let head: Vec<f64> =
+            dist.probabilities().iter().copied().take_while(|&p| p >= theta).collect();
+        let tail = 1.0 - head.iter().sum::<f64>();
+        group.bench_with_input(
+            BenchmarkId::new("n_z", format!("n{n}_z{z}")),
+            &(head, tail, n),
+            |b, (head, tail, n)| {
+                b.iter(|| find_optimal_choices(black_box(head), *tail, *n, 1e-4))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, routing_cost, solver_cost);
+criterion_main!(benches);

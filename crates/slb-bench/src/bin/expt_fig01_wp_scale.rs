@@ -1,0 +1,44 @@
+//! Figure 1: imbalance vs. number of workers on the Wikipedia-like dataset.
+//!
+//! Reproduces the motivating figure: PKG keeps the imbalance low at small
+//! scale (5–10 workers) but degrades sharply at 20, 50 and 100 workers,
+//! while D-Choices and W-Choices stay several orders of magnitude lower.
+
+use slb_bench::{options_from_env, print_header, sci};
+use slb_core::PartitionerKind;
+use slb_simulator::experiments::imbalance_vs_workers;
+use slb_workloads::datasets::SyntheticDataset;
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 1", "Imbalance I(m) vs workers on WP for PKG, D-C, W-C", &options);
+
+    let dataset = SyntheticDataset::wikipedia_like(options.scale.dataset_scale(), options.seed);
+    let schemes =
+        [PartitionerKind::Pkg, PartitionerKind::DChoices, PartitionerKind::WChoices];
+    let workers = [5usize, 10, 20, 50, 100];
+    let rows = imbalance_vs_workers(&[dataset], &schemes, &workers);
+
+    println!("{:<8} {:>8} {:>14} {:>14}", "scheme", "workers", "I(m)", "mean I(t)");
+    for row in &rows {
+        println!(
+            "{:<8} {:>8} {:>14} {:>14}",
+            row.scheme,
+            row.workers,
+            sci(row.imbalance),
+            sci(row.mean_imbalance)
+        );
+    }
+
+    // The headline comparison the paper draws from this figure.
+    for &n in &[50usize, 100] {
+        let pkg = rows.iter().find(|r| r.scheme == "PKG" && r.workers == n).unwrap();
+        let wc = rows.iter().find(|r| r.scheme == "W-C" && r.workers == n).unwrap();
+        println!(
+            "# at n={n}: PKG imbalance {} vs W-C {} ({}x reduction)",
+            sci(pkg.imbalance),
+            sci(wc.imbalance),
+            if wc.imbalance > 0.0 { (pkg.imbalance / wc.imbalance).round() } else { f64::INFINITY }
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 3: number of keys in the head of the distribution.
+//!
+//! Shows, for Zipf exponents 0.1…2.0 and the two threshold extremes
+//! θ = 1/(5n) and θ = 2/n, how many keys exceed the threshold when |K| = 10⁴
+//! (the paper plots n = 50 and n = 100 together; we print both).
+
+use slb_bench::{options_from_env, print_header};
+use slb_simulator::experiments::head_cardinality_vs_skew;
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 3", "Cardinality of the head vs skew (|K|=10^4)", &options);
+
+    let skews = options.scale.skew_sweep();
+    let rows = head_cardinality_vs_skew(&[50, 100], 10_000, &skews);
+
+    println!("{:<6} {:>8} {:>12} {:>12}", "skew", "workers", "threshold", "|H|");
+    for row in &rows {
+        println!(
+            "{:<6.1} {:>8} {:>12} {:>12}",
+            row.skew, row.workers, row.threshold, row.cardinality
+        );
+    }
+    let max_card = rows.iter().map(|r| r.cardinality).max().unwrap_or(0);
+    println!("# maximum head cardinality across the sweep: {max_card} keys");
+    println!("# (the paper's Figure 3 peaks below ~70 keys for these settings)");
+}

@@ -1,0 +1,33 @@
+//! Figure 4: fraction of workers (d/n) used by D-Choices for the head.
+//!
+//! Runs the FINDOPTIMALCHOICES solver on the exact Zipf distribution for
+//! every skew in the sweep and n ∈ {5, 10, 50, 100}, with |K| = 10⁴ and
+//! ε = 10⁻⁴ as in the paper.
+
+use slb_bench::{options_from_env, print_header};
+use slb_simulator::experiments::d_fraction_vs_skew;
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 4", "Fraction of workers d/n used by D-C vs skew", &options);
+
+    let skews = options.scale.skew_sweep();
+    let worker_counts = [5usize, 10, 50, 100];
+    let rows = d_fraction_vs_skew(&worker_counts, 10_000, &skews, 1e-4);
+
+    println!("{:<6} {:>8} {:>6} {:>10}", "skew", "workers", "d", "d/n");
+    for row in &rows {
+        println!("{:<6.1} {:>8} {:>6} {:>10.3}", row.skew, row.workers, row.d, row.fraction);
+    }
+
+    // The paper's observation: at larger scales (n = 50, 100) the fraction
+    // d/n stays clearly below 1 even at high skew.
+    for &n in &[50usize, 100] {
+        let max_fraction = rows
+            .iter()
+            .filter(|r| r.workers == n)
+            .map(|r| r.fraction)
+            .fold(0.0f64, f64::max);
+        println!("# n={n}: maximum d/n over the sweep = {max_fraction:.3}");
+    }
+}

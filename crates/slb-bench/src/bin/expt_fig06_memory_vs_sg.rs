@@ -1,0 +1,26 @@
+//! Figure 6: estimated memory overhead of D-C and W-C with respect to SG.
+//!
+//! Same model and parameters as Figure 5, but relative to shuffle grouping.
+//! Values are negative: the head-aware schemes use a small fraction of the
+//! memory shuffle grouping needs (the paper reports at least ~80% savings).
+
+use slb_bench::{options_from_env, print_header};
+use slb_simulator::experiments::memory_overhead_vs_skew;
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 6", "Memory overhead w.r.t. SG (%) vs skew", &options);
+
+    let skews = options.scale.skew_sweep();
+    let rows = memory_overhead_vs_skew(&[50, 100], 10_000, 10_000_000, &skews, 1e-4);
+
+    println!("{:<6} {:>8} {:>8} {:>14}", "skew", "workers", "scheme", "vs SG (%)");
+    for row in &rows {
+        println!(
+            "{:<6.1} {:>8} {:>8} {:>14.2}",
+            row.skew, row.workers, row.scheme, row.vs_sg_pct
+        );
+    }
+    let least_saving = rows.iter().map(|r| r.vs_sg_pct).fold(f64::MIN, f64::max);
+    println!("# smallest saving vs SG across the sweep: {least_saving:.1}%");
+}

@@ -1,0 +1,39 @@
+//! Figure 8: per-worker load split between head and tail keys.
+//!
+//! Replays a Zipf(z = 2.0) workload with |K| = 10⁴ over n = 5 workers with
+//! θ = 1/(8n), for PKG, W-C and RR, and prints each worker's load as the
+//! percentage of total messages contributed by head keys and by tail keys.
+//! The ideal per-worker share is 1/n = 20%.
+
+use slb_bench::{options_from_env, print_header};
+use slb_simulator::experiments::head_tail_load;
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 8", "Per-worker head/tail load split (n=5, z=2.0, θ=1/(8n))", &options);
+
+    let messages = options.scale.zipf_messages();
+    let rows = head_tail_load(5, 10_000, messages, 2.0, options.seed);
+
+    println!("{:<8} {:>8} {:>12} {:>12} {:>12}", "scheme", "worker", "head (%)", "tail (%)", "total (%)");
+    for row in &rows {
+        println!(
+            "{:<8} {:>8} {:>12.2} {:>12.2} {:>12.2}",
+            row.scheme,
+            row.worker,
+            row.head_pct,
+            row.tail_pct,
+            row.head_pct + row.tail_pct
+        );
+    }
+    println!("# ideal per-worker load: {:.2}%", 100.0 / 5.0);
+
+    for scheme in ["PKG", "W-C", "RR"] {
+        let max_total = rows
+            .iter()
+            .filter(|r| r.scheme == scheme)
+            .map(|r| r.head_pct + r.tail_pct)
+            .fold(0.0f64, f64::max);
+        println!("# {scheme}: most loaded worker carries {max_total:.2}% of the stream");
+    }
+}

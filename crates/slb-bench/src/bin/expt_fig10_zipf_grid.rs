@@ -1,0 +1,54 @@
+//! Figure 10: average imbalance vs. skew for PKG, D-C, W-C and RR across the
+//! grid of worker counts and key-space sizes.
+//!
+//! The paper runs n ∈ {5, 10, 50, 100} × |K| ∈ {10⁴, 10⁵, 10⁶} with 10⁷
+//! messages. The qualitative result: the number of keys barely matters, while
+//! skew and scale do; W-C is uniformly best, D-C and RR close behind, PKG
+//! degrades at high skew and large n.
+
+use slb_bench::{options_from_env, print_header, sci};
+use slb_simulator::experiments::{zipf_grid, ExperimentScale};
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 10", "Imbalance vs skew grid (PKG, D-C, W-C, RR)", &options);
+
+    let messages = options.scale.zipf_messages();
+    let skews = options.scale.skew_sweep();
+    let (worker_counts, key_counts): (Vec<usize>, Vec<usize>) = match options.scale {
+        ExperimentScale::Smoke => (vec![5, 50], vec![10_000]),
+        ExperimentScale::Laptop => (vec![5, 10, 50, 100], vec![10_000, 100_000]),
+        ExperimentScale::Paper => (vec![5, 10, 50, 100], vec![10_000, 100_000, 1_000_000]),
+    };
+    let rows = zipf_grid(&worker_counts, &key_counts, messages, &skews, options.seed);
+
+    println!(
+        "{:<8} {:>10} {:>8} {:>6} {:>14} {:>14}",
+        "scheme", "keys", "workers", "skew", "I(m)", "mean I(t)"
+    );
+    for row in &rows {
+        println!(
+            "{:<8} {:>10} {:>8} {:>6.1} {:>14} {:>14}",
+            row.scheme,
+            row.keys,
+            row.workers,
+            row.skew.unwrap_or(f64::NAN),
+            sci(row.imbalance),
+            sci(row.mean_imbalance)
+        );
+    }
+
+    // Who wins at the hardest setting (largest n, largest z)?
+    let n_max = *worker_counts.iter().max().unwrap();
+    let z_max = skews.iter().cloned().fold(0.0f64, f64::max);
+    println!("# hardest setting n={n_max}, z={z_max:.1}:");
+    for scheme in ["PKG", "D-C", "W-C", "RR"] {
+        if let Some(r) = rows.iter().find(|r| {
+            r.scheme == scheme
+                && r.workers == n_max
+                && (r.skew.unwrap_or(0.0) - z_max).abs() < 1e-9
+        }) {
+            println!("#   {scheme}: I(m) = {}", sci(r.imbalance));
+        }
+    }
+}

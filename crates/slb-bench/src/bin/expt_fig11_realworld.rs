@@ -1,0 +1,45 @@
+//! Figure 11: imbalance on the real-world-like datasets (WP, TW, CT) as a
+//! function of the number of workers, for PKG, D-C and W-C.
+
+use slb_bench::{options_from_env, print_header, sci};
+use slb_core::PartitionerKind;
+use slb_simulator::experiments::imbalance_vs_workers;
+use slb_workloads::datasets::{Dataset, SyntheticDataset};
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 11", "Imbalance vs workers on WP, TW, CT", &options);
+
+    let datasets = SyntheticDataset::real_world_suite(options.scale.dataset_scale(), options.seed);
+    let schemes =
+        [PartitionerKind::Pkg, PartitionerKind::DChoices, PartitionerKind::WChoices];
+    let workers = [5usize, 10, 20, 50, 100];
+    let rows = imbalance_vs_workers(&datasets, &schemes, &workers);
+
+    println!("{:<8} {:<8} {:>8} {:>14} {:>14}", "dataset", "scheme", "workers", "I(m)", "mean I(t)");
+    for row in &rows {
+        println!(
+            "{:<8} {:<8} {:>8} {:>14} {:>14}",
+            row.dataset,
+            row.scheme,
+            row.workers,
+            sci(row.imbalance),
+            sci(row.mean_imbalance)
+        );
+    }
+
+    for ds in &datasets {
+        let symbol = ds.stats().kind.symbol();
+        for &n in &[50usize, 100] {
+            let pkg = rows.iter().find(|r| r.dataset == symbol && r.scheme == "PKG" && r.workers == n);
+            let wc = rows.iter().find(|r| r.dataset == symbol && r.scheme == "W-C" && r.workers == n);
+            if let (Some(pkg), Some(wc)) = (pkg, wc) {
+                println!(
+                    "# {symbol} at n={n}: PKG {} vs W-C {}",
+                    sci(pkg.imbalance),
+                    sci(wc.imbalance)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 12: load imbalance over time for the real-world-like datasets.
+//!
+//! Replays WP-, TW- and CT-like streams under PKG, D-C and W-C, sampling the
+//! imbalance at regular checkpoints. The cashtag dataset's concept drift is
+//! visible as elevated and more variable imbalance, especially for PKG.
+
+use slb_bench::{options_from_env, print_header, sci};
+use slb_simulator::experiments::{imbalance_over_time, ExperimentScale};
+use slb_workloads::datasets::SyntheticDataset;
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 12", "Imbalance over time on TW, WP, CT", &options);
+
+    let datasets = SyntheticDataset::real_world_suite(options.scale.dataset_scale(), options.seed);
+    let worker_counts: Vec<usize> = match options.scale {
+        ExperimentScale::Smoke => vec![5, 50],
+        _ => vec![5, 10, 20, 50, 100],
+    };
+    let checkpoints = 20usize;
+    let rows = imbalance_over_time(&datasets, &worker_counts, checkpoints);
+
+    for row in &rows {
+        println!("series dataset={} scheme={} workers={}", row.dataset, row.scheme, row.workers);
+        for (messages, imbalance) in &row.series {
+            println!("  {:>12} {:>14}", messages, sci(*imbalance));
+        }
+    }
+
+    // Stability summary: final vs. median imbalance per series.
+    println!("# per-series summary (dataset, scheme, workers, median I, final I):");
+    for row in &rows {
+        let mut imbs: Vec<f64> = row.series.iter().map(|(_, i)| *i).collect();
+        if imbs.is_empty() {
+            continue;
+        }
+        imbs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = imbs[imbs.len() / 2];
+        let last = row.series.last().map(|(_, i)| *i).unwrap_or(0.0);
+        println!(
+            "#   {:<4} {:<5} {:>4} {:>14} {:>14}",
+            row.dataset,
+            row.scheme,
+            row.workers,
+            sci(median),
+            sci(last)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 13: throughput of KG, PKG, D-C, W-C and SG on the mini-DSPE.
+//!
+//! The paper deploys the schemes on an Apache Storm cluster (48 sources,
+//! 80 workers, 1 ms of work per tuple, 2×10⁶ messages) and measures
+//! events/second for Zipf exponents 1.4, 1.7 and 2.0. The expected shape:
+//! KG lowest, PKG in between, D-C ≈ W-C ≈ SG highest, with the gap widening
+//! as the skew grows. Absolute numbers depend on the machine; the relative
+//! ordering and the ratios are what this harness reproduces.
+
+use slb_bench::{options_from_env, print_header};
+use slb_core::PartitionerKind;
+use slb_engine::topology::compare_schemes;
+use slb_engine::EngineConfig;
+use slb_simulator::experiments::ExperimentScale;
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 13", "Throughput (events/s) per scheme on the mini-DSPE", &options);
+
+    let schemes = [
+        PartitionerKind::KeyGrouping,
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+        PartitionerKind::ShuffleGrouping,
+    ];
+    let skews = [1.4f64, 1.7, 2.0];
+
+    println!("{:<8} {:>6} {:>16} {:>12} {:>14}", "scheme", "skew", "throughput(ev/s)", "imbalance", "elapsed (s)");
+    let mut all = Vec::new();
+    for &z in &skews {
+        let base = match options.scale {
+            ExperimentScale::Smoke => EngineConfig::smoke(PartitionerKind::Pkg, z),
+            ExperimentScale::Laptop => EngineConfig::laptop(PartitionerKind::Pkg, z),
+            ExperimentScale::Paper => EngineConfig::paper(PartitionerKind::Pkg, z),
+        }
+        .with_seed(options.seed);
+        let results = compare_schemes(&base, &schemes);
+        for r in &results {
+            println!(
+                "{:<8} {:>6.1} {:>16.0} {:>12.4} {:>14.2}",
+                r.scheme, r.skew, r.throughput_eps, r.imbalance, r.elapsed_secs
+            );
+        }
+        all.push((z, results));
+    }
+
+    // The headline ratios the paper reports (throughput of D-C and W-C vs
+    // PKG and KG at the highest skew).
+    for (z, results) in &all {
+        let find = |s: &str| results.iter().find(|r| r.scheme == s).map(|r| r.throughput_eps);
+        if let (Some(kg), Some(pkg), Some(dc), Some(wc), Some(sg)) =
+            (find("KG"), find("PKG"), find("D-C"), find("W-C"), find("SG"))
+        {
+            println!(
+                "# z={z:.1}: D-C/PKG = {:.2}x, W-C/PKG = {:.2}x, D-C/KG = {:.2}x, SG/PKG = {:.2}x",
+                dc / pkg,
+                wc / pkg,
+                dc / kg,
+                sg / pkg
+            );
+        }
+    }
+}

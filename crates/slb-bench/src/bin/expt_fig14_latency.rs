@@ -1,0 +1,69 @@
+//! Figure 14: end-to-end latency of KG, PKG, D-C, W-C and SG on the
+//! mini-DSPE.
+//!
+//! Same setup as Figure 13; reports, per scheme and skew, the maximum of the
+//! per-worker average latencies and the 50th/95th/99th percentiles across
+//! all processed tuples, in milliseconds. The expected shape: KG has by far
+//! the worst tail latency at high skew (queueing at the worker that owns the
+//! hottest key), PKG roughly halves it, and D-C / W-C track SG closely.
+
+use slb_bench::{options_from_env, print_header};
+use slb_core::PartitionerKind;
+use slb_engine::topology::compare_schemes;
+use slb_engine::EngineConfig;
+use slb_simulator::experiments::ExperimentScale;
+
+fn main() {
+    let options = options_from_env();
+    print_header("Figure 14", "Latency (max-avg, p50, p95, p99) per scheme", &options);
+
+    let schemes = [
+        PartitionerKind::KeyGrouping,
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+        PartitionerKind::ShuffleGrouping,
+    ];
+    let skews = [1.4f64, 1.7, 2.0];
+
+    println!(
+        "{:<8} {:>6} {:>14} {:>10} {:>10} {:>10}",
+        "scheme", "skew", "max-avg (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"
+    );
+    let mut all = Vec::new();
+    for &z in &skews {
+        let base = match options.scale {
+            ExperimentScale::Smoke => EngineConfig::smoke(PartitionerKind::Pkg, z),
+            ExperimentScale::Laptop => EngineConfig::laptop(PartitionerKind::Pkg, z),
+            ExperimentScale::Paper => EngineConfig::paper(PartitionerKind::Pkg, z),
+        }
+        .with_seed(options.seed);
+        let results = compare_schemes(&base, &schemes);
+        for r in &results {
+            println!(
+                "{:<8} {:>6.1} {:>14.2} {:>10.2} {:>10.2} {:>10.2}",
+                r.scheme,
+                r.skew,
+                r.latency.max_avg_us / 1_000.0,
+                r.latency.p50_us as f64 / 1_000.0,
+                r.latency.p95_us as f64 / 1_000.0,
+                r.latency.p99_us as f64 / 1_000.0
+            );
+        }
+        all.push((z, results));
+    }
+
+    for (z, results) in &all {
+        let p99 = |s: &str| {
+            results.iter().find(|r| r.scheme == s).map(|r| r.latency.p99_us as f64).unwrap_or(0.0)
+        };
+        let (kg, pkg, dc) = (p99("KG"), p99("PKG"), p99("D-C"));
+        if pkg > 0.0 && kg > 0.0 {
+            println!(
+                "# z={z:.1}: D-C cuts p99 latency by {:.0}% vs PKG and {:.0}% vs KG",
+                100.0 * (1.0 - dc / pkg),
+                100.0 * (1.0 - dc / kg)
+            );
+        }
+    }
+}

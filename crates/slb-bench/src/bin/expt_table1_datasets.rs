@@ -1,0 +1,61 @@
+//! Table I: summary of the datasets used in the experiments.
+//!
+//! Prints, for every dataset, the number of messages, number of distinct
+//! keys and the relative frequency of the most frequent key, alongside the
+//! values published in the paper. The synthetic stand-ins are constructed to
+//! match the published statistics exactly (see `slb-workloads`), so the
+//! "generated" columns show what the stand-in generators actually declare,
+//! and the empirical p1 column shows what a smoke-scale replay measures.
+
+use slb_bench::{options_from_env, print_header};
+use slb_sketch::{ExactCounter, FrequencyEstimator};
+use slb_workloads::datasets::{table1_rows, Dataset, Scale, SyntheticDataset};
+
+fn empirical_p1(dataset: &SyntheticDataset) -> f64 {
+    let mut stream = dataset.stream();
+    let mut counter = ExactCounter::new();
+    // For drifting datasets (CT) the hot keys change identity every epoch, so
+    // the whole-stream p1 is diluted by design; Table I's p1 is a property of
+    // the stationary distribution, which one epoch reflects.
+    let limit = dataset.drift_epoch().unwrap_or(u64::MAX);
+    let mut seen = 0u64;
+    while let Some(key) = stream.next_key() {
+        counter.observe(&key);
+        seen += 1;
+        if seen >= limit {
+            break;
+        }
+    }
+    counter.p1()
+}
+
+fn main() {
+    let options = options_from_env();
+    print_header("Table I", "Datasets: messages, keys, p1 (paper-scale declared values)", &options);
+
+    println!("{:<10} {:>14} {:>12} {:>8}", "dataset", "messages", "keys", "p1(%)");
+    for row in table1_rows() {
+        println!(
+            "{:<10} {:>14} {:>12} {:>8.2}",
+            row.kind.symbol(),
+            row.messages,
+            row.keys,
+            row.p1 * 100.0
+        );
+    }
+
+    println!();
+    println!("# Empirical check of the stand-in generators at smoke scale:");
+    println!("{:<10} {:>12} {:>14} {:>14}", "dataset", "declared p1", "empirical p1", "abs diff");
+    for ds in SyntheticDataset::real_world_suite(Scale::Smoke, options.seed) {
+        let declared = ds.stats().p1;
+        let measured = empirical_p1(&ds);
+        println!(
+            "{:<10} {:>11.2}% {:>13.2}% {:>14.4}",
+            ds.stats().kind.symbol(),
+            declared * 100.0,
+            measured * 100.0,
+            (declared - measured).abs()
+        );
+    }
+}

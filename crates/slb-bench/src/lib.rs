@@ -1,0 +1,127 @@
+//! Experiment harness for the SLB reproduction.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section and prints the corresponding rows/series to
+//! stdout. All binaries accept the same command-line flags:
+//!
+//! * `--scale smoke|laptop|paper` — how big to run (default `smoke`, which
+//!   finishes in seconds and is what the integration tests and the recorded
+//!   `EXPERIMENTS.md` runs use unless stated otherwise).
+//! * `--seed <u64>` — RNG/hash seed (default `0x5EED0001`).
+//!
+//! The library part of the crate holds the small amount of shared plumbing:
+//! flag parsing and table formatting.
+
+use slb_simulator::experiments::ExperimentScale;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Requested run size.
+    pub scale: ExperimentScale,
+    /// Seed for workloads and hash functions.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self { scale: ExperimentScale::Smoke, seed: slb_simulator::experiments::DEFAULT_SEED }
+    }
+}
+
+/// Parses `--scale` and `--seed` from an iterator of command-line arguments
+/// (excluding the program name). Unknown flags are rejected with an error
+/// message so typos do not silently fall back to defaults.
+pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<ExperimentOptions, String> {
+    let mut options = ExperimentOptions::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().ok_or("--scale requires a value")?;
+                options.scale = match value.as_str() {
+                    "smoke" => ExperimentScale::Smoke,
+                    "laptop" => ExperimentScale::Laptop,
+                    "paper" => ExperimentScale::Paper,
+                    other => return Err(format!("unknown scale: {other}")),
+                };
+            }
+            "--seed" => {
+                let value = iter.next().ok_or("--seed requires a value")?;
+                options.seed =
+                    value.parse().map_err(|_| format!("invalid seed: {value}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: <experiment> [--scale smoke|laptop|paper] [--seed N]".into())
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Parses the process's actual arguments, exiting with a usage message on
+/// error (the behaviour every experiment binary wants).
+pub fn options_from_env() -> ExperimentOptions {
+    match parse_options(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints a named experiment header so that harness output is self-labelled
+/// when several binaries are run back-to-back and tee'd into one file.
+pub fn print_header(experiment: &str, description: &str, options: &ExperimentOptions) {
+    println!("== {experiment} ==");
+    println!("# {description}");
+    println!("# scale={:?} seed={:#x}", options.scale, options.seed);
+}
+
+/// Formats a floating point value the way the paper's log-scale plots are
+/// easiest to compare: scientific notation with three significant digits.
+pub fn sci(value: f64) -> String {
+    format!("{value:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let o = parse_options(args(&[])).unwrap();
+        assert_eq!(o.scale, ExperimentScale::Smoke);
+        assert_eq!(o.seed, slb_simulator::experiments::DEFAULT_SEED);
+    }
+
+    #[test]
+    fn parses_scale_and_seed() {
+        let o = parse_options(args(&["--scale", "laptop", "--seed", "123"])).unwrap();
+        assert_eq!(o.scale, ExperimentScale::Laptop);
+        assert_eq!(o.seed, 123);
+        let o = parse_options(args(&["--scale", "paper"])).unwrap();
+        assert_eq!(o.scale, ExperimentScale::Paper);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_values() {
+        assert!(parse_options(args(&["--scale", "huge"])).is_err());
+        assert!(parse_options(args(&["--frobnicate"])).is_err());
+        assert!(parse_options(args(&["--seed", "abc"])).is_err());
+        assert!(parse_options(args(&["--seed"])).is_err());
+        assert!(parse_options(args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn scientific_formatting() {
+        assert_eq!(sci(0.000123456), "1.235e-4");
+        assert_eq!(sci(1.0), "1.000e0");
+    }
+}

@@ -1,0 +1,389 @@
+//! The head-aware partitioners: D-Choices, W-Choices, and Round-Robin head.
+//!
+//! All three schemes share the same structure (Algorithm 1 in the paper):
+//! every message first updates the source-local SpaceSaving summary; keys
+//! estimated to be in the head are routed with extra choices, everything
+//! else falls back to the standard two-choice (PKG) process.
+//!
+//! * **D-Choices** — head keys get `d` hash-derived candidates, where `d` is
+//!   the output of the `FINDOPTIMALCHOICES` solver (`crate::dchoices`),
+//!   re-evaluated when head membership changes or periodically. When the
+//!   solver decides no `d < n` suffices, the scheme behaves like W-Choices.
+//! * **W-Choices** — head keys may go to *any* worker: the source picks the
+//!   globally least-loaded worker according to its local load vector.
+//! * **Round-Robin head (RR)** — head keys are spread round-robin over all
+//!   workers, ignoring load (same memory cost as W-Choices, load-oblivious).
+
+use std::hash::Hash;
+
+use slb_hash::{HashFamily, KeyHash};
+
+use crate::config::PartitionConfig;
+use crate::dchoices::{find_optimal_choices, ChoicesDecision};
+use crate::head::HeadTracker;
+use crate::load::LoadVector;
+use crate::partitioner::Partitioner;
+
+/// How a head-aware scheme treats keys that belong to the head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeadPolicy {
+    /// Greedy-d over `d` hash candidates, `d` chosen by the solver.
+    DChoices,
+    /// Least-loaded worker among all `n`.
+    WChoices,
+    /// Round-robin over all `n` workers.
+    RoundRobin,
+}
+
+/// Shared implementation of the three head-aware schemes.
+#[derive(Debug, Clone)]
+pub struct HeadAwarePartitioner<K: Eq + Hash + Clone> {
+    policy: HeadPolicy,
+    family: HashFamily,
+    loads: LoadVector,
+    tracker: HeadTracker<K>,
+    epsilon: f64,
+    solver_interval: u64,
+    /// Cached solver decision and the tracker generation / message count it
+    /// was computed at.
+    cached_decision: ChoicesDecision,
+    cached_at_generation: u64,
+    cached_at_total: u64,
+    /// Round-robin cursor for the RR policy.
+    rr_next: usize,
+    messages: u64,
+    scratch: Vec<usize>,
+}
+
+impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
+    fn new(policy: HeadPolicy, config: &PartitionConfig) -> Self {
+        let theta = config.theta();
+        Self {
+            policy,
+            // The family must be able to serve up to n choices for D-Choices.
+            family: HashFamily::new(config.seed, config.workers.max(2), config.workers),
+            loads: LoadVector::new(config.workers),
+            tracker: HeadTracker::new(config.sketch_capacity, theta),
+            epsilon: config.epsilon,
+            solver_interval: config.solver_interval,
+            cached_decision: ChoicesDecision::UseD(2),
+            cached_at_generation: 0,
+            cached_at_total: 0,
+            rr_next: (config.seed as usize) % config.workers,
+            messages: 0,
+            scratch: Vec::with_capacity(config.workers),
+        }
+    }
+
+    /// Creates a D-Choices partitioner.
+    pub fn d_choices(config: &PartitionConfig) -> Self {
+        Self::new(HeadPolicy::DChoices, config)
+    }
+
+    /// Creates a W-Choices partitioner.
+    pub fn w_choices(config: &PartitionConfig) -> Self {
+        Self::new(HeadPolicy::WChoices, config)
+    }
+
+    /// Creates a Round-Robin-head partitioner.
+    pub fn round_robin(config: &PartitionConfig) -> Self {
+        Self::new(HeadPolicy::RoundRobin, config)
+    }
+
+    /// The head tracker (exposed for experiments and audits).
+    pub fn head(&self) -> &HeadTracker<K> {
+        &self.tracker
+    }
+
+    /// The current number of choices used for head keys (`d` for D-Choices,
+    /// `n` for the other policies). Re-runs the solver if its cache is stale.
+    pub fn head_choices(&mut self) -> usize {
+        match self.policy {
+            HeadPolicy::DChoices => {
+                self.refresh_solver_if_stale();
+                self.cached_decision.effective_d(self.loads.workers())
+            }
+            HeadPolicy::WChoices | HeadPolicy::RoundRobin => self.loads.workers(),
+        }
+    }
+
+    /// The most recent solver decision (D-Choices only; the other policies
+    /// always report `SwitchToW` semantics).
+    pub fn solver_decision(&self) -> ChoicesDecision {
+        match self.policy {
+            HeadPolicy::DChoices => self.cached_decision,
+            _ => ChoicesDecision::SwitchToW,
+        }
+    }
+
+    fn refresh_solver_if_stale(&mut self) {
+        let generation = self.tracker.generation();
+        let total = self.tracker.total();
+        let stale = generation != self.cached_at_generation
+            || total.saturating_sub(self.cached_at_total) >= self.solver_interval;
+        if !stale {
+            return;
+        }
+        let snapshot = self.tracker.snapshot();
+        self.cached_decision = find_optimal_choices(
+            &snapshot.frequencies,
+            snapshot.tail_mass(),
+            self.loads.workers(),
+            self.epsilon,
+        );
+        self.cached_at_generation = generation;
+        self.cached_at_total = total;
+    }
+
+    fn route_head(&mut self, key: &K) -> usize {
+        match self.policy {
+            HeadPolicy::WChoices => self.loads.min_load_all(),
+            HeadPolicy::RoundRobin => {
+                let w = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.loads.workers();
+                w
+            }
+            HeadPolicy::DChoices => {
+                self.refresh_solver_if_stale();
+                match self.cached_decision {
+                    ChoicesDecision::SwitchToW => self.loads.min_load_all(),
+                    ChoicesDecision::UseD(d) => {
+                        let d = d.clamp(2, self.family.len());
+                        self.family.choices_into(key, d, &mut self.scratch);
+                        self.loads.min_load_among(&self.scratch)
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_tail(&mut self, key: &K) -> usize {
+        self.family.choices_into(key, 2, &mut self.scratch);
+        self.loads.min_load_among(&self.scratch)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        match self.policy {
+            HeadPolicy::DChoices => "D-C",
+            HeadPolicy::WChoices => "W-C",
+            HeadPolicy::RoundRobin => "RR",
+        }
+    }
+}
+
+impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for HeadAwarePartitioner<K> {
+    fn route(&mut self, key: &K) -> usize {
+        self.messages += 1;
+        let in_head = self.tracker.observe(key);
+        let worker = if in_head { self.route_head(key) } else { self.route_tail(key) };
+        self.loads.record(worker);
+        worker
+    }
+
+    fn workers(&self) -> usize {
+        self.loads.workers()
+    }
+
+    fn name(&self) -> &'static str {
+        self.scheme_name()
+    }
+
+    fn local_loads(&self) -> &LoadVector {
+        &self.loads
+    }
+
+    fn current_choices(&mut self, key: &K) -> usize {
+        if self.tracker.is_head(key) {
+            self.head_choices()
+        } else {
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::imbalance;
+    use crate::pkg::PartialKeyGrouping;
+
+    /// A deterministic skewed stream: one very hot key plus a uniform tail.
+    fn skewed_stream(messages: usize, hot_share: f64, tail_keys: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(messages);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for i in 0..messages {
+            let hot = (i as f64 / messages as f64).fract() < hot_share
+                && (i % 1000) < (hot_share * 1000.0) as usize;
+            if hot {
+                out.push(0);
+            } else {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                out.push(1 + state % tail_keys);
+            }
+        }
+        out
+    }
+
+    fn config(n: usize, seed: u64) -> PartitionConfig {
+        PartitionConfig::new(n).with_seed(seed).with_solver_interval(100)
+    }
+
+    #[test]
+    fn names_are_reported() {
+        let cfg = config(10, 0);
+        let dc = HeadAwarePartitioner::<u64>::d_choices(&cfg);
+        let wc = HeadAwarePartitioner::<u64>::w_choices(&cfg);
+        let rr = HeadAwarePartitioner::<u64>::round_robin(&cfg);
+        assert_eq!(Partitioner::<u64>::name(&dc), "D-C");
+        assert_eq!(Partitioner::<u64>::name(&wc), "W-C");
+        assert_eq!(Partitioner::<u64>::name(&rr), "RR");
+    }
+
+    #[test]
+    fn w_choices_beats_pkg_on_a_very_hot_key_at_scale() {
+        // A key with ~40% of the stream on 50 workers violates PKG's 2/n
+        // assumption massively; W-Choices must balance far better.
+        let n = 50;
+        let stream = skewed_stream(60_000, 0.4, 5_000);
+        let mut wc = HeadAwarePartitioner::<u64>::w_choices(&config(n, 1));
+        let mut pkg = PartialKeyGrouping::new(&config(n, 1));
+        for k in &stream {
+            wc.route(k);
+            pkg.route(k);
+        }
+        let wc_imb = imbalance(Partitioner::<u64>::local_loads(&wc).counts());
+        let pkg_imb = imbalance(Partitioner::<u64>::local_loads(&pkg).counts());
+        assert!(
+            wc_imb < pkg_imb / 4.0,
+            "W-C imbalance {wc_imb} not clearly better than PKG {pkg_imb}"
+        );
+    }
+
+    #[test]
+    fn d_choices_beats_pkg_and_uses_fewer_than_all_workers() {
+        let n = 50;
+        let stream = skewed_stream(60_000, 0.3, 5_000);
+        let mut dc = HeadAwarePartitioner::<u64>::d_choices(&config(n, 2));
+        let mut pkg = PartialKeyGrouping::new(&config(n, 2));
+        for k in &stream {
+            dc.route(k);
+            pkg.route(k);
+        }
+        let dc_imb = imbalance(Partitioner::<u64>::local_loads(&dc).counts());
+        let pkg_imb = imbalance(Partitioner::<u64>::local_loads(&pkg).counts());
+        assert!(dc_imb < pkg_imb, "D-C {dc_imb} vs PKG {pkg_imb}");
+        let d = dc.head_choices();
+        assert!(d >= 2, "head must have at least two choices");
+        // With a 30% hot key, d must exceed 2 (0.3 > 2/50) on 50 workers.
+        assert!(d > 2, "d = {d} should exceed 2 for a 30% hot key on 50 workers");
+    }
+
+    #[test]
+    fn tail_keys_still_use_at_most_two_workers_under_d_choices() {
+        let n = 20;
+        let stream = skewed_stream(40_000, 0.3, 200);
+        let mut dc = HeadAwarePartitioner::<u64>::d_choices(&config(n, 3));
+        let mut destinations: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for k in &stream {
+            let w = dc.route(k);
+            destinations.entry(*k).or_default().insert(w);
+        }
+        // The hot key 0 is allowed more than two workers. Tail keys must stay
+        // within two workers almost everywhere; a key may briefly be
+        // classified as head right after the tracker warm-up (the estimates
+        // are still coarse then), so allow a small number of exceptions.
+        let head_snapshot = dc.head().snapshot();
+        let tail_keys: Vec<_> =
+            destinations.keys().filter(|k| !head_snapshot.keys.contains(k)).collect();
+        let overspread = tail_keys.iter().filter(|k| destinations[**k].len() > 2).count();
+        assert!(
+            overspread * 20 <= tail_keys.len(),
+            "{overspread} of {} tail keys used more than two workers",
+            tail_keys.len()
+        );
+        for key in &tail_keys {
+            assert!(
+                destinations[*key].len() <= 4,
+                "tail key {key} reached {} workers",
+                destinations[*key].len()
+            );
+        }
+        assert!(destinations[&0].len() > 2, "hot key should use more than two workers");
+    }
+
+    #[test]
+    fn round_robin_spreads_head_evenly_but_ignores_load() {
+        let n = 10;
+        let cfg = config(n, 0);
+        let mut rr = HeadAwarePartitioner::<u64>::round_robin(&cfg);
+        // Warm up the tracker so key 0 is in the head, then observe where the
+        // hot key goes.
+        for _ in 0..1_000 {
+            rr.route(&0);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            seen.insert(rr.route(&0));
+        }
+        assert_eq!(seen.len(), n, "RR must cycle through every worker for the head");
+    }
+
+    #[test]
+    fn w_choices_uses_every_worker_for_the_head() {
+        let n = 8;
+        let mut wc = HeadAwarePartitioner::<u64>::w_choices(&config(n, 5));
+        for _ in 0..5_000 {
+            wc.route(&42);
+        }
+        let loads = Partitioner::<u64>::local_loads(&wc);
+        for w in 0..n {
+            assert!(loads.count(w) > 0, "worker {w} never used for a 100%-hot key");
+        }
+        assert!(imbalance(loads.counts()) < 0.01);
+    }
+
+    #[test]
+    fn head_choices_matches_policy() {
+        let cfg = config(30, 9);
+        let mut dc = HeadAwarePartitioner::<u64>::d_choices(&cfg);
+        let mut wc = HeadAwarePartitioner::<u64>::w_choices(&cfg);
+        let mut rr = HeadAwarePartitioner::<u64>::round_robin(&cfg);
+        assert_eq!(wc.head_choices(), 30);
+        assert_eq!(rr.head_choices(), 30);
+        assert!(dc.head_choices() >= 2);
+    }
+
+    #[test]
+    fn current_choices_distinguishes_head_from_tail() {
+        let cfg = config(40, 4);
+        let mut dc = HeadAwarePartitioner::<u64>::d_choices(&cfg);
+        // Make key 7 hot (60% of stream).
+        let mut state = 3u64;
+        for i in 0..20_000u64 {
+            let k = if i % 10 < 6 {
+                7
+            } else {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                100 + state % 1_000
+            };
+            dc.route(&k);
+        }
+        assert!(dc.current_choices(&7) > 2, "hot key should have extra choices");
+        assert_eq!(dc.current_choices(&123_456_789), 2, "unknown key is tail");
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_stream() {
+        let stream = skewed_stream(20_000, 0.25, 300);
+        let mut a = HeadAwarePartitioner::<u64>::d_choices(&config(25, 77));
+        let mut b = HeadAwarePartitioner::<u64>::d_choices(&config(25, 77));
+        for k in &stream {
+            assert_eq!(a.route(k), b.route(k));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-source load estimation and the imbalance metric.
+//!
+//! Every source keeps a local vector of the number of messages it has sent
+//! to each worker. As shown in the PKG paper and reiterated here (Section
+//! IV-B, "Overhead on Sources"), this purely local estimate is an accurate
+//! proxy for the true global load because all sources make decisions the
+//! same way; no coordination is required. The Greedy-d process consults this
+//! vector to pick the least loaded candidate.
+//!
+//! The module also defines the paper's imbalance metric
+//! `I(t) = max_w L_w(t) − avg_w L_w(t)` over *fractional* loads.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-worker message counter maintained by a single source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadVector {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LoadVector {
+    /// Creates a zeroed load vector for `workers` workers.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "load vector needs at least one worker");
+        Self { counts: vec![0; workers], total: 0 }
+    }
+
+    /// Number of workers tracked.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total messages recorded.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Messages recorded for `worker`.
+    #[inline]
+    pub fn count(&self, worker: usize) -> u64 {
+        self.counts[worker]
+    }
+
+    /// The raw per-worker counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Records one message routed to `worker`.
+    #[inline]
+    pub fn record(&mut self, worker: usize) {
+        self.counts[worker] += 1;
+        self.total += 1;
+    }
+
+    /// Returns the least loaded worker among `candidates`, breaking ties in
+    /// favour of the candidate listed first (deterministic, as required for
+    /// reproducible experiments).
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty or contains an out-of-range index.
+    #[inline]
+    pub fn min_load_among(&self, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "need at least one candidate worker");
+        let mut best = candidates[0];
+        let mut best_load = self.counts[best];
+        for &c in &candidates[1..] {
+            let load = self.counts[c];
+            if load < best_load {
+                best = c;
+                best_load = load;
+            }
+        }
+        best
+    }
+
+    /// Returns the least loaded worker overall (used by W-Choices for head
+    /// keys), breaking ties in favour of the lowest index.
+    #[inline]
+    pub fn min_load_all(&self) -> usize {
+        let mut best = 0;
+        let mut best_load = self.counts[0];
+        for (w, &load) in self.counts.iter().enumerate().skip(1) {
+            if load < best_load {
+                best = w;
+                best_load = load;
+            }
+        }
+        best
+    }
+
+    /// Fractional load of each worker (`counts / total`); all zeros if no
+    /// message has been recorded yet.
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// The imbalance `I(t)` of this load vector.
+    pub fn imbalance(&self) -> f64 {
+        imbalance(&self.counts)
+    }
+
+    /// Merges another load vector into this one (summing counts); used to
+    /// compute the true global load from per-source local vectors.
+    ///
+    /// # Panics
+    /// Panics if the worker counts differ.
+    pub fn merge(&mut self, other: &LoadVector) {
+        assert_eq!(self.counts.len(), other.counts.len(), "mismatched worker counts");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// The paper's load imbalance metric over raw message counts:
+/// `I = max_w(L_w) − avg_w(L_w)` where `L_w` is the *fraction* of messages
+/// handled by worker `w`. Returns 0 for an empty load.
+pub fn imbalance(counts: &[u64]) -> f64 {
+    assert!(!counts.is_empty(), "imbalance of zero workers is undefined");
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = *counts.iter().max().expect("non-empty") as f64 / total as f64;
+    let avg = 1.0 / counts.len() as f64;
+    max - avg
+}
+
+/// Imbalance over already-normalized fractional loads.
+pub fn imbalance_fractions(loads: &[f64]) -> f64 {
+    assert!(!loads.is_empty(), "imbalance of zero workers is undefined");
+    let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+    let avg = loads.iter().sum::<f64>() / loads.len() as f64;
+    max - avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut lv = LoadVector::new(3);
+        lv.record(0);
+        lv.record(0);
+        lv.record(2);
+        assert_eq!(lv.count(0), 2);
+        assert_eq!(lv.count(1), 0);
+        assert_eq!(lv.count(2), 1);
+        assert_eq!(lv.total(), 3);
+        assert_eq!(lv.counts(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn min_load_among_prefers_first_on_ties() {
+        let mut lv = LoadVector::new(4);
+        lv.record(1);
+        // Workers 0, 2, 3 all have zero load; candidate order decides.
+        assert_eq!(lv.min_load_among(&[2, 3, 0]), 2);
+        assert_eq!(lv.min_load_among(&[0, 2]), 0);
+        // A strictly lighter candidate wins regardless of order.
+        assert_eq!(lv.min_load_among(&[1, 3]), 3);
+    }
+
+    #[test]
+    fn min_load_all_scans_every_worker() {
+        let mut lv = LoadVector::new(5);
+        for w in [0, 0, 1, 1, 2, 3] {
+            lv.record(w);
+        }
+        assert_eq!(lv.min_load_all(), 4);
+        lv.record(4);
+        lv.record(4);
+        assert_eq!(lv.min_load_all(), 2, "ties broken toward lowest index among (2,3)");
+    }
+
+    #[test]
+    fn imbalance_of_perfect_balance_is_zero() {
+        assert!(imbalance(&[10, 10, 10, 10]).abs() < 1e-12);
+        assert!(imbalance(&[0, 0, 0]).abs() < 1e-12, "empty load has no imbalance");
+    }
+
+    #[test]
+    fn imbalance_of_fully_skewed_load() {
+        // One worker takes everything: I = 1 - 1/n.
+        let i = imbalance(&[100, 0, 0, 0]);
+        assert!((i - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_matches_hand_computed_value() {
+        // Loads 50, 30, 20 → fractions 0.5, 0.3, 0.2 → max 0.5, avg 1/3.
+        let i = imbalance(&[50, 30, 20]);
+        assert!((i - (0.5 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_fractions_agrees_with_counts() {
+        let counts = [7u64, 3, 5, 1];
+        let total: u64 = counts.iter().sum();
+        let fractions: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        assert!((imbalance(&counts) - imbalance_fractions(&fractions)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut lv = LoadVector::new(4);
+        for w in [0, 1, 1, 2, 3, 3, 3] {
+            lv.record(w);
+        }
+        let sum: f64 = lv.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = LoadVector::new(3);
+        a.record(0);
+        a.record(1);
+        let mut b = LoadVector::new(3);
+        b.record(1);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 2, 1]);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched worker counts")]
+    fn merge_of_mismatched_sizes_panics() {
+        let mut a = LoadVector::new(2);
+        let b = LoadVector::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn min_load_among_empty_candidates_panics() {
+        let lv = LoadVector::new(2);
+        let _ = lv.min_load_among(&[]);
+    }
+}

@@ -1,0 +1,221 @@
+//! The `Partitioner` trait and the classic grouping schemes.
+//!
+//! A partitioner is the per-source routing component: it sees each outgoing
+//! message's key and decides which downstream worker receives it, using only
+//! local information (its own hash functions, load vector, and head
+//! tracker). This module defines the trait plus the two classic baselines:
+//!
+//! * [`KeyGrouping`] — hash the key once; all messages with the same key go
+//!   to the same worker (Storm's "fields grouping").
+//! * [`ShuffleGrouping`] — round-robin across workers, ignoring the key
+//!   (ideal balance, maximal state replication for stateful operators).
+//!
+//! The power-of-choices schemes (PKG, D-Choices, W-Choices, Round-Robin
+//! head) live in sibling modules; [`crate::build_partitioner`] constructs any
+//! of them from a [`crate::PartitionConfig`].
+
+use std::hash::Hash;
+
+use slb_hash::{HashFamily, KeyHash};
+
+use crate::config::PartitionConfig;
+use crate::load::LoadVector;
+
+/// A stream partitioner: maps each observed key to a destination worker.
+///
+/// Implementations are stateful (they learn the load distribution and, for
+/// the head-aware schemes, the hot keys) and deterministic given their
+/// configuration seed and input sequence.
+pub trait Partitioner<K: KeyHash + Eq + Hash + Clone> {
+    /// Routes a message with the given key, updating internal state.
+    fn route(&mut self, key: &K) -> usize;
+
+    /// Number of downstream workers.
+    fn workers(&self) -> usize;
+
+    /// Human-readable name of the scheme (for experiment output).
+    fn name(&self) -> &'static str;
+
+    /// The scheme's local estimate of per-worker load (messages sent by this
+    /// source to each worker). Used by experiments to audit behaviour; the
+    /// authoritative global load is tracked by the simulator.
+    fn local_loads(&self) -> &LoadVector;
+
+    /// The maximum number of candidate workers this scheme would currently
+    /// use for the given key (1 for key grouping, 2 for PKG tail keys, `d`
+    /// or `n` for head keys). Used by the memory-overhead accounting.
+    fn current_choices(&mut self, key: &K) -> usize;
+}
+
+/// Key grouping: a single hash function decides the worker for each key.
+#[derive(Debug, Clone)]
+pub struct KeyGrouping {
+    family: HashFamily,
+    loads: LoadVector,
+}
+
+impl KeyGrouping {
+    /// Creates a key-grouping partitioner from the configuration.
+    pub fn new(config: &PartitionConfig) -> Self {
+        Self {
+            family: HashFamily::new(config.seed, 1, config.workers),
+            loads: LoadVector::new(config.workers),
+        }
+    }
+}
+
+impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for KeyGrouping {
+    fn route(&mut self, key: &K) -> usize {
+        let worker = self.family.choice(key, 0);
+        self.loads.record(worker);
+        worker
+    }
+
+    fn workers(&self) -> usize {
+        self.family.workers()
+    }
+
+    fn name(&self) -> &'static str {
+        "KG"
+    }
+
+    fn local_loads(&self) -> &LoadVector {
+        &self.loads
+    }
+
+    fn current_choices(&mut self, _key: &K) -> usize {
+        1
+    }
+}
+
+/// Shuffle grouping: round-robin over the workers, ignoring keys.
+#[derive(Debug, Clone)]
+pub struct ShuffleGrouping {
+    workers: usize,
+    next: usize,
+    loads: LoadVector,
+}
+
+impl ShuffleGrouping {
+    /// Creates a shuffle-grouping partitioner from the configuration.
+    ///
+    /// The starting offset is derived from the seed so that multiple sources
+    /// do not send their first messages to the same worker in lock-step.
+    pub fn new(config: &PartitionConfig) -> Self {
+        Self {
+            workers: config.workers,
+            next: (config.seed as usize) % config.workers,
+            loads: LoadVector::new(config.workers),
+        }
+    }
+}
+
+impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for ShuffleGrouping {
+    fn route(&mut self, _key: &K) -> usize {
+        let worker = self.next;
+        self.next = (self.next + 1) % self.workers;
+        self.loads.record(worker);
+        worker
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn name(&self) -> &'static str {
+        "SG"
+    }
+
+    fn local_loads(&self) -> &LoadVector {
+        &self.loads
+    }
+
+    fn current_choices(&mut self, _key: &K) -> usize {
+        self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize) -> PartitionConfig {
+        PartitionConfig::new(n).with_seed(7)
+    }
+
+    #[test]
+    fn key_grouping_is_sticky_per_key() {
+        let mut kg = KeyGrouping::new(&config(10));
+        let first = kg.route(&"alpha");
+        for _ in 0..100 {
+            assert_eq!(kg.route(&"alpha"), first);
+        }
+        assert!(first < 10);
+        assert_eq!(Partitioner::<&str>::name(&kg), "KG");
+    }
+
+    #[test]
+    fn key_grouping_spreads_distinct_keys() {
+        let mut kg = KeyGrouping::new(&config(8));
+        let mut used = std::collections::HashSet::new();
+        for i in 0..200u64 {
+            used.insert(kg.route(&i));
+        }
+        assert!(used.len() >= 6, "only {} workers used", used.len());
+    }
+
+    #[test]
+    fn key_grouping_concentrates_skew_on_one_worker() {
+        // The defining weakness of KG: a hot key loads a single worker.
+        let mut kg = KeyGrouping::new(&config(5));
+        for _ in 0..1_000 {
+            kg.route(&"hot");
+        }
+        let loads = Partitioner::<&str>::local_loads(&kg);
+        assert_eq!(*loads.counts().iter().max().unwrap(), 1_000);
+        assert!(loads.imbalance() > 0.7);
+    }
+
+    #[test]
+    fn shuffle_grouping_balances_perfectly() {
+        let mut sg = ShuffleGrouping::new(&config(4));
+        for _ in 0..400 {
+            sg.route(&"hot-key-does-not-matter");
+        }
+        let loads = Partitioner::<&str>::local_loads(&sg);
+        assert_eq!(loads.counts(), &[100, 100, 100, 100]);
+        assert!(loads.imbalance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffle_grouping_round_robin_order() {
+        let cfg = PartitionConfig::new(3).with_seed(0);
+        let mut sg = ShuffleGrouping::new(&cfg);
+        let sequence: Vec<usize> = (0..6).map(|_| sg.route(&0u64)).collect();
+        assert_eq!(sequence, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shuffle_grouping_seed_offsets_start() {
+        let cfg = PartitionConfig::new(4).with_seed(2);
+        let mut sg = ShuffleGrouping::new(&cfg);
+        assert_eq!(sg.route(&0u64), 2);
+    }
+
+    #[test]
+    fn choices_accounting() {
+        let mut kg = KeyGrouping::new(&config(10));
+        let mut sg = ShuffleGrouping::new(&config(10));
+        assert_eq!(Partitioner::<u64>::current_choices(&mut kg, &1), 1);
+        assert_eq!(Partitioner::<u64>::current_choices(&mut sg, &1), 10);
+    }
+
+    #[test]
+    fn key_grouping_deterministic_across_instances() {
+        let mut a = KeyGrouping::new(&config(16));
+        let mut b = KeyGrouping::new(&config(16));
+        for i in 0..100u64 {
+            assert_eq!(a.route(&i), b.route(&i));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the core partitioning invariants.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+use slb_core::{
+    build_partitioner, constraints_hold, expected_worker_set_size, find_optimal_choices, imbalance,
+    ChoicesDecision, PartitionConfig, PartitionerKind,
+};
+
+/// Strategy for a skewed key stream over a small universe.
+fn stream_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => Just(0u64),       // one very hot key
+            2 => 1u64..10,         // warm keys
+            3 => 10u64..2_000,     // cold tail
+        ],
+        100..4_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheme routes every message to a valid worker and records it in
+    /// its local load vector.
+    #[test]
+    fn all_schemes_route_in_range(stream in stream_strategy(), n in 1usize..64, seed in any::<u64>()) {
+        let cfg = PartitionConfig::new(n).with_seed(seed);
+        for kind in PartitionerKind::ALL {
+            let mut p = build_partitioner::<u64>(kind, &cfg);
+            for k in &stream {
+                prop_assert!(p.route(k) < n, "{:?} out of range", kind);
+            }
+            prop_assert_eq!(p.local_loads().total(), stream.len() as u64);
+            let counted: u64 = p.local_loads().counts().iter().sum();
+            prop_assert_eq!(counted, stream.len() as u64);
+        }
+    }
+
+    /// PKG never sends one key to more than two distinct workers.
+    #[test]
+    fn pkg_two_worker_invariant(stream in stream_strategy(), n in 2usize..64, seed in any::<u64>()) {
+        let cfg = PartitionConfig::new(n).with_seed(seed);
+        let mut p = build_partitioner::<u64>(PartitionerKind::Pkg, &cfg);
+        let mut dests: HashMap<u64, HashSet<usize>> = HashMap::new();
+        for k in &stream {
+            dests.entry(*k).or_default().insert(p.route(k));
+        }
+        for (k, ws) in dests {
+            prop_assert!(ws.len() <= 2, "key {} hit {} workers", k, ws.len());
+        }
+    }
+
+    /// Key grouping is a pure function of the key.
+    #[test]
+    fn key_grouping_sticky(stream in stream_strategy(), n in 1usize..64, seed in any::<u64>()) {
+        let cfg = PartitionConfig::new(n).with_seed(seed);
+        let mut p = build_partitioner::<u64>(PartitionerKind::KeyGrouping, &cfg);
+        let mut assignment: HashMap<u64, usize> = HashMap::new();
+        for k in &stream {
+            let w = p.route(k);
+            let prev = assignment.entry(*k).or_insert(w);
+            prop_assert_eq!(*prev, w);
+        }
+    }
+
+    /// Shuffle grouping's imbalance is bounded by one message's worth of
+    /// load: max count - min count <= 1.
+    #[test]
+    fn shuffle_grouping_near_perfect_balance(len in 1usize..5_000, n in 1usize..64, seed in any::<u64>()) {
+        let cfg = PartitionConfig::new(n).with_seed(seed);
+        let mut p = build_partitioner::<u64>(PartitionerKind::ShuffleGrouping, &cfg);
+        for i in 0..len {
+            p.route(&(i as u64));
+        }
+        let counts = p.local_loads().counts().to_vec();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// The same seed and stream always produce the same routing decisions,
+    /// for every scheme.
+    #[test]
+    fn determinism_across_instances(stream in stream_strategy(), n in 1usize..32, seed in any::<u64>()) {
+        let cfg = PartitionConfig::new(n).with_seed(seed);
+        for kind in PartitionerKind::ALL {
+            let mut a = build_partitioner::<u64>(kind, &cfg);
+            let mut b = build_partitioner::<u64>(kind, &cfg);
+            for k in &stream {
+                prop_assert_eq!(a.route(k), b.route(k), "{:?} diverged", kind);
+            }
+        }
+    }
+
+    /// W-Choices never balances worse than PKG on the same stream (allowing
+    /// a tiny tolerance for ties), because it has strictly more freedom for
+    /// the head and behaves identically on the tail.
+    #[test]
+    fn w_choices_at_least_as_balanced_as_pkg(stream in stream_strategy(), n in 4usize..64, seed in any::<u64>()) {
+        let cfg = PartitionConfig::new(n).with_seed(seed);
+        let mut pkg = build_partitioner::<u64>(PartitionerKind::Pkg, &cfg);
+        let mut wc = build_partitioner::<u64>(PartitionerKind::WChoices, &cfg);
+        for k in &stream {
+            pkg.route(k);
+            wc.route(k);
+        }
+        let pkg_imb = imbalance(pkg.local_loads().counts());
+        let wc_imb = imbalance(wc.local_loads().counts());
+        // One message of slack absorbs discretization noise on short streams.
+        let slack = 1.0 / stream.len() as f64;
+        prop_assert!(wc_imb <= pkg_imb + slack, "W-C {} vs PKG {}", wc_imb, pkg_imb);
+    }
+
+    /// The expected worker-set size b_h is monotone in h and d and bounded
+    /// by min(n, h*d).
+    #[test]
+    fn worker_set_size_bounds(n in 1usize..200, h in 1usize..50, d in 1usize..50) {
+        let b = expected_worker_set_size(n, h, d);
+        prop_assert!(b > 0.0);
+        prop_assert!(b <= n as f64 + 1e-9);
+        prop_assert!(b <= (h * d) as f64 + 1e-9);
+        prop_assert!(expected_worker_set_size(n, h + 1, d) >= b - 1e-12);
+        prop_assert!(expected_worker_set_size(n, h, d + 1) >= b - 1e-12);
+    }
+
+    /// The solver's output always satisfies the constraints it was asked to
+    /// satisfy (when it returns UseD), and is at least 2.
+    #[test]
+    fn solver_output_is_feasible(
+        head in proptest::collection::vec(0.001f64..0.6, 0..8),
+        n in 2usize..128,
+        eps_exp in 2u32..6,
+    ) {
+        let epsilon = 10f64.powi(-(eps_exp as i32));
+        let mass: f64 = head.iter().sum();
+        prop_assume!(mass < 1.0);
+        let tail = 1.0 - mass;
+        match find_optimal_choices(&head, tail, n, epsilon) {
+            ChoicesDecision::UseD(d) => {
+                prop_assert!(d >= 2);
+                prop_assert!(d < n.max(3));
+                let mut sorted = head.clone();
+                sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                prop_assert!(constraints_hold(&sorted, tail, n, d, epsilon));
+            }
+            ChoicesDecision::SwitchToW => {
+                // Switching is always a safe answer; nothing more to check.
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-tuple latency recording and summarization.
+//!
+//! The paper reports, per grouping scheme, the maximum of the per-worker
+//! average latencies together with the 50th, 95th and 99th percentiles
+//! across all workers (Figure 14). Workers record each tuple's end-to-end
+//! latency (emit time at the source to completion time at the worker); the
+//! summaries are computed after the run.
+
+use serde::{Deserialize, Serialize};
+
+/// Collects individual latency samples (in microseconds) for one worker.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyTracker {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self { samples_us: Vec::new() }
+    }
+
+    /// Creates a tracker pre-allocating room for `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { samples_us: Vec::with_capacity(capacity) }
+    }
+
+    /// Records one latency sample in microseconds.
+    #[inline]
+    pub fn record_us(&mut self, micros: u64) {
+        self.samples_us.push(micros);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples_us
+    }
+
+    /// Merges the samples of several trackers and produces a summary, also
+    /// reporting the maximum per-tracker mean (the paper's "max avg").
+    pub fn summarize(trackers: &[LatencyTracker]) -> LatencySummary {
+        let mut all: Vec<u64> = trackers.iter().flat_map(|t| t.samples_us.iter().copied()).collect();
+        let max_avg_us = trackers
+            .iter()
+            .filter(|t| !t.is_empty())
+            .map(LatencyTracker::mean_us)
+            .fold(0.0f64, f64::max);
+        if all.is_empty() {
+            return LatencySummary::default();
+        }
+        all.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            let idx = ((all.len() as f64 - 1.0) * p).round() as usize;
+            all[idx]
+        };
+        LatencySummary {
+            samples: all.len() as u64,
+            mean_us: all.iter().sum::<u64>() as f64 / all.len() as f64,
+            max_avg_us,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: *all.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Summary statistics over all recorded latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub samples: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Maximum of the per-worker mean latencies, microseconds.
+    pub max_avg_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Maximum observed latency, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_us / 1_000.0
+    }
+
+    /// 99th percentile latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_us as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles_of_known_samples() {
+        let mut t = LatencyTracker::new();
+        for v in 1..=100u64 {
+            t.record_us(v);
+        }
+        assert_eq!(t.len(), 100);
+        assert!((t.mean_us() - 50.5).abs() < 1e-9);
+        let s = LatencyTracker::summarize(&[t]);
+        assert_eq!(s.samples, 100);
+        // Nearest-rank on the sorted samples 1..=100: index round(99·p).
+        assert_eq!(s.p50_us, 51);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+    }
+
+    #[test]
+    fn summarize_reports_max_of_worker_means() {
+        let mut fast = LatencyTracker::new();
+        let mut slow = LatencyTracker::new();
+        for _ in 0..10 {
+            fast.record_us(100);
+            slow.record_us(10_000);
+        }
+        let s = LatencyTracker::summarize(&[fast, slow]);
+        assert!((s.max_avg_us - 10_000.0).abs() < 1e-9);
+        assert_eq!(s.samples, 20);
+    }
+
+    #[test]
+    fn empty_trackers_summarize_to_zeros() {
+        let s = LatencyTracker::summarize(&[LatencyTracker::new(), LatencyTracker::new()]);
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut t = LatencyTracker::new();
+        t.record_us(42);
+        let s = LatencyTracker::summarize(&[t]);
+        assert_eq!(s.p50_us, 42);
+        assert_eq!(s.p99_us, 42);
+        assert_eq!(s.max_us, 42);
+        assert!((s.mean_us - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let s = LatencySummary { mean_us: 1_500.0, p99_us: 2_000, ..Default::default() };
+        assert!((s.mean_ms() - 1.5).abs() < 1e-12);
+        assert!((s.p99_ms() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! A threaded in-process mini-DSPE used for the throughput/latency study.
+//!
+//! The paper's Figures 13 and 14 come from a deployment on an Apache Storm
+//! cluster: 48 sources generate a Zipf stream and 80 workers aggregate it,
+//! with a fixed 1 ms of CPU work per tuple, so that the cluster operates at
+//! its saturation point and the end-to-end latency is dominated by queueing
+//! at the most loaded worker. We reproduce the same topology shape in
+//! process: source threads generate and route tuples through the grouping
+//! scheme under study, bounded channels model the workers' input queues, and
+//! worker threads perform a configurable amount of busy work per tuple while
+//! recording their own throughput and per-tuple latency.
+//!
+//! The absolute numbers differ from the paper's cluster, but the comparison
+//! between grouping schemes — who saturates first, whose queues grow — is
+//! governed by the same mechanism: the most loaded worker is the bottleneck,
+//! so a scheme with higher imbalance delivers lower throughput and higher
+//! tail latency.
+//!
+//! * [`topology`] — configuration and the runner.
+//! * [`latency`] — latency recording and percentile summaries.
+
+pub mod latency;
+pub mod topology;
+
+pub use latency::{LatencySummary, LatencyTracker};
+pub use topology::{EngineConfig, EngineResult, Topology};

@@ -1,0 +1,348 @@
+//! The source → worker topology and its runner.
+//!
+//! A [`Topology`] mirrors the paper's Storm application: a set of source
+//! threads generates a keyed stream and routes every tuple through the
+//! grouping scheme under study; a set of worker threads consumes the tuples
+//! from bounded input queues, performs a fixed amount of CPU work per tuple
+//! (emulating the aggregation operator), and keeps per-key state. Sources
+//! block when a worker's queue is full, which is exactly the back-pressure
+//! behaviour that makes the most loaded worker the throughput bottleneck.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+
+use slb_core::{build_partitioner, PartitionConfig, PartitionerKind};
+use slb_workloads::zipf::ZipfGenerator;
+use slb_workloads::{KeyId, KeyStream};
+
+use crate::latency::{LatencySummary, LatencyTracker};
+
+/// Configuration of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Grouping scheme under study.
+    pub kind: PartitionerKind,
+    /// Number of source threads (the paper uses 48).
+    pub sources: usize,
+    /// Number of worker threads (the paper uses 80).
+    pub workers: usize,
+    /// Number of distinct keys in the synthetic workload (paper: 10⁴).
+    pub keys: usize,
+    /// Zipf exponent of the workload (paper: 1.4, 1.7, 2.0).
+    pub skew: f64,
+    /// Total number of messages across all sources (paper: 2×10⁶).
+    pub messages: u64,
+    /// Emulated CPU time per tuple at the worker, in microseconds
+    /// (the paper uses 1000 µs = 1 ms; the default here is smaller so the
+    /// full figure suite runs in minutes).
+    pub service_time_us: u64,
+    /// Capacity of each worker's input queue, in tuples.
+    pub queue_capacity: usize,
+    /// Seed for the workload and the hash functions.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// A laptop-friendly configuration for the given scheme and skew:
+    /// 4 sources, 8 workers, 10⁴ keys, 200k messages, 50 µs service time.
+    pub fn laptop(kind: PartitionerKind, skew: f64) -> Self {
+        Self {
+            kind,
+            sources: 4,
+            workers: 8,
+            keys: 10_000,
+            skew,
+            messages: 200_000,
+            service_time_us: 50,
+            queue_capacity: 1_024,
+            seed: 42,
+        }
+    }
+
+    /// The paper's full-scale parameters (Figures 13–14): 48 sources,
+    /// 80 workers, 10⁴ keys, 2×10⁶ messages, 1 ms of work per tuple.
+    pub fn paper(kind: PartitionerKind, skew: f64) -> Self {
+        Self {
+            kind,
+            sources: 48,
+            workers: 80,
+            keys: 10_000,
+            skew,
+            messages: 2_000_000,
+            service_time_us: 1_000,
+            queue_capacity: 1_024,
+            seed: 42,
+        }
+    }
+
+    /// A tiny smoke-test configuration (a couple of seconds). The service
+    /// time is chosen so that the workers — not the sources — are the
+    /// bottleneck, as in the paper's saturated-cluster setup; otherwise the
+    /// grouping scheme would have no effect on throughput or latency.
+    pub fn smoke(kind: PartitionerKind, skew: f64) -> Self {
+        Self {
+            kind,
+            sources: 2,
+            workers: 4,
+            keys: 1_000,
+            skew,
+            messages: 20_000,
+            service_time_us: 25,
+            queue_capacity: 128,
+            seed: 42,
+        }
+    }
+
+    /// Overrides the number of messages.
+    pub fn with_messages(mut self, messages: u64) -> Self {
+        self.messages = messages;
+        self
+    }
+
+    /// Overrides the per-tuple service time (microseconds).
+    pub fn with_service_time_us(mut self, us: u64) -> Self {
+        self.service_time_us = us;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A tuple in flight: the key plus the time it left the source.
+struct Tuple {
+    key: KeyId,
+    emitted_at: Instant,
+}
+
+/// Outcome of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineResult {
+    /// Scheme symbol.
+    pub scheme: String,
+    /// Zipf exponent of the workload.
+    pub skew: f64,
+    /// Messages processed (across all workers).
+    pub processed: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Throughput in events per second.
+    pub throughput_eps: f64,
+    /// End-to-end latency summary.
+    pub latency: LatencySummary,
+    /// Per-worker processed-message counts (for imbalance auditing).
+    pub worker_counts: Vec<u64>,
+    /// Per-worker number of distinct keys held in state (memory footprint).
+    pub worker_state_keys: Vec<u64>,
+    /// Imbalance of the processed counts.
+    pub imbalance: f64,
+}
+
+impl EngineResult {
+    /// Total distinct `(key, worker)` state replicas across workers.
+    pub fn total_state_replicas(&self) -> u64 {
+        self.worker_state_keys.iter().sum()
+    }
+}
+
+/// The runnable topology.
+pub struct Topology {
+    config: EngineConfig,
+}
+
+impl Topology {
+    /// Creates a topology from a configuration.
+    ///
+    /// # Panics
+    /// Panics if any structural parameter is zero.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.sources > 0, "need at least one source");
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.keys > 0, "need at least one key");
+        assert!(config.queue_capacity > 0, "queues need capacity");
+        Self { config }
+    }
+
+    /// Runs the topology to completion and returns the measurements.
+    pub fn run(&self) -> EngineResult {
+        let cfg = &self.config;
+        let (senders, receivers): (Vec<Sender<Tuple>>, Vec<Receiver<Tuple>>) =
+            (0..cfg.workers).map(|_| bounded::<Tuple>(cfg.queue_capacity)).unzip();
+
+        let start = Instant::now();
+
+        // Worker threads: drain their queue, spin for the service time,
+        // update per-key state, record latency.
+        let mut worker_handles = Vec::with_capacity(cfg.workers);
+        for receiver in receivers {
+            let service_time = Duration::from_micros(cfg.service_time_us);
+            worker_handles.push(thread::spawn(move || {
+                let mut processed = 0u64;
+                let mut latencies = LatencyTracker::with_capacity(4_096);
+                let mut state: std::collections::HashMap<KeyId, u64> =
+                    std::collections::HashMap::new();
+                while let Ok(tuple) = receiver.recv() {
+                    // Emulate the aggregation work with a busy-wait: sleeping
+                    // is far too coarse at microsecond granularity.
+                    if !service_time.is_zero() {
+                        let until = Instant::now() + service_time;
+                        while Instant::now() < until {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    *state.entry(tuple.key).or_insert(0) += 1;
+                    latencies.record_us(tuple.emitted_at.elapsed().as_micros() as u64);
+                    processed += 1;
+                }
+                (processed, latencies, state.len() as u64)
+            }));
+        }
+
+        // Source threads: generate, route, send (blocking on full queues).
+        let per_source = cfg.messages / cfg.sources as u64;
+        let mut source_handles = Vec::with_capacity(cfg.sources);
+        for source_idx in 0..cfg.sources {
+            let senders = senders.clone();
+            let kind = cfg.kind;
+            let partition = PartitionConfig::new(cfg.workers).with_seed(cfg.seed);
+            let keys = cfg.keys;
+            let skew = cfg.skew;
+            // Each source generates an independent slice of the workload.
+            let stream_seed = cfg.seed.wrapping_add(1 + source_idx as u64);
+            source_handles.push(thread::spawn(move || {
+                let mut partitioner = build_partitioner::<KeyId>(kind, &partition);
+                let mut stream = ZipfGenerator::with_limit(keys, skew, stream_seed, per_source);
+                let mut sent = 0u64;
+                while let Some(key) = KeyStream::next_key(&mut stream) {
+                    let worker = partitioner.route(&key);
+                    // A send only fails if the receiver is gone, which cannot
+                    // happen before all senders are dropped; treat it as fatal.
+                    senders[worker]
+                        .send(Tuple { key, emitted_at: Instant::now() })
+                        .expect("worker queue closed prematurely");
+                    sent += 1;
+                }
+                sent
+            }));
+        }
+        // Drop the topology's own copies so workers terminate when sources do.
+        drop(senders);
+
+        let mut sent_total = 0u64;
+        for h in source_handles {
+            sent_total += h.join().expect("source thread panicked");
+        }
+        let mut processed = 0u64;
+        let mut latencies = Vec::with_capacity(cfg.workers);
+        let mut worker_counts = Vec::with_capacity(cfg.workers);
+        let mut worker_state_keys = Vec::with_capacity(cfg.workers);
+        for h in worker_handles {
+            let (count, tracker, state_keys) = h.join().expect("worker thread panicked");
+            processed += count;
+            worker_counts.push(count);
+            worker_state_keys.push(state_keys);
+            latencies.push(tracker);
+        }
+        debug_assert_eq!(sent_total, processed, "every sent tuple must be processed");
+
+        let elapsed = start.elapsed().as_secs_f64();
+        EngineResult {
+            scheme: cfg.kind.symbol().to_string(),
+            skew: cfg.skew,
+            processed,
+            elapsed_secs: elapsed,
+            throughput_eps: if elapsed > 0.0 { processed as f64 / elapsed } else { 0.0 },
+            latency: LatencyTracker::summarize(&latencies),
+            imbalance: slb_core::imbalance(&worker_counts),
+            worker_counts,
+            worker_state_keys,
+        }
+    }
+}
+
+/// Runs one engine experiment per grouping scheme in `schemes`, all on the
+/// same workload, and returns the results in the same order.
+pub fn compare_schemes(base: &EngineConfig, schemes: &[PartitionerKind]) -> Vec<EngineResult> {
+    schemes
+        .iter()
+        .map(|&kind| {
+            let mut cfg = base.clone();
+            cfg.kind = kind;
+            Topology::new(cfg).run()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_processes_every_message() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.4);
+        let result = Topology::new(cfg.clone()).run();
+        assert_eq!(result.processed, (cfg.messages / cfg.sources as u64) * cfg.sources as u64);
+        assert_eq!(result.worker_counts.len(), cfg.workers);
+        assert!(result.throughput_eps > 0.0);
+        assert!(result.latency.samples > 0);
+        assert_eq!(result.latency.samples, result.processed);
+        assert_eq!(result.scheme, "PKG");
+    }
+
+    #[test]
+    fn key_grouping_keeps_state_compact_but_unbalanced() {
+        // Under heavy skew, KG holds each key on exactly one worker (minimal
+        // state) but its processed-count imbalance is large compared to SG.
+        let kg = Topology::new(EngineConfig::smoke(PartitionerKind::KeyGrouping, 2.0)).run();
+        let sg = Topology::new(EngineConfig::smoke(PartitionerKind::ShuffleGrouping, 2.0)).run();
+        assert!(kg.imbalance > sg.imbalance);
+        assert!(kg.total_state_replicas() <= sg.total_state_replicas());
+    }
+
+    #[test]
+    fn w_choices_balances_better_than_pkg_under_extreme_skew() {
+        let pkg = Topology::new(EngineConfig::smoke(PartitionerKind::Pkg, 2.0)).run();
+        let wc = Topology::new(EngineConfig::smoke(PartitionerKind::WChoices, 2.0)).run();
+        assert!(
+            wc.imbalance <= pkg.imbalance + 1e-9,
+            "W-C imbalance {} vs PKG {}",
+            wc.imbalance,
+            pkg.imbalance
+        );
+    }
+
+    #[test]
+    fn compare_schemes_returns_one_result_per_scheme() {
+        let base = EngineConfig::smoke(PartitionerKind::Pkg, 1.4).with_messages(4_000);
+        let results = compare_schemes(
+            &base,
+            &[PartitionerKind::KeyGrouping, PartitionerKind::ShuffleGrouping],
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].scheme, "KG");
+        assert_eq!(results[1].scheme, "SG");
+    }
+
+    #[test]
+    fn zero_service_time_is_supported() {
+        let cfg = EngineConfig::smoke(PartitionerKind::ShuffleGrouping, 1.0)
+            .with_messages(8_000)
+            .with_service_time_us(0);
+        let r = Topology::new(cfg).run();
+        assert_eq!(r.processed, 8_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_panics() {
+        let mut cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.0);
+        cfg.workers = 0;
+        let _ = Topology::new(cfg);
+    }
+}

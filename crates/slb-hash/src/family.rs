@@ -1,0 +1,290 @@
+//! Families of independently-seeded hash functions mapping keys to workers.
+//!
+//! The Greedy-d process of the paper routes a key by evaluating `d`
+//! independent hash functions `F_1..F_d : K -> [n]` and picking the least
+//! loaded candidate worker. [`HashFamily`] provides exactly that interface:
+//! it owns `d_max` seeds (derived deterministically from one master seed) and
+//! can evaluate any prefix of them for a key, so the same family serves keys
+//! with different `d` (2 for the tail, more for the head) without rehashing.
+
+use crate::{bucket_of, splitmix::splitmix64, xxhash::xxhash64};
+
+/// Anything that can be routed by the partitioners: a key viewed as bytes.
+///
+/// Implemented for the common key representations used in stream processors
+/// (strings, byte slices, and integer key identifiers as used by the
+/// synthetic workloads).
+pub trait KeyHash {
+    /// Hashes the key with the given seed into a 64-bit digest.
+    fn key_hash(&self, seed: u64) -> u64;
+}
+
+impl KeyHash for [u8] {
+    #[inline]
+    fn key_hash(&self, seed: u64) -> u64 {
+        xxhash64(self, seed)
+    }
+}
+
+impl KeyHash for &[u8] {
+    #[inline]
+    fn key_hash(&self, seed: u64) -> u64 {
+        xxhash64(self, seed)
+    }
+}
+
+impl KeyHash for str {
+    #[inline]
+    fn key_hash(&self, seed: u64) -> u64 {
+        xxhash64(self.as_bytes(), seed)
+    }
+}
+
+impl KeyHash for &str {
+    #[inline]
+    fn key_hash(&self, seed: u64) -> u64 {
+        xxhash64(self.as_bytes(), seed)
+    }
+}
+
+impl KeyHash for String {
+    #[inline]
+    fn key_hash(&self, seed: u64) -> u64 {
+        xxhash64(self.as_bytes(), seed)
+    }
+}
+
+impl KeyHash for u64 {
+    /// Integer keys (e.g. key ranks from the synthetic generators) are mixed
+    /// directly: two SplitMix64 rounds over `key ^ seed` give full avalanche
+    /// without a byte-serialization round trip.
+    #[inline]
+    fn key_hash(&self, seed: u64) -> u64 {
+        splitmix64(splitmix64(*self ^ 0x9E37_79B9_7F4A_7C15) ^ splitmix64(seed))
+    }
+}
+
+impl KeyHash for u32 {
+    #[inline]
+    fn key_hash(&self, seed: u64) -> u64 {
+        u64::from(*self).key_hash(seed)
+    }
+}
+
+impl KeyHash for usize {
+    #[inline]
+    fn key_hash(&self, seed: u64) -> u64 {
+        (*self as u64).key_hash(seed)
+    }
+}
+
+/// A family of up to `d_max` independent hash functions onto `n` workers.
+///
+/// The functions are `F_i(k) = bucket(H(k, seed_i), n)` where the seeds are
+/// derived from the master seed with SplitMix64, so distinct family members
+/// behave as independent ideal hash functions for the purposes of the
+/// analysis in the paper (Section IV and Appendix A).
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    seeds: Vec<u64>,
+    workers: usize,
+}
+
+impl HashFamily {
+    /// Creates a family of `d_max` functions mapping onto `workers` buckets.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `d_max == 0`.
+    pub fn new(master_seed: u64, d_max: usize, workers: usize) -> Self {
+        assert!(workers > 0, "a hash family needs at least one worker");
+        assert!(d_max > 0, "a hash family needs at least one function");
+        let mut sm = crate::SplitMix64::new(master_seed);
+        let seeds = (0..d_max).map(|_| sm.next_u64()).collect();
+        Self { seeds, workers }
+    }
+
+    /// Number of functions available in this family.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Returns true if the family holds no functions (never the case for a
+    /// constructed family, but required for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Number of workers (buckets) the family maps onto.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates the `i`-th function on `key`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn choice<K: KeyHash + ?Sized>(&self, key: &K, i: usize) -> usize {
+        bucket_of(key.key_hash(self.seeds[i]), self.workers)
+    }
+
+    /// Evaluates the first `d` functions on `key`, returning the candidate
+    /// workers in function order (duplicates possible, as in the paper:
+    /// hash collisions mean a key may effectively have fewer than `d`
+    /// distinct choices).
+    ///
+    /// # Panics
+    /// Panics if `d > self.len()` or `d == 0`.
+    pub fn choices<K: KeyHash + ?Sized>(&self, key: &K, d: usize) -> Vec<usize> {
+        assert!(d > 0 && d <= self.seeds.len(), "d={d} out of range 1..={}", self.seeds.len());
+        self.seeds[..d]
+            .iter()
+            .map(|&s| bucket_of(key.key_hash(s), self.workers))
+            .collect()
+    }
+
+    /// Evaluates the first `d` functions, writing candidates into `out`
+    /// (cleared first). Allocation-free variant of [`Self::choices`] for the
+    /// per-tuple hot path.
+    pub fn choices_into<K: KeyHash + ?Sized>(&self, key: &K, d: usize, out: &mut Vec<usize>) {
+        assert!(d > 0 && d <= self.seeds.len(), "d={d} out of range 1..={}", self.seeds.len());
+        out.clear();
+        for &s in &self.seeds[..d] {
+            out.push(bucket_of(key.key_hash(s), self.workers));
+        }
+    }
+
+    /// Returns a copy of this family mapping onto a different worker count.
+    ///
+    /// Useful when the same logical functions must be re-used after a scale
+    /// change in an experiment sweep.
+    pub fn with_workers(&self, workers: usize) -> Self {
+        assert!(workers > 0, "a hash family needs at least one worker");
+        Self { seeds: self.seeds.clone(), workers }
+    }
+}
+
+/// Convenience wrapper bundling a [`HashFamily`] sized for the common
+/// "2 choices for the tail, up to `n` for the head" configuration.
+#[derive(Debug, Clone)]
+pub struct StreamHasher {
+    family: HashFamily,
+}
+
+impl StreamHasher {
+    /// Builds a hasher for `workers` downstream instances. The family holds
+    /// `workers` functions so that any `d <= n` requested by D-Choices can be
+    /// served.
+    pub fn new(master_seed: u64, workers: usize) -> Self {
+        Self { family: HashFamily::new(master_seed, workers.max(2), workers) }
+    }
+
+    /// The underlying hash family.
+    #[inline]
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// The two PKG candidate workers for `key`.
+    #[inline]
+    pub fn two_choices<K: KeyHash + ?Sized>(&self, key: &K) -> (usize, usize) {
+        (self.family.choice(key, 0), self.family.choice(key, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_choices_in_range() {
+        let fam = HashFamily::new(7, 8, 13);
+        for key in 0..1000u64 {
+            for c in fam.choices(&key, 8) {
+                assert!(c < 13);
+            }
+        }
+    }
+
+    #[test]
+    fn family_is_deterministic_across_instances() {
+        let a = HashFamily::new(42, 4, 10);
+        let b = HashFamily::new(42, 4, 10);
+        for key in ["alpha", "beta", "gamma", "$AAPL", "wiki/Main_Page"] {
+            assert_eq!(a.choices(&key, 4), b.choices(&key, 4));
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_give_different_functions() {
+        let a = HashFamily::new(1, 2, 100);
+        let b = HashFamily::new(2, 2, 100);
+        let diffs = (0..1000u64).filter(|k| a.choices(k, 2) != b.choices(k, 2)).count();
+        assert!(diffs > 900, "only {diffs} keys routed differently");
+    }
+
+    #[test]
+    fn functions_within_family_are_independent() {
+        // Fraction of keys where F1(k) == F2(k) should be about 1/n.
+        let n = 50;
+        let fam = HashFamily::new(3, 2, n);
+        let samples = 20_000u64;
+        let collisions = (0..samples).filter(|k| fam.choice(k, 0) == fam.choice(k, 1)).count();
+        let rate = collisions as f64 / samples as f64;
+        let expected = 1.0 / n as f64;
+        assert!((rate - expected).abs() < expected, "collision rate {rate} vs expected {expected}");
+    }
+
+    #[test]
+    fn choices_into_matches_choices() {
+        let fam = HashFamily::new(11, 5, 17);
+        let mut buf = Vec::new();
+        for key in 0..100u64 {
+            fam.choices_into(&key, 5, &mut buf);
+            assert_eq!(buf, fam.choices(&key, 5));
+        }
+    }
+
+    #[test]
+    fn string_and_str_hash_identically() {
+        let fam = HashFamily::new(0, 2, 10);
+        let s = String::from("hot-key");
+        assert_eq!(fam.choices(&s, 2), fam.choices(&"hot-key", 2));
+        assert_eq!(fam.choices(&s, 2), fam.choices("hot-key", 2));
+    }
+
+    #[test]
+    fn with_workers_keeps_seeds() {
+        let a = HashFamily::new(5, 3, 10);
+        let b = a.with_workers(20);
+        assert_eq!(b.workers(), 20);
+        // Same seeds: a key's digest ordering is preserved even if buckets change.
+        assert_eq!(b.len(), a.len());
+    }
+
+    #[test]
+    fn stream_hasher_two_choices_match_family() {
+        let sh = StreamHasher::new(9, 30);
+        for key in 0..50u64 {
+            let (a, b) = sh.two_choices(&key);
+            assert_eq!(a, sh.family().choice(&key, 0));
+            assert_eq!(b, sh.family().choice(&key, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = HashFamily::new(0, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_choices_panics() {
+        let fam = HashFamily::new(0, 2, 5);
+        let _ = fam.choices(&1u64, 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Hashing substrate for the SLB (Scalable Load Balancing) library.
+//!
+//! The stream-partitioning algorithms reproduced from *"When Two Choices Are
+//! not Enough: Balancing at Scale in Distributed Stream Processing"*
+//! (Nasir et al., ICDE 2016) route every tuple by hashing its key with one or
+//! more independent hash functions (the *Greedy-d* process uses `d` of them).
+//! Production stream processors (Storm, Flink) rely on library hash functions
+//! such as Murmur3 or Guava's hashing; this crate provides from-scratch,
+//! dependency-free implementations of the same class of functions:
+//!
+//! * [`xxhash::XxHash64`] — fast 64-bit hash, default choice for routing.
+//! * [`murmur::murmur3_32`] / [`murmur::murmur3_x64_128`] — the hash Storm's
+//!   `fieldsGrouping` historically used.
+//! * [`fnv::Fnv1a64`] — simple byte-at-a-time hash, useful for tiny keys.
+//! * [`splitmix::SplitMix64`] — integer mixer used to derive independent
+//!   seeds and to hash already-numeric keys.
+//!
+//! On top of the raw functions, [`family::HashFamily`] packages *d*
+//! independently-seeded functions mapping arbitrary keys to a worker index in
+//! `[0, n)`, which is exactly the interface the Greedy-d process needs.
+//!
+//! All functions are deterministic given their seed, so experiments are
+//! reproducible run-to-run.
+
+pub mod family;
+pub mod fnv;
+pub mod murmur;
+pub mod splitmix;
+pub mod xxhash;
+
+pub use family::{HashFamily, KeyHash, StreamHasher};
+pub use fnv::Fnv1a64;
+pub use splitmix::SplitMix64;
+pub use xxhash::XxHash64;
+
+/// A hash function over byte slices producing a 64-bit digest.
+///
+/// Implementations must be pure functions of `(seed, bytes)`: the same input
+/// always yields the same output, across platforms and process runs. This is
+/// required so that every source in a distributed deployment routes a given
+/// key to the same candidate workers without coordination.
+pub trait Hasher64 {
+    /// Hashes `bytes` with the given `seed`.
+    fn hash_with_seed(bytes: &[u8], seed: u64) -> u64;
+
+    /// Hashes `bytes` with seed 0.
+    fn hash(bytes: &[u8]) -> u64 {
+        Self::hash_with_seed(bytes, 0)
+    }
+}
+
+/// Maps a 64-bit hash onto `n` buckets with negligible modulo bias.
+///
+/// Uses the widening-multiply technique (Lemire's "fastrange"): the result is
+/// `⌊hash · n / 2^64⌋`, which is uniform when `hash` is uniform and avoids the
+/// slow hardware modulo.
+#[inline]
+pub fn bucket_of(hash: u64, n: usize) -> usize {
+    debug_assert!(n > 0, "cannot bucket into zero buckets");
+    (((hash as u128) * (n as u128)) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_in_range() {
+        for n in [1usize, 2, 3, 5, 7, 80, 128, 1000] {
+            for h in [0u64, 1, u64::MAX, u64::MAX / 2, 0xdead_beef_cafe_babe] {
+                assert!(bucket_of(h, n) < n, "bucket_of({h}, {n}) out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_of_max_hash_maps_to_last_bucket() {
+        assert_eq!(bucket_of(u64::MAX, 10), 9);
+        assert_eq!(bucket_of(0, 10), 0);
+    }
+
+    #[test]
+    fn bucket_of_single_bucket_always_zero() {
+        for h in [0u64, 42, u64::MAX] {
+            assert_eq!(bucket_of(h, 1), 0);
+        }
+    }
+
+    #[test]
+    fn bucket_of_is_roughly_uniform() {
+        // Hash consecutive integers and check every bucket receives a share
+        // close to the expected count.
+        let n = 16;
+        let samples = 64_000u64;
+        let mut counts = vec![0usize; n];
+        for i in 0..samples {
+            let h = XxHash64::hash_with_seed(&i.to_le_bytes(), 7);
+            counts[bucket_of(h, n)] += 1;
+        }
+        let expected = samples as f64 / n as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.10, "bucket {b} deviates {dev:.3} from uniform");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! MurmurHash3: the 32-bit (x86) and 128-bit (x64) variants.
+//!
+//! Apache Storm's default field grouping hashes keys with Java's
+//! `Object.hashCode`, but the PKG implementation shipped with the paper uses
+//! Guava's Murmur3 to pick the two candidate workers. We provide the same
+//! functions so the routing decisions of this library can mirror those of the
+//! original system.
+
+const C1_32: u32 = 0xcc9e_2d51;
+const C2_32: u32 = 0x1b87_3593;
+
+#[inline(always)]
+fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+#[inline(always)]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// Computes the 32-bit Murmur3 digest of `bytes` under `seed`.
+pub fn murmur3_32(bytes: &[u8], seed: u32) -> u32 {
+    let mut h1 = seed;
+    let nblocks = bytes.len() / 4;
+
+    for i in 0..nblocks {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&bytes[i * 4..i * 4 + 4]);
+        let mut k1 = u32::from_le_bytes(buf);
+
+        k1 = k1.wrapping_mul(C1_32);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2_32);
+
+        h1 ^= k1;
+        h1 = h1.rotate_left(13);
+        h1 = h1.wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+
+    let tail = &bytes[nblocks * 4..];
+    let mut k1: u32 = 0;
+    if tail.len() >= 3 {
+        k1 ^= u32::from(tail[2]) << 16;
+    }
+    if tail.len() >= 2 {
+        k1 ^= u32::from(tail[1]) << 8;
+    }
+    if !tail.is_empty() {
+        k1 ^= u32::from(tail[0]);
+        k1 = k1.wrapping_mul(C1_32);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2_32);
+        h1 ^= k1;
+    }
+
+    h1 ^= bytes.len() as u32;
+    fmix32(h1)
+}
+
+/// Computes the 128-bit (x64 variant) Murmur3 digest of `bytes` under `seed`.
+///
+/// Returns the two 64-bit halves `(h1, h2)`. The first half is what Guava's
+/// `murmur3_128().hashBytes(..).asLong()` exposes, and is therefore the value
+/// used when mimicking the reference PKG implementation.
+pub fn murmur3_x64_128(bytes: &[u8], seed: u64) -> (u64, u64) {
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+    let mut h1 = seed;
+    let mut h2 = seed;
+    let nblocks = bytes.len() / 16;
+
+    for i in 0..nblocks {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&bytes[i * 16..i * 16 + 8]);
+        let mut k1 = u64::from_le_bytes(buf);
+        buf.copy_from_slice(&bytes[i * 16 + 8..i * 16 + 16]);
+        let mut k2 = u64::from_le_bytes(buf);
+
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = &bytes[nblocks * 16..];
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+
+    let t = |i: usize| u64::from(tail[i]);
+    let len = tail.len();
+    if len >= 15 {
+        k2 ^= t(14) << 48;
+    }
+    if len >= 14 {
+        k2 ^= t(13) << 40;
+    }
+    if len >= 13 {
+        k2 ^= t(12) << 32;
+    }
+    if len >= 12 {
+        k2 ^= t(11) << 24;
+    }
+    if len >= 11 {
+        k2 ^= t(10) << 16;
+    }
+    if len >= 10 {
+        k2 ^= t(9) << 8;
+    }
+    if len >= 9 {
+        k2 ^= t(8);
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    if len >= 8 {
+        k1 ^= t(7) << 56;
+    }
+    if len >= 7 {
+        k1 ^= t(6) << 48;
+    }
+    if len >= 6 {
+        k1 ^= t(5) << 40;
+    }
+    if len >= 5 {
+        k1 ^= t(4) << 32;
+    }
+    if len >= 4 {
+        k1 ^= t(3) << 24;
+    }
+    if len >= 3 {
+        k1 ^= t(2) << 16;
+    }
+    if len >= 2 {
+        k1 ^= t(1) << 8;
+    }
+    if len >= 1 {
+        k1 ^= t(0);
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= bytes.len() as u64;
+    h2 ^= bytes.len() as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (h1, h2)
+}
+
+/// 64-bit convenience wrapper over [`murmur3_x64_128`] returning the first half.
+#[inline]
+pub fn murmur3_64(bytes: &[u8], seed: u64) -> u64 {
+    murmur3_x64_128(bytes, seed).0
+}
+
+/// Zero-sized marker implementing [`crate::Hasher64`] via Murmur3 x64/128.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Murmur3;
+
+impl crate::Hasher64 for Murmur3 {
+    #[inline]
+    fn hash_with_seed(bytes: &[u8], seed: u64) -> u64 {
+        murmur3_64(bytes, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn murmur32_known_vectors() {
+        // Reference values from the canonical smhasher implementation.
+        assert_eq!(murmur3_32(b"", 0), 0);
+        assert_eq!(murmur3_32(b"", 1), 0x514E_28B7);
+        assert_eq!(murmur3_32(b"hello", 0), 0x248B_FA47);
+        assert_eq!(murmur3_32(b"hello, world", 0), 0x149B_BB7F);
+    }
+
+    #[test]
+    fn murmur128_consistency() {
+        // Digest is deterministic and seed-sensitive.
+        let (a1, a2) = murmur3_x64_128(b"stream processing", 0);
+        let (b1, b2) = murmur3_x64_128(b"stream processing", 0);
+        assert_eq!((a1, a2), (b1, b2));
+        let (c1, c2) = murmur3_x64_128(b"stream processing", 7);
+        assert_ne!((a1, a2), (c1, c2));
+    }
+
+    #[test]
+    fn murmur128_tail_lengths_all_distinct() {
+        let buf: Vec<u8> = (0..64u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..buf.len() {
+            assert!(seen.insert(murmur3_x64_128(&buf[..len], 0)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn murmur64_is_first_half() {
+        let bytes = b"cashtag:$AAPL";
+        assert_eq!(murmur3_64(bytes, 3), murmur3_x64_128(bytes, 3).0);
+    }
+}

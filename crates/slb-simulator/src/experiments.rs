@@ -1,0 +1,777 @@
+//! Parameterized drivers that regenerate the paper's figures.
+//!
+//! Each function corresponds to one figure (or a family of panels of one
+//! figure) of the evaluation section and returns plain data rows; the
+//! `slb-bench` experiment binaries format them as the tables/series the
+//! paper reports. All drivers accept an [`ExperimentScale`] so the same code
+//! serves quick smoke tests, laptop-scale reproduction runs, and paper-scale
+//! runs.
+
+use serde::{Deserialize, Serialize};
+
+use slb_core::{
+    d_fraction, estimated_replicas, find_optimal_choices, relative_overhead_pct, HeadThreshold,
+    MemoryScheme, PartitionConfig, PartitionerKind,
+};
+use slb_workloads::datasets::{Dataset, Scale, SyntheticDataset};
+use slb_workloads::zipf::{ZipfDistribution, ZipfGenerator};
+
+use crate::metrics::SimulationResult;
+use crate::simulation::{SimulationConfig, Simulator};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Tiny runs for CI / integration tests (seconds).
+    Smoke,
+    /// Laptop-scale runs preserving the paper's qualitative results (minutes).
+    Laptop,
+    /// The paper's full parameters (hours).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Number of messages for a synthetic (ZF) run at this scale.
+    pub fn zipf_messages(&self) -> u64 {
+        match self {
+            ExperimentScale::Smoke => 200_000,
+            ExperimentScale::Laptop => 2_000_000,
+            ExperimentScale::Paper => 10_000_000,
+        }
+    }
+
+    /// The dataset scale to use for real-world-like workloads.
+    pub fn dataset_scale(&self) -> Scale {
+        match self {
+            ExperimentScale::Smoke => Scale::Smoke,
+            ExperimentScale::Laptop => Scale::Laptop,
+            ExperimentScale::Paper => Scale::Paper,
+        }
+    }
+
+    /// Skew exponents to sweep at this scale (the paper sweeps 0.1…2.0).
+    pub fn skew_sweep(&self) -> Vec<f64> {
+        match self {
+            ExperimentScale::Smoke => vec![0.4, 1.2, 2.0],
+            _ => (1..=20).map(|i| i as f64 * 0.1).collect(),
+        }
+    }
+}
+
+/// One measured point: a scheme at a given setting with its imbalance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ImbalanceRow {
+    /// Dataset symbol (WP, TW, CT, ZF).
+    pub dataset: String,
+    /// Scheme symbol.
+    pub scheme: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// Zipf exponent, when the workload is synthetic.
+    pub skew: Option<f64>,
+    /// Number of distinct keys in the workload.
+    pub keys: u64,
+    /// Messages replayed.
+    pub messages: u64,
+    /// Final imbalance `I(m)`.
+    pub imbalance: f64,
+    /// Average imbalance across the run's checkpoints.
+    pub mean_imbalance: f64,
+}
+
+impl ImbalanceRow {
+    fn from_result(dataset: &str, skew: Option<f64>, keys: u64, r: &SimulationResult) -> Self {
+        Self {
+            dataset: dataset.to_string(),
+            scheme: r.scheme.clone(),
+            workers: r.workers,
+            skew,
+            keys,
+            messages: r.messages,
+            imbalance: r.imbalance,
+            mean_imbalance: r.mean_imbalance,
+        }
+    }
+}
+
+/// Default seed used by the experiment drivers (any fixed value works; the
+/// paper averages over runs, we keep a single deterministic run per setting
+/// plus explicit seeds in the harness for replication).
+pub const DEFAULT_SEED: u64 = 0x5EED_0001;
+
+fn simulate_zipf(
+    kind: PartitionerKind,
+    workers: usize,
+    keys: usize,
+    z: f64,
+    messages: u64,
+    seed: u64,
+    threshold: HeadThreshold,
+) -> SimulationResult {
+    let partition = PartitionConfig::new(workers).with_seed(seed).with_threshold(threshold);
+    let config = SimulationConfig::new(kind, workers)
+        .with_partition(partition)
+        .with_checkpoint_interval((messages / 20).max(1));
+    let mut stream = ZipfGenerator::with_limit(keys, z, seed, messages);
+    Simulator::run(config, &mut stream)
+}
+
+fn simulate_dataset(
+    kind: PartitionerKind,
+    workers: usize,
+    dataset: &SyntheticDataset,
+    threshold: HeadThreshold,
+) -> SimulationResult {
+    let partition =
+        PartitionConfig::new(workers).with_seed(dataset.seed()).with_threshold(threshold);
+    let messages = dataset.stats().messages;
+    let config = SimulationConfig::new(kind, workers)
+        .with_partition(partition)
+        .with_checkpoint_interval((messages / 40).max(1));
+    let mut stream = dataset.stream();
+    Simulator::run(config, stream.as_mut())
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 / Figure 11: imbalance vs. number of workers on real-world data
+// ---------------------------------------------------------------------------
+
+/// Figure 1 (WP only) and Figure 11 (WP, TW, CT): imbalance as a function of
+/// the number of workers for PKG, D-C and W-C.
+pub fn imbalance_vs_workers(
+    datasets: &[SyntheticDataset],
+    schemes: &[PartitionerKind],
+    worker_counts: &[usize],
+) -> Vec<ImbalanceRow> {
+    let mut rows = Vec::new();
+    for ds in datasets {
+        for &workers in worker_counts {
+            for &scheme in schemes {
+                let r = simulate_dataset(scheme, workers, ds, HeadThreshold::DEFAULT);
+                rows.push(ImbalanceRow::from_result(
+                    ds.stats().kind.symbol(),
+                    None,
+                    ds.stats().keys,
+                    &r,
+                ));
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: cardinality of the head vs. skew
+// ---------------------------------------------------------------------------
+
+/// One row of Figure 3: how many keys exceed the threshold θ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeadCardinalityRow {
+    /// Zipf exponent.
+    pub skew: f64,
+    /// Number of workers the threshold refers to.
+    pub workers: usize,
+    /// Threshold label (e.g. "1/(5n)").
+    pub threshold: String,
+    /// Number of keys in the head.
+    pub cardinality: usize,
+}
+
+/// Figure 3: head cardinality for θ = 1/(5n) and θ = 2/n across skews, for
+/// the given worker counts (the paper shows 50 and 100), |K| = 10⁴.
+pub fn head_cardinality_vs_skew(
+    worker_counts: &[usize],
+    keys: usize,
+    skews: &[f64],
+) -> Vec<HeadCardinalityRow> {
+    let thresholds =
+        [HeadThreshold::new(1.0, 5.0), HeadThreshold::new(2.0, 1.0)];
+    let mut rows = Vec::new();
+    for &z in skews {
+        let dist = ZipfDistribution::new(keys, z);
+        for &workers in worker_counts {
+            for t in &thresholds {
+                rows.push(HeadCardinalityRow {
+                    skew: z,
+                    workers,
+                    threshold: t.label(),
+                    cardinality: dist.head_cardinality(t.frequency(workers)),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: fraction of workers (d/n) required by D-Choices vs. skew
+// ---------------------------------------------------------------------------
+
+/// One row of Figure 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DFractionRow {
+    /// Zipf exponent.
+    pub skew: f64,
+    /// Number of workers.
+    pub workers: usize,
+    /// The solver's d.
+    pub d: usize,
+    /// d / n.
+    pub fraction: f64,
+}
+
+/// Figure 4: the fraction of workers D-Choices assigns to the head, from the
+/// analytic solver on the exact Zipf distribution (|K| = 10⁴, ε = 10⁻⁴ in
+/// the paper).
+pub fn d_fraction_vs_skew(
+    worker_counts: &[usize],
+    keys: usize,
+    skews: &[f64],
+    epsilon: f64,
+) -> Vec<DFractionRow> {
+    let mut rows = Vec::new();
+    for &z in skews {
+        let dist = ZipfDistribution::new(keys, z);
+        for &workers in worker_counts {
+            let theta = HeadThreshold::DEFAULT.frequency(workers);
+            let head: Vec<f64> =
+                dist.probabilities().iter().copied().take_while(|&p| p >= theta).collect();
+            let tail_mass = 1.0 - head.iter().sum::<f64>();
+            let fraction = d_fraction(&head, tail_mass, workers, epsilon);
+            let d = find_optimal_choices(&head, tail_mass, workers, epsilon)
+                .effective_d(workers);
+            rows.push(DFractionRow { skew: z, workers, d, fraction });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 and 6: estimated memory overhead vs. PKG and vs. SG
+// ---------------------------------------------------------------------------
+
+/// One row of Figures 5/6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryRow {
+    /// Zipf exponent.
+    pub skew: f64,
+    /// Number of workers.
+    pub workers: usize,
+    /// Scheme symbol (D-C or W-C).
+    pub scheme: String,
+    /// Relative overhead versus PKG, percent (Figure 5).
+    pub vs_pkg_pct: f64,
+    /// Relative overhead versus SG, percent (Figure 6; negative = saving).
+    pub vs_sg_pct: f64,
+}
+
+/// Figures 5 and 6: estimated memory overhead of D-C and W-C relative to PKG
+/// and SG, using the analytic per-key replica model on a Zipf workload.
+pub fn memory_overhead_vs_skew(
+    worker_counts: &[usize],
+    keys: usize,
+    messages: u64,
+    skews: &[f64],
+    epsilon: f64,
+) -> Vec<MemoryRow> {
+    let mut rows = Vec::new();
+    for &z in skews {
+        let dist = ZipfDistribution::new(keys, z);
+        let counts: Vec<u64> = dist
+            .probabilities()
+            .iter()
+            .map(|p| (p * messages as f64).round().max(0.0) as u64)
+            .collect();
+        for &workers in worker_counts {
+            let theta = HeadThreshold::DEFAULT.frequency(workers);
+            let head_cardinality = dist.head_cardinality(theta);
+            let head: Vec<f64> = dist.probabilities()[..head_cardinality].to_vec();
+            let tail_mass = 1.0 - head.iter().sum::<f64>();
+            let d = find_optimal_choices(&head, tail_mass, workers, epsilon).effective_d(workers);
+            for (scheme, label) in [
+                (MemoryScheme::DChoices { d }, "D-C"),
+                (MemoryScheme::WChoices, "W-C"),
+            ] {
+                rows.push(MemoryRow {
+                    skew: z,
+                    workers,
+                    scheme: label.to_string(),
+                    vs_pkg_pct: relative_overhead_pct(
+                        &counts,
+                        head_cardinality,
+                        workers,
+                        scheme,
+                        MemoryScheme::Pkg,
+                    ),
+                    vs_sg_pct: relative_overhead_pct(
+                        &counts,
+                        head_cardinality,
+                        workers,
+                        scheme,
+                        MemoryScheme::Shuffle,
+                    ),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Absolute estimated replica counts for every scheme (supporting data for
+/// Figures 5/6 and the Section IV-B discussion).
+pub fn absolute_memory(
+    workers: usize,
+    keys: usize,
+    messages: u64,
+    z: f64,
+    epsilon: f64,
+) -> Vec<(String, u64)> {
+    let dist = ZipfDistribution::new(keys, z);
+    let counts: Vec<u64> =
+        dist.probabilities().iter().map(|p| (p * messages as f64).round() as u64).collect();
+    let theta = HeadThreshold::DEFAULT.frequency(workers);
+    let head_cardinality = dist.head_cardinality(theta);
+    let head: Vec<f64> = dist.probabilities()[..head_cardinality].to_vec();
+    let tail_mass = 1.0 - head.iter().sum::<f64>();
+    let d = find_optimal_choices(&head, tail_mass, workers, epsilon).effective_d(workers);
+    vec![
+        ("KG".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::KeyGrouping)),
+        ("PKG".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::Pkg)),
+        ("D-C".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::DChoices { d })),
+        ("W-C".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::WChoices)),
+        ("SG".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::Shuffle)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: threshold sweep for W-C and RR
+// ---------------------------------------------------------------------------
+
+/// One row of Figure 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdRow {
+    /// Scheme symbol (W-C or RR).
+    pub scheme: String,
+    /// Threshold label.
+    pub threshold: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// Zipf exponent.
+    pub skew: f64,
+    /// Final imbalance.
+    pub imbalance: f64,
+}
+
+/// Figure 7: load imbalance of W-Choices and Round-Robin as a function of
+/// skew, for each threshold in the 2/n … 1/(8n) sweep.
+pub fn threshold_sweep(
+    worker_counts: &[usize],
+    keys: usize,
+    messages: u64,
+    skews: &[f64],
+    seed: u64,
+) -> Vec<ThresholdRow> {
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        for threshold in HeadThreshold::figure7_sweep() {
+            for &z in skews {
+                for kind in [PartitionerKind::WChoices, PartitionerKind::RoundRobin] {
+                    let r = simulate_zipf(kind, workers, keys, z, messages, seed, threshold);
+                    rows.push(ThresholdRow {
+                        scheme: r.scheme.clone(),
+                        threshold: threshold.label(),
+                        workers,
+                        skew: z,
+                        imbalance: r.imbalance,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: per-worker load split between head and tail
+// ---------------------------------------------------------------------------
+
+/// One row of Figure 8: a worker's load split for a scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeadTailRow {
+    /// Scheme symbol.
+    pub scheme: String,
+    /// Worker index (1-based, as in the paper's plot).
+    pub worker: usize,
+    /// Percentage of the total load this worker received from head keys.
+    pub head_pct: f64,
+    /// Percentage of the total load this worker received from tail keys.
+    pub tail_pct: f64,
+}
+
+/// Figure 8: load generated by head and tail per worker for PKG, W-C and RR,
+/// with n = 5, θ = 1/(8n), z = 2.0, |K| = 10⁴ in the paper.
+pub fn head_tail_load(
+    workers: usize,
+    keys: usize,
+    messages: u64,
+    z: f64,
+    seed: u64,
+) -> Vec<HeadTailRow> {
+    let threshold = HeadThreshold::new(1.0, 8.0);
+    let mut rows = Vec::new();
+    for kind in [PartitionerKind::Pkg, PartitionerKind::WChoices, PartitionerKind::RoundRobin] {
+        let partition = PartitionConfig::new(workers).with_seed(seed).with_threshold(threshold);
+        let config = SimulationConfig::new(kind, workers)
+            .with_partition(partition)
+            .with_placement_tracking(true)
+            .with_checkpoint_interval((messages / 20).max(1));
+        let mut stream = ZipfGenerator::with_limit(keys, z, seed, messages);
+        let r = Simulator::run(config, &mut stream);
+        let ht = r.head_tail.expect("placement tracking was enabled");
+        for w in 0..workers {
+            rows.push(HeadTailRow {
+                scheme: r.scheme.clone(),
+                worker: w + 1,
+                head_pct: ht.head[w] * 100.0,
+                tail_pct: ht.tail[w] * 100.0,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: the solver's d vs. the empirically minimal d
+// ---------------------------------------------------------------------------
+
+/// One row of Figure 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinimalDRow {
+    /// Zipf exponent.
+    pub skew: f64,
+    /// Number of workers.
+    pub workers: usize,
+    /// d computed by the D-Choices solver.
+    pub solver_d: usize,
+    /// Smallest d whose Greedy-d imbalance matches W-Choices (within 10%).
+    pub minimal_d: usize,
+    /// Imbalance of the W-Choices reference run.
+    pub wchoices_imbalance: f64,
+}
+
+/// Figure 9: compares the solver's d with the empirically minimal d that
+/// matches the imbalance of W-Choices. The empirical search runs Greedy-d
+/// for increasing d on the same workload.
+pub fn d_vs_empirical_minimum(
+    worker_counts: &[usize],
+    keys: usize,
+    messages: u64,
+    skews: &[f64],
+    epsilon: f64,
+    seed: u64,
+) -> Vec<MinimalDRow> {
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        for &z in skews {
+            // Reference: W-Choices imbalance on this workload.
+            let wc = simulate_zipf(
+                PartitionerKind::WChoices,
+                workers,
+                keys,
+                z,
+                messages,
+                seed,
+                HeadThreshold::DEFAULT,
+            );
+            // Solver's d from the exact distribution.
+            let dist = ZipfDistribution::new(keys, z);
+            let theta = HeadThreshold::DEFAULT.frequency(workers);
+            let head_cardinality = dist.head_cardinality(theta);
+            let head: Vec<f64> = dist.probabilities()[..head_cardinality].to_vec();
+            let tail_mass = 1.0 - head.iter().sum::<f64>();
+            let solver_d =
+                find_optimal_choices(&head, tail_mass, workers, epsilon).effective_d(workers);
+            // Empirical minimum: smallest d whose imbalance matches W-C's.
+            // "Matching" uses the paper's tolerance semantics: each of the s
+            // sources runs the algorithm independently, so an imbalance up to
+            // s·ε is considered equivalent to W-C (the horizontal line drawn
+            // in Figures 10–11); below that, differences are noise.
+            let sources = 5.0;
+            let target = wc.imbalance.max(sources * epsilon) * 1.10;
+            let mut minimal_d = workers;
+            for d in 2..=workers {
+                let r = run_greedy_d_fixed(workers, keys, z, messages, seed, d);
+                if r.imbalance <= target {
+                    minimal_d = d;
+                    break;
+                }
+            }
+            rows.push(MinimalDRow {
+                skew: z,
+                workers,
+                solver_d,
+                minimal_d,
+                wchoices_imbalance: wc.imbalance,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs a D-Choices-style simulation where the head always uses exactly `d`
+/// choices (bypassing the solver), used by the Figure 9 empirical search.
+fn run_greedy_d_fixed(
+    workers: usize,
+    keys: usize,
+    z: f64,
+    messages: u64,
+    seed: u64,
+    d: usize,
+) -> SimulationResult {
+    // A fixed d is emulated by running the D-Choices scheme with the solver's
+    // epsilon relaxed/tightened so that it would pick d — instead of plumbing
+    // a by-pass through the public API we simulate the Greedy-d process
+    // directly here, reusing the same hash family and head tracker the real
+    // partitioner uses.
+    use slb_core::{HeadTracker, LoadVector};
+    use slb_hash::HashFamily;
+
+    let sources = 5usize;
+    let theta = HeadThreshold::DEFAULT.frequency(workers);
+    let mut families = Vec::new();
+    let mut loads = Vec::new();
+    let mut trackers: Vec<HeadTracker<u64>> = Vec::new();
+    for s in 0..sources {
+        let seed_s = seed.wrapping_add((s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        families.push(HashFamily::new(seed_s, workers.max(2), workers));
+        loads.push(LoadVector::new(workers));
+        trackers.push(HeadTracker::new(10 * workers, theta));
+    }
+    let mut global = vec![0u64; workers];
+    let mut stream = ZipfGenerator::with_limit(keys, z, seed, messages);
+    let mut i = 0u64;
+    let mut scratch = Vec::new();
+    while let Some(key) = slb_workloads::KeyStream::next_key(&mut stream) {
+        let s = (i % sources as u64) as usize;
+        let in_head = trackers[s].observe(&key);
+        let choices = if in_head { d.clamp(2, workers) } else { 2 };
+        families[s].choices_into(&key, choices, &mut scratch);
+        let w = loads[s].min_load_among(&scratch);
+        loads[s].record(w);
+        global[w] += 1;
+        i += 1;
+    }
+    SimulationResult {
+        scheme: format!("Greedy-{d}"),
+        workers,
+        sources,
+        messages: i,
+        imbalance: slb_core::imbalance(&global),
+        mean_imbalance: slb_core::imbalance(&global),
+        time_series: Vec::new(),
+        observed_replicas: None,
+        head_tail: None,
+        worker_loads: global,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: imbalance vs. skew grid (schemes × workers × key-space sizes)
+// ---------------------------------------------------------------------------
+
+/// Figure 10: average imbalance of PKG, D-C, W-C and RR as a function of
+/// skew, for every combination of worker count and key-space size requested.
+pub fn zipf_grid(
+    worker_counts: &[usize],
+    key_counts: &[usize],
+    messages: u64,
+    skews: &[f64],
+    seed: u64,
+) -> Vec<ImbalanceRow> {
+    let schemes = [
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+        PartitionerKind::RoundRobin,
+    ];
+    let mut rows = Vec::new();
+    for &keys in key_counts {
+        for &workers in worker_counts {
+            for &z in skews {
+                for &kind in &schemes {
+                    let r = simulate_zipf(
+                        kind,
+                        workers,
+                        keys,
+                        z,
+                        messages,
+                        seed,
+                        HeadThreshold::DEFAULT,
+                    );
+                    rows.push(ImbalanceRow::from_result("ZF", Some(z), keys as u64, &r));
+                }
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: imbalance over time on the real-world datasets
+// ---------------------------------------------------------------------------
+
+/// One series of Figure 12: imbalance samples over time for one scheme on
+/// one dataset at one scale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeriesRow {
+    /// Dataset symbol.
+    pub dataset: String,
+    /// Scheme symbol.
+    pub scheme: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// (messages processed, imbalance) samples.
+    pub series: Vec<(u64, f64)>,
+}
+
+/// Figure 12: imbalance over time for PKG, D-C and W-C on the real-world
+/// datasets.
+pub fn imbalance_over_time(
+    datasets: &[SyntheticDataset],
+    worker_counts: &[usize],
+    checkpoints: usize,
+) -> Vec<TimeSeriesRow> {
+    let schemes =
+        [PartitionerKind::Pkg, PartitionerKind::DChoices, PartitionerKind::WChoices];
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let messages = ds.stats().messages;
+        let interval = (messages / checkpoints as u64).max(1);
+        for &workers in worker_counts {
+            for &kind in &schemes {
+                let partition = PartitionConfig::new(workers).with_seed(ds.seed());
+                let config = SimulationConfig::new(kind, workers)
+                    .with_partition(partition)
+                    .with_checkpoint_interval(interval);
+                let mut stream = ds.stream();
+                let r = Simulator::run(config, stream.as_mut());
+                rows.push(TimeSeriesRow {
+                    dataset: ds.stats().kind.symbol().to_string(),
+                    scheme: r.scheme.clone(),
+                    workers,
+                    series: r.time_series.iter().map(|p| (p.messages, p.imbalance)).collect(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE_MESSAGES: u64 = 100_000;
+
+    #[test]
+    fn figure3_head_cardinality_shapes() {
+        let rows = head_cardinality_vs_skew(&[50, 100], 10_000, &[0.4, 1.2, 2.0]);
+        assert_eq!(rows.len(), 2 * 2 * 3);
+        // The 1/(5n) threshold always yields at least as many head keys as 2/n.
+        for chunk in rows.chunks(2) {
+            let (low, high) = (&chunk[0], &chunk[1]);
+            assert_eq!(low.threshold, "1/(5n)");
+            assert_eq!(high.threshold, "2/n");
+            assert!(low.cardinality >= high.cardinality);
+        }
+        // At very high skew only a handful of keys are in the head.
+        let extreme: Vec<_> = rows.iter().filter(|r| r.skew >= 1.9).collect();
+        assert!(extreme.iter().all(|r| r.cardinality <= 70));
+    }
+
+    #[test]
+    fn figure4_fraction_shrinks_with_scale() {
+        let rows = d_fraction_vs_skew(&[10, 100], 10_000, &[1.6], 1e-4);
+        let f10 = rows.iter().find(|r| r.workers == 10).unwrap().fraction;
+        let f100 = rows.iter().find(|r| r.workers == 100).unwrap().fraction;
+        assert!(
+            f100 <= f10 + 1e-9,
+            "d/n at n=100 ({f100}) should not exceed d/n at n=10 ({f10})"
+        );
+        for r in &rows {
+            assert!(r.fraction > 0.0 && r.fraction <= 1.0);
+            assert_eq!(r.d as f64 / r.workers as f64, r.fraction);
+        }
+    }
+
+    #[test]
+    fn figure5_6_memory_overheads_have_expected_signs() {
+        let rows = memory_overhead_vs_skew(&[50], 10_000, 10_000_000, &[0.8, 1.6], 1e-4);
+        for r in &rows {
+            assert!(r.vs_pkg_pct >= -1e-9, "{r:?}");
+            assert!(r.vs_sg_pct <= 1e-9, "{r:?}");
+        }
+        // D-C never uses more memory than W-C at the same setting.
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].scheme, "D-C");
+            assert_eq!(pair[1].scheme, "W-C");
+            assert!(pair[0].vs_pkg_pct <= pair[1].vs_pkg_pct + 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure8_shares_sum_to_hundred_percent() {
+        let rows = head_tail_load(5, 1_000, SMOKE_MESSAGES, 2.0, 7);
+        for scheme in ["PKG", "W-C", "RR"] {
+            let total: f64 = rows
+                .iter()
+                .filter(|r| r.scheme == scheme)
+                .map(|r| r.head_pct + r.tail_pct)
+                .sum();
+            assert!((total - 100.0).abs() < 1e-6, "{scheme}: {total}");
+        }
+        // Under z = 2.0 the head dominates the load.
+        let head_total: f64 =
+            rows.iter().filter(|r| r.scheme == "W-C").map(|r| r.head_pct).sum();
+        assert!(head_total > 50.0);
+    }
+
+    #[test]
+    fn figure1_wp_pkg_worse_than_wchoices_at_scale() {
+        let wp = SyntheticDataset::wikipedia_like(Scale::Smoke, 3);
+        let rows = imbalance_vs_workers(
+            &[wp],
+            &[PartitionerKind::Pkg, PartitionerKind::WChoices],
+            &[50],
+        );
+        let pkg = rows.iter().find(|r| r.scheme == "PKG").unwrap();
+        let wc = rows.iter().find(|r| r.scheme == "W-C").unwrap();
+        assert!(
+            wc.imbalance < pkg.imbalance,
+            "W-C ({}) must beat PKG ({}) on WP at 50 workers",
+            wc.imbalance,
+            pkg.imbalance
+        );
+    }
+
+    #[test]
+    fn figure10_grid_produces_all_combinations() {
+        let rows = zipf_grid(&[5], &[1_000], 50_000, &[0.5, 2.0], 1);
+        assert_eq!(rows.len(), 1 * 1 * 2 * 4);
+        for r in &rows {
+            assert_eq!(r.dataset, "ZF");
+            assert!(r.imbalance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn figure12_series_are_produced_for_each_dataset_and_scheme() {
+        let ct = SyntheticDataset::cashtag_like(Scale::Smoke, 5);
+        let rows = imbalance_over_time(&[ct], &[5], 8);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.dataset, "CT");
+            assert!(r.series.len() >= 7, "expected ~8 checkpoints, got {}", r.series.len());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Stream-replay simulator for the SLB library.
+//!
+//! The paper's load-imbalance results (Figures 1 and 3–12) come from a
+//! simulator that replays a workload through the simplest possible dataflow:
+//! a set of sources receives the input stream via shuffle grouping and
+//! forwards every message to one of `n` workers according to the grouping
+//! scheme under study. Each source makes its routing decisions using only
+//! its local state (its own load vector and heavy-hitter summary), exactly
+//! as a real deployment would; the simulator additionally observes the true
+//! global per-worker load to compute the imbalance metric.
+//!
+//! * [`simulation`] — the replay engine and its configuration.
+//! * [`metrics`] — result types: final imbalance, imbalance time series,
+//!   per-worker head/tail load split, replica (memory) counts.
+//! * [`experiments`] — parameterized drivers that regenerate each figure of
+//!   the paper's evaluation; the `slb-bench` binaries print their output.
+
+pub mod experiments;
+pub mod metrics;
+pub mod simulation;
+
+pub use metrics::{HeadTailLoad, SimulationResult, TimeSeriesPoint};
+pub use simulation::{SimulationConfig, Simulator};

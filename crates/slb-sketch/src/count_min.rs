@@ -1,0 +1,230 @@
+//! Count-Min sketch: a linear sketch of key frequencies.
+//!
+//! The sketch maintains `depth` rows of `width` counters. Each observation
+//! increments one counter per row (chosen by a per-row hash); the estimate
+//! for a key is the minimum of its counters, which overestimates the true
+//! count by at most `ε·m` with probability `1 − δ`, where `ε = e / width`
+//! and `δ = e^{-depth}`.
+//!
+//! The partitioners use SpaceSaving for head detection (as in the paper), but
+//! Count-Min is valuable as an independent estimator in tests, for workloads
+//! whose key space is too large to monitor individually, and for the memory
+//! accounting experiments where a fixed-size summary is preferable.
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use slb_hash::KeyHash;
+
+use crate::FrequencyEstimator;
+
+/// Count-Min sketch over keys that can be hashed via [`KeyHash`].
+#[derive(Debug, Clone)]
+pub struct CountMinSketch<K> {
+    width: usize,
+    depth: usize,
+    total: u64,
+    rows: Vec<u64>,
+    seeds: Vec<u64>,
+    _marker: PhantomData<K>,
+}
+
+impl<K: KeyHash + Eq + Hash + Clone> CountMinSketch<K> {
+    /// Creates a sketch with the given `width` (counters per row) and `depth`
+    /// (number of rows).
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(depth > 0, "depth must be positive");
+        let mut sm = slb_hash::SplitMix64::new(seed);
+        let seeds = (0..depth).map(|_| sm.next_u64()).collect();
+        Self { width, depth, total: 0, rows: vec![0; width * depth], seeds, _marker: PhantomData }
+    }
+
+    /// Creates a sketch guaranteeing error at most `epsilon · m` with
+    /// probability at least `1 − delta`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+    pub fn with_error(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil() as usize;
+        Self::new(width.max(1), depth.max(1), seed)
+    }
+
+    /// Counters per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The additive error guarantee `ε·m` for the current stream length.
+    pub fn error_bound(&self) -> f64 {
+        std::f64::consts::E / self.width as f64 * self.total as f64
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, key: &K) -> usize {
+        let h = key.key_hash(self.seeds[row]);
+        row * self.width + slb_hash::bucket_of(h, self.width)
+    }
+}
+
+impl<K: KeyHash + Eq + Hash + Clone> FrequencyEstimator<K> for CountMinSketch<K> {
+    fn observe(&mut self, key: &K) {
+        self.total += 1;
+        for row in 0..self.depth {
+            let cell = self.cell(row, key);
+            self.rows[cell] += 1;
+        }
+    }
+
+    fn observe_many(&mut self, key: &K, count: u64) {
+        self.total += count;
+        for row in 0..self.depth {
+            let cell = self.cell(row, key);
+            self.rows[cell] += count;
+        }
+    }
+
+    fn estimate(&self, key: &K) -> u64 {
+        (0..self.depth).map(|row| self.rows[self.cell(row, key)]).min().unwrap_or(0)
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count-Min cannot enumerate keys by itself; callers must supply the
+    /// candidate set. This implementation therefore returns an empty vector;
+    /// use [`CountMinSketch::heavy_hitters_among`] instead.
+    fn heavy_hitters(&self, _threshold: f64) -> Vec<(K, u64)> {
+        Vec::new()
+    }
+}
+
+impl<K: KeyHash + Eq + Hash + Clone> CountMinSketch<K> {
+    /// Returns the keys among `candidates` whose estimated relative frequency
+    /// is at least `threshold`, sorted by decreasing estimate.
+    pub fn heavy_hitters_among<'a, I>(&self, candidates: I, threshold: f64) -> Vec<(K, u64)>
+    where
+        I: IntoIterator<Item = &'a K>,
+        K: 'a,
+    {
+        let cut = (threshold * self.total as f64).ceil() as u64;
+        let mut hh: Vec<(K, u64)> = candidates
+            .into_iter()
+            .map(|k| (k.clone(), self.estimate(k)))
+            .filter(|(_, c)| *c >= cut.max(1))
+            .collect();
+        hh.sort_by(|a, b| b.1.cmp(&a.1));
+        hh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms: CountMinSketch<u64> = CountMinSketch::new(64, 4, 1);
+        let mut truth = std::collections::HashMap::new();
+        let mut state = 7u64;
+        for _ in 0..50_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let k = state % 300;
+            cms.observe(&k);
+            *truth.entry(k).or_insert(0u64) += 1;
+        }
+        for (k, &t) in &truth {
+            assert!(cms.estimate(k) >= t, "underestimate for {k}");
+        }
+    }
+
+    #[test]
+    fn overestimate_stays_within_bound_mostly() {
+        let mut cms: CountMinSketch<u64> = CountMinSketch::with_error(0.01, 0.01, 3);
+        let mut truth = std::collections::HashMap::new();
+        let mut state = 13u64;
+        let m = 20_000u64;
+        for _ in 0..m {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let k = state % 2_000;
+            cms.observe(&k);
+            *truth.entry(k).or_insert(0u64) += 1;
+        }
+        let bound = cms.error_bound();
+        let violations = truth
+            .iter()
+            .filter(|(k, &t)| (cms.estimate(k) - t) as f64 > bound)
+            .count();
+        // delta = 1% per key; allow a small number of violations.
+        assert!(violations <= truth.len() / 20, "{violations} of {} above bound", truth.len());
+    }
+
+    #[test]
+    fn observe_many_equals_repeated_observe() {
+        let mut a: CountMinSketch<u64> = CountMinSketch::new(32, 3, 9);
+        let mut b: CountMinSketch<u64> = CountMinSketch::new(32, 3, 9);
+        a.observe_many(&42, 17);
+        for _ in 0..17 {
+            b.observe(&42);
+        }
+        assert_eq!(a.estimate(&42), b.estimate(&42));
+        assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn with_error_dimensions() {
+        let cms: CountMinSketch<u64> = CountMinSketch::with_error(0.001, 0.01, 0);
+        assert!(cms.width() >= 2718);
+        assert!(cms.depth() >= 5);
+    }
+
+    #[test]
+    fn heavy_hitters_among_candidates() {
+        let mut cms: CountMinSketch<String> = CountMinSketch::new(128, 4, 5);
+        for _ in 0..90 {
+            cms.observe(&"hot".to_string());
+        }
+        for i in 0..10 {
+            cms.observe(&format!("cold{i}"));
+        }
+        let candidates: Vec<String> =
+            std::iter::once("hot".to_string()).chain((0..10).map(|i| format!("cold{i}"))).collect();
+        let hh = cms.heavy_hitters_among(candidates.iter(), 0.5);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, "hot");
+    }
+
+    #[test]
+    fn unseen_key_estimate_is_low() {
+        let mut cms: CountMinSketch<u64> = CountMinSketch::new(1024, 5, 11);
+        for k in 0..100u64 {
+            cms.observe(&k);
+        }
+        // A key never observed should have a very small (likely zero) estimate.
+        assert!(cms.estimate(&999_999) <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _: CountMinSketch<u64> = CountMinSketch::new(0, 2, 0);
+    }
+}

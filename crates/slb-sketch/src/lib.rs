@@ -1,0 +1,95 @@
+//! Heavy-hitter substrate for the SLB (Scalable Load Balancing) library.
+//!
+//! The D-Choices and W-Choices partitioners of Nasir et al. (ICDE 2016) need
+//! to know, *online and per source*, which keys currently belong to the head
+//! of the frequency distribution. The paper uses the SpaceSaving algorithm
+//! (Metwally et al., ICDT 2005) and its mergeable distributed generalization
+//! (Berinde et al., TODS 2010). This crate provides:
+//!
+//! * [`SpaceSaving`] — the counter-based heavy-hitter algorithm with the
+//!   classic Stream-Summary data structure (O(1) amortized per update).
+//! * [`MisraGries`] — the deterministic frequent-elements algorithm, used as
+//!   an alternative tracker and as a cross-check in tests.
+//! * [`CountMinSketch`] — a linear sketch giving per-key frequency upper
+//!   bounds; used for validation and for workloads with enormous key spaces.
+//! * [`ExactCounter`] — exact frequencies (hash map), the ground truth for
+//!   experiments and tests.
+//! * [`merge`] — merging of per-source summaries into a global view, needed
+//!   when several sources each track the head of their own sub-stream.
+//!
+//! All trackers implement [`FrequencyEstimator`], so the partitioners in
+//! `slb-core` are generic over the tracking strategy.
+
+pub mod count_min;
+pub mod exact;
+pub mod merge;
+pub mod misra_gries;
+pub mod space_saving;
+
+pub use count_min::CountMinSketch;
+pub use exact::ExactCounter;
+pub use misra_gries::MisraGries;
+pub use space_saving::{Counter, SpaceSaving};
+
+use std::hash::Hash;
+
+/// A streaming frequency estimator over keys of type `K`.
+///
+/// Implementations observe a stream of keys one at a time and can report
+/// estimated frequencies and the current heavy hitters. The estimates come
+/// with algorithm-specific guarantees documented on each implementation.
+pub trait FrequencyEstimator<K: Eq + Hash + Clone> {
+    /// Observes one occurrence of `key`.
+    fn observe(&mut self, key: &K);
+
+    /// Observes `count` occurrences of `key` at once.
+    fn observe_many(&mut self, key: &K, count: u64) {
+        for _ in 0..count {
+            self.observe(key);
+        }
+    }
+
+    /// Estimated number of occurrences of `key` seen so far.
+    ///
+    /// For SpaceSaving / Count-Min this is an upper bound on the true count;
+    /// for Misra-Gries it is a lower bound.
+    fn estimate(&self, key: &K) -> u64;
+
+    /// Total number of observations processed.
+    fn total(&self) -> u64;
+
+    /// Keys whose estimated relative frequency is at least `threshold`
+    /// (a fraction in `[0, 1]`), together with their estimated counts,
+    /// sorted by decreasing estimated count.
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, u64)>;
+
+    /// Estimated relative frequency of `key` (`estimate / total`), or 0 if
+    /// nothing has been observed yet.
+    fn frequency(&self, key: &K) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.estimate(key) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn observe_many_default_impl_counts_correctly() {
+        let mut ss = SpaceSaving::new(8);
+        ss.observe_many(&"k", 5);
+        assert_eq!(ss.estimate(&"k"), 5);
+        assert_eq!(ss.total(), 5);
+    }
+
+    #[test]
+    fn frequency_is_zero_on_empty_estimator() {
+        let ss: SpaceSaving<&str> = SpaceSaving::new(4);
+        assert_eq!(ss.frequency(&"missing"), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Merging per-source summaries into a global heavy-hitter view.
+//!
+//! In the paper each source runs its own SpaceSaving instance over the
+//! sub-stream it forwards (Section III-A and [12]). When a global view is
+//! needed — e.g. to audit the sources' combined head, or in a deployment
+//! where a coordinator periodically reconciles summaries — the per-source
+//! summaries must be merged without losing the error guarantees.
+//!
+//! The merge implemented here follows the standard counter-summary merge
+//! (Berinde et al., ACM TODS 2010): for every key in the union of the two
+//! monitored sets, the merged estimate is the sum of the per-summary
+//! estimates, where a summary that does not monitor the key contributes its
+//! `min_count` as the (upper-bound) estimate and the same amount as error.
+//! The merged summary is then truncated back to the target capacity by
+//! keeping the counters with the largest estimates. The resulting error bound
+//! is the sum of the inputs' bounds, which preserves heavy-hitter
+//! completeness for thresholds above the combined bound.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::space_saving::{Counter, SpaceSaving};
+use crate::FrequencyEstimator;
+
+/// The result of merging several SpaceSaving summaries: a plain list of
+/// counters with the combined total, sorted by decreasing estimate.
+#[derive(Debug, Clone)]
+pub struct MergedSummary<K> {
+    /// Combined stream length across all merged summaries.
+    pub total: u64,
+    /// Merged counters, sorted by decreasing estimated count, truncated to
+    /// the requested capacity.
+    pub counters: Vec<Counter<K>>,
+}
+
+impl<K: Eq + Hash + Clone> MergedSummary<K> {
+    /// Estimated count for `key` (0 if not present in the merged set).
+    pub fn estimate(&self, key: &K) -> u64 {
+        self.counters.iter().find(|c| &c.key == key).map(|c| c.count).unwrap_or(0)
+    }
+
+    /// Keys whose estimated relative frequency is at least `threshold`.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(K, u64)> {
+        let cut = ((threshold * self.total as f64).ceil() as u64).max(1);
+        self.counters
+            .iter()
+            .filter(|c| c.count >= cut)
+            .map(|c| (c.key.clone(), c.count))
+            .collect()
+    }
+}
+
+/// Merges any number of SpaceSaving summaries into a single summary of at
+/// most `capacity` counters.
+///
+/// Returns an empty summary when `summaries` is empty.
+pub fn merge_space_saving<K: Eq + Hash + Clone>(
+    summaries: &[&SpaceSaving<K>],
+    capacity: usize,
+) -> MergedSummary<K> {
+    let total: u64 = summaries.iter().map(|s| s.total()).sum();
+    // Union of monitored keys with summed estimates and errors.
+    let mut merged: HashMap<K, (u64, u64)> = HashMap::new();
+    for s in summaries {
+        for c in s.counters() {
+            let e = merged.entry(c.key.clone()).or_insert((0, 0));
+            e.0 += c.count;
+            e.1 += c.error;
+        }
+    }
+    // Keys absent from a summary get that summary's min_count as estimate and
+    // error contribution.
+    for s in summaries {
+        let min = s.min_count();
+        if min == 0 {
+            continue;
+        }
+        for (key, e) in merged.iter_mut() {
+            if s.get(key).is_none() {
+                e.0 += min;
+                e.1 += min;
+            }
+        }
+    }
+    let mut counters: Vec<Counter<K>> = merged
+        .into_iter()
+        .map(|(key, (count, error))| Counter { key, count, error })
+        .collect();
+    counters.sort_by(|a, b| b.count.cmp(&a.count).then(a.error.cmp(&b.error)));
+    counters.truncate(capacity);
+    MergedSummary { total, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_from(stream: &[u64], capacity: usize) -> SpaceSaving<u64> {
+        let mut ss = SpaceSaving::new(capacity);
+        for k in stream {
+            ss.observe(k);
+        }
+        ss
+    }
+
+    #[test]
+    fn merge_of_disjoint_streams_sums_totals() {
+        let a = summary_from(&[1, 1, 1, 2], 8);
+        let b = summary_from(&[3, 3, 4], 8);
+        let m = merge_space_saving(&[&a, &b], 8);
+        assert_eq!(m.total, 7);
+        assert_eq!(m.estimate(&1), 3);
+        assert_eq!(m.estimate(&3), 2);
+        assert_eq!(m.estimate(&4), 1);
+    }
+
+    #[test]
+    fn merge_overlapping_streams_adds_counts() {
+        let a = summary_from(&[7, 7, 8], 8);
+        let b = summary_from(&[7, 8, 8, 8], 8);
+        let m = merge_space_saving(&[&a, &b], 8);
+        assert_eq!(m.estimate(&7), 3);
+        assert_eq!(m.estimate(&8), 4);
+    }
+
+    #[test]
+    fn merged_estimates_remain_upper_bounds() {
+        // Two skewed sub-streams over an overlapping key set, small capacity
+        // so evictions happen; merged estimates must still dominate the truth.
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut streams: Vec<Vec<u64>> = vec![Vec::new(), Vec::new()];
+        let mut state = 99u64;
+        for i in 0..40_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let k = if i % 2 == 0 { i % 6 } else { state % 400 };
+            *truth.entry(k).or_insert(0) += 1;
+            streams[(i % 2) as usize].push(k);
+        }
+        let cap = 40;
+        let a = summary_from(&streams[0], cap);
+        let b = summary_from(&streams[1], cap);
+        let m = merge_space_saving(&[&a, &b], cap);
+        for c in &m.counters {
+            let t = truth.get(&c.key).copied().unwrap_or(0);
+            assert!(c.count >= t, "merged estimate {} below truth {} for {}", c.count, t, c.key);
+        }
+        // Completeness: keys above the combined error bound survive the merge.
+        let combined_bound = streams[0].len() as u64 / cap as u64 + streams[1].len() as u64 / cap as u64;
+        for (k, &t) in &truth {
+            if t > combined_bound {
+                assert!(m.estimate(k) > 0, "hot key {k} lost in merge (count {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_respects_capacity_and_ordering() {
+        let a = summary_from(&(0..100u64).flat_map(|k| vec![k; (k % 10 + 1) as usize]).collect::<Vec<_>>(), 50);
+        let b = summary_from(&(50..150u64).collect::<Vec<_>>(), 50);
+        let m = merge_space_saving(&[&a, &b], 20);
+        assert!(m.counters.len() <= 20);
+        for w in m.counters.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let m: MergedSummary<u64> = merge_space_saving(&[], 10);
+        assert_eq!(m.total, 0);
+        assert!(m.counters.is_empty());
+        assert!(m.heavy_hitters(0.1).is_empty());
+    }
+
+    #[test]
+    fn merged_heavy_hitters_thresholded_on_combined_total() {
+        let a = summary_from(&vec![1u64; 90], 4);
+        let b = summary_from(&vec![2u64; 10], 4);
+        let m = merge_space_saving(&[&a, &b], 4);
+        let hh = m.heavy_hitters(0.5);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, 1);
+    }
+}

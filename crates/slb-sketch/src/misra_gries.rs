@@ -1,0 +1,197 @@
+//! The Misra-Gries frequent-elements summary.
+//!
+//! Misra-Gries keeps at most `capacity` counters. An arriving monitored key
+//! increments its counter; an arriving unmonitored key either takes a free
+//! slot or, when the summary is full, decrements *every* counter (removing
+//! those that hit zero). The estimate it reports is a **lower bound** on the
+//! true count, undercounting by at most `m / (capacity + 1)`.
+//!
+//! In this library Misra-Gries serves as an alternative head tracker and as
+//! an independent cross-check on the SpaceSaving implementation: every key
+//! whose true relative frequency exceeds `1 / (capacity + 1)` must survive in
+//! both summaries.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::FrequencyEstimator;
+
+/// Misra-Gries summary over keys of type `K`.
+#[derive(Debug, Clone)]
+pub struct MisraGries<K: Eq + Hash + Clone> {
+    capacity: usize,
+    total: u64,
+    counters: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash + Clone> MisraGries<K> {
+    /// Creates a summary with at most `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MisraGries capacity must be positive");
+        Self { capacity, total: 0, counters: HashMap::with_capacity(capacity + 1) }
+    }
+
+    /// Maximum number of counters.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of keys currently monitored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True if nothing is monitored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Iterates over `(key, lower-bound count)` pairs in unspecified order.
+    pub fn counters(&self) -> impl Iterator<Item = (&K, u64)> + '_ {
+        self.counters.iter().map(|(k, &c)| (k, c))
+    }
+
+    /// Maximum undercount of any reported estimate, `m / (capacity + 1)`.
+    pub fn error_bound(&self) -> u64 {
+        self.total / (self.capacity as u64 + 1)
+    }
+}
+
+impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for MisraGries<K> {
+    fn observe(&mut self, key: &K) {
+        self.total += 1;
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key.clone(), 1);
+            return;
+        }
+        // Decrement all counters; drop the ones reaching zero.
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    fn estimate(&self, key: &K) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn heavy_hitters(&self, threshold: f64) -> Vec<(K, u64)> {
+        let cut = (threshold * self.total as f64).ceil() as u64;
+        let mut hh: Vec<(K, u64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| c >= cut.max(1))
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        hh.sort_by(|a, b| b.1.cmp(&a.1));
+        hh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::new(8);
+        for k in [1u64, 1, 2, 3, 1] {
+            mg.observe(&k);
+        }
+        assert_eq!(mg.estimate(&1), 3);
+        assert_eq!(mg.estimate(&2), 1);
+        assert_eq!(mg.estimate(&9), 0);
+        assert_eq!(mg.total(), 5);
+    }
+
+    #[test]
+    fn estimate_is_lower_bound_with_bounded_undercount() {
+        let mut stream = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for i in 0..30_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let k = if i % 4 == 0 { i % 7 } else { state % 1000 };
+            stream.push(k);
+        }
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &k in &stream {
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        let capacity = 60;
+        let mut mg = MisraGries::new(capacity);
+        for k in &stream {
+            mg.observe(k);
+        }
+        let bound = stream.len() as u64 / (capacity as u64 + 1);
+        assert_eq!(mg.error_bound(), bound);
+        for (k, est) in mg.counters() {
+            let t = truth[k];
+            assert!(est <= t, "estimate {est} above true {t}");
+            assert!(t - est <= bound, "undercount above bound for key {k}");
+        }
+        // Completeness: any key with true count above the bound survives.
+        for (k, &t) in &truth {
+            if t > bound {
+                assert!(mg.estimate(k) > 0, "frequent key {k} lost (count {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_element_survives_capacity_one() {
+        let mut mg = MisraGries::new(1);
+        let stream = [5u64, 1, 5, 2, 5, 3, 5, 5];
+        for k in &stream {
+            mg.observe(k);
+        }
+        assert!(mg.estimate(&5) >= 1, "majority element must be monitored");
+    }
+
+    #[test]
+    fn decrement_removes_zeroed_counters() {
+        let mut mg = MisraGries::new(2);
+        mg.observe(&"a");
+        mg.observe(&"b");
+        // "c" arrives into a full summary: a and b both drop to 0 and vanish.
+        mg.observe(&"c");
+        assert_eq!(mg.len(), 0);
+        assert_eq!(mg.estimate(&"a"), 0);
+        assert_eq!(mg.total(), 3);
+    }
+
+    #[test]
+    fn heavy_hitters_respects_threshold() {
+        let mut mg: MisraGries<String> = MisraGries::new(10);
+        for _ in 0..70 {
+            mg.observe(&"dominant".to_string());
+        }
+        for i in 0..30 {
+            mg.observe(&format!("rare{}", i % 15));
+        }
+        let hh = mg.heavy_hitters(0.5);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, "dominant");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: MisraGries<u64> = MisraGries::new(0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Walker/Vose alias tables for O(1) sampling from discrete distributions.
+//!
+//! The Zipf workloads need to draw 10^7 or more samples from distributions
+//! with up to 10^6 support points (Figure 10 uses |K| up to one million), so
+//! inverse-CDF sampling with a binary search (O(log K) per draw) is replaced
+//! by the alias method: O(K) preprocessing, O(1) per draw, exact
+//! probabilities.
+
+use rand::Rng;
+
+/// A prepared alias table over `n` outcomes with the given probabilities.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of keeping the column's own outcome, scaled to [0, 1].
+    prob: Vec<f64>,
+    /// Alternative outcome for each column.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from (not necessarily normalized) non-negative
+    /// weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        let sum: f64 = weights.iter().sum();
+        assert!(sum.is_finite() && sum > 0.0, "weights must sum to a positive finite value");
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w >= 0.0 && w.is_finite(), "weight {i} is negative or non-finite: {w}");
+        }
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        // Scaled probabilities: mean 1.0.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / sum).collect();
+
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: everything still queued gets probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no outcomes (never the case after construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index using the provided random number generator.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let column = rng.gen_range(0..n);
+        let coin: f64 = rng.gen();
+        if coin < self.prob[column] {
+            column
+        } else {
+            self.alias[column]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 8]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        let samples = 80_000;
+        for _ in 0..samples {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let expected = samples as f64 / 8.0;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() / expected < 0.05);
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_expected_frequencies() {
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = 200_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..samples {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / samples as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "outcome {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let table = AliasTable::new(&[3.5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-probability outcome {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+}

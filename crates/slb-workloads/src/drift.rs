@@ -1,0 +1,146 @@
+//! Concept drift: streams whose hot keys change identity over time.
+//!
+//! The paper's cashtag dataset (CT) "is characterized by high concept drift,
+//! that is, the distribution of keys changes drastically throughout time",
+//! which stresses the heavy-hitter tracker: a key that was hot an hour ago
+//! may be cold now and vice versa. [`DriftingGenerator`] wraps any base
+//! [`KeyStream`] and re-draws the key-identity mapping every `epoch`
+//! messages, so that the *shape* of the distribution is preserved while the
+//! *identity* of the hot keys changes abruptly at epoch boundaries — the
+//! same qualitative behaviour as a rotating set of trending ticker symbols.
+
+use crate::message::KeyId;
+use crate::KeyStream;
+
+/// Wraps a base stream and periodically re-maps key identities.
+#[derive(Debug)]
+pub struct DriftingGenerator<S> {
+    inner: S,
+    epoch: u64,
+    produced: u64,
+    drift_seed: u64,
+    current_epoch: u64,
+}
+
+impl<S: KeyStream> DriftingGenerator<S> {
+    /// Creates a drifting stream that re-maps identities every `epoch`
+    /// messages.
+    ///
+    /// # Panics
+    /// Panics if `epoch == 0`.
+    pub fn new(inner: S, epoch: u64, drift_seed: u64) -> Self {
+        assert!(epoch > 0, "drift epoch must be positive");
+        Self { inner, epoch, produced: 0, drift_seed, current_epoch: 0 }
+    }
+
+    /// The epoch length in messages.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Index of the epoch the next message will belong to.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// Applies the epoch-specific bijective remapping to a key identifier.
+    #[inline]
+    fn remap(&self, key: KeyId) -> KeyId {
+        // Epoch 0 keeps the original identities so that a drifting stream
+        // with one epoch degenerates to the base stream.
+        if self.current_epoch == 0 {
+            key
+        } else {
+            slb_hash::splitmix::splitmix64(
+                key ^ self.drift_seed.wrapping_mul(self.current_epoch.wrapping_add(1)),
+            )
+        }
+    }
+}
+
+impl<S: KeyStream> KeyStream for DriftingGenerator<S> {
+    fn next_key(&mut self) -> Option<KeyId> {
+        let key = self.inner.next_key()?;
+        self.current_epoch = self.produced / self.epoch;
+        let mapped = self.remap(key);
+        self.produced += 1;
+        Some(mapped)
+    }
+
+    fn len_hint(&self) -> u64 {
+        self.inner.len_hint()
+    }
+
+    fn key_space(&self) -> u64 {
+        self.inner.key_space()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::ZipfGenerator;
+
+    fn hottest_key(stream: &mut dyn KeyStream, take: u64) -> KeyId {
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..take {
+            if let Some(k) = stream.next_key() {
+                *counts.entry(k).or_insert(0u64) += 1;
+            }
+        }
+        counts.into_iter().max_by_key(|&(_, c)| c).map(|(k, _)| k).expect("non-empty stream")
+    }
+
+    #[test]
+    fn identity_preserved_within_first_epoch() {
+        let base = ZipfGenerator::with_limit(100, 1.5, 7, 1_000);
+        let plain = ZipfGenerator::with_limit(100, 1.5, 7, 1_000);
+        let mut drifting = DriftingGenerator::new(base, 10_000, 3);
+        let mut plain = plain;
+        for _ in 0..1_000 {
+            assert_eq!(KeyStream::next_key(&mut drifting), KeyStream::next_key(&mut plain));
+        }
+    }
+
+    #[test]
+    fn hot_key_changes_identity_across_epochs() {
+        let base = ZipfGenerator::with_limit(1_000, 2.0, 11, 60_000);
+        let mut drifting = DriftingGenerator::new(base, 20_000, 5);
+        let hot_epoch0 = hottest_key(&mut drifting, 20_000);
+        let hot_epoch1 = hottest_key(&mut drifting, 20_000);
+        let hot_epoch2 = hottest_key(&mut drifting, 20_000);
+        assert_ne!(hot_epoch0, hot_epoch1, "drift must change the hot key identity");
+        assert_ne!(hot_epoch1, hot_epoch2);
+    }
+
+    #[test]
+    fn drift_preserves_stream_length_and_key_space() {
+        let base = ZipfGenerator::with_limit(50, 1.0, 2, 500);
+        let mut drifting = DriftingGenerator::new(base, 100, 9);
+        assert_eq!(drifting.len_hint(), 500);
+        assert_eq!(drifting.key_space(), 50);
+        let mut n = 0;
+        while KeyStream::next_key(&mut drifting).is_none() == false {
+            n += 1;
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn epoch_counter_advances() {
+        let base = ZipfGenerator::with_limit(10, 1.0, 1, 25);
+        let mut drifting = DriftingGenerator::new(base, 10, 4);
+        assert_eq!(drifting.current_epoch(), 0);
+        for _ in 0..25 {
+            KeyStream::next_key(&mut drifting);
+        }
+        assert_eq!(drifting.current_epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must be positive")]
+    fn zero_epoch_panics() {
+        let base = ZipfGenerator::with_limit(10, 1.0, 1, 10);
+        let _ = DriftingGenerator::new(base, 0, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Trace serialization: save a generated workload and replay it later.
+//!
+//! The simulator normally consumes generators directly, but for
+//! reproducibility audits (and to mirror the paper's workflow of replaying a
+//! fixed trace file under every algorithm) a generated stream can be dumped
+//! to a compact binary file and replayed. The format is:
+//!
+//! ```text
+//! magic "SLBT1\n"
+//! header line: "<messages> <keys>\n"
+//! payload: little-endian u64 per message (the key identifier)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::message::KeyId;
+use crate::KeyStream;
+
+const MAGIC: &[u8] = b"SLBT1\n";
+
+/// Writes the full contents of `stream` to `path`.
+///
+/// Returns the number of messages written.
+pub fn write_trace<S: KeyStream + ?Sized>(stream: &mut S, path: &Path) -> io::Result<u64> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    writeln!(w, "{} {}", stream.len_hint(), stream.key_space())?;
+    let mut written = 0u64;
+    while let Some(key) = stream.next_key() {
+        w.write_all(&key.to_le_bytes())?;
+        written += 1;
+    }
+    w.flush()?;
+    Ok(written)
+}
+
+/// A trace file loaded into memory, replayable as a [`KeyStream`].
+#[derive(Debug, Clone)]
+pub struct TraceReader {
+    keys: Vec<KeyId>,
+    key_space: u64,
+    cursor: usize,
+}
+
+impl TraceReader {
+    /// Loads a trace previously written by [`write_trace`].
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 6];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an SLB trace file"));
+        }
+        let mut header = Vec::new();
+        // Read the header line byte by byte (it is short).
+        loop {
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b)?;
+            if b[0] == b'\n' {
+                break;
+            }
+            header.push(b[0]);
+        }
+        let header = String::from_utf8(header)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad trace header"))?;
+        let mut parts = header.split_whitespace();
+        let declared: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad message count"))?;
+        let key_space: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad key space"))?;
+        let mut payload = Vec::new();
+        r.read_to_end(&mut payload)?;
+        if payload.len() % 8 != 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated trace payload"));
+        }
+        let keys: Vec<KeyId> = payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8 bytes")))
+            .collect();
+        if declared != keys.len() as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace declares {declared} messages but contains {}", keys.len()),
+            ));
+        }
+        Ok(Self { keys, key_space, cursor: 0 })
+    }
+
+    /// Builds a replayable trace directly from an in-memory key sequence.
+    pub fn from_keys(keys: Vec<KeyId>, key_space: u64) -> Self {
+        Self { keys, key_space, cursor: 0 }
+    }
+
+    /// Restarts the replay from the beginning.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// The raw key sequence.
+    pub fn keys(&self) -> &[KeyId] {
+        &self.keys
+    }
+}
+
+impl KeyStream for TraceReader {
+    fn next_key(&mut self) -> Option<KeyId> {
+        let k = self.keys.get(self.cursor).copied();
+        if k.is_some() {
+            self.cursor += 1;
+        }
+        k
+    }
+
+    fn len_hint(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    fn key_space(&self) -> u64 {
+        self.key_space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::ZipfGenerator;
+
+    #[test]
+    fn round_trip_preserves_keys() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("slb_trace_test_{}.bin", std::process::id()));
+        let mut gen = ZipfGenerator::with_limit(500, 1.3, 21, 5_000);
+        // Capture the expected sequence with an identical generator.
+        let mut expect_gen = ZipfGenerator::with_limit(500, 1.3, 21, 5_000);
+        let mut expected = Vec::new();
+        while let Some(k) = KeyStream::next_key(&mut expect_gen) {
+            expected.push(k);
+        }
+        let written = write_trace(&mut gen, &path).expect("write trace");
+        assert_eq!(written, 5_000);
+        let mut reader = TraceReader::open(&path).expect("open trace");
+        assert_eq!(reader.len_hint(), 5_000);
+        assert_eq!(reader.key_space(), 500);
+        let mut replayed = Vec::new();
+        while let Some(k) = reader.next_key() {
+            replayed.push(k);
+        }
+        assert_eq!(replayed, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewind_replays_identically() {
+        let mut tr = TraceReader::from_keys(vec![5, 6, 7], 10);
+        let first: Vec<_> = std::iter::from_fn(|| tr.next_key()).collect();
+        tr.rewind();
+        let second: Vec<_> = std::iter::from_fn(|| tr.next_key()).collect();
+        assert_eq!(first, second);
+        assert_eq!(first, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("slb_trace_garbage_{}.bin", std::process::id()));
+        std::fs::write(&path, b"definitely not a trace").expect("write garbage");
+        assert!(TraceReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_keys_reports_key_space() {
+        let tr = TraceReader::from_keys(vec![1, 2, 3, 1], 3);
+        assert_eq!(tr.key_space(), 3);
+        assert_eq!(tr.keys(), &[1, 2, 3, 1]);
+    }
+}

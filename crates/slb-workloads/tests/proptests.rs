@@ -1,0 +1,91 @@
+//! Property-based tests for the workload substrate.
+
+use proptest::prelude::*;
+use slb_workloads::zipf::{fit_exponent_to_p1, generalized_harmonic, ZipfDistribution, ZipfGenerator};
+use slb_workloads::KeyStream;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zipf probabilities always form a valid, descending distribution.
+    #[test]
+    fn zipf_is_a_valid_distribution(keys in 1usize..3_000, z_milli in 0u32..2_500) {
+        let z = f64::from(z_milli) / 1_000.0;
+        let d = ZipfDistribution::new(keys, z);
+        let sum: f64 = d.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        for w in d.probabilities().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-15);
+        }
+        prop_assert_eq!(d.keys(), keys);
+    }
+
+    /// The head cardinality is monotone non-increasing in the threshold and
+    /// consistent with head_mass.
+    #[test]
+    fn head_cardinality_monotone(keys in 10usize..2_000, z_milli in 0u32..2_000) {
+        let z = f64::from(z_milli) / 1_000.0;
+        let d = ZipfDistribution::new(keys, z);
+        let thresholds = [0.5, 0.1, 0.01, 0.001, 0.000_1];
+        let mut last = 0usize;
+        for &t in &thresholds {
+            let h = d.head_cardinality(t);
+            prop_assert!(h >= last, "cardinality must grow as threshold shrinks");
+            last = h;
+            if h > 0 {
+                prop_assert!(d.probability(h) >= t);
+            }
+            if h < keys {
+                prop_assert!(d.probability(h + 1) < t);
+            }
+        }
+    }
+
+    /// The harmonic approximation stays within 1e-5 relative error of the
+    /// exact sum for key spaces small enough to sum exactly.
+    #[test]
+    fn harmonic_approximation_accuracy(keys in 1usize..60_000, z_milli in 0u32..2_500) {
+        let z = f64::from(z_milli) / 1_000.0;
+        let exact: f64 = (1..=keys).map(|i| (i as f64).powf(-z)).sum();
+        let approx = generalized_harmonic(keys, z);
+        prop_assert!(((approx - exact) / exact).abs() < 1e-5);
+    }
+
+    /// Fitting an exponent to a reachable p1 target round-trips.
+    #[test]
+    fn fit_round_trips(keys in 10usize..5_000, z_milli in 100u32..2_200) {
+        let z = f64::from(z_milli) / 1_000.0;
+        let target = ZipfDistribution::new(keys, z).p1();
+        let fitted = fit_exponent_to_p1(keys, target).unwrap();
+        let achieved = ZipfDistribution::new(keys, fitted).p1();
+        prop_assert!((achieved - target).abs() / target < 1e-3);
+    }
+
+    /// Generators honour their message limit and only emit keys from the
+    /// declared key space.
+    #[test]
+    fn generator_limit_and_key_space(keys in 1usize..500, limit in 0u64..2_000, seed in any::<u64>()) {
+        let mut g = ZipfGenerator::with_limit(keys, 1.0, seed, limit);
+        let valid: std::collections::HashSet<u64> = (1..=keys as u64).map(|r| g.key_of(r)).collect();
+        let mut n = 0u64;
+        while let Some(k) = KeyStream::next_key(&mut g) {
+            prop_assert!(valid.contains(&k));
+            n += 1;
+        }
+        prop_assert_eq!(n, limit);
+    }
+
+    /// Two generators with the same seed produce identical streams.
+    #[test]
+    fn generator_determinism(keys in 1usize..300, seed in any::<u64>()) {
+        let mut a = ZipfGenerator::with_limit(keys, 1.4, seed, 500);
+        let mut b = ZipfGenerator::with_limit(keys, 1.4, seed, 500);
+        loop {
+            let (x, y) = (KeyStream::next_key(&mut a), KeyStream::next_key(&mut b));
+            prop_assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Trending topics: a stateful streaming aggregation with string keys and
+//! concept drift, the scenario that motivates head-aware routing.
+//!
+//! ```bash
+//! cargo run --release --example trending_topics
+//! ```
+//!
+//! A stream of hashtag mentions is partitioned over a pool of counters. The
+//! set of trending hashtags changes every "hour" (epoch), as it would on a
+//! real social feed — exactly the cashtag behaviour from the paper. The
+//! example shows how the head tracker follows the drift and how W-Choices
+//! keeps the counters balanced while key grouping overloads whichever
+//! counter owns the current hot tag.
+
+use std::collections::HashMap;
+
+use slb::core::{build_partitioner, imbalance, PartitionConfig, PartitionerKind};
+use slb::workloads::drift::DriftingGenerator;
+use slb::workloads::zipf::ZipfGenerator;
+use slb::workloads::KeyStream;
+
+/// Turns the numeric key identifiers of the synthetic stream into
+/// hashtag-looking strings, as an application would see them.
+fn tag_name(key: u64) -> String {
+    format!("#topic{:x}", key & 0xffff_ffff)
+}
+
+fn main() {
+    let workers = 20;
+    let epochs = 6u64;
+    let messages_per_epoch = 100_000u64;
+    let messages = epochs * messages_per_epoch;
+
+    // Hashtag popularity is heavily skewed (z = 1.6) and the mapping from
+    // rank to actual tag is re-drawn every epoch.
+    let base = ZipfGenerator::with_limit(5_000, 1.6, 7, messages);
+    let mut stream = DriftingGenerator::new(base, messages_per_epoch, 99);
+
+    let mut schemes: Vec<(PartitionerKind, _)> = [PartitionerKind::KeyGrouping, PartitionerKind::WChoices]
+        .into_iter()
+        .map(|kind| {
+            let cfg = PartitionConfig::new(workers).with_seed(3);
+            (kind, build_partitioner::<String>(kind, &cfg))
+        })
+        .collect();
+
+    // Per-scheme, per-worker counters: worker -> (tag -> count).
+    let mut states: Vec<Vec<HashMap<String, u64>>> =
+        vec![vec![HashMap::new(); workers]; schemes.len()];
+
+    let mut processed = 0u64;
+    while let Some(key) = stream.next_key() {
+        let tag = tag_name(key);
+        for (i, (_, partitioner)) in schemes.iter_mut().enumerate() {
+            let worker = partitioner.route(&tag);
+            *states[i][worker].entry(tag.clone()).or_insert(0) += 1;
+        }
+        processed += 1;
+        if processed % messages_per_epoch == 0 {
+            println!("-- after epoch {} ({processed} mentions) --", processed / messages_per_epoch);
+            for (i, (kind, partitioner)) in schemes.iter().enumerate() {
+                let loads = partitioner.local_loads();
+                let replicas: usize = {
+                    // How many (tag, worker) state entries exist in total.
+                    let mut distinct = 0usize;
+                    for worker_state in &states[i] {
+                        distinct += worker_state.len();
+                    }
+                    distinct
+                };
+                println!(
+                    "   {:<4} imbalance {:>10.6}   state replicas {:>8}",
+                    kind.symbol(),
+                    imbalance(loads.counts()),
+                    replicas
+                );
+            }
+        }
+    }
+
+    // Show the current top tags as reconstructed by merging partial states
+    // (the aggregation step a downstream consumer would run).
+    let (kind, _) = &schemes[1];
+    println!("\nTop tags according to the {} partitioned state:", kind.symbol());
+    let mut merged: HashMap<&str, u64> = HashMap::new();
+    for worker_state in &states[1] {
+        for (tag, count) in worker_state {
+            *merged.entry(tag.as_str()).or_insert(0) += count;
+        }
+    }
+    let mut top: Vec<_> = merged.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1));
+    for (tag, count) in top.into_iter().take(5) {
+        println!("   {tag:<16} {count}");
+    }
+}
