@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate for the SLB workspace. Run from the repo root.
+#
+# Mirrors what a fresh-checkout pipeline should enforce, in cheap-to-expensive
+# order. Everything is offline-friendly: the workspace has no registry
+# dependencies (see vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> release build"
+cargo build --release
+
+echo "==> workspace tests (all crates; superset of the tier-1 \`cargo test -q\`)"
+cargo test -q --workspace
+
+echo "==> rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> examples (quickstart and imbalance_study already ran via tests/examples_smoke.rs)"
+cargo run --quiet --release --example trending_topics > /dev/null
+cargo run --quiet --release --example storm_like_topology > /dev/null
+
+echo "==> experiment binaries (smoke scale)"
+for bin in crates/slb-bench/src/bin/expt_*.rs; do
+    name="$(basename "$bin" .rs)"
+    cargo run --quiet --release -p slb-bench --bin "$name" -- --scale smoke > /dev/null
+done
+
+echo "==> criterion benches (quick mode, compile + run)"
+SLB_BENCH_QUICK=1 cargo bench -p slb-bench --quiet > /dev/null
+
+echo "CI PASSED"

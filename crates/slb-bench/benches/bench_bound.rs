@@ -30,8 +30,12 @@ fn constraint_check(c: &mut Criterion) {
         let dist = ZipfDistribution::new(10_000, z);
         let n = 100usize;
         let theta = 1.0 / (5.0 * n as f64);
-        let head: Vec<f64> =
-            dist.probabilities().iter().copied().take_while(|&p| p >= theta).collect();
+        let head: Vec<f64> = dist
+            .probabilities()
+            .iter()
+            .copied()
+            .take_while(|&p| p >= theta)
+            .collect();
         let tail = 1.0 - head.iter().sum::<f64>();
         group.bench_with_input(BenchmarkId::new("z", format!("{z}")), &z, |b, _| {
             b.iter(|| {

@@ -23,13 +23,17 @@ fn engine_throughput(c: &mut Criterion) {
         PartitionerKind::WChoices,
         PartitionerKind::ShuffleGrouping,
     ] {
-        group.bench_with_input(BenchmarkId::new("scheme", kind.symbol()), &kind, |b, &kind| {
-            b.iter(|| {
-                let cfg = EngineConfig::smoke(kind, 2.0).with_messages(messages);
-                let result = Topology::new(cfg).run();
-                black_box(result.processed)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("scheme", kind.symbol()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let cfg = EngineConfig::smoke(kind, 2.0).with_messages(messages);
+                    let result = Topology::new(cfg).run();
+                    black_box(result.processed)
+                })
+            },
+        );
     }
     group.finish();
 }

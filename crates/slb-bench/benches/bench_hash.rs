@@ -6,7 +6,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use slb_hash::{murmur::murmur3_64, xxhash::xxhash64, HashFamily};
 
 fn digest_throughput(c: &mut Criterion) {
-    let keys: Vec<String> = (0..1_000).map(|i| format!("entity/{i}/page-{}", i * 31)).collect();
+    let keys: Vec<String> = (0..1_000)
+        .map(|i| format!("entity/{i}/page-{}", i * 31))
+        .collect();
     let total_bytes: u64 = keys.iter().map(|k| k.len() as u64).sum();
     let mut group = c.benchmark_group("digest");
     group.warm_up_time(std::time::Duration::from_secs(1));

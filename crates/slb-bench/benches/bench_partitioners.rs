@@ -51,15 +51,17 @@ fn solver_cost(c: &mut Criterion) {
     for &(n, z) in &[(50usize, 1.4f64), (100, 2.0)] {
         let dist = ZipfDistribution::new(10_000, z);
         let theta = 1.0 / (5.0 * n as f64);
-        let head: Vec<f64> =
-            dist.probabilities().iter().copied().take_while(|&p| p >= theta).collect();
+        let head: Vec<f64> = dist
+            .probabilities()
+            .iter()
+            .copied()
+            .take_while(|&p| p >= theta)
+            .collect();
         let tail = 1.0 - head.iter().sum::<f64>();
         group.bench_with_input(
             BenchmarkId::new("n_z", format!("n{n}_z{z}")),
             &(head, tail, n),
-            |b, (head, tail, n)| {
-                b.iter(|| find_optimal_choices(black_box(head), *tail, *n, 1e-4))
-            },
+            |b, (head, tail, n)| b.iter(|| find_optimal_choices(black_box(head), *tail, *n, 1e-4)),
         );
     }
     group.finish();

@@ -49,7 +49,13 @@ fn main() {
 
     println!("## SpaceSaving capacity (default 10·n = {})", 10 * workers);
     println!("{:>10} {:>14}", "capacity", "I(m)");
-    for capacity in [workers, 2 * workers, 5 * workers, 10 * workers, 50 * workers] {
+    for capacity in [
+        workers,
+        2 * workers,
+        5 * workers,
+        10 * workers,
+        50 * workers,
+    ] {
         let imb = run_dc(workers, keys, messages, z, options.seed, capacity, 1_000);
         println!("{:>10} {:>14}", capacity, sci(imb));
     }
@@ -58,7 +64,15 @@ fn main() {
     println!("## Solver re-run interval (default 1000 messages)");
     println!("{:>10} {:>14}", "interval", "I(m)");
     for interval in [10u64, 100, 1_000, 10_000, 100_000] {
-        let imb = run_dc(workers, keys, messages, z, options.seed, 10 * workers, interval);
+        let imb = run_dc(
+            workers,
+            keys,
+            messages,
+            z,
+            options.seed,
+            10 * workers,
+            interval,
+        );
         println!("{:>10} {:>14}", interval, sci(imb));
     }
 

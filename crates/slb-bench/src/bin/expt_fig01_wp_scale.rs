@@ -11,15 +11,25 @@ use slb_workloads::datasets::SyntheticDataset;
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 1", "Imbalance I(m) vs workers on WP for PKG, D-C, W-C", &options);
+    print_header(
+        "Figure 1",
+        "Imbalance I(m) vs workers on WP for PKG, D-C, W-C",
+        &options,
+    );
 
     let dataset = SyntheticDataset::wikipedia_like(options.scale.dataset_scale(), options.seed);
-    let schemes =
-        [PartitionerKind::Pkg, PartitionerKind::DChoices, PartitionerKind::WChoices];
+    let schemes = [
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+    ];
     let workers = [5usize, 10, 20, 50, 100];
     let rows = imbalance_vs_workers(&[dataset], &schemes, &workers);
 
-    println!("{:<8} {:>8} {:>14} {:>14}", "scheme", "workers", "I(m)", "mean I(t)");
+    println!(
+        "{:<8} {:>8} {:>14} {:>14}",
+        "scheme", "workers", "I(m)", "mean I(t)"
+    );
     for row in &rows {
         println!(
             "{:<8} {:>8} {:>14} {:>14}",
@@ -32,13 +42,23 @@ fn main() {
 
     // The headline comparison the paper draws from this figure.
     for &n in &[50usize, 100] {
-        let pkg = rows.iter().find(|r| r.scheme == "PKG" && r.workers == n).unwrap();
-        let wc = rows.iter().find(|r| r.scheme == "W-C" && r.workers == n).unwrap();
+        let pkg = rows
+            .iter()
+            .find(|r| r.scheme == "PKG" && r.workers == n)
+            .unwrap();
+        let wc = rows
+            .iter()
+            .find(|r| r.scheme == "W-C" && r.workers == n)
+            .unwrap();
         println!(
             "# at n={n}: PKG imbalance {} vs W-C {} ({}x reduction)",
             sci(pkg.imbalance),
             sci(wc.imbalance),
-            if wc.imbalance > 0.0 { (pkg.imbalance / wc.imbalance).round() } else { f64::INFINITY }
+            if wc.imbalance > 0.0 {
+                (pkg.imbalance / wc.imbalance).round()
+            } else {
+                f64::INFINITY
+            }
         );
     }
 }

@@ -9,12 +9,19 @@ use slb_simulator::experiments::head_cardinality_vs_skew;
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 3", "Cardinality of the head vs skew (|K|=10^4)", &options);
+    print_header(
+        "Figure 3",
+        "Cardinality of the head vs skew (|K|=10^4)",
+        &options,
+    );
 
     let skews = options.scale.skew_sweep();
     let rows = head_cardinality_vs_skew(&[50, 100], 10_000, &skews);
 
-    println!("{:<6} {:>8} {:>12} {:>12}", "skew", "workers", "threshold", "|H|");
+    println!(
+        "{:<6} {:>8} {:>12} {:>12}",
+        "skew", "workers", "threshold", "|H|"
+    );
     for row in &rows {
         println!(
             "{:<6.1} {:>8} {:>12} {:>12}",

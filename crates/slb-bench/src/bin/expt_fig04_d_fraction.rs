@@ -9,7 +9,11 @@ use slb_simulator::experiments::d_fraction_vs_skew;
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 4", "Fraction of workers d/n used by D-C vs skew", &options);
+    print_header(
+        "Figure 4",
+        "Fraction of workers d/n used by D-C vs skew",
+        &options,
+    );
 
     let skews = options.scale.skew_sweep();
     let worker_counts = [5usize, 10, 50, 100];
@@ -17,7 +21,10 @@ fn main() {
 
     println!("{:<6} {:>8} {:>6} {:>10}", "skew", "workers", "d", "d/n");
     for row in &rows {
-        println!("{:<6.1} {:>8} {:>6} {:>10.3}", row.skew, row.workers, row.d, row.fraction);
+        println!(
+            "{:<6.1} {:>8} {:>6} {:>10.3}",
+            row.skew, row.workers, row.d, row.fraction
+        );
     }
 
     // The paper's observation: at larger scales (n = 50, 100) the fraction

@@ -10,19 +10,25 @@ use slb_simulator::experiments::memory_overhead_vs_skew;
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 5", "Memory overhead w.r.t. PKG (%) vs skew", &options);
+    print_header(
+        "Figure 5",
+        "Memory overhead w.r.t. PKG (%) vs skew",
+        &options,
+    );
 
     let skews = options.scale.skew_sweep();
     let rows = memory_overhead_vs_skew(&[50, 100], 10_000, 10_000_000, &skews, 1e-4);
 
-    println!("{:<6} {:>8} {:>8} {:>14}", "skew", "workers", "scheme", "vs PKG (%)");
+    println!(
+        "{:<6} {:>8} {:>8} {:>14}",
+        "skew", "workers", "scheme", "vs PKG (%)"
+    );
     for row in &rows {
         println!(
             "{:<6.1} {:>8} {:>8} {:>14.2}",
             row.skew, row.workers, row.scheme, row.vs_pkg_pct
         );
     }
-    let worst =
-        rows.iter().map(|r| r.vs_pkg_pct).fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|r| r.vs_pkg_pct).fold(0.0f64, f64::max);
     println!("# worst-case overhead vs PKG across the sweep: {worst:.1}%");
 }

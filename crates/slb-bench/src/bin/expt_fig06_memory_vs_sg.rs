@@ -9,12 +9,19 @@ use slb_simulator::experiments::memory_overhead_vs_skew;
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 6", "Memory overhead w.r.t. SG (%) vs skew", &options);
+    print_header(
+        "Figure 6",
+        "Memory overhead w.r.t. SG (%) vs skew",
+        &options,
+    );
 
     let skews = options.scale.skew_sweep();
     let rows = memory_overhead_vs_skew(&[50, 100], 10_000, 10_000_000, &skews, 1e-4);
 
-    println!("{:<6} {:>8} {:>8} {:>14}", "skew", "workers", "scheme", "vs SG (%)");
+    println!(
+        "{:<6} {:>8} {:>8} {:>14}",
+        "skew", "workers", "scheme", "vs SG (%)"
+    );
     for row in &rows {
         println!(
             "{:<6.1} {:>8} {:>8} {:>14.2}",

@@ -11,7 +11,11 @@ use slb_simulator::experiments::{threshold_sweep, ExperimentScale};
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 7", "Imbalance vs skew per threshold, W-C and RR", &options);
+    print_header(
+        "Figure 7",
+        "Imbalance vs skew per threshold, W-C and RR",
+        &options,
+    );
 
     let messages = options.scale.zipf_messages();
     let skews = options.scale.skew_sweep();
@@ -21,7 +25,10 @@ fn main() {
     };
     let rows = threshold_sweep(&worker_counts, 10_000, messages, &skews, options.seed);
 
-    println!("{:<8} {:>10} {:>8} {:>6} {:>14}", "scheme", "threshold", "workers", "skew", "I(m)");
+    println!(
+        "{:<8} {:>10} {:>8} {:>6} {:>14}",
+        "scheme", "threshold", "workers", "skew", "I(m)"
+    );
     for row in &rows {
         println!(
             "{:<8} {:>10} {:>8} {:>6.1} {:>14}",

@@ -10,12 +10,19 @@ use slb_simulator::experiments::head_tail_load;
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 8", "Per-worker head/tail load split (n=5, z=2.0, θ=1/(8n))", &options);
+    print_header(
+        "Figure 8",
+        "Per-worker head/tail load split (n=5, z=2.0, θ=1/(8n))",
+        &options,
+    );
 
     let messages = options.scale.zipf_messages();
     let rows = head_tail_load(5, 10_000, messages, 2.0, options.seed);
 
-    println!("{:<8} {:>8} {:>12} {:>12} {:>12}", "scheme", "worker", "head (%)", "tail (%)", "total (%)");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12}",
+        "scheme", "worker", "head (%)", "tail (%)", "total (%)"
+    );
     for row in &rows {
         println!(
             "{:<8} {:>8} {:>12.2} {:>12.2} {:>12.2}",

@@ -11,7 +11,11 @@ use slb_simulator::experiments::{d_vs_empirical_minimum, ExperimentScale};
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 9", "Solver d vs empirically minimal d (ZF, |K|=10^4)", &options);
+    print_header(
+        "Figure 9",
+        "Solver d vs empirically minimal d (ZF, |K|=10^4)",
+        &options,
+    );
 
     let messages = options.scale.zipf_messages();
     // The empirical search replays the workload for every candidate d, so
@@ -22,8 +26,7 @@ fn main() {
         ExperimentScale::Paper => (1..=20).map(|i| i as f64 * 0.1).collect(),
     };
     let worker_counts = [50usize, 100];
-    let rows =
-        d_vs_empirical_minimum(&worker_counts, 10_000, messages, &skews, 1e-4, options.seed);
+    let rows = d_vs_empirical_minimum(&worker_counts, 10_000, messages, &skews, 1e-4, options.seed);
 
     println!(
         "{:<6} {:>8} {:>10} {:>10} {:>16}",

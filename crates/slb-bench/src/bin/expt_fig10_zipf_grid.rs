@@ -11,7 +11,11 @@ use slb_simulator::experiments::{zipf_grid, ExperimentScale};
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 10", "Imbalance vs skew grid (PKG, D-C, W-C, RR)", &options);
+    print_header(
+        "Figure 10",
+        "Imbalance vs skew grid (PKG, D-C, W-C, RR)",
+        &options,
+    );
 
     let messages = options.scale.zipf_messages();
     let skews = options.scale.skew_sweep();
@@ -44,9 +48,7 @@ fn main() {
     println!("# hardest setting n={n_max}, z={z_max:.1}:");
     for scheme in ["PKG", "D-C", "W-C", "RR"] {
         if let Some(r) = rows.iter().find(|r| {
-            r.scheme == scheme
-                && r.workers == n_max
-                && (r.skew.unwrap_or(0.0) - z_max).abs() < 1e-9
+            r.scheme == scheme && r.workers == n_max && (r.skew.unwrap_or(0.0) - z_max).abs() < 1e-9
         }) {
             println!("#   {scheme}: I(m) = {}", sci(r.imbalance));
         }

@@ -11,12 +11,18 @@ fn main() {
     print_header("Figure 11", "Imbalance vs workers on WP, TW, CT", &options);
 
     let datasets = SyntheticDataset::real_world_suite(options.scale.dataset_scale(), options.seed);
-    let schemes =
-        [PartitionerKind::Pkg, PartitionerKind::DChoices, PartitionerKind::WChoices];
+    let schemes = [
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+    ];
     let workers = [5usize, 10, 20, 50, 100];
     let rows = imbalance_vs_workers(&datasets, &schemes, &workers);
 
-    println!("{:<8} {:<8} {:>8} {:>14} {:>14}", "dataset", "scheme", "workers", "I(m)", "mean I(t)");
+    println!(
+        "{:<8} {:<8} {:>8} {:>14} {:>14}",
+        "dataset", "scheme", "workers", "I(m)", "mean I(t)"
+    );
     for row in &rows {
         println!(
             "{:<8} {:<8} {:>8} {:>14} {:>14}",
@@ -31,8 +37,12 @@ fn main() {
     for ds in &datasets {
         let symbol = ds.stats().kind.symbol();
         for &n in &[50usize, 100] {
-            let pkg = rows.iter().find(|r| r.dataset == symbol && r.scheme == "PKG" && r.workers == n);
-            let wc = rows.iter().find(|r| r.dataset == symbol && r.scheme == "W-C" && r.workers == n);
+            let pkg = rows
+                .iter()
+                .find(|r| r.dataset == symbol && r.scheme == "PKG" && r.workers == n);
+            let wc = rows
+                .iter()
+                .find(|r| r.dataset == symbol && r.scheme == "W-C" && r.workers == n);
             if let (Some(pkg), Some(wc)) = (pkg, wc) {
                 println!(
                     "# {symbol} at n={n}: PKG {} vs W-C {}",

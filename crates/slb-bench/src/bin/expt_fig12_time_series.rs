@@ -21,7 +21,10 @@ fn main() {
     let rows = imbalance_over_time(&datasets, &worker_counts, checkpoints);
 
     for row in &rows {
-        println!("series dataset={} scheme={} workers={}", row.dataset, row.scheme, row.workers);
+        println!(
+            "series dataset={} scheme={} workers={}",
+            row.dataset, row.scheme, row.workers
+        );
         for (messages, imbalance) in &row.series {
             println!("  {:>12} {:>14}", messages, sci(*imbalance));
         }

@@ -15,7 +15,11 @@ use slb_simulator::experiments::ExperimentScale;
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 13", "Throughput (events/s) per scheme on the mini-DSPE", &options);
+    print_header(
+        "Figure 13",
+        "Throughput (events/s) per scheme on the mini-DSPE",
+        &options,
+    );
 
     let schemes = [
         PartitionerKind::KeyGrouping,
@@ -26,7 +30,10 @@ fn main() {
     ];
     let skews = [1.4f64, 1.7, 2.0];
 
-    println!("{:<8} {:>6} {:>16} {:>12} {:>14}", "scheme", "skew", "throughput(ev/s)", "imbalance", "elapsed (s)");
+    println!(
+        "{:<8} {:>6} {:>16} {:>12} {:>14}",
+        "scheme", "skew", "throughput(ev/s)", "imbalance", "elapsed (s)"
+    );
     let mut all = Vec::new();
     for &z in &skews {
         let base = match options.scale {
@@ -48,10 +55,19 @@ fn main() {
     // The headline ratios the paper reports (throughput of D-C and W-C vs
     // PKG and KG at the highest skew).
     for (z, results) in &all {
-        let find = |s: &str| results.iter().find(|r| r.scheme == s).map(|r| r.throughput_eps);
-        if let (Some(kg), Some(pkg), Some(dc), Some(wc), Some(sg)) =
-            (find("KG"), find("PKG"), find("D-C"), find("W-C"), find("SG"))
-        {
+        let find = |s: &str| {
+            results
+                .iter()
+                .find(|r| r.scheme == s)
+                .map(|r| r.throughput_eps)
+        };
+        if let (Some(kg), Some(pkg), Some(dc), Some(wc), Some(sg)) = (
+            find("KG"),
+            find("PKG"),
+            find("D-C"),
+            find("W-C"),
+            find("SG"),
+        ) {
             println!(
                 "# z={z:.1}: D-C/PKG = {:.2}x, W-C/PKG = {:.2}x, D-C/KG = {:.2}x, SG/PKG = {:.2}x",
                 dc / pkg,

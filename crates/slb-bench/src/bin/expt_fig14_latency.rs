@@ -15,7 +15,11 @@ use slb_simulator::experiments::ExperimentScale;
 
 fn main() {
     let options = options_from_env();
-    print_header("Figure 14", "Latency (max-avg, p50, p95, p99) per scheme", &options);
+    print_header(
+        "Figure 14",
+        "Latency (max-avg, p50, p95, p99) per scheme",
+        &options,
+    );
 
     let schemes = [
         PartitionerKind::KeyGrouping,
@@ -55,7 +59,11 @@ fn main() {
 
     for (z, results) in &all {
         let p99 = |s: &str| {
-            results.iter().find(|r| r.scheme == s).map(|r| r.latency.p99_us as f64).unwrap_or(0.0)
+            results
+                .iter()
+                .find(|r| r.scheme == s)
+                .map(|r| r.latency.p99_us as f64)
+                .unwrap_or(0.0)
         };
         let (kg, pkg, dc) = (p99("KG"), p99("PKG"), p99("D-C"));
         if pkg > 0.0 && kg > 0.0 {

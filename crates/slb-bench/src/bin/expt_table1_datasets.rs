@@ -31,9 +31,16 @@ fn empirical_p1(dataset: &SyntheticDataset) -> f64 {
 
 fn main() {
     let options = options_from_env();
-    print_header("Table I", "Datasets: messages, keys, p1 (paper-scale declared values)", &options);
+    print_header(
+        "Table I",
+        "Datasets: messages, keys, p1 (paper-scale declared values)",
+        &options,
+    );
 
-    println!("{:<10} {:>14} {:>12} {:>8}", "dataset", "messages", "keys", "p1(%)");
+    println!(
+        "{:<10} {:>14} {:>12} {:>8}",
+        "dataset", "messages", "keys", "p1(%)"
+    );
     for row in table1_rows() {
         println!(
             "{:<10} {:>14} {:>12} {:>8.2}",
@@ -46,7 +53,10 @@ fn main() {
 
     println!();
     println!("# Empirical check of the stand-in generators at smoke scale:");
-    println!("{:<10} {:>12} {:>14} {:>14}", "dataset", "declared p1", "empirical p1", "abs diff");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "dataset", "declared p1", "empirical p1", "abs diff"
+    );
     for ds in SyntheticDataset::real_world_suite(Scale::Smoke, options.seed) {
         let declared = ds.stats().p1;
         let measured = empirical_p1(&ds);

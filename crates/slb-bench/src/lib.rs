@@ -25,14 +25,30 @@ pub struct ExperimentOptions {
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        Self { scale: ExperimentScale::Smoke, seed: slb_simulator::experiments::DEFAULT_SEED }
+        Self {
+            scale: ExperimentScale::Smoke,
+            seed: slb_simulator::experiments::DEFAULT_SEED,
+        }
     }
+}
+
+/// Usage text shared by every experiment binary.
+pub const USAGE: &str = "usage: <experiment> [--scale smoke|laptop|paper] [--seed N]";
+
+/// Outcome of parsing experiment flags: either options to run with, or a
+/// request to show usage and exit successfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParsedArgs {
+    /// Run the experiment with these options.
+    Run(ExperimentOptions),
+    /// `--help`/`-h` was passed; print [`USAGE`] to stdout and exit 0.
+    Help,
 }
 
 /// Parses `--scale` and `--seed` from an iterator of command-line arguments
 /// (excluding the program name). Unknown flags are rejected with an error
 /// message so typos do not silently fall back to defaults.
-pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<ExperimentOptions, String> {
+pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, String> {
     let mut options = ExperimentOptions::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -48,25 +64,30 @@ pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> Result<Experime
             }
             "--seed" => {
                 let value = iter.next().ok_or("--seed requires a value")?;
-                options.seed =
-                    value.parse().map_err(|_| format!("invalid seed: {value}"))?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed: {value}"))?;
             }
-            "--help" | "-h" => {
-                return Err("usage: <experiment> [--scale smoke|laptop|paper] [--seed N]".into())
-            }
+            "--help" | "-h" => return Ok(ParsedArgs::Help),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok(options)
+    Ok(ParsedArgs::Run(options))
 }
 
-/// Parses the process's actual arguments, exiting with a usage message on
-/// error (the behaviour every experiment binary wants).
+/// Parses the process's actual arguments: prints usage to stdout and exits 0
+/// on `--help`, or exits 2 with an error message on a bad flag (the
+/// behaviour every experiment binary wants).
 pub fn options_from_env() -> ExperimentOptions {
     match parse_options(std::env::args().skip(1)) {
-        Ok(o) => o,
+        Ok(ParsedArgs::Run(o)) => o,
+        Ok(ParsedArgs::Help) => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
         Err(msg) => {
             eprintln!("{msg}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     }
@@ -94,19 +115,26 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn run(list: &[&str]) -> ExperimentOptions {
+        match parse_options(args(list)).unwrap() {
+            ParsedArgs::Run(o) => o,
+            ParsedArgs::Help => panic!("unexpected help request for {list:?}"),
+        }
+    }
+
     #[test]
     fn defaults_when_no_flags() {
-        let o = parse_options(args(&[])).unwrap();
+        let o = run(&[]);
         assert_eq!(o.scale, ExperimentScale::Smoke);
         assert_eq!(o.seed, slb_simulator::experiments::DEFAULT_SEED);
     }
 
     #[test]
     fn parses_scale_and_seed() {
-        let o = parse_options(args(&["--scale", "laptop", "--seed", "123"])).unwrap();
+        let o = run(&["--scale", "laptop", "--seed", "123"]);
         assert_eq!(o.scale, ExperimentScale::Laptop);
         assert_eq!(o.seed, 123);
-        let o = parse_options(args(&["--scale", "paper"])).unwrap();
+        let o = run(&["--scale", "paper"]);
         assert_eq!(o.scale, ExperimentScale::Paper);
     }
 
@@ -116,7 +144,12 @@ mod tests {
         assert!(parse_options(args(&["--frobnicate"])).is_err());
         assert!(parse_options(args(&["--seed", "abc"])).is_err());
         assert!(parse_options(args(&["--seed"])).is_err());
-        assert!(parse_options(args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn help_is_a_success_not_an_error() {
+        assert_eq!(parse_options(args(&["--help"])).unwrap(), ParsedArgs::Help);
+        assert_eq!(parse_options(args(&["-h"])).unwrap(), ParsedArgs::Help);
     }
 
     #[test]

@@ -26,19 +26,34 @@ pub struct HeadThreshold {
 
 impl HeadThreshold {
     /// The paper's default θ = 1/(5n).
-    pub const DEFAULT: HeadThreshold = HeadThreshold { numerator: 1.0, denominator_times_n: 5.0 };
+    pub const DEFAULT: HeadThreshold = HeadThreshold {
+        numerator: 1.0,
+        denominator_times_n: 5.0,
+    };
 
     /// θ = 2/n — the upper end of the theoretically justified range (any key
     /// above this frequency necessarily overloads two workers).
-    pub const UPPER: HeadThreshold = HeadThreshold { numerator: 2.0, denominator_times_n: 1.0 };
+    pub const UPPER: HeadThreshold = HeadThreshold {
+        numerator: 2.0,
+        denominator_times_n: 1.0,
+    };
 
     /// θ = 1/(8n) — the lowest threshold explored in the paper (Figure 7).
-    pub const LOWEST: HeadThreshold = HeadThreshold { numerator: 1.0, denominator_times_n: 8.0 };
+    pub const LOWEST: HeadThreshold = HeadThreshold {
+        numerator: 1.0,
+        denominator_times_n: 8.0,
+    };
 
     /// Builds θ = `num / (denom_times_n · n)`.
     pub fn new(numerator: f64, denominator_times_n: f64) -> Self {
-        assert!(numerator > 0.0 && denominator_times_n > 0.0, "threshold parts must be positive");
-        Self { numerator, denominator_times_n }
+        assert!(
+            numerator > 0.0 && denominator_times_n > 0.0,
+            "threshold parts must be positive"
+        );
+        Self {
+            numerator,
+            denominator_times_n,
+        }
     }
 
     /// The concrete frequency threshold for a deployment of `n` workers.

@@ -200,7 +200,10 @@ mod tests {
 
     #[test]
     fn empty_head_defaults_to_two_choices() {
-        assert_eq!(find_optimal_choices(&[], 1.0, 50, 1e-4), ChoicesDecision::UseD(2));
+        assert_eq!(
+            find_optimal_choices(&[], 1.0, 50, 1e-4),
+            ChoicesDecision::UseD(2)
+        );
     }
 
     #[test]
@@ -220,10 +223,16 @@ mod tests {
         for z in [1.0, 1.4, 1.8, 2.0] {
             let (head, tail) = zipf_head_tail(10_000, z, theta);
             let d = find_optimal_choices(&head, tail, n, 1e-4).effective_d(n);
-            assert!(d >= last_d, "d must not decrease as skew grows (z={z}: {d} < {last_d})");
+            assert!(
+                d >= last_d,
+                "d must not decrease as skew grows (z={z}: {d} < {last_d})"
+            );
             last_d = d;
         }
-        assert!(last_d > 2, "extreme skew must require more than two choices");
+        assert!(
+            last_d > 2,
+            "extreme skew must require more than two choices"
+        );
     }
 
     #[test]

@@ -63,8 +63,16 @@ impl<K: Eq + Hash + Clone> HeadTracker<K> {
     /// # Panics
     /// Panics if `theta` is not in `(0, 1]` or `capacity == 0`.
     pub fn new(capacity: usize, theta: f64) -> Self {
-        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1], got {theta}");
-        Self { sketch: SpaceSaving::new(capacity), theta, last_change_at: 0, generation: 0 }
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "theta must be in (0, 1], got {theta}"
+        );
+        Self {
+            sketch: SpaceSaving::new(capacity),
+            theta,
+            last_change_at: 0,
+            generation: 0,
+        }
     }
 
     /// The frequency threshold θ.
@@ -125,7 +133,10 @@ impl<K: Eq + Hash + Clone> HeadTracker<K> {
     pub fn snapshot(&self) -> HeadSnapshot<K> {
         let total = self.sketch.total();
         if total < self.warmup_messages() {
-            return HeadSnapshot { keys: Vec::new(), frequencies: Vec::new() };
+            return HeadSnapshot {
+                keys: Vec::new(),
+                frequencies: Vec::new(),
+            };
         }
         let hh = self.sketch.heavy_hitters(self.theta);
         let mut keys = Vec::with_capacity(hh.len());
@@ -239,7 +250,10 @@ mod tests {
         for _ in 0..10 {
             last = tracker.observe(&9);
         }
-        assert!(last, "a key taking 100% of a warm stream must be in the head");
+        assert!(
+            last,
+            "a key taking 100% of a warm stream must be in the head"
+        );
     }
 
     #[test]

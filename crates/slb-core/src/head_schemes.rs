@@ -175,7 +175,11 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for HeadAwarePartitioner<K> 
     fn route(&mut self, key: &K) -> usize {
         self.messages += 1;
         let in_head = self.tracker.observe(key);
-        let worker = if in_head { self.route_head(key) } else { self.route_tail(key) };
+        let worker = if in_head {
+            self.route_head(key)
+        } else {
+            self.route_tail(key)
+        };
         self.loads.record(worker);
         worker
     }
@@ -227,7 +231,9 @@ mod tests {
     }
 
     fn config(n: usize, seed: u64) -> PartitionConfig {
-        PartitionConfig::new(n).with_seed(seed).with_solver_interval(100)
+        PartitionConfig::new(n)
+            .with_seed(seed)
+            .with_solver_interval(100)
     }
 
     #[test]
@@ -277,7 +283,10 @@ mod tests {
         let d = dc.head_choices();
         assert!(d >= 2, "head must have at least two choices");
         // With a 30% hot key, d must exceed 2 (0.3 > 2/50) on 50 workers.
-        assert!(d > 2, "d = {d} should exceed 2 for a 30% hot key on 50 workers");
+        assert!(
+            d > 2,
+            "d = {d} should exceed 2 for a 30% hot key on 50 workers"
+        );
     }
 
     #[test]
@@ -296,9 +305,14 @@ mod tests {
         // classified as head right after the tracker warm-up (the estimates
         // are still coarse then), so allow a small number of exceptions.
         let head_snapshot = dc.head().snapshot();
-        let tail_keys: Vec<_> =
-            destinations.keys().filter(|k| !head_snapshot.keys.contains(k)).collect();
-        let overspread = tail_keys.iter().filter(|k| destinations[**k].len() > 2).count();
+        let tail_keys: Vec<_> = destinations
+            .keys()
+            .filter(|k| !head_snapshot.keys.contains(k))
+            .collect();
+        let overspread = tail_keys
+            .iter()
+            .filter(|k| destinations[**k].len() > 2)
+            .count();
         assert!(
             overspread * 20 <= tail_keys.len(),
             "{overspread} of {} tail keys used more than two workers",
@@ -311,7 +325,10 @@ mod tests {
                 destinations[*key].len()
             );
         }
-        assert!(destinations[&0].len() > 2, "hot key should use more than two workers");
+        assert!(
+            destinations[&0].len() > 2,
+            "hot key should use more than two workers"
+        );
     }
 
     #[test]
@@ -328,7 +345,11 @@ mod tests {
         for _ in 0..n {
             seen.insert(rr.route(&0));
         }
-        assert_eq!(seen.len(), n, "RR must cycle through every worker for the head");
+        assert_eq!(
+            seen.len(),
+            n,
+            "RR must cycle through every worker for the head"
+        );
     }
 
     #[test]
@@ -340,7 +361,10 @@ mod tests {
         }
         let loads = Partitioner::<u64>::local_loads(&wc);
         for w in 0..n {
-            assert!(loads.count(w) > 0, "worker {w} never used for a 100%-hot key");
+            assert!(
+                loads.count(w) > 0,
+                "worker {w} never used for a 100%-hot key"
+            );
         }
         assert!(imbalance(loads.counts()) < 0.01);
     }
@@ -373,7 +397,10 @@ mod tests {
             };
             dc.route(&k);
         }
-        assert!(dc.current_choices(&7) > 2, "hot key should have extra choices");
+        assert!(
+            dc.current_choices(&7) > 2,
+            "hot key should have extra choices"
+        );
         assert_eq!(dc.current_choices(&123_456_789), 2, "unknown key is tail");
     }
 

@@ -26,7 +26,10 @@ impl LoadVector {
     /// Panics if `workers == 0`.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "load vector needs at least one worker");
-        Self { counts: vec![0; workers], total: 0 }
+        Self {
+            counts: vec![0; workers],
+            total: 0,
+        }
     }
 
     /// Number of workers tracked.
@@ -102,7 +105,10 @@ impl LoadVector {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// The imbalance `I(t)` of this load vector.
@@ -116,7 +122,11 @@ impl LoadVector {
     /// # Panics
     /// Panics if the worker counts differ.
     pub fn merge(&mut self, other: &LoadVector) {
-        assert_eq!(self.counts.len(), other.counts.len(), "mismatched worker counts");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "mismatched worker counts"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -183,13 +193,20 @@ mod tests {
         assert_eq!(lv.min_load_all(), 4);
         lv.record(4);
         lv.record(4);
-        assert_eq!(lv.min_load_all(), 2, "ties broken toward lowest index among (2,3)");
+        assert_eq!(
+            lv.min_load_all(),
+            2,
+            "ties broken toward lowest index among (2,3)"
+        );
     }
 
     #[test]
     fn imbalance_of_perfect_balance_is_zero() {
         assert!(imbalance(&[10, 10, 10, 10]).abs() < 1e-12);
-        assert!(imbalance(&[0, 0, 0]).abs() < 1e-12, "empty load has no imbalance");
+        assert!(
+            imbalance(&[0, 0, 0]).abs() < 1e-12,
+            "empty load has no imbalance"
+        );
     }
 
     #[test]

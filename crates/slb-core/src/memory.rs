@@ -73,7 +73,11 @@ pub fn estimated_replicas(
             }
         }
     };
-    counts.iter().enumerate().map(|(rank, &f)| f.min(cap_for(rank))).sum()
+    counts
+        .iter()
+        .enumerate()
+        .map(|(rank, &f)| f.min(cap_for(rank)))
+        .sum()
 }
 
 /// Relative memory overhead of `scheme` with respect to `baseline`, in
@@ -169,7 +173,10 @@ mod tests {
     fn zipf_counts(keys: usize, z: f64, messages: u64) -> Vec<u64> {
         let weights: Vec<f64> = (1..=keys).map(|i| (i as f64).powf(-z)).collect();
         let norm: f64 = weights.iter().sum();
-        weights.iter().map(|w| ((w / norm) * messages as f64).round() as u64).collect()
+        weights
+            .iter()
+            .map(|w| ((w / norm) * messages as f64).round() as u64)
+            .collect()
     }
 
     #[test]
@@ -183,7 +190,10 @@ mod tests {
             let counts = zipf_counts(10_000, z, 10_000_000);
             let total: u64 = counts.iter().sum();
             let theta = 1.0 / (5.0 * n as f64);
-            let head = counts.iter().filter(|&&c| c as f64 / total as f64 >= theta).count();
+            let head = counts
+                .iter()
+                .filter(|&&c| c as f64 / total as f64 >= theta)
+                .count();
             let vs_pkg =
                 relative_overhead_pct(&counts, head, n, MemoryScheme::WChoices, MemoryScheme::Pkg);
             let vs_sg = relative_overhead_pct(

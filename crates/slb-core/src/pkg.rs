@@ -93,7 +93,11 @@ mod tests {
             destinations.entry(key).or_default().insert(w);
         }
         for (key, workers) in destinations {
-            assert!(workers.len() <= 2, "key {key} reached {} workers", workers.len());
+            assert!(
+                workers.len() <= 2,
+                "key {key} reached {} workers",
+                workers.len()
+            );
         }
     }
 

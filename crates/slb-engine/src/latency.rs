@@ -17,12 +17,16 @@ pub struct LatencyTracker {
 impl LatencyTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self { samples_us: Vec::new() }
+        Self {
+            samples_us: Vec::new(),
+        }
     }
 
     /// Creates a tracker pre-allocating room for `capacity` samples.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { samples_us: Vec::with_capacity(capacity) }
+        Self {
+            samples_us: Vec::with_capacity(capacity),
+        }
     }
 
     /// Records one latency sample in microseconds.
@@ -57,7 +61,10 @@ impl LatencyTracker {
     /// Merges the samples of several trackers and produces a summary, also
     /// reporting the maximum per-tracker mean (the paper's "max avg").
     pub fn summarize(trackers: &[LatencyTracker]) -> LatencySummary {
-        let mut all: Vec<u64> = trackers.iter().flat_map(|t| t.samples_us.iter().copied()).collect();
+        let mut all: Vec<u64> = trackers
+            .iter()
+            .flat_map(|t| t.samples_us.iter().copied())
+            .collect();
         let max_avg_us = trackers
             .iter()
             .filter(|t| !t.is_empty())
@@ -167,7 +174,11 @@ mod tests {
 
     #[test]
     fn unit_conversions() {
-        let s = LatencySummary { mean_us: 1_500.0, p99_us: 2_000, ..Default::default() };
+        let s = LatencySummary {
+            mean_us: 1_500.0,
+            p99_us: 2_000,
+            ..Default::default()
+        };
         assert!((s.mean_ms() - 1.5).abs() < 1e-12);
         assert!((s.p99_ms() - 2.0).abs() < 1e-12);
     }

@@ -172,8 +172,9 @@ impl Topology {
     /// Runs the topology to completion and returns the measurements.
     pub fn run(&self) -> EngineResult {
         let cfg = &self.config;
-        let (senders, receivers): (Vec<Sender<Tuple>>, Vec<Receiver<Tuple>>) =
-            (0..cfg.workers).map(|_| bounded::<Tuple>(cfg.queue_capacity)).unzip();
+        let (senders, receivers): (Vec<Sender<Tuple>>, Vec<Receiver<Tuple>>) = (0..cfg.workers)
+            .map(|_| bounded::<Tuple>(cfg.queue_capacity))
+            .unzip();
 
         let start = Instant::now();
 
@@ -224,7 +225,10 @@ impl Topology {
                     // A send only fails if the receiver is gone, which cannot
                     // happen before all senders are dropped; treat it as fatal.
                     senders[worker]
-                        .send(Tuple { key, emitted_at: Instant::now() })
+                        .send(Tuple {
+                            key,
+                            emitted_at: Instant::now(),
+                        })
                         .expect("worker queue closed prematurely");
                     sent += 1;
                 }
@@ -257,7 +261,11 @@ impl Topology {
             skew: cfg.skew,
             processed,
             elapsed_secs: elapsed,
-            throughput_eps: if elapsed > 0.0 { processed as f64 / elapsed } else { 0.0 },
+            throughput_eps: if elapsed > 0.0 {
+                processed as f64 / elapsed
+            } else {
+                0.0
+            },
             latency: LatencyTracker::summarize(&latencies),
             imbalance: slb_core::imbalance(&worker_counts),
             worker_counts,
@@ -287,7 +295,10 @@ mod tests {
     fn smoke_run_processes_every_message() {
         let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.4);
         let result = Topology::new(cfg.clone()).run();
-        assert_eq!(result.processed, (cfg.messages / cfg.sources as u64) * cfg.sources as u64);
+        assert_eq!(
+            result.processed,
+            (cfg.messages / cfg.sources as u64) * cfg.sources as u64
+        );
         assert_eq!(result.worker_counts.len(), cfg.workers);
         assert!(result.throughput_eps > 0.0);
         assert!(result.latency.samples > 0);
@@ -322,7 +333,10 @@ mod tests {
         let base = EngineConfig::smoke(PartitionerKind::Pkg, 1.4).with_messages(4_000);
         let results = compare_schemes(
             &base,
-            &[PartitionerKind::KeyGrouping, PartitionerKind::ShuffleGrouping],
+            &[
+                PartitionerKind::KeyGrouping,
+                PartitionerKind::ShuffleGrouping,
+            ],
         );
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].scheme, "KG");

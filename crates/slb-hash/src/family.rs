@@ -139,7 +139,11 @@ impl HashFamily {
     /// # Panics
     /// Panics if `d > self.len()` or `d == 0`.
     pub fn choices<K: KeyHash + ?Sized>(&self, key: &K, d: usize) -> Vec<usize> {
-        assert!(d > 0 && d <= self.seeds.len(), "d={d} out of range 1..={}", self.seeds.len());
+        assert!(
+            d > 0 && d <= self.seeds.len(),
+            "d={d} out of range 1..={}",
+            self.seeds.len()
+        );
         self.seeds[..d]
             .iter()
             .map(|&s| bucket_of(key.key_hash(s), self.workers))
@@ -150,7 +154,11 @@ impl HashFamily {
     /// (cleared first). Allocation-free variant of [`Self::choices`] for the
     /// per-tuple hot path.
     pub fn choices_into<K: KeyHash + ?Sized>(&self, key: &K, d: usize, out: &mut Vec<usize>) {
-        assert!(d > 0 && d <= self.seeds.len(), "d={d} out of range 1..={}", self.seeds.len());
+        assert!(
+            d > 0 && d <= self.seeds.len(),
+            "d={d} out of range 1..={}",
+            self.seeds.len()
+        );
         out.clear();
         for &s in &self.seeds[..d] {
             out.push(bucket_of(key.key_hash(s), self.workers));
@@ -163,7 +171,10 @@ impl HashFamily {
     /// change in an experiment sweep.
     pub fn with_workers(&self, workers: usize) -> Self {
         assert!(workers > 0, "a hash family needs at least one worker");
-        Self { seeds: self.seeds.clone(), workers }
+        Self {
+            seeds: self.seeds.clone(),
+            workers,
+        }
     }
 }
 
@@ -179,7 +190,9 @@ impl StreamHasher {
     /// `workers` functions so that any `d <= n` requested by D-Choices can be
     /// served.
     pub fn new(master_seed: u64, workers: usize) -> Self {
-        Self { family: HashFamily::new(master_seed, workers.max(2), workers) }
+        Self {
+            family: HashFamily::new(master_seed, workers.max(2), workers),
+        }
     }
 
     /// The underlying hash family.
@@ -222,7 +235,9 @@ mod tests {
     fn different_master_seeds_give_different_functions() {
         let a = HashFamily::new(1, 2, 100);
         let b = HashFamily::new(2, 2, 100);
-        let diffs = (0..1000u64).filter(|k| a.choices(k, 2) != b.choices(k, 2)).count();
+        let diffs = (0..1000u64)
+            .filter(|k| a.choices(k, 2) != b.choices(k, 2))
+            .count();
         assert!(diffs > 900, "only {diffs} keys routed differently");
     }
 
@@ -232,10 +247,15 @@ mod tests {
         let n = 50;
         let fam = HashFamily::new(3, 2, n);
         let samples = 20_000u64;
-        let collisions = (0..samples).filter(|k| fam.choice(k, 0) == fam.choice(k, 1)).count();
+        let collisions = (0..samples)
+            .filter(|k| fam.choice(k, 0) == fam.choice(k, 1))
+            .count();
         let rate = collisions as f64 / samples as f64;
         let expected = 1.0 / n as f64;
-        assert!((rate - expected).abs() < expected, "collision rate {rate} vs expected {expected}");
+        assert!(
+            (rate - expected).abs() < expected,
+            "collision rate {rate} vs expected {expected}"
+        );
     }
 
     #[test]

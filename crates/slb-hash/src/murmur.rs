@@ -221,7 +221,10 @@ mod tests {
         let buf: Vec<u8> = (0..64u8).collect();
         let mut seen = std::collections::HashSet::new();
         for len in 0..buf.len() {
-            assert!(seen.insert(murmur3_x64_128(&buf[..len], 0)), "collision at len {len}");
+            assert!(
+                seen.insert(murmur3_x64_128(&buf[..len], 0)),
+                "collision at len {len}"
+            );
         }
     }
 

@@ -93,13 +93,19 @@ pub fn xxhash64(bytes: &[u8], seed: u64) -> u64 {
 
     while offset + 8 <= len {
         h ^= round(0, read_u64(bytes, offset));
-        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         offset += 8;
     }
 
     if offset + 4 <= len {
         h ^= u64::from(read_u32(bytes, offset)).wrapping_mul(PRIME64_1);
-        h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
         offset += 4;
     }
 
@@ -155,7 +161,10 @@ mod tests {
             total_flips += (h0 ^ xxhash64(&flipped, 0)).count_ones();
         }
         let avg = f64::from(total_flips) / trials as f64;
-        assert!((avg - 32.0).abs() < 8.0, "average flipped bits {avg} far from 32");
+        assert!(
+            (avg - 32.0).abs() < 8.0,
+            "average flipped bits {avg} far from 32"
+        );
     }
 
     #[test]
@@ -170,7 +179,10 @@ mod tests {
         let buf: Vec<u8> = (0..100u8).collect();
         let mut seen = std::collections::HashSet::new();
         for len in 0..buf.len() {
-            assert!(seen.insert(xxhash64(&buf[..len], 3)), "collision at len {len}");
+            assert!(
+                seen.insert(xxhash64(&buf[..len], 3)),
+                "collision at len {len}"
+            );
         }
     }
 

@@ -108,7 +108,9 @@ fn simulate_zipf(
     seed: u64,
     threshold: HeadThreshold,
 ) -> SimulationResult {
-    let partition = PartitionConfig::new(workers).with_seed(seed).with_threshold(threshold);
+    let partition = PartitionConfig::new(workers)
+        .with_seed(seed)
+        .with_threshold(threshold);
     let config = SimulationConfig::new(kind, workers)
         .with_partition(partition)
         .with_checkpoint_interval((messages / 20).max(1));
@@ -122,8 +124,9 @@ fn simulate_dataset(
     dataset: &SyntheticDataset,
     threshold: HeadThreshold,
 ) -> SimulationResult {
-    let partition =
-        PartitionConfig::new(workers).with_seed(dataset.seed()).with_threshold(threshold);
+    let partition = PartitionConfig::new(workers)
+        .with_seed(dataset.seed())
+        .with_threshold(threshold);
     let messages = dataset.stats().messages;
     let config = SimulationConfig::new(kind, workers)
         .with_partition(partition)
@@ -184,8 +187,7 @@ pub fn head_cardinality_vs_skew(
     keys: usize,
     skews: &[f64],
 ) -> Vec<HeadCardinalityRow> {
-    let thresholds =
-        [HeadThreshold::new(1.0, 5.0), HeadThreshold::new(2.0, 1.0)];
+    let thresholds = [HeadThreshold::new(1.0, 5.0), HeadThreshold::new(2.0, 1.0)];
     let mut rows = Vec::new();
     for &z in skews {
         let dist = ZipfDistribution::new(keys, z);
@@ -234,13 +236,21 @@ pub fn d_fraction_vs_skew(
         let dist = ZipfDistribution::new(keys, z);
         for &workers in worker_counts {
             let theta = HeadThreshold::DEFAULT.frequency(workers);
-            let head: Vec<f64> =
-                dist.probabilities().iter().copied().take_while(|&p| p >= theta).collect();
+            let head: Vec<f64> = dist
+                .probabilities()
+                .iter()
+                .copied()
+                .take_while(|&p| p >= theta)
+                .collect();
             let tail_mass = 1.0 - head.iter().sum::<f64>();
             let fraction = d_fraction(&head, tail_mass, workers, epsilon);
-            let d = find_optimal_choices(&head, tail_mass, workers, epsilon)
-                .effective_d(workers);
-            rows.push(DFractionRow { skew: z, workers, d, fraction });
+            let d = find_optimal_choices(&head, tail_mass, workers, epsilon).effective_d(workers);
+            rows.push(DFractionRow {
+                skew: z,
+                workers,
+                d,
+                fraction,
+            });
         }
     }
     rows
@@ -327,19 +337,47 @@ pub fn absolute_memory(
     epsilon: f64,
 ) -> Vec<(String, u64)> {
     let dist = ZipfDistribution::new(keys, z);
-    let counts: Vec<u64> =
-        dist.probabilities().iter().map(|p| (p * messages as f64).round() as u64).collect();
+    let counts: Vec<u64> = dist
+        .probabilities()
+        .iter()
+        .map(|p| (p * messages as f64).round() as u64)
+        .collect();
     let theta = HeadThreshold::DEFAULT.frequency(workers);
     let head_cardinality = dist.head_cardinality(theta);
     let head: Vec<f64> = dist.probabilities()[..head_cardinality].to_vec();
     let tail_mass = 1.0 - head.iter().sum::<f64>();
     let d = find_optimal_choices(&head, tail_mass, workers, epsilon).effective_d(workers);
     vec![
-        ("KG".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::KeyGrouping)),
-        ("PKG".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::Pkg)),
-        ("D-C".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::DChoices { d })),
-        ("W-C".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::WChoices)),
-        ("SG".to_string(), estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::Shuffle)),
+        (
+            "KG".to_string(),
+            estimated_replicas(
+                &counts,
+                head_cardinality,
+                workers,
+                MemoryScheme::KeyGrouping,
+            ),
+        ),
+        (
+            "PKG".to_string(),
+            estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::Pkg),
+        ),
+        (
+            "D-C".to_string(),
+            estimated_replicas(
+                &counts,
+                head_cardinality,
+                workers,
+                MemoryScheme::DChoices { d },
+            ),
+        ),
+        (
+            "W-C".to_string(),
+            estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::WChoices),
+        ),
+        (
+            "SG".to_string(),
+            estimated_replicas(&counts, head_cardinality, workers, MemoryScheme::Shuffle),
+        ),
     ]
 }
 
@@ -419,8 +457,14 @@ pub fn head_tail_load(
 ) -> Vec<HeadTailRow> {
     let threshold = HeadThreshold::new(1.0, 8.0);
     let mut rows = Vec::new();
-    for kind in [PartitionerKind::Pkg, PartitionerKind::WChoices, PartitionerKind::RoundRobin] {
-        let partition = PartitionConfig::new(workers).with_seed(seed).with_threshold(threshold);
+    for kind in [
+        PartitionerKind::Pkg,
+        PartitionerKind::WChoices,
+        PartitionerKind::RoundRobin,
+    ] {
+        let partition = PartitionConfig::new(workers)
+            .with_seed(seed)
+            .with_threshold(threshold);
         let config = SimulationConfig::new(kind, workers)
             .with_partition(partition)
             .with_placement_tracking(true)
@@ -641,8 +685,11 @@ pub fn imbalance_over_time(
     worker_counts: &[usize],
     checkpoints: usize,
 ) -> Vec<TimeSeriesRow> {
-    let schemes =
-        [PartitionerKind::Pkg, PartitionerKind::DChoices, PartitionerKind::WChoices];
+    let schemes = [
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+    ];
     let mut rows = Vec::new();
     for ds in datasets {
         let messages = ds.stats().messages;
@@ -659,7 +706,11 @@ pub fn imbalance_over_time(
                     dataset: ds.stats().kind.symbol().to_string(),
                     scheme: r.scheme.clone(),
                     workers,
-                    series: r.time_series.iter().map(|p| (p.messages, p.imbalance)).collect(),
+                    series: r
+                        .time_series
+                        .iter()
+                        .map(|p| (p.messages, p.imbalance))
+                        .collect(),
                 });
             }
         }
@@ -731,8 +782,11 @@ mod tests {
             assert!((total - 100.0).abs() < 1e-6, "{scheme}: {total}");
         }
         // Under z = 2.0 the head dominates the load.
-        let head_total: f64 =
-            rows.iter().filter(|r| r.scheme == "W-C").map(|r| r.head_pct).sum();
+        let head_total: f64 = rows
+            .iter()
+            .filter(|r| r.scheme == "W-C")
+            .map(|r| r.head_pct)
+            .sum();
         assert!(head_total > 50.0);
     }
 
@@ -757,7 +811,7 @@ mod tests {
     #[test]
     fn figure10_grid_produces_all_combinations() {
         let rows = zipf_grid(&[5], &[1_000], 50_000, &[0.5, 2.0], 1);
-        assert_eq!(rows.len(), 1 * 1 * 2 * 4);
+        assert_eq!(rows.len(), 2 * 4);
         for r in &rows {
             assert_eq!(r.dataset, "ZF");
             assert!(r.imbalance >= 0.0);
@@ -771,7 +825,11 @@ mod tests {
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert_eq!(r.dataset, "CT");
-            assert!(r.series.len() >= 7, "expected ~8 checkpoints, got {}", r.series.len());
+            assert!(
+                r.series.len() >= 7,
+                "expected ~8 checkpoints, got {}",
+                r.series.len()
+            );
         }
     }
 }

@@ -145,7 +145,10 @@ impl Simulator {
         }
         if self.messages % self.config.checkpoint_interval == 0 {
             let imb = imbalance(&self.global_loads);
-            self.time_series.push(TimeSeriesPoint { messages: self.messages, imbalance: imb });
+            self.time_series.push(TimeSeriesPoint {
+                messages: self.messages,
+                imbalance: imb,
+            });
             self.imbalance_sum += imb;
             self.imbalance_samples += 1;
         }
@@ -271,9 +274,15 @@ mod tests {
     fn key_grouping_suffers_under_skew_and_w_choices_recovers() {
         let workers = 20;
         let mut kg_stream = zipf_stream(10_000, 2.0, 7, 50_000);
-        let kg = Simulator::run(SimulationConfig::new(PartitionerKind::KeyGrouping, workers), &mut kg_stream);
+        let kg = Simulator::run(
+            SimulationConfig::new(PartitionerKind::KeyGrouping, workers),
+            &mut kg_stream,
+        );
         let mut wc_stream = zipf_stream(10_000, 2.0, 7, 50_000);
-        let wc = Simulator::run(SimulationConfig::new(PartitionerKind::WChoices, workers), &mut wc_stream);
+        let wc = Simulator::run(
+            SimulationConfig::new(PartitionerKind::WChoices, workers),
+            &mut wc_stream,
+        );
         // The hottest key alone is ~60% of the stream; KG must show massive
         // imbalance while W-C stays near ideal.
         assert!(kg.imbalance > 0.3, "KG imbalance {}", kg.imbalance);
@@ -292,7 +301,10 @@ mod tests {
         let ht = result.head_tail.expect("tracking enabled");
         let head_total: f64 = ht.head.iter().sum();
         let tail_total: f64 = ht.tail.iter().sum();
-        assert!((head_total + tail_total - 1.0).abs() < 1e-9, "shares must sum to 1");
+        assert!(
+            (head_total + tail_total - 1.0).abs() < 1e-9,
+            "shares must sum to 1"
+        );
         // z = 1.8 over 500 keys: the head carries most of the load.
         assert!(head_total > 0.5, "head share {head_total}");
         assert_eq!(ht.head.len(), 5);
@@ -304,16 +316,18 @@ mod tests {
         let cfg = SimulationConfig::new(PartitionerKind::Pkg, 10).with_placement_tracking(true);
         let result = Simulator::run(cfg, &mut stream);
         let replicas = result.observed_replicas.unwrap();
-        assert!(replicas <= 2 * 300, "PKG created {replicas} replicas for 300 keys");
+        assert!(
+            replicas <= 2 * 300,
+            "PKG created {replicas} replicas for 300 keys"
+        );
     }
 
     #[test]
     fn per_source_partitioners_are_isolated() {
         // With one source the simulator must behave identically to a single
         // partitioner instance; with several, each keeps its own state.
-        let mut sim = Simulator::new(
-            SimulationConfig::new(PartitionerKind::Pkg, 6).with_sources(3),
-        );
+        let mut sim =
+            Simulator::new(SimulationConfig::new(PartitionerKind::Pkg, 6).with_sources(3));
         for i in 0..999u64 {
             sim.process(i % 50);
         }
@@ -324,8 +338,7 @@ mod tests {
     #[test]
     fn time_series_is_monotone_in_messages() {
         let mut stream = zipf_stream(100, 1.0, 13, 5_000);
-        let cfg =
-            SimulationConfig::new(PartitionerKind::DChoices, 4).with_checkpoint_interval(500);
+        let cfg = SimulationConfig::new(PartitionerKind::DChoices, 4).with_checkpoint_interval(500);
         let result = Simulator::run(cfg, &mut stream);
         assert_eq!(result.time_series.len(), 10);
         for w in result.time_series.windows(2) {
@@ -340,7 +353,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "worker counts must agree")]
     fn mismatched_partition_config_panics() {
-        let _ = SimulationConfig::new(PartitionerKind::Pkg, 4)
-            .with_partition(PartitionConfig::new(8));
+        let _ =
+            SimulationConfig::new(PartitionerKind::Pkg, 4).with_partition(PartitionConfig::new(8));
     }
 }

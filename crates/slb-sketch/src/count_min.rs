@@ -40,7 +40,14 @@ impl<K: KeyHash + Eq + Hash + Clone> CountMinSketch<K> {
         assert!(depth > 0, "depth must be positive");
         let mut sm = slb_hash::SplitMix64::new(seed);
         let seeds = (0..depth).map(|_| sm.next_u64()).collect();
-        Self { width, depth, total: 0, rows: vec![0; width * depth], seeds, _marker: PhantomData }
+        Self {
+            width,
+            depth,
+            total: 0,
+            rows: vec![0; width * depth],
+            seeds,
+            _marker: PhantomData,
+        }
     }
 
     /// Creates a sketch guaranteeing error at most `epsilon · m` with
@@ -98,7 +105,10 @@ impl<K: KeyHash + Eq + Hash + Clone> FrequencyEstimator<K> for CountMinSketch<K>
     }
 
     fn estimate(&self, key: &K) -> u64 {
-        (0..self.depth).map(|row| self.rows[self.cell(row, key)]).min().unwrap_or(0)
+        (0..self.depth)
+            .map(|row| self.rows[self.cell(row, key)])
+            .min()
+            .unwrap_or(0)
     }
 
     fn total(&self) -> u64 {
@@ -127,7 +137,7 @@ impl<K: KeyHash + Eq + Hash + Clone> CountMinSketch<K> {
             .map(|k| (k.clone(), self.estimate(k)))
             .filter(|(_, c)| *c >= cut.max(1))
             .collect();
-        hh.sort_by(|a, b| b.1.cmp(&a.1));
+        hh.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         hh
     }
 }
@@ -174,7 +184,11 @@ mod tests {
             .filter(|(k, &t)| (cms.estimate(k) - t) as f64 > bound)
             .count();
         // delta = 1% per key; allow a small number of violations.
-        assert!(violations <= truth.len() / 20, "{violations} of {} above bound", truth.len());
+        assert!(
+            violations <= truth.len() / 20,
+            "{violations} of {} above bound",
+            truth.len()
+        );
     }
 
     #[test]
@@ -205,8 +219,9 @@ mod tests {
         for i in 0..10 {
             cms.observe(&format!("cold{i}"));
         }
-        let candidates: Vec<String> =
-            std::iter::once("hot".to_string()).chain((0..10).map(|i| format!("cold{i}"))).collect();
+        let candidates: Vec<String> = std::iter::once("hot".to_string())
+            .chain((0..10).map(|i| format!("cold{i}")))
+            .collect();
         let hh = cms.heavy_hitters_among(candidates.iter(), 0.5);
         assert_eq!(hh.len(), 1);
         assert_eq!(hh[0].0, "hot");

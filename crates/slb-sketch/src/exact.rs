@@ -20,12 +20,18 @@ pub struct ExactCounter<K: Eq + Hash + Clone> {
 impl<K: Eq + Hash + Clone> ExactCounter<K> {
     /// Creates an empty counter.
     pub fn new() -> Self {
-        Self { counts: HashMap::new(), total: 0 }
+        Self {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Creates an empty counter with pre-allocated capacity for `keys` keys.
     pub fn with_capacity(keys: usize) -> Self {
-        Self { counts: HashMap::with_capacity(keys), total: 0 }
+        Self {
+            counts: HashMap::with_capacity(keys),
+            total: 0,
+        }
     }
 
     /// Number of distinct keys observed.
@@ -48,7 +54,7 @@ impl<K: Eq + Hash + Clone> ExactCounter<K> {
     /// a given map iteration order only after sorting by count.
     pub fn ranked(&self) -> Vec<(K, u64)> {
         let mut v: Vec<(K, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         v
     }
 
@@ -58,12 +64,18 @@ impl<K: Eq + Hash + Clone> ExactCounter<K> {
         if self.total == 0 {
             return Vec::new();
         }
-        self.ranked().into_iter().map(|(_, c)| c as f64 / self.total as f64).collect()
+        self.ranked()
+            .into_iter()
+            .map(|(_, c)| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Relative frequency of the most frequent key (`p1`), or 0 when empty.
     pub fn p1(&self) -> f64 {
-        self.ranked().first().map(|(_, c)| *c as f64 / self.total as f64).unwrap_or(0.0)
+        self.ranked()
+            .first()
+            .map(|(_, c)| *c as f64 / self.total as f64)
+            .unwrap_or(0.0)
     }
 }
 
@@ -94,7 +106,7 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for ExactCounter<K> {
             .filter(|(_, &c)| c >= cut.max(1))
             .map(|(k, &c)| (k.clone(), c))
             .collect();
-        hh.sort_by(|a, b| b.1.cmp(&a.1));
+        hh.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         hh
     }
 }

@@ -1,7 +1,7 @@
 //! Merging per-source summaries into a global heavy-hitter view.
 //!
 //! In the paper each source runs its own SpaceSaving instance over the
-//! sub-stream it forwards (Section III-A and [12]). When a global view is
+//! sub-stream it forwards (Section III-A and \[12\]). When a global view is
 //! needed — e.g. to audit the sources' combined head, or in a deployment
 //! where a coordinator periodically reconciles summaries — the per-source
 //! summaries must be merged without losing the error guarantees.
@@ -36,7 +36,11 @@ pub struct MergedSummary<K> {
 impl<K: Eq + Hash + Clone> MergedSummary<K> {
     /// Estimated count for `key` (0 if not present in the merged set).
     pub fn estimate(&self, key: &K) -> u64 {
-        self.counters.iter().find(|c| &c.key == key).map(|c| c.count).unwrap_or(0)
+        self.counters
+            .iter()
+            .find(|c| &c.key == key)
+            .map(|c| c.count)
+            .unwrap_or(0)
     }
 
     /// Keys whose estimated relative frequency is at least `threshold`.
@@ -144,10 +148,17 @@ mod tests {
         let m = merge_space_saving(&[&a, &b], cap);
         for c in &m.counters {
             let t = truth.get(&c.key).copied().unwrap_or(0);
-            assert!(c.count >= t, "merged estimate {} below truth {} for {}", c.count, t, c.key);
+            assert!(
+                c.count >= t,
+                "merged estimate {} below truth {} for {}",
+                c.count,
+                t,
+                c.key
+            );
         }
         // Completeness: keys above the combined error bound survive the merge.
-        let combined_bound = streams[0].len() as u64 / cap as u64 + streams[1].len() as u64 / cap as u64;
+        let combined_bound =
+            streams[0].len() as u64 / cap as u64 + streams[1].len() as u64 / cap as u64;
         for (k, &t) in &truth {
             if t > combined_bound {
                 assert!(m.estimate(k) > 0, "hot key {k} lost in merge (count {t})");
@@ -157,7 +168,12 @@ mod tests {
 
     #[test]
     fn merge_respects_capacity_and_ordering() {
-        let a = summary_from(&(0..100u64).flat_map(|k| vec![k; (k % 10 + 1) as usize]).collect::<Vec<_>>(), 50);
+        let a = summary_from(
+            &(0..100u64)
+                .flat_map(|k| vec![k; (k % 10 + 1) as usize])
+                .collect::<Vec<_>>(),
+            50,
+        );
         let b = summary_from(&(50..150u64).collect::<Vec<_>>(), 50);
         let m = merge_space_saving(&[&a, &b], 20);
         assert!(m.counters.len() <= 20);
@@ -177,7 +193,7 @@ mod tests {
     #[test]
     fn merged_heavy_hitters_thresholded_on_combined_total() {
         let a = summary_from(&vec![1u64; 90], 4);
-        let b = summary_from(&vec![2u64; 10], 4);
+        let b = summary_from(&[2u64; 10], 4);
         let m = merge_space_saving(&[&a, &b], 4);
         let hh = m.heavy_hitters(0.5);
         assert_eq!(hh.len(), 1);

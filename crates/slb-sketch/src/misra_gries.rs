@@ -31,7 +31,11 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MisraGries capacity must be positive");
-        Self { capacity, total: 0, counters: HashMap::with_capacity(capacity + 1) }
+        Self {
+            capacity,
+            total: 0,
+            counters: HashMap::with_capacity(capacity + 1),
+        }
     }
 
     /// Maximum number of counters.
@@ -97,7 +101,7 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for MisraGries<K> {
             .filter(|(_, &c)| c >= cut.max(1))
             .map(|(k, &c)| (k.clone(), c))
             .collect();
-        hh.sort_by(|a, b| b.1.cmp(&a.1));
+        hh.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         hh
     }
 }

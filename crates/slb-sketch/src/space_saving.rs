@@ -133,9 +133,7 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     /// This is the maximum error any *unmonitored* key's true count can have,
     /// and the count a newly inserted key inherits on eviction.
     pub fn min_count(&self) -> u64 {
-        if self.index.len() < self.capacity {
-            0
-        } else if self.min_bucket == NIL {
+        if self.index.len() < self.capacity || self.min_bucket == NIL {
             0
         } else {
             self.buckets[self.min_bucket].count
@@ -146,7 +144,11 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     pub fn get(&self, key: &K) -> Option<Counter<K>> {
         self.index.get(key).map(|&i| {
             let n = &self.nodes[i];
-            Counter { key: n.key.clone(), count: n.count, error: n.error }
+            Counter {
+                key: n.key.clone(),
+                count: n.count,
+                error: n.error,
+            }
         })
     }
 
@@ -154,7 +156,11 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     pub fn counters(&self) -> impl Iterator<Item = Counter<K>> + '_ {
         self.index.values().map(move |&i| {
             let n = &self.nodes[i];
-            Counter { key: n.key.clone(), count: n.count, error: n.error }
+            Counter {
+                key: n.key.clone(),
+                count: n.count,
+                error: n.error,
+            }
         })
     }
 
@@ -177,7 +183,12 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     // ----- internal slab / linked-list plumbing -------------------------------
 
     fn alloc_bucket(&mut self, count: u64) -> usize {
-        let b = Bucket { count, head: NIL, prev: NIL, next: NIL };
+        let b = Bucket {
+            count,
+            head: NIL,
+            prev: NIL,
+            next: NIL,
+        };
         if let Some(i) = self.free_buckets.pop() {
             self.buckets[i] = b;
             i
@@ -188,7 +199,14 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     }
 
     fn alloc_node(&mut self, key: K, count: u64, error: u64) -> usize {
-        let n = Node { key, count, error, bucket: NIL, prev: NIL, next: NIL };
+        let n = Node {
+            key,
+            count,
+            error,
+            bucket: NIL,
+            prev: NIL,
+            next: NIL,
+        };
         if let Some(i) = self.free_nodes.pop() {
             self.nodes[i] = n;
             i
@@ -247,7 +265,11 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     /// Finds or creates the bucket with exactly `count`, positioned right
     /// after `after` (which may be NIL, meaning "insert at the front").
     fn bucket_with_count_after(&mut self, count: u64, after: usize) -> usize {
-        let next = if after == NIL { self.min_bucket } else { self.buckets[after].next };
+        let next = if after == NIL {
+            self.min_bucket
+        } else {
+            self.buckets[after].next
+        };
         if next != NIL && self.buckets[next].count == count {
             return next;
         }
@@ -282,7 +304,11 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
 
         // After detaching, the old bucket may have been freed. Work out the
         // anchor bucket that precedes the position for `new_count`.
-        let anchor = if self.buckets_contains(old_bucket) { old_bucket } else { old_prev };
+        let anchor = if self.buckets_contains(old_bucket) {
+            old_bucket
+        } else {
+            old_prev
+        };
         let target = if next_bucket != NIL
             && self.buckets_contains(next_bucket)
             && self.buckets[next_bucket].count == new_count
@@ -340,7 +366,10 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
     }
 
     fn estimate(&self, key: &K) -> u64 {
-        self.index.get(key).map(|&i| self.nodes[i].count).unwrap_or(0)
+        self.index
+            .get(key)
+            .map(|&i| self.nodes[i].count)
+            .unwrap_or(0)
     }
 
     fn total(&self) -> u64 {
@@ -354,7 +383,7 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
             .filter(|c| c.count >= cut.max(1))
             .map(|c| (c.key, c.count))
             .collect();
-        hh.sort_by(|a, b| b.1.cmp(&a.1));
+        hh.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         hh
     }
 }

@@ -25,11 +25,20 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative or non-finite value,
     /// or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let sum: f64 = weights.iter().sum();
-        assert!(sum.is_finite() && sum > 0.0, "weights must sum to a positive finite value");
+        assert!(
+            sum.is_finite() && sum > 0.0,
+            "weights must sum to a positive finite value"
+        );
         for (i, &w) in weights.iter().enumerate() {
-            assert!(w >= 0.0 && w.is_finite(), "weight {i} is negative or non-finite: {w}");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weight {i} is negative or non-finite: {w}"
+            );
         }
         let n = weights.len();
         let mut prob = vec![0.0f64; n];

@@ -136,7 +136,14 @@ impl SyntheticDataset {
         // Roughly 80 drift epochs across the stream, mirroring the ~80 hours
         // covered by Figure 12's CT panel.
         let epoch = (messages / 80).max(1);
-        Self::fitted(DatasetKind::Cashtags, messages, keys, 0.0329, seed, Some(epoch))
+        Self::fitted(
+            DatasetKind::Cashtags,
+            messages,
+            keys,
+            0.0329,
+            seed,
+            Some(epoch),
+        )
     }
 
     /// A synthetic Zipf dataset (ZF) with an explicit exponent.
@@ -144,7 +151,9 @@ impl SyntheticDataset {
         let p1 = crate::zipf::ZipfDistribution::new(keys as usize, exponent).p1();
         Self {
             stats: DatasetStats {
-                kind: DatasetKind::Zipf { exponent_milli: (exponent * 1000.0).round() as u32 },
+                kind: DatasetKind::Zipf {
+                    exponent_milli: (exponent * 1000.0).round() as u32,
+                },
                 messages,
                 keys,
                 p1,
@@ -166,7 +175,12 @@ impl SyntheticDataset {
         let exponent = fit_exponent_to_p1(keys as usize, target_p1)
             .expect("Table I statistics are always fittable");
         Self {
-            stats: DatasetStats { kind, messages, keys, p1: target_p1 },
+            stats: DatasetStats {
+                kind,
+                messages,
+                keys,
+                p1: target_p1,
+            },
             exponent,
             seed,
             drift_epoch,
@@ -293,9 +307,15 @@ mod tests {
 
     #[test]
     fn cashtags_have_drift_and_others_do_not() {
-        assert!(SyntheticDataset::cashtag_like(Scale::Smoke, 0).drift_epoch().is_some());
-        assert!(SyntheticDataset::wikipedia_like(Scale::Smoke, 0).drift_epoch().is_none());
-        assert!(SyntheticDataset::twitter_like(Scale::Smoke, 0).drift_epoch().is_none());
+        assert!(SyntheticDataset::cashtag_like(Scale::Smoke, 0)
+            .drift_epoch()
+            .is_some());
+        assert!(SyntheticDataset::wikipedia_like(Scale::Smoke, 0)
+            .drift_epoch()
+            .is_none());
+        assert!(SyntheticDataset::twitter_like(Scale::Smoke, 0)
+            .drift_epoch()
+            .is_none());
     }
 
     #[test]

@@ -30,7 +30,13 @@ impl<S: KeyStream> DriftingGenerator<S> {
     /// Panics if `epoch == 0`.
     pub fn new(inner: S, epoch: u64, drift_seed: u64) -> Self {
         assert!(epoch > 0, "drift epoch must be positive");
-        Self { inner, epoch, produced: 0, drift_seed, current_epoch: 0 }
+        Self {
+            inner,
+            epoch,
+            produced: 0,
+            drift_seed,
+            current_epoch: 0,
+        }
     }
 
     /// The epoch length in messages.
@@ -52,7 +58,9 @@ impl<S: KeyStream> DriftingGenerator<S> {
             key
         } else {
             slb_hash::splitmix::splitmix64(
-                key ^ self.drift_seed.wrapping_mul(self.current_epoch.wrapping_add(1)),
+                key ^ self
+                    .drift_seed
+                    .wrapping_mul(self.current_epoch.wrapping_add(1)),
             )
         }
     }
@@ -88,7 +96,11 @@ mod tests {
                 *counts.entry(k).or_insert(0u64) += 1;
             }
         }
-        counts.into_iter().max_by_key(|&(_, c)| c).map(|(k, _)| k).expect("non-empty stream")
+        counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(k, _)| k)
+            .expect("non-empty stream")
     }
 
     #[test]
@@ -98,7 +110,10 @@ mod tests {
         let mut drifting = DriftingGenerator::new(base, 10_000, 3);
         let mut plain = plain;
         for _ in 0..1_000 {
-            assert_eq!(KeyStream::next_key(&mut drifting), KeyStream::next_key(&mut plain));
+            assert_eq!(
+                KeyStream::next_key(&mut drifting),
+                KeyStream::next_key(&mut plain)
+            );
         }
     }
 
@@ -109,7 +124,10 @@ mod tests {
         let hot_epoch0 = hottest_key(&mut drifting, 20_000);
         let hot_epoch1 = hottest_key(&mut drifting, 20_000);
         let hot_epoch2 = hottest_key(&mut drifting, 20_000);
-        assert_ne!(hot_epoch0, hot_epoch1, "drift must change the hot key identity");
+        assert_ne!(
+            hot_epoch0, hot_epoch1,
+            "drift must change the hot key identity"
+        );
         assert_ne!(hot_epoch1, hot_epoch2);
     }
 
@@ -120,7 +138,7 @@ mod tests {
         assert_eq!(drifting.len_hint(), 500);
         assert_eq!(drifting.key_space(), 50);
         let mut n = 0;
-        while KeyStream::next_key(&mut drifting).is_none() == false {
+        while KeyStream::next_key(&mut drifting).is_some() {
             n += 1;
         }
         assert_eq!(n, 500);

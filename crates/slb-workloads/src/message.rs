@@ -29,12 +29,20 @@ pub struct Message {
 impl Message {
     /// Creates a message with an empty payload.
     pub fn new(timestamp: u64, key: KeyId) -> Self {
-        Self { timestamp, key, payload: 0 }
+        Self {
+            timestamp,
+            key,
+            payload: 0,
+        }
     }
 
     /// Creates a message carrying `payload` bytes of (virtual) payload.
     pub fn with_payload(timestamp: u64, key: KeyId, payload: u32) -> Self {
-        Self { timestamp, key, payload }
+        Self {
+            timestamp,
+            key,
+            payload,
+        }
     }
 }
 
@@ -65,6 +73,9 @@ mod tests {
     fn serde_json_like(m: &Message) -> String {
         // We avoid a serde_json dependency; formatting the struct is enough
         // to prove the fields are public and stable.
-        format!("{{\"timestamp\":{},\"key\":{},\"payload\":{}}}", m.timestamp, m.key, m.payload)
+        format!(
+            "{{\"timestamp\":{},\"key\":{},\"payload\":{}}}",
+            m.timestamp, m.key, m.payload
+        )
     }
 }

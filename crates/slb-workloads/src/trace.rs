@@ -53,7 +53,10 @@ impl TraceReader {
         let mut magic = [0u8; 6];
         r.read_exact(&mut magic)?;
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an SLB trace file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an SLB trace file",
+            ));
         }
         let mut header = Vec::new();
         // Read the header line byte by byte (it is short).
@@ -79,7 +82,10 @@ impl TraceReader {
         let mut payload = Vec::new();
         r.read_to_end(&mut payload)?;
         if payload.len() % 8 != 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated trace payload"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated trace payload",
+            ));
         }
         let keys: Vec<KeyId> = payload
             .chunks_exact(8)
@@ -88,15 +94,26 @@ impl TraceReader {
         if declared != keys.len() as u64 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("trace declares {declared} messages but contains {}", keys.len()),
+                format!(
+                    "trace declares {declared} messages but contains {}",
+                    keys.len()
+                ),
             ));
         }
-        Ok(Self { keys, key_space, cursor: 0 })
+        Ok(Self {
+            keys,
+            key_space,
+            cursor: 0,
+        })
     }
 
     /// Builds a replayable trace directly from an in-memory key sequence.
     pub fn from_keys(keys: Vec<KeyId>, key_space: u64) -> Self {
-        Self { keys, key_space, cursor: 0 }
+        Self {
+            keys,
+            key_space,
+            cursor: 0,
+        }
     }
 
     /// Restarts the replay from the beginning.

@@ -36,14 +36,19 @@ impl ZipfDistribution {
     /// Panics if `keys == 0` or the exponent is negative or non-finite.
     pub fn new(keys: usize, exponent: f64) -> Self {
         assert!(keys > 0, "Zipf distribution needs at least one key");
-        assert!(exponent >= 0.0 && exponent.is_finite(), "exponent must be non-negative");
-        let mut probabilities: Vec<f64> =
-            (1..=keys).map(|i| (i as f64).powf(-exponent)).collect();
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be non-negative"
+        );
+        let mut probabilities: Vec<f64> = (1..=keys).map(|i| (i as f64).powf(-exponent)).collect();
         let norm: f64 = probabilities.iter().sum();
         for p in &mut probabilities {
             *p /= norm;
         }
-        Self { exponent, probabilities }
+        Self {
+            exponent,
+            probabilities,
+        }
     }
 
     /// The exponent `z`.
@@ -64,7 +69,10 @@ impl ZipfDistribution {
     /// Panics if `rank` is 0 or above the number of keys.
     #[inline]
     pub fn probability(&self, rank: usize) -> f64 {
-        assert!(rank >= 1 && rank <= self.probabilities.len(), "rank {rank} out of range");
+        assert!(
+            rank >= 1 && rank <= self.probabilities.len(),
+            "rank {rank} out of range"
+        );
         self.probabilities[rank - 1]
     }
 
@@ -142,7 +150,9 @@ pub fn fit_exponent_to_p1(keys: usize, target_p1: f64) -> Result<f64, String> {
     while p1_of(hi) < target_p1 {
         hi *= 2.0;
         if hi > 64.0 {
-            return Err(format!("target p1 {target_p1} not reachable for {keys} keys"));
+            return Err(format!(
+                "target p1 {target_p1} not reachable for {keys} keys"
+            ));
         }
     }
     for _ in 0..80 {
@@ -294,7 +304,10 @@ mod tests {
             last = m;
         }
         assert!((d.head_mass(500) - 1.0).abs() < 1e-9);
-        assert!((d.head_mass(1000) - 1.0).abs() < 1e-9, "over-long prefix saturates");
+        assert!(
+            (d.head_mass(1000) - 1.0).abs() < 1e-9,
+            "over-long prefix saturates"
+        );
     }
 
     #[test]
@@ -302,13 +315,21 @@ mod tests {
         for (keys, z) in [(10_000usize, 0.8), (2_900, 1.3), (100_000, 1.05)] {
             let target = ZipfDistribution::new(keys, z).p1();
             let fitted = fit_exponent_to_p1(keys, target).expect("fit must succeed");
-            assert!((fitted - z).abs() < 1e-3, "keys={keys} z={z} fitted={fitted}");
+            assert!(
+                (fitted - z).abs() < 1e-3,
+                "keys={keys} z={z} fitted={fitted}"
+            );
         }
     }
 
     #[test]
     fn generalized_harmonic_matches_exact_sum() {
-        for (keys, z) in [(100usize, 0.5), (50_000, 1.0), (80_000, 1.7), (120_000, 0.9)] {
+        for (keys, z) in [
+            (100usize, 0.5),
+            (50_000, 1.0),
+            (80_000, 1.7),
+            (120_000, 0.9),
+        ] {
             let exact: f64 = (1..=keys).map(|i| (i as f64).powf(-z)).sum();
             let approx = generalized_harmonic(keys, z);
             let rel = ((approx - exact) / exact).abs();
@@ -363,7 +384,10 @@ mod tests {
         let g = ZipfGenerator::new(500, 1.0, 3);
         let mut seen = std::collections::HashSet::new();
         for rank in 1..=500u64 {
-            assert!(seen.insert(g.key_of(rank)), "duplicate key id for rank {rank}");
+            assert!(
+                seen.insert(g.key_of(rank)),
+                "duplicate key id for rank {rank}"
+            );
         }
         assert_eq!(g.rank_of(g.key_of(42)), Some(42));
         assert_eq!(g.rank_of(0xdead_beef), None, "unknown key has no rank");

@@ -1,7 +1,9 @@
 //! Property-based tests for the workload substrate.
 
 use proptest::prelude::*;
-use slb_workloads::zipf::{fit_exponent_to_p1, generalized_harmonic, ZipfDistribution, ZipfGenerator};
+use slb_workloads::zipf::{
+    fit_exponent_to_p1, generalized_harmonic, ZipfDistribution, ZipfGenerator,
+};
 use slb_workloads::KeyStream;
 
 proptest! {

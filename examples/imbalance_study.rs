@@ -21,13 +21,20 @@ fn main() {
         stats.p1 * 100.0
     );
 
-    let schemes = [PartitionerKind::Pkg, PartitionerKind::DChoices, PartitionerKind::WChoices];
+    let schemes = [
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+    ];
     let workers = [5usize, 10, 20, 50, 100];
     let rows = imbalance_vs_workers(&[dataset], &schemes, &workers);
 
     println!("{:<8} {:>8} {:>16}", "scheme", "workers", "imbalance I(m)");
     for row in &rows {
-        println!("{:<8} {:>8} {:>16.3e}", row.scheme, row.workers, row.imbalance);
+        println!(
+            "{:<8} {:>8} {:>16.3e}",
+            row.scheme, row.workers, row.imbalance
+        );
     }
 
     println!();

@@ -18,7 +18,10 @@ fn main() {
     let skew = 1.8;
 
     println!("Routing {messages} messages with Zipf(z={skew}) keys to {workers} workers\n");
-    println!("{:<8} {:>14} {:>22}", "scheme", "imbalance", "max worker share (%)");
+    println!(
+        "{:<8} {:>14} {:>22}",
+        "scheme", "imbalance", "max worker share (%)"
+    );
 
     for kind in PartitionerKind::ALL {
         let config = PartitionConfig::new(workers).with_seed(42);

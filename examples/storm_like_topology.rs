@@ -49,8 +49,14 @@ fn main() {
         );
     }
 
-    let pkg = results.iter().find(|r| r.scheme == "PKG").expect("PKG result");
-    let wc = results.iter().find(|r| r.scheme == "W-C").expect("W-C result");
+    let pkg = results
+        .iter()
+        .find(|r| r.scheme == "PKG")
+        .expect("PKG result");
+    let wc = results
+        .iter()
+        .find(|r| r.scheme == "W-C")
+        .expect("W-C result");
     println!(
         "\nW-Choices delivers {:.2}x the throughput of PKG at this skew, with {:.0}% lower p99 latency.",
         wc.throughput_eps / pkg.throughput_eps,

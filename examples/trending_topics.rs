@@ -36,13 +36,14 @@ fn main() {
     let base = ZipfGenerator::with_limit(5_000, 1.6, 7, messages);
     let mut stream = DriftingGenerator::new(base, messages_per_epoch, 99);
 
-    let mut schemes: Vec<(PartitionerKind, _)> = [PartitionerKind::KeyGrouping, PartitionerKind::WChoices]
-        .into_iter()
-        .map(|kind| {
-            let cfg = PartitionConfig::new(workers).with_seed(3);
-            (kind, build_partitioner::<String>(kind, &cfg))
-        })
-        .collect();
+    let mut schemes: Vec<(PartitionerKind, _)> =
+        [PartitionerKind::KeyGrouping, PartitionerKind::WChoices]
+            .into_iter()
+            .map(|kind| {
+                let cfg = PartitionConfig::new(workers).with_seed(3);
+                (kind, build_partitioner::<String>(kind, &cfg))
+            })
+            .collect();
 
     // Per-scheme, per-worker counters: worker -> (tag -> count).
     let mut states: Vec<Vec<HashMap<String, u64>>> =
@@ -57,7 +58,10 @@ fn main() {
         }
         processed += 1;
         if processed % messages_per_epoch == 0 {
-            println!("-- after epoch {} ({processed} mentions) --", processed / messages_per_epoch);
+            println!(
+                "-- after epoch {} ({processed} mentions) --",
+                processed / messages_per_epoch
+            );
             for (i, (kind, partitioner)) in schemes.iter().enumerate() {
                 let loads = partitioner.local_loads();
                 let replicas: usize = {
@@ -81,7 +85,10 @@ fn main() {
     // Show the current top tags as reconstructed by merging partial states
     // (the aggregation step a downstream consumer would run).
     let (kind, _) = &schemes[1];
-    println!("\nTop tags according to the {} partitioned state:", kind.symbol());
+    println!(
+        "\nTop tags according to the {} partitioned state:",
+        kind.symbol()
+    );
     let mut merged: HashMap<&str, u64> = HashMap::new();
     for worker_state in &states[1] {
         for (tag, count) in worker_state {
@@ -89,7 +96,7 @@ fn main() {
         }
     }
     let mut top: Vec<_> = merged.into_iter().collect();
-    top.sort_by(|a, b| b.1.cmp(&a.1));
+    top.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     for (tag, count) in top.into_iter().take(5) {
         println!("   {tag:<16} {count}");
     }

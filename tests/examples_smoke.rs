@@ -1,0 +1,38 @@
+//! Smoke tests: the examples named in the README must build and run to
+//! completion from a fresh checkout.
+//!
+//! Each test shells out to `cargo run --example ...` (the build lock is free
+//! while the test binaries execute, so nesting cargo here is safe). The
+//! longer-running examples are exercised by `ci.sh` instead of here to keep
+//! `cargo test` fast.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} printed nothing; expected a result table"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn imbalance_study_runs() {
+    run_example("imbalance_study");
+}

@@ -37,8 +37,15 @@ fn two_choices_are_not_enough_at_scale() {
 fn pkg_is_fine_at_small_scale() {
     let dataset = SyntheticDataset::wikipedia_like(Scale::Smoke, 6);
     let mut stream = dataset.stream();
-    let pkg = Simulator::run(SimulationConfig::new(PartitionerKind::Pkg, 5), stream.as_mut());
-    assert!(pkg.imbalance < 0.01, "PKG imbalance at n=5 is {}", pkg.imbalance);
+    let pkg = Simulator::run(
+        SimulationConfig::new(PartitionerKind::Pkg, 5),
+        stream.as_mut(),
+    );
+    assert!(
+        pkg.imbalance < 0.01,
+        "PKG imbalance at n=5 is {}",
+        pkg.imbalance
+    );
 }
 
 /// The D-Choices solver reproduces the introduction's example: under Zipf
@@ -51,8 +58,12 @@ fn solver_reacts_to_the_sixty_percent_key() {
     assert!(dist.p1() > 0.55);
     for workers in [10usize, 50, 100] {
         let theta = 1.0 / (5.0 * workers as f64);
-        let head: Vec<f64> =
-            dist.probabilities().iter().copied().take_while(|&p| p >= theta).collect();
+        let head: Vec<f64> = dist
+            .probabilities()
+            .iter()
+            .copied()
+            .take_while(|&p| p >= theta)
+            .collect();
         let tail = 1.0 - head.iter().sum::<f64>();
         let d = find_optimal_choices(&head, tail, workers, 1e-4).effective_d(workers);
         assert!(
@@ -68,11 +79,15 @@ fn solver_reacts_to_the_sixty_percent_key() {
 fn analysis_figures_have_expected_shape() {
     let skews = [0.4f64, 1.2, 2.0];
     let fractions = d_fraction_vs_skew(&[50, 100], 10_000, &skews, 1e-4);
-    assert!(fractions.iter().all(|r| r.fraction <= 1.0 && r.fraction > 0.0));
+    assert!(fractions
+        .iter()
+        .all(|r| r.fraction <= 1.0 && r.fraction > 0.0));
     let cards = head_cardinality_vs_skew(&[50, 100], 10_000, &skews);
     assert!(cards.iter().all(|r| r.cardinality <= 5 * r.workers));
     let memory = memory_overhead_vs_skew(&[50], 10_000, 10_000_000, &skews, 1e-4);
-    assert!(memory.iter().all(|r| r.vs_pkg_pct >= -1e-9 && r.vs_sg_pct <= 1e-9));
+    assert!(memory
+        .iter()
+        .all(|r| r.vs_pkg_pct >= -1e-9 && r.vs_sg_pct <= 1e-9));
 }
 
 /// Cross-substrate agreement: the SpaceSaving estimate of the hottest key's
@@ -111,7 +126,10 @@ fn facade_simulator_and_engine_agree_on_accounting() {
 
     // Simulator-level accounting.
     let mut stream = ZipfGenerator::with_limit(500, 1.0, 2, 20_000);
-    let sim = Simulator::run(SimulationConfig::new(PartitionerKind::DChoices, 16), &mut stream);
+    let sim = Simulator::run(
+        SimulationConfig::new(PartitionerKind::DChoices, 16),
+        &mut stream,
+    );
     assert_eq!(sim.messages, 20_000);
     assert_eq!(sim.worker_loads.iter().sum::<u64>(), 20_000);
 
@@ -127,10 +145,27 @@ fn facade_simulator_and_engine_agree_on_accounting() {
 #[test]
 fn engine_orders_schemes_as_the_paper_does() {
     let base = EngineConfig::smoke(PartitionerKind::Pkg, 2.0);
-    let kg = Topology::new(EngineConfig { kind: PartitionerKind::KeyGrouping, ..base.clone() }).run();
-    let wc = Topology::new(EngineConfig { kind: PartitionerKind::WChoices, ..base.clone() }).run();
-    let sg = Topology::new(EngineConfig { kind: PartitionerKind::ShuffleGrouping, ..base }).run();
-    assert!(wc.imbalance <= kg.imbalance, "W-C {} vs KG {}", wc.imbalance, kg.imbalance);
+    let kg = Topology::new(EngineConfig {
+        kind: PartitionerKind::KeyGrouping,
+        ..base.clone()
+    })
+    .run();
+    let wc = Topology::new(EngineConfig {
+        kind: PartitionerKind::WChoices,
+        ..base.clone()
+    })
+    .run();
+    let sg = Topology::new(EngineConfig {
+        kind: PartitionerKind::ShuffleGrouping,
+        ..base
+    })
+    .run();
+    assert!(
+        wc.imbalance <= kg.imbalance,
+        "W-C {} vs KG {}",
+        wc.imbalance,
+        kg.imbalance
+    );
     assert!(wc.total_state_replicas() <= sg.total_state_replicas());
     assert!(kg.total_state_replicas() <= wc.total_state_replicas());
 }
@@ -171,7 +206,10 @@ fn switch_to_w_choices_is_reachable_through_the_public_api() {
 fn full_stack_determinism() {
     let run = || {
         let mut stream = ZipfGenerator::with_limit(2_000, 1.7, 31, 30_000);
-        Simulator::run(SimulationConfig::new(PartitionerKind::DChoices, 25), &mut stream)
+        Simulator::run(
+            SimulationConfig::new(PartitionerKind::DChoices, 25),
+            &mut stream,
+        )
     };
     let a = run();
     let b = run();

@@ -1,0 +1,321 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the `slb-bench` benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a plain warm-up + timed-loop measurement that prints the mean
+//! time per iteration (plus derived throughput when one is configured).
+//! There is no statistical analysis, outlier detection, or report history;
+//! treat the numbers as indicative, not publication-grade.
+//!
+//! Running a bench binary with `--quick` (or setting the environment
+//! variable `SLB_BENCH_QUICK=1`) shrinks warm-up and measurement times to a
+//! few milliseconds so smoke runs stay fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting derived throughput alongside time per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new<P: fmt::Display>(name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Filled in by `iter`: (total duration, iterations).
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then running as many iterations as
+    /// fit in the configured measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses, counting iterations
+        // to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Size the measurement loop from the observed per-iteration cost. Use
+        // the actual elapsed time, not the configured window: a routine slower
+        // than the window would otherwise look `warm_up_time / elapsed` times
+        // cheaper than it is and over-run the measurement phase by that factor.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target_iters =
+            (self.settings.measurement_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+        let iters = target_iters.clamp(1, u64::MAX);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("SLB_BENCH_QUICK").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+impl Settings {
+    fn new() -> Self {
+        let quick = quick_mode();
+        Settings {
+            warm_up_time: if quick {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(300)
+            },
+            measurement_time: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_secs(1)
+            },
+            throughput: None,
+        }
+    }
+}
+
+fn format_duration(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.3} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(label: &str, settings: &Settings, measured: Option<(Duration, u64)>) {
+    let Some((elapsed, iters)) = measured else {
+        println!("{label:<40} (no measurement recorded)");
+        return;
+    };
+    let nanos = elapsed.as_secs_f64() * 1e9 / iters as f64;
+    let mut line = format!(
+        "{label:<40} {:>12}/iter ({iters} iters)",
+        format_duration(nanos)
+    );
+    match settings.throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (nanos * 1e-9) / (1024.0 * 1024.0);
+            line.push_str(&format!("  {mib_s:.1} MiB/s"));
+        }
+        Some(Throughput::Elements(elems)) => {
+            let melem_s = elems as f64 / (nanos * 1e-9) / 1e6;
+            line.push_str(&format!("  {melem_s:.2} Melem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up window (ignored in `--quick` mode).
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        if !quick_mode() {
+            self.settings.warm_up_time = time;
+        }
+        self
+    }
+
+    /// Sets the measurement window (ignored in `--quick` mode).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        if !quick_mode() {
+            self.settings.measurement_time = time;
+        }
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes iteration counts from
+    /// the measurement window instead of a sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling derived
+    /// throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            settings: &self.settings,
+            measured: None,
+        };
+        f(&mut bencher);
+        report(&label, &self.settings, bencher.measured);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            settings: &self.settings,
+            measured: None,
+        };
+        f(&mut bencher, input);
+        report(&label, &self.settings, bencher.measured);
+        self
+    }
+
+    /// Ends the group. (The real crate finalizes reports here; the shim
+    /// prints as it goes.)
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    unit: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::new(),
+            _criterion: &mut self.unit,
+        }
+    }
+
+    /// Runs a standalone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let settings = Settings::new();
+        let mut bencher = Bencher {
+            settings: &settings,
+            measured: None,
+        };
+        f(&mut bencher);
+        report(&format!("{id}"), &settings, bencher.measured);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("d", 5).to_string(), "d/5");
+    }
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        // Build Settings directly (no process-global env mutation: tests run
+        // in parallel threads and quick_mode() reads the environment).
+        let settings = Settings {
+            warm_up_time: Duration::from_millis(2),
+            measurement_time: Duration::from_millis(5),
+            throughput: Some(Throughput::Elements(1)),
+        };
+        let mut bencher = Bencher {
+            settings: &settings,
+            measured: None,
+        };
+        bencher.iter(|| black_box(1 + 1));
+        let (elapsed, iters) = bencher.measured.expect("iter must record a measurement");
+        assert!(iters >= 1);
+        assert!(elapsed > Duration::ZERO);
+        report("test/noop", &settings, bencher.measured);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! Implements the surface this workspace's test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//!   header) generating one `#[test]` per property,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`prop_oneof!`] with weighted arms,
+//! * the [`strategy::Strategy`] trait implemented for integer and float
+//!   ranges, [`strategy::Just`], string patterns of the shape `".{a,b}"`,
+//!   [`arbitrary::any`], and [`collection::vec`],
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from the real crate, by design: **no shrinking** (a failing
+//! case prints the generated inputs unminimized) and a deterministic
+//! per-test RNG (seeded from the test's module path), so failures reproduce
+//! exactly run-to-run. See `vendor/README.md`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body against `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]: expands one property fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            $crate::test_runner::run_cases(&config, __name, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => $crate::test_runner::CaseOutcome::Pass,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        $crate::test_runner::CaseOutcome::Reject
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest property `{}` failed: {}\ninputs {}: {:#?}",
+                            stringify!($name),
+                            msg,
+                            stringify!(($($arg),+)),
+                            ($(&$arg),+),
+                        );
+                    }
+                }
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless the two expressions compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips) the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks among strategies; `weight => strategy` arms draw proportionally to
+/// their weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u64>> {
+        crate::collection::vec(
+            prop_oneof![
+                3 => Just(7u64),
+                1 => 0u64..5,
+            ],
+            1..20,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Generated vectors respect the length range and element strategies.
+        #[test]
+        fn vec_respects_bounds(v in small_vec()) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x == 7 || x < 5));
+        }
+
+        /// Ranges generate within bounds; assume() skips cases cleanly.
+        #[test]
+        fn ranges_and_assume(n in 1usize..100, x in 0.0f64..1.0) {
+            prop_assume!(n != 13);
+            prop_assert!((1..100).contains(&n));
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_ne!(n, 13);
+            prop_assert_eq!(n, n);
+        }
+
+        /// String patterns honour the `.{a,b}` length bounds.
+        #[test]
+        fn string_pattern_lengths(s in ".{0,64}") {
+            prop_assert!(s.chars().count() <= 64);
+            prop_assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn weighted_union_prefers_heavy_arm() {
+        let strat = prop_oneof![9 => Just(1u32), 1 => Just(0u32)];
+        let mut rng = crate::test_runner::TestRng::from_name("weighted_union_test");
+        let ones: u32 = (0..10_000)
+            .map(|_| Strategy::generate(&strat, &mut rng))
+            .sum();
+        assert!((8_500..9_500).contains(&ones), "ones = {ones}");
+    }
+}

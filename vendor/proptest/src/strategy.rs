@@ -1,0 +1,177 @@
+//! The `Strategy` trait and the combinators the workspace's suites use.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type. Unlike the real proptest
+/// there is no value tree and no shrinking: `generate` draws a value
+/// directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy so differently-typed strategies producing
+    /// the same `Value` can be mixed (as in `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// `&S` delegates, so strategies can be generated from behind references.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Weighted choice among boxed strategies; built by `prop_oneof!`.
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds the union. Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one positive weight"
+        );
+        WeightedUnion { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut ticket = rng.below(self.total_weight);
+        for (weight, strategy) in &self.arms {
+            if ticket < *weight as u64 {
+                return strategy.generate(rng);
+            }
+            ticket -= *weight as u64;
+        }
+        unreachable!("ticket exceeded total weight");
+    }
+}
+
+/// Characters drawn for the `.` pattern class: printable ASCII plus a few
+/// multi-byte code points so string tests exercise non-trivial UTF-8.
+const DOT_EXTRAS: &[char] = &['é', 'ß', '中', '🙂', 'Ω'];
+
+/// String-pattern strategies: a `&str` literal is interpreted as a
+/// simplified regex. Only the shape this workspace uses is supported —
+/// `.{a,b}` (between `a` and `b` arbitrary non-newline characters). Any
+/// other pattern is rejected at generation time.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!(
+                "unsupported string pattern {self:?}: the offline proptest shim \
+                 implements only \".{{a,b}}\""
+            )
+        });
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                // 1-in-16 chance of a non-ASCII char, otherwise printable ASCII.
+                if rng.below(16) == 0 {
+                    DOT_EXTRAS[rng.below(DOT_EXTRAS.len() as u64) as usize]
+                } else {
+                    (0x20 + rng.below(0x5F) as u8) as char
+                }
+            })
+            .collect()
+    }
+}
+
+/// Parses `".{a,b}"` into `(a, b)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let inner = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = inner.split_once(',')?;
+    let (min, max) = (min.trim().parse().ok()?, max.trim().parse().ok()?);
+    (min <= max).then_some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_repeat_parses() {
+        assert_eq!(parse_dot_repeat(".{0,64}"), Some((0, 64)));
+        assert_eq!(parse_dot_repeat(".{3,3}"), Some((3, 3)));
+        assert_eq!(parse_dot_repeat("a{0,4}"), None);
+        assert_eq!(parse_dot_repeat(".{9,2}"), None);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges_stay_in_bounds");
+        for _ in 0..10_000 {
+            let v = (5usize..9).generate(&mut rng);
+            assert!((5..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn just_clones_value() {
+        let mut rng = TestRng::from_name("just");
+        assert_eq!(Just(vec![1, 2]).generate(&mut rng), vec![1, 2]);
+    }
+}

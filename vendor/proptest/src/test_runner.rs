@@ -1,0 +1,118 @@
+//! Case execution: config, RNG, and the run loop behind `proptest!`.
+
+/// Configuration for one property. Only `cases` is configurable, matching
+/// what this workspace's suites set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of passing cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum rejected (assumed-away) cases tolerated before the run is
+    /// abandoned as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assert*` failed with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+/// Outcome of running one generated case (failures panic inside the case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion.
+    Pass,
+    /// The body asked for different inputs via `prop_assume!`.
+    Reject,
+}
+
+/// Deterministic generator used to produce case inputs: the vendored
+/// `rand::rngs::StdRng` seeded from a name (the test's module path), so
+/// every run of a given test replays the same input sequence. The real
+/// proptest likewise builds its `TestRng` on the `rand` crate.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary name via FNV-1a.
+    pub fn from_name(name: &str) -> Self {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        rand::Rng::next_u64(&mut self.inner)
+    }
+
+    /// Uniform draw from `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        rand::Rng::gen_range(&mut self.inner, 0..bound)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        rand::Rng::gen::<f64>(&mut self.inner)
+    }
+}
+
+/// Drives one property: generates and runs cases until `config.cases` have
+/// passed, skipping rejected cases (up to `config.max_global_rejects`).
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> CaseOutcome,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}` rejected {rejected} cases (passed {passed}/{}); \
+                         prop_assume! is filtering out too much of the input space",
+                        config.cases,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde` providing marker traits only.
+//!
+//! This repository derives `Serialize`/`Deserialize` on its result and
+//! config types so that a downstream consumer *could* serialize them, but it
+//! never actually drives a serializer (there is no `serde_json` in the tree).
+//! The shim therefore declares the two traits as blanket-implemented markers
+//! and re-exports no-op derive macros, which is enough for every call site to
+//! compile unchanged. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types. The real trait has a lifetime parameter (`Deserialize<'de>`); the
+/// shim drops it because no call site in this workspace names the lifetime.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

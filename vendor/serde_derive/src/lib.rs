@@ -1,0 +1,22 @@
+//! No-op derive macros for the [`serde`](../serde) shim.
+//!
+//! The companion `serde` crate blanket-implements its `Serialize` and
+//! `Deserialize` marker traits for every type, so these derives have nothing
+//! to generate — they exist only so that `#[derive(Serialize, Deserialize)]`
+//! resolves. See `vendor/README.md` for the rationale.
+
+use proc_macro::TokenStream;
+
+/// Derives `serde::Serialize`. Expands to nothing: the trait is
+/// blanket-implemented in the `serde` shim.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives `serde::Deserialize`. Expands to nothing: the trait is
+/// blanket-implemented in the `serde` shim.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
