@@ -32,6 +32,9 @@ for bin in crates/slb-bench/src/bin/expt_*.rs; do
     cargo run --quiet --release -p slb-bench --bin "$name" -- --scale smoke > /dev/null
 done
 
+echo "==> perf smoke (batched engine at zero service time must clear the floor)"
+cargo run --quiet --release -p slb-bench --bin perf_smoke
+
 echo "==> criterion benches (quick mode, compile + run)"
 SLB_BENCH_QUICK=1 cargo bench -p slb-bench --quiet > /dev/null
 

@@ -1,6 +1,15 @@
 //! Criterion end-to-end bench: throughput of the mini-DSPE under each
 //! grouping scheme at a small scale (the micro counterpart of Figure 13).
 //!
+//! Two groups:
+//! * `engine_end_to_end` — the saturated-worker configuration (25 µs of
+//!   emulated work per tuple), where the grouping scheme decides who
+//!   saturates first. Kept identical to the PR-1 baseline for continuity.
+//! * `engine_zero_service` — no per-tuple work, so the measurement isolates
+//!   the transport hot path itself (routing, batching, channels, state
+//!   updates). This is the number the batched-transport refactor moves and
+//!   the CI perf smoke guards.
+//!
 //! Keep the per-iteration work small: Criterion repeats each measurement
 //! many times and a full-size topology per iteration would take minutes.
 
@@ -38,5 +47,50 @@ fn engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_throughput);
+fn engine_zero_service(c: &mut Criterion) {
+    let messages = 100_000u64;
+    let mut group = c.benchmark_group("engine_zero_service");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(messages));
+    for kind in [
+        PartitionerKind::KeyGrouping,
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+        PartitionerKind::ShuffleGrouping,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scheme", kind.symbol()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let cfg = EngineConfig::smoke(kind, 2.0)
+                        .with_messages(messages)
+                        .with_service_time_us(0);
+                    let result = Topology::new(cfg).run();
+                    black_box(result.processed)
+                })
+            },
+        );
+    }
+    // Batch-size sweep for one scheme: batch 1 is the old tuple-at-a-time
+    // transport, so this row quantifies the batching win in isolation.
+    for batch in [1usize, 16, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("pkg_batch", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 2.0)
+                    .with_messages(messages)
+                    .with_service_time_us(0)
+                    .with_batch_size(batch);
+                let result = Topology::new(cfg).run();
+                black_box(result.processed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput, engine_zero_service);
 criterion_main!(benches);

@@ -54,5 +54,37 @@ fn candidate_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, digest_throughput, candidate_generation);
+/// Candidate generation for string keys: with digest-then-derive the key
+/// bytes are hashed once and each extra choice costs one SplitMix64 round,
+/// so the d=100 row is barely more expensive than d=2 plus 98 mixes —
+/// compare with the per-seed rehash this replaced, where cost was d full
+/// passes over the key bytes.
+fn candidate_generation_string_keys(c: &mut Criterion) {
+    let family = HashFamily::new(3, 100, 100);
+    let keys: Vec<String> = (0..1_000)
+        .map(|i| format!("entity/{i}/page-{}", i * 31))
+        .collect();
+    let mut group = c.benchmark_group("candidates_per_key_str");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &d in &[2usize, 5, 20, 100] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let mut out = Vec::with_capacity(d);
+            b.iter(|| {
+                for key in &keys {
+                    family.choices_into(black_box(key), d, &mut out);
+                    black_box(&out);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    digest_throughput,
+    candidate_generation,
+    candidate_generation_string_keys
+);
 criterion_main!(benches);

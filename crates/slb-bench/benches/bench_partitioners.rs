@@ -43,6 +43,64 @@ fn routing_cost(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar `route` versus `route_batch` over the same pre-generated stream,
+/// per scheme. Unlike `route_per_tuple` (which regenerates the Zipf stream
+/// inside the measured loop), both sides here route an in-memory key vector,
+/// so the pair isolates the batch API's dispatch/locality win and proves the
+/// head-key candidate cache pays for itself on skewed traffic.
+fn routing_batch_vs_scalar(c: &mut Criterion) {
+    let workers = 50;
+    let messages = 50_000u64;
+    let keys: Vec<u64> = {
+        let mut stream = ZipfGenerator::with_limit(10_000, 1.6, 7, messages);
+        let mut v = Vec::with_capacity(messages as usize);
+        while let Some(k) = KeyStream::next_key(&mut stream) {
+            v.push(k);
+        }
+        v
+    };
+    let mut group = c.benchmark_group("route_batch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(messages));
+    for kind in PartitionerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("scalar", kind.symbol()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let cfg = PartitionConfig::new(workers).with_seed(7);
+                    let mut p = build_partitioner::<u64>(kind, &cfg);
+                    let mut acc = 0usize;
+                    for k in &keys {
+                        acc += p.route(black_box(k));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch256", kind.symbol()),
+            &kind,
+            |b, &kind| {
+                let mut out = Vec::with_capacity(256);
+                b.iter(|| {
+                    let cfg = PartitionConfig::new(workers).with_seed(7);
+                    let mut p = build_partitioner::<u64>(kind, &cfg);
+                    let mut acc = 0usize;
+                    for chunk in keys.chunks(256) {
+                        p.route_batch(black_box(chunk), &mut out);
+                        acc += out.iter().sum::<usize>();
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn solver_cost(c: &mut Criterion) {
     use slb_core::find_optimal_choices;
     use slb_workloads::zipf::ZipfDistribution;
@@ -67,5 +125,5 @@ fn solver_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, routing_cost, solver_cost);
+criterion_group!(benches, routing_cost, routing_batch_vs_scalar, solver_cost);
 criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! CI perf smoke: the batched engine hot path must clear a throughput floor.
+//!
+//! Runs the mini-DSPE with zero per-tuple service time — isolating routing,
+//! batching, channel transport, and worker state updates — and fails (exit
+//! code 1) if end-to-end throughput falls below a conservative floor. The
+//! floor is set far under the ~30 Melem/s the batched transport measures on
+//! a developer machine, but well above the ~2.5 Melem/s the tuple-at-a-time
+//! transport topped out at, so a regression that reintroduces per-tuple
+//! channel round-trips (or comparable hot-path overhead) cannot land
+//! silently. See `docs/PERF.md` for the measurement history.
+//!
+//! The best of three runs is compared against the floor to damp scheduler
+//! noise on loaded CI machines.
+
+use slb_core::PartitionerKind;
+use slb_engine::{EngineConfig, Topology};
+
+/// Conservative floor, in events per second.
+const FLOOR_EPS: f64 = 5.0e6;
+
+fn main() {
+    let mut best: f64 = 0.0;
+    for run in 0..3 {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 2.0)
+            .with_messages(400_000)
+            .with_service_time_us(0);
+        let result = Topology::new(cfg).run();
+        println!(
+            "perf_smoke run {}: {} at zero service time: {:.2} Melem/s ({} tuples in {:.4}s)",
+            run + 1,
+            result.scheme,
+            result.throughput_eps / 1e6,
+            result.processed,
+            result.elapsed_secs
+        );
+        best = best.max(result.throughput_eps);
+    }
+    if best < FLOOR_EPS {
+        eprintln!(
+            "perf_smoke FAILED: best {:.2} Melem/s is below the {:.1} Melem/s floor — \
+             the batched hot path has regressed",
+            best / 1e6,
+            FLOOR_EPS / 1e6
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf_smoke OK: best {:.2} Melem/s clears the {:.1} Melem/s floor",
+        best / 1e6,
+        FLOOR_EPS / 1e6
+    );
+}

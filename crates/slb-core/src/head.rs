@@ -89,15 +89,32 @@ impl<K: Eq + Hash + Clone> HeadTracker<K> {
 
     /// Observes one occurrence of `key` and reports whether the key is in
     /// the head *after* the update.
+    ///
+    /// Uses a single SpaceSaving probe: the sketch reports the key's
+    /// estimate before and after the update, and the before/after head
+    /// membership is recomputed from those counts rather than by bracketing
+    /// the update with two extra `is_head` lookups.
     pub fn observe(&mut self, key: &K) -> bool {
-        let was_head = self.is_head(key);
-        self.sketch.observe(key);
-        let now_head = self.is_head(key);
+        let total_before = self.sketch.total();
+        let (est_before, est_after) = self.sketch.observe_counts(key);
+        let was_head = self.crosses_threshold(est_before, total_before);
+        let now_head = self.crosses_threshold(est_after, total_before + 1);
         if was_head != now_head {
             self.last_change_at = self.sketch.total();
             self.generation += 1;
         }
         now_head
+    }
+
+    /// The head-membership predicate over an (estimate, total) pair; shared
+    /// by [`Self::is_head`] and the single-probe [`Self::observe`].
+    #[inline]
+    fn crosses_threshold(&self, estimate: u64, total: u64) -> bool {
+        if total < self.warmup_messages() {
+            return false;
+        }
+        let cut = (self.theta * total as f64).ceil() as u64;
+        estimate >= cut.max(1)
     }
 
     /// True if `key` is currently estimated to be in the head.
@@ -107,12 +124,7 @@ impl<K: Eq + Hash + Clone> HeadTracker<K> {
     /// can qualify: on a shorter stream a single occurrence already clears
     /// the threshold, which would cause pointless replication at start-up.
     pub fn is_head(&self, key: &K) -> bool {
-        let total = self.sketch.total();
-        if total < self.warmup_messages() {
-            return false;
-        }
-        let cut = (self.theta * total as f64).ceil() as u64;
-        self.sketch.estimate(key) >= cut.max(1)
+        self.crosses_threshold(self.sketch.estimate(key), self.sketch.total())
     }
 
     /// Number of messages that must be observed before any key can be
@@ -260,5 +272,52 @@ mod tests {
     #[should_panic(expected = "theta must be in")]
     fn invalid_theta_panics() {
         let _: HeadTracker<u64> = HeadTracker::new(10, 0.0);
+    }
+
+    #[test]
+    fn single_probe_observe_keeps_generation_semantics() {
+        // The single-probe observe must behave exactly like the original
+        // bracketed form: return the post-update membership, and bump the
+        // generation iff the observed key's membership changed across the
+        // update. Checked against `is_head` on a skewed stream that drives
+        // keys in and out of the head (including eviction churn: capacity 8
+        // is far below the key universe).
+        // θ = 0.36 sits inside the band the bursty key's cumulative ratio
+        // oscillates across (2/3 during on-blocks, decaying toward 1/3), so
+        // the key enters and leaves the head repeatedly.
+        let mut tracker: HeadTracker<u64> = HeadTracker::new(8, 0.36);
+        let mut state = 0x9e37_79b9u64;
+        let mut bumps = 0u64;
+        for i in 0..30_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Key 1 is hot in bursts, so it repeatedly enters and leaves the
+            // head; the rest is a churning tail.
+            let key = if (i / 1_000) % 2 == 0 && i % 3 != 0 {
+                1
+            } else {
+                10 + state % 40
+            };
+            let was = tracker.is_head(&key);
+            let generation_before = tracker.generation();
+            let now = tracker.observe(&key);
+            assert_eq!(
+                now,
+                tracker.is_head(&key),
+                "return is post-update membership"
+            );
+            let bumped = tracker.generation() != generation_before;
+            assert_eq!(
+                bumped,
+                was != now,
+                "generation bumps iff membership changed"
+            );
+            if bumped {
+                bumps += 1;
+                assert_eq!(tracker.generation(), generation_before + 1);
+            }
+        }
+        assert!(bumps >= 2, "stream must actually exercise transitions");
     }
 }

@@ -53,6 +53,14 @@ pub struct HeadAwarePartitioner<K: Eq + Hash + Clone> {
     rr_next: usize,
     messages: u64,
     scratch: Vec<usize>,
+    /// Memoized `d` hash candidates per head key (D-Choices only). Head
+    /// membership is bounded by the sketch capacity, so the map stays small;
+    /// entries are pure functions of `(key, d)` and the whole map is dropped
+    /// whenever the tracker generation or the solver's `d` changes.
+    candidate_cache: std::collections::HashMap<K, Vec<usize>>,
+    cache_generation: u64,
+    cache_d: usize,
+    cache_capacity: usize,
 }
 
 impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
@@ -72,6 +80,10 @@ impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
             rr_next: (config.seed as usize) % config.workers,
             messages: 0,
             scratch: Vec::with_capacity(config.workers),
+            candidate_cache: std::collections::HashMap::new(),
+            cache_generation: 0,
+            cache_d: 0,
+            cache_capacity: config.sketch_capacity,
         }
     }
 
@@ -140,7 +152,10 @@ impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
             HeadPolicy::WChoices => self.loads.min_load_all(),
             HeadPolicy::RoundRobin => {
                 let w = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % self.loads.workers();
+                self.rr_next += 1;
+                if self.rr_next == self.loads.workers() {
+                    self.rr_next = 0;
+                }
                 w
             }
             HeadPolicy::DChoices => {
@@ -149,17 +164,60 @@ impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
                     ChoicesDecision::SwitchToW => self.loads.min_load_all(),
                     ChoicesDecision::UseD(d) => {
                         let d = d.clamp(2, self.family.len());
-                        self.family.choices_into(key, d, &mut self.scratch);
-                        self.loads.min_load_among(&self.scratch)
+                        self.least_loaded_head_candidate(key, d)
                     }
                 }
             }
         }
     }
 
+    /// Least-loaded worker among the key's `d` hash candidates, served from
+    /// the head-key candidate cache when possible.
+    ///
+    /// The candidates are a pure function of `(key, d)`, so a cache hit is
+    /// always exact and entries can never go *wrong* — invalidation is
+    /// purely a size/liveness policy. The whole map is dropped when `d`
+    /// moves (every entry really is stale then) and, more coarsely, on any
+    /// tracker generation bump: that discards entries for keys still in the
+    /// head, costing those keys one re-hash + re-insert, but it keeps keys
+    /// that left the head from lingering without per-entry bookkeeping.
+    /// Size is additionally bounded by the sketch capacity — the same bound
+    /// the head itself has.
+    fn least_loaded_head_candidate(&mut self, key: &K, d: usize) -> usize {
+        let generation = self.tracker.generation();
+        if self.cache_generation != generation || self.cache_d != d {
+            self.candidate_cache.clear();
+            self.cache_generation = generation;
+            self.cache_d = d;
+        }
+        if let Some(candidates) = self.candidate_cache.get(key) {
+            return self.loads.min_load_among(candidates);
+        }
+        self.family.choices_into(key, d, &mut self.scratch);
+        if self.candidate_cache.len() < self.cache_capacity {
+            self.candidate_cache
+                .insert(key.clone(), self.scratch.clone());
+        }
+        self.loads.min_load_among(&self.scratch)
+    }
+
     fn route_tail(&mut self, key: &K) -> usize {
         self.family.choices_into(key, 2, &mut self.scratch);
         self.loads.min_load_among(&self.scratch)
+    }
+
+    /// The full per-tuple decision, shared by `route` and `route_batch`.
+    #[inline]
+    fn route_one(&mut self, key: &K) -> usize {
+        self.messages += 1;
+        let in_head = self.tracker.observe(key);
+        let worker = if in_head {
+            self.route_head(key)
+        } else {
+            self.route_tail(key)
+        };
+        self.loads.record(worker);
+        worker
     }
 
     fn scheme_name(&self) -> &'static str {
@@ -173,15 +231,15 @@ impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
 
 impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for HeadAwarePartitioner<K> {
     fn route(&mut self, key: &K) -> usize {
-        self.messages += 1;
-        let in_head = self.tracker.observe(key);
-        let worker = if in_head {
-            self.route_head(key)
-        } else {
-            self.route_tail(key)
-        };
-        self.loads.record(worker);
-        worker
+        self.route_one(key)
+    }
+
+    fn route_batch(&mut self, keys: &[K], out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(keys.len());
+        for key in keys {
+            out.push(self.route_one(key));
+        }
     }
 
     fn workers(&self) -> usize {
@@ -411,6 +469,50 @@ mod tests {
         let mut b = HeadAwarePartitioner::<u64>::d_choices(&config(25, 77));
         for k in &stream {
             assert_eq!(a.route(k), b.route(k));
+        }
+    }
+
+    #[test]
+    fn candidate_cache_entries_match_fresh_hash_evaluation() {
+        // After a skewed run the cache must hold only exact candidate sets:
+        // every entry equal to re-evaluating the family at the cached d, and
+        // never more entries than the sketch capacity bound.
+        let stream = skewed_stream(40_000, 0.35, 500);
+        let mut dc = HeadAwarePartitioner::<u64>::d_choices(&config(40, 11));
+        for k in &stream {
+            dc.route(k);
+        }
+        assert!(
+            !dc.candidate_cache.is_empty(),
+            "a 35%-hot stream must produce head-key cache entries"
+        );
+        assert!(dc.candidate_cache.len() <= dc.cache_capacity);
+        for (key, cached) in &dc.candidate_cache {
+            assert_eq!(cached, &dc.family.choices(key, dc.cache_d), "key {key}");
+        }
+    }
+
+    #[test]
+    fn cache_is_dropped_when_d_changes() {
+        let stream = skewed_stream(30_000, 0.3, 400);
+        let mut dc = HeadAwarePartitioner::<u64>::d_choices(&config(50, 3));
+        for k in &stream {
+            dc.route(k);
+        }
+        assert!(
+            dc.candidate_cache.contains_key(&0),
+            "hot key must be cached after a 30%-hot run"
+        );
+        // Force a different d: the cache must be rebuilt at the new d on the
+        // next head route.
+        let old_d = dc.cache_d;
+        dc.cached_decision = ChoicesDecision::UseD(old_d + 1);
+        dc.cached_at_generation = dc.tracker.generation();
+        dc.cached_at_total = dc.tracker.total();
+        dc.route(&0);
+        assert_eq!(dc.cache_d, (old_d + 1).clamp(2, dc.family.len()));
+        for (key, cached) in &dc.candidate_cache {
+            assert_eq!(cached, &dc.family.choices(key, dc.cache_d), "key {key}");
         }
     }
 }

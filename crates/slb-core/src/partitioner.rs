@@ -30,6 +30,22 @@ pub trait Partitioner<K: KeyHash + Eq + Hash + Clone> {
     /// Routes a message with the given key, updating internal state.
     fn route(&mut self, key: &K) -> usize;
 
+    /// Routes a batch of messages, appending one worker index per key into
+    /// `out` (cleared first), in key order.
+    ///
+    /// Semantically identical to calling [`Self::route`] once per key — the
+    /// worker sequence and all internal state updates are bit-for-bit the
+    /// same — but dispatched once per batch instead of once per tuple, so a
+    /// boxed partitioner pays one virtual call per batch and implementations
+    /// can keep their hot state in registers across the loop.
+    fn route_batch(&mut self, keys: &[K], out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(keys.len());
+        for key in keys {
+            out.push(self.route(key));
+        }
+    }
+
     /// Number of downstream workers.
     fn workers(&self) -> usize;
 
@@ -64,11 +80,28 @@ impl KeyGrouping {
     }
 }
 
-impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for KeyGrouping {
-    fn route(&mut self, key: &K) -> usize {
+impl KeyGrouping {
+    /// The single-hash decision for one key, shared by `route` and
+    /// `route_batch`.
+    #[inline]
+    fn route_one<K: KeyHash + ?Sized>(&mut self, key: &K) -> usize {
         let worker = self.family.choice(key, 0);
         self.loads.record(worker);
         worker
+    }
+}
+
+impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for KeyGrouping {
+    fn route(&mut self, key: &K) -> usize {
+        self.route_one(key)
+    }
+
+    fn route_batch(&mut self, keys: &[K], out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(keys.len());
+        for key in keys {
+            out.push(self.route_one(key));
+        }
     }
 
     fn workers(&self) -> usize {
@@ -113,9 +146,30 @@ impl ShuffleGrouping {
 impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for ShuffleGrouping {
     fn route(&mut self, _key: &K) -> usize {
         let worker = self.next;
-        self.next = (self.next + 1) % self.workers;
+        // Compare-and-reset instead of `(next + 1) % workers`: the branch is
+        // almost always not-taken and predicts perfectly, where the modulo
+        // costs a hardware divide on every tuple.
+        self.next += 1;
+        if self.next == self.workers {
+            self.next = 0;
+        }
         self.loads.record(worker);
         worker
+    }
+
+    fn route_batch(&mut self, keys: &[K], out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(keys.len());
+        let mut next = self.next;
+        for _ in keys {
+            out.push(next);
+            self.loads.record(next);
+            next += 1;
+            if next == self.workers {
+                next = 0;
+            }
+        }
+        self.next = next;
     }
 
     fn workers(&self) -> usize {

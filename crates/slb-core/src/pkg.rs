@@ -22,9 +22,6 @@ use crate::partitioner::Partitioner;
 pub struct PartialKeyGrouping {
     family: HashFamily,
     loads: LoadVector,
-    /// Scratch buffer reused across `route` calls to avoid per-message
-    /// allocation on the hot path.
-    scratch: Vec<usize>,
 }
 
 impl PartialKeyGrouping {
@@ -33,7 +30,6 @@ impl PartialKeyGrouping {
         Self {
             family: HashFamily::new(config.seed, 2, config.workers),
             loads: LoadVector::new(config.workers),
-            scratch: Vec::with_capacity(2),
         }
     }
 
@@ -42,14 +38,36 @@ impl PartialKeyGrouping {
     pub fn candidates<K: KeyHash + ?Sized>(&self, key: &K) -> (usize, usize) {
         (self.family.choice(key, 0), self.family.choice(key, 1))
     }
+
+    /// The Greedy-2 decision for one key, shared by `route` and
+    /// `route_batch`: one digest, two derived candidates, less loaded wins
+    /// (ties go to the first candidate, as in `min_load_among`).
+    #[inline]
+    fn route_one<K: KeyHash + ?Sized>(&mut self, key: &K) -> usize {
+        let digest = key.digest();
+        let a = self.family.choice_from_digest(digest, 0);
+        let b = self.family.choice_from_digest(digest, 1);
+        let worker = if self.loads.count(b) < self.loads.count(a) {
+            b
+        } else {
+            a
+        };
+        self.loads.record(worker);
+        worker
+    }
 }
 
 impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for PartialKeyGrouping {
     fn route(&mut self, key: &K) -> usize {
-        self.family.choices_into(key, 2, &mut self.scratch);
-        let worker = self.loads.min_load_among(&self.scratch);
-        self.loads.record(worker);
-        worker
+        self.route_one(key)
+    }
+
+    fn route_batch(&mut self, keys: &[K], out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(keys.len());
+        for key in keys {
+            out.push(self.route_one(key));
+        }
     }
 
     fn workers(&self) -> usize {

@@ -1,0 +1,118 @@
+//! Property tests proving `route_batch` is bit-for-bit equivalent to
+//! tuple-at-a-time `route` for every grouping scheme.
+//!
+//! The batched hot path (engine transport, specialized `route_batch`
+//! implementations, the head-key candidate cache, digest-then-derive
+//! hashing) is only admissible because it never changes a routing decision:
+//! the worker sequence and the per-worker load vector must be identical to
+//! the scalar path for the same configuration and input stream. These tests
+//! pin that guarantee across schemes, skews, seeds, worker counts, and
+//! batch-size boundaries (including partial final batches and batch size 1).
+
+use proptest::prelude::*;
+
+use slb_core::{build_partitioner, PartitionConfig, PartitionerKind};
+
+/// A synthetic stream with a controllable hot-key share: `hot_permille` of
+/// the messages are key 0, the rest a deterministic xorshift tail.
+fn stream(len: usize, hot_permille: u16, tail_keys: u64, state0: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = state0 | 1;
+    for i in 0..len {
+        if (i * 1000 / len.max(1)) % 1000 < usize::from(hot_permille) && i % 7 != 0 {
+            out.push(0);
+        } else {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            out.push(1 + state % tail_keys);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For all six schemes: routing the stream in chunks via `route_batch`
+    /// yields byte-identical worker sequences and load vectors to routing it
+    /// one tuple at a time via `route`.
+    #[test]
+    fn route_batch_equals_scalar_route(
+        len in 200usize..3_000,
+        hot_permille in 0u16..700,
+        tail_keys in 1u64..2_000,
+        state0 in any::<u64>(),
+        n in 1usize..80,
+        seed in any::<u64>(),
+        batch in 1usize..300,
+    ) {
+        let keys = stream(len, hot_permille, tail_keys, state0);
+        let cfg = PartitionConfig::new(n).with_seed(seed);
+        for kind in PartitionerKind::ALL {
+            let mut scalar = build_partitioner::<u64>(kind, &cfg);
+            let mut batched = build_partitioner::<u64>(kind, &cfg);
+
+            let scalar_seq: Vec<usize> = keys.iter().map(|k| scalar.route(k)).collect();
+
+            let mut batched_seq = Vec::with_capacity(keys.len());
+            let mut out = Vec::new();
+            for chunk in keys.chunks(batch) {
+                batched.route_batch(chunk, &mut out);
+                prop_assert_eq!(out.len(), chunk.len(), "{:?} batch output length", kind);
+                batched_seq.extend_from_slice(&out);
+            }
+
+            prop_assert_eq!(&scalar_seq, &batched_seq, "{:?} worker sequence diverged", kind);
+            prop_assert_eq!(
+                scalar.local_loads().counts(),
+                batched.local_loads().counts(),
+                "{:?} load vectors diverged",
+                kind
+            );
+            prop_assert_eq!(scalar.local_loads().total(), batched.local_loads().total());
+        }
+    }
+
+    /// Mixing the two APIs mid-stream is also equivalent: a partitioner that
+    /// alternates `route` and `route_batch` arrives at the same state.
+    #[test]
+    fn interleaved_scalar_and_batch_calls_are_equivalent(
+        len in 200usize..2_000,
+        hot_permille in 0u16..700,
+        state0 in any::<u64>(),
+        n in 2usize..48,
+        seed in any::<u64>(),
+        batch in 1usize..97,
+    ) {
+        let keys = stream(len, hot_permille, 500, state0);
+        let cfg = PartitionConfig::new(n).with_seed(seed);
+        for kind in PartitionerKind::ALL {
+            let mut scalar = build_partitioner::<u64>(kind, &cfg);
+            let mut mixed = build_partitioner::<u64>(kind, &cfg);
+
+            let scalar_seq: Vec<usize> = keys.iter().map(|k| scalar.route(k)).collect();
+
+            let mut mixed_seq = Vec::with_capacity(keys.len());
+            let mut out = Vec::new();
+            for (i, chunk) in keys.chunks(batch).enumerate() {
+                if i % 2 == 0 {
+                    mixed.route_batch(chunk, &mut out);
+                    mixed_seq.extend_from_slice(&out);
+                } else {
+                    for k in chunk {
+                        mixed_seq.push(mixed.route(k));
+                    }
+                }
+            }
+
+            prop_assert_eq!(&scalar_seq, &mixed_seq, "{:?} diverged when mixing APIs", kind);
+            prop_assert_eq!(
+                scalar.local_loads().counts(),
+                mixed.local_loads().counts(),
+                "{:?} load vectors diverged",
+                kind
+            );
+        }
+    }
+}

@@ -35,6 +35,15 @@ impl LatencyTracker {
         self.samples_us.push(micros);
     }
 
+    /// Records the same latency for `count` tuples at once — used by the
+    /// batched engine, where every tuple of a drained batch shares one
+    /// timestamped emit instant.
+    #[inline]
+    pub fn record_many_us(&mut self, micros: u64, count: u64) {
+        self.samples_us
+            .resize(self.samples_us.len() + count as usize, micros);
+    }
+
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
         self.samples_us.len()
@@ -140,6 +149,19 @@ mod tests {
         assert_eq!(s.p95_us, 95);
         assert_eq!(s.p99_us, 99);
         assert_eq!(s.max_us, 100);
+    }
+
+    #[test]
+    fn record_many_matches_repeated_record() {
+        let mut a = LatencyTracker::new();
+        let mut b = LatencyTracker::new();
+        a.record_many_us(7, 5);
+        a.record_many_us(3, 0);
+        for _ in 0..5 {
+            b.record_us(7);
+        }
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.len(), 5);
     }
 
     #[test]

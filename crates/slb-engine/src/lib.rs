@@ -23,4 +23,4 @@ pub mod latency;
 pub mod topology;
 
 pub use latency::{LatencySummary, LatencyTracker};
-pub use topology::{EngineConfig, EngineResult, Topology};
+pub use topology::{EngineConfig, EngineResult, Topology, DEFAULT_BATCH_SIZE};

@@ -6,8 +6,24 @@
 //! it owns `d_max` seeds (derived deterministically from one master seed) and
 //! can evaluate any prefix of them for a key, so the same family serves keys
 //! with different `d` (2 for the tail, more for the head) without rehashing.
+//!
+//! ## Digest-then-derive
+//!
+//! The family does *not* hash the key bytes once per function. It hashes the
+//! key **once** into a 64-bit digest ([`KeyHash::digest`]) and derives the
+//! `i`-th choice with a single SplitMix64 round over `digest ^ seed_i`. For a
+//! string key this turns `d` full passes over the bytes into one pass plus
+//! `d` integer mixes, which is what makes large `d` (D-Choices head keys)
+//! affordable on the per-tuple hot path. Callers that route the same key
+//! several times can compute the digest themselves and use the
+//! `*_from_digest` variants to skip even the single key hash.
 
 use crate::{bucket_of, splitmix::splitmix64, xxhash::xxhash64};
+
+/// Seed used to produce the one-per-key digest that all family members
+/// derive their choices from. Any fixed constant works; this one is arbitrary
+/// but must never change, or every persisted routing decision would move.
+pub const DIGEST_SEED: u64 = 0xD16E_57A1_5EED_0001;
 
 /// Anything that can be routed by the partitioners: a key viewed as bytes.
 ///
@@ -17,6 +33,13 @@ use crate::{bucket_of, splitmix::splitmix64, xxhash::xxhash64};
 pub trait KeyHash {
     /// Hashes the key with the given seed into a 64-bit digest.
     fn key_hash(&self, seed: u64) -> u64;
+
+    /// The key's routing digest: one 64-bit hash from which every family
+    /// member derives its choice. Hash the key once, derive `d` times.
+    #[inline]
+    fn digest(&self) -> u64 {
+        self.key_hash(DIGEST_SEED)
+    }
 }
 
 impl KeyHash for [u8] {
@@ -80,14 +103,23 @@ impl KeyHash for usize {
 
 /// A family of up to `d_max` independent hash functions onto `n` workers.
 ///
-/// The functions are `F_i(k) = bucket(H(k, seed_i), n)` where the seeds are
-/// derived from the master seed with SplitMix64, so distinct family members
-/// behave as independent ideal hash functions for the purposes of the
-/// analysis in the paper (Section IV and Appendix A).
+/// The functions are `F_i(k) = bucket(mix(digest(k) ^ seed_i), n)` where the
+/// seeds are derived from the master seed with SplitMix64 and `mix` is one
+/// SplitMix64 finalizer round, so distinct family members behave as
+/// independent ideal hash functions for the purposes of the analysis in the
+/// paper (Section IV and Appendix A) while the key bytes are only hashed
+/// once per tuple.
 #[derive(Debug, Clone)]
 pub struct HashFamily {
     seeds: Vec<u64>,
     workers: usize,
+}
+
+/// Derives the `i`-th function's 64-bit value from a key digest: one
+/// SplitMix64 finalizer round over `digest ^ seed_i`.
+#[inline]
+fn derive(digest: u64, seed: u64) -> u64 {
+    splitmix64(digest ^ seed)
 }
 
 impl HashFamily {
@@ -128,7 +160,16 @@ impl HashFamily {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn choice<K: KeyHash + ?Sized>(&self, key: &K, i: usize) -> usize {
-        bucket_of(key.key_hash(self.seeds[i]), self.workers)
+        self.choice_from_digest(key.digest(), i)
+    }
+
+    /// Evaluates the `i`-th function on a precomputed key digest.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn choice_from_digest(&self, digest: u64, i: usize) -> usize {
+        bucket_of(derive(digest, self.seeds[i]), self.workers)
     }
 
     /// Evaluates the first `d` functions on `key`, returning the candidate
@@ -144,16 +185,29 @@ impl HashFamily {
             "d={d} out of range 1..={}",
             self.seeds.len()
         );
+        let digest = key.digest();
         self.seeds[..d]
             .iter()
-            .map(|&s| bucket_of(key.key_hash(s), self.workers))
+            .map(|&s| bucket_of(derive(digest, s), self.workers))
             .collect()
     }
 
     /// Evaluates the first `d` functions, writing candidates into `out`
     /// (cleared first). Allocation-free variant of [`Self::choices`] for the
-    /// per-tuple hot path.
+    /// per-tuple hot path: the key bytes are hashed once, then each choice
+    /// costs one integer mix.
+    #[inline]
     pub fn choices_into<K: KeyHash + ?Sized>(&self, key: &K, d: usize, out: &mut Vec<usize>) {
+        self.choices_from_digest_into(key.digest(), d, out);
+    }
+
+    /// Evaluates the first `d` functions on a precomputed digest, writing
+    /// candidates into `out` (cleared first).
+    ///
+    /// # Panics
+    /// Panics if `d > self.len()` or `d == 0`.
+    #[inline]
+    pub fn choices_from_digest_into(&self, digest: u64, d: usize, out: &mut Vec<usize>) {
         assert!(
             d > 0 && d <= self.seeds.len(),
             "d={d} out of range 1..={}",
@@ -161,7 +215,7 @@ impl HashFamily {
         );
         out.clear();
         for &s in &self.seeds[..d] {
-            out.push(bucket_of(key.key_hash(s), self.workers));
+            out.push(bucket_of(derive(digest, s), self.workers));
         }
     }
 
@@ -265,6 +319,41 @@ mod tests {
         for key in 0..100u64 {
             fam.choices_into(&key, 5, &mut buf);
             assert_eq!(buf, fam.choices(&key, 5));
+        }
+    }
+
+    #[test]
+    fn digest_variants_match_keyed_variants() {
+        let fam = HashFamily::new(13, 6, 23);
+        let mut buf = Vec::new();
+        for key in ["alpha", "beta", "wiki/Main_Page", ""] {
+            let digest = key.digest();
+            assert_eq!(digest, key.key_hash(DIGEST_SEED));
+            for i in 0..6 {
+                assert_eq!(fam.choice(&key, i), fam.choice_from_digest(digest, i));
+            }
+            fam.choices_from_digest_into(digest, 6, &mut buf);
+            assert_eq!(buf, fam.choices(&key, 6));
+        }
+    }
+
+    #[test]
+    fn derived_choices_stay_uniform_per_function() {
+        // Each derived function must still spread keys evenly: the digest
+        // indirection must not introduce bucket bias.
+        let n = 16;
+        let fam = HashFamily::new(9, 3, n);
+        let samples = 48_000u64;
+        for i in 0..3 {
+            let mut counts = vec![0usize; n];
+            for key in 0..samples {
+                counts[fam.choice(&key, i)] += 1;
+            }
+            let expected = samples as f64 / n as f64;
+            for (b, &c) in counts.iter().enumerate() {
+                let dev = (c as f64 - expected).abs() / expected;
+                assert!(dev < 0.10, "fn {i} bucket {b} deviates {dev:.3}");
+            }
         }
     }
 

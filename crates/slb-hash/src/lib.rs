@@ -17,7 +17,11 @@
 //!
 //! On top of the raw functions, [`family::HashFamily`] packages *d*
 //! independently-seeded functions mapping arbitrary keys to a worker index in
-//! `[0, n)`, which is exactly the interface the Greedy-d process needs.
+//! `[0, n)`, which is exactly the interface the Greedy-d process needs. The
+//! family hashes the key bytes once into a digest and derives each of the
+//! `d` choices with a single SplitMix64 round ("digest-then-derive"), so the
+//! marginal cost of an extra choice is a few integer instructions rather
+//! than another pass over the key.
 //!
 //! All functions are deterministic given their seed, so experiments are
 //! reproducible run-to-run.
@@ -28,7 +32,7 @@ pub mod murmur;
 pub mod splitmix;
 pub mod xxhash;
 
-pub use family::{HashFamily, KeyHash, StreamHasher};
+pub use family::{HashFamily, KeyHash, StreamHasher, DIGEST_SEED};
 pub use fnv::Fnv1a64;
 pub use splitmix::SplitMix64;
 pub use xxhash::XxHash64;

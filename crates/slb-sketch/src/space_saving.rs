@@ -337,21 +337,29 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         self.index.remove(&key);
         (node, count)
     }
-}
 
-impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
-    fn observe(&mut self, key: &K) {
+    /// Observes one occurrence of `key` and returns the key's estimated
+    /// count *before* and *after* the update, using a single index probe.
+    ///
+    /// The "before" estimate is what [`FrequencyEstimator::estimate`] would
+    /// have returned just prior to this call (0 for an unmonitored key); the
+    /// "after" estimate is what it returns now. Callers that need to detect
+    /// threshold crossings (e.g. head-membership transitions) can do so from
+    /// this single probe instead of bracketing `observe` with two extra
+    /// `estimate` lookups.
+    pub fn observe_counts(&mut self, key: &K) -> (u64, u64) {
         self.total += 1;
         if let Some(&node) = self.index.get(key) {
+            let before = self.nodes[node].count;
             self.increment_node(node);
-            return;
+            return (before, before + 1);
         }
         if self.index.len() < self.capacity {
             let node = self.alloc_node(key.clone(), 1, 0);
             let bucket = self.bucket_with_count_after(1, NIL);
             self.attach_node(node, bucket);
             self.index.insert(key.clone(), node);
-            return;
+            return (0, 1);
         }
         // Summary full: replace the minimum counter.
         let (node, min_count) = self.evict_min();
@@ -363,6 +371,13 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
         self.attach_node(node, bucket);
         self.index.insert(key.clone(), node);
         self.increment_node(node);
+        (0, min_count + 1)
+    }
+}
+
+impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
+    fn observe(&mut self, key: &K) {
+        let _ = self.observe_counts(key);
     }
 
     fn estimate(&self, key: &K) -> u64 {
@@ -552,6 +567,23 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: SpaceSaving<u64> = SpaceSaving::new(0);
+    }
+
+    #[test]
+    fn observe_counts_reports_before_and_after_estimates() {
+        // Across every code path (monitored increment, insertion under
+        // capacity, eviction), the pair must equal what bracketing the
+        // update with two `estimate` calls would have reported.
+        let mut ss = SpaceSaving::new(3);
+        let mut reference = SpaceSaving::new(3);
+        let stream = [1u64, 2, 1, 3, 4, 4, 5, 1, 6, 2, 7, 7, 7, 1];
+        for k in &stream {
+            let before = reference.estimate(k);
+            reference.observe(k);
+            let after = reference.estimate(k);
+            assert_eq!(ss.observe_counts(k), (before, after), "key {k}");
+        }
+        assert_eq!(ss.total(), reference.total());
     }
 
     #[test]

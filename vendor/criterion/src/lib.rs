@@ -11,8 +11,17 @@
 //! Running a bench binary with `--quick` (or setting the environment
 //! variable `SLB_BENCH_QUICK=1`) shrinks warm-up and measurement times to a
 //! few milliseconds so smoke runs stay fast.
+//!
+//! Setting `SLB_BENCH_JSON_DIR=<dir>` additionally writes every measurement
+//! as machine-readable JSON to `<dir>/BENCH_<bench>.json` (one array of
+//! `{name, ns_per_iter, iters, elems_per_sec, mib_per_sec}` records, where
+//! `<bench>` is the bench binary's name without its `bench_` prefix and
+//! cargo hash suffix), so the repo's perf trajectory can be tracked across
+//! PRs without scraping the human-readable output.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier; defers to [`std::hint::black_box`].
@@ -118,6 +127,83 @@ impl Settings {
     }
 }
 
+/// One measurement destined for the JSON sidecar file.
+#[derive(Debug, Clone)]
+struct JsonRecord {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+    elems_per_sec: Option<f64>,
+    mib_per_sec: Option<f64>,
+}
+
+impl JsonRecord {
+    fn render(&self) -> String {
+        let escaped: String = self
+            .name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), |x| format!("{x:.3}"));
+        format!(
+            "{{\"name\": \"{escaped}\", \"ns_per_iter\": {:.3}, \"iters\": {}, \"elems_per_sec\": {}, \"mib_per_sec\": {}}}",
+            self.ns_per_iter,
+            self.iters,
+            opt(self.elems_per_sec),
+            opt(self.mib_per_sec),
+        )
+    }
+}
+
+/// `BENCH_<name>.json` for a bench binary path like
+/// `target/release/deps/bench_engine-0123456789abcdef`.
+fn json_file_name(bench_exe: &Path) -> String {
+    let stem = bench_exe
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    // cargo appends `-<16 hex>` to the binary name; drop it if present.
+    let base = match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            name
+        }
+        _ => stem.as_str(),
+    };
+    format!("BENCH_{}.json", base.strip_prefix("bench_").unwrap_or(base))
+}
+
+/// The JSON sink (target path + accumulated records), if enabled via
+/// `SLB_BENCH_JSON_DIR`.
+fn json_sink() -> Option<&'static (PathBuf, Mutex<Vec<JsonRecord>>)> {
+    static SINK: OnceLock<Option<(PathBuf, Mutex<Vec<JsonRecord>>)>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let dir = std::env::var_os("SLB_BENCH_JSON_DIR")?;
+        let exe = std::env::args().next()?;
+        let path = PathBuf::from(dir).join(json_file_name(Path::new(&exe)));
+        Some((path, Mutex::new(Vec::new())))
+    })
+    .as_ref()
+}
+
+/// Appends a record and rewrites the JSON file (the record count is small;
+/// rewriting keeps the file a valid JSON array even if the process aborts
+/// between benches).
+fn emit_json(record: JsonRecord) {
+    let Some((path, records)) = json_sink() else {
+        return;
+    };
+    let mut records = records.lock().unwrap();
+    records.push(record);
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.render()))
+        .collect();
+    let _ = std::fs::write(path, format!("[\n{}\n]\n", body.join(",\n")));
+}
+
 fn format_duration(nanos: f64) -> String {
     if nanos < 1_000.0 {
         format!("{nanos:.2} ns")
@@ -140,18 +226,29 @@ fn report(label: &str, settings: &Settings, measured: Option<(Duration, u64)>) {
         "{label:<40} {:>12}/iter ({iters} iters)",
         format_duration(nanos)
     );
+    let mut elems_per_sec = None;
+    let mut mib_per_sec = None;
     match settings.throughput {
         Some(Throughput::Bytes(bytes)) => {
             let mib_s = bytes as f64 / (nanos * 1e-9) / (1024.0 * 1024.0);
             line.push_str(&format!("  {mib_s:.1} MiB/s"));
+            mib_per_sec = Some(mib_s);
         }
         Some(Throughput::Elements(elems)) => {
-            let melem_s = elems as f64 / (nanos * 1e-9) / 1e6;
-            line.push_str(&format!("  {melem_s:.2} Melem/s"));
+            let elem_s = elems as f64 / (nanos * 1e-9);
+            line.push_str(&format!("  {:.2} Melem/s", elem_s / 1e6));
+            elems_per_sec = Some(elem_s);
         }
         None => {}
     }
     println!("{line}");
+    emit_json(JsonRecord {
+        name: label.to_string(),
+        ns_per_iter: nanos,
+        iters,
+        elems_per_sec,
+        mib_per_sec,
+    });
 }
 
 /// A named group of related benchmarks sharing timing settings.
@@ -297,6 +394,41 @@ mod tests {
     #[test]
     fn bench_id_renders_name_slash_param() {
         assert_eq!(BenchmarkId::new("d", 5).to_string(), "d/5");
+    }
+
+    #[test]
+    fn json_file_name_strips_prefix_and_hash() {
+        assert_eq!(
+            json_file_name(Path::new(
+                "target/release/deps/bench_engine-0123456789abcdef"
+            )),
+            "BENCH_engine.json"
+        );
+        assert_eq!(
+            json_file_name(Path::new("bench_partitioners")),
+            "BENCH_partitioners.json"
+        );
+        assert_eq!(
+            json_file_name(Path::new("my-bench")),
+            "BENCH_my-bench.json",
+            "a non-hash suffix is kept"
+        );
+    }
+
+    #[test]
+    fn json_record_renders_valid_json() {
+        let r = JsonRecord {
+            name: "group/scheme \"x\"".to_string(),
+            ns_per_iter: 1234.5678,
+            iters: 42,
+            elems_per_sec: Some(2.5e7),
+            mib_per_sec: None,
+        };
+        assert_eq!(
+            r.render(),
+            "{\"name\": \"group/scheme \\\"x\\\"\", \"ns_per_iter\": 1234.568, \
+             \"iters\": 42, \"elems_per_sec\": 25000000.000, \"mib_per_sec\": null}"
+        );
     }
 
     #[test]

@@ -153,6 +153,44 @@ impl<T> Receiver<T> {
             state = self.shared.not_empty.wait(state).unwrap();
         }
     }
+
+    /// Blocks until at least one message is available, then moves up to
+    /// `max` queued messages into `out` under a single lock acquisition,
+    /// returning how many were moved. Fails only when the channel is empty
+    /// and all senders have been dropped.
+    ///
+    /// This is the batch counterpart of [`Self::recv`]: a consumer that
+    /// drains its queue through this path pays one Mutex+Condvar round-trip
+    /// per drained run instead of one per message. `out` is appended to, not
+    /// cleared. (The real crate has no direct equivalent — `try_iter` after
+    /// a blocking `recv` comes closest — so the engine gates its use behind
+    /// this shim; see `vendor/README.md`.)
+    ///
+    /// # Panics
+    /// Panics if `max == 0`.
+    pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+        assert!(max > 0, "recv_batch needs room for at least one message");
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if !state.queue.is_empty() {
+                let take = state.queue.len().min(max);
+                out.extend(state.queue.drain(..take));
+                drop(state);
+                // Several slots may have been freed at once: wake every
+                // blocked sender, not just one.
+                if take > 1 {
+                    self.shared.not_full.notify_all();
+                } else {
+                    self.shared.not_full.notify_one();
+                }
+                return Ok(take);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).unwrap();
+        }
+    }
 }
 
 impl<T> Clone for Receiver<T> {
@@ -223,6 +261,76 @@ mod tests {
         }
         assert_eq!(expected, 10_000);
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_batch_drains_in_fifo_order() {
+        let (tx, rx) = bounded(8);
+        for i in 0..6 {
+            tx.send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.recv_batch(&mut out, 4), Ok(4));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv_batch(&mut out, 100), Ok(2));
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5], "appends, does not clear");
+        drop(tx);
+        assert_eq!(rx.recv_batch(&mut out, 1), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_batch_blocks_until_a_message_arrives() {
+        let (tx, rx) = bounded::<u64>(4);
+        let consumer = thread::spawn(move || {
+            let mut out = Vec::new();
+            let mut total = 0usize;
+            while let Ok(n) = rx.recv_batch(&mut out, 64) {
+                total += n;
+                out.clear();
+            }
+            total
+        });
+        let producer = thread::spawn(move || {
+            for i in 0..10_000 {
+                tx.send(i).unwrap();
+            }
+        });
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), 10_000);
+    }
+
+    #[test]
+    fn recv_batch_wakes_multiple_blocked_senders() {
+        let (tx, rx) = bounded::<u64>(2);
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..500 {
+                        tx.send(i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        while let Ok(n) = rx.recv_batch(&mut out, usize::MAX) {
+            total += n;
+            out.clear();
+        }
+        assert_eq!(total, 2_000);
+        for p in producers {
+            p.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn recv_batch_zero_max_panics() {
+        let (_tx, rx) = bounded::<u8>(1);
+        let mut out = Vec::new();
+        let _ = rx.recv_batch(&mut out, 0);
     }
 
     #[test]
