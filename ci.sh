@@ -17,7 +17,21 @@ echo "==> release build"
 cargo build --release
 
 echo "==> workspace tests (all crates; superset of the tier-1 \`cargo test -q\`)"
+# The golden suite inside this run executes every expt_* binary at smoke
+# scale and asserts the deterministic scheme orderings in their output
+# (crates/slb-bench/tests/golden.rs), so there is no separate exit-code-only
+# experiment loop anymore.
 cargo test -q --workspace
+
+echo "==> differential seed matrix (key-splitting soundness per seed)"
+for seed in 1 42 1337; do
+    echo "    SLB_TEST_SEED=$seed"
+    SLB_TEST_SEED="$seed" cargo test -q -p slb-engine --test differential
+done
+
+echo "==> property suites at CI case counts"
+PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props
+PROPTEST_CASES=256 cargo test -q -p slb-sketch --test proptests
 
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
@@ -25,12 +39,6 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> examples (quickstart and imbalance_study already ran via tests/examples_smoke.rs)"
 cargo run --quiet --release --example trending_topics > /dev/null
 cargo run --quiet --release --example storm_like_topology > /dev/null
-
-echo "==> experiment binaries (smoke scale)"
-for bin in crates/slb-bench/src/bin/expt_*.rs; do
-    name="$(basename "$bin" .rs)"
-    cargo run --quiet --release -p slb-bench --bin "$name" -- --scale smoke > /dev/null
-done
 
 echo "==> perf smoke (batched engine at zero service time must clear the floor)"
 cargo run --quiet --release -p slb-bench --bin perf_smoke

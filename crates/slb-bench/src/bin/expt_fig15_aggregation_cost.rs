@@ -1,0 +1,103 @@
+//! "Figure 15" (beyond the paper): cost and scaling of the aggregation
+//! stage that makes key splitting sound.
+//!
+//! The paper's topology has a downstream aggregator merging the workers'
+//! partial per-key state, but its evaluation never isolates that stage's
+//! cost. This experiment does, on the mini-DSPE's three-operator pipeline:
+//! for a fixed scheme and skew it sweeps the window size (how often workers
+//! punctuate, finalize and ship partials) and the number of key-hash
+//! aggregator shards, reporting per-stage throughput and the worker-close →
+//! aggregator-merge latency. Expected shape: smaller windows mean more
+//! partial-window traffic (more punctuation, more shard messages) and so a
+//! lower tuple throughput, while extra shards cut the merge latency of
+//! large windows but cannot help when the windows themselves are tiny.
+
+use slb_bench::{options_from_env, print_header};
+use slb_core::PartitionerKind;
+use slb_engine::{EngineConfig, Topology};
+use slb_simulator::experiments::ExperimentScale;
+
+fn main() {
+    let options = options_from_env();
+    print_header(
+        "Figure 15",
+        "Aggregation-stage cost vs window size and shard count",
+        &options,
+    );
+
+    let skew = 2.0;
+    let base = match options.scale {
+        ExperimentScale::Smoke => EngineConfig::smoke(PartitionerKind::Pkg, skew),
+        ExperimentScale::Laptop => EngineConfig::laptop(PartitionerKind::Pkg, skew),
+        ExperimentScale::Paper => EngineConfig::paper(PartitionerKind::Pkg, skew),
+    }
+    .with_seed(options.seed)
+    // Zero service time exposes the aggregation overhead itself; with the
+    // paper's 1 ms of work per tuple the stage cost disappears in the noise.
+    .with_service_time_us(0);
+
+    let window_sizes: Vec<u64> = match options.scale {
+        ExperimentScale::Smoke => vec![256, 2_048],
+        _ => vec![256, 1_024, 4_096, 16_384],
+    };
+    let shard_counts: Vec<usize> = match options.scale {
+        ExperimentScale::Smoke => vec![1, 2],
+        _ => vec![1, 2, 4],
+    };
+
+    println!(
+        "{:<8} {:>8} {:>7} {:>14} {:>9} {:>10} {:>14} {:>14}",
+        "scheme",
+        "window",
+        "shards",
+        "tuples/s",
+        "windows",
+        "partials",
+        "agg p50 (µs)",
+        "agg p99 (µs)"
+    );
+    let mut results = Vec::new();
+    for &window_size in &window_sizes {
+        for &aggregators in &shard_counts {
+            let cfg = base
+                .clone()
+                .with_window_size(window_size)
+                .with_aggregators(aggregators);
+            let r = Topology::new(cfg).run();
+            println!(
+                "{:<8} {:>8} {:>7} {:>14.0} {:>9} {:>10} {:>14} {:>14}",
+                r.scheme,
+                r.window_size,
+                r.aggregators,
+                r.throughput_eps,
+                r.windows,
+                r.aggregator_stage.items,
+                r.aggregator_stage.latency.p50_us,
+                r.aggregator_stage.latency.p99_us
+            );
+            results.push(r);
+        }
+    }
+
+    // Headline: the punctuation tax — throughput of the smallest window vs
+    // the largest, at the same shard count.
+    let shards0 = shard_counts[0];
+    let find = |window: u64| {
+        results
+            .iter()
+            .find(|r| r.window_size == window && r.aggregators == shards0)
+    };
+    if let (Some(small), Some(large)) = (
+        find(*window_sizes.first().expect("non-empty sweep")),
+        find(*window_sizes.last().expect("non-empty sweep")),
+    ) {
+        println!(
+            "# window {} → {} at {} shard(s): throughput x{:.2}, partial messages x{:.2}",
+            small.window_size,
+            large.window_size,
+            shards0,
+            large.throughput_eps / small.throughput_eps,
+            small.aggregator_stage.items as f64 / large.aggregator_stage.items.max(1) as f64,
+        );
+    }
+}

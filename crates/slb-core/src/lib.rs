@@ -32,6 +32,7 @@
 //! assert!(worker < 50);
 //! ```
 
+pub mod aggregate;
 pub mod config;
 pub mod dchoices;
 pub mod head;
@@ -41,6 +42,9 @@ pub mod memory;
 pub mod partitioner;
 pub mod pkg;
 
+pub use aggregate::{
+    shard_of, CountAggregate, SumAggregate, TopKAggregate, WindowAggregate, SHARD_SEED,
+};
 pub use config::{HeadThreshold, PartitionConfig};
 pub use dchoices::{
     constraints_hold, d_fraction, expected_worker_set_size, find_optimal_choices, ChoicesDecision,

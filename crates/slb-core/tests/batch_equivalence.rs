@@ -32,7 +32,8 @@ fn stream(len: usize, hot_permille: u16, tail_keys: u64, state0: u64) -> Vec<u64
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+    // 40 cases locally; ci.sh raises this via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases_env(40))]
 
     /// For all six schemes: routing the stream in chunks via `route_batch`
     /// yields byte-identical worker sequences and load vectors to routing it

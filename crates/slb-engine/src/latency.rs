@@ -130,6 +130,39 @@ impl LatencySummary {
     }
 }
 
+/// Throughput and latency of one topology stage.
+///
+/// The unit of `items` differs per stage: the worker stage counts tuples,
+/// the aggregator stage counts partial-window messages (one per closed
+/// window per worker per shard), because that is what each stage's threads
+/// actually receive and process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Items processed by the stage over the whole run.
+    pub items: u64,
+    /// Items per second of wall-clock run time.
+    pub items_per_sec: f64,
+    /// Latency distribution of the stage's items (worker stage: source emit
+    /// → worker completion; aggregator stage: worker window close →
+    /// aggregator merge).
+    pub latency: LatencySummary,
+}
+
+impl StageMetrics {
+    /// Builds stage metrics from raw counts and the run's elapsed seconds.
+    pub fn new(items: u64, elapsed_secs: f64, latency: LatencySummary) -> Self {
+        Self {
+            items,
+            items_per_sec: if elapsed_secs > 0.0 {
+                items as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            latency,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

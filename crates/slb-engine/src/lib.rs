@@ -1,26 +1,40 @@
 //! A threaded in-process mini-DSPE used for the throughput/latency study.
 //!
 //! The paper's Figures 13 and 14 come from a deployment on an Apache Storm
-//! cluster: 48 sources generate a Zipf stream and 80 workers aggregate it,
-//! with a fixed 1 ms of CPU work per tuple, so that the cluster operates at
-//! its saturation point and the end-to-end latency is dominated by queueing
-//! at the most loaded worker. We reproduce the same topology shape in
-//! process: source threads generate and route tuples through the grouping
-//! scheme under study, bounded channels model the workers' input queues, and
-//! worker threads perform a configurable amount of busy work per tuple while
-//! recording their own throughput and per-tuple latency.
+//! cluster: 48 sources generate a Zipf stream, 80 workers aggregate it with
+//! a fixed 1 ms of CPU work per tuple, and a downstream aggregation stage
+//! merges the workers' partial per-key state — the stage that makes key
+//! splitting (PKG, D-Choices, W-Choices) *sound*, because splitting is only
+//! admissible if something re-unifies the state it scatters. We reproduce
+//! the same three-operator topology in process: source threads generate and
+//! route tuples through the grouping scheme under study, bounded channels
+//! model the workers' input queues, worker threads perform a configurable
+//! amount of busy work per tuple while accumulating per-window partial
+//! aggregates, and key-hash-sharded aggregator threads merge the partials
+//! into the final per-window result.
 //!
 //! The absolute numbers differ from the paper's cluster, but the comparison
 //! between grouping schemes — who saturates first, whose queues grow — is
 //! governed by the same mechanism: the most loaded worker is the bottleneck,
 //! so a scheme with higher imbalance delivers lower throughput and higher
-//! tail latency.
+//! tail latency. The merged windowed output, by contrast, must not depend on
+//! the scheme at all: for every scheme, batch size, and aggregator shard
+//! count it is bit-identical to a single-threaded exact count (the
+//! `differential` test suite pins this invariant).
 //!
-//! * [`topology`] — configuration and the runner.
-//! * [`latency`] — latency recording and percentile summaries.
+//! * [`topology`] — configuration and the three-stage runner.
+//! * [`windows`] — deterministic tuple-count windows and the exact
+//!   single-threaded reference aggregation.
+//! * [`latency`] — latency recording, percentile summaries, and per-stage
+//!   metrics.
 
 pub mod latency;
 pub mod topology;
+pub mod windows;
 
-pub use latency::{LatencySummary, LatencyTracker};
-pub use topology::{EngineConfig, EngineResult, Topology, DEFAULT_BATCH_SIZE};
+pub use latency::{LatencySummary, LatencyTracker, StageMetrics};
+pub use topology::{
+    EngineConfig, EngineResult, Topology, DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE,
+    DEFAULT_WINDOW_SIZE,
+};
+pub use windows::{exact_windowed_counts, window_of, WindowId, WindowedRun};

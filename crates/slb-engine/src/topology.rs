@@ -1,12 +1,17 @@
-//! The source → worker topology and its runner.
+//! The source → worker → aggregator topology and its runner.
 //!
-//! A [`Topology`] mirrors the paper's Storm application: a set of source
-//! threads generates a keyed stream and routes every tuple through the
-//! grouping scheme under study; a set of worker threads consumes the tuples
-//! from bounded input queues, performs a fixed amount of CPU work per tuple
-//! (emulating the aggregation operator), and keeps per-key state. Sources
-//! block when a worker's queue is full, which is exactly the back-pressure
-//! behaviour that makes the most loaded worker the throughput bottleneck.
+//! A [`Topology`] mirrors the paper's Storm application, now with all three
+//! operators: a set of source threads generates a keyed stream and routes
+//! every tuple through the grouping scheme under study; a set of worker
+//! threads consumes the tuples from bounded input queues, performs a fixed
+//! amount of CPU work per tuple (the first aggregation phase), and
+//! accumulates per-key *partial* window state; a set of aggregator threads —
+//! sharded by key hash — merges the workers' partials into the final
+//! per-window result. Sources block when a worker's queue is full, which is
+//! exactly the back-pressure behaviour that makes the most loaded worker the
+//! throughput bottleneck; the aggregator stage is the reason key splitting
+//! (PKG, D-Choices, W-Choices) is *sound*: it re-unifies the per-key state
+//! the splitting scattered across workers.
 //!
 //! ## Batched transport
 //!
@@ -25,18 +30,37 @@
 //! grouping-scheme comparison is unchanged while the per-tuple transport
 //! cost (two Mutex+Condvar round-trips and two `Instant::now()` calls per
 //! tuple) drops by roughly the batch size.
+//!
+//! ## Windows and punctuation
+//!
+//! Tuples are windowed by count per source sub-stream (see
+//! [`crate::windows`]): the tuple at source position `i` belongs to window
+//! `i / window_size`. A source never lets a transported batch span a window
+//! boundary; when it finishes a window it flushes its in-flight batches and
+//! broadcasts a close marker for that window to every worker. A worker that
+//! has collected the marker from all sources finalizes its partial for the
+//! window, splits it by key hash into one slice per aggregator shard
+//! ([`WindowAggregate::shard`]), and ships the slices downstream — also in
+//! batches, with one timestamp per partial, so the hot path stays
+//! allocation-free. Aggregators merge slices as they arrive and declare a
+//! window final once every worker has contributed, counting merges and
+//! recording close→merge latency as the second stage's metrics.
 
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
-use slb_core::{build_partitioner, PartitionConfig, PartitionerKind};
-use slb_workloads::zipf::ZipfGenerator;
+use slb_core::{
+    build_partitioner, CountAggregate, PartitionConfig, PartitionerKind, WindowAggregate,
+};
 use slb_workloads::{KeyId, KeyStream};
 
-use crate::latency::{LatencySummary, LatencyTracker};
+use crate::latency::{LatencySummary, LatencyTracker, StageMetrics};
+use crate::windows::{WindowId, WindowedRun};
 
 /// Configuration of one engine run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,10 +89,23 @@ pub struct EngineConfig {
     /// original tuple-at-a-time transport; the default of 256 amortizes the
     /// channel synchronization and timestamping cost across the batch.
     pub batch_size: usize,
+    /// Tuples per window in each source sub-stream (window boundaries are
+    /// deterministic: tuple `i` of a source belongs to window
+    /// `i / window_size`).
+    pub window_size: u64,
+    /// Number of aggregator threads; the key space is sharded across them
+    /// by key hash so the merge stage scales past one thread.
+    pub aggregators: usize,
 }
 
 /// Default number of tuples per transported batch.
 pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Default number of tuples per window in each source sub-stream.
+pub const DEFAULT_WINDOW_SIZE: u64 = 4_096;
+
+/// Default number of aggregator shards.
+pub const DEFAULT_AGGREGATORS: usize = 2;
 
 impl EngineConfig {
     /// A laptop-friendly configuration for the given scheme and skew:
@@ -85,6 +122,8 @@ impl EngineConfig {
             queue_capacity: 1_024,
             seed: 42,
             batch_size: DEFAULT_BATCH_SIZE,
+            window_size: DEFAULT_WINDOW_SIZE,
+            aggregators: DEFAULT_AGGREGATORS,
         }
     }
 
@@ -102,6 +141,8 @@ impl EngineConfig {
             queue_capacity: 1_024,
             seed: 42,
             batch_size: DEFAULT_BATCH_SIZE,
+            window_size: 16_384,
+            aggregators: 4,
         }
     }
 
@@ -121,6 +162,8 @@ impl EngineConfig {
             queue_capacity: 128,
             seed: 42,
             batch_size: DEFAULT_BATCH_SIZE,
+            window_size: 2_048,
+            aggregators: DEFAULT_AGGREGATORS,
         }
     }
 
@@ -147,13 +190,45 @@ impl EngineConfig {
         self.batch_size = batch_size;
         self
     }
+
+    /// Overrides the window size (tuples per window per source sub-stream).
+    pub fn with_window_size(mut self, window_size: u64) -> Self {
+        self.window_size = window_size;
+        self
+    }
+
+    /// Overrides the number of aggregator shards.
+    pub fn with_aggregators(mut self, aggregators: usize) -> Self {
+        self.aggregators = aggregators;
+        self
+    }
 }
 
-/// A batch of tuples in flight to one worker: the keys plus the single
-/// timestamp taken when the batch was shipped.
+/// A batch of tuples in flight to one worker: the keys, the window they all
+/// belong to (sources never let a batch span a boundary), and the single
+/// timestamp taken when the batch's first tuple was buffered.
 struct TupleBatch {
     keys: Vec<KeyId>,
+    window: WindowId,
     emitted_at: Instant,
+}
+
+/// One message on a source → worker channel.
+enum SourceMessage {
+    /// A batch of same-window tuples.
+    Batch(TupleBatch),
+    /// Punctuation: the sending source has emitted every tuple it will ever
+    /// emit for `window` (and has flushed the batches carrying them).
+    CloseWindow { window: WindowId },
+}
+
+/// One worker's finalized partial aggregate for one window, sliced to one
+/// aggregator shard's key range.
+struct PartialWindow<P> {
+    window: WindowId,
+    partial: P,
+    /// When the worker finalized the window (all close markers collected).
+    closed_at: Instant,
 }
 
 /// Outcome of one engine run.
@@ -169,7 +244,7 @@ pub struct EngineResult {
     pub elapsed_secs: f64,
     /// Throughput in events per second.
     pub throughput_eps: f64,
-    /// End-to-end latency summary.
+    /// End-to-end latency summary (source emit → worker completion).
     pub latency: LatencySummary,
     /// Per-worker processed-message counts (for imbalance auditing).
     pub worker_counts: Vec<u64>,
@@ -177,12 +252,49 @@ pub struct EngineResult {
     pub worker_state_keys: Vec<u64>,
     /// Imbalance of the processed counts.
     pub imbalance: f64,
+    /// Tuples per window per source sub-stream in this run.
+    pub window_size: u64,
+    /// Number of aggregator shards in this run.
+    pub aggregators: usize,
+    /// Number of windows finalized by the aggregator stage.
+    pub windows: u64,
+    /// Worker-stage metrics: tuples through the workers' queues (same data
+    /// as `processed`/`throughput_eps`/`latency`, packaged per stage).
+    pub worker_stage: StageMetrics,
+    /// Aggregator-stage metrics: partial-window messages merged, and the
+    /// worker-close → aggregator-merge latency distribution.
+    pub aggregator_stage: StageMetrics,
 }
 
 impl EngineResult {
     /// Total distinct `(key, worker)` state replicas across workers.
     pub fn total_state_replicas(&self) -> u64 {
         self.worker_state_keys.iter().sum()
+    }
+}
+
+/// Ships every non-empty pending batch for the given window downstream.
+fn flush_pending(
+    senders: &[Sender<SourceMessage>],
+    pending: &mut [Vec<KeyId>],
+    pending_since: &[Instant],
+    window: WindowId,
+    batch_size: usize,
+    sent: &mut u64,
+) {
+    for (worker, buffer) in pending.iter_mut().enumerate() {
+        if buffer.is_empty() {
+            continue;
+        }
+        let keys = std::mem::replace(buffer, Vec::with_capacity(batch_size));
+        *sent += keys.len() as u64;
+        senders[worker]
+            .send(SourceMessage::Batch(TupleBatch {
+                keys,
+                window,
+                emitted_at: pending_since[worker],
+            }))
+            .expect("worker queue closed prematurely");
     }
 }
 
@@ -202,11 +314,25 @@ impl Topology {
         assert!(config.keys > 0, "need at least one key");
         assert!(config.queue_capacity > 0, "queues need capacity");
         assert!(config.batch_size > 0, "batches need at least one tuple");
+        assert!(config.window_size > 0, "windows need at least one tuple");
+        assert!(config.aggregators > 0, "need at least one aggregator");
         Self { config }
     }
 
-    /// Runs the topology to completion and returns the measurements.
+    /// Runs the topology to completion with the default windowed count
+    /// aggregation and returns the measurements (the per-window counts are
+    /// computed and then discarded; use [`Self::run_windowed`] to keep them).
     pub fn run(&self) -> EngineResult {
+        self.run_windowed(CountAggregate).result
+    }
+
+    /// Runs the topology to completion under the given windowed aggregation
+    /// and returns the measurements together with the final merged
+    /// per-window aggregates.
+    pub fn run_windowed<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+    {
         let cfg = &self.config;
         let batch_size = cfg.batch_size;
         // The queue capacity is configured in tuples; the channels carry
@@ -216,68 +342,170 @@ impl Topology {
         // single batch; a floor of one serializes source and worker on the
         // same condvar hand-off.
         let capacity_batches = cfg.queue_capacity.div_ceil(batch_size).max(2);
-        let (senders, receivers): (Vec<Sender<TupleBatch>>, Vec<Receiver<TupleBatch>>) = (0..cfg
-            .workers)
-            .map(|_| bounded::<TupleBatch>(capacity_batches))
+        let (senders, receivers): (Vec<Sender<SourceMessage>>, Vec<Receiver<SourceMessage>>) = (0
+            ..cfg.workers)
+            .map(|_| bounded::<SourceMessage>(capacity_batches))
+            .unzip();
+        // Worker → aggregator channels carry one partial per closed window
+        // per worker, so a couple of windows' worth of slots per worker is
+        // plenty of double-buffering.
+        type PartialChannel<P> = (
+            Vec<Sender<PartialWindow<P>>>,
+            Vec<Receiver<PartialWindow<P>>>,
+        );
+        let (partial_senders, partial_receivers): PartialChannel<A::Partial> = (0..cfg.aggregators)
+            .map(|_| bounded::<PartialWindow<A::Partial>>(cfg.workers * 2 + 4))
             .unzip();
 
         let start = Instant::now();
 
-        // Worker threads: drain whole runs of batches under one lock
-        // acquisition, spin for the aggregate service time, update per-key
-        // state, record one latency value per batch.
-        let mut worker_handles = Vec::with_capacity(cfg.workers);
-        for receiver in receivers {
-            let service_time = Duration::from_micros(cfg.service_time_us);
-            worker_handles.push(thread::spawn(move || {
-                let mut processed = 0u64;
-                let mut latencies = LatencyTracker::with_capacity(4_096);
-                let mut state: std::collections::HashMap<KeyId, u64> =
-                    std::collections::HashMap::new();
-                let mut drained: Vec<TupleBatch> = Vec::new();
+        // Aggregator threads: merge partial-window slices as they arrive; a
+        // window is final once every worker has contributed its slice.
+        let mut aggregator_handles = Vec::with_capacity(cfg.aggregators);
+        for receiver in partial_receivers {
+            let aggregate = aggregate.clone();
+            let workers = cfg.workers;
+            aggregator_handles.push(thread::spawn(move || {
+                let mut latencies = LatencyTracker::with_capacity(256);
+                let mut merged = 0u64;
+                let mut open: HashMap<WindowId, (A::Partial, usize)> = HashMap::new();
+                let mut finalized: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
+                let mut drained: Vec<PartialWindow<A::Partial>> = Vec::new();
                 while receiver.recv_batch(&mut drained, usize::MAX).is_ok() {
-                    for batch in drained.drain(..) {
-                        let n = batch.keys.len() as u64;
-                        // Emulate the aggregation work with one busy-wait for
-                        // the whole batch (n tuples' worth of service time):
-                        // sleeping is far too coarse at microsecond
-                        // granularity, and a per-tuple deadline would put two
-                        // `Instant::now()` calls back on the per-tuple path.
-                        if !service_time.is_zero() {
-                            let until = Instant::now() + service_time * n as u32;
-                            while Instant::now() < until {
-                                std::hint::spin_loop();
-                            }
+                    for pw in drained.drain(..) {
+                        latencies.record_us(pw.closed_at.elapsed().as_micros() as u64);
+                        merged += 1;
+                        let slot = open
+                            .entry(pw.window)
+                            .or_insert_with(|| (aggregate.empty(), 0));
+                        aggregate.merge(&mut slot.0, pw.partial);
+                        slot.1 += 1;
+                        if slot.1 == workers {
+                            let (partial, _) = open.remove(&pw.window).expect("window is open");
+                            finalized.insert(pw.window, partial);
                         }
-                        for key in &batch.keys {
-                            *state.entry(*key).or_insert(0) += 1;
-                        }
-                        let batch_latency_us = batch.emitted_at.elapsed().as_micros() as u64;
-                        latencies.record_many_us(batch_latency_us, n);
-                        processed += n;
                     }
                 }
-                (processed, latencies, state.len() as u64)
+                debug_assert!(
+                    open.is_empty(),
+                    "every window must receive a partial from every worker"
+                );
+                (finalized, latencies, merged)
             }));
         }
 
+        // Worker threads: drain whole runs of batches under one lock
+        // acquisition, spin for the aggregate service time, update per-key
+        // state and the open window's partial, record one latency value per
+        // batch. Window close markers from all sources finalize a window:
+        // its partial is sharded by key hash and shipped downstream.
+        let mut worker_handles = Vec::with_capacity(cfg.workers);
+        for receiver in receivers {
+            let aggregate = aggregate.clone();
+            let partial_senders = partial_senders.clone();
+            let service_time = Duration::from_micros(cfg.service_time_us);
+            let sources = cfg.sources;
+            let aggregators = cfg.aggregators;
+            worker_handles.push(thread::spawn(move || {
+                let mut processed = 0u64;
+                let mut latencies = LatencyTracker::with_capacity(4_096);
+                // Distinct keys this worker has ever held state for (the
+                // memory-footprint metric); the per-key counts themselves
+                // live in the window partials.
+                let mut state: std::collections::HashSet<KeyId> = std::collections::HashSet::new();
+                let mut open: HashMap<WindowId, A::Partial> = HashMap::new();
+                let mut closes: HashMap<WindowId, usize> = HashMap::new();
+                let mut windows_closed = 0u64;
+                let mut drained: Vec<SourceMessage> = Vec::new();
+                while receiver.recv_batch(&mut drained, usize::MAX).is_ok() {
+                    for message in drained.drain(..) {
+                        match message {
+                            SourceMessage::Batch(batch) => {
+                                let n = batch.keys.len() as u64;
+                                // Emulate the aggregation work with one
+                                // busy-wait for the whole batch (n tuples'
+                                // worth of service time): sleeping is far too
+                                // coarse at microsecond granularity, and a
+                                // per-tuple deadline would put two
+                                // `Instant::now()` calls back on the per-tuple
+                                // path.
+                                if !service_time.is_zero() {
+                                    let until = Instant::now() + service_time * n as u32;
+                                    while Instant::now() < until {
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                                let partial = open
+                                    .entry(batch.window)
+                                    .or_insert_with(|| aggregate.empty());
+                                for key in &batch.keys {
+                                    state.insert(*key);
+                                    aggregate.observe(partial, key, 1);
+                                }
+                                let batch_latency_us =
+                                    batch.emitted_at.elapsed().as_micros() as u64;
+                                latencies.record_many_us(batch_latency_us, n);
+                                processed += n;
+                            }
+                            SourceMessage::CloseWindow { window } => {
+                                let seen = closes.entry(window).or_insert(0);
+                                *seen += 1;
+                                if *seen < sources {
+                                    continue;
+                                }
+                                // Channels are FIFO per source, so with all
+                                // sources' markers in hand this worker holds
+                                // every tuple of the window that was routed
+                                // to it: finalize and ship the shard slices.
+                                closes.remove(&window);
+                                let partial =
+                                    open.remove(&window).unwrap_or_else(|| aggregate.empty());
+                                let closed_at = Instant::now();
+                                for (shard, slice) in aggregate
+                                    .shard(partial, aggregators)
+                                    .into_iter()
+                                    .enumerate()
+                                {
+                                    partial_senders[shard]
+                                        .send(PartialWindow {
+                                            window,
+                                            partial: slice,
+                                            closed_at,
+                                        })
+                                        .expect("aggregator queue closed prematurely");
+                                }
+                                windows_closed += 1;
+                            }
+                        }
+                    }
+                }
+                debug_assert!(
+                    open.is_empty() && closes.is_empty(),
+                    "all windows must be closed by end of stream"
+                );
+                (processed, latencies, state.len() as u64, windows_closed)
+            }));
+        }
+        // The workers hold their own clones of the partial senders.
+        drop(partial_senders);
+
         // Source threads: generate and route a buffer of keys at a time,
         // accumulate per-worker batches, ship each batch with a single
-        // timestamp when it fills (blocking on full queues).
-        let per_source = cfg.messages / cfg.sources as u64;
+        // timestamp when it fills (blocking on full queues). A key buffer
+        // never crosses a window boundary; at each boundary the source
+        // flushes its in-flight batches and broadcasts the close marker.
+        let window_size = cfg.window_size;
         let mut source_handles = Vec::with_capacity(cfg.sources);
         for source_idx in 0..cfg.sources {
             let senders = senders.clone();
             let kind = cfg.kind;
             let partition = PartitionConfig::new(cfg.workers).with_seed(cfg.seed);
-            let keys = cfg.keys;
-            let skew = cfg.skew;
             let workers = cfg.workers;
-            // Each source generates an independent slice of the workload.
-            let stream_seed = cfg.seed.wrapping_add(1 + source_idx as u64);
+            // Each source generates an independent slice of the workload
+            // over the shared key space (see `windows::source_stream`).
+            let mut stream = crate::windows::source_stream(cfg, source_idx);
             source_handles.push(thread::spawn(move || {
                 let mut partitioner = build_partitioner::<KeyId>(kind, &partition);
-                let mut stream = ZipfGenerator::with_limit(keys, skew, stream_seed, per_source);
                 let mut keybuf: Vec<KeyId> = Vec::with_capacity(batch_size);
                 let mut routebuf: Vec<usize> = Vec::with_capacity(batch_size);
                 let mut pending: Vec<Vec<KeyId>> = (0..workers)
@@ -292,9 +520,13 @@ impl Topology {
                 // for later tuples in the batch; it never understates.
                 let mut pending_since: Vec<Instant> = vec![Instant::now(); workers];
                 let mut sent = 0u64;
+                let mut local_idx = 0u64;
                 loop {
+                    // Cap the buffer at the window's remaining tuples so a
+                    // routed batch never spans a boundary.
+                    let take = batch_size.min((window_size - local_idx % window_size) as usize);
                     keybuf.clear();
-                    while keybuf.len() < batch_size {
+                    while keybuf.len() < take {
                         match KeyStream::next_key(&mut stream) {
                             Some(key) => keybuf.push(key),
                             None => break,
@@ -303,6 +535,7 @@ impl Topology {
                     if keybuf.is_empty() {
                         break;
                     }
+                    let window = crate::windows::window_of(local_idx, window_size);
                     partitioner.route_batch(&keybuf, &mut routebuf);
                     for (&key, &worker) in keybuf.iter().zip(&routebuf) {
                         if pending[worker].is_empty() {
@@ -319,23 +552,48 @@ impl Topology {
                             // cannot happen before all senders are dropped;
                             // treat it as fatal.
                             senders[worker]
-                                .send(TupleBatch {
+                                .send(SourceMessage::Batch(TupleBatch {
                                     keys,
+                                    window,
                                     emitted_at: pending_since[worker],
-                                })
+                                }))
+                                .expect("worker queue closed prematurely");
+                        }
+                    }
+                    local_idx += keybuf.len() as u64;
+                    if local_idx % window_size == 0 {
+                        // Window complete: everything buffered belongs to it,
+                        // so flush first, then broadcast the close marker.
+                        flush_pending(
+                            &senders,
+                            &mut pending,
+                            &pending_since,
+                            window,
+                            batch_size,
+                            &mut sent,
+                        );
+                        for sender in &senders {
+                            sender
+                                .send(SourceMessage::CloseWindow { window })
                                 .expect("worker queue closed prematurely");
                         }
                     }
                 }
-                // Flush the partial batches left over at end of stream.
-                for (worker, keys) in pending.into_iter().enumerate() {
-                    if !keys.is_empty() {
-                        sent += keys.len() as u64;
-                        senders[worker]
-                            .send(TupleBatch {
-                                keys,
-                                emitted_at: pending_since[worker],
-                            })
+                // End of stream: flush and close the final partial window
+                // (full windows were already closed at their boundary).
+                if local_idx % window_size != 0 {
+                    let window = crate::windows::window_of(local_idx, window_size);
+                    flush_pending(
+                        &senders,
+                        &mut pending,
+                        &pending_since,
+                        window,
+                        batch_size,
+                        &mut sent,
+                    );
+                    for sender in &senders {
+                        sender
+                            .send(SourceMessage::CloseWindow { window })
                             .expect("worker queue closed prematurely");
                     }
                 }
@@ -353,31 +611,69 @@ impl Topology {
         let mut latencies = Vec::with_capacity(cfg.workers);
         let mut worker_counts = Vec::with_capacity(cfg.workers);
         let mut worker_state_keys = Vec::with_capacity(cfg.workers);
+        let mut worker_windows_closed = Vec::with_capacity(cfg.workers);
         for h in worker_handles {
-            let (count, tracker, state_keys) = h.join().expect("worker thread panicked");
+            let (count, tracker, state_keys, windows_closed) =
+                h.join().expect("worker thread panicked");
             processed += count;
             worker_counts.push(count);
             worker_state_keys.push(state_keys);
+            worker_windows_closed.push(windows_closed);
             latencies.push(tracker);
         }
         debug_assert_eq!(sent_total, processed, "every sent tuple must be processed");
 
+        let mut windows: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
+        let mut aggregator_latencies = Vec::with_capacity(cfg.aggregators);
+        let mut partials_merged = 0u64;
+        for h in aggregator_handles {
+            let (finalized, tracker, merged) = h.join().expect("aggregator thread panicked");
+            partials_merged += merged;
+            aggregator_latencies.push(tracker);
+            for (window, partial) in finalized {
+                match windows.entry(window) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(partial);
+                    }
+                    Entry::Occupied(mut slot) => aggregate.merge(slot.get_mut(), partial),
+                }
+            }
+        }
+        debug_assert!(
+            worker_windows_closed
+                .iter()
+                .all(|&w| w == windows.len() as u64),
+            "every worker closes every window exactly once"
+        );
+
         let elapsed = start.elapsed().as_secs_f64();
-        EngineResult {
+        let latency = LatencyTracker::summarize(&latencies);
+        let throughput_eps = if elapsed > 0.0 {
+            processed as f64 / elapsed
+        } else {
+            0.0
+        };
+        let result = EngineResult {
             scheme: cfg.kind.symbol().to_string(),
             skew: cfg.skew,
             processed,
             elapsed_secs: elapsed,
-            throughput_eps: if elapsed > 0.0 {
-                processed as f64 / elapsed
-            } else {
-                0.0
-            },
-            latency: LatencyTracker::summarize(&latencies),
+            throughput_eps,
+            latency,
             imbalance: slb_core::imbalance(&worker_counts),
             worker_counts,
             worker_state_keys,
-        }
+            window_size: cfg.window_size,
+            aggregators: cfg.aggregators,
+            windows: windows.len() as u64,
+            worker_stage: StageMetrics::new(processed, elapsed, latency),
+            aggregator_stage: StageMetrics::new(
+                partials_merged,
+                elapsed,
+                LatencyTracker::summarize(&aggregator_latencies),
+            ),
+        };
+        WindowedRun { result, windows }
     }
 }
 
@@ -397,6 +693,8 @@ pub fn compare_schemes(base: &EngineConfig, schemes: &[PartitionerKind]) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slb_core::{SumAggregate, TopKAggregate};
+    use slb_sketch::FrequencyEstimator;
 
     #[test]
     fn smoke_run_processes_every_message() {
@@ -411,6 +709,16 @@ mod tests {
         assert!(result.latency.samples > 0);
         assert_eq!(result.latency.samples, result.processed);
         assert_eq!(result.scheme, "PKG");
+        // The aggregation stage ran: every window finalized, one partial per
+        // worker per shard per window merged.
+        let per_source = cfg.messages / cfg.sources as u64;
+        assert_eq!(result.windows, per_source.div_ceil(cfg.window_size));
+        assert_eq!(
+            result.aggregator_stage.items,
+            result.windows * (cfg.workers * cfg.aggregators) as u64
+        );
+        assert!(result.aggregator_stage.latency.samples > 0);
+        assert_eq!(result.worker_stage.items, result.processed);
     }
 
     #[test]
@@ -503,6 +811,56 @@ mod tests {
     }
 
     #[test]
+    fn windowed_count_run_covers_every_tuple_once() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.4)
+            .with_service_time_us(0)
+            .with_window_size(512);
+        let per_source = cfg.messages / cfg.sources as u64;
+        let sources = cfg.sources as u64;
+        let run = Topology::new(cfg).run_windowed(CountAggregate);
+        assert_eq!(run.windows.len() as u64, per_source.div_ceil(512));
+        let total: u64 = run.windows.values().flat_map(|w| w.values()).sum();
+        assert_eq!(total, run.result.processed);
+        // Every full window carries sources × window_size tuples exactly.
+        for (window, counts) in &run.windows {
+            let tuples: u64 = counts.values().sum();
+            if (window + 1) * 512 <= per_source {
+                assert_eq!(tuples, 512 * sources, "window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_sum_and_top_k_aggregates_run_end_to_end() {
+        let cfg = EngineConfig::smoke(PartitionerKind::WChoices, 2.0)
+            .with_messages(6_000)
+            .with_service_time_us(0)
+            .with_window_size(1_000);
+        let sum = Topology::new(cfg.clone()).run_windowed(SumAggregate);
+        let per_window: u64 = cfg.window_size * cfg.sources as u64;
+        for (&window, &tuples) in &sum.windows {
+            assert_eq!(tuples, per_window, "window {window}");
+        }
+        let topk = Topology::new(cfg.clone()).run_windowed(TopKAggregate::new(64));
+        for summary in topk.windows.values() {
+            assert_eq!(summary.total(), per_window);
+            // Under z=2.0 the hottest key dominates; it must be monitored.
+            assert!(summary.sorted_counters()[0].count > per_window / 10);
+        }
+    }
+
+    #[test]
+    fn aggregator_shard_count_does_not_change_merged_windows() {
+        let base = EngineConfig::smoke(PartitionerKind::DChoices, 1.8)
+            .with_messages(8_000)
+            .with_service_time_us(0)
+            .with_window_size(750);
+        let one = Topology::new(base.clone().with_aggregators(1)).run_windowed(CountAggregate);
+        let three = Topology::new(base.with_aggregators(3)).run_windowed(CountAggregate);
+        assert_eq!(one.windows, three.windows);
+    }
+
+    #[test]
     #[should_panic(expected = "need at least one worker")]
     fn zero_workers_panics() {
         let mut cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.0);
@@ -514,6 +872,20 @@ mod tests {
     #[should_panic(expected = "at least one tuple")]
     fn zero_batch_size_panics() {
         let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.0).with_batch_size(0);
+        let _ = Topology::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "windows need at least one tuple")]
+    fn zero_window_size_panics() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.0).with_window_size(0);
+        let _ = Topology::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggregator")]
+    fn zero_aggregators_panics() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.0).with_aggregators(0);
         let _ = Topology::new(cfg);
     }
 }

@@ -1,0 +1,134 @@
+//! Deterministic tuple-count windows and the exact reference aggregation.
+//!
+//! ## Window model
+//!
+//! Every source emits a deterministic, seeded sub-stream of
+//! `messages / sources` tuples. The tuple with 0-based position `i` in its
+//! source's sub-stream belongs to window `i / window_size`, regardless of
+//! which worker the grouping scheme routes it to. Window membership is
+//! therefore a pure function of the configuration — it does not depend on
+//! thread interleaving, transport batch size, queue capacities, or the
+//! grouping scheme — and all sources produce exactly the same set of window
+//! identifiers (their sub-streams have equal length).
+//!
+//! A window closes at the workers via punctuation: when a source crosses a
+//! window boundary it flushes its in-flight batches and sends a close marker
+//! for the finished window to *every* worker. Channels are FIFO per
+//! source→worker pair, so once a worker has seen the close marker from all
+//! sources it provably holds every tuple of that window that was routed to
+//! it, and can emit its partial aggregate downstream. This is how the
+//! paper's Storm topology finalizes windowed counts behind PKG's key
+//! splitting, and it is what makes the merged result *exactly* — not just
+//! statistically — comparable to a single-threaded count.
+//!
+//! ## The reference
+//!
+//! [`exact_windowed_counts`] replays the same seeded sub-streams on one
+//! thread and counts keys per window into plain hash maps. The differential
+//! suite asserts the engine's merged output is bit-identical to it for every
+//! grouping scheme, skew, seed, batch size, and aggregator shard count.
+
+use std::collections::{BTreeMap, HashMap};
+
+use slb_workloads::zipf::ZipfGenerator;
+use slb_workloads::{KeyId, KeyStream};
+
+use crate::topology::{EngineConfig, EngineResult};
+
+/// Window identifier: index of a tuple-count window in a source sub-stream.
+pub type WindowId = u64;
+
+/// The window that the tuple at 0-based source position `local_idx` belongs
+/// to, for `window_size`-tuple windows.
+///
+/// # Panics
+/// Panics (in debug builds) if `window_size == 0`.
+#[inline]
+pub fn window_of(local_idx: u64, window_size: u64) -> WindowId {
+    debug_assert!(window_size > 0, "windows need at least one tuple");
+    local_idx / window_size
+}
+
+/// Outcome of a windowed engine run: the usual measurements plus the final
+/// merged per-window aggregates (shards already merged back together).
+#[derive(Debug, Clone)]
+pub struct WindowedRun<P> {
+    /// Throughput/latency/imbalance measurements, as for [`crate::Topology::run`].
+    pub result: EngineResult,
+    /// Final merged aggregate per window, keyed by window id.
+    pub windows: BTreeMap<WindowId, P>,
+}
+
+/// The seeded sub-stream of one source: an independent sampler per source,
+/// but a *shared* key-identity scramble derived from the topology seed, so
+/// that all sources draw from the same key space (the hot key is the same
+/// `KeyId` everywhere, and per-key counts from different sources collide on
+/// the same identifier downstream). Both the engine's source threads and the
+/// exact reference construct their streams through this one function —
+/// divergence between them is structurally impossible.
+pub fn source_stream(cfg: &EngineConfig, source_idx: usize) -> ZipfGenerator {
+    let per_source = cfg.messages / cfg.sources as u64;
+    let stream_seed = cfg.seed.wrapping_add(1 + source_idx as u64);
+    ZipfGenerator::with_limit(cfg.keys, cfg.skew, stream_seed, per_source).scrambled_like(cfg.seed)
+}
+
+/// Single-threaded exact reference for the windowed count aggregation: the
+/// per-window per-key counts obtained by replaying every source's seeded
+/// sub-stream in order on one thread.
+///
+/// For any `EngineConfig` with the same `sources`, `keys`, `skew`,
+/// `messages`, `seed`, and `window_size`, the engine's merged
+/// [`crate::topology::Topology::run_windowed`] output under
+/// [`slb_core::CountAggregate`] must equal this map bit for bit — the
+/// key-splitting soundness invariant.
+pub fn exact_windowed_counts(cfg: &EngineConfig) -> BTreeMap<WindowId, HashMap<KeyId, u64>> {
+    let mut windows: BTreeMap<WindowId, HashMap<KeyId, u64>> = BTreeMap::new();
+    for source_idx in 0..cfg.sources {
+        let mut stream = source_stream(cfg, source_idx);
+        let mut local_idx = 0u64;
+        while let Some(key) = KeyStream::next_key(&mut stream) {
+            let window = window_of(local_idx, cfg.window_size);
+            *windows.entry(window).or_default().entry(key).or_insert(0) += 1;
+            local_idx += 1;
+        }
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slb_core::PartitionerKind;
+
+    #[test]
+    fn window_of_basic_arithmetic() {
+        assert_eq!(window_of(0, 4), 0);
+        assert_eq!(window_of(3, 4), 0);
+        assert_eq!(window_of(4, 4), 1);
+        assert_eq!(window_of(11, 4), 2);
+    }
+
+    #[test]
+    fn reference_covers_every_message_and_window() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.4);
+        let reference = exact_windowed_counts(&cfg);
+        let per_source = cfg.messages / cfg.sources as u64;
+        let expected_windows = per_source.div_ceil(cfg.window_size);
+        assert_eq!(reference.len() as u64, expected_windows);
+        let total: u64 = reference.values().flat_map(|w| w.values()).copied().sum();
+        assert_eq!(total, per_source * cfg.sources as u64);
+        // Every full window holds exactly sources × window_size tuples.
+        for (window, counts) in &reference {
+            let tuples: u64 = counts.values().sum();
+            if (window + 1) * cfg.window_size <= per_source {
+                assert_eq!(tuples, cfg.window_size * cfg.sources as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_is_deterministic_across_calls() {
+        let cfg = EngineConfig::smoke(PartitionerKind::DChoices, 2.0).with_seed(99);
+        assert_eq!(exact_windowed_counts(&cfg), exact_windowed_counts(&cfg));
+    }
+}

@@ -95,6 +95,28 @@ pub fn merge_space_saving<K: Eq + Hash + Clone>(
     MergedSummary { total, counters }
 }
 
+/// Merges two SpaceSaving summaries into a new *summary* (not just a counter
+/// list) of the given capacity, so the result can keep observing tuples or be
+/// merged again. This is the merge path the windowed top-k aggregate uses:
+/// worker partials are SpaceSaving instances, and the downstream aggregator
+/// folds them pairwise with this function.
+///
+/// The counter arithmetic is [`merge_space_saving`]; the result is rebuilt
+/// into a live Stream-Summary with [`SpaceSaving::from_counters`]. Totals are
+/// additive (`result.total() == a.total() + b.total()`), estimates remain
+/// upper bounds on the combined stream's true counts, and while both inputs
+/// are below capacity (no evictions, no truncation) the merge is exact and
+/// therefore associative and commutative — the regime the merge-law property
+/// tests pin down.
+pub fn merged_space_saving<K: Eq + Hash + Clone>(
+    a: &SpaceSaving<K>,
+    b: &SpaceSaving<K>,
+    capacity: usize,
+) -> SpaceSaving<K> {
+    let merged = merge_space_saving(&[a, b], capacity);
+    SpaceSaving::from_counters(capacity, merged.total, merged.counters)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +210,51 @@ mod tests {
         assert_eq!(m.total, 0);
         assert!(m.counters.is_empty());
         assert!(m.heavy_hitters(0.1).is_empty());
+    }
+
+    #[test]
+    fn merged_summary_is_live_and_keeps_observing() {
+        let a = summary_from(&[1, 1, 2, 3], 8);
+        let b = summary_from(&[1, 4, 4], 8);
+        let mut m = merged_space_saving(&a, &b, 8);
+        assert_eq!(m.total(), 7);
+        assert_eq!(m.estimate(&1), 3);
+        assert_eq!(m.estimate(&4), 2);
+        // The reconstruction is a real Stream-Summary: it can keep counting.
+        m.observe(&4);
+        m.observe(&4);
+        assert_eq!(m.estimate(&4), 4);
+        assert_eq!(m.total(), 9);
+    }
+
+    #[test]
+    fn merged_summary_truncates_to_capacity_keeping_largest() {
+        let a = summary_from(
+            &(0..20u64)
+                .flat_map(|k| vec![k; k as usize + 1])
+                .collect::<Vec<_>>(),
+            32,
+        );
+        let b = summary_from(&[19u64; 5], 32);
+        let m = merged_space_saving(&a, &b, 4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.estimate(&19), 25);
+        assert_eq!(m.estimate(&0), 0, "smallest counter truncated away");
+        // Full at capacity: min_count reports the smallest surviving bucket.
+        assert!(m.min_count() >= 17);
+    }
+
+    #[test]
+    fn from_counters_round_trips_a_summary() {
+        let a = summary_from(&[5, 5, 5, 9, 9, 2], 8);
+        let rebuilt = SpaceSaving::from_counters(8, a.total(), a.counters());
+        assert_eq!(rebuilt.total(), a.total());
+        assert_eq!(rebuilt.len(), a.len());
+        for c in a.counters() {
+            let r = rebuilt.get(&c.key).expect("key survives round trip");
+            assert_eq!((r.count, r.error), (c.count, c.error));
+        }
+        assert_eq!(rebuilt.sorted_counters(), a.sorted_counters());
     }
 
     #[test]

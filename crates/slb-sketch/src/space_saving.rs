@@ -110,6 +110,48 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         Self::new((1.0 / phi).ceil() as usize)
     }
 
+    /// Reconstructs a summary from an explicit counter list, e.g. the output
+    /// of [`crate::merge::merge_space_saving`] or a by-key partition of
+    /// another summary's counters. Keys must be distinct; counters with a
+    /// zero count are skipped (a live summary never monitors a key it has
+    /// not seen). If more than `capacity` counters are supplied, only the
+    /// largest `capacity` estimates are kept (ties broken by smaller error),
+    /// exactly like the merge truncation.
+    ///
+    /// `total` is the claimed length of the stream the counters summarize;
+    /// it is carried into [`FrequencyEstimator::total`] unchanged so that
+    /// totals stay additive across merge/shard round-trips.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or a key appears twice.
+    pub fn from_counters<I>(capacity: usize, total: u64, counters: I) -> Self
+    where
+        I: IntoIterator<Item = Counter<K>>,
+    {
+        let mut list: Vec<Counter<K>> = counters.into_iter().filter(|c| c.count > 0).collect();
+        list.sort_by(|a, b| b.count.cmp(&a.count).then(a.error.cmp(&b.error)));
+        list.truncate(capacity);
+        // Insert in ascending count order so each counter's bucket is at (or
+        // just past) the current tail of the bucket list: O(1) per counter.
+        list.reverse();
+        let mut ss = Self::new(capacity);
+        ss.total = total;
+        let mut tail = NIL;
+        for c in list {
+            let node = ss.alloc_node(c.key.clone(), c.count, c.error);
+            let bucket = if tail != NIL && ss.buckets[tail].count == c.count {
+                tail
+            } else {
+                ss.bucket_with_count_after(c.count, tail)
+            };
+            ss.attach_node(node, bucket);
+            let previous = ss.index.insert(c.key, node);
+            assert!(previous.is_none(), "duplicate key in from_counters");
+            tail = bucket;
+        }
+        ss
+    }
+
     /// Maximum number of keys this summary monitors.
     #[inline]
     pub fn capacity(&self) -> usize {

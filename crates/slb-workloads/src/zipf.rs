@@ -183,6 +183,9 @@ pub struct ZipfGenerator {
     limit: u64,
 }
 
+/// Salt folded into the seed to derive the identity-scramble key.
+const SCRAMBLE_SALT: u64 = 0xC0FF_EE00_DEAD_BEEF;
+
 impl ZipfGenerator {
     /// Creates an unbounded generator (use [`Self::with_limit`] to bound it).
     pub fn new(keys: usize, exponent: f64, seed: u64) -> Self {
@@ -192,7 +195,7 @@ impl ZipfGenerator {
             distribution,
             table,
             rng: StdRng::seed_from_u64(seed),
-            scramble_seed: seed ^ 0xC0FF_EE00_DEAD_BEEF,
+            scramble_seed: seed ^ SCRAMBLE_SALT,
             produced: 0,
             limit: u64::MAX,
         }
@@ -203,6 +206,23 @@ impl ZipfGenerator {
         let mut g = Self::new(keys, exponent, seed);
         g.limit = limit;
         g
+    }
+
+    /// Re-keys the identity scramble to that of a generator seeded with
+    /// `seed`, leaving the sampling RNG untouched.
+    ///
+    /// By default the rank→identifier bijection is derived from the same
+    /// seed as the sampler, so two generators with different seeds disagree
+    /// on which `KeyId` names the rank-1 key. That is wrong for a
+    /// multi-source topology: the paper's sources all draw from *one* key
+    /// space, and both the grouping comparison (the hot key must be the same
+    /// key everywhere) and downstream per-key aggregation (counts from
+    /// different sources must collide on the same identifier) depend on it.
+    /// Give every source an independent sampler seed but the same scramble
+    /// seed to model that faithfully.
+    pub fn scrambled_like(mut self, seed: u64) -> Self {
+        self.scramble_seed = seed ^ SCRAMBLE_SALT;
+        self
     }
 
     /// The underlying exact distribution.
@@ -409,5 +429,27 @@ mod tests {
     #[should_panic(expected = "at least one key")]
     fn zero_keys_panics() {
         let _ = ZipfDistribution::new(0, 1.0);
+    }
+
+    #[test]
+    fn scrambled_like_unifies_identities_without_touching_sampling() {
+        // Two differently-seeded generators disagree on identities by
+        // default; re-keyed to the same scramble they agree rank-for-rank,
+        // while their sampled rank sequences stay independent.
+        let a = ZipfGenerator::new(100, 1.2, 10);
+        let b = ZipfGenerator::new(100, 1.2, 11);
+        assert_ne!(a.key_of(1), b.key_of(1));
+        let a = a.scrambled_like(7);
+        let b = b.scrambled_like(7);
+        for rank in 1..=100 {
+            assert_eq!(a.key_of(rank), b.key_of(rank), "rank {rank}");
+        }
+        // Identical sampler seeds still yield identical draws after
+        // re-scrambling (the RNG is untouched).
+        let mut x = ZipfGenerator::with_limit(100, 1.2, 10, 50).scrambled_like(7);
+        let mut y = ZipfGenerator::with_limit(100, 1.2, 10, 50).scrambled_like(7);
+        while let Some(k) = KeyStream::next_key(&mut x) {
+            assert_eq!(Some(k), KeyStream::next_key(&mut y));
+        }
     }
 }

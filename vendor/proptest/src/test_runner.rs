@@ -19,6 +19,28 @@ impl ProptestConfig {
             ..Self::default()
         }
     }
+
+    /// Config running the number of cases named by the `PROPTEST_CASES`
+    /// environment variable (the same variable the real proptest honours),
+    /// falling back to `default_cases` when it is unset. CI uses this to
+    /// crank up the load-bearing suites without slowing local runs.
+    ///
+    /// # Panics
+    /// Panics if `PROPTEST_CASES` is set to zero or to something that is
+    /// not a `u32` — a silent zero-case run would report green while
+    /// testing nothing.
+    pub fn with_cases_env(default_cases: u32) -> Self {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(value) => {
+                let cases: u32 = value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got {value:?}"));
+                assert!(cases > 0, "PROPTEST_CASES must be positive, got 0");
+                Self::with_cases(cases)
+            }
+            Err(_) => Self::with_cases(default_cases),
+        }
+    }
 }
 
 impl Default for ProptestConfig {
