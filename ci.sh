@@ -23,15 +23,17 @@ echo "==> workspace tests (all crates; superset of the tier-1 \`cargo test -q\`)
 # experiment loop anymore.
 cargo test -q --workspace
 
-echo "==> differential seed matrix (key-splitting soundness per seed)"
+echo "==> differential seed matrix (key-splitting soundness per seed, static + scenario)"
 for seed in 1 42 1337; do
     echo "    SLB_TEST_SEED=$seed"
-    SLB_TEST_SEED="$seed" cargo test -q -p slb-engine --test differential
+    SLB_TEST_SEED="$seed" cargo test -q -p slb-engine --test differential --test scenario_differential
 done
 
 echo "==> property suites at CI case counts"
-PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props
+PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props --test rescale_props
 PROPTEST_CASES=256 cargo test -q -p slb-sketch --test proptests
+PROPTEST_CASES=256 cargo test -q -p slb-workloads --test scenario_props
+PROPTEST_CASES=256 cargo test -q -p slb-engine --test scenario_props
 
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
@@ -40,7 +42,7 @@ echo "==> examples (quickstart and imbalance_study already ran via tests/example
 cargo run --quiet --release --example trending_topics > /dev/null
 cargo run --quiet --release --example storm_like_topology > /dev/null
 
-echo "==> perf smoke (batched engine at zero service time must clear the floor)"
+echo "==> perf smoke (batched engine + phased scenario loop at zero service time must clear their floors)"
 cargo run --quiet --release -p slb-bench --bin perf_smoke
 
 echo "==> criterion benches (quick mode, compile + run)"

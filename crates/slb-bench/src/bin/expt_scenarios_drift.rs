@@ -1,0 +1,66 @@
+//! Scenario study: grouping schemes under *drifting* skew.
+//!
+//! The paper motivates D-Choices/W-Choices with workloads whose hot keys
+//! churn (the cashtag dataset's concept drift), but its synthetic evaluation
+//! holds the distribution fixed. This experiment replays a three-phase
+//! scenario — heavy skew, a uniform cool-down, then moderate skew with
+//! in-phase drift — through the analytic simulator for all six schemes and
+//! reports the per-phase imbalance. Expected shape: the head-aware schemes
+//! and PKG beat KG wherever a head exists (phases 0 and 2, drift or not,
+//! because the SpaceSaving tracker re-learns the churned head within each
+//! epoch), while under the uniform phase every scheme converges to
+//! near-perfect balance.
+
+use slb_bench::{options_from_env, print_header, sci};
+use slb_core::PartitionerKind;
+use slb_simulator::experiments::ExperimentScale;
+use slb_simulator::simulate_scenario;
+use slb_workloads::{Scenario, ScenarioPhase};
+
+fn main() {
+    let options = options_from_env();
+    print_header(
+        "Scenario: drift",
+        "Per-phase imbalance under drifting skew (hot, uniform, drifting phases)",
+        &options,
+    );
+
+    // Window counts are multiples of 3 so the drifting phase's 3 epochs
+    // divide its tuple budget evenly (a `Scenario::validate` requirement).
+    let (windows, window_size) = match options.scale {
+        ExperimentScale::Smoke => (3, 4_096),
+        ExperimentScale::Laptop => (9, 8_192),
+        ExperimentScale::Paper => (15, 16_384),
+    };
+    let workers = 20;
+    let keys = 10_000;
+    let scenario = Scenario::new("drift", 4, window_size, options.seed)
+        .phase(ScenarioPhase::new(windows, keys, 2.0, workers))
+        .phase(ScenarioPhase::new(windows, keys, 0.0, workers))
+        .phase(ScenarioPhase::new(windows, keys, 1.4, workers).with_drift_epochs(3));
+
+    println!(
+        "{:<8} {:>6} {:>6} {:>8} {:>8} {:>14}",
+        "scheme", "phase", "skew", "drift", "workers", "imbalance"
+    );
+    for kind in PartitionerKind::ALL {
+        let result = simulate_scenario(kind, &scenario);
+        for outcome in &result.phases {
+            let spec = &scenario.phases[outcome.phase];
+            println!(
+                "{:<8} {:>6} {:>6.1} {:>8} {:>8} {:>14}",
+                result.scheme,
+                outcome.phase,
+                spec.skew,
+                spec.drift_epochs,
+                outcome.workers,
+                sci(outcome.imbalance)
+            );
+        }
+    }
+    println!(
+        "# phases: 0 = static z=2.0, 1 = uniform, 2 = z=1.4 with 3 drift epochs; \
+         {} tuples per phase",
+        scenario.phase_tuples_per_source(0) * scenario.sources as u64
+    );
+}

@@ -1,0 +1,74 @@
+//! Scenario study: heterogeneous worker speeds.
+//!
+//! The paper's cluster is homogeneous; real deployments are not. This
+//! experiment replays a scenario whose phases differ only in the per-worker
+//! service-speed multipliers and reports, per scheme and phase, both the
+//! routed-count imbalance and the *work-weighted* imbalance (counts × speed
+//! multiplier). A count-balanced scheme routing into a cluster with one
+//! 2×-slow worker is work-imbalanced by construction — the slow worker is
+//! the saturation bottleneck — which is exactly what the weighted column
+//! surfaces while the plain column hides it.
+
+use slb_bench::{options_from_env, print_header, sci};
+use slb_core::PartitionerKind;
+use slb_simulator::experiments::ExperimentScale;
+use slb_simulator::simulate_scenario;
+use slb_workloads::{Scenario, ScenarioPhase};
+
+fn main() {
+    let options = options_from_env();
+    print_header(
+        "Scenario: heterogeneity",
+        "Routed vs work-weighted imbalance with slow workers",
+        &options,
+    );
+
+    let (windows, window_size) = match options.scale {
+        ExperimentScale::Smoke => (2, 4_096),
+        ExperimentScale::Laptop => (8, 8_192),
+        ExperimentScale::Paper => (16, 16_384),
+    };
+    let workers = 8;
+    let keys = 10_000;
+    // One worker 2× slower.
+    let one_slow: Vec<f64> = (0..workers)
+        .map(|w| if w == 0 { 2.0 } else { 1.0 })
+        .collect();
+    // Half the cluster 1.5× slower.
+    let half_slow: Vec<f64> = (0..workers)
+        .map(|w| if w < workers / 2 { 1.5 } else { 1.0 })
+        .collect();
+    let scenario = Scenario::new("hetero", 4, window_size, options.seed)
+        .phase(ScenarioPhase::new(windows, keys, 1.4, workers))
+        .phase(ScenarioPhase::new(windows, keys, 1.4, workers).with_worker_speed(one_slow))
+        .phase(ScenarioPhase::new(windows, keys, 0.0, workers).with_worker_speed(half_slow));
+
+    println!(
+        "{:<8} {:>6} {:>6} {:>10} {:>14} {:>14}",
+        "scheme", "phase", "skew", "speeds", "imbalance", "weighted-I"
+    );
+    for kind in PartitionerKind::ALL {
+        let result = simulate_scenario(kind, &scenario);
+        for outcome in &result.phases {
+            let spec = &scenario.phases[outcome.phase];
+            let label = match outcome.phase {
+                0 => "uniform",
+                1 => "1x2.0",
+                _ => "4x1.5",
+            };
+            println!(
+                "{:<8} {:>6} {:>6.1} {:>10} {:>14} {:>14}",
+                result.scheme,
+                outcome.phase,
+                spec.skew,
+                label,
+                sci(outcome.imbalance),
+                sci(outcome.weighted_imbalance)
+            );
+        }
+    }
+    println!(
+        "# phases: 0 = homogeneous z=1.4, 1 = worker 0 at 2x service time, \
+         2 = uniform keys with half the cluster at 1.5x"
+    );
+}

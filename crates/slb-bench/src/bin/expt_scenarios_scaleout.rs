@@ -1,0 +1,92 @@
+//! Scenario study: mid-run scale-out and scale-in, end to end.
+//!
+//! Replays the canonical stress scenario (drifting skew, a 2×-slow worker,
+//! a burst phase, scale-out to 2n workers and back) two ways:
+//!
+//! 1. through the analytic simulator for all six schemes, reporting the
+//!    per-phase imbalance over each phase's *active* worker set, and
+//! 2. through the threaded engine for one scheme, verifying that the merged
+//!    windowed counts are bit-identical to the single-threaded exact
+//!    reference and printing the per-phase stage metrics (tuples,
+//!    throughput, latency percentiles) the scenario engine emits.
+//!
+//! Expected shape: the head-aware schemes keep the imbalance low through
+//! every resize, KG degrades wherever skew exists, and the engine's
+//! `exact-reference=MATCH` line certifies that scale-out never loses or
+//! duplicates a tuple.
+
+use slb_bench::{options_from_env, print_header, sci};
+use slb_core::{CountAggregate, PartitionerKind};
+use slb_engine::{exact_scenario_windowed_counts, ScenarioConfig};
+use slb_simulator::experiments::ExperimentScale;
+use slb_simulator::simulate_scenario;
+use slb_workloads::Scenario;
+
+fn main() {
+    let options = options_from_env();
+    print_header(
+        "Scenario: scale-out",
+        "Per-phase imbalance across cluster resizes + engine exactness check",
+        &options,
+    );
+
+    let (window_size, workers) = match options.scale {
+        ExperimentScale::Smoke => (1_024, 5),
+        ExperimentScale::Laptop => (4_096, 20),
+        ExperimentScale::Paper => (16_384, 40),
+    };
+    let scenario = Scenario::stress(4, window_size, workers, options.seed);
+
+    println!(
+        "{:<8} {:>6} {:>6} {:>8} {:>14} {:>14}",
+        "scheme", "phase", "skew", "workers", "imbalance", "weighted-I"
+    );
+    for kind in PartitionerKind::ALL {
+        let result = simulate_scenario(kind, &scenario);
+        for outcome in &result.phases {
+            println!(
+                "{:<8} {:>6} {:>6.1} {:>8} {:>14} {:>14}",
+                result.scheme,
+                outcome.phase,
+                scenario.phases[outcome.phase].skew,
+                outcome.workers,
+                sci(outcome.imbalance),
+                sci(outcome.weighted_imbalance)
+            );
+        }
+    }
+
+    // Engine end-to-end: same spec, threaded execution, exactness pinned
+    // against the single-threaded reference.
+    let kind = PartitionerKind::WChoices;
+    let run = ScenarioConfig::new(kind, scenario.clone()).run_windowed(CountAggregate);
+    let reference = exact_scenario_windowed_counts(&scenario);
+    let matches = run.windows == reference;
+    println!(
+        "# engine: scheme={} processed={} windows={} exact-reference={}",
+        run.result.scheme,
+        run.result.processed,
+        run.result.windows,
+        if matches { "MATCH" } else { "DIVERGED" }
+    );
+    println!("# engine per-phase stage metrics:");
+    println!(
+        "#   {:>6} {:>8} {:>12} {:>14} {:>12} {:>12}",
+        "phase", "workers", "tuples", "tuples/s", "p50 (µs)", "p99 (µs)"
+    );
+    for phase in &run.result.phases {
+        println!(
+            "#   {:>6} {:>8} {:>12} {:>14.0} {:>12} {:>12}",
+            phase.phase,
+            phase.workers,
+            phase.stage.items,
+            phase.stage.items_per_sec,
+            phase.stage.latency.p50_us,
+            phase.stage.latency.p99_us
+        );
+    }
+    if !matches {
+        eprintln!("scale-out run diverged from the exact reference");
+        std::process::exit(1);
+    }
+}

@@ -164,6 +164,135 @@ fn expt_fig05_memory_overhead_is_bounded_and_ordered() {
     }
 }
 
+/// Shared checker for the scenario bins' tables: collects imbalance by
+/// `(scheme, phase)` from a table whose first two columns are scheme and
+/// phase, with the imbalance in `column` (sci notation).
+fn scenario_imbalances(stdout: &str, column: usize) -> HashMap<(String, String), f64> {
+    let mut out = HashMap::new();
+    for row in table_rows(stdout) {
+        let value: f64 = row[column].parse().expect("sci-notation imbalance parses");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bad imbalance in {row:?}"
+        );
+        out.insert((row[0].clone(), row[1].clone()), value);
+    }
+    out
+}
+
+fn lookup(map: &HashMap<(String, String), f64>, scheme: &str, phase: &str) -> f64 {
+    *map.get(&(scheme.to_string(), phase.to_string()))
+        .unwrap_or_else(|| panic!("missing {scheme} phase {phase}"))
+}
+
+#[test]
+fn expt_scenarios_drift_orders_schemes_per_phase() {
+    let stdout = run_smoke(env!("CARGO_BIN_EXE_expt_scenarios_drift"));
+    // Columns: scheme phase skew drift workers imbalance.
+    let imb = scenario_imbalances(&stdout, 5);
+    // Skewed phases (0: static z=2.0, 2: drifting z=1.4): key splitting
+    // beats key grouping, and the head-aware schemes do not lose to PKG.
+    for phase in ["0", "2"] {
+        let kg = lookup(&imb, "KG", phase);
+        assert!(
+            lookup(&imb, "PKG", phase) <= kg,
+            "PKG vs KG in phase {phase}"
+        );
+        assert!(
+            lookup(&imb, "D-C", phase) <= kg,
+            "D-C vs KG in phase {phase}"
+        );
+        assert!(
+            lookup(&imb, "W-C", phase) <= lookup(&imb, "PKG", phase) + 1e-9,
+            "W-C vs PKG in phase {phase}"
+        );
+    }
+    // Uniform phase: every scheme converges to near-perfect balance.
+    let uniform: Vec<f64> = ["KG", "PKG", "D-C", "W-C", "RR", "SG"]
+        .iter()
+        .map(|s| lookup(&imb, s, "1"))
+        .collect();
+    for (i, v) in uniform.iter().enumerate() {
+        assert!(*v < 0.05, "scheme #{i} did not converge under uniform: {v}");
+    }
+    let spread = uniform.iter().cloned().fold(f64::MIN, f64::max)
+        - uniform.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 0.05, "uniform-phase spread {spread}");
+}
+
+#[test]
+fn expt_scenarios_hetero_surfaces_slow_workers_in_the_weighted_metric() {
+    let stdout = run_smoke(env!("CARGO_BIN_EXE_expt_scenarios_hetero"));
+    // Columns: scheme phase skew speeds imbalance weighted-I.
+    let plain = scenario_imbalances(&stdout, 4);
+    let weighted = scenario_imbalances(&stdout, 5);
+    // Skewed phases order as the paper predicts on routed counts.
+    for phase in ["0", "1"] {
+        let kg = lookup(&plain, "KG", phase);
+        assert!(
+            lookup(&plain, "PKG", phase) <= kg,
+            "PKG vs KG in phase {phase}"
+        );
+        assert!(
+            lookup(&plain, "W-C", phase) <= lookup(&plain, "PKG", phase) + 1e-9,
+            "W-C vs PKG in phase {phase}"
+        );
+    }
+    // SG balances counts perfectly, so the 2×-slow worker of phase 1 can
+    // only appear in the weighted metric.
+    let sg_plain = lookup(&plain, "SG", "1");
+    let sg_weighted = lookup(&weighted, "SG", "1");
+    assert!(sg_plain < 0.01, "SG routed imbalance {sg_plain}");
+    assert!(
+        sg_weighted > sg_plain + 0.05,
+        "weighted {sg_weighted} must expose the slow worker over plain {sg_plain}"
+    );
+    // Homogeneous phase: the two metrics agree for every scheme.
+    for scheme in ["KG", "PKG", "D-C", "W-C", "RR", "SG"] {
+        let p = lookup(&plain, scheme, "0");
+        let w = lookup(&weighted, scheme, "0");
+        assert!(
+            (p - w).abs() < 1e-9,
+            "{scheme}: homogeneous metrics diverged"
+        );
+    }
+}
+
+#[test]
+fn expt_scenarios_scaleout_keeps_orderings_and_matches_the_exact_reference() {
+    let stdout = run_smoke(env!("CARGO_BIN_EXE_expt_scenarios_scaleout"));
+    // Columns: scheme phase skew workers imbalance weighted-I.
+    let imb = scenario_imbalances(&stdout, 4);
+    // Skewed phases — including phase 2, which runs on the scaled-out
+    // worker set — order as the paper predicts.
+    for phase in ["0", "2"] {
+        let kg = lookup(&imb, "KG", phase);
+        assert!(
+            lookup(&imb, "PKG", phase) <= kg,
+            "PKG vs KG in phase {phase}"
+        );
+        assert!(
+            lookup(&imb, "D-C", phase) <= kg,
+            "D-C vs KG in phase {phase}"
+        );
+        assert!(
+            lookup(&imb, "W-C", phase) <= lookup(&imb, "PKG", phase) + 1e-9,
+            "W-C vs PKG in phase {phase}"
+        );
+    }
+    // Scale-in onto the uniform tail: everything converges.
+    for scheme in ["KG", "PKG", "D-C", "W-C", "RR", "SG"] {
+        let v = lookup(&imb, scheme, "3");
+        assert!(v < 0.05, "{scheme} did not converge after scale-in: {v}");
+    }
+    // The threaded engine's merged windowed counts matched the exact
+    // single-threaded reference across the resizes.
+    assert!(
+        stdout.contains("exact-reference=MATCH"),
+        "engine run diverged from the exact reference:\n{stdout}"
+    );
+}
+
 #[test]
 fn expt_fig15_aggregation_accounting_is_exact() {
     let stdout = run_smoke(env!("CARGO_BIN_EXE_expt_fig15_aggregation_cost"));

@@ -242,6 +242,13 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for HeadAwarePartitioner<K> 
         }
     }
 
+    fn rescale(&mut self, config: &PartitionConfig) {
+        // Full regeneration, policy preserved: the head must be re-learned
+        // under the new worker count (θ = f(n) changes with n) and every
+        // per-worker structure resized.
+        *self = Self::new(self.policy, config);
+    }
+
     fn workers(&self) -> usize {
         self.loads.workers()
     }

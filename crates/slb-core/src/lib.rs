@@ -51,7 +51,7 @@ pub use dchoices::{
 };
 pub use head::{HeadSnapshot, HeadTracker};
 pub use head_schemes::HeadAwarePartitioner;
-pub use load::{imbalance, imbalance_fractions, LoadVector};
+pub use load::{imbalance, imbalance_fractions, LoadVector, PhaseLoadMatrix};
 pub use memory::{estimated_replicas, relative_overhead_pct, MemoryScheme};
 pub use partitioner::{KeyGrouping, Partitioner, ShuffleGrouping};
 pub use pkg::PartialKeyGrouping;

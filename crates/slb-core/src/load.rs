@@ -156,6 +156,99 @@ pub fn imbalance_fractions(loads: &[f64]) -> f64 {
     max - avg
 }
 
+/// Per-phase per-worker load accounting for multi-phase (scenario) runs.
+///
+/// A scenario changes the active worker set and the workload at phase
+/// boundaries, so run-total loads are no longer the unit of analysis: the
+/// paper's imbalance metric must be evaluated *per phase over that phase's
+/// active workers*. This matrix accumulates counts per `(phase, worker)` and
+/// answers both the per-phase and the run-total questions; engine and
+/// simulator share it so their per-phase metrics are computed identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseLoadMatrix {
+    /// `counts[phase][worker]`, each row sized to the full worker universe.
+    counts: Vec<Vec<u64>>,
+}
+
+impl PhaseLoadMatrix {
+    /// Creates a zeroed matrix for `phases` phases over a universe of
+    /// `workers` workers (the *maximum* worker count across phases; phases
+    /// that use fewer simply never record the higher indices).
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(phases: usize, workers: usize) -> Self {
+        assert!(phases > 0, "phase matrix needs at least one phase");
+        assert!(workers > 0, "phase matrix needs at least one worker");
+        Self {
+            counts: vec![vec![0; workers]; phases],
+        }
+    }
+
+    /// Number of phases tracked.
+    #[inline]
+    pub fn phases(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Size of the worker universe.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.counts[0].len()
+    }
+
+    /// Records `n` messages routed to `worker` during `phase`.
+    #[inline]
+    pub fn add(&mut self, phase: usize, worker: usize, n: u64) {
+        self.counts[phase][worker] += n;
+    }
+
+    /// The per-worker counts of one phase (full worker universe).
+    #[inline]
+    pub fn phase_counts(&self, phase: usize) -> &[u64] {
+        &self.counts[phase]
+    }
+
+    /// Total messages recorded during `phase`.
+    pub fn phase_total(&self, phase: usize) -> u64 {
+        self.counts[phase].iter().sum()
+    }
+
+    /// The imbalance of `phase` evaluated over its first `active` workers —
+    /// the phase's active worker set. Counts recorded beyond `active` would
+    /// indicate a routing bug; they are asserted against in debug builds.
+    ///
+    /// # Panics
+    /// Panics if `active` is zero or exceeds the worker universe.
+    pub fn phase_imbalance(&self, phase: usize, active: usize) -> f64 {
+        assert!(
+            active > 0 && active <= self.workers(),
+            "active worker count {active} out of range"
+        );
+        debug_assert!(
+            self.counts[phase][active..].iter().all(|&c| c == 0),
+            "phase {phase} routed messages beyond its {active} active workers"
+        );
+        imbalance(&self.counts[phase][..active])
+    }
+
+    /// Per-worker totals across all phases (the run-total load vector).
+    pub fn worker_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.workers()];
+        for row in &self.counts {
+            for (t, &c) in totals.iter_mut().zip(row) {
+                *t += c;
+            }
+        }
+        totals
+    }
+
+    /// Total messages across all phases and workers.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +360,55 @@ mod tests {
     fn min_load_among_empty_candidates_panics() {
         let lv = LoadVector::new(2);
         let _ = lv.min_load_among(&[]);
+    }
+
+    #[test]
+    fn phase_matrix_accumulates_and_totals() {
+        let mut m = PhaseLoadMatrix::new(2, 4);
+        m.add(0, 0, 5);
+        m.add(0, 1, 5);
+        m.add(1, 2, 7);
+        m.add(1, 0, 3);
+        assert_eq!(m.phases(), 2);
+        assert_eq!(m.workers(), 4);
+        assert_eq!(m.phase_counts(0), &[5, 5, 0, 0]);
+        assert_eq!(m.phase_total(0), 10);
+        assert_eq!(m.phase_total(1), 10);
+        assert_eq!(m.worker_totals(), vec![8, 5, 7, 0]);
+        assert_eq!(m.total(), 20);
+    }
+
+    #[test]
+    fn phase_imbalance_uses_only_the_active_set() {
+        let mut m = PhaseLoadMatrix::new(1, 8);
+        // Phase uses 2 active workers, perfectly balanced; the 6 inactive
+        // workers must not drag the average down.
+        m.add(0, 0, 50);
+        m.add(0, 1, 50);
+        assert!(m.phase_imbalance(0, 2).abs() < 1e-12);
+        // Over the full universe the same counts look very imbalanced.
+        assert!(imbalance(m.phase_counts(0)) > 0.3);
+    }
+
+    #[test]
+    fn phase_imbalance_matches_plain_imbalance_on_active_prefix() {
+        let mut m = PhaseLoadMatrix::new(1, 5);
+        for (w, n) in [(0, 50), (1, 30), (2, 20)] {
+            m.add(0, w, n);
+        }
+        assert!((m.phase_imbalance(0, 3) - imbalance(&[50, 30, 20])).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn phase_imbalance_rejects_oversized_active_set() {
+        let m = PhaseLoadMatrix::new(1, 3);
+        let _ = m.phase_imbalance(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn zero_phase_matrix_panics() {
+        let _ = PhaseLoadMatrix::new(0, 2);
     }
 }

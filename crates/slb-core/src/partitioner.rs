@@ -46,6 +46,20 @@ pub trait Partitioner<K: KeyHash + Eq + Hash + Clone> {
         }
     }
 
+    /// Regenerates the partitioner from `config` at a phase boundary —
+    /// typically because the downstream worker count changed (scale-out /
+    /// scale-in) or the workload entered a new regime.
+    ///
+    /// Semantics are **full regeneration**: hash families, load vectors,
+    /// heavy-hitter summaries, cursors, and caches are rebuilt exactly as if
+    /// the partitioner had been constructed fresh from `config`; subsequent
+    /// routing is bit-for-bit identical to a newly built instance. This is
+    /// what a real redeployment does on resize, and it is safe at window
+    /// boundaries: per-window partial aggregates complete entirely within
+    /// one routing regime, so no window ever mixes two worker sets (see
+    /// `slb-workloads::scenario` for the alignment guarantee).
+    fn rescale(&mut self, config: &PartitionConfig);
+
     /// Number of downstream workers.
     fn workers(&self) -> usize;
 
@@ -102,6 +116,10 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for KeyGrouping {
         for key in keys {
             out.push(self.route_one(key));
         }
+    }
+
+    fn rescale(&mut self, config: &PartitionConfig) {
+        *self = KeyGrouping::new(config);
     }
 
     fn workers(&self) -> usize {
@@ -170,6 +188,10 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for ShuffleGrouping {
             }
         }
         self.next = next;
+    }
+
+    fn rescale(&mut self, config: &PartitionConfig) {
+        *self = ShuffleGrouping::new(config);
     }
 
     fn workers(&self) -> usize {

@@ -70,6 +70,10 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for PartialKeyGrouping {
         }
     }
 
+    fn rescale(&mut self, config: &PartitionConfig) {
+        *self = PartialKeyGrouping::new(config);
+    }
+
     fn workers(&self) -> usize {
         self.family.workers()
     }

@@ -1,0 +1,77 @@
+//! Property tests for `Partitioner::rescale`: phase-boundary regeneration
+//! must be bit-for-bit equivalent to constructing a fresh partitioner.
+//!
+//! The scenario engine relies on this equivalence for its determinism story:
+//! the threaded engine rescales each source's partitioner in place at phase
+//! boundaries, while the simulator and test references may build fresh
+//! instances — both must route the remainder of the stream identically.
+
+use proptest::prelude::*;
+
+use slb_core::{build_partitioner, PartitionConfig, PartitionerKind};
+
+/// Deterministic xorshift key stream with a hot-key share.
+fn stream(len: usize, hot_permille: u16, tail_keys: u64, state0: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = state0 | 1;
+    for i in 0..len {
+        if (i * 1000 / len.max(1)) % 1000 < usize::from(hot_permille) && i % 7 != 0 {
+            out.push(0);
+        } else {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            out.push(1 + state % tail_keys);
+        }
+    }
+    out
+}
+
+proptest! {
+    // 24 cases locally (each runs all six schemes); ci.sh raises this via
+    // PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases_env(24))]
+
+    /// After routing an arbitrary prefix and rescaling to a new
+    /// configuration, every scheme routes exactly like a freshly built
+    /// partitioner: no state survives the phase boundary.
+    #[test]
+    fn rescale_equals_fresh_build(
+        prefix_len in 0usize..2_000,
+        suffix_len in 1usize..2_000,
+        hot_permille in 0u16..700,
+        n1 in 1usize..40,
+        n2 in 1usize..40,
+        seed in any::<u64>(),
+        state0 in any::<u64>(),
+    ) {
+        let cfg1 = PartitionConfig::new(n1).with_seed(seed);
+        let cfg2 = PartitionConfig::new(n2).with_seed(seed.wrapping_add(1));
+        let prefix = stream(prefix_len.max(1), hot_permille, 500, state0);
+        let suffix = stream(suffix_len, hot_permille, 500, state0 ^ 0xABCD);
+        for kind in PartitionerKind::ALL {
+            let mut rescaled = build_partitioner::<u64>(kind, &cfg1);
+            for key in &prefix {
+                let w = rescaled.route(key);
+                prop_assert!(w < n1, "{:?} routed out of range before rescale", kind);
+            }
+            rescaled.rescale(&cfg2);
+            prop_assert_eq!(rescaled.workers(), n2, "{:?} did not adopt the new worker count", kind);
+            prop_assert_eq!(rescaled.local_loads().total(), 0, "{:?} kept load state across rescale", kind);
+
+            let mut fresh = build_partitioner::<u64>(kind, &cfg2);
+            for key in &suffix {
+                let a = rescaled.route(key);
+                let b = fresh.route(key);
+                prop_assert_eq!(a, b, "{:?} diverged from a fresh build after rescale", kind);
+                prop_assert!(a < n2, "{:?} routed out of range after rescale", kind);
+            }
+            prop_assert_eq!(
+                rescaled.local_loads().counts(),
+                fresh.local_loads().counts(),
+                "{:?} load vectors diverged after rescale",
+                kind
+            );
+        }
+    }
+}

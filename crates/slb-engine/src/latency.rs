@@ -70,7 +70,7 @@ impl LatencyTracker {
     /// Merges the samples of several trackers and produces a summary, also
     /// reporting the maximum per-tracker mean (the paper's "max avg").
     pub fn summarize(trackers: &[LatencyTracker]) -> LatencySummary {
-        let mut all: Vec<u64> = trackers
+        let all: Vec<u64> = trackers
             .iter()
             .flat_map(|t| t.samples_us.iter().copied())
             .collect();
@@ -79,6 +79,38 @@ impl LatencyTracker {
             .filter(|t| !t.is_empty())
             .map(LatencyTracker::mean_us)
             .fold(0.0f64, f64::max);
+        Self::summary_of(all, max_avg_us)
+    }
+
+    /// Summarizes a phase-major tracker matrix (`trackers[phase][worker]`),
+    /// grouping by worker for the "max avg" statistic. Equivalent to merging
+    /// each worker's per-phase trackers first and calling
+    /// [`Self::summarize`], but flattens the samples once instead of
+    /// materializing per-worker copies (which would double a multi-phase
+    /// run's latency-sample memory at join time).
+    pub fn summarize_by_worker(phase_major: &[Vec<LatencyTracker>]) -> LatencySummary {
+        let workers = phase_major.first().map_or(0, Vec::len);
+        let total: usize = phase_major.iter().flatten().map(LatencyTracker::len).sum();
+        let mut all: Vec<u64> = Vec::with_capacity(total);
+        let mut max_avg_us = 0.0f64;
+        for worker in 0..workers {
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            for row in phase_major {
+                let tracker = &row[worker];
+                sum += tracker.samples_us.iter().sum::<u64>();
+                count += tracker.len() as u64;
+                all.extend_from_slice(&tracker.samples_us);
+            }
+            if count > 0 {
+                max_avg_us = max_avg_us.max(sum as f64 / count as f64);
+            }
+        }
+        Self::summary_of(all, max_avg_us)
+    }
+
+    /// Percentile/mean summary over an unsorted sample vector.
+    fn summary_of(mut all: Vec<u64>, max_avg_us: f64) -> LatencySummary {
         if all.is_empty() {
             return LatencySummary::default();
         }
@@ -163,6 +195,32 @@ impl StageMetrics {
     }
 }
 
+/// Measurements of one phase of a (possibly multi-phase) engine run.
+///
+/// A plain [`crate::EngineConfig`] run is the one-phase special case: it
+/// reports exactly one `PhaseMetrics` covering the whole run. A scenario run
+/// reports one entry per [`slb_workloads::ScenarioPhase`], each evaluated
+/// over the phase's *active* worker set — the meaningful imbalance when the
+/// cluster resizes mid-run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    /// Phase index within the run.
+    pub phase: usize,
+    /// Active workers during the phase.
+    pub workers: usize,
+    /// Global index of the phase's first window.
+    pub start_window: u64,
+    /// Number of windows the phase covers (per source).
+    pub windows: u64,
+    /// Per-worker processed-tuple counts over the active worker set.
+    pub worker_counts: Vec<u64>,
+    /// Imbalance of `worker_counts` (the paper's `I` over active workers).
+    pub imbalance: f64,
+    /// Tuples, throughput over the phase's observed span, and the phase's
+    /// end-to-end latency distribution.
+    pub stage: StageMetrics,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +272,40 @@ mod tests {
     fn empty_trackers_summarize_to_zeros() {
         let s = LatencyTracker::summarize(&[LatencyTracker::new(), LatencyTracker::new()]);
         assert_eq!(s, LatencySummary::default());
+        assert_eq!(
+            LatencyTracker::summarize_by_worker(&[]),
+            LatencySummary::default()
+        );
+        assert_eq!(
+            LatencyTracker::summarize_by_worker(&[vec![LatencyTracker::new()]]),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn summarize_by_worker_matches_merged_per_worker_summarize() {
+        // Phase-major matrix: 3 phases × 2 workers with distinct sample runs.
+        let tracker = |values: &[u64]| {
+            let mut t = LatencyTracker::new();
+            for &v in values {
+                t.record_us(v);
+            }
+            t
+        };
+        let phase_major = vec![
+            vec![tracker(&[10, 20]), tracker(&[1_000])],
+            vec![tracker(&[]), tracker(&[2_000, 3_000])],
+            vec![tracker(&[30]), tracker(&[4_000])],
+        ];
+        // Reference: merge each worker's phases by hand, then summarize.
+        let merged = vec![
+            tracker(&[10, 20, 30]),
+            tracker(&[1_000, 2_000, 3_000, 4_000]),
+        ];
+        assert_eq!(
+            LatencyTracker::summarize_by_worker(&phase_major),
+            LatencyTracker::summarize(&merged)
+        );
     }
 
     #[test]

@@ -22,19 +22,31 @@
 //! count it is bit-identical to a single-threaded exact count (the
 //! `differential` test suite pins this invariant).
 //!
-//! * [`topology`] — configuration and the three-stage runner.
+//! The run loop is *phased* (see `docs/SCENARIOS.md`): every run executes a
+//! sequence of phases, each fixing the key distribution, arrival pattern,
+//! active worker count, and per-worker speed multipliers. A plain
+//! [`EngineConfig`] run is the one-phase special case; a [`ScenarioConfig`]
+//! executes a multi-phase [`slb_workloads::Scenario`] — drifting skew,
+//! heterogeneous workers, bursts, and mid-run scale-out — and reports
+//! per-phase [`PhaseMetrics`] alongside the run totals. The exactness
+//! invariant extends unchanged: scenario runs are pinned against
+//! [`exact_scenario_windowed_counts`] by the `scenario_differential` suite.
+//!
+//! * [`topology`] — configuration and the phased three-stage runner.
 //! * [`windows`] — deterministic tuple-count windows and the exact
-//!   single-threaded reference aggregation.
-//! * [`latency`] — latency recording, percentile summaries, and per-stage
-//!   metrics.
+//!   single-threaded reference aggregations (config and scenario).
+//! * [`latency`] — latency recording, percentile summaries, per-stage and
+//!   per-phase metrics.
 
 pub mod latency;
 pub mod topology;
 pub mod windows;
 
-pub use latency::{LatencySummary, LatencyTracker, StageMetrics};
+pub use latency::{LatencySummary, LatencyTracker, PhaseMetrics, StageMetrics};
 pub use topology::{
-    EngineConfig, EngineResult, Topology, DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE,
-    DEFAULT_WINDOW_SIZE,
+    compare_schemes, compare_schemes_scenario, EngineConfig, EngineResult, ScenarioConfig,
+    Topology, DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY, DEFAULT_WINDOW_SIZE,
 };
-pub use windows::{exact_windowed_counts, window_of, WindowId, WindowedRun};
+pub use windows::{
+    exact_scenario_windowed_counts, exact_windowed_counts, window_of, WindowId, WindowedRun,
+};

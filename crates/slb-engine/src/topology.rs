@@ -1,4 +1,4 @@
-//! The source → worker → aggregator topology and its runner.
+//! The source → worker → aggregator topology and its phased runner.
 //!
 //! A [`Topology`] mirrors the paper's Storm application, now with all three
 //! operators: a set of source threads generates a keyed stream and routes
@@ -12,6 +12,22 @@
 //! throughput bottleneck; the aggregator stage is the reason key splitting
 //! (PKG, D-Choices, W-Choices) is *sound*: it re-unifies the per-key state
 //! the splitting scattered across workers.
+//!
+//! ## Phased execution
+//!
+//! The run loop is phased: internally every run is a sequence of *phases*,
+//! each fixing the key distribution, arrival pattern, active worker count,
+//! and per-worker service-time multipliers. A plain [`EngineConfig`] run is
+//! the one-phase special case; a [`ScenarioConfig`] run executes a
+//! [`Scenario`] with as many phases as the spec declares. At each phase
+//! boundary every source regenerates its partitioner for the phase's worker
+//! count ([`slb_core::Partitioner::rescale`]) and switches to the phase's
+//! key stream. Worker threads are spawned for the *maximum* worker count up
+//! front; phases activate a prefix of them, and inactive workers merely
+//! relay window punctuation, so the aggregation invariant ("every worker
+//! contributes one partial per window") is preserved across scale-out and
+//! scale-in. Phases are aligned to window boundaries by construction (see
+//! `slb-workloads::scenario`), so no window ever mixes two routing regimes.
 //!
 //! ## Batched transport
 //!
@@ -48,6 +64,7 @@
 
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -55,14 +72,15 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
 use slb_core::{
-    build_partitioner, CountAggregate, PartitionConfig, PartitionerKind, WindowAggregate,
+    build_partitioner, CountAggregate, PartitionConfig, Partitioner, PartitionerKind,
+    PhaseLoadMatrix, WindowAggregate,
 };
-use slb_workloads::{KeyId, KeyStream};
+use slb_workloads::{Arrival, KeyId, KeyStream, Scenario};
 
-use crate::latency::{LatencySummary, LatencyTracker, StageMetrics};
-use crate::windows::{WindowId, WindowedRun};
+use crate::latency::{LatencySummary, LatencyTracker, PhaseMetrics, StageMetrics};
+use crate::windows::{window_of, WindowId, WindowedRun};
 
-/// Configuration of one engine run.
+/// Configuration of one single-phase engine run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Grouping scheme under study.
@@ -107,6 +125,9 @@ pub const DEFAULT_WINDOW_SIZE: u64 = 4_096;
 /// Default number of aggregator shards.
 pub const DEFAULT_AGGREGATORS: usize = 2;
 
+/// Default capacity of each worker's input queue, in tuples.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1_024;
+
 impl EngineConfig {
     /// A laptop-friendly configuration for the given scheme and skew:
     /// 4 sources, 8 workers, 10⁴ keys, 200k messages, 50 µs service time.
@@ -119,7 +140,7 @@ impl EngineConfig {
             skew,
             messages: 200_000,
             service_time_us: 50,
-            queue_capacity: 1_024,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
             seed: 42,
             batch_size: DEFAULT_BATCH_SIZE,
             window_size: DEFAULT_WINDOW_SIZE,
@@ -138,7 +159,7 @@ impl EngineConfig {
             skew,
             messages: 2_000_000,
             service_time_us: 1_000,
-            queue_capacity: 1_024,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
             seed: 42,
             batch_size: DEFAULT_BATCH_SIZE,
             window_size: 16_384,
@@ -204,6 +225,136 @@ impl EngineConfig {
     }
 }
 
+/// Configuration of a multi-phase scenario run: the [`Scenario`] supplies
+/// the workload, phase lengths, worker counts, and speed multipliers; this
+/// struct adds the engine-side knobs (base service time, transport, shards).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Grouping scheme under study.
+    pub kind: PartitionerKind,
+    /// The multi-phase workload and cluster description.
+    pub scenario: Scenario,
+    /// Base emulated CPU time per tuple, microseconds; each phase's
+    /// per-worker multipliers scale it ([`slb_workloads::ScenarioPhase::worker_speed`]).
+    pub service_time_us: u64,
+    /// Capacity of each worker's input queue, in tuples.
+    pub queue_capacity: usize,
+    /// Tuples per transported channel message.
+    pub batch_size: usize,
+    /// Number of aggregator shards.
+    pub aggregators: usize,
+}
+
+impl ScenarioConfig {
+    /// Creates a scenario run configuration with default engine knobs and
+    /// zero base service time (pure routing/transport; set a service time to
+    /// study saturation behaviour).
+    pub fn new(kind: PartitionerKind, scenario: Scenario) -> Self {
+        Self {
+            kind,
+            scenario,
+            service_time_us: 0,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            batch_size: DEFAULT_BATCH_SIZE,
+            aggregators: DEFAULT_AGGREGATORS,
+        }
+    }
+
+    /// Overrides the grouping scheme.
+    pub fn with_kind(mut self, kind: PartitionerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Overrides the base per-tuple service time (microseconds).
+    pub fn with_service_time_us(mut self, us: u64) -> Self {
+        self.service_time_us = us;
+        self
+    }
+
+    /// Overrides the per-worker queue capacity (tuples).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the transport batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the number of aggregator shards.
+    pub fn with_aggregators(mut self, aggregators: usize) -> Self {
+        self.aggregators = aggregators;
+        self
+    }
+
+    /// Runs the scenario with the default windowed count aggregation,
+    /// discarding the per-window counts.
+    ///
+    /// # Panics
+    /// Panics if the scenario or the engine knobs are invalid.
+    pub fn run(&self) -> EngineResult {
+        self.run_windowed(CountAggregate).result
+    }
+
+    /// Runs the scenario under the given windowed aggregation and returns
+    /// the measurements together with the merged per-window aggregates.
+    ///
+    /// # Panics
+    /// Panics if the scenario or the engine knobs are invalid.
+    pub fn run_windowed<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+    {
+        if let Err(message) = self.scenario.validate() {
+            panic!("invalid scenario: {message}");
+        }
+        assert!(self.queue_capacity > 0, "queues need capacity");
+        assert!(self.batch_size > 0, "batches need at least one tuple");
+        assert!(self.aggregators > 0, "need at least one aggregator");
+        let scenario = &self.scenario;
+        let base_us = self.service_time_us;
+        let spawned = scenario.max_workers();
+        let phases = scenario
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(p, phase)| PhasePlan {
+                tuples_per_source: scenario.phase_tuples_per_source(p),
+                start_window: scenario.phase_start_window(p),
+                windows: phase.windows,
+                workers: phase.workers,
+                service: Arc::new(
+                    (0..spawned)
+                        .map(|w| Duration::from_secs_f64(base_us as f64 * phase.speed_of(w) / 1e6))
+                        .collect(),
+                ),
+                arrival: phase.arrival,
+            })
+            .collect();
+        let streams = {
+            let scenario = scenario.clone();
+            Arc::new(move |phase: usize, source: usize| scenario.phase_stream(phase, source))
+        };
+        let plan = RunPlan {
+            kind: self.kind,
+            seed: scenario.seed,
+            skew: scenario.phases[0].skew,
+            sources: scenario.sources,
+            spawned_workers: spawned,
+            window_size: scenario.window_size,
+            batch_size: self.batch_size,
+            queue_capacity: self.queue_capacity,
+            aggregators: self.aggregators,
+            phases: Arc::new(phases),
+            streams,
+        };
+        run_plan(&plan, aggregate)
+    }
+}
+
 /// A batch of tuples in flight to one worker: the keys, the window they all
 /// belong to (sources never let a batch span a boundary), and the single
 /// timestamp taken when the batch's first tuple was buffered.
@@ -236,7 +387,7 @@ struct PartialWindow<P> {
 pub struct EngineResult {
     /// Scheme symbol.
     pub scheme: String,
-    /// Zipf exponent of the workload.
+    /// Zipf exponent of the workload (first phase's, for scenario runs).
     pub skew: f64,
     /// Messages processed (across all workers).
     pub processed: u64,
@@ -246,11 +397,15 @@ pub struct EngineResult {
     pub throughput_eps: f64,
     /// End-to-end latency summary (source emit → worker completion).
     pub latency: LatencySummary,
-    /// Per-worker processed-message counts (for imbalance auditing).
+    /// Per-worker processed-message counts over the spawned worker universe
+    /// (for imbalance auditing).
     pub worker_counts: Vec<u64>,
     /// Per-worker number of distinct keys held in state (memory footprint).
     pub worker_state_keys: Vec<u64>,
-    /// Imbalance of the processed counts.
+    /// Imbalance of the processed counts over the spawned universe. For
+    /// multi-phase runs with worker-count changes, prefer the per-phase
+    /// imbalance in [`Self::phases`], which is evaluated over each phase's
+    /// active worker set.
     pub imbalance: f64,
     /// Tuples per window per source sub-stream in this run.
     pub window_size: u64,
@@ -258,6 +413,9 @@ pub struct EngineResult {
     pub aggregators: usize,
     /// Number of windows finalized by the aggregator stage.
     pub windows: u64,
+    /// Per-phase measurements; exactly one entry for plain
+    /// [`EngineConfig`] runs.
+    pub phases: Vec<PhaseMetrics>,
     /// Worker-stage metrics: tuples through the workers' queues (same data
     /// as `processed`/`throughput_eps`/`latency`, packaged per stage).
     pub worker_stage: StageMetrics,
@@ -271,6 +429,45 @@ impl EngineResult {
     pub fn total_state_replicas(&self) -> u64 {
         self.worker_state_keys.iter().sum()
     }
+}
+
+/// One phase of a run plan, fully resolved for execution.
+struct PhasePlan {
+    /// Tuples each source emits during the phase.
+    tuples_per_source: u64,
+    /// Global index of the phase's first window.
+    start_window: WindowId,
+    /// Windows the phase covers per source.
+    windows: u64,
+    /// Active workers during the phase.
+    workers: usize,
+    /// Resolved per-worker service time (base × multiplier), indexed over
+    /// the spawned worker universe.
+    service: Arc<Vec<Duration>>,
+    /// Arrival pacing within the phase.
+    arrival: Arrival,
+}
+
+/// The fully resolved execution plan shared by the one-phase and scenario
+/// paths — the engine's only run loop. Generic over the stream factory so
+/// each caller's concrete stream type stays monomorphized on the per-tuple
+/// hot path (the one-phase path samples a plain [`ZipfGenerator`]-backed
+/// stream, scenarios a drifting one; a boxed `dyn KeyStream` here costs a
+/// measurable ~10% of zero-service throughput).
+struct RunPlan<F> {
+    kind: PartitionerKind,
+    seed: u64,
+    skew: f64,
+    sources: usize,
+    spawned_workers: usize,
+    window_size: u64,
+    batch_size: usize,
+    queue_capacity: usize,
+    aggregators: usize,
+    phases: Arc<Vec<PhasePlan>>,
+    /// `streams(phase, source)` constructs that source's key stream for the
+    /// phase.
+    streams: Arc<F>,
 }
 
 /// Ships every non-empty pending batch for the given window downstream.
@@ -298,7 +495,14 @@ fn flush_pending(
     }
 }
 
-/// The runnable topology.
+/// The phase that `window` belongs to, via the phase start-window table.
+#[inline]
+fn phase_of(starts: &[WindowId], window: WindowId) -> usize {
+    starts.partition_point(|&s| s <= window) - 1
+}
+
+/// The runnable topology (one-phase [`EngineConfig`] front-end; see
+/// [`ScenarioConfig`] for multi-phase runs).
 pub struct Topology {
     config: EngineConfig,
 }
@@ -334,209 +538,302 @@ impl Topology {
         A: WindowAggregate<KeyId>,
     {
         let cfg = &self.config;
-        let batch_size = cfg.batch_size;
-        // The queue capacity is configured in tuples; the channels carry
-        // batches, so convert (rounding up). The floor of two keeps the
-        // pipeline double-buffered — one batch being drained while the next
-        // is in flight — even when the configured capacity is smaller than a
-        // single batch; a floor of one serializes source and worker on the
-        // same condvar hand-off.
-        let capacity_batches = cfg.queue_capacity.div_ceil(batch_size).max(2);
-        let (senders, receivers): (Vec<Sender<SourceMessage>>, Vec<Receiver<SourceMessage>>) = (0
-            ..cfg.workers)
-            .map(|_| bounded::<SourceMessage>(capacity_batches))
-            .unzip();
-        // Worker → aggregator channels carry one partial per closed window
-        // per worker, so a couple of windows' worth of slots per worker is
-        // plenty of double-buffering.
-        type PartialChannel<P> = (
-            Vec<Sender<PartialWindow<P>>>,
-            Vec<Receiver<PartialWindow<P>>>,
-        );
-        let (partial_senders, partial_receivers): PartialChannel<A::Partial> = (0..cfg.aggregators)
-            .map(|_| bounded::<PartialWindow<A::Partial>>(cfg.workers * 2 + 4))
-            .unzip();
+        let per_source = cfg.messages / cfg.sources as u64;
+        let phase = PhasePlan {
+            tuples_per_source: per_source,
+            start_window: 0,
+            // 0 for a degenerate messages < sources config, matching the
+            // run's actual (empty) window set.
+            windows: per_source.div_ceil(cfg.window_size),
+            workers: cfg.workers,
+            service: Arc::new(vec![
+                Duration::from_micros(cfg.service_time_us);
+                cfg.workers
+            ]),
+            arrival: Arrival::Steady,
+        };
+        let streams = {
+            let cfg = cfg.clone();
+            Arc::new(move |_phase: usize, source: usize| {
+                crate::windows::source_stream(&cfg, source)
+            })
+        };
+        let plan = RunPlan {
+            kind: cfg.kind,
+            seed: cfg.seed,
+            skew: cfg.skew,
+            sources: cfg.sources,
+            spawned_workers: cfg.workers,
+            window_size: cfg.window_size,
+            batch_size: cfg.batch_size,
+            queue_capacity: cfg.queue_capacity,
+            aggregators: cfg.aggregators,
+            phases: Arc::new(vec![phase]),
+            streams,
+        };
+        run_plan(&plan, aggregate)
+    }
+}
 
-        let start = Instant::now();
+/// Executes a resolved run plan: the engine's single run loop, shared by the
+/// one-phase and scenario paths.
+fn run_plan<A, F, S>(plan: &RunPlan<F>, aggregate: A) -> WindowedRun<A::Partial>
+where
+    A: WindowAggregate<KeyId>,
+    F: Fn(usize, usize) -> S + Send + Sync + 'static,
+    S: KeyStream + Send,
+{
+    let batch_size = plan.batch_size;
+    let n_phases = plan.phases.len();
+    let phase_starts: Arc<Vec<WindowId>> =
+        Arc::new(plan.phases.iter().map(|p| p.start_window).collect());
+    // The queue capacity is configured in tuples; the channels carry
+    // batches, so convert (rounding up). The floor of two keeps the
+    // pipeline double-buffered — one batch being drained while the next
+    // is in flight — even when the configured capacity is smaller than a
+    // single batch; a floor of one serializes source and worker on the
+    // same condvar hand-off.
+    let capacity_batches = plan.queue_capacity.div_ceil(batch_size).max(2);
+    let (senders, receivers): (Vec<Sender<SourceMessage>>, Vec<Receiver<SourceMessage>>) = (0
+        ..plan.spawned_workers)
+        .map(|_| bounded::<SourceMessage>(capacity_batches))
+        .unzip();
+    // Worker → aggregator channels carry one partial per closed window
+    // per worker, so a couple of windows' worth of slots per worker is
+    // plenty of double-buffering.
+    type PartialChannel<P> = (
+        Vec<Sender<PartialWindow<P>>>,
+        Vec<Receiver<PartialWindow<P>>>,
+    );
+    let (partial_senders, partial_receivers): PartialChannel<A::Partial> = (0..plan.aggregators)
+        .map(|_| bounded::<PartialWindow<A::Partial>>(plan.spawned_workers * 2 + 4))
+        .unzip();
 
-        // Aggregator threads: merge partial-window slices as they arrive; a
-        // window is final once every worker has contributed its slice.
-        let mut aggregator_handles = Vec::with_capacity(cfg.aggregators);
-        for receiver in partial_receivers {
-            let aggregate = aggregate.clone();
-            let workers = cfg.workers;
-            aggregator_handles.push(thread::spawn(move || {
-                let mut latencies = LatencyTracker::with_capacity(256);
-                let mut merged = 0u64;
-                let mut open: HashMap<WindowId, (A::Partial, usize)> = HashMap::new();
-                let mut finalized: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
-                let mut drained: Vec<PartialWindow<A::Partial>> = Vec::new();
-                while receiver.recv_batch(&mut drained, usize::MAX).is_ok() {
-                    for pw in drained.drain(..) {
-                        latencies.record_us(pw.closed_at.elapsed().as_micros() as u64);
-                        merged += 1;
-                        let slot = open
-                            .entry(pw.window)
-                            .or_insert_with(|| (aggregate.empty(), 0));
-                        aggregate.merge(&mut slot.0, pw.partial);
-                        slot.1 += 1;
-                        if slot.1 == workers {
-                            let (partial, _) = open.remove(&pw.window).expect("window is open");
-                            finalized.insert(pw.window, partial);
+    let start = Instant::now();
+
+    // Aggregator threads: merge partial-window slices as they arrive; a
+    // window is final once every worker has contributed its slice.
+    let mut aggregator_handles = Vec::with_capacity(plan.aggregators);
+    for receiver in partial_receivers {
+        let aggregate = aggregate.clone();
+        let workers = plan.spawned_workers;
+        aggregator_handles.push(thread::spawn(move || {
+            let mut latencies = LatencyTracker::with_capacity(256);
+            let mut merged = 0u64;
+            let mut open: HashMap<WindowId, (A::Partial, usize)> = HashMap::new();
+            let mut finalized: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
+            let mut drained: Vec<PartialWindow<A::Partial>> = Vec::new();
+            while receiver.recv_batch(&mut drained, usize::MAX).is_ok() {
+                for pw in drained.drain(..) {
+                    latencies.record_us(pw.closed_at.elapsed().as_micros() as u64);
+                    merged += 1;
+                    let slot = open
+                        .entry(pw.window)
+                        .or_insert_with(|| (aggregate.empty(), 0));
+                    aggregate.merge(&mut slot.0, pw.partial);
+                    slot.1 += 1;
+                    if slot.1 == workers {
+                        let (partial, _) = open.remove(&pw.window).expect("window is open");
+                        finalized.insert(pw.window, partial);
+                    }
+                }
+            }
+            debug_assert!(
+                open.is_empty(),
+                "every window must receive a partial from every worker"
+            );
+            (finalized, latencies, merged)
+        }));
+    }
+
+    // Worker threads: drain whole runs of batches under one lock
+    // acquisition, spin for the phase's per-worker aggregate service time,
+    // update per-key state and the open window's partial, record one
+    // latency value per batch into the window's phase. Window close markers
+    // from all sources finalize a window: its partial is sharded by key
+    // hash and shipped downstream.
+    let mut worker_handles = Vec::with_capacity(plan.spawned_workers);
+    for (worker_idx, receiver) in receivers.into_iter().enumerate() {
+        let aggregate = aggregate.clone();
+        let partial_senders = partial_senders.clone();
+        let phases = plan.phases.clone();
+        let phase_starts = phase_starts.clone();
+        let sources = plan.sources;
+        let aggregators = plan.aggregators;
+        worker_handles.push(thread::spawn(move || {
+            let mut processed = 0u64;
+            let mut phase_counts = vec![0u64; phases.len()];
+            let mut phase_latencies: Vec<LatencyTracker> = (0..phases.len())
+                .map(|_| LatencyTracker::with_capacity(1_024))
+                .collect();
+            // First/last batch-completion instants per phase, for the
+            // per-phase throughput span.
+            let mut phase_spans: Vec<Option<(Instant, Instant)>> = vec![None; phases.len()];
+            // Distinct keys this worker has ever held state for (the
+            // memory-footprint metric); the per-key counts themselves
+            // live in the window partials.
+            let mut state: std::collections::HashSet<KeyId> = std::collections::HashSet::new();
+            let mut open: HashMap<WindowId, A::Partial> = HashMap::new();
+            let mut closes: HashMap<WindowId, usize> = HashMap::new();
+            let mut windows_closed = 0u64;
+            let mut drained: Vec<SourceMessage> = Vec::new();
+            while receiver.recv_batch(&mut drained, usize::MAX).is_ok() {
+                for message in drained.drain(..) {
+                    match message {
+                        SourceMessage::Batch(batch) => {
+                            let n = batch.keys.len() as u64;
+                            let phase = phase_of(&phase_starts, batch.window);
+                            let service = phases[phase].service[worker_idx];
+                            // Emulate the aggregation work with one
+                            // busy-wait for the whole batch (n tuples'
+                            // worth of service time): sleeping is far too
+                            // coarse at microsecond granularity, and a
+                            // per-tuple deadline would put two
+                            // `Instant::now()` calls back on the per-tuple
+                            // path.
+                            if !service.is_zero() {
+                                let until = Instant::now() + service * n as u32;
+                                while Instant::now() < until {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                            let partial = open
+                                .entry(batch.window)
+                                .or_insert_with(|| aggregate.empty());
+                            for key in &batch.keys {
+                                state.insert(*key);
+                                aggregate.observe(partial, key, 1);
+                            }
+                            let done = Instant::now();
+                            let batch_latency_us =
+                                done.duration_since(batch.emitted_at).as_micros() as u64;
+                            phase_latencies[phase].record_many_us(batch_latency_us, n);
+                            phase_counts[phase] += n;
+                            processed += n;
+                            let span = phase_spans[phase].get_or_insert((done, done));
+                            span.1 = done;
+                        }
+                        SourceMessage::CloseWindow { window } => {
+                            let seen = closes.entry(window).or_insert(0);
+                            *seen += 1;
+                            if *seen < sources {
+                                continue;
+                            }
+                            // Channels are FIFO per source, so with all
+                            // sources' markers in hand this worker holds
+                            // every tuple of the window that was routed
+                            // to it: finalize and ship the shard slices.
+                            closes.remove(&window);
+                            let partial = open.remove(&window).unwrap_or_else(|| aggregate.empty());
+                            let closed_at = Instant::now();
+                            for (shard, slice) in aggregate
+                                .shard(partial, aggregators)
+                                .into_iter()
+                                .enumerate()
+                            {
+                                partial_senders[shard]
+                                    .send(PartialWindow {
+                                        window,
+                                        partial: slice,
+                                        closed_at,
+                                    })
+                                    .expect("aggregator queue closed prematurely");
+                            }
+                            windows_closed += 1;
                         }
                     }
                 }
-                debug_assert!(
-                    open.is_empty(),
-                    "every window must receive a partial from every worker"
-                );
-                (finalized, latencies, merged)
-            }));
-        }
+            }
+            debug_assert!(
+                open.is_empty() && closes.is_empty(),
+                "all windows must be closed by end of stream"
+            );
+            (
+                processed,
+                phase_counts,
+                phase_latencies,
+                state.len() as u64,
+                windows_closed,
+                phase_spans,
+            )
+        }));
+    }
+    // The workers hold their own clones of the partial senders.
+    drop(partial_senders);
 
-        // Worker threads: drain whole runs of batches under one lock
-        // acquisition, spin for the aggregate service time, update per-key
-        // state and the open window's partial, record one latency value per
-        // batch. Window close markers from all sources finalize a window:
-        // its partial is sharded by key hash and shipped downstream.
-        let mut worker_handles = Vec::with_capacity(cfg.workers);
-        for receiver in receivers {
-            let aggregate = aggregate.clone();
-            let partial_senders = partial_senders.clone();
-            let service_time = Duration::from_micros(cfg.service_time_us);
-            let sources = cfg.sources;
-            let aggregators = cfg.aggregators;
-            worker_handles.push(thread::spawn(move || {
-                let mut processed = 0u64;
-                let mut latencies = LatencyTracker::with_capacity(4_096);
-                // Distinct keys this worker has ever held state for (the
-                // memory-footprint metric); the per-key counts themselves
-                // live in the window partials.
-                let mut state: std::collections::HashSet<KeyId> = std::collections::HashSet::new();
-                let mut open: HashMap<WindowId, A::Partial> = HashMap::new();
-                let mut closes: HashMap<WindowId, usize> = HashMap::new();
-                let mut windows_closed = 0u64;
-                let mut drained: Vec<SourceMessage> = Vec::new();
-                while receiver.recv_batch(&mut drained, usize::MAX).is_ok() {
-                    for message in drained.drain(..) {
-                        match message {
-                            SourceMessage::Batch(batch) => {
-                                let n = batch.keys.len() as u64;
-                                // Emulate the aggregation work with one
-                                // busy-wait for the whole batch (n tuples'
-                                // worth of service time): sleeping is far too
-                                // coarse at microsecond granularity, and a
-                                // per-tuple deadline would put two
-                                // `Instant::now()` calls back on the per-tuple
-                                // path.
-                                if !service_time.is_zero() {
-                                    let until = Instant::now() + service_time * n as u32;
-                                    while Instant::now() < until {
-                                        std::hint::spin_loop();
-                                    }
-                                }
-                                let partial = open
-                                    .entry(batch.window)
-                                    .or_insert_with(|| aggregate.empty());
-                                for key in &batch.keys {
-                                    state.insert(*key);
-                                    aggregate.observe(partial, key, 1);
-                                }
-                                let batch_latency_us =
-                                    batch.emitted_at.elapsed().as_micros() as u64;
-                                latencies.record_many_us(batch_latency_us, n);
-                                processed += n;
-                            }
-                            SourceMessage::CloseWindow { window } => {
-                                let seen = closes.entry(window).or_insert(0);
-                                *seen += 1;
-                                if *seen < sources {
-                                    continue;
-                                }
-                                // Channels are FIFO per source, so with all
-                                // sources' markers in hand this worker holds
-                                // every tuple of the window that was routed
-                                // to it: finalize and ship the shard slices.
-                                closes.remove(&window);
-                                let partial =
-                                    open.remove(&window).unwrap_or_else(|| aggregate.empty());
-                                let closed_at = Instant::now();
-                                for (shard, slice) in aggregate
-                                    .shard(partial, aggregators)
-                                    .into_iter()
-                                    .enumerate()
-                                {
-                                    partial_senders[shard]
-                                        .send(PartialWindow {
-                                            window,
-                                            partial: slice,
-                                            closed_at,
-                                        })
-                                        .expect("aggregator queue closed prematurely");
-                                }
-                                windows_closed += 1;
-                            }
-                        }
-                    }
+    // Source threads: for each phase, regenerate the partitioner for the
+    // phase's worker count, then generate and route a buffer of keys at a
+    // time, accumulate per-worker batches, ship each batch with a single
+    // timestamp when it fills (blocking on full queues). A key buffer
+    // never crosses a window boundary — or a phase boundary, since phases
+    // are whole windows; at each window boundary the source flushes its
+    // in-flight batches and broadcasts the close marker.
+    let window_size = plan.window_size;
+    let mut source_handles = Vec::with_capacity(plan.sources);
+    for source_idx in 0..plan.sources {
+        let senders = senders.clone();
+        let kind = plan.kind;
+        let seed = plan.seed;
+        let phases = plan.phases.clone();
+        let streams = plan.streams.clone();
+        let spawned_workers = plan.spawned_workers;
+        source_handles.push(thread::spawn(move || {
+            let mut partitioner: Option<Box<dyn Partitioner<KeyId>>> = None;
+            let mut keybuf: Vec<KeyId> = Vec::with_capacity(batch_size);
+            let mut routebuf: Vec<usize> = Vec::with_capacity(batch_size);
+            let mut pending: Vec<Vec<KeyId>> = (0..spawned_workers)
+                .map(|_| Vec::with_capacity(batch_size))
+                .collect();
+            // The batch's emit stamp is taken when its FIRST tuple is
+            // buffered, not when the batch ships: a tuple's recorded
+            // latency must include the time it waits for its batch to
+            // fill, otherwise the slowest-filling destinations (exactly
+            // the under-loaded workers of a skewed run) would report the
+            // smallest latencies. First-push stamping over-approximates
+            // for later tuples in the batch; it never understates.
+            let mut pending_since: Vec<Instant> = vec![Instant::now(); spawned_workers];
+            let mut sent = 0u64;
+            let mut local_idx = 0u64;
+            'phases: for (phase_idx, phase) in phases.iter().enumerate() {
+                // Phase boundary: regenerate the routing state for the
+                // phase's worker count. Build on first use, rescale in
+                // place afterwards — bit-for-bit equivalent to a fresh
+                // build (see slb-core's rescale_props suite).
+                let partition = PartitionConfig::new(phase.workers).with_seed(seed);
+                match partitioner.as_mut() {
+                    None => partitioner = Some(build_partitioner::<KeyId>(kind, &partition)),
+                    Some(part) => part.rescale(&partition),
                 }
-                debug_assert!(
-                    open.is_empty() && closes.is_empty(),
-                    "all windows must be closed by end of stream"
-                );
-                (processed, latencies, state.len() as u64, windows_closed)
-            }));
-        }
-        // The workers hold their own clones of the partial senders.
-        drop(partial_senders);
-
-        // Source threads: generate and route a buffer of keys at a time,
-        // accumulate per-worker batches, ship each batch with a single
-        // timestamp when it fills (blocking on full queues). A key buffer
-        // never crosses a window boundary; at each boundary the source
-        // flushes its in-flight batches and broadcasts the close marker.
-        let window_size = cfg.window_size;
-        let mut source_handles = Vec::with_capacity(cfg.sources);
-        for source_idx in 0..cfg.sources {
-            let senders = senders.clone();
-            let kind = cfg.kind;
-            let partition = PartitionConfig::new(cfg.workers).with_seed(cfg.seed);
-            let workers = cfg.workers;
-            // Each source generates an independent slice of the workload
-            // over the shared key space (see `windows::source_stream`).
-            let mut stream = crate::windows::source_stream(cfg, source_idx);
-            source_handles.push(thread::spawn(move || {
-                let mut partitioner = build_partitioner::<KeyId>(kind, &partition);
-                let mut keybuf: Vec<KeyId> = Vec::with_capacity(batch_size);
-                let mut routebuf: Vec<usize> = Vec::with_capacity(batch_size);
-                let mut pending: Vec<Vec<KeyId>> = (0..workers)
-                    .map(|_| Vec::with_capacity(batch_size))
-                    .collect();
-                // The batch's emit stamp is taken when its FIRST tuple is
-                // buffered, not when the batch ships: a tuple's recorded
-                // latency must include the time it waits for its batch to
-                // fill, otherwise the slowest-filling destinations (exactly
-                // the under-loaded workers of a skewed run) would report the
-                // smallest latencies. First-push stamping over-approximates
-                // for later tuples in the batch; it never understates.
-                let mut pending_since: Vec<Instant> = vec![Instant::now(); workers];
-                let mut sent = 0u64;
-                let mut local_idx = 0u64;
-                loop {
-                    // Cap the buffer at the window's remaining tuples so a
-                    // routed batch never spans a boundary.
-                    let take = batch_size.min((window_size - local_idx % window_size) as usize);
+                let part = partitioner.as_mut().expect("partitioner built above");
+                let mut stream = (streams)(phase_idx, source_idx);
+                let mut emitted = 0u64;
+                while emitted < phase.tuples_per_source {
+                    // Cap the buffer at the window's (and phase's)
+                    // remaining tuples so a routed batch never spans a
+                    // boundary; in a bursty phase, also at the burst's
+                    // remaining tuples so every burst boundary is observed
+                    // even when bursts are smaller than the batch size.
+                    let mut take = (batch_size as u64)
+                        .min(window_size - local_idx % window_size)
+                        .min(phase.tuples_per_source - emitted);
+                    if let Arrival::Bursty { burst_tuples, .. } = phase.arrival {
+                        take = take.min(burst_tuples - emitted % burst_tuples);
+                    }
+                    let take = take as usize;
                     keybuf.clear();
                     while keybuf.len() < take {
-                        match KeyStream::next_key(&mut stream) {
+                        match stream.next_key() {
                             Some(key) => keybuf.push(key),
                             None => break,
                         }
                     }
                     if keybuf.is_empty() {
-                        break;
+                        // Stream dried up early (possible only for the
+                        // one-phase path, whose stream bounds the budget).
+                        break 'phases;
                     }
-                    let window = crate::windows::window_of(local_idx, window_size);
-                    partitioner.route_batch(&keybuf, &mut routebuf);
+                    let window = window_of(local_idx, window_size);
+                    part.route_batch(&keybuf, &mut routebuf);
                     for (&key, &worker) in keybuf.iter().zip(&routebuf) {
                         if pending[worker].is_empty() {
                             pending_since[worker] = Instant::now();
@@ -560,7 +857,9 @@ impl Topology {
                                 .expect("worker queue closed prematurely");
                         }
                     }
-                    local_idx += keybuf.len() as u64;
+                    let chunk = keybuf.len() as u64;
+                    local_idx += chunk;
+                    emitted += chunk;
                     if local_idx % window_size == 0 {
                         // Window complete: everything buffered belongs to it,
                         // so flush first, then broadcast the close marker.
@@ -578,103 +877,159 @@ impl Topology {
                                 .expect("worker queue closed prematurely");
                         }
                     }
-                }
-                // End of stream: flush and close the final partial window
-                // (full windows were already closed at their boundary).
-                if local_idx % window_size != 0 {
-                    let window = crate::windows::window_of(local_idx, window_size);
-                    flush_pending(
-                        &senders,
-                        &mut pending,
-                        &pending_since,
-                        window,
-                        batch_size,
-                        &mut sent,
-                    );
-                    for sender in &senders {
-                        sender
-                            .send(SourceMessage::CloseWindow { window })
-                            .expect("worker queue closed prematurely");
+                    // Burst pacing: chunks never span a burst boundary (the
+                    // `take` cap above), so exactly one pause fires per
+                    // completed burst. Pacing shapes timing only; routing
+                    // and counts are untouched.
+                    if let Arrival::Bursty {
+                        burst_tuples,
+                        pause_us,
+                    } = phase.arrival
+                    {
+                        if pause_us > 0
+                            && emitted % burst_tuples == 0
+                            && emitted < phase.tuples_per_source
+                        {
+                            thread::sleep(Duration::from_micros(pause_us));
+                        }
                     }
-                }
-                sent
-            }));
-        }
-        // Drop the topology's own copies so workers terminate when sources do.
-        drop(senders);
-
-        let mut sent_total = 0u64;
-        for h in source_handles {
-            sent_total += h.join().expect("source thread panicked");
-        }
-        let mut processed = 0u64;
-        let mut latencies = Vec::with_capacity(cfg.workers);
-        let mut worker_counts = Vec::with_capacity(cfg.workers);
-        let mut worker_state_keys = Vec::with_capacity(cfg.workers);
-        let mut worker_windows_closed = Vec::with_capacity(cfg.workers);
-        for h in worker_handles {
-            let (count, tracker, state_keys, windows_closed) =
-                h.join().expect("worker thread panicked");
-            processed += count;
-            worker_counts.push(count);
-            worker_state_keys.push(state_keys);
-            worker_windows_closed.push(windows_closed);
-            latencies.push(tracker);
-        }
-        debug_assert_eq!(sent_total, processed, "every sent tuple must be processed");
-
-        let mut windows: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
-        let mut aggregator_latencies = Vec::with_capacity(cfg.aggregators);
-        let mut partials_merged = 0u64;
-        for h in aggregator_handles {
-            let (finalized, tracker, merged) = h.join().expect("aggregator thread panicked");
-            partials_merged += merged;
-            aggregator_latencies.push(tracker);
-            for (window, partial) in finalized {
-                match windows.entry(window) {
-                    Entry::Vacant(slot) => {
-                        slot.insert(partial);
-                    }
-                    Entry::Occupied(mut slot) => aggregate.merge(slot.get_mut(), partial),
                 }
             }
-        }
-        debug_assert!(
-            worker_windows_closed
-                .iter()
-                .all(|&w| w == windows.len() as u64),
-            "every worker closes every window exactly once"
-        );
-
-        let elapsed = start.elapsed().as_secs_f64();
-        let latency = LatencyTracker::summarize(&latencies);
-        let throughput_eps = if elapsed > 0.0 {
-            processed as f64 / elapsed
-        } else {
-            0.0
-        };
-        let result = EngineResult {
-            scheme: cfg.kind.symbol().to_string(),
-            skew: cfg.skew,
-            processed,
-            elapsed_secs: elapsed,
-            throughput_eps,
-            latency,
-            imbalance: slb_core::imbalance(&worker_counts),
-            worker_counts,
-            worker_state_keys,
-            window_size: cfg.window_size,
-            aggregators: cfg.aggregators,
-            windows: windows.len() as u64,
-            worker_stage: StageMetrics::new(processed, elapsed, latency),
-            aggregator_stage: StageMetrics::new(
-                partials_merged,
-                elapsed,
-                LatencyTracker::summarize(&aggregator_latencies),
-            ),
-        };
-        WindowedRun { result, windows }
+            // End of stream: flush and close the final partial window
+            // (full windows were already closed at their boundary; phases
+            // always end on a boundary, so this fires only when the
+            // one-phase path's message count does not divide evenly).
+            if local_idx % window_size != 0 {
+                let window = window_of(local_idx, window_size);
+                flush_pending(
+                    &senders,
+                    &mut pending,
+                    &pending_since,
+                    window,
+                    batch_size,
+                    &mut sent,
+                );
+                for sender in &senders {
+                    sender
+                        .send(SourceMessage::CloseWindow { window })
+                        .expect("worker queue closed prematurely");
+                }
+            }
+            sent
+        }));
     }
+    // Drop the topology's own copies so workers terminate when sources do.
+    drop(senders);
+
+    let mut sent_total = 0u64;
+    for h in source_handles {
+        sent_total += h.join().expect("source thread panicked");
+    }
+    let mut processed = 0u64;
+    let mut worker_counts = Vec::with_capacity(plan.spawned_workers);
+    let mut worker_state_keys = Vec::with_capacity(plan.spawned_workers);
+    let mut worker_windows_closed = Vec::with_capacity(plan.spawned_workers);
+    let mut phase_matrix = PhaseLoadMatrix::new(n_phases, plan.spawned_workers);
+    let mut phase_latencies: Vec<Vec<LatencyTracker>> = (0..n_phases).map(|_| Vec::new()).collect();
+    let mut phase_spans: Vec<Option<(Instant, Instant)>> = vec![None; n_phases];
+    for (w, h) in worker_handles.into_iter().enumerate() {
+        let (count, counts_by_phase, trackers_by_phase, state_keys, windows_closed, spans) =
+            h.join().expect("worker thread panicked");
+        processed += count;
+        worker_counts.push(count);
+        worker_state_keys.push(state_keys);
+        worker_windows_closed.push(windows_closed);
+        for (p, tracker) in trackers_by_phase.into_iter().enumerate() {
+            phase_matrix.add(p, w, counts_by_phase[p]);
+            phase_latencies[p].push(tracker);
+        }
+        for (p, span) in spans.into_iter().enumerate() {
+            if let Some((first, last)) = span {
+                let merged_span = phase_spans[p].get_or_insert((first, last));
+                merged_span.0 = merged_span.0.min(first);
+                merged_span.1 = merged_span.1.max(last);
+            }
+        }
+    }
+    debug_assert_eq!(sent_total, processed, "every sent tuple must be processed");
+
+    let mut windows: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
+    let mut aggregator_latencies = Vec::with_capacity(plan.aggregators);
+    let mut partials_merged = 0u64;
+    for h in aggregator_handles {
+        let (finalized, tracker, merged) = h.join().expect("aggregator thread panicked");
+        partials_merged += merged;
+        aggregator_latencies.push(tracker);
+        for (window, partial) in finalized {
+            match windows.entry(window) {
+                Entry::Vacant(slot) => {
+                    slot.insert(partial);
+                }
+                Entry::Occupied(mut slot) => aggregate.merge(slot.get_mut(), partial),
+            }
+        }
+    }
+    debug_assert!(
+        worker_windows_closed
+            .iter()
+            .all(|&w| w == windows.len() as u64),
+        "every worker closes every window exactly once"
+    );
+
+    let elapsed = start.elapsed().as_secs_f64();
+    // Grouped by worker across phases, so the "max avg" statistic keeps the
+    // paper's per-worker semantics without copying every sample.
+    let latency = LatencyTracker::summarize_by_worker(&phase_latencies);
+    let throughput_eps = if elapsed > 0.0 {
+        processed as f64 / elapsed
+    } else {
+        0.0
+    };
+    let phases_out: Vec<PhaseMetrics> = plan
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(p, phase)| {
+            let span_secs = phase_spans[p]
+                .map(|(first, last)| last.duration_since(first).as_secs_f64())
+                .unwrap_or(0.0);
+            PhaseMetrics {
+                phase: p,
+                workers: phase.workers,
+                start_window: phase.start_window,
+                windows: phase.windows,
+                worker_counts: phase_matrix.phase_counts(p)[..phase.workers].to_vec(),
+                imbalance: phase_matrix.phase_imbalance(p, phase.workers),
+                stage: StageMetrics::new(
+                    phase_matrix.phase_total(p),
+                    span_secs,
+                    LatencyTracker::summarize(&phase_latencies[p]),
+                ),
+            }
+        })
+        .collect();
+    let result = EngineResult {
+        scheme: plan.kind.symbol().to_string(),
+        skew: plan.skew,
+        processed,
+        elapsed_secs: elapsed,
+        throughput_eps,
+        latency,
+        imbalance: slb_core::imbalance(&worker_counts),
+        worker_counts,
+        worker_state_keys,
+        window_size: plan.window_size,
+        aggregators: plan.aggregators,
+        windows: windows.len() as u64,
+        phases: phases_out,
+        worker_stage: StageMetrics::new(processed, elapsed, latency),
+        aggregator_stage: StageMetrics::new(
+            partials_merged,
+            elapsed,
+            LatencyTracker::summarize(&aggregator_latencies),
+        ),
+    };
+    WindowedRun { result, windows }
 }
 
 /// Runs one engine experiment per grouping scheme in `schemes`, all on the
@@ -690,11 +1045,24 @@ pub fn compare_schemes(base: &EngineConfig, schemes: &[PartitionerKind]) -> Vec<
         .collect()
 }
 
+/// Runs one scenario per grouping scheme in `schemes`, all on the same
+/// scenario spec, and returns the results in the same order.
+pub fn compare_schemes_scenario(
+    base: &ScenarioConfig,
+    schemes: &[PartitionerKind],
+) -> Vec<EngineResult> {
+    schemes
+        .iter()
+        .map(|&kind| base.clone().with_kind(kind).run())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use slb_core::{SumAggregate, TopKAggregate};
     use slb_sketch::FrequencyEstimator;
+    use slb_workloads::ScenarioPhase;
 
     #[test]
     fn smoke_run_processes_every_message() {
@@ -719,6 +1087,21 @@ mod tests {
         );
         assert!(result.aggregator_stage.latency.samples > 0);
         assert_eq!(result.worker_stage.items, result.processed);
+    }
+
+    #[test]
+    fn single_phase_run_reports_one_phase_covering_the_whole_run() {
+        let cfg = EngineConfig::smoke(PartitionerKind::DChoices, 1.6).with_service_time_us(0);
+        let result = Topology::new(cfg.clone()).run();
+        assert_eq!(result.phases.len(), 1);
+        let phase = &result.phases[0];
+        assert_eq!(phase.phase, 0);
+        assert_eq!(phase.workers, cfg.workers);
+        assert_eq!(phase.start_window, 0);
+        assert_eq!(phase.stage.items, result.processed);
+        assert_eq!(phase.worker_counts, result.worker_counts);
+        assert!((phase.imbalance - result.imbalance).abs() < 1e-12);
+        assert_eq!(phase.stage.latency.samples, result.latency.samples);
     }
 
     #[test]
@@ -858,6 +1241,114 @@ mod tests {
         let one = Topology::new(base.clone().with_aggregators(1)).run_windowed(CountAggregate);
         let three = Topology::new(base.with_aggregators(3)).run_windowed(CountAggregate);
         assert_eq!(one.windows, three.windows);
+    }
+
+    /// A small scenario exercising scale-out, drift, heterogeneity, and a
+    /// burst phase at test speed.
+    fn small_scenario(seed: u64) -> Scenario {
+        Scenario::new("unit", 2, 256, seed)
+            .phase(ScenarioPhase::new(2, 400, 1.8, 3))
+            .phase(
+                ScenarioPhase::new(2, 400, 1.2, 5)
+                    .with_drift_epochs(2)
+                    .with_worker_speed(vec![2.0, 1.0, 1.0, 1.0, 1.0]),
+            )
+            .phase(
+                ScenarioPhase::new(1, 200, 0.0, 2).with_arrival(Arrival::Bursty {
+                    burst_tuples: 128,
+                    pause_us: 10,
+                }),
+            )
+    }
+
+    #[test]
+    fn scenario_run_processes_every_tuple_and_reports_phases() {
+        let scenario = small_scenario(7);
+        let expected = scenario.total_tuples();
+        let result = ScenarioConfig::new(PartitionerKind::Pkg, scenario.clone()).run();
+        assert_eq!(result.processed, expected);
+        assert_eq!(result.phases.len(), 3);
+        assert_eq!(result.worker_counts.len(), scenario.max_workers());
+        assert_eq!(result.windows, scenario.total_windows());
+        for (p, phase) in result.phases.iter().enumerate() {
+            assert_eq!(phase.phase, p);
+            assert_eq!(phase.workers, scenario.phases[p].workers);
+            assert_eq!(phase.start_window, scenario.phase_start_window(p));
+            assert_eq!(
+                phase.stage.items,
+                scenario.phase_tuples_per_source(p) * scenario.sources as u64
+            );
+            assert_eq!(phase.worker_counts.len(), phase.workers);
+            assert_eq!(phase.stage.items, phase.worker_counts.iter().sum::<u64>());
+            assert!(phase.imbalance >= 0.0);
+        }
+        let phase_total: u64 = result.phases.iter().map(|p| p.stage.items).sum();
+        assert_eq!(phase_total, result.processed);
+        assert_eq!(result.latency.samples, result.processed);
+    }
+
+    #[test]
+    fn scenario_tuples_never_route_outside_the_active_set() {
+        // Phase 2 scales in to 2 workers: the scale-in phase must route
+        // nothing to workers 2..5 even though they were active in phase 1.
+        let result = ScenarioConfig::new(PartitionerKind::WChoices, small_scenario(11)).run();
+        let scale_in = &result.phases[2];
+        assert_eq!(scale_in.workers, 2);
+        assert_eq!(
+            scale_in.worker_counts.iter().sum::<u64>(),
+            scale_in.stage.items
+        );
+    }
+
+    #[test]
+    fn sub_batch_bursts_preserve_counts_and_windows() {
+        // Bursts smaller than the transport batch cap the key-buffer chunks,
+        // so every burst boundary is observed; routing, counts, and windows
+        // must be identical to the steady run of the same spec.
+        let steady =
+            Scenario::single_phase("steady", 2, 256, 13, ScenarioPhase::new(3, 300, 1.6, 4));
+        let mut bursty = steady.clone();
+        bursty.phases[0].arrival = Arrival::Bursty {
+            burst_tuples: 64, // default batch_size is 256
+            pause_us: 1,
+        };
+        let a = ScenarioConfig::new(PartitionerKind::Pkg, steady).run_windowed(CountAggregate);
+        let b = ScenarioConfig::new(PartitionerKind::Pkg, bursty).run_windowed(CountAggregate);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.result.worker_counts, b.result.worker_counts);
+        assert_eq!(b.result.processed, 2 * 3 * 256);
+    }
+
+    #[test]
+    fn scenario_reruns_are_deterministic() {
+        let cfg = ScenarioConfig::new(PartitionerKind::DChoices, small_scenario(3));
+        let a = cfg.run_windowed(CountAggregate);
+        let b = cfg.run_windowed(CountAggregate);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.result.worker_counts, b.result.worker_counts);
+        for (x, y) in a.result.phases.iter().zip(&b.result.phases) {
+            assert_eq!(x.worker_counts, y.worker_counts);
+            assert_eq!(x.imbalance.to_bits(), y.imbalance.to_bits());
+        }
+    }
+
+    #[test]
+    fn compare_schemes_scenario_labels_results() {
+        let base = ScenarioConfig::new(PartitionerKind::Pkg, small_scenario(5));
+        let results = compare_schemes_scenario(
+            &base,
+            &[PartitionerKind::KeyGrouping, PartitionerKind::WChoices],
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].scheme, "KG");
+        assert_eq!(results[1].scheme, "W-C");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn invalid_scenario_panics() {
+        let scenario = Scenario::new("empty", 2, 64, 1); // no phases
+        let _ = ScenarioConfig::new(PartitionerKind::Pkg, scenario).run();
     }
 
     #[test]

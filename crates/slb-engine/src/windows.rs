@@ -31,7 +31,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use slb_workloads::zipf::ZipfGenerator;
-use slb_workloads::{KeyId, KeyStream};
+use slb_workloads::{KeyId, KeyStream, Scenario};
 
 use crate::topology::{EngineConfig, EngineResult};
 
@@ -90,6 +90,37 @@ pub fn exact_windowed_counts(cfg: &EngineConfig) -> BTreeMap<WindowId, HashMap<K
             let window = window_of(local_idx, cfg.window_size);
             *windows.entry(window).or_default().entry(key).or_insert(0) += 1;
             local_idx += 1;
+        }
+    }
+    windows
+}
+
+/// Single-threaded exact reference for a *scenario* run: the per-window
+/// per-key counts obtained by replaying every source's per-phase streams in
+/// order on one thread, with the global window index continuing across
+/// phases. The engine's merged scenario output under
+/// [`slb_core::CountAggregate`] must equal this map bit for bit, for every
+/// grouping scheme, worker-count change, drift epoch, burst pattern, batch
+/// size, and aggregator shard count.
+///
+/// # Panics
+/// Panics if the scenario is invalid.
+pub fn exact_scenario_windowed_counts(
+    scenario: &Scenario,
+) -> BTreeMap<WindowId, HashMap<KeyId, u64>> {
+    if let Err(message) = scenario.validate() {
+        panic!("invalid scenario: {message}");
+    }
+    let mut windows: BTreeMap<WindowId, HashMap<KeyId, u64>> = BTreeMap::new();
+    for source_idx in 0..scenario.sources {
+        let mut local_idx = 0u64;
+        for phase_idx in 0..scenario.phases.len() {
+            let mut stream = scenario.phase_stream(phase_idx, source_idx);
+            while let Some(key) = KeyStream::next_key(&mut stream) {
+                let window = window_of(local_idx, scenario.window_size);
+                *windows.entry(window).or_default().entry(key).or_insert(0) += 1;
+                local_idx += 1;
+            }
         }
     }
     windows

@@ -1,0 +1,174 @@
+//! Scenario differential suite: the key-splitting soundness invariant under
+//! drift, heterogeneity, bursts, and mid-run scale-out.
+//!
+//! PR 3's differential suite certifies the static single-phase case; this
+//! suite extends the same exactness bar to multi-phase scenario runs. For
+//! every grouping scheme and seed, the threaded engine executing the
+//! canonical stress scenario (drifting skew, a 2×-slow worker, a burst
+//! phase, scale-out then scale-in) must produce merged per-window per-key
+//! counts **bit-identical** to the single-threaded exact reference
+//! ([`exact_scenario_windowed_counts`]) — and its per-phase routed counts
+//! must equal the analytic simulator's replay of the same spec exactly,
+//! which pins that both executors really run *one* scenario semantics.
+//!
+//! Seeds: the suite runs a built-in seed pair by default; setting
+//! `SLB_TEST_SEED` (a single u64) replaces the pair with that seed, which is
+//! how `ci.sh` sweeps its seed matrix without re-paying for the defaults.
+
+use std::collections::HashMap;
+
+use slb_core::{CountAggregate, PartitionerKind};
+use slb_engine::{exact_scenario_windowed_counts, ScenarioConfig, WindowId};
+use slb_simulator::simulate_scenario;
+use slb_workloads::{KeyId, Scenario};
+
+/// Seeds to exercise: `SLB_TEST_SEED` alone when set, the built-in pair
+/// otherwise (disjoint from ci.sh's {1, 42, 1337} matrix).
+fn seeds() -> Vec<u64> {
+    match std::env::var("SLB_TEST_SEED") {
+        Ok(value) => {
+            let seed: u64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("SLB_TEST_SEED must be a u64, got {value:?}"));
+            vec![seed]
+        }
+        Err(_) => vec![7, 23],
+    }
+}
+
+/// The canonical stress scenario at test size: 3 sources, 256-tuple
+/// windows, 4→8→4 workers (see [`Scenario::stress`]), ~10.8k tuples.
+fn stress(seed: u64) -> Scenario {
+    Scenario::stress(3, 256, 4, seed)
+}
+
+fn assert_scenario_merged_equals_reference(kind: PartitionerKind, seed: u64) {
+    let scenario = stress(seed);
+    let reference = exact_scenario_windowed_counts(&scenario);
+    let run = ScenarioConfig::new(kind, scenario.clone()).run_windowed(CountAggregate);
+    let merged: Vec<(WindowId, HashMap<KeyId, u64>)> = run.windows.into_iter().collect();
+    let expected: Vec<(WindowId, HashMap<KeyId, u64>)> = reference.into_iter().collect();
+    assert_eq!(
+        merged.len(),
+        expected.len(),
+        "{} seed={seed}: window count diverged",
+        kind.symbol()
+    );
+    for ((window, counts), (ref_window, ref_counts)) in merged.iter().zip(&expected) {
+        assert_eq!(window, ref_window);
+        assert_eq!(
+            counts,
+            ref_counts,
+            "{} seed={seed} window {window}: merged scenario counts diverged from the exact \
+             reference",
+            kind.symbol()
+        );
+    }
+    // Cross-executor agreement: the engine's per-phase routed counts equal
+    // the simulator's replay of the same spec, tuple for tuple.
+    let sim = simulate_scenario(kind, &scenario);
+    assert_eq!(run.result.phases.len(), sim.phases.len());
+    for (engine_phase, sim_phase) in run.result.phases.iter().zip(&sim.phases) {
+        assert_eq!(
+            engine_phase.worker_counts,
+            sim_phase.worker_counts,
+            "{} seed={seed} phase {}: engine and simulator routed counts diverged",
+            kind.symbol(),
+            engine_phase.phase
+        );
+        assert_eq!(
+            engine_phase.imbalance.to_bits(),
+            sim_phase.imbalance.to_bits(),
+            "{} seed={seed} phase {}: imbalance diverged",
+            kind.symbol(),
+            engine_phase.phase
+        );
+    }
+}
+
+fn run_scheme(kind: PartitionerKind) {
+    for seed in seeds() {
+        assert_scenario_merged_equals_reference(kind, seed);
+    }
+}
+
+#[test]
+fn key_grouping_scenario_counts_match_exact_reference() {
+    run_scheme(PartitionerKind::KeyGrouping);
+}
+
+#[test]
+fn shuffle_grouping_scenario_counts_match_exact_reference() {
+    run_scheme(PartitionerKind::ShuffleGrouping);
+}
+
+#[test]
+fn pkg_scenario_counts_match_exact_reference() {
+    run_scheme(PartitionerKind::Pkg);
+}
+
+#[test]
+fn d_choices_scenario_counts_match_exact_reference() {
+    run_scheme(PartitionerKind::DChoices);
+}
+
+#[test]
+fn w_choices_scenario_counts_match_exact_reference() {
+    run_scheme(PartitionerKind::WChoices);
+}
+
+#[test]
+fn round_robin_scenario_counts_match_exact_reference() {
+    run_scheme(PartitionerKind::RoundRobin);
+}
+
+/// The scenario invariant is insensitive to every transport/parallelism
+/// knob, exactly like the single-phase one.
+#[test]
+fn scenario_invariant_holds_across_transport_and_sharding_knobs() {
+    let seed = seeds()[seeds().len() - 1];
+    let scenario = stress(seed);
+    let reference = exact_scenario_windowed_counts(&scenario);
+    for batch_size in [1usize, 3, 256] {
+        let run = ScenarioConfig::new(PartitionerKind::Pkg, scenario.clone())
+            .with_batch_size(batch_size)
+            .run_windowed(CountAggregate);
+        assert_eq!(run.windows, reference, "batch_size={batch_size}");
+    }
+    for aggregators in [1usize, 3, 5] {
+        let run = ScenarioConfig::new(PartitionerKind::Pkg, scenario.clone())
+            .with_aggregators(aggregators)
+            .run_windowed(CountAggregate);
+        assert_eq!(run.windows, reference, "aggregators={aggregators}");
+    }
+    // A non-zero service time (heterogeneity multipliers then actually slow
+    // workers down) must not change the merged output either.
+    let run = ScenarioConfig::new(PartitionerKind::Pkg, scenario)
+        .with_service_time_us(5)
+        .run_windowed(CountAggregate);
+    assert_eq!(run.windows, reference, "service_time_us=5");
+}
+
+/// Per-phase metrics are emitted for all six schemes on the stress scenario
+/// (the acceptance criterion of the scenario engine).
+#[test]
+fn all_six_schemes_emit_per_phase_imbalance() {
+    let scenario = stress(seeds()[0]);
+    for kind in PartitionerKind::ALL {
+        let result = ScenarioConfig::new(kind, scenario.clone()).run();
+        assert_eq!(result.phases.len(), scenario.phases.len(), "{kind:?}");
+        for phase in &result.phases {
+            assert!(
+                phase.imbalance.is_finite(),
+                "{kind:?} phase {}",
+                phase.phase
+            );
+            assert_eq!(
+                phase.stage.items,
+                scenario.phase_tuples_per_source(phase.phase) * scenario.sources as u64,
+                "{kind:?} phase {}",
+                phase.phase
+            );
+        }
+    }
+}

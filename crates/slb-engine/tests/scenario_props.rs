@@ -1,0 +1,127 @@
+//! Property tests for scenario-run invariants on the threaded engine.
+//!
+//! Random small scenarios (varying phase counts, worker counts, drift, and
+//! schemes) are executed end to end, asserting the structural invariants the
+//! scenario engine guarantees:
+//!
+//! * phase transitions never split a window — every phase's windows land in
+//!   `[start_window, start_window + windows)` and every window is full;
+//! * worker-count changes preserve total tuple counts — nothing is lost or
+//!   duplicated across a rescale boundary;
+//! * per-phase metrics sum to run totals — counts, latency samples, and
+//!   per-worker loads are partitioned exactly by phase.
+
+use proptest::prelude::*;
+
+use slb_core::{CountAggregate, PartitionerKind};
+use slb_engine::ScenarioConfig;
+use slb_workloads::{Scenario, ScenarioPhase};
+
+/// Expands packed randomness into a small but varied scenario (1–3 phases,
+/// 1–2 windows each, worker counts 1–6, optional drift).
+fn random_scenario(
+    sources: usize,
+    window_size: u64,
+    seed: u64,
+    phase_count: usize,
+    mix: u64,
+) -> Scenario {
+    let mut state = mix;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut scenario = Scenario::new("prop", sources, window_size, seed);
+    for _ in 0..phase_count {
+        let windows = 1 + next() % 2;
+        let keys = 2 + (next() % 300) as usize;
+        let skew = (next() % 2_200) as f64 / 1_000.0;
+        let workers = 1 + (next() % 6) as usize;
+        // drift_epochs must divide the phase's tuples; walk the random
+        // candidate down to the nearest divisor (worst case 1).
+        let tuples = windows * window_size;
+        let mut drift_epochs = 1 + next() % 3;
+        while tuples % drift_epochs != 0 {
+            drift_epochs -= 1;
+        }
+        scenario = scenario.phase(
+            ScenarioPhase::new(windows, keys, skew, workers).with_drift_epochs(drift_epochs),
+        );
+    }
+    scenario
+}
+
+fn kind_of(index: u64) -> PartitionerKind {
+    PartitionerKind::ALL[(index % PartitionerKind::ALL.len() as u64) as usize]
+}
+
+proptest! {
+    // Each case spawns a full threaded topology, so keep the local count
+    // modest; ci.sh raises it via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases_env(16))]
+
+    /// Worker-count changes preserve total tuple counts, per-phase metrics
+    /// sum to run totals, and no phase routes outside its active worker set.
+    #[test]
+    fn scenario_runs_preserve_counts_and_partition_metrics(
+        sources in 1usize..4,
+        window_size in 16u64..200,
+        seed in any::<u64>(),
+        phase_count in 1usize..4,
+        mix in any::<u64>(),
+        kind_index in any::<u64>(),
+    ) {
+        let scenario = random_scenario(sources, window_size, seed, phase_count, mix);
+        let kind = kind_of(kind_index);
+        let run = ScenarioConfig::new(kind, scenario.clone()).run_windowed(CountAggregate);
+        let result = &run.result;
+
+        // Total preservation across rescale boundaries.
+        prop_assert_eq!(result.processed, scenario.total_tuples());
+        prop_assert_eq!(result.latency.samples, result.processed);
+        prop_assert_eq!(result.windows, scenario.total_windows());
+
+        // Per-phase metrics partition the run totals exactly.
+        prop_assert_eq!(result.phases.len(), scenario.phases.len());
+        let phase_items: u64 = result.phases.iter().map(|p| p.stage.items).sum();
+        prop_assert_eq!(phase_items, result.processed);
+        let phase_samples: u64 = result.phases.iter().map(|p| p.stage.latency.samples).sum();
+        prop_assert_eq!(phase_samples, result.latency.samples);
+        let mut per_worker = vec![0u64; scenario.max_workers()];
+        for (p, phase) in result.phases.iter().enumerate() {
+            prop_assert_eq!(phase.workers, scenario.phases[p].workers);
+            prop_assert_eq!(
+                phase.stage.items,
+                scenario.phase_tuples_per_source(p) * scenario.sources as u64
+            );
+            // Nothing routed outside the active set (counts vector is the
+            // active prefix and must carry the whole phase).
+            prop_assert_eq!(phase.worker_counts.len(), phase.workers);
+            prop_assert_eq!(phase.worker_counts.iter().sum::<u64>(), phase.stage.items);
+            for (w, &count) in phase.worker_counts.iter().enumerate() {
+                per_worker[w] += count;
+            }
+        }
+        prop_assert_eq!(per_worker, result.worker_counts.clone());
+
+        // Phase transitions never split a window: the merged output has
+        // exactly the expected windows, every one full, and each phase's
+        // window range matches the spec.
+        let per_window = window_size * sources as u64;
+        for (&window, counts) in &run.windows {
+            let tuples: u64 = counts.values().sum();
+            prop_assert_eq!(tuples, per_window, "window {} is not full", window);
+        }
+        for (p, phase) in result.phases.iter().enumerate() {
+            prop_assert_eq!(phase.start_window, scenario.phase_start_window(p));
+            prop_assert_eq!(phase.windows, scenario.phases[p].windows);
+            for w in phase.start_window..phase.start_window + phase.windows {
+                prop_assert!(run.windows.contains_key(&w), "window {} missing", w);
+                prop_assert_eq!(scenario.phase_of_window(w), p);
+            }
+        }
+    }
+}

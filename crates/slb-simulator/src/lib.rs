@@ -10,6 +10,9 @@
 //! global per-worker load to compute the imbalance metric.
 //!
 //! * [`simulation`] — the replay engine and its configuration.
+//! * [`scenario`] — analytic replay of multi-phase `slb_workloads::Scenario`
+//!   specs (drift, heterogeneity, scale-out), agreeing tuple-for-tuple with
+//!   the threaded engine's routing.
 //! * [`metrics`] — result types: final imbalance, imbalance time series,
 //!   per-worker head/tail load split, replica (memory) counts.
 //! * [`experiments`] — parameterized drivers that regenerate each figure of
@@ -17,7 +20,11 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod scenario;
 pub mod simulation;
 
 pub use metrics::{HeadTailLoad, SimulationResult, TimeSeriesPoint};
+pub use scenario::{
+    compare_scenario_schemes, simulate_scenario, ScenarioPhaseOutcome, ScenarioSimResult,
+};
 pub use simulation::{SimulationConfig, Simulator};

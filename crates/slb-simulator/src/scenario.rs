@@ -1,0 +1,243 @@
+//! Analytic replay of multi-phase scenarios.
+//!
+//! [`simulate_scenario`] replays the *same* [`Scenario`] spec the threaded
+//! engine executes — same per-source per-phase streams, same partitioner
+//! regeneration rule at phase boundaries — but single-threaded and without
+//! queues or service times, so it measures pure routing behaviour: per-phase
+//! per-worker counts, the paper's imbalance metric evaluated over each
+//! phase's active worker set, and a *work-weighted* imbalance that accounts
+//! for heterogeneous worker speeds (a slow worker is overloaded sooner, so
+//! its routed share is scaled by its service-time multiplier).
+//!
+//! Because both executors construct streams through
+//! [`Scenario::phase_stream`] and regenerate partitioners with
+//! [`slb_core::Partitioner::rescale`] under identical configurations, the
+//! simulator's per-phase counts are *exactly* — not statistically — equal to
+//! the engine's (`slb-engine/tests/scenario_differential.rs` pins this).
+
+use serde::{Deserialize, Serialize};
+
+use slb_core::{
+    build_partitioner, imbalance_fractions, PartitionConfig, Partitioner, PartitionerKind,
+    PhaseLoadMatrix,
+};
+use slb_workloads::{KeyId, KeyStream, Scenario};
+
+/// Routing outcome of one scenario phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPhaseOutcome {
+    /// Phase index.
+    pub phase: usize,
+    /// Active workers during the phase.
+    pub workers: usize,
+    /// Tuples routed during the phase (all sources).
+    pub tuples: u64,
+    /// Per-worker routed counts over the active worker set.
+    pub worker_counts: Vec<u64>,
+    /// The paper's imbalance `I` over the active worker set.
+    pub imbalance: f64,
+    /// Imbalance of *work* rather than tuples: each worker's routed share is
+    /// scaled by its service-time multiplier before comparing. Equals
+    /// `imbalance` for homogeneous phases.
+    pub weighted_imbalance: f64,
+}
+
+/// Routing outcome of a whole scenario under one grouping scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSimResult {
+    /// Scheme symbol (KG, SG, PKG, D-C, W-C, RR).
+    pub scheme: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Total tuples routed.
+    pub tuples: u64,
+    /// One outcome per phase, in order.
+    pub phases: Vec<ScenarioPhaseOutcome>,
+}
+
+/// Replays `scenario` under `kind` and returns the per-phase routing
+/// outcomes.
+///
+/// # Panics
+/// Panics if the scenario is invalid.
+pub fn simulate_scenario(kind: PartitionerKind, scenario: &Scenario) -> ScenarioSimResult {
+    if let Err(message) = scenario.validate() {
+        panic!("invalid scenario: {message}");
+    }
+    let n_phases = scenario.phases.len();
+    let mut matrix = PhaseLoadMatrix::new(n_phases, scenario.max_workers());
+    // One partitioner per source, regenerated at every phase boundary with
+    // the phase's worker count — the exact rule the engine's source threads
+    // follow, so routing decisions match tuple for tuple.
+    let mut partitioners: Vec<Option<Box<dyn Partitioner<KeyId>>>> =
+        (0..scenario.sources).map(|_| None).collect();
+    for (p, phase) in scenario.phases.iter().enumerate() {
+        let partition = PartitionConfig::new(phase.workers).with_seed(scenario.seed);
+        for (source, slot) in partitioners.iter_mut().enumerate() {
+            match slot.as_mut() {
+                None => *slot = Some(build_partitioner::<KeyId>(kind, &partition)),
+                Some(part) => part.rescale(&partition),
+            }
+            let part = slot.as_mut().expect("partitioner built above");
+            let mut stream = scenario.phase_stream(p, source);
+            while let Some(key) = stream.next_key() {
+                let worker = part.route(&key);
+                matrix.add(p, worker, 1);
+            }
+        }
+    }
+    let phases = scenario
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(p, phase)| {
+            let active = phase.workers;
+            let worker_counts = matrix.phase_counts(p)[..active].to_vec();
+            let tuples = matrix.phase_total(p);
+            let weighted_imbalance = weighted_imbalance(&worker_counts, |w| phase.speed_of(w));
+            ScenarioPhaseOutcome {
+                phase: p,
+                workers: active,
+                tuples,
+                imbalance: matrix.phase_imbalance(p, active),
+                weighted_imbalance,
+                worker_counts,
+            }
+        })
+        .collect();
+    ScenarioSimResult {
+        scheme: kind.symbol().to_string(),
+        scenario: scenario.name.clone(),
+        tuples: matrix.total(),
+        phases,
+    }
+}
+
+/// Replays the scenario under every scheme in `schemes`, in order.
+pub fn compare_scenario_schemes(
+    scenario: &Scenario,
+    schemes: &[PartitionerKind],
+) -> Vec<ScenarioSimResult> {
+    schemes
+        .iter()
+        .map(|&kind| simulate_scenario(kind, scenario))
+        .collect()
+}
+
+/// Imbalance of per-worker *work*: routed counts scaled by each worker's
+/// service-time multiplier, normalized to shares. A count-balanced phase
+/// with one 2× slower worker shows positive weighted imbalance — the slow
+/// worker is the bottleneck the paper's saturation argument cares about.
+fn weighted_imbalance(counts: &[u64], speed_of: impl Fn(usize) -> f64) -> f64 {
+    let work: Vec<f64> = counts
+        .iter()
+        .enumerate()
+        .map(|(w, &c)| c as f64 * speed_of(w))
+        .collect();
+    let total: f64 = work.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let shares: Vec<f64> = work.iter().map(|w| w / total).collect();
+    imbalance_fractions(&shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slb_workloads::ScenarioPhase;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::new("sim-unit", 3, 128, seed)
+            .phase(ScenarioPhase::new(2, 500, 2.0, 4))
+            .phase(
+                ScenarioPhase::new(2, 500, 1.0, 8)
+                    .with_worker_speed(vec![3.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]),
+            )
+            .phase(ScenarioPhase::new(1, 300, 0.0, 2))
+    }
+
+    #[test]
+    fn every_tuple_is_routed_exactly_once() {
+        let s = scenario(9);
+        let result = simulate_scenario(PartitionerKind::Pkg, &s);
+        assert_eq!(result.tuples, s.total_tuples());
+        assert_eq!(result.phases.len(), 3);
+        for (p, outcome) in result.phases.iter().enumerate() {
+            assert_eq!(outcome.phase, p);
+            assert_eq!(outcome.workers, s.phases[p].workers);
+            assert_eq!(
+                outcome.tuples,
+                s.phase_tuples_per_source(p) * s.sources as u64
+            );
+            assert_eq!(outcome.worker_counts.iter().sum::<u64>(), outcome.tuples);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let s = scenario(4);
+        let a = simulate_scenario(PartitionerKind::DChoices, &s);
+        let b = simulate_scenario(PartitionerKind::DChoices, &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_imbalance_flags_slow_workers() {
+        // Perfectly count-balanced, but worker 0 is 3× slower: weighted
+        // imbalance must be positive while plain imbalance is zero.
+        let counts = [100u64, 100, 100, 100];
+        let plain = weighted_imbalance(&counts, |_| 1.0);
+        assert!(plain.abs() < 1e-12);
+        let skewed = weighted_imbalance(&counts, |w| if w == 0 { 3.0 } else { 1.0 });
+        assert!(skewed > 0.2, "weighted imbalance {skewed}");
+    }
+
+    #[test]
+    fn heterogeneous_phase_reports_higher_weighted_imbalance_for_sg() {
+        // Shuffle grouping balances counts; the 3×-slow worker in phase 1
+        // must surface only in the weighted metric.
+        let s = scenario(7);
+        let result = simulate_scenario(PartitionerKind::ShuffleGrouping, &s);
+        let hetero = &result.phases[1];
+        assert!(
+            hetero.imbalance < 0.01,
+            "SG count imbalance {}",
+            hetero.imbalance
+        );
+        assert!(
+            hetero.weighted_imbalance > hetero.imbalance + 0.1,
+            "weighted {} vs plain {}",
+            hetero.weighted_imbalance,
+            hetero.imbalance
+        );
+    }
+
+    #[test]
+    fn skewed_phase_orders_schemes_as_the_paper_predicts() {
+        let s = scenario(42);
+        let kg = simulate_scenario(PartitionerKind::KeyGrouping, &s);
+        let wc = simulate_scenario(PartitionerKind::WChoices, &s);
+        // Phase 0 is z=2.0 on 4 workers: KG must be far worse than W-C.
+        assert!(kg.phases[0].imbalance > wc.phases[0].imbalance);
+        // Phase 2 is uniform: every scheme is close to balanced.
+        assert!(kg.phases[2].imbalance < 0.1);
+        assert!(wc.phases[2].imbalance < 0.1);
+    }
+
+    #[test]
+    fn compare_returns_results_in_scheme_order() {
+        let s = scenario(1);
+        let results =
+            compare_scenario_schemes(&s, &[PartitionerKind::KeyGrouping, PartitionerKind::Pkg]);
+        assert_eq!(results[0].scheme, "KG");
+        assert_eq!(results[1].scheme, "PKG");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn invalid_scenario_panics() {
+        let s = Scenario::new("empty", 1, 64, 0);
+        let _ = simulate_scenario(PartitionerKind::Pkg, &s);
+    }
+}

@@ -10,15 +10,17 @@
 //! same qualitative behaviour as a rotating set of trending ticker symbols.
 
 use crate::message::KeyId;
+use crate::zipf::ZipfGenerator;
 use crate::KeyStream;
 
 /// Wraps a base stream and periodically re-maps key identities.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DriftingGenerator<S> {
     inner: S,
     epoch: u64,
     produced: u64,
     drift_seed: u64,
+    epoch_offset: u64,
     current_epoch: u64,
 }
 
@@ -35,8 +37,19 @@ impl<S: KeyStream> DriftingGenerator<S> {
             epoch,
             produced: 0,
             drift_seed,
+            epoch_offset: 0,
             current_epoch: 0,
         }
+    }
+
+    /// Starts the epoch counter at `offset` instead of 0, so that a stream
+    /// resumed mid-history (e.g. phase `p` of a multi-phase scenario) applies
+    /// the identity remap the drift history has reached by then. Offset 0
+    /// keeps the first epoch's identities untouched; any later epoch remaps.
+    pub fn with_epoch_offset(mut self, offset: u64) -> Self {
+        self.epoch_offset = offset;
+        self.current_epoch = offset;
+        self
     }
 
     /// The epoch length in messages.
@@ -66,10 +79,24 @@ impl<S: KeyStream> DriftingGenerator<S> {
     }
 }
 
+impl DriftingGenerator<ZipfGenerator> {
+    /// Re-keys the inner Zipf generator's identity scramble to that of a
+    /// generator seeded with `seed` — the same fix [`ZipfGenerator::scrambled_like`]
+    /// applies to static streams. Without it, two drifting sources with
+    /// different sampler seeds would disagree on which `KeyId` names a rank
+    /// even *within* an epoch; with it, the drift remap (a pure function of
+    /// key identity, epoch, and drift seed) stays consistent across sources,
+    /// so the hot key is the same `KeyId` everywhere at every point in time.
+    pub fn scrambled_like(mut self, seed: u64) -> Self {
+        self.inner = self.inner.scrambled_like(seed);
+        self
+    }
+}
+
 impl<S: KeyStream> KeyStream for DriftingGenerator<S> {
     fn next_key(&mut self) -> Option<KeyId> {
         let key = self.inner.next_key()?;
-        self.current_epoch = self.produced / self.epoch;
+        self.current_epoch = self.epoch_offset + self.produced / self.epoch;
         let mapped = self.remap(key);
         self.produced += 1;
         Some(mapped)
@@ -160,5 +187,70 @@ mod tests {
     fn zero_epoch_panics() {
         let base = ZipfGenerator::with_limit(10, 1.0, 1, 10);
         let _ = DriftingGenerator::new(base, 0, 0);
+    }
+
+    #[test]
+    fn epoch_offset_resumes_the_drift_history() {
+        // Splitting a drifting stream at an epoch boundary and resuming the
+        // tail with `with_epoch_offset` must reproduce the uncut stream
+        // tuple for tuple.
+        let epoch = 1_000u64;
+        let mut uncut =
+            DriftingGenerator::new(ZipfGenerator::with_limit(200, 1.5, 3, 2 * epoch), epoch, 9);
+        let mut head: Vec<_> = Vec::new();
+        for _ in 0..epoch {
+            head.push(KeyStream::next_key(&mut uncut).unwrap());
+        }
+        // Resume: consume the head's sampler draws on a fresh inner
+        // generator, then wrap the partially-consumed sampler at offset 1.
+        let mut inner = ZipfGenerator::with_limit(200, 1.5, 3, 2 * epoch);
+        for _ in 0..epoch {
+            KeyStream::next_key(&mut inner).unwrap();
+        }
+        let mut resumed = DriftingGenerator::new(inner, epoch, 9).with_epoch_offset(1);
+        assert_eq!(resumed.current_epoch(), 1);
+        for i in 0..epoch {
+            assert_eq!(
+                KeyStream::next_key(&mut resumed),
+                KeyStream::next_key(&mut uncut),
+                "tuple {i} of the resumed tail diverged"
+            );
+        }
+        assert!(KeyStream::next_key(&mut uncut).is_none());
+    }
+
+    #[test]
+    fn shared_scramble_and_drift_seed_align_sources_within_epochs() {
+        // Two sources with independent sampler seeds but a shared identity
+        // scramble and drift seed must agree on the hot key's identity in
+        // every epoch — the multi-source property the engine depends on.
+        let epoch = 15_000u64;
+        let make = |sampler_seed: u64| {
+            DriftingGenerator::new(
+                ZipfGenerator::with_limit(500, 2.0, sampler_seed, 3 * epoch),
+                epoch,
+                77,
+            )
+            .scrambled_like(42)
+        };
+        let mut a = make(100);
+        let mut b = make(200);
+        for round in 0..3 {
+            let hot_a = hottest_key(&mut a, epoch);
+            let hot_b = hottest_key(&mut b, epoch);
+            assert_eq!(hot_a, hot_b, "epoch {round}: sources disagree on hot key");
+        }
+    }
+
+    #[test]
+    fn unshared_scrambles_diverge_under_drift() {
+        // Guard that the previous test is not vacuous: without scrambled_like
+        // the first-epoch identities differ between sampler seeds.
+        let epoch = 10_000u64;
+        let mut a =
+            DriftingGenerator::new(ZipfGenerator::with_limit(500, 2.0, 100, epoch), epoch, 77);
+        let mut b =
+            DriftingGenerator::new(ZipfGenerator::with_limit(500, 2.0, 200, epoch), epoch, 77);
+        assert_ne!(hottest_key(&mut a, epoch), hottest_key(&mut b, epoch));
     }
 }

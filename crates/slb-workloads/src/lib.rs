@@ -22,6 +22,8 @@
 //!   and their generators.
 //! * [`drift`] — concept-drift wrappers that re-draw the key identity mapping
 //!   over time (the cashtag behaviour).
+//! * [`scenario`] — multi-phase scenario specs (drift, heterogeneity, bursts,
+//!   scale-out) executable by both the engine and the simulator.
 //! * [`trace`] — plain-text trace serialization for saving and replaying
 //!   generated workloads.
 
@@ -29,11 +31,14 @@ pub mod alias;
 pub mod datasets;
 pub mod drift;
 pub mod message;
+pub mod scenario;
 pub mod trace;
 pub mod zipf;
 
 pub use datasets::{Dataset, DatasetKind, DatasetStats, SyntheticDataset};
+pub use drift::DriftingGenerator;
 pub use message::{KeyId, Message};
+pub use scenario::{Arrival, Scenario, ScenarioPhase};
 pub use zipf::{ZipfDistribution, ZipfGenerator};
 
 /// A (possibly unbounded) stream of keyed messages.
