@@ -23,10 +23,14 @@ echo "==> workspace tests (all crates; superset of the tier-1 \`cargo test -q\`)
 # experiment loop anymore.
 cargo test -q --workspace
 
-echo "==> differential seed matrix (key-splitting soundness per seed, static + scenario)"
+echo "==> differential seed matrix (key-splitting soundness per seed, static + scenario + cross-backend)"
 for seed in 1 42 1337; do
     echo "    SLB_TEST_SEED=$seed"
     SLB_TEST_SEED="$seed" cargo test -q -p slb-engine --test differential --test scenario_differential
+    # Cross-backend: the same configs over TCP loopback must merge
+    # bit-identical windows (and the multi-process slb-node golden run
+    # re-verifies against the exact reference at this seed).
+    SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test backend_differential --test node_golden
 done
 
 echo "==> property suites at CI case counts"
@@ -34,6 +38,7 @@ PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test agg
 PROPTEST_CASES=256 cargo test -q -p slb-sketch --test proptests
 PROPTEST_CASES=256 cargo test -q -p slb-workloads --test scenario_props
 PROPTEST_CASES=256 cargo test -q -p slb-engine --test scenario_props
+PROPTEST_CASES=256 cargo test -q -p slb-net --test wire_props
 
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
@@ -42,7 +47,7 @@ echo "==> examples (quickstart and imbalance_study already ran via tests/example
 cargo run --quiet --release --example trending_topics > /dev/null
 cargo run --quiet --release --example storm_like_topology > /dev/null
 
-echo "==> perf smoke (batched engine + phased scenario loop at zero service time must clear their floors)"
+echo "==> perf smoke (batched engine + phased scenario loop + TCP backend at zero service time must clear their floors)"
 cargo run --quiet --release -p slb-bench --bin perf_smoke
 
 echo "==> criterion benches (quick mode, compile + run)"

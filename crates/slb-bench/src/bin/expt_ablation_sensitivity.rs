@@ -9,6 +9,7 @@
 //! replicates one setting across several seeds to show run-to-run variance —
 //! the justification for reporting single deterministic runs elsewhere.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_core::{PartitionConfig, PartitionerKind};
 use slb_simulator::{SimulationConfig, Simulator};
@@ -47,6 +48,8 @@ fn main() {
     let z = 1.6;
     let messages = options.scale.zipf_messages();
 
+    let mut table = Table::new("ablation_sensitivity", &["knob", "value", "imbalance"]);
+
     println!("## SpaceSaving capacity (default 10·n = {})", 10 * workers);
     println!("{:>10} {:>14}", "capacity", "I(m)");
     for capacity in [
@@ -58,6 +61,7 @@ fn main() {
     ] {
         let imb = run_dc(workers, keys, messages, z, options.seed, capacity, 1_000);
         println!("{:>10} {:>14}", capacity, sci(imb));
+        table.row(["capacity".into(), capacity.into(), imb.into()]);
     }
 
     println!();
@@ -74,6 +78,7 @@ fn main() {
             interval,
         );
         println!("{:>10} {:>14}", interval, sci(imb));
+        table.row(["interval".into(), interval.into(), imb.into()]);
     }
 
     println!();
@@ -85,7 +90,9 @@ fn main() {
         let imb = run_dc(workers, keys, messages, z, seed, 10 * workers, 1_000);
         values.push(imb);
         println!("{:>10} {:>14}", offset, sci(imb));
+        table.row(["seed_offset".into(), offset.into(), imb.into()]);
     }
+    table.emit();
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let max = values.iter().cloned().fold(0.0f64, f64::max);
     let min = values.iter().cloned().fold(f64::MAX, f64::min);

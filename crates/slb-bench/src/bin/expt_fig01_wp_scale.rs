@@ -4,6 +4,7 @@
 //! scale (5–10 workers) but degrades sharply at 20, 50 and 100 workers,
 //! while D-Choices and W-Choices stay several orders of magnitude lower.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_core::PartitionerKind;
 use slb_simulator::experiments::imbalance_vs_workers;
@@ -30,6 +31,10 @@ fn main() {
         "{:<8} {:>8} {:>14} {:>14}",
         "scheme", "workers", "I(m)", "mean I(t)"
     );
+    let mut table = Table::new(
+        "fig01_wp_scale",
+        &["scheme", "workers", "imbalance", "mean_imbalance"],
+    );
     for row in &rows {
         println!(
             "{:<8} {:>8} {:>14} {:>14}",
@@ -38,7 +43,14 @@ fn main() {
             sci(row.imbalance),
             sci(row.mean_imbalance)
         );
+        table.row([
+            row.scheme.as_str().into(),
+            row.workers.into(),
+            row.imbalance.into(),
+            row.mean_imbalance.into(),
+        ]);
     }
+    table.emit();
 
     // The headline comparison the paper draws from this figure.
     for &n in &[50usize, 100] {

@@ -4,6 +4,7 @@
 //! θ = 1/(5n) and θ = 2/n, how many keys exceed the threshold when |K| = 10⁴
 //! (the paper plots n = 50 and n = 100 together; we print both).
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_simulator::experiments::head_cardinality_vs_skew;
 
@@ -22,12 +23,23 @@ fn main() {
         "{:<6} {:>8} {:>12} {:>12}",
         "skew", "workers", "threshold", "|H|"
     );
+    let mut table = Table::new(
+        "fig03_head_cardinality",
+        &["skew", "workers", "threshold", "cardinality"],
+    );
     for row in &rows {
         println!(
             "{:<6.1} {:>8} {:>12} {:>12}",
             row.skew, row.workers, row.threshold, row.cardinality
         );
+        table.row([
+            row.skew.into(),
+            row.workers.into(),
+            row.threshold.as_str().into(),
+            row.cardinality.into(),
+        ]);
     }
+    table.emit();
     let max_card = rows.iter().map(|r| r.cardinality).max().unwrap_or(0);
     println!("# maximum head cardinality across the sweep: {max_card} keys");
     println!("# (the paper's Figure 3 peaks below ~70 keys for these settings)");

@@ -4,6 +4,7 @@
 //! every skew in the sweep and n ∈ {5, 10, 50, 100}, with |K| = 10⁴ and
 //! ε = 10⁻⁴ as in the paper.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_simulator::experiments::d_fraction_vs_skew;
 
@@ -20,12 +21,20 @@ fn main() {
     let rows = d_fraction_vs_skew(&worker_counts, 10_000, &skews, 1e-4);
 
     println!("{:<6} {:>8} {:>6} {:>10}", "skew", "workers", "d", "d/n");
+    let mut table = Table::new("fig04_d_fraction", &["skew", "workers", "d", "fraction"]);
     for row in &rows {
         println!(
             "{:<6.1} {:>8} {:>6} {:>10.3}",
             row.skew, row.workers, row.d, row.fraction
         );
+        table.row([
+            row.skew.into(),
+            row.workers.into(),
+            row.d.into(),
+            row.fraction.into(),
+        ]);
     }
+    table.emit();
 
     // The paper's observation: at larger scales (n = 50, 100) the fraction
     // d/n stays clearly below 1 even at high skew.

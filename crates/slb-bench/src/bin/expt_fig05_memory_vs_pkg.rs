@@ -5,6 +5,7 @@
 //! more memory than PKG; the paper reports at most ~25–30% in the worst case
 //! and D-C consistently below W-C.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_simulator::experiments::memory_overhead_vs_skew;
 
@@ -23,12 +24,23 @@ fn main() {
         "{:<6} {:>8} {:>8} {:>14}",
         "skew", "workers", "scheme", "vs PKG (%)"
     );
+    let mut table = Table::new(
+        "fig05_memory_vs_pkg",
+        &["skew", "workers", "scheme", "vs_pkg_pct"],
+    );
     for row in &rows {
         println!(
             "{:<6.1} {:>8} {:>8} {:>14.2}",
             row.skew, row.workers, row.scheme, row.vs_pkg_pct
         );
+        table.row([
+            row.skew.into(),
+            row.workers.into(),
+            row.scheme.as_str().into(),
+            row.vs_pkg_pct.into(),
+        ]);
     }
+    table.emit();
     let worst = rows.iter().map(|r| r.vs_pkg_pct).fold(0.0f64, f64::max);
     println!("# worst-case overhead vs PKG across the sweep: {worst:.1}%");
 }

@@ -4,6 +4,7 @@
 //! Values are negative: the head-aware schemes use a small fraction of the
 //! memory shuffle grouping needs (the paper reports at least ~80% savings).
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_simulator::experiments::memory_overhead_vs_skew;
 
@@ -22,12 +23,23 @@ fn main() {
         "{:<6} {:>8} {:>8} {:>14}",
         "skew", "workers", "scheme", "vs SG (%)"
     );
+    let mut table = Table::new(
+        "fig06_memory_vs_sg",
+        &["skew", "workers", "scheme", "vs_sg_pct"],
+    );
     for row in &rows {
         println!(
             "{:<6.1} {:>8} {:>8} {:>14.2}",
             row.skew, row.workers, row.scheme, row.vs_sg_pct
         );
+        table.row([
+            row.skew.into(),
+            row.workers.into(),
+            row.scheme.as_str().into(),
+            row.vs_sg_pct.into(),
+        ]);
     }
+    table.emit();
     let least_saving = rows.iter().map(|r| r.vs_sg_pct).fold(f64::MIN, f64::max);
     println!("# smallest saving vs SG across the sweep: {least_saving:.1}%");
 }

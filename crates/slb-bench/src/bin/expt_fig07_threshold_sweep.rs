@@ -6,6 +6,7 @@
 //! 100}. W-C achieves near-ideal balance for any θ ≤ 1/n, while RR degrades
 //! at high skew and large scale despite the same memory cost.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_simulator::experiments::{threshold_sweep, ExperimentScale};
 
@@ -29,6 +30,10 @@ fn main() {
         "{:<8} {:>10} {:>8} {:>6} {:>14}",
         "scheme", "threshold", "workers", "skew", "I(m)"
     );
+    let mut table = Table::new(
+        "fig07_threshold_sweep",
+        &["scheme", "threshold", "workers", "skew", "imbalance"],
+    );
     for row in &rows {
         println!(
             "{:<8} {:>10} {:>8} {:>6.1} {:>14}",
@@ -38,7 +43,15 @@ fn main() {
             row.skew,
             sci(row.imbalance)
         );
+        table.row([
+            row.scheme.as_str().into(),
+            row.threshold.as_str().into(),
+            row.workers.into(),
+            row.skew.into(),
+            row.imbalance.into(),
+        ]);
     }
+    table.emit();
 
     // Summary the paper draws: for every setting, W-C at θ ≤ 1/n is at least
     // as balanced as RR at the same threshold.

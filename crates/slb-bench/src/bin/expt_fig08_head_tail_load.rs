@@ -5,6 +5,7 @@
 //! percentage of total messages contributed by head keys and by tail keys.
 //! The ideal per-worker share is 1/n = 20%.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_simulator::experiments::head_tail_load;
 
@@ -23,6 +24,10 @@ fn main() {
         "{:<8} {:>8} {:>12} {:>12} {:>12}",
         "scheme", "worker", "head (%)", "tail (%)", "total (%)"
     );
+    let mut table = Table::new(
+        "fig08_head_tail_load",
+        &["scheme", "worker", "head_pct", "tail_pct"],
+    );
     for row in &rows {
         println!(
             "{:<8} {:>8} {:>12.2} {:>12.2} {:>12.2}",
@@ -32,7 +37,14 @@ fn main() {
             row.tail_pct,
             row.head_pct + row.tail_pct
         );
+        table.row([
+            row.scheme.as_str().into(),
+            row.worker.into(),
+            row.head_pct.into(),
+            row.tail_pct.into(),
+        ]);
     }
+    table.emit();
     println!("# ideal per-worker load: {:.2}%", 100.0 / 5.0);
 
     for scheme in ["PKG", "W-C", "RR"] {

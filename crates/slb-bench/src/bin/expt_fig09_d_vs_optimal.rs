@@ -6,6 +6,7 @@
 //! distribution. The paper's finding: the solver's d closely tracks (and
 //! slightly exceeds) the empirical minimum.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_simulator::experiments::{d_vs_empirical_minimum, ExperimentScale};
 
@@ -32,6 +33,16 @@ fn main() {
         "{:<6} {:>8} {:>10} {:>10} {:>16}",
         "skew", "workers", "solver d", "min d", "W-C imbalance"
     );
+    let mut table = Table::new(
+        "fig09_d_vs_optimal",
+        &[
+            "skew",
+            "workers",
+            "solver_d",
+            "minimal_d",
+            "wchoices_imbalance",
+        ],
+    );
     for row in &rows {
         println!(
             "{:<6.1} {:>8} {:>10} {:>10} {:>16}",
@@ -41,7 +52,15 @@ fn main() {
             row.minimal_d,
             sci(row.wchoices_imbalance)
         );
+        table.row([
+            row.skew.into(),
+            row.workers.into(),
+            row.solver_d.into(),
+            row.minimal_d.into(),
+            row.wchoices_imbalance.into(),
+        ]);
     }
+    table.emit();
     let close = rows
         .iter()
         .filter(|r| r.solver_d + 2 >= r.minimal_d)

@@ -6,6 +6,7 @@
 //! skew and scale do; W-C is uniformly best, D-C and RR close behind, PKG
 //! degrades at high skew and large n.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_simulator::experiments::{zipf_grid, ExperimentScale};
 
@@ -30,6 +31,17 @@ fn main() {
         "{:<8} {:>10} {:>8} {:>6} {:>14} {:>14}",
         "scheme", "keys", "workers", "skew", "I(m)", "mean I(t)"
     );
+    let mut table = Table::new(
+        "fig10_zipf_grid",
+        &[
+            "scheme",
+            "keys",
+            "workers",
+            "skew",
+            "imbalance",
+            "mean_imbalance",
+        ],
+    );
     for row in &rows {
         println!(
             "{:<8} {:>10} {:>8} {:>6.1} {:>14} {:>14}",
@@ -40,7 +52,16 @@ fn main() {
             sci(row.imbalance),
             sci(row.mean_imbalance)
         );
+        table.row([
+            row.scheme.as_str().into(),
+            row.keys.into(),
+            row.workers.into(),
+            row.skew.into(),
+            row.imbalance.into(),
+            row.mean_imbalance.into(),
+        ]);
     }
+    table.emit();
 
     // Who wins at the hardest setting (largest n, largest z)?
     let n_max = *worker_counts.iter().max().unwrap();

@@ -1,6 +1,7 @@
 //! Figure 11: imbalance on the real-world-like datasets (WP, TW, CT) as a
 //! function of the number of workers, for PKG, D-C and W-C.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_core::PartitionerKind;
 use slb_simulator::experiments::imbalance_vs_workers;
@@ -23,6 +24,16 @@ fn main() {
         "{:<8} {:<8} {:>8} {:>14} {:>14}",
         "dataset", "scheme", "workers", "I(m)", "mean I(t)"
     );
+    let mut table = Table::new(
+        "fig11_realworld",
+        &[
+            "dataset",
+            "scheme",
+            "workers",
+            "imbalance",
+            "mean_imbalance",
+        ],
+    );
     for row in &rows {
         println!(
             "{:<8} {:<8} {:>8} {:>14} {:>14}",
@@ -32,7 +43,15 @@ fn main() {
             sci(row.imbalance),
             sci(row.mean_imbalance)
         );
+        table.row([
+            row.dataset.as_str().into(),
+            row.scheme.as_str().into(),
+            row.workers.into(),
+            row.imbalance.into(),
+            row.mean_imbalance.into(),
+        ]);
     }
+    table.emit();
 
     for ds in &datasets {
         let symbol = ds.stats().kind.symbol();

@@ -4,6 +4,7 @@
 //! imbalance at regular checkpoints. The cashtag dataset's concept drift is
 //! visible as elevated and more variable imbalance, especially for PKG.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_simulator::experiments::{imbalance_over_time, ExperimentScale};
 use slb_workloads::datasets::SyntheticDataset;
@@ -20,6 +21,10 @@ fn main() {
     let checkpoints = 20usize;
     let rows = imbalance_over_time(&datasets, &worker_counts, checkpoints);
 
+    let mut table = Table::new(
+        "fig12_time_series",
+        &["dataset", "scheme", "workers", "messages", "imbalance"],
+    );
     for row in &rows {
         println!(
             "series dataset={} scheme={} workers={}",
@@ -27,8 +32,16 @@ fn main() {
         );
         for (messages, imbalance) in &row.series {
             println!("  {:>12} {:>14}", messages, sci(*imbalance));
+            table.row([
+                row.dataset.as_str().into(),
+                row.scheme.as_str().into(),
+                row.workers.into(),
+                (*messages).into(),
+                (*imbalance).into(),
+            ]);
         }
     }
+    table.emit();
 
     // Stability summary: final vs. median imbalance per series.
     println!("# per-series summary (dataset, scheme, workers, median I, final I):");

@@ -7,6 +7,7 @@
 //! as the skew grows. Absolute numbers depend on the machine; the relative
 //! ordering and the ratios are what this harness reproduces.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_core::PartitionerKind;
 use slb_engine::topology::compare_schemes;
@@ -34,6 +35,16 @@ fn main() {
         "{:<8} {:>6} {:>16} {:>12} {:>14}",
         "scheme", "skew", "throughput(ev/s)", "imbalance", "elapsed (s)"
     );
+    let mut table = Table::new(
+        "fig13_throughput",
+        &[
+            "scheme",
+            "skew",
+            "throughput_eps",
+            "imbalance",
+            "elapsed_secs",
+        ],
+    );
     let mut all = Vec::new();
     for &z in &skews {
         let base = match options.scale {
@@ -48,9 +59,17 @@ fn main() {
                 "{:<8} {:>6.1} {:>16.0} {:>12.4} {:>14.2}",
                 r.scheme, r.skew, r.throughput_eps, r.imbalance, r.elapsed_secs
             );
+            table.row([
+                r.scheme.as_str().into(),
+                r.skew.into(),
+                r.throughput_eps.into(),
+                r.imbalance.into(),
+                r.elapsed_secs.into(),
+            ]);
         }
         all.push((z, results));
     }
+    table.emit();
 
     // The headline ratios the paper reports (throughput of D-C and W-C vs
     // PKG and KG at the highest skew).

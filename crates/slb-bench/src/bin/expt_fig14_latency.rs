@@ -7,6 +7,7 @@
 //! the worst tail latency at high skew (queueing at the worker that owns the
 //! hottest key), PKG roughly halves it, and D-C / W-C track SG closely.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_core::PartitionerKind;
 use slb_engine::topology::compare_schemes;
@@ -34,6 +35,10 @@ fn main() {
         "{:<8} {:>6} {:>14} {:>10} {:>10} {:>10}",
         "scheme", "skew", "max-avg (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"
     );
+    let mut table = Table::new(
+        "fig14_latency",
+        &["scheme", "skew", "max_avg_us", "p50_us", "p95_us", "p99_us"],
+    );
     let mut all = Vec::new();
     for &z in &skews {
         let base = match options.scale {
@@ -53,9 +58,18 @@ fn main() {
                 r.latency.p95_us as f64 / 1_000.0,
                 r.latency.p99_us as f64 / 1_000.0
             );
+            table.row([
+                r.scheme.as_str().into(),
+                r.skew.into(),
+                r.latency.max_avg_us.into(),
+                r.latency.p50_us.into(),
+                r.latency.p95_us.into(),
+                r.latency.p99_us.into(),
+            ]);
         }
         all.push((z, results));
     }
+    table.emit();
 
     for (z, results) in &all {
         let p99 = |s: &str| {

@@ -12,6 +12,7 @@
 //! lower tuple throughput, while extra shards cut the merge latency of
 //! large windows but cannot help when the windows themselves are tiny.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_core::PartitionerKind;
 use slb_engine::{EngineConfig, Topology};
@@ -56,6 +57,19 @@ fn main() {
         "agg p50 (µs)",
         "agg p99 (µs)"
     );
+    let mut table = Table::new(
+        "fig15_aggregation_cost",
+        &[
+            "scheme",
+            "window_size",
+            "aggregators",
+            "throughput_eps",
+            "windows",
+            "partial_messages",
+            "agg_p50_us",
+            "agg_p99_us",
+        ],
+    );
     let mut results = Vec::new();
     for &window_size in &window_sizes {
         for &aggregators in &shard_counts {
@@ -75,9 +89,20 @@ fn main() {
                 r.aggregator_stage.latency.p50_us,
                 r.aggregator_stage.latency.p99_us
             );
+            table.row([
+                r.scheme.as_str().into(),
+                r.window_size.into(),
+                r.aggregators.into(),
+                r.throughput_eps.into(),
+                r.windows.into(),
+                r.aggregator_stage.items.into(),
+                r.aggregator_stage.latency.p50_us.into(),
+                r.aggregator_stage.latency.p99_us.into(),
+            ]);
             results.push(r);
         }
     }
+    table.emit();
 
     // Headline: the punctuation tax — throughput of the smallest window vs
     // the largest, at the same shard count.

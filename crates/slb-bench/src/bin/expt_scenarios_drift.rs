@@ -11,6 +11,7 @@
 //! epoch), while under the uniform phase every scheme converges to
 //! near-perfect balance.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_core::PartitionerKind;
 use slb_simulator::experiments::ExperimentScale;
@@ -43,6 +44,17 @@ fn main() {
         "{:<8} {:>6} {:>6} {:>8} {:>8} {:>14}",
         "scheme", "phase", "skew", "drift", "workers", "imbalance"
     );
+    let mut table = Table::new(
+        "scenarios_drift",
+        &[
+            "scheme",
+            "phase",
+            "skew",
+            "drift_epochs",
+            "workers",
+            "imbalance",
+        ],
+    );
     for kind in PartitionerKind::ALL {
         let result = simulate_scenario(kind, &scenario);
         for outcome in &result.phases {
@@ -56,8 +68,17 @@ fn main() {
                 outcome.workers,
                 sci(outcome.imbalance)
             );
+            table.row([
+                result.scheme.as_str().into(),
+                outcome.phase.into(),
+                spec.skew.into(),
+                spec.drift_epochs.into(),
+                outcome.workers.into(),
+                outcome.imbalance.into(),
+            ]);
         }
     }
+    table.emit();
     println!(
         "# phases: 0 = static z=2.0, 1 = uniform, 2 = z=1.4 with 3 drift epochs; \
          {} tuples per phase",

@@ -9,6 +9,7 @@
 //! the saturation bottleneck — which is exactly what the weighted column
 //! surfaces while the plain column hides it.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_core::PartitionerKind;
 use slb_simulator::experiments::ExperimentScale;
@@ -47,6 +48,17 @@ fn main() {
         "{:<8} {:>6} {:>6} {:>10} {:>14} {:>14}",
         "scheme", "phase", "skew", "speeds", "imbalance", "weighted-I"
     );
+    let mut table = Table::new(
+        "scenarios_hetero",
+        &[
+            "scheme",
+            "phase",
+            "skew",
+            "speeds",
+            "imbalance",
+            "weighted_imbalance",
+        ],
+    );
     for kind in PartitionerKind::ALL {
         let result = simulate_scenario(kind, &scenario);
         for outcome in &result.phases {
@@ -65,8 +77,17 @@ fn main() {
                 sci(outcome.imbalance),
                 sci(outcome.weighted_imbalance)
             );
+            table.row([
+                result.scheme.as_str().into(),
+                outcome.phase.into(),
+                spec.skew.into(),
+                label.into(),
+                outcome.imbalance.into(),
+                outcome.weighted_imbalance.into(),
+            ]);
         }
     }
+    table.emit();
     println!(
         "# phases: 0 = homogeneous z=1.4, 1 = worker 0 at 2x service time, \
          2 = uniform keys with half the cluster at 1.5x"

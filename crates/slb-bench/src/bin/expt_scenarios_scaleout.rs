@@ -15,6 +15,7 @@
 //! `exact-reference=MATCH` line certifies that scale-out never loses or
 //! duplicates a tuple.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header, sci};
 use slb_core::{CountAggregate, PartitionerKind};
 use slb_engine::{exact_scenario_windowed_counts, ScenarioConfig};
@@ -41,6 +42,17 @@ fn main() {
         "{:<8} {:>6} {:>6} {:>8} {:>14} {:>14}",
         "scheme", "phase", "skew", "workers", "imbalance", "weighted-I"
     );
+    let mut table = Table::new(
+        "scenarios_scaleout",
+        &[
+            "scheme",
+            "phase",
+            "skew",
+            "workers",
+            "imbalance",
+            "weighted_imbalance",
+        ],
+    );
     for kind in PartitionerKind::ALL {
         let result = simulate_scenario(kind, &scenario);
         for outcome in &result.phases {
@@ -53,8 +65,17 @@ fn main() {
                 sci(outcome.imbalance),
                 sci(outcome.weighted_imbalance)
             );
+            table.row([
+                result.scheme.as_str().into(),
+                outcome.phase.into(),
+                scenario.phases[outcome.phase].skew.into(),
+                outcome.workers.into(),
+                outcome.imbalance.into(),
+                outcome.weighted_imbalance.into(),
+            ]);
         }
     }
+    table.emit();
 
     // Engine end-to-end: same spec, threaded execution, exactness pinned
     // against the single-threaded reference.
@@ -74,6 +95,18 @@ fn main() {
         "#   {:>6} {:>8} {:>12} {:>14} {:>12} {:>12}",
         "phase", "workers", "tuples", "tuples/s", "p50 (µs)", "p99 (µs)"
     );
+    let mut engine_table = Table::new(
+        "scenarios_scaleout_engine",
+        &[
+            "scheme",
+            "phase",
+            "workers",
+            "tuples",
+            "tuples_per_sec",
+            "p50_us",
+            "p99_us",
+        ],
+    );
     for phase in &run.result.phases {
         println!(
             "#   {:>6} {:>8} {:>12} {:>14.0} {:>12} {:>12}",
@@ -84,7 +117,17 @@ fn main() {
             phase.stage.latency.p50_us,
             phase.stage.latency.p99_us
         );
+        engine_table.row([
+            run.result.scheme.as_str().into(),
+            phase.phase.into(),
+            phase.workers.into(),
+            phase.stage.items.into(),
+            phase.stage.items_per_sec.into(),
+            phase.stage.latency.p50_us.into(),
+            phase.stage.latency.p99_us.into(),
+        ]);
     }
+    engine_table.emit();
     if !matches {
         eprintln!("scale-out run diverged from the exact reference");
         std::process::exit(1);

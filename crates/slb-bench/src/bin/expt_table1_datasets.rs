@@ -7,6 +7,7 @@
 //! "generated" columns show what the stand-in generators actually declare,
 //! and the empirical p1 column shows what a smoke-scale replay measures.
 
+use slb_bench::json::Table;
 use slb_bench::{options_from_env, print_header};
 use slb_sketch::{ExactCounter, FrequencyEstimator};
 use slb_workloads::datasets::{table1_rows, Dataset, Scale, SyntheticDataset};
@@ -41,6 +42,10 @@ fn main() {
         "{:<10} {:>14} {:>12} {:>8}",
         "dataset", "messages", "keys", "p1(%)"
     );
+    let mut table = Table::new(
+        "table1_datasets",
+        &["dataset", "messages", "keys", "p1", "empirical_p1"],
+    );
     for row in table1_rows() {
         println!(
             "{:<10} {:>14} {:>12} {:>8.2}",
@@ -67,5 +72,14 @@ fn main() {
             measured * 100.0,
             (declared - measured).abs()
         );
+        let stats = ds.stats();
+        table.row([
+            stats.kind.symbol().into(),
+            stats.messages.into(),
+            stats.keys.into(),
+            declared.into(),
+            measured.into(),
+        ]);
     }
+    table.emit();
 }

@@ -1,6 +1,6 @@
 //! CI perf smoke: the batched engine hot path must clear a throughput floor.
 //!
-//! Two measurements, both at zero per-tuple service time so that routing,
+//! Three measurements, all at zero per-tuple service time so that routing,
 //! batching, channel transport, and worker state updates are what is being
 //! timed:
 //!
@@ -14,13 +14,20 @@
 //!    rescale at the boundary). Its floor guards the scenario path's own
 //!    overheads: a per-tuple virtual stream call is expected and priced in,
 //!    but an accidental per-tuple allocation or re-hash would drop below it.
+//! 3. **TCP-backend run** — the same single-phase config over the `slb-net`
+//!    loopback TCP transport: frame encode/decode, one write syscall per
+//!    batch, reader threads, and the bounded merge queue. Its floor is far
+//!    below the in-process one by design — sockets are not crossbeam — but
+//!    well above what a per-tuple (rather than per-batch) framing bug or an
+//!    accidental per-frame flush storm would deliver.
 //!
 //! The best of three runs is compared against each floor to damp scheduler
 //! noise on loaded CI machines. See `docs/PERF.md` for the measurement
 //! history.
 
-use slb_core::PartitionerKind;
+use slb_core::{CountAggregate, PartitionerKind};
 use slb_engine::{EngineConfig, ScenarioConfig, Topology};
+use slb_net::tcp::TcpTransport;
 use slb_workloads::{Scenario, ScenarioPhase};
 
 /// Conservative single-phase floor, in events per second.
@@ -30,6 +37,11 @@ const FLOOR_EPS: f64 = 5.0e6;
 /// pays a virtual call per tuple for the boxed drifting stream plus the
 /// drift remap, so its floor sits below the single-phase one.
 const SCENARIO_FLOOR_EPS: f64 = 4.0e6;
+
+/// Conservative TCP-backend floor, in events per second: loopback sockets
+/// with one frame per 256-tuple batch comfortably exceed this on any
+/// machine; per-tuple framing regressions land an order of magnitude under.
+const TCP_FLOOR_EPS: f64 = 1.0e6;
 
 fn best_of_three(label: &str, run: impl Fn() -> (f64, u64, f64)) -> f64 {
     let mut best: f64 = 0.0;
@@ -66,6 +78,16 @@ fn main() {
         (r.throughput_eps, r.processed, r.elapsed_secs)
     });
 
+    let tcp_best = best_of_three("tcp-backend", || {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 2.0)
+            .with_messages(400_000)
+            .with_service_time_us(0);
+        let r = Topology::new(cfg)
+            .run_windowed_on(CountAggregate, &TcpTransport::loopback())
+            .result;
+        (r.throughput_eps, r.processed, r.elapsed_secs)
+    });
+
     let mut failed = false;
     if single < FLOOR_EPS {
         eprintln!(
@@ -85,15 +107,26 @@ fn main() {
         );
         failed = true;
     }
+    if tcp_best < TCP_FLOOR_EPS {
+        eprintln!(
+            "perf_smoke FAILED: TCP-backend best {:.2} Melem/s is below the {:.1} Melem/s \
+             floor — the networked transport has regressed",
+            tcp_best / 1e6,
+            TCP_FLOOR_EPS / 1e6
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     println!(
         "perf_smoke OK: single-phase {:.2} Melem/s clears {:.1}, scenario {:.2} Melem/s \
-         clears {:.1}",
+         clears {:.1}, tcp-backend {:.2} Melem/s clears {:.1}",
         single / 1e6,
         FLOOR_EPS / 1e6,
         scenario_best / 1e6,
-        SCENARIO_FLOOR_EPS / 1e6
+        SCENARIO_FLOOR_EPS / 1e6,
+        tcp_best / 1e6,
+        TCP_FLOOR_EPS / 1e6
     );
 }

@@ -10,7 +10,10 @@
 //! * `--seed <u64>` — RNG/hash seed (default `0x5EED0001`).
 //!
 //! The library part of the crate holds the small amount of shared plumbing:
-//! flag parsing and table formatting.
+//! flag parsing, table formatting, and the [`json`] emission hook
+//! (`SLB_BENCH_JSON_DIR`) every binary mirrors its printed rows into.
+
+pub mod json;
 
 use slb_simulator::experiments::ExperimentScale;
 

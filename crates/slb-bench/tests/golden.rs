@@ -318,3 +318,35 @@ fn expt_fig15_aggregation_accounting_is_exact() {
         assert!(throughput > 0.0);
     }
 }
+
+#[test]
+fn expt_binaries_emit_json_via_the_env_hook() {
+    // The SLB_BENCH_JSON_DIR hook must mirror a binary's printed rows into
+    // EXPT_<experiment>.json. One cheap solver-only binary stands in for
+    // the fleet — every binary goes through the same `json::Table::emit`.
+    let dir = std::env::temp_dir().join(format!("slb-golden-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create json dir");
+    let output = Command::new(env!("CARGO_BIN_EXE_expt_fig04_d_fraction"))
+        .args(["--scale", "smoke"])
+        .env("SLB_BENCH_JSON_DIR", &dir)
+        .output()
+        .expect("spawn expt_fig04_d_fraction");
+    assert!(output.status.success());
+    let body =
+        std::fs::read_to_string(dir.join("EXPT_fig04_d_fraction.json")).expect("JSON file written");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        body.starts_with("{\"experiment\":\"fig04_d_fraction\""),
+        "unexpected JSON head: {body}"
+    );
+    assert!(
+        body.contains("\"columns\":[\"skew\",\"workers\",\"d\",\"fraction\"]"),
+        "missing column list: {body}"
+    );
+    // Row objects are keyed by column name; the printed table is non-empty.
+    assert!(body.contains("\"rows\":[{\"skew\":"), "no rows: {body}");
+
+    // The JSON mirror is additive: the human-readable table still prints.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("d/n"), "table still printed:\n{stdout}");
+}

@@ -41,6 +41,7 @@ pub mod load;
 pub mod memory;
 pub mod partitioner;
 pub mod pkg;
+pub mod wire;
 
 pub use aggregate::{
     shard_of, CountAggregate, SumAggregate, TopKAggregate, WindowAggregate, SHARD_SEED,
@@ -55,6 +56,7 @@ pub use load::{imbalance, imbalance_fractions, LoadVector, PhaseLoadMatrix};
 pub use memory::{estimated_replicas, relative_overhead_pct, MemoryScheme};
 pub use partitioner::{KeyGrouping, Partitioner, ShuffleGrouping};
 pub use pkg::PartialKeyGrouping;
+pub use wire::{PartialDecodeError, WirePartial};
 
 use std::hash::Hash;
 

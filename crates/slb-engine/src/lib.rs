@@ -32,7 +32,17 @@
 //! invariant extends unchanged: scenario runs are pinned against
 //! [`exact_scenario_windowed_counts`] by the `scenario_differential` suite.
 //!
-//! * [`topology`] — configuration and the phased three-stage runner.
+//! The transport the tuples and partials travel through is *pluggable*
+//! (see [`transport`]): the run loop and each of its stages are generic over
+//! a [`Transport`] that supplies the channel endpoints for the topology's
+//! three hops. [`InProc`] — bounded crossbeam channels — is the default and
+//! the reference backend; the `slb-net` crate implements the same contract
+//! over TCP sockets, in process and across process boundaries, and proves
+//! equivalence with a cross-backend differential suite.
+//!
+//! * [`topology`] — configuration, the phased three-stage runner, and the
+//!   per-stage entry points a distributed deployment composes.
+//! * [`transport`] — the transport abstraction and the in-process backend.
 //! * [`windows`] — deterministic tuple-count windows and the exact
 //!   single-threaded reference aggregations (config and scenario).
 //! * [`latency`] — latency recording, percentile summaries, per-stage and
@@ -40,12 +50,19 @@
 
 pub mod latency;
 pub mod topology;
+pub mod transport;
 pub mod windows;
 
 pub use latency::{LatencySummary, LatencyTracker, PhaseMetrics, StageMetrics};
 pub use topology::{
-    compare_schemes, compare_schemes_scenario, EngineConfig, EngineResult, ScenarioConfig,
-    Topology, DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY, DEFAULT_WINDOW_SIZE,
+    assemble_result, compare_schemes, compare_schemes_scenario, run_aggregator_stage,
+    run_source_stage, run_worker_stage, AggregatorStageReport, EngineConfig, EngineResult,
+    PhasePlan, ScenarioConfig, StagePlan, Topology, WorkerStageReport, DEFAULT_AGGREGATORS,
+    DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY, DEFAULT_WINDOW_SIZE,
+};
+pub use transport::{
+    capacity_in_batches, partial_channel_capacity, ChannelClosed, InProc, PartialReceiver,
+    PartialSender, PartialWindow, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
 };
 pub use windows::{
     exact_scenario_windowed_counts, exact_windowed_counts, window_of, WindowId, WindowedRun,

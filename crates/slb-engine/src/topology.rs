@@ -13,6 +13,19 @@
 //! (PKG, D-Choices, W-Choices) is *sound*: it re-unifies the per-key state
 //! the splitting scattered across workers.
 //!
+//! ## Pluggable transport
+//!
+//! The run loop is generic over a [`Transport`], the factory of the
+//! channels tuples and partials travel through (see [`crate::transport`]).
+//! The default is [`InProc`] — bounded crossbeam channels, the engine's
+//! original plumbing — and `slb-net` provides a TCP backend that carries the
+//! same hops over loopback sockets and across process boundaries. Each stage
+//! of the topology is exposed as a standalone function
+//! ([`run_source_stage`], [`run_worker_stage`], [`run_aggregator_stage`]) so
+//! a multi-process deployment can run exactly the code this in-process
+//! runner threads together; [`assemble_result`] merges the stages' reports
+//! into an [`EngineResult`] on either side.
+//!
 //! ## Phased execution
 //!
 //! The run loop is phased: internally every run is a sequence of *phases*,
@@ -68,7 +81,6 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
 use slb_core::{
@@ -78,6 +90,10 @@ use slb_core::{
 use slb_workloads::{Arrival, KeyId, KeyStream, Scenario};
 
 use crate::latency::{LatencySummary, LatencyTracker, PhaseMetrics, StageMetrics};
+use crate::transport::{
+    capacity_in_batches, partial_channel_capacity, InProc, PartialReceiver, PartialSender,
+    PartialWindow, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
+};
 use crate::windows::{window_of, WindowId, WindowedRun};
 
 /// Configuration of one single-phase engine run.
@@ -99,7 +115,9 @@ pub struct EngineConfig {
     /// (the paper uses 1000 µs = 1 ms; the default here is smaller so the
     /// full figure suite runs in minutes).
     pub service_time_us: u64,
-    /// Capacity of each worker's input queue, in tuples.
+    /// Capacity of each worker's input queue, in tuples. Every transport
+    /// backend derives its buffering from this one knob (see
+    /// [`capacity_in_batches`]).
     pub queue_capacity: usize,
     /// Seed for the workload and the hash functions.
     pub seed: u64,
@@ -212,6 +230,12 @@ impl EngineConfig {
         self
     }
 
+    /// Overrides the per-worker queue capacity (tuples).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
     /// Overrides the window size (tuples per window per source sub-stream).
     pub fn with_window_size(mut self, window_size: u64) -> Self {
         self.window_size = window_size;
@@ -222,6 +246,56 @@ impl EngineConfig {
     pub fn with_aggregators(mut self, aggregators: usize) -> Self {
         self.aggregators = aggregators;
         self
+    }
+
+    /// Asserts the structural invariants every run entry point relies on.
+    ///
+    /// # Panics
+    /// Panics if any structural parameter is zero.
+    pub fn validate(&self) {
+        assert!(self.sources > 0, "need at least one source");
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.keys > 0, "need at least one key");
+        assert!(self.queue_capacity > 0, "queues need capacity");
+        assert!(self.batch_size > 0, "batches need at least one tuple");
+        assert!(self.window_size > 0, "windows need at least one tuple");
+        assert!(self.aggregators > 0, "need at least one aggregator");
+    }
+
+    /// Resolves this configuration into the one-phase [`StagePlan`] every
+    /// execution backend (threads or processes) runs.
+    ///
+    /// # Panics
+    /// Panics if [`Self::validate`] does.
+    pub fn stage_plan(&self) -> StagePlan {
+        self.validate();
+        let per_source = self.messages / self.sources as u64;
+        let phase = PhasePlan {
+            tuples_per_source: per_source,
+            start_window: 0,
+            // 0 for a degenerate messages < sources config, matching the
+            // run's actual (empty) window set.
+            windows: per_source.div_ceil(self.window_size),
+            workers: self.workers,
+            service: Arc::new(vec![
+                Duration::from_micros(self.service_time_us);
+                self.workers
+            ]),
+            arrival: Arrival::Steady,
+        };
+        StagePlan {
+            kind: self.kind,
+            seed: self.seed,
+            skew: self.skew,
+            sources: self.sources,
+            spawned_workers: self.workers,
+            window_size: self.window_size,
+            batch_size: self.batch_size,
+            queue_capacity: self.queue_capacity,
+            aggregators: self.aggregators,
+            phase_starts: Arc::new(vec![0]),
+            phases: Arc::new(vec![phase]),
+        }
     }
 }
 
@@ -290,24 +364,12 @@ impl ScenarioConfig {
         self
     }
 
-    /// Runs the scenario with the default windowed count aggregation,
-    /// discarding the per-window counts.
+    /// Resolves this configuration into the multi-phase [`StagePlan`] every
+    /// execution backend runs.
     ///
     /// # Panics
     /// Panics if the scenario or the engine knobs are invalid.
-    pub fn run(&self) -> EngineResult {
-        self.run_windowed(CountAggregate).result
-    }
-
-    /// Runs the scenario under the given windowed aggregation and returns
-    /// the measurements together with the merged per-window aggregates.
-    ///
-    /// # Panics
-    /// Panics if the scenario or the engine knobs are invalid.
-    pub fn run_windowed<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
-    where
-        A: WindowAggregate<KeyId>,
-    {
+    pub fn stage_plan(&self) -> StagePlan {
         if let Err(message) = self.scenario.validate() {
             panic!("invalid scenario: {message}");
         }
@@ -317,7 +379,7 @@ impl ScenarioConfig {
         let scenario = &self.scenario;
         let base_us = self.service_time_us;
         let spawned = scenario.max_workers();
-        let phases = scenario
+        let phases: Vec<PhasePlan> = scenario
             .phases
             .iter()
             .enumerate()
@@ -334,11 +396,7 @@ impl ScenarioConfig {
                 arrival: phase.arrival,
             })
             .collect();
-        let streams = {
-            let scenario = scenario.clone();
-            Arc::new(move |phase: usize, source: usize| scenario.phase_stream(phase, source))
-        };
-        let plan = RunPlan {
+        StagePlan {
             kind: self.kind,
             seed: scenario.seed,
             skew: scenario.phases[0].skew,
@@ -348,38 +406,49 @@ impl ScenarioConfig {
             batch_size: self.batch_size,
             queue_capacity: self.queue_capacity,
             aggregators: self.aggregators,
+            phase_starts: Arc::new(phases.iter().map(|p| p.start_window).collect()),
             phases: Arc::new(phases),
-            streams,
-        };
-        run_plan(&plan, aggregate)
+        }
     }
-}
 
-/// A batch of tuples in flight to one worker: the keys, the window they all
-/// belong to (sources never let a batch span a boundary), and the single
-/// timestamp taken when the batch's first tuple was buffered.
-struct TupleBatch {
-    keys: Vec<KeyId>,
-    window: WindowId,
-    emitted_at: Instant,
-}
+    /// Runs the scenario with the default windowed count aggregation,
+    /// discarding the per-window counts.
+    ///
+    /// # Panics
+    /// Panics if the scenario or the engine knobs are invalid.
+    pub fn run(&self) -> EngineResult {
+        self.run_windowed(CountAggregate).result
+    }
 
-/// One message on a source → worker channel.
-enum SourceMessage {
-    /// A batch of same-window tuples.
-    Batch(TupleBatch),
-    /// Punctuation: the sending source has emitted every tuple it will ever
-    /// emit for `window` (and has flushed the batches carrying them).
-    CloseWindow { window: WindowId },
-}
+    /// Runs the scenario under the given windowed aggregation on the
+    /// in-process transport and returns the measurements together with the
+    /// merged per-window aggregates.
+    ///
+    /// # Panics
+    /// Panics if the scenario or the engine knobs are invalid.
+    pub fn run_windowed<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+    {
+        self.run_windowed_on(aggregate, &InProc)
+    }
 
-/// One worker's finalized partial aggregate for one window, sliced to one
-/// aggregator shard's key range.
-struct PartialWindow<P> {
-    window: WindowId,
-    partial: P,
-    /// When the worker finalized the window (all close markers collected).
-    closed_at: Instant,
+    /// Runs the scenario under the given windowed aggregation over the given
+    /// [`Transport`] backend.
+    ///
+    /// # Panics
+    /// Panics if the scenario or the engine knobs are invalid.
+    pub fn run_windowed_on<A, T>(&self, aggregate: A, transport: &T) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+        T: Transport<A::Partial>,
+    {
+        let plan = self.stage_plan();
+        let scenario = self.scenario.clone();
+        let streams =
+            Arc::new(move |phase: usize, source: usize| scenario.phase_stream(phase, source));
+        run_plan(&plan, streams, aggregate, transport)
+    }
 }
 
 /// Outcome of one engine run.
@@ -432,47 +501,62 @@ impl EngineResult {
 }
 
 /// One phase of a run plan, fully resolved for execution.
-struct PhasePlan {
+#[derive(Debug, Clone)]
+pub struct PhasePlan {
     /// Tuples each source emits during the phase.
-    tuples_per_source: u64,
+    pub tuples_per_source: u64,
     /// Global index of the phase's first window.
-    start_window: WindowId,
+    pub start_window: WindowId,
     /// Windows the phase covers per source.
-    windows: u64,
+    pub windows: u64,
     /// Active workers during the phase.
-    workers: usize,
+    pub workers: usize,
     /// Resolved per-worker service time (base × multiplier), indexed over
     /// the spawned worker universe.
-    service: Arc<Vec<Duration>>,
+    pub service: Arc<Vec<Duration>>,
     /// Arrival pacing within the phase.
-    arrival: Arrival,
+    pub arrival: Arrival,
 }
 
-/// The fully resolved execution plan shared by the one-phase and scenario
-/// paths — the engine's only run loop. Generic over the stream factory so
-/// each caller's concrete stream type stays monomorphized on the per-tuple
-/// hot path (the one-phase path samples a plain [`ZipfGenerator`]-backed
-/// stream, scenarios a drifting one; a boxed `dyn KeyStream` here costs a
-/// measurable ~10% of zero-service throughput).
-struct RunPlan<F> {
-    kind: PartitionerKind,
-    seed: u64,
-    skew: f64,
-    sources: usize,
-    spawned_workers: usize,
-    window_size: u64,
-    batch_size: usize,
-    queue_capacity: usize,
-    aggregators: usize,
-    phases: Arc<Vec<PhasePlan>>,
-    /// `streams(phase, source)` constructs that source's key stream for the
-    /// phase.
-    streams: Arc<F>,
+/// The fully resolved execution plan shared by every stage of a run — the
+/// pure-data part (the key streams travel separately, as a factory, so the
+/// per-tuple hot path stays monomorphized over each caller's concrete
+/// stream type; a boxed `dyn KeyStream` costs a measurable ~10% of
+/// zero-service throughput).
+///
+/// A `StagePlan` is cheap to clone (the phase tables are shared `Arc`s) and
+/// is a pure function of the originating [`EngineConfig`] or
+/// [`ScenarioConfig`], so every process of a distributed run can resolve the
+/// same plan locally from the same config.
+#[derive(Debug, Clone)]
+pub struct StagePlan {
+    /// Grouping scheme under study.
+    pub kind: PartitionerKind,
+    /// Seed for the workload and the hash functions.
+    pub seed: u64,
+    /// Zipf exponent reported in the result (first phase's, for scenarios).
+    pub skew: f64,
+    /// Number of sources.
+    pub sources: usize,
+    /// Workers spawned up front (phases activate a prefix).
+    pub spawned_workers: usize,
+    /// Tuples per window per source sub-stream.
+    pub window_size: u64,
+    /// Tuples per transported channel message.
+    pub batch_size: usize,
+    /// Capacity of each worker's input queue, in tuples.
+    pub queue_capacity: usize,
+    /// Number of aggregator shards.
+    pub aggregators: usize,
+    /// Start-window table, indexed by phase (for window → phase lookup).
+    pub phase_starts: Arc<Vec<WindowId>>,
+    /// One resolved plan per phase.
+    pub phases: Arc<Vec<PhasePlan>>,
 }
 
 /// Ships every non-empty pending batch for the given window downstream.
-fn flush_pending(
-    senders: &[Sender<SourceMessage>],
+fn flush_pending<Tx: TupleSender>(
+    senders: &[Tx],
     pending: &mut [Vec<KeyId>],
     pending_since: &[Instant],
     window: WindowId,
@@ -511,15 +595,10 @@ impl Topology {
     /// Creates a topology from a configuration.
     ///
     /// # Panics
-    /// Panics if any structural parameter is zero.
+    /// Panics if any structural parameter is zero
+    /// ([`EngineConfig::validate`]).
     pub fn new(config: EngineConfig) -> Self {
-        assert!(config.sources > 0, "need at least one source");
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.keys > 0, "need at least one key");
-        assert!(config.queue_capacity > 0, "queues need capacity");
-        assert!(config.batch_size > 0, "batches need at least one tuple");
-        assert!(config.window_size > 0, "windows need at least one tuple");
-        assert!(config.aggregators > 0, "need at least one aggregator");
+        config.validate();
         Self { config }
     }
 
@@ -531,419 +610,422 @@ impl Topology {
     }
 
     /// Runs the topology to completion under the given windowed aggregation
-    /// and returns the measurements together with the final merged
-    /// per-window aggregates.
+    /// on the in-process transport and returns the measurements together
+    /// with the final merged per-window aggregates.
     pub fn run_windowed<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
     where
         A: WindowAggregate<KeyId>,
     {
-        let cfg = &self.config;
-        let per_source = cfg.messages / cfg.sources as u64;
-        let phase = PhasePlan {
-            tuples_per_source: per_source,
-            start_window: 0,
-            // 0 for a degenerate messages < sources config, matching the
-            // run's actual (empty) window set.
-            windows: per_source.div_ceil(cfg.window_size),
-            workers: cfg.workers,
-            service: Arc::new(vec![
-                Duration::from_micros(cfg.service_time_us);
-                cfg.workers
-            ]),
-            arrival: Arrival::Steady,
-        };
-        let streams = {
-            let cfg = cfg.clone();
-            Arc::new(move |_phase: usize, source: usize| {
-                crate::windows::source_stream(&cfg, source)
-            })
-        };
-        let plan = RunPlan {
-            kind: cfg.kind,
-            seed: cfg.seed,
-            skew: cfg.skew,
-            sources: cfg.sources,
-            spawned_workers: cfg.workers,
-            window_size: cfg.window_size,
-            batch_size: cfg.batch_size,
-            queue_capacity: cfg.queue_capacity,
-            aggregators: cfg.aggregators,
-            phases: Arc::new(vec![phase]),
-            streams,
-        };
-        run_plan(&plan, aggregate)
+        self.run_windowed_on(aggregate, &InProc)
+    }
+
+    /// Runs the topology to completion under the given windowed aggregation
+    /// over the given [`Transport`] backend.
+    pub fn run_windowed_on<A, T>(&self, aggregate: A, transport: &T) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+        T: Transport<A::Partial>,
+    {
+        let plan = self.config.stage_plan();
+        let cfg = self.config.clone();
+        let streams = Arc::new(move |_phase: usize, source: usize| {
+            crate::windows::source_stream(&cfg, source)
+        });
+        run_plan(&plan, streams, aggregate, transport)
     }
 }
 
-/// Executes a resolved run plan: the engine's single run loop, shared by the
-/// one-phase and scenario paths.
-fn run_plan<A, F, S>(plan: &RunPlan<F>, aggregate: A) -> WindowedRun<A::Partial>
+/// Everything one source contributes to a run: generates and routes its
+/// sub-stream phase by phase, ships batches and punctuation through
+/// `senders` (one per spawned worker), and returns how many tuples it sent.
+///
+/// `stream_for_phase(p)` must yield *this source's* key stream for phase
+/// `p` (callers close over their source index); the engine and `slb-node`
+/// both construct it from the shared config so every backend emits the
+/// identical stream.
+///
+/// # Panics
+/// Panics if a send fails (a worker endpoint disappeared mid-run).
+pub fn run_source_stage<S, Tx>(
+    plan: &StagePlan,
+    mut stream_for_phase: impl FnMut(usize) -> S,
+    senders: &[Tx],
+) -> u64
 where
-    A: WindowAggregate<KeyId>,
-    F: Fn(usize, usize) -> S + Send + Sync + 'static,
-    S: KeyStream + Send,
+    S: KeyStream,
+    Tx: TupleSender,
 {
     let batch_size = plan.batch_size;
-    let n_phases = plan.phases.len();
-    let phase_starts: Arc<Vec<WindowId>> =
-        Arc::new(plan.phases.iter().map(|p| p.start_window).collect());
-    // The queue capacity is configured in tuples; the channels carry
-    // batches, so convert (rounding up). The floor of two keeps the
-    // pipeline double-buffered — one batch being drained while the next
-    // is in flight — even when the configured capacity is smaller than a
-    // single batch; a floor of one serializes source and worker on the
-    // same condvar hand-off.
-    let capacity_batches = plan.queue_capacity.div_ceil(batch_size).max(2);
-    let (senders, receivers): (Vec<Sender<SourceMessage>>, Vec<Receiver<SourceMessage>>) = (0
-        ..plan.spawned_workers)
-        .map(|_| bounded::<SourceMessage>(capacity_batches))
-        .unzip();
-    // Worker → aggregator channels carry one partial per closed window
-    // per worker, so a couple of windows' worth of slots per worker is
-    // plenty of double-buffering.
-    type PartialChannel<P> = (
-        Vec<Sender<PartialWindow<P>>>,
-        Vec<Receiver<PartialWindow<P>>>,
-    );
-    let (partial_senders, partial_receivers): PartialChannel<A::Partial> = (0..plan.aggregators)
-        .map(|_| bounded::<PartialWindow<A::Partial>>(plan.spawned_workers * 2 + 4))
-        .unzip();
-
-    let start = Instant::now();
-
-    // Aggregator threads: merge partial-window slices as they arrive; a
-    // window is final once every worker has contributed its slice.
-    let mut aggregator_handles = Vec::with_capacity(plan.aggregators);
-    for receiver in partial_receivers {
-        let aggregate = aggregate.clone();
-        let workers = plan.spawned_workers;
-        aggregator_handles.push(thread::spawn(move || {
-            let mut latencies = LatencyTracker::with_capacity(256);
-            let mut merged = 0u64;
-            let mut open: HashMap<WindowId, (A::Partial, usize)> = HashMap::new();
-            let mut finalized: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
-            let mut drained: Vec<PartialWindow<A::Partial>> = Vec::new();
-            while receiver.recv_batch(&mut drained, usize::MAX).is_ok() {
-                for pw in drained.drain(..) {
-                    latencies.record_us(pw.closed_at.elapsed().as_micros() as u64);
-                    merged += 1;
-                    let slot = open
-                        .entry(pw.window)
-                        .or_insert_with(|| (aggregate.empty(), 0));
-                    aggregate.merge(&mut slot.0, pw.partial);
-                    slot.1 += 1;
-                    if slot.1 == workers {
-                        let (partial, _) = open.remove(&pw.window).expect("window is open");
-                        finalized.insert(pw.window, partial);
-                    }
-                }
-            }
-            debug_assert!(
-                open.is_empty(),
-                "every window must receive a partial from every worker"
-            );
-            (finalized, latencies, merged)
-        }));
-    }
-
-    // Worker threads: drain whole runs of batches under one lock
-    // acquisition, spin for the phase's per-worker aggregate service time,
-    // update per-key state and the open window's partial, record one
-    // latency value per batch into the window's phase. Window close markers
-    // from all sources finalize a window: its partial is sharded by key
-    // hash and shipped downstream.
-    let mut worker_handles = Vec::with_capacity(plan.spawned_workers);
-    for (worker_idx, receiver) in receivers.into_iter().enumerate() {
-        let aggregate = aggregate.clone();
-        let partial_senders = partial_senders.clone();
-        let phases = plan.phases.clone();
-        let phase_starts = phase_starts.clone();
-        let sources = plan.sources;
-        let aggregators = plan.aggregators;
-        worker_handles.push(thread::spawn(move || {
-            let mut processed = 0u64;
-            let mut phase_counts = vec![0u64; phases.len()];
-            let mut phase_latencies: Vec<LatencyTracker> = (0..phases.len())
-                .map(|_| LatencyTracker::with_capacity(1_024))
-                .collect();
-            // First/last batch-completion instants per phase, for the
-            // per-phase throughput span.
-            let mut phase_spans: Vec<Option<(Instant, Instant)>> = vec![None; phases.len()];
-            // Distinct keys this worker has ever held state for (the
-            // memory-footprint metric); the per-key counts themselves
-            // live in the window partials.
-            let mut state: std::collections::HashSet<KeyId> = std::collections::HashSet::new();
-            let mut open: HashMap<WindowId, A::Partial> = HashMap::new();
-            let mut closes: HashMap<WindowId, usize> = HashMap::new();
-            let mut windows_closed = 0u64;
-            let mut drained: Vec<SourceMessage> = Vec::new();
-            while receiver.recv_batch(&mut drained, usize::MAX).is_ok() {
-                for message in drained.drain(..) {
-                    match message {
-                        SourceMessage::Batch(batch) => {
-                            let n = batch.keys.len() as u64;
-                            let phase = phase_of(&phase_starts, batch.window);
-                            let service = phases[phase].service[worker_idx];
-                            // Emulate the aggregation work with one
-                            // busy-wait for the whole batch (n tuples'
-                            // worth of service time): sleeping is far too
-                            // coarse at microsecond granularity, and a
-                            // per-tuple deadline would put two
-                            // `Instant::now()` calls back on the per-tuple
-                            // path.
-                            if !service.is_zero() {
-                                let until = Instant::now() + service * n as u32;
-                                while Instant::now() < until {
-                                    std::hint::spin_loop();
-                                }
-                            }
-                            let partial = open
-                                .entry(batch.window)
-                                .or_insert_with(|| aggregate.empty());
-                            for key in &batch.keys {
-                                state.insert(*key);
-                                aggregate.observe(partial, key, 1);
-                            }
-                            let done = Instant::now();
-                            let batch_latency_us =
-                                done.duration_since(batch.emitted_at).as_micros() as u64;
-                            phase_latencies[phase].record_many_us(batch_latency_us, n);
-                            phase_counts[phase] += n;
-                            processed += n;
-                            let span = phase_spans[phase].get_or_insert((done, done));
-                            span.1 = done;
-                        }
-                        SourceMessage::CloseWindow { window } => {
-                            let seen = closes.entry(window).or_insert(0);
-                            *seen += 1;
-                            if *seen < sources {
-                                continue;
-                            }
-                            // Channels are FIFO per source, so with all
-                            // sources' markers in hand this worker holds
-                            // every tuple of the window that was routed
-                            // to it: finalize and ship the shard slices.
-                            closes.remove(&window);
-                            let partial = open.remove(&window).unwrap_or_else(|| aggregate.empty());
-                            let closed_at = Instant::now();
-                            for (shard, slice) in aggregate
-                                .shard(partial, aggregators)
-                                .into_iter()
-                                .enumerate()
-                            {
-                                partial_senders[shard]
-                                    .send(PartialWindow {
-                                        window,
-                                        partial: slice,
-                                        closed_at,
-                                    })
-                                    .expect("aggregator queue closed prematurely");
-                            }
-                            windows_closed += 1;
-                        }
-                    }
-                }
-            }
-            debug_assert!(
-                open.is_empty() && closes.is_empty(),
-                "all windows must be closed by end of stream"
-            );
-            (
-                processed,
-                phase_counts,
-                phase_latencies,
-                state.len() as u64,
-                windows_closed,
-                phase_spans,
-            )
-        }));
-    }
-    // The workers hold their own clones of the partial senders.
-    drop(partial_senders);
-
-    // Source threads: for each phase, regenerate the partitioner for the
-    // phase's worker count, then generate and route a buffer of keys at a
-    // time, accumulate per-worker batches, ship each batch with a single
-    // timestamp when it fills (blocking on full queues). A key buffer
-    // never crosses a window boundary — or a phase boundary, since phases
-    // are whole windows; at each window boundary the source flushes its
-    // in-flight batches and broadcasts the close marker.
     let window_size = plan.window_size;
-    let mut source_handles = Vec::with_capacity(plan.sources);
-    for source_idx in 0..plan.sources {
-        let senders = senders.clone();
-        let kind = plan.kind;
-        let seed = plan.seed;
-        let phases = plan.phases.clone();
-        let streams = plan.streams.clone();
-        let spawned_workers = plan.spawned_workers;
-        source_handles.push(thread::spawn(move || {
-            let mut partitioner: Option<Box<dyn Partitioner<KeyId>>> = None;
-            let mut keybuf: Vec<KeyId> = Vec::with_capacity(batch_size);
-            let mut routebuf: Vec<usize> = Vec::with_capacity(batch_size);
-            let mut pending: Vec<Vec<KeyId>> = (0..spawned_workers)
-                .map(|_| Vec::with_capacity(batch_size))
-                .collect();
-            // The batch's emit stamp is taken when its FIRST tuple is
-            // buffered, not when the batch ships: a tuple's recorded
-            // latency must include the time it waits for its batch to
-            // fill, otherwise the slowest-filling destinations (exactly
-            // the under-loaded workers of a skewed run) would report the
-            // smallest latencies. First-push stamping over-approximates
-            // for later tuples in the batch; it never understates.
-            let mut pending_since: Vec<Instant> = vec![Instant::now(); spawned_workers];
-            let mut sent = 0u64;
-            let mut local_idx = 0u64;
-            'phases: for (phase_idx, phase) in phases.iter().enumerate() {
-                // Phase boundary: regenerate the routing state for the
-                // phase's worker count. Build on first use, rescale in
-                // place afterwards — bit-for-bit equivalent to a fresh
-                // build (see slb-core's rescale_props suite).
-                let partition = PartitionConfig::new(phase.workers).with_seed(seed);
-                match partitioner.as_mut() {
-                    None => partitioner = Some(build_partitioner::<KeyId>(kind, &partition)),
-                    Some(part) => part.rescale(&partition),
-                }
-                let part = partitioner.as_mut().expect("partitioner built above");
-                let mut stream = (streams)(phase_idx, source_idx);
-                let mut emitted = 0u64;
-                while emitted < phase.tuples_per_source {
-                    // Cap the buffer at the window's (and phase's)
-                    // remaining tuples so a routed batch never spans a
-                    // boundary; in a bursty phase, also at the burst's
-                    // remaining tuples so every burst boundary is observed
-                    // even when bursts are smaller than the batch size.
-                    let mut take = (batch_size as u64)
-                        .min(window_size - local_idx % window_size)
-                        .min(phase.tuples_per_source - emitted);
-                    if let Arrival::Bursty { burst_tuples, .. } = phase.arrival {
-                        take = take.min(burst_tuples - emitted % burst_tuples);
-                    }
-                    let take = take as usize;
-                    keybuf.clear();
-                    while keybuf.len() < take {
-                        match stream.next_key() {
-                            Some(key) => keybuf.push(key),
-                            None => break,
-                        }
-                    }
-                    if keybuf.is_empty() {
-                        // Stream dried up early (possible only for the
-                        // one-phase path, whose stream bounds the budget).
-                        break 'phases;
-                    }
-                    let window = window_of(local_idx, window_size);
-                    part.route_batch(&keybuf, &mut routebuf);
-                    for (&key, &worker) in keybuf.iter().zip(&routebuf) {
-                        if pending[worker].is_empty() {
-                            pending_since[worker] = Instant::now();
-                        }
-                        pending[worker].push(key);
-                        if pending[worker].len() == batch_size {
-                            let keys = std::mem::replace(
-                                &mut pending[worker],
-                                Vec::with_capacity(batch_size),
-                            );
-                            sent += keys.len() as u64;
-                            // A send only fails if the receiver is gone, which
-                            // cannot happen before all senders are dropped;
-                            // treat it as fatal.
-                            senders[worker]
-                                .send(SourceMessage::Batch(TupleBatch {
-                                    keys,
-                                    window,
-                                    emitted_at: pending_since[worker],
-                                }))
-                                .expect("worker queue closed prematurely");
-                        }
-                    }
-                    let chunk = keybuf.len() as u64;
-                    local_idx += chunk;
-                    emitted += chunk;
-                    if local_idx % window_size == 0 {
-                        // Window complete: everything buffered belongs to it,
-                        // so flush first, then broadcast the close marker.
-                        flush_pending(
-                            &senders,
-                            &mut pending,
-                            &pending_since,
-                            window,
-                            batch_size,
-                            &mut sent,
-                        );
-                        for sender in &senders {
-                            sender
-                                .send(SourceMessage::CloseWindow { window })
-                                .expect("worker queue closed prematurely");
-                        }
-                    }
-                    // Burst pacing: chunks never span a burst boundary (the
-                    // `take` cap above), so exactly one pause fires per
-                    // completed burst. Pacing shapes timing only; routing
-                    // and counts are untouched.
-                    if let Arrival::Bursty {
-                        burst_tuples,
-                        pause_us,
-                    } = phase.arrival
-                    {
-                        if pause_us > 0
-                            && emitted % burst_tuples == 0
-                            && emitted < phase.tuples_per_source
-                        {
-                            thread::sleep(Duration::from_micros(pause_us));
-                        }
-                    }
+    let mut partitioner: Option<Box<dyn Partitioner<KeyId>>> = None;
+    let mut keybuf: Vec<KeyId> = Vec::with_capacity(batch_size);
+    let mut routebuf: Vec<usize> = Vec::with_capacity(batch_size);
+    let mut pending: Vec<Vec<KeyId>> = (0..senders.len())
+        .map(|_| Vec::with_capacity(batch_size))
+        .collect();
+    // The batch's emit stamp is taken when its FIRST tuple is
+    // buffered, not when the batch ships: a tuple's recorded
+    // latency must include the time it waits for its batch to
+    // fill, otherwise the slowest-filling destinations (exactly
+    // the under-loaded workers of a skewed run) would report the
+    // smallest latencies. First-push stamping over-approximates
+    // for later tuples in the batch; it never understates.
+    let mut pending_since: Vec<Instant> = vec![Instant::now(); senders.len()];
+    let mut sent = 0u64;
+    let mut local_idx = 0u64;
+    'phases: for (phase_idx, phase) in plan.phases.iter().enumerate() {
+        // Phase boundary: regenerate the routing state for the
+        // phase's worker count. Build on first use, rescale in
+        // place afterwards — bit-for-bit equivalent to a fresh
+        // build (see slb-core's rescale_props suite).
+        let partition = PartitionConfig::new(phase.workers).with_seed(plan.seed);
+        match partitioner.as_mut() {
+            None => partitioner = Some(build_partitioner::<KeyId>(plan.kind, &partition)),
+            Some(part) => part.rescale(&partition),
+        }
+        let part = partitioner.as_mut().expect("partitioner built above");
+        let mut stream = stream_for_phase(phase_idx);
+        let mut emitted = 0u64;
+        while emitted < phase.tuples_per_source {
+            // Cap the buffer at the window's (and phase's)
+            // remaining tuples so a routed batch never spans a
+            // boundary; in a bursty phase, also at the burst's
+            // remaining tuples so every burst boundary is observed
+            // even when bursts are smaller than the batch size.
+            let mut take = (batch_size as u64)
+                .min(window_size - local_idx % window_size)
+                .min(phase.tuples_per_source - emitted);
+            if let Arrival::Bursty { burst_tuples, .. } = phase.arrival {
+                take = take.min(burst_tuples - emitted % burst_tuples);
+            }
+            let take = take as usize;
+            keybuf.clear();
+            while keybuf.len() < take {
+                match stream.next_key() {
+                    Some(key) => keybuf.push(key),
+                    None => break,
                 }
             }
-            // End of stream: flush and close the final partial window
-            // (full windows were already closed at their boundary; phases
-            // always end on a boundary, so this fires only when the
-            // one-phase path's message count does not divide evenly).
-            if local_idx % window_size != 0 {
-                let window = window_of(local_idx, window_size);
+            if keybuf.is_empty() {
+                // Stream dried up early (possible only for the
+                // one-phase path, whose stream bounds the budget).
+                break 'phases;
+            }
+            let window = window_of(local_idx, window_size);
+            part.route_batch(&keybuf, &mut routebuf);
+            for (&key, &worker) in keybuf.iter().zip(&routebuf) {
+                if pending[worker].is_empty() {
+                    pending_since[worker] = Instant::now();
+                }
+                pending[worker].push(key);
+                if pending[worker].len() == batch_size {
+                    let keys =
+                        std::mem::replace(&mut pending[worker], Vec::with_capacity(batch_size));
+                    sent += keys.len() as u64;
+                    // A send only fails if the receiver is gone, which
+                    // cannot happen before all senders are dropped;
+                    // treat it as fatal.
+                    senders[worker]
+                        .send(SourceMessage::Batch(TupleBatch {
+                            keys,
+                            window,
+                            emitted_at: pending_since[worker],
+                        }))
+                        .expect("worker queue closed prematurely");
+                }
+            }
+            let chunk = keybuf.len() as u64;
+            local_idx += chunk;
+            emitted += chunk;
+            if local_idx % window_size == 0 {
+                // Window complete: everything buffered belongs to it,
+                // so flush first, then broadcast the close marker.
                 flush_pending(
-                    &senders,
+                    senders,
                     &mut pending,
                     &pending_since,
                     window,
                     batch_size,
                     &mut sent,
                 );
-                for sender in &senders {
+                for sender in senders {
                     sender
                         .send(SourceMessage::CloseWindow { window })
                         .expect("worker queue closed prematurely");
                 }
             }
-            sent
-        }));
+            // Burst pacing: chunks never span a burst boundary (the
+            // `take` cap above), so exactly one pause fires per
+            // completed burst. Pacing shapes timing only; routing
+            // and counts are untouched.
+            if let Arrival::Bursty {
+                burst_tuples,
+                pause_us,
+            } = phase.arrival
+            {
+                if pause_us > 0 && emitted % burst_tuples == 0 && emitted < phase.tuples_per_source
+                {
+                    thread::sleep(Duration::from_micros(pause_us));
+                }
+            }
+        }
     }
-    // Drop the topology's own copies so workers terminate when sources do.
-    drop(senders);
+    // End of stream: flush and close the final partial window
+    // (full windows were already closed at their boundary; phases
+    // always end on a boundary, so this fires only when the
+    // one-phase path's message count does not divide evenly).
+    if local_idx % window_size != 0 {
+        let window = window_of(local_idx, window_size);
+        flush_pending(
+            senders,
+            &mut pending,
+            &pending_since,
+            window,
+            batch_size,
+            &mut sent,
+        );
+        for sender in senders {
+            sender
+                .send(SourceMessage::CloseWindow { window })
+                .expect("worker queue closed prematurely");
+        }
+    }
+    sent
+}
 
-    let mut sent_total = 0u64;
-    for h in source_handles {
-        sent_total += h.join().expect("source thread panicked");
+/// What one worker reports after draining its input channel: counts,
+/// state footprint, per-phase latency trackers, and per-phase activity
+/// spans as `(first, last)` microseconds since the run epoch (an
+/// `Instant`-free representation, so reports can cross process boundaries).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStageReport {
+    /// Tuples processed.
+    pub processed: u64,
+    /// Tuples processed per phase.
+    pub phase_counts: Vec<u64>,
+    /// Per-phase latency samples.
+    pub phase_latencies: Vec<LatencyTracker>,
+    /// Distinct keys this worker ever held state for.
+    pub state_keys: u64,
+    /// Windows this worker finalized (must equal the run's window count).
+    pub windows_closed: u64,
+    /// Per-phase `(first, last)` batch-completion instants, µs since epoch.
+    pub phase_spans: Vec<Option<(u64, u64)>>,
+}
+
+/// Everything one worker contributes to a run: drains whole runs of batches
+/// from `receiver`, spins for the phase's per-worker service time,
+/// accumulates per-window partial aggregates, and — once every source's
+/// close marker for a window has arrived — shards the window's partial and
+/// ships the slices through `partial_senders` (one per aggregator).
+///
+/// `epoch` anchors the report's span timestamps; pass the instant the run
+/// started (the same epoch on every node of a distributed run).
+///
+/// # Panics
+/// Panics if a partial send fails (an aggregator endpoint disappeared).
+pub fn run_worker_stage<A, Rx, Tx>(
+    plan: &StagePlan,
+    worker_idx: usize,
+    epoch: Instant,
+    aggregate: &A,
+    receiver: Rx,
+    partial_senders: &[Tx],
+) -> WorkerStageReport
+where
+    A: WindowAggregate<KeyId>,
+    Rx: TupleReceiver,
+    Tx: PartialSender<A::Partial>,
+{
+    let n_phases = plan.phases.len();
+    let sources = plan.sources;
+    let aggregators = plan.aggregators;
+    let mut processed = 0u64;
+    let mut phase_counts = vec![0u64; n_phases];
+    let mut phase_latencies: Vec<LatencyTracker> = (0..n_phases)
+        .map(|_| LatencyTracker::with_capacity(1_024))
+        .collect();
+    // First/last batch-completion instants per phase, for the
+    // per-phase throughput span.
+    let mut phase_spans: Vec<Option<(u64, u64)>> = vec![None; n_phases];
+    // Distinct keys this worker has ever held state for (the
+    // memory-footprint metric); the per-key counts themselves
+    // live in the window partials.
+    let mut state: std::collections::HashSet<KeyId> = std::collections::HashSet::new();
+    let mut open: HashMap<WindowId, A::Partial> = HashMap::new();
+    let mut closes: HashMap<WindowId, usize> = HashMap::new();
+    let mut windows_closed = 0u64;
+    let mut drained: Vec<SourceMessage> = Vec::new();
+    while receiver.recv_batch(&mut drained).is_ok() {
+        for message in drained.drain(..) {
+            match message {
+                SourceMessage::Batch(batch) => {
+                    let n = batch.keys.len() as u64;
+                    let phase = phase_of(&plan.phase_starts, batch.window);
+                    let service = plan.phases[phase].service[worker_idx];
+                    // Emulate the aggregation work with one
+                    // busy-wait for the whole batch (n tuples'
+                    // worth of service time): sleeping is far too
+                    // coarse at microsecond granularity, and a
+                    // per-tuple deadline would put two
+                    // `Instant::now()` calls back on the per-tuple
+                    // path.
+                    if !service.is_zero() {
+                        let until = Instant::now() + service * n as u32;
+                        while Instant::now() < until {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let partial = open
+                        .entry(batch.window)
+                        .or_insert_with(|| aggregate.empty());
+                    for key in &batch.keys {
+                        state.insert(*key);
+                        aggregate.observe(partial, key, 1);
+                    }
+                    let done = Instant::now();
+                    let batch_latency_us = done.duration_since(batch.emitted_at).as_micros() as u64;
+                    phase_latencies[phase].record_many_us(batch_latency_us, n);
+                    phase_counts[phase] += n;
+                    processed += n;
+                    let done_us = done.saturating_duration_since(epoch).as_micros() as u64;
+                    let span = phase_spans[phase].get_or_insert((done_us, done_us));
+                    span.1 = done_us;
+                }
+                SourceMessage::CloseWindow { window } => {
+                    let seen = closes.entry(window).or_insert(0);
+                    *seen += 1;
+                    if *seen < sources {
+                        continue;
+                    }
+                    // Channels are FIFO per source, so with all
+                    // sources' markers in hand this worker holds
+                    // every tuple of the window that was routed
+                    // to it: finalize and ship the shard slices.
+                    closes.remove(&window);
+                    let partial = open.remove(&window).unwrap_or_else(|| aggregate.empty());
+                    let closed_at = Instant::now();
+                    for (shard, slice) in aggregate
+                        .shard(partial, aggregators)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        partial_senders[shard]
+                            .send(PartialWindow {
+                                window,
+                                partial: slice,
+                                closed_at,
+                            })
+                            .expect("aggregator queue closed prematurely");
+                    }
+                    windows_closed += 1;
+                }
+            }
+        }
     }
+    debug_assert!(
+        open.is_empty() && closes.is_empty(),
+        "all windows must be closed by end of stream"
+    );
+    WorkerStageReport {
+        processed,
+        phase_counts,
+        phase_latencies,
+        state_keys: state.len() as u64,
+        windows_closed,
+        phase_spans,
+    }
+}
+
+/// What one aggregator reports: the windows it finalized, the close→merge
+/// latency distribution, and how many partial messages it merged.
+pub struct AggregatorStageReport<P> {
+    /// Final merged aggregate per window this shard owned.
+    pub finalized: BTreeMap<WindowId, P>,
+    /// Close→merge latency samples.
+    pub latencies: LatencyTracker,
+    /// Partial-window messages merged.
+    pub merged: u64,
+}
+
+/// Everything one aggregator contributes to a run: merges partial-window
+/// slices from `receiver` as they arrive; a window is final once every one
+/// of the `spawned_workers` workers has contributed its slice.
+pub fn run_aggregator_stage<A, Rx>(
+    spawned_workers: usize,
+    aggregate: &A,
+    receiver: Rx,
+) -> AggregatorStageReport<A::Partial>
+where
+    A: WindowAggregate<KeyId>,
+    Rx: PartialReceiver<A::Partial>,
+{
+    let mut latencies = LatencyTracker::with_capacity(256);
+    let mut merged = 0u64;
+    let mut open: HashMap<WindowId, (A::Partial, usize)> = HashMap::new();
+    let mut finalized: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
+    let mut drained: Vec<PartialWindow<A::Partial>> = Vec::new();
+    while receiver.recv_batch(&mut drained).is_ok() {
+        for pw in drained.drain(..) {
+            latencies.record_us(pw.closed_at.elapsed().as_micros() as u64);
+            merged += 1;
+            let slot = open
+                .entry(pw.window)
+                .or_insert_with(|| (aggregate.empty(), 0));
+            aggregate.merge(&mut slot.0, pw.partial);
+            slot.1 += 1;
+            if slot.1 == spawned_workers {
+                let (partial, _) = open.remove(&pw.window).expect("window is open");
+                finalized.insert(pw.window, partial);
+            }
+        }
+    }
+    debug_assert!(
+        open.is_empty(),
+        "every window must receive a partial from every worker"
+    );
+    AggregatorStageReport {
+        finalized,
+        latencies,
+        merged,
+    }
+}
+
+/// Merges the stage reports of one run — however its stages were deployed,
+/// threads in one process or processes on a network — into the final
+/// [`EngineResult`] and merged window map.
+///
+/// `worker_reports` must be indexed by worker; aggregator reports may come
+/// in any order (their window sets are disjoint by sharding, and the merge
+/// is associative and commutative anyway).
+pub fn assemble_result<A>(
+    plan: &StagePlan,
+    aggregate: &A,
+    worker_reports: Vec<WorkerStageReport>,
+    aggregator_reports: Vec<AggregatorStageReport<A::Partial>>,
+    elapsed_secs: f64,
+) -> WindowedRun<A::Partial>
+where
+    A: WindowAggregate<KeyId>,
+{
+    let n_phases = plan.phases.len();
     let mut processed = 0u64;
     let mut worker_counts = Vec::with_capacity(plan.spawned_workers);
     let mut worker_state_keys = Vec::with_capacity(plan.spawned_workers);
     let mut worker_windows_closed = Vec::with_capacity(plan.spawned_workers);
     let mut phase_matrix = PhaseLoadMatrix::new(n_phases, plan.spawned_workers);
     let mut phase_latencies: Vec<Vec<LatencyTracker>> = (0..n_phases).map(|_| Vec::new()).collect();
-    let mut phase_spans: Vec<Option<(Instant, Instant)>> = vec![None; n_phases];
-    for (w, h) in worker_handles.into_iter().enumerate() {
-        let (count, counts_by_phase, trackers_by_phase, state_keys, windows_closed, spans) =
-            h.join().expect("worker thread panicked");
-        processed += count;
-        worker_counts.push(count);
-        worker_state_keys.push(state_keys);
-        worker_windows_closed.push(windows_closed);
-        for (p, tracker) in trackers_by_phase.into_iter().enumerate() {
-            phase_matrix.add(p, w, counts_by_phase[p]);
+    let mut phase_spans: Vec<Option<(u64, u64)>> = vec![None; n_phases];
+    for (w, report) in worker_reports.into_iter().enumerate() {
+        processed += report.processed;
+        worker_counts.push(report.processed);
+        worker_state_keys.push(report.state_keys);
+        worker_windows_closed.push(report.windows_closed);
+        for (p, tracker) in report.phase_latencies.into_iter().enumerate() {
+            phase_matrix.add(p, w, report.phase_counts[p]);
             phase_latencies[p].push(tracker);
         }
-        for (p, span) in spans.into_iter().enumerate() {
+        for (p, span) in report.phase_spans.into_iter().enumerate() {
             if let Some((first, last)) = span {
                 let merged_span = phase_spans[p].get_or_insert((first, last));
                 merged_span.0 = merged_span.0.min(first);
@@ -951,16 +1033,14 @@ where
             }
         }
     }
-    debug_assert_eq!(sent_total, processed, "every sent tuple must be processed");
 
     let mut windows: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
     let mut aggregator_latencies = Vec::with_capacity(plan.aggregators);
     let mut partials_merged = 0u64;
-    for h in aggregator_handles {
-        let (finalized, tracker, merged) = h.join().expect("aggregator thread panicked");
-        partials_merged += merged;
-        aggregator_latencies.push(tracker);
-        for (window, partial) in finalized {
+    for report in aggregator_reports {
+        partials_merged += report.merged;
+        aggregator_latencies.push(report.latencies);
+        for (window, partial) in report.finalized {
             match windows.entry(window) {
                 Entry::Vacant(slot) => {
                     slot.insert(partial);
@@ -976,12 +1056,11 @@ where
         "every worker closes every window exactly once"
     );
 
-    let elapsed = start.elapsed().as_secs_f64();
     // Grouped by worker across phases, so the "max avg" statistic keeps the
     // paper's per-worker semantics without copying every sample.
     let latency = LatencyTracker::summarize_by_worker(&phase_latencies);
-    let throughput_eps = if elapsed > 0.0 {
-        processed as f64 / elapsed
+    let throughput_eps = if elapsed_secs > 0.0 {
+        processed as f64 / elapsed_secs
     } else {
         0.0
     };
@@ -991,7 +1070,7 @@ where
         .enumerate()
         .map(|(p, phase)| {
             let span_secs = phase_spans[p]
-                .map(|(first, last)| last.duration_since(first).as_secs_f64())
+                .map(|(first, last)| last.saturating_sub(first) as f64 / 1e6)
                 .unwrap_or(0.0);
             PhaseMetrics {
                 phase: p,
@@ -1012,7 +1091,7 @@ where
         scheme: plan.kind.symbol().to_string(),
         skew: plan.skew,
         processed,
-        elapsed_secs: elapsed,
+        elapsed_secs,
         throughput_eps,
         latency,
         imbalance: slb_core::imbalance(&worker_counts),
@@ -1022,14 +1101,107 @@ where
         aggregators: plan.aggregators,
         windows: windows.len() as u64,
         phases: phases_out,
-        worker_stage: StageMetrics::new(processed, elapsed, latency),
+        worker_stage: StageMetrics::new(processed, elapsed_secs, latency),
         aggregator_stage: StageMetrics::new(
             partials_merged,
-            elapsed,
+            elapsed_secs,
             LatencyTracker::summarize(&aggregator_latencies),
         ),
     };
     WindowedRun { result, windows }
+}
+
+/// Executes a resolved plan over the given transport: the engine's single
+/// in-process run loop, shared by the one-phase and scenario paths. Spawns
+/// one thread per stage instance, each running the corresponding public
+/// stage function, and assembles their reports.
+fn run_plan<A, F, S, T>(
+    plan: &StagePlan,
+    streams: Arc<F>,
+    aggregate: A,
+    transport: &T,
+) -> WindowedRun<A::Partial>
+where
+    A: WindowAggregate<KeyId>,
+    F: Fn(usize, usize) -> S + Send + Sync + 'static,
+    S: KeyStream + Send,
+    T: Transport<A::Partial>,
+{
+    // The queue capacity is configured in tuples; the channels carry
+    // batches, so convert through the one shared helper.
+    let capacity_batches = capacity_in_batches(plan.queue_capacity, plan.batch_size);
+    let (senders, receivers) = transport.tuple_channels(plan.spawned_workers, capacity_batches);
+    let (partial_senders, partial_receivers) = transport.partial_channels(
+        plan.aggregators,
+        partial_channel_capacity(plan.spawned_workers),
+    );
+
+    let start = Instant::now();
+
+    let mut aggregator_handles = Vec::with_capacity(plan.aggregators);
+    for receiver in partial_receivers {
+        let aggregate = aggregate.clone();
+        let workers = plan.spawned_workers;
+        aggregator_handles.push(thread::spawn(move || {
+            run_aggregator_stage(workers, &aggregate, receiver)
+        }));
+    }
+
+    let mut worker_handles = Vec::with_capacity(plan.spawned_workers);
+    for (worker_idx, receiver) in receivers.into_iter().enumerate() {
+        let plan = plan.clone();
+        let aggregate = aggregate.clone();
+        let partial_senders = partial_senders.clone();
+        worker_handles.push(thread::spawn(move || {
+            run_worker_stage(
+                &plan,
+                worker_idx,
+                start,
+                &aggregate,
+                receiver,
+                &partial_senders,
+            )
+        }));
+    }
+    // The workers hold their own clones of the partial senders.
+    drop(partial_senders);
+
+    let mut source_handles = Vec::with_capacity(plan.sources);
+    for source_idx in 0..plan.sources {
+        let plan = plan.clone();
+        let senders = senders.clone();
+        let streams = streams.clone();
+        source_handles.push(thread::spawn(move || {
+            run_source_stage(&plan, |phase| (streams)(phase, source_idx), &senders)
+        }));
+    }
+    // Drop the topology's own copies so workers terminate when sources do.
+    drop(senders);
+
+    let mut sent_total = 0u64;
+    for h in source_handles {
+        sent_total += h.join().expect("source thread panicked");
+    }
+    let worker_reports: Vec<WorkerStageReport> = worker_handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    let aggregator_reports: Vec<AggregatorStageReport<A::Partial>> = aggregator_handles
+        .into_iter()
+        .map(|h| h.join().expect("aggregator thread panicked"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let processed: u64 = worker_reports.iter().map(|r| r.processed).sum();
+    debug_assert_eq!(sent_total, processed, "every sent tuple must be processed");
+
+    assemble_result(
+        plan,
+        &aggregate,
+        worker_reports,
+        aggregator_reports,
+        elapsed,
+    )
 }
 
 /// Runs one engine experiment per grouping scheme in `schemes`, all on the
@@ -1342,6 +1514,35 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].scheme, "KG");
         assert_eq!(results[1].scheme, "W-C");
+    }
+
+    #[test]
+    fn explicit_inproc_transport_matches_default_run() {
+        // run_windowed_on(&InProc) is the same loop as run_windowed; counts
+        // and windows must match exactly.
+        let cfg = EngineConfig::smoke(PartitionerKind::DChoices, 1.8)
+            .with_messages(8_000)
+            .with_service_time_us(0);
+        let implicit = Topology::new(cfg.clone()).run_windowed(CountAggregate);
+        let explicit = Topology::new(cfg).run_windowed_on(CountAggregate, &InProc);
+        assert_eq!(implicit.windows, explicit.windows);
+        assert_eq!(implicit.result.worker_counts, explicit.result.worker_counts);
+    }
+
+    #[test]
+    fn stage_plan_is_a_pure_function_of_the_config() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.4);
+        let a = cfg.stage_plan();
+        let b = cfg.stage_plan();
+        assert_eq!(a.phases.len(), 1);
+        assert_eq!(a.phases[0].tuples_per_source, b.phases[0].tuples_per_source);
+        assert_eq!(a.phases[0].windows, b.phases[0].windows);
+        assert_eq!(a.spawned_workers, cfg.workers);
+        let scenario_cfg = ScenarioConfig::new(PartitionerKind::WChoices, small_scenario(9));
+        let plan = scenario_cfg.stage_plan();
+        assert_eq!(plan.phases.len(), 3);
+        assert_eq!(plan.spawned_workers, 5);
+        assert_eq!(*plan.phase_starts, vec![0, 2, 4]);
     }
 
     #[test]

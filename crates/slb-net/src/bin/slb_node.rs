@@ -1,0 +1,126 @@
+//! `slb-node` — one process of a distributed SLB topology, or the
+//! orchestrator that runs a whole cluster.
+//!
+//! ```text
+//! slb-node orchestrate --spec cluster.spec [--verify]
+//! slb-node source     --index N --control HOST:PORT
+//! slb-node worker     --index N --control HOST:PORT
+//! slb-node aggregator --index N --control HOST:PORT
+//! ```
+//!
+//! `orchestrate` parses the text cluster spec (see `docs/DISTRIBUTED.md`),
+//! spawns one child process per source/worker/aggregator (re-invoking this
+//! same binary in a role mode), wires the sockets through the control
+//! plane, runs the configured `EngineConfig`/`ScenarioConfig` to
+//! completion, and prints the merged result. With `--verify` it also
+//! replays the run's single-threaded exact reference and reports
+//! `exact-reference=MATCH` (exit 0) or `MISMATCH` (exit 1).
+//!
+//! The role modes are not meant to be typed by hand — the orchestrator
+//! spawns them — but nothing stops a future launcher (or a human with three
+//! terminals) from wiring a cluster manually.
+
+use std::process::exit;
+
+use slb_net::cluster::{ClusterSpec, NodeRole};
+use slb_net::node::{exact_reference, orchestrate, run_node};
+
+const USAGE: &str = "usage: slb-node orchestrate --spec FILE [--verify]
+       slb-node (source|worker|aggregator) --index N --control HOST:PORT";
+
+fn fail(message: &str) -> ! {
+    eprintln!("slb-node: {message}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        fail("missing mode");
+    };
+    match mode.as_str() {
+        "--help" | "-h" => println!("{USAGE}"),
+        "orchestrate" => run_orchestrate(&args[1..]),
+        role => match role.parse::<NodeRole>() {
+            Ok(role) => run_role(role, &args[1..]),
+            Err(_) => fail(&format!("unknown mode: {role}")),
+        },
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|at| args.get(at + 1))
+        .map(String::as_str)
+}
+
+fn run_role(role: NodeRole, args: &[String]) {
+    let Some(index) = flag_value(args, "--index").and_then(|v| v.parse::<usize>().ok()) else {
+        fail("role modes need --index N");
+    };
+    let Some(control) = flag_value(args, "--control") else {
+        fail("role modes need --control HOST:PORT");
+    };
+    if let Err(message) = run_node(role, index, control) {
+        eprintln!("slb-node {} {index}: {message}", role.name());
+        exit(1);
+    }
+}
+
+fn run_orchestrate(args: &[String]) {
+    let Some(spec_path) = flag_value(args, "--spec") else {
+        fail("orchestrate needs --spec FILE");
+    };
+    let verify = args.iter().any(|a| a == "--verify");
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(e) => fail(&format!("reading {spec_path}: {e}")),
+    };
+    let spec = match ClusterSpec::parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => fail(&format!("parsing {spec_path}: {e}")),
+    };
+    let node_exe = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => fail(&format!("locating own binary: {e}")),
+    };
+    println!(
+        "slb-node orchestrate: {} sources, {} workers, {} aggregators over TCP loopback",
+        spec.sources(),
+        spec.workers(),
+        spec.aggregators()
+    );
+    let outcome = match orchestrate(&spec, &node_exe) {
+        Ok(outcome) => outcome,
+        Err(message) => {
+            eprintln!("slb-node orchestrate: {message}");
+            exit(1);
+        }
+    };
+    let r = &outcome.result;
+    println!(
+        "scheme={} processed={} sent={} windows={} elapsed={:.3}s throughput={:.0} ev/s",
+        r.scheme, r.processed, outcome.sent_total, r.windows, r.elapsed_secs, r.throughput_eps
+    );
+    println!(
+        "imbalance={:.4} p50={}us p99={}us worker_counts={:?}",
+        r.imbalance, r.latency.p50_us, r.latency.p99_us, r.worker_counts
+    );
+    for phase in &r.phases {
+        println!(
+            "phase {}: workers={} tuples={} imbalance={:.4}",
+            phase.phase, phase.workers, phase.stage.items, phase.imbalance
+        );
+    }
+    if verify {
+        let reference = exact_reference(&spec);
+        if outcome.windows == reference {
+            println!("exact-reference=MATCH ({} windows)", reference.len());
+        } else {
+            println!("exact-reference=MISMATCH");
+            exit(1);
+        }
+    }
+}

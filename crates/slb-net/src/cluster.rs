@@ -1,0 +1,628 @@
+//! Cluster specs: what a multi-process run executes.
+//!
+//! A [`ClusterSpec`] names one run — an [`EngineConfig`] (single-phase) or a
+//! [`ScenarioConfig`] (multi-phase [`Scenario`]) — and the node counts
+//! follow from it: one process per source, per worker, and per aggregator.
+//! The spec exists in two forms:
+//!
+//! * a **text format** for humans and the `slb-node orchestrate --spec`
+//!   flag: one `key value` pair per line, `#` comments, phases as
+//!   `phase key=value ...` lines (see [`ClusterSpec::parse`] /
+//!   [`ClusterSpec::render`] — exact round-trip is unit-tested);
+//! * a **binary form** for the control plane: the orchestrator encodes the
+//!   [`RunSpec`] into the `Start` frame so child processes never read the
+//!   spec file ([`encode_run_spec`] / [`decode_run_spec`]). Floats travel as
+//!   IEEE-754 bit patterns, so the config a node runs is bit-identical to
+//!   the orchestrator's.
+//!
+//! Both forms resolve to the same [`StagePlan`] via
+//! [`ClusterSpec::stage_plan`], which is also exactly what the in-process
+//! engine runs — a cluster spec cannot describe anything the differential
+//! suite cannot check.
+
+use std::str::FromStr;
+
+use slb_core::wire::{read_u32, read_u64, write_u32, write_u64};
+use slb_core::PartitionerKind;
+use slb_engine::{EngineConfig, ScenarioConfig, StagePlan};
+use slb_workloads::{Arrival, Scenario, ScenarioPhase};
+
+use crate::wire::WireError;
+
+/// The role one `slb-node` process plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Generates and routes its share of the keyed stream.
+    Source,
+    /// Aggregates tuples into per-window partials.
+    Worker,
+    /// Merges worker partials into final windows.
+    Aggregator,
+}
+
+impl NodeRole {
+    /// Stable wire byte for the role.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            NodeRole::Source => 0,
+            NodeRole::Worker => 1,
+            NodeRole::Aggregator => 2,
+        }
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_u8(byte: u8) -> Result<Self, WireError> {
+        match byte {
+            0 => Ok(NodeRole::Source),
+            1 => Ok(NodeRole::Worker),
+            2 => Ok(NodeRole::Aggregator),
+            _ => Err(WireError::Malformed("unknown node role")),
+        }
+    }
+
+    /// CLI name of the role.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeRole::Source => "source",
+            NodeRole::Worker => "worker",
+            NodeRole::Aggregator => "aggregator",
+        }
+    }
+}
+
+impl FromStr for NodeRole {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "source" => Ok(NodeRole::Source),
+            "worker" => Ok(NodeRole::Worker),
+            "aggregator" => Ok(NodeRole::Aggregator),
+            other => Err(format!("unknown role: {other}")),
+        }
+    }
+}
+
+/// The run a cluster executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunSpec {
+    /// A single-phase engine run.
+    Engine(EngineConfig),
+    /// A multi-phase scenario run.
+    Scenario(ScenarioConfig),
+}
+
+/// A cluster description: the run plus the node counts it implies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// The run to execute.
+    pub run: RunSpec,
+}
+
+impl ClusterSpec {
+    /// Number of source processes.
+    pub fn sources(&self) -> usize {
+        match &self.run {
+            RunSpec::Engine(cfg) => cfg.sources,
+            RunSpec::Scenario(cfg) => cfg.scenario.sources,
+        }
+    }
+
+    /// Number of worker processes (the spawned universe; scenario phases
+    /// activate a prefix).
+    pub fn workers(&self) -> usize {
+        match &self.run {
+            RunSpec::Engine(cfg) => cfg.workers,
+            RunSpec::Scenario(cfg) => cfg.scenario.max_workers(),
+        }
+    }
+
+    /// Number of aggregator processes.
+    pub fn aggregators(&self) -> usize {
+        match &self.run {
+            RunSpec::Engine(cfg) => cfg.aggregators,
+            RunSpec::Scenario(cfg) => cfg.aggregators,
+        }
+    }
+
+    /// The resolved plan every node runs its stage of.
+    ///
+    /// # Panics
+    /// Panics if the underlying config is structurally invalid.
+    pub fn stage_plan(&self) -> StagePlan {
+        match &self.run {
+            RunSpec::Engine(cfg) => cfg.stage_plan(),
+            RunSpec::Scenario(cfg) => cfg.stage_plan(),
+        }
+    }
+
+    /// Parses the text spec format.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut mode: Option<String> = None;
+        let mut fields: Vec<(String, String)> = Vec::new();
+        let mut phases: Vec<ScenarioPhase> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("line {}: expected `key value`", lineno + 1))?;
+            let value = value.trim();
+            match key {
+                "mode" => mode = Some(value.to_string()),
+                "phase" => phases
+                    .push(parse_phase(value).map_err(|e| format!("line {}: {e}", lineno + 1))?),
+                _ => fields.push((key.to_string(), value.to_string())),
+            }
+        }
+        let take = |name: &str| -> Result<String, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("missing field: {name}"))
+        };
+        let int = |name: &str| -> Result<u64, String> {
+            take(name)?
+                .parse::<u64>()
+                .map_err(|_| format!("field {name} must be an integer"))
+        };
+        let scheme = take("scheme")?
+            .parse::<PartitionerKind>()
+            .map_err(|e| format!("bad scheme: {e}"))?;
+        match mode.as_deref() {
+            Some("engine") => {
+                let cfg = EngineConfig {
+                    kind: scheme,
+                    sources: int("sources")? as usize,
+                    workers: int("workers")? as usize,
+                    keys: int("keys")? as usize,
+                    skew: take("skew")?
+                        .parse::<f64>()
+                        .map_err(|_| "field skew must be a float".to_string())?,
+                    messages: int("messages")?,
+                    service_time_us: int("service_time_us")?,
+                    queue_capacity: int("queue_capacity")? as usize,
+                    seed: int("seed")?,
+                    batch_size: int("batch_size")? as usize,
+                    window_size: int("window_size")?,
+                    aggregators: int("aggregators")? as usize,
+                };
+                Ok(Self {
+                    run: RunSpec::Engine(cfg),
+                })
+            }
+            Some("scenario") => {
+                if phases.is_empty() {
+                    return Err("scenario spec needs at least one `phase` line".into());
+                }
+                let mut scenario = Scenario::new(
+                    take("name")?,
+                    int("sources")? as usize,
+                    int("window_size")?,
+                    int("seed")?,
+                );
+                scenario.phases = phases;
+                let cfg = ScenarioConfig::new(scheme, scenario)
+                    .with_service_time_us(int("service_time_us")?)
+                    .with_queue_capacity(int("queue_capacity")? as usize)
+                    .with_batch_size(int("batch_size")? as usize)
+                    .with_aggregators(int("aggregators")? as usize);
+                cfg.scenario
+                    .validate()
+                    .map_err(|e| format!("invalid scenario: {e}"))?;
+                Ok(Self {
+                    run: RunSpec::Scenario(cfg),
+                })
+            }
+            Some(other) => Err(format!("unknown mode: {other}")),
+            None => Err("missing field: mode".into()),
+        }
+    }
+
+    /// Renders the text spec format; `parse(render(spec)) == spec`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        match &self.run {
+            RunSpec::Engine(cfg) => {
+                line("mode", "engine".into());
+                line("scheme", cfg.kind.symbol().into());
+                line("sources", cfg.sources.to_string());
+                line("workers", cfg.workers.to_string());
+                line("keys", cfg.keys.to_string());
+                line("skew", cfg.skew.to_string());
+                line("messages", cfg.messages.to_string());
+                line("service_time_us", cfg.service_time_us.to_string());
+                line("queue_capacity", cfg.queue_capacity.to_string());
+                line("seed", cfg.seed.to_string());
+                line("batch_size", cfg.batch_size.to_string());
+                line("window_size", cfg.window_size.to_string());
+                line("aggregators", cfg.aggregators.to_string());
+            }
+            RunSpec::Scenario(cfg) => {
+                line("mode", "scenario".into());
+                line("scheme", cfg.kind.symbol().into());
+                line("name", cfg.scenario.name.clone());
+                line("sources", cfg.scenario.sources.to_string());
+                line("window_size", cfg.scenario.window_size.to_string());
+                line("seed", cfg.scenario.seed.to_string());
+                line("service_time_us", cfg.service_time_us.to_string());
+                line("queue_capacity", cfg.queue_capacity.to_string());
+                line("batch_size", cfg.batch_size.to_string());
+                line("aggregators", cfg.aggregators.to_string());
+                for phase in &cfg.scenario.phases {
+                    line("phase", render_phase(phase));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_phase(tokens: &str) -> Result<ScenarioPhase, String> {
+    let mut windows = None;
+    let mut keys = None;
+    let mut skew = None;
+    let mut workers = None;
+    let mut drift_epochs = 1u64;
+    let mut speed: Vec<f64> = Vec::new();
+    let mut burst_tuples = None;
+    let mut pause_us = 0u64;
+    for token in tokens.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("phase token `{token}` is not key=value"))?;
+        let bad = |what: &str| format!("phase {key} must be {what}");
+        match key {
+            "windows" => windows = Some(value.parse::<u64>().map_err(|_| bad("an integer"))?),
+            "keys" => keys = Some(value.parse::<usize>().map_err(|_| bad("an integer"))?),
+            "skew" => skew = Some(value.parse::<f64>().map_err(|_| bad("a float"))?),
+            "workers" => workers = Some(value.parse::<usize>().map_err(|_| bad("an integer"))?),
+            "drift_epochs" => drift_epochs = value.parse::<u64>().map_err(|_| bad("an integer"))?,
+            "speed" => {
+                speed = value
+                    .split(',')
+                    .map(|s| s.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad("a comma-separated float list"))?;
+            }
+            "burst_tuples" => {
+                burst_tuples = Some(value.parse::<u64>().map_err(|_| bad("an integer"))?)
+            }
+            "pause_us" => pause_us = value.parse::<u64>().map_err(|_| bad("an integer"))?,
+            other => return Err(format!("unknown phase field: {other}")),
+        }
+    }
+    let mut phase = ScenarioPhase::new(
+        windows.ok_or("phase needs windows=")?,
+        keys.ok_or("phase needs keys=")?,
+        skew.ok_or("phase needs skew=")?,
+        workers.ok_or("phase needs workers=")?,
+    )
+    .with_drift_epochs(drift_epochs);
+    if !speed.is_empty() {
+        phase = phase.with_worker_speed(speed);
+    }
+    if let Some(burst_tuples) = burst_tuples {
+        phase = phase.with_arrival(Arrival::Bursty {
+            burst_tuples,
+            pause_us,
+        });
+    }
+    Ok(phase)
+}
+
+fn render_phase(phase: &ScenarioPhase) -> String {
+    let mut parts = vec![
+        format!("windows={}", phase.windows),
+        format!("keys={}", phase.keys),
+        format!("skew={}", phase.skew),
+        format!("workers={}", phase.workers),
+    ];
+    if phase.drift_epochs != 1 {
+        parts.push(format!("drift_epochs={}", phase.drift_epochs));
+    }
+    if !phase.worker_speed.is_empty() {
+        let speeds: Vec<String> = phase.worker_speed.iter().map(f64::to_string).collect();
+        parts.push(format!("speed={}", speeds.join(",")));
+    }
+    if let Arrival::Bursty {
+        burst_tuples,
+        pause_us,
+    } = phase.arrival
+    {
+        parts.push(format!("burst_tuples={burst_tuples}"));
+        parts.push(format!("pause_us={pause_us}"));
+    }
+    parts.join(" ")
+}
+
+// ---------------------------------------------------------------------------
+// Binary form (control plane)
+// ---------------------------------------------------------------------------
+
+fn kind_to_u8(kind: PartitionerKind) -> u8 {
+    match kind {
+        PartitionerKind::KeyGrouping => 0,
+        PartitionerKind::ShuffleGrouping => 1,
+        PartitionerKind::Pkg => 2,
+        PartitionerKind::DChoices => 3,
+        PartitionerKind::WChoices => 4,
+        PartitionerKind::RoundRobin => 5,
+    }
+}
+
+fn kind_from_u8(byte: u8) -> Result<PartitionerKind, WireError> {
+    Ok(match byte {
+        0 => PartitionerKind::KeyGrouping,
+        1 => PartitionerKind::ShuffleGrouping,
+        2 => PartitionerKind::Pkg,
+        3 => PartitionerKind::DChoices,
+        4 => PartitionerKind::WChoices,
+        5 => PartitionerKind::RoundRobin,
+        _ => return Err(WireError::Malformed("unknown scheme byte")),
+    })
+}
+
+fn write_f64(out: &mut Vec<u8>, value: f64) {
+    write_u64(out, value.to_bits());
+}
+
+fn read_f64(input: &mut &[u8]) -> Result<f64, WireError> {
+    Ok(f64::from_bits(read_u64(input)?))
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(input: &mut &[u8]) -> Result<String, WireError> {
+    let len = read_u32(input)? as usize;
+    if input.len() < len {
+        return Err(WireError::Malformed("string shorter than its length"));
+    }
+    let s = std::str::from_utf8(&input[..len])
+        .map_err(|_| WireError::Malformed("string is not UTF-8"))?
+        .to_string();
+    *input = &input[len..];
+    Ok(s)
+}
+
+/// Encodes a run spec for the control plane's `Start` frame.
+pub fn encode_run_spec(spec: &RunSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    match spec {
+        RunSpec::Engine(cfg) => {
+            out.push(0);
+            out.push(kind_to_u8(cfg.kind));
+            write_u64(&mut out, cfg.sources as u64);
+            write_u64(&mut out, cfg.workers as u64);
+            write_u64(&mut out, cfg.keys as u64);
+            write_f64(&mut out, cfg.skew);
+            write_u64(&mut out, cfg.messages);
+            write_u64(&mut out, cfg.service_time_us);
+            write_u64(&mut out, cfg.queue_capacity as u64);
+            write_u64(&mut out, cfg.seed);
+            write_u64(&mut out, cfg.batch_size as u64);
+            write_u64(&mut out, cfg.window_size);
+            write_u64(&mut out, cfg.aggregators as u64);
+        }
+        RunSpec::Scenario(cfg) => {
+            out.push(1);
+            out.push(kind_to_u8(cfg.kind));
+            write_u64(&mut out, cfg.service_time_us);
+            write_u64(&mut out, cfg.queue_capacity as u64);
+            write_u64(&mut out, cfg.batch_size as u64);
+            write_u64(&mut out, cfg.aggregators as u64);
+            write_str(&mut out, &cfg.scenario.name);
+            write_u64(&mut out, cfg.scenario.sources as u64);
+            write_u64(&mut out, cfg.scenario.window_size);
+            write_u64(&mut out, cfg.scenario.seed);
+            write_u32(&mut out, cfg.scenario.phases.len() as u32);
+            for phase in &cfg.scenario.phases {
+                write_u64(&mut out, phase.windows);
+                write_u64(&mut out, phase.keys as u64);
+                write_f64(&mut out, phase.skew);
+                write_u64(&mut out, phase.workers as u64);
+                write_u64(&mut out, phase.drift_epochs);
+                write_u32(&mut out, phase.worker_speed.len() as u32);
+                for &speed in &phase.worker_speed {
+                    write_f64(&mut out, speed);
+                }
+                match phase.arrival {
+                    Arrival::Steady => out.push(0),
+                    Arrival::Bursty {
+                        burst_tuples,
+                        pause_us,
+                    } => {
+                        out.push(1);
+                        write_u64(&mut out, burst_tuples);
+                        write_u64(&mut out, pause_us);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a run spec from the control plane's `Start` frame.
+pub fn decode_run_spec(bytes: &[u8]) -> Result<RunSpec, WireError> {
+    use crate::wire::{checked_count, read_u8};
+    let mut input = bytes;
+    let spec = match read_u8(&mut input)? {
+        0 => {
+            let kind = kind_from_u8(read_u8(&mut input)?)?;
+            RunSpec::Engine(EngineConfig {
+                kind,
+                sources: read_u64(&mut input)? as usize,
+                workers: read_u64(&mut input)? as usize,
+                keys: read_u64(&mut input)? as usize,
+                skew: read_f64(&mut input)?,
+                messages: read_u64(&mut input)?,
+                service_time_us: read_u64(&mut input)?,
+                queue_capacity: read_u64(&mut input)? as usize,
+                seed: read_u64(&mut input)?,
+                batch_size: read_u64(&mut input)? as usize,
+                window_size: read_u64(&mut input)?,
+                aggregators: read_u64(&mut input)? as usize,
+            })
+        }
+        1 => {
+            let kind = kind_from_u8(read_u8(&mut input)?)?;
+            let service_time_us = read_u64(&mut input)?;
+            let queue_capacity = read_u64(&mut input)? as usize;
+            let batch_size = read_u64(&mut input)? as usize;
+            let aggregators = read_u64(&mut input)? as usize;
+            let name = read_str(&mut input)?;
+            let sources = read_u64(&mut input)? as usize;
+            let window_size = read_u64(&mut input)?;
+            let seed = read_u64(&mut input)?;
+            let n_phases = read_u32(&mut input)? as usize;
+            let mut scenario = Scenario::new(name, sources, window_size, seed);
+            for _ in 0..n_phases {
+                let windows = read_u64(&mut input)?;
+                let keys = read_u64(&mut input)? as usize;
+                let skew = read_f64(&mut input)?;
+                let workers = read_u64(&mut input)? as usize;
+                let drift_epochs = read_u64(&mut input)?;
+                let n_speeds = read_u32(&mut input)?;
+                let n_speeds = checked_count(input, n_speeds, 8)?;
+                let mut worker_speed = Vec::with_capacity(n_speeds);
+                for _ in 0..n_speeds {
+                    worker_speed.push(read_f64(&mut input)?);
+                }
+                let arrival = match read_u8(&mut input)? {
+                    0 => Arrival::Steady,
+                    1 => Arrival::Bursty {
+                        burst_tuples: read_u64(&mut input)?,
+                        pause_us: read_u64(&mut input)?,
+                    },
+                    _ => return Err(WireError::Malformed("unknown arrival tag")),
+                };
+                let mut phase = ScenarioPhase::new(windows, keys, skew, workers)
+                    .with_drift_epochs(drift_epochs);
+                if !worker_speed.is_empty() {
+                    phase = phase.with_worker_speed(worker_speed);
+                }
+                phase = phase.with_arrival(arrival);
+                scenario = scenario.phase(phase);
+            }
+            RunSpec::Scenario(
+                ScenarioConfig::new(kind, scenario)
+                    .with_service_time_us(service_time_us)
+                    .with_queue_capacity(queue_capacity)
+                    .with_batch_size(batch_size)
+                    .with_aggregators(aggregators),
+            )
+        }
+        _ => return Err(WireError::Malformed("unknown run-spec tag")),
+    };
+    if !input.is_empty() {
+        return Err(WireError::TrailingBytes(input.len()));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_spec() -> ClusterSpec {
+        ClusterSpec {
+            run: RunSpec::Engine(
+                EngineConfig::smoke(PartitionerKind::DChoices, 1.4)
+                    .with_messages(24_000)
+                    .with_service_time_us(0)
+                    .with_seed(9),
+            ),
+        }
+    }
+
+    fn scenario_spec() -> ClusterSpec {
+        let scenario = Scenario::new("demo", 2, 256, 7)
+            .phase(ScenarioPhase::new(2, 400, 1.8, 3))
+            .phase(
+                ScenarioPhase::new(2, 400, 1.25, 5)
+                    .with_drift_epochs(2)
+                    .with_worker_speed(vec![2.0, 1.0, 1.0, 1.0, 1.0]),
+            )
+            .phase(
+                ScenarioPhase::new(1, 200, 0.0, 2).with_arrival(Arrival::Bursty {
+                    burst_tuples: 128,
+                    pause_us: 10,
+                }),
+            );
+        ClusterSpec {
+            run: RunSpec::Scenario(ScenarioConfig::new(PartitionerKind::WChoices, scenario)),
+        }
+    }
+
+    #[test]
+    fn text_spec_round_trips() {
+        for spec in [engine_spec(), scenario_spec()] {
+            let text = spec.render();
+            let back = ClusterSpec::parse(&text).expect("own rendering parses");
+            assert_eq!(back, spec, "text:\n{text}");
+        }
+    }
+
+    #[test]
+    fn binary_spec_round_trips() {
+        for spec in [engine_spec(), scenario_spec()] {
+            let bytes = encode_run_spec(&spec.run);
+            let back = decode_run_spec(&bytes).expect("own encoding decodes");
+            assert_eq!(back, spec.run);
+        }
+    }
+
+    #[test]
+    fn node_counts_follow_the_config() {
+        let engine = engine_spec();
+        assert_eq!(engine.sources(), 2);
+        assert_eq!(engine.workers(), 4);
+        assert_eq!(engine.aggregators(), 2);
+        let scenario = scenario_spec();
+        assert_eq!(scenario.sources(), 2);
+        assert_eq!(scenario.workers(), 5, "max over phases");
+        assert_eq!(scenario.aggregators(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(ClusterSpec::parse("").is_err());
+        assert!(ClusterSpec::parse("mode engine\n").is_err());
+        assert!(ClusterSpec::parse("mode warp\nscheme PKG\n").is_err());
+        assert!(ClusterSpec::parse("mode scenario\nscheme PKG\nname x\nsources 1\nwindow_size 8\nseed 1\nservice_time_us 0\nqueue_capacity 64\nbatch_size 8\naggregators 1\n").is_err(), "no phases");
+        // Comments and blank lines are fine.
+        let text = format!("# cluster\n\n{}", engine_spec().render());
+        assert!(ClusterSpec::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn truncated_binary_specs_error() {
+        let bytes = encode_run_spec(&scenario_spec().run);
+        for cut in 0..bytes.len() {
+            assert!(decode_run_spec(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn roles_round_trip() {
+        for role in [NodeRole::Source, NodeRole::Worker, NodeRole::Aggregator] {
+            assert_eq!(NodeRole::from_u8(role.as_u8()).unwrap(), role);
+            assert_eq!(role.name().parse::<NodeRole>().unwrap(), role);
+        }
+        assert!(NodeRole::from_u8(9).is_err());
+        assert!("driver".parse::<NodeRole>().is_err());
+    }
+}

@@ -1,0 +1,613 @@
+//! The `slb-node` roles and the orchestrator that wires them together.
+//!
+//! A multi-process run has one process per stage instance — `S` sources,
+//! `W` workers, `A` aggregators — plus the orchestrator. Nothing about the
+//! dataflow changes: each node process runs *the same stage function* the
+//! in-process engine threads run ([`run_source_stage`], [`run_worker_stage`],
+//! [`run_aggregator_stage`]), against TCP endpoints instead of crossbeam
+//! ones, over a [`StagePlan`](slb_engine::StagePlan) every process
+//! resolves locally from the same
+//! binary-encoded config. That is the whole equivalence argument: the merged
+//! windowed counts cannot depend on process placement because no routing,
+//! windowing, or merging code branches on it.
+//!
+//! ## Control plane
+//!
+//! ```text
+//! orchestrator                               node (role, index)
+//!      │   spawn `slb-node <role> --index i --control 127.0.0.1:P`
+//!      │ ◀────────────── Hello { role, index, data_port } ──  (workers and
+//!      │                                                       aggregators
+//!      │                                                       bind first)
+//!      │ ── Start { epoch, worker_ports, agg_ports, config } ▶
+//!      │                      sources dial workers, workers dial
+//!      │                      aggregators, stages run to completion
+//!      │ ◀─── SourceReport / WorkerReport / AggregatorReport ──
+//! ```
+//!
+//! Reports are `Instant`-free (spans and latencies travel as µs-since-epoch
+//! and RLE histograms); the orchestrator rebuilds the stage reports and
+//! calls the engine's own [`assemble_result`] — the same merge the
+//! in-process runner uses — then optionally checks the merged counts against
+//! the single-threaded exact reference.
+//!
+//! `slb-node` runs the **count aggregation** ([`CountAggregate`]): exact
+//! merges are what make "a distributed run equals the reference" an equality
+//! statement rather than a statistical one.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command};
+use std::thread;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use slb_core::CountAggregate;
+use slb_engine::transport::{capacity_in_batches, partial_channel_capacity};
+use slb_engine::windows::source_stream;
+use slb_engine::{
+    assemble_result, exact_scenario_windowed_counts, exact_windowed_counts, run_aggregator_stage,
+    run_source_stage, run_worker_stage, AggregatorStageReport, EngineResult, LatencyTracker,
+    WindowId, WindowedRun, WorkerStageReport,
+};
+use slb_workloads::KeyId;
+
+use crate::cluster::{decode_run_spec, encode_run_spec, ClusterSpec, NodeRole, RunSpec};
+use crate::tcp::{TcpPartialReceiver, TcpPartialSender, TcpTupleReceiver, TcpTupleSender};
+use crate::wire::{
+    encode_control_frame, read_frame, rle_encode, AggregatorReportWire, ControlFrame, WireError,
+    WorkerReportWire,
+};
+
+/// How long the control-plane *handshake* (connect + Hello) may take before
+/// the orchestrator declares the cluster wedged and tears it down. Report
+/// reads after `Start` are deliberately unbounded — a healthy run's duration
+/// scales with its config — with liveness watched through the child
+/// processes instead.
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The count partial `slb-node` ships on its worker → aggregator hop.
+type CountPartial = HashMap<KeyId, u64>;
+
+fn io_err(what: &str, e: impl std::fmt::Display) -> String {
+    format!("{what}: {e}")
+}
+
+/// Writes one control frame to `stream`.
+fn send_control(stream: &mut TcpStream, frame: &ControlFrame) -> Result<(), String> {
+    let mut buf = Vec::new();
+    encode_control_frame(frame, &mut buf);
+    stream
+        .write_all(&buf)
+        .map_err(|e| io_err("control write failed", e))
+}
+
+/// Reads one control frame from `reader`.
+fn recv_control(reader: &mut BufReader<TcpStream>) -> Result<ControlFrame, String> {
+    let mut scratch = Vec::new();
+    match read_frame(reader, &mut scratch) {
+        Ok(true) => crate::wire::decode_control_payload(&scratch)
+            .map_err(|e| io_err("control frame malformed", e)),
+        Ok(false) => Err("control peer closed the connection".into()),
+        Err(WireError::Io(e)) => Err(io_err("control read failed", e)),
+        Err(e) => Err(io_err("control read failed", e)),
+    }
+}
+
+/// Maps the orchestrator's wall-clock epoch onto this process's monotonic
+/// clock. Same-machine clock reads make this accurate to the syscall jitter;
+/// it anchors *metrics* only — counts never depend on it.
+fn epoch_from_unix_micros(epoch_unix_micros: u64) -> Instant {
+    let now_instant = Instant::now();
+    let now_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_micros() as u64;
+    if now_unix >= epoch_unix_micros {
+        now_instant
+            .checked_sub(Duration::from_micros(now_unix - epoch_unix_micros))
+            .unwrap_or(now_instant)
+    } else {
+        now_instant + Duration::from_micros(epoch_unix_micros - now_unix)
+    }
+}
+
+fn dial(port: u16) -> Result<TcpStream, String> {
+    TcpStream::connect(("127.0.0.1", port)).map_err(|e| io_err("dialing data port failed", e))
+}
+
+fn tracker_from_rle(runs: &[(u64, u64)]) -> LatencyTracker {
+    let mut tracker = LatencyTracker::new();
+    for &(value, count) in runs {
+        tracker.record_many_us(value, count);
+    }
+    tracker
+}
+
+/// Runs one node process: handshake, data-plane wiring, the stage itself,
+/// and the end-of-run report. Blocks until the stage completes.
+pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), String> {
+    let mut control_stream =
+        TcpStream::connect(control).map_err(|e| io_err("connecting to orchestrator", e))?;
+    // Workers and aggregators bind their data listener *before* saying
+    // hello, so the Start frame can carry every port.
+    let listener = match role {
+        NodeRole::Source => None,
+        NodeRole::Worker | NodeRole::Aggregator => Some(
+            TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_err("binding data listener", e))?,
+        ),
+    };
+    let data_port = listener
+        .as_ref()
+        .map(|l| l.local_addr().map(|a| a.port()))
+        .transpose()
+        .map_err(|e| io_err("reading listener address", e))?
+        .unwrap_or(0);
+    send_control(
+        &mut control_stream,
+        &ControlFrame::Hello {
+            role: role.as_u8(),
+            index: index as u32,
+            data_port,
+        },
+    )?;
+    let mut control_reader = BufReader::new(
+        control_stream
+            .try_clone()
+            .map_err(|e| io_err("cloning control stream", e))?,
+    );
+    let ControlFrame::Start {
+        epoch_unix_micros,
+        worker_ports,
+        aggregator_ports,
+        config,
+    } = recv_control(&mut control_reader)?
+    else {
+        return Err("expected Start frame".into());
+    };
+    let run = decode_run_spec(&config).map_err(|e| io_err("decoding run config", e))?;
+    let spec = ClusterSpec { run };
+    let plan = spec.stage_plan();
+    let epoch = epoch_from_unix_micros(epoch_unix_micros);
+
+    match role {
+        NodeRole::Source => {
+            let mut senders = Vec::with_capacity(worker_ports.len());
+            for &port in &worker_ports {
+                senders.push(TcpTupleSender::new(dial(port)?, epoch));
+            }
+            let sent = match &spec.run {
+                RunSpec::Engine(cfg) => {
+                    run_source_stage(&plan, |_phase| source_stream(cfg, index), &senders)
+                }
+                RunSpec::Scenario(cfg) => run_source_stage(
+                    &plan,
+                    |phase| cfg.scenario.phase_stream(phase, index),
+                    &senders,
+                ),
+            };
+            drop(senders); // EOF to every worker
+            send_control(
+                &mut control_stream,
+                &ControlFrame::SourceReport {
+                    source: index as u32,
+                    sent,
+                },
+            )
+        }
+        NodeRole::Worker => {
+            let listener = listener.expect("workers bind a listener");
+            let mut incoming = Vec::with_capacity(plan.sources);
+            for _ in 0..plan.sources {
+                let (stream, _) = listener
+                    .accept()
+                    .map_err(|e| io_err("accepting source connection", e))?;
+                incoming.push(stream);
+            }
+            let receiver = TcpTupleReceiver::spawn(
+                incoming,
+                epoch,
+                capacity_in_batches(plan.queue_capacity, plan.batch_size),
+            );
+            let mut partial_senders: Vec<TcpPartialSender<CountPartial>> =
+                Vec::with_capacity(aggregator_ports.len());
+            for &port in &aggregator_ports {
+                partial_senders.push(TcpPartialSender::new(dial(port)?, epoch));
+            }
+            let report = run_worker_stage(
+                &plan,
+                index,
+                epoch,
+                &CountAggregate,
+                receiver,
+                &partial_senders,
+            );
+            drop(partial_senders); // EOF to every aggregator
+            send_control(
+                &mut control_stream,
+                &ControlFrame::WorkerReport(WorkerReportWire {
+                    worker: index as u32,
+                    processed: report.processed,
+                    state_keys: report.state_keys,
+                    windows_closed: report.windows_closed,
+                    phase_counts: report.phase_counts,
+                    phase_spans: report.phase_spans,
+                    phase_latencies: report
+                        .phase_latencies
+                        .iter()
+                        .map(|t| rle_encode(t.samples()))
+                        .collect(),
+                }),
+            )
+        }
+        NodeRole::Aggregator => {
+            let listener = listener.expect("aggregators bind a listener");
+            let mut incoming = Vec::with_capacity(plan.spawned_workers);
+            for _ in 0..plan.spawned_workers {
+                let (stream, _) = listener
+                    .accept()
+                    .map_err(|e| io_err("accepting worker connection", e))?;
+                incoming.push(stream);
+            }
+            let receiver = TcpPartialReceiver::<CountPartial>::spawn(
+                incoming,
+                epoch,
+                partial_channel_capacity(plan.spawned_workers),
+            );
+            let report = run_aggregator_stage(plan.spawned_workers, &CountAggregate, receiver);
+            send_control(
+                &mut control_stream,
+                &ControlFrame::AggregatorReport(AggregatorReportWire {
+                    aggregator: index as u32,
+                    merged: report.merged,
+                    latency: rle_encode(report.latencies.samples()),
+                    finalized: report.finalized.into_iter().collect(),
+                }),
+            )
+        }
+    }
+}
+
+/// What a completed multi-process run hands back.
+pub struct OrchestratorOutcome {
+    /// The assembled measurements, merged exactly as the in-process runner
+    /// merges its thread reports.
+    pub result: EngineResult,
+    /// Final merged per-window per-key counts.
+    pub windows: BTreeMap<WindowId, CountPartial>,
+    /// Tuples the sources reported sending (must equal
+    /// `result.processed`).
+    pub sent_total: u64,
+}
+
+/// Errors if any child process has already exited — used during the
+/// handshake, where *no* node may terminate yet (they have not reported).
+fn check_no_child_exited(children: &mut [Child]) -> Result<(), String> {
+    for child in children.iter_mut() {
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(format!(
+                "a node process exited prematurely ({status}) before connecting"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Errors if any child process exited *unsuccessfully* — used while waiting
+/// for reports, where a clean exit is legitimate once a node has reported.
+fn check_no_child_failed(children: &mut [Child]) -> Result<(), String> {
+    for child in children.iter_mut() {
+        if let Ok(Some(status)) = child.try_wait() {
+            if !status.success() {
+                return Err(format!("a node process failed ({status})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One connected child on the control plane.
+struct NodeConn {
+    role: NodeRole,
+    index: usize,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// Spawns the node processes for `spec`, wires the control plane, runs the
+/// cluster to completion, and merges the reports. `node_exe` is the
+/// `slb-node` binary to spawn (usually `std::env::current_exe()`).
+pub fn orchestrate(spec: &ClusterSpec, node_exe: &Path) -> Result<OrchestratorOutcome, String> {
+    let mut children: Vec<Child> = Vec::new();
+    let outcome = orchestrate_inner(spec, node_exe, &mut children);
+    if outcome.is_err() {
+        for child in &mut children {
+            let _ = child.kill();
+        }
+    }
+    for child in &mut children {
+        let _ = child.wait();
+    }
+    outcome
+}
+
+fn orchestrate_inner(
+    spec: &ClusterSpec,
+    node_exe: &Path,
+    children: &mut Vec<Child>,
+) -> Result<OrchestratorOutcome, String> {
+    let plan = spec.stage_plan();
+    let control_listener =
+        TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_err("binding control listener", e))?;
+    let control_addr: SocketAddr = control_listener
+        .local_addr()
+        .map_err(|e| io_err("reading control address", e))?;
+
+    let roles = [
+        (NodeRole::Source, spec.sources()),
+        (NodeRole::Worker, spec.workers()),
+        (NodeRole::Aggregator, spec.aggregators()),
+    ];
+    for (role, count) in roles {
+        for index in 0..count {
+            let child = Command::new(node_exe)
+                .arg(role.name())
+                .arg("--index")
+                .arg(index.to_string())
+                .arg("--control")
+                .arg(control_addr.to_string())
+                .spawn()
+                .map_err(|e| io_err("spawning node process", e))?;
+            children.push(child);
+        }
+    }
+    let total_nodes = children.len();
+
+    // Collect every hello; remember each node's control connection and the
+    // data port it bound. The accept loop is non-blocking with a deadline
+    // and a child-liveness poll: a node that dies before connecting (bind
+    // failure, OOM kill, startup crash) must turn into an error, not an
+    // accept that blocks forever.
+    control_listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("setting control listener non-blocking", e))?;
+    let hello_deadline = Instant::now() + CONTROL_TIMEOUT;
+    let mut conns: Vec<NodeConn> = Vec::with_capacity(total_nodes);
+    let mut ports: HashMap<(u8, u32), u16> = HashMap::new();
+    while conns.len() < total_nodes {
+        let stream = match control_listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                check_no_child_exited(children)?;
+                if Instant::now() > hello_deadline {
+                    return Err(format!(
+                        "timed out waiting for node hellos ({}/{total_nodes} connected)",
+                        conns.len()
+                    ));
+                }
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            Err(e) => return Err(io_err("accepting control connection", e)),
+        };
+        stream
+            .set_nonblocking(false)
+            .map_err(|e| io_err("setting control stream blocking", e))?;
+        // Hellos arrive immediately after connect; a bounded read here is
+        // safe and converts a half-connected node into an error.
+        stream
+            .set_read_timeout(Some(CONTROL_TIMEOUT))
+            .map_err(|e| io_err("setting control timeout", e))?;
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| io_err("cloning control stream", e))?,
+        );
+        let ControlFrame::Hello {
+            role,
+            index,
+            data_port,
+        } = recv_control(&mut reader)?
+        else {
+            return Err("expected Hello frame".into());
+        };
+        ports.insert((role, index), data_port);
+        conns.push(NodeConn {
+            role: NodeRole::from_u8(role).map_err(|e| e.to_string())?,
+            index: index as usize,
+            stream,
+            reader,
+        });
+    }
+
+    let port_of = |role: NodeRole, index: usize| -> Result<u16, String> {
+        ports
+            .get(&(role.as_u8(), index as u32))
+            .copied()
+            .ok_or_else(|| format!("no hello from {} {index}", role.name()))
+    };
+    let worker_ports: Vec<u16> = (0..spec.workers())
+        .map(|w| port_of(NodeRole::Worker, w))
+        .collect::<Result<_, _>>()?;
+    let aggregator_ports: Vec<u16> = (0..spec.aggregators())
+        .map(|a| port_of(NodeRole::Aggregator, a))
+        .collect::<Result<_, _>>()?;
+
+    let epoch_unix_micros = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_micros() as u64;
+    let start_frame = ControlFrame::Start {
+        epoch_unix_micros,
+        worker_ports,
+        aggregator_ports,
+        config: encode_run_spec(&spec.run),
+    };
+    for conn in &mut conns {
+        send_control(&mut conn.stream, &start_frame)?;
+    }
+    let started = Instant::now();
+
+    // One report per node. A healthy run may legitimately outlast any fixed
+    // read timeout (the run duration scales with the config), so the report
+    // reads are *unbounded* — one blocking reader thread per connection —
+    // and liveness is watched through the child processes instead: a child
+    // that dies without reporting fails the run; children that already
+    // reported are free to exit.
+    for conn in &conns {
+        conn.reader
+            .get_ref()
+            .set_read_timeout(None)
+            .map_err(|e| io_err("clearing control timeout", e))?;
+    }
+    let (report_tx, report_rx) = std::sync::mpsc::channel();
+    for conn in conns {
+        let tx = report_tx.clone();
+        let NodeConn {
+            role,
+            index,
+            stream,
+            mut reader,
+        } = conn;
+        thread::spawn(move || {
+            let result = recv_control(&mut reader);
+            let _ = tx.send((role, index, result));
+            drop(stream);
+        });
+    }
+    drop(report_tx);
+
+    let mut sent_total = 0u64;
+    let mut worker_reports: Vec<Option<WorkerStageReport>> =
+        (0..spec.workers()).map(|_| None).collect();
+    let mut aggregator_reports: Vec<AggregatorStageReport<CountPartial>> = Vec::new();
+    let mut outstanding = total_nodes;
+    // Ticks observed with every child exited but reports still missing: the
+    // grace period for reports already in the socket buffers.
+    let mut drained_ticks = 0u32;
+    while outstanding > 0 {
+        let (role, index, frame) = match report_rx.recv_timeout(Duration::from_secs(1)) {
+            Ok(message) => message,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                check_no_child_failed(children)?;
+                if children
+                    .iter_mut()
+                    .all(|c| matches!(c.try_wait(), Ok(Some(_))))
+                {
+                    drained_ticks += 1;
+                    if drained_ticks > 10 {
+                        return Err(format!(
+                            "every node process exited but {outstanding} report(s) \
+                                 never arrived"
+                        ));
+                    }
+                }
+                continue;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(format!(
+                    "control connections closed with {outstanding} report(s) missing"
+                ))
+            }
+        };
+        let frame = frame.map_err(|e| format!("{} {index}: {e}", role.name()))?;
+        outstanding -= 1;
+        match frame {
+            ControlFrame::SourceReport { sent, .. } => sent_total += sent,
+            ControlFrame::WorkerReport(report) => {
+                let slot = worker_reports
+                    .get_mut(report.worker as usize)
+                    .ok_or("worker report index out of range")?;
+                *slot = Some(WorkerStageReport {
+                    processed: report.processed,
+                    phase_counts: report.phase_counts,
+                    phase_latencies: report
+                        .phase_latencies
+                        .iter()
+                        .map(|runs| tracker_from_rle(runs))
+                        .collect(),
+                    state_keys: report.state_keys,
+                    windows_closed: report.windows_closed,
+                    phase_spans: report.phase_spans,
+                });
+            }
+            ControlFrame::AggregatorReport(report) => {
+                aggregator_reports.push(AggregatorStageReport {
+                    finalized: report.finalized.into_iter().collect(),
+                    latencies: tracker_from_rle(&report.latency),
+                    merged: report.merged,
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "unexpected control frame from {} {index}",
+                    role.name()
+                ))
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let worker_reports: Vec<WorkerStageReport> = worker_reports
+        .into_iter()
+        .enumerate()
+        .map(|(w, r)| r.ok_or(format!("no report from worker {w}")))
+        .collect::<Result<_, _>>()?;
+
+    let WindowedRun { result, windows } = assemble_result(
+        &plan,
+        &CountAggregate,
+        worker_reports,
+        aggregator_reports,
+        elapsed,
+    );
+    if sent_total != result.processed {
+        return Err(format!(
+            "lost tuples: sources sent {} but workers processed {}",
+            sent_total, result.processed
+        ));
+    }
+    Ok(OrchestratorOutcome {
+        result,
+        windows,
+        sent_total,
+    })
+}
+
+/// The single-threaded exact reference for the spec's run — what the merged
+/// windowed counts of a correct distributed run must equal bit for bit.
+pub fn exact_reference(spec: &ClusterSpec) -> BTreeMap<WindowId, CountPartial> {
+    match &spec.run {
+        RunSpec::Engine(cfg) => exact_windowed_counts(cfg),
+        RunSpec::Scenario(cfg) => exact_scenario_windowed_counts(&cfg.scenario),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_mapping_is_monotone_and_close_to_now() {
+        let now_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .as_micros() as u64;
+        let epoch = epoch_from_unix_micros(now_unix);
+        // The mapped instant is within a second of "now" on any sane clock.
+        assert!(epoch.elapsed() < Duration::from_secs(1));
+        let earlier = epoch_from_unix_micros(now_unix.saturating_sub(5_000_000));
+        assert!(earlier <= epoch);
+    }
+
+    #[test]
+    fn rle_tracker_round_trip() {
+        let mut tracker = LatencyTracker::new();
+        tracker.record_many_us(7, 300);
+        tracker.record_us(12);
+        tracker.record_many_us(7, 2);
+        let runs = rle_encode(tracker.samples());
+        assert_eq!(runs, vec![(7, 300), (12, 1), (7, 2)]);
+        assert_eq!(tracker_from_rle(&runs).samples(), tracker.samples());
+    }
+}

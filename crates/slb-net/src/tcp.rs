@@ -1,0 +1,517 @@
+//! TCP channels implementing the engine's [`Transport`] contract.
+//!
+//! Each engine channel becomes one or more TCP connections carrying the wire
+//! frames of [`crate::wire`]:
+//!
+//! * a **sender handle** serializes messages under a mutex and writes one
+//!   complete frame per message straight to the socket (the engine already
+//!   batches tuples, so a frame is ≥ one transport batch — no extra
+//!   buffering layer is needed, and a blocking `write` propagates TCP
+//!   back-pressure to the sending stage). Handles are cloned per sending
+//!   stage instance; when the **last** clone drops, an [`tag::EOF`] frame is
+//!   written and the write side shuts down.
+//! * a **receiver handle** owns one reader thread per incoming connection;
+//!   readers decode frames and push messages into one shared *bounded*
+//!   crossbeam queue sized by the engine's `queue_capacity`-derived batch
+//!   budget ([`slb_engine::capacity_in_batches`]). A full queue blocks the
+//!   readers, the kernel's TCP window fills, and the remote senders block —
+//!   the same back-pressure chain as the in-process backend, with the
+//!   kernel's socket buffers as the only extra slack.
+//!
+//! FIFO per sender holds: each sending stage writes its frames in order to
+//! one socket, TCP preserves byte order, and the reader enqueues in frame
+//! order. That is exactly the ordering the window-punctuation protocol
+//! needs.
+//!
+//! `Instant`s never cross a socket. A [`TcpTransport`] carries the run's
+//! *epoch*; timestamps travel as µs-since-epoch and are rebased on arrival.
+//! In-process (the differential and perf suites) both endpoints share one
+//! epoch, so latency metrics are exact up to µs quantization; across
+//! processes `slb-node` aligns epochs through the orchestrator's wall-clock
+//! handshake, so metrics additionally absorb (same-machine) clock offset.
+//! Merged *counts* — the correctness obligation — never depend on
+//! timestamps.
+//!
+//! A reader thread that receives a *malformed* frame **aborts the
+//! process**: inside a run, a corrupt frame means a bug (or a foreign
+//! writer), and anything softer would let the run finish looking healthy —
+//! a detached thread's panic is indistinguishable from a clean disconnect
+//! to the receiving stage, which would silently break the exactness
+//! invariant the engine is built around. The codec itself stays total
+//! (errors, not panics) — see the `wire_props` suite.
+
+use std::io::{BufReader, Write};
+use std::marker::PhantomData;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use slb_core::WirePartial;
+use slb_engine::transport::{
+    ChannelClosed, PartialReceiver, PartialSender, PartialWindow, SourceMessage, Transport,
+    TupleBatch, TupleReceiver, TupleSender,
+};
+use slb_engine::WindowId;
+
+use crate::wire::{
+    self, encode_partial_frame, encode_tuple_frame, read_frame, tag, PartialFrame, TupleFrame,
+};
+
+/// Converts an [`Instant`] to wire form: µs since the transport epoch.
+pub fn instant_to_us(epoch: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(epoch).as_micros() as u64
+}
+
+/// Rebases a wire timestamp onto the local clock: epoch + µs.
+pub fn us_to_instant(epoch: Instant, us: u64) -> Instant {
+    epoch
+        .checked_add(Duration::from_micros(us))
+        .unwrap_or(epoch)
+}
+
+/// Socket + reusable encode buffer, locked per send.
+struct FramedWriter {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// Shared core of a sender handle. On last-drop it writes an EOF frame and
+/// shuts the write side down, which is what terminates the remote reader.
+struct SenderCore {
+    writer: Mutex<FramedWriter>,
+    epoch: Instant,
+}
+
+impl SenderCore {
+    fn new(stream: TcpStream, epoch: Instant) -> Self {
+        Self {
+            writer: Mutex::new(FramedWriter {
+                stream,
+                buf: Vec::with_capacity(4 * 1024),
+            }),
+            epoch,
+        }
+    }
+
+    /// Encodes with `encode` into the shared buffer and writes one frame.
+    fn send_frame(&self, encode: impl FnOnce(&mut Vec<u8>, Instant)) -> Result<(), ChannelClosed> {
+        let mut writer = self.writer.lock().expect("sender lock poisoned");
+        let FramedWriter { stream, buf } = &mut *writer;
+        buf.clear();
+        encode(buf, self.epoch);
+        stream.write_all(buf).map_err(|_| ChannelClosed)
+    }
+}
+
+impl Drop for SenderCore {
+    fn drop(&mut self) {
+        // Best effort: the peer may already be gone.
+        if let Ok(mut writer) = self.writer.lock() {
+            let FramedWriter { stream, buf } = &mut *writer;
+            buf.clear();
+            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.push(tag::EOF);
+            let _ = stream.write_all(buf);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+        }
+    }
+}
+
+/// Source → worker sender over one TCP connection. Clonable; the connection
+/// carries an EOF frame when the last clone drops.
+#[derive(Clone)]
+pub struct TcpTupleSender {
+    core: Arc<SenderCore>,
+}
+
+impl TcpTupleSender {
+    /// Wraps a connected stream. `epoch` anchors the wire timestamps.
+    pub fn new(stream: TcpStream, epoch: Instant) -> Self {
+        let _ = stream.set_nodelay(true);
+        Self {
+            core: Arc::new(SenderCore::new(stream, epoch)),
+        }
+    }
+}
+
+impl TupleSender for TcpTupleSender {
+    fn send(&self, message: SourceMessage) -> Result<(), ChannelClosed> {
+        self.core.send_frame(|buf, epoch| {
+            let frame = match message {
+                SourceMessage::Batch(TupleBatch {
+                    keys,
+                    window,
+                    emitted_at,
+                }) => TupleFrame::Batch {
+                    window,
+                    emitted_us: instant_to_us(epoch, emitted_at),
+                    keys,
+                },
+                SourceMessage::CloseWindow { window } => TupleFrame::Close { window },
+            };
+            encode_tuple_frame(&frame, buf);
+        })
+    }
+}
+
+/// Worker → aggregator sender over one TCP connection.
+pub struct TcpPartialSender<P> {
+    core: Arc<SenderCore>,
+    _partial: PhantomData<fn(P)>,
+}
+
+impl<P> Clone for TcpPartialSender<P> {
+    fn clone(&self) -> Self {
+        Self {
+            core: Arc::clone(&self.core),
+            _partial: PhantomData,
+        }
+    }
+}
+
+impl<P> TcpPartialSender<P> {
+    /// Wraps a connected stream. `epoch` anchors the wire timestamps.
+    pub fn new(stream: TcpStream, epoch: Instant) -> Self {
+        let _ = stream.set_nodelay(true);
+        Self {
+            core: Arc::new(SenderCore::new(stream, epoch)),
+            _partial: PhantomData,
+        }
+    }
+}
+
+impl<P> PartialSender<P> for TcpPartialSender<P>
+where
+    P: WirePartial + Send + 'static,
+{
+    fn send(&self, message: PartialWindow<P>) -> Result<(), ChannelClosed> {
+        self.core.send_frame(|buf, epoch| {
+            let frame = PartialFrame::Partial {
+                window: message.window,
+                closed_us: instant_to_us(epoch, message.closed_at),
+                partial: message.partial,
+            };
+            encode_partial_frame(&frame, buf);
+        })
+    }
+}
+
+/// A transport invariant broke mid-run: an unreadable socket or a corrupt
+/// frame. This runs on a *detached* reader thread, where a panic would look
+/// exactly like a clean disconnect to the receiving stage (the queue sender
+/// drops, `recv_batch` reports `ChannelClosed`) — in a release build the run
+/// would then complete "successfully" with silently missing data. Abort the
+/// whole process instead: a truncated run must never masquerade as a good
+/// one.
+fn die_on_transport_error(peer: &str, error: impl std::fmt::Display) -> ! {
+    eprintln!("fatal transport error from {peer}: {error}");
+    std::process::abort();
+}
+
+/// Spawns one reader thread per connection; all feed `queue_tx`. `decode`
+/// turns one frame payload into a message (`None` for EOF) or reports the
+/// frame as corrupt.
+fn spawn_readers<T, F>(streams: Vec<TcpStream>, queue_tx: Sender<T>, decode: F)
+where
+    T: Send + 'static,
+    F: Fn(&[u8]) -> Result<Option<T>, wire::WireError> + Send + Clone + 'static,
+{
+    for stream in streams {
+        let tx = queue_tx.clone();
+        let decode = decode.clone();
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        thread::spawn(move || {
+            let mut reader = BufReader::with_capacity(256 * 1024, stream);
+            let mut scratch: Vec<u8> = Vec::new();
+            loop {
+                match read_frame(&mut reader, &mut scratch) {
+                    Ok(false) => break, // clean socket EOF
+                    Ok(true) => match decode(&scratch) {
+                        Ok(None) => break, // EOF frame
+                        Ok(Some(message)) => {
+                            if tx.send(message).is_err() {
+                                // Receiver gone: the run is tearing down.
+                                break;
+                            }
+                        }
+                        Err(e) => die_on_transport_error(&peer, e),
+                    },
+                    Err(e) => die_on_transport_error(&peer, e),
+                }
+            }
+            // Dropping `tx` disconnects the queue once every sibling reader
+            // is done too.
+        });
+    }
+    drop(queue_tx);
+}
+
+/// Source → worker receiver: merges any number of incoming connections into
+/// one bounded queue the worker drains with `recv_batch`.
+pub struct TcpTupleReceiver {
+    queue: Receiver<SourceMessage>,
+}
+
+impl TcpTupleReceiver {
+    /// Spawns the reader threads. `capacity_batches` bounds the shared
+    /// queue — the transport-side realization of the engine's
+    /// `queue_capacity`.
+    pub fn spawn(streams: Vec<TcpStream>, epoch: Instant, capacity_batches: usize) -> Self {
+        for s in &streams {
+            let _ = s.set_nodelay(true);
+        }
+        let (tx, rx) = bounded::<SourceMessage>(capacity_batches);
+        spawn_readers(streams, tx, move |payload| {
+            Ok(match wire::decode_tuple_payload(payload)? {
+                TupleFrame::Batch {
+                    window,
+                    emitted_us,
+                    keys,
+                } => Some(SourceMessage::Batch(TupleBatch {
+                    keys,
+                    window: window as WindowId,
+                    emitted_at: us_to_instant(epoch, emitted_us),
+                })),
+                TupleFrame::Close { window } => Some(SourceMessage::CloseWindow { window }),
+                TupleFrame::Eof => None,
+            })
+        });
+        Self { queue: rx }
+    }
+}
+
+impl TupleReceiver for TcpTupleReceiver {
+    fn recv_batch(&self, out: &mut Vec<SourceMessage>) -> Result<usize, ChannelClosed> {
+        self.queue
+            .recv_batch(out, usize::MAX)
+            .map_err(|_| ChannelClosed)
+    }
+}
+
+/// Worker → aggregator receiver: merges any number of incoming connections
+/// into one bounded queue the aggregator drains with `recv_batch`.
+pub struct TcpPartialReceiver<P> {
+    queue: Receiver<PartialWindow<P>>,
+}
+
+impl<P> TcpPartialReceiver<P>
+where
+    P: WirePartial + Send + 'static,
+{
+    /// Spawns the reader threads over `streams` with a bounded merge queue.
+    pub fn spawn(streams: Vec<TcpStream>, epoch: Instant, capacity_messages: usize) -> Self {
+        for s in &streams {
+            let _ = s.set_nodelay(true);
+        }
+        let (tx, rx) = bounded::<PartialWindow<P>>(capacity_messages);
+        spawn_readers(streams, tx, move |payload| {
+            Ok(match wire::decode_partial_payload::<P>(payload)? {
+                PartialFrame::Partial {
+                    window,
+                    closed_us,
+                    partial,
+                } => Some(PartialWindow {
+                    window,
+                    partial,
+                    closed_at: us_to_instant(epoch, closed_us),
+                }),
+                PartialFrame::Eof => None,
+            })
+        });
+        Self { queue: rx }
+    }
+}
+
+impl<P> PartialReceiver<P> for TcpPartialReceiver<P>
+where
+    P: WirePartial + Send + 'static,
+{
+    fn recv_batch(&self, out: &mut Vec<PartialWindow<P>>) -> Result<usize, ChannelClosed> {
+        self.queue
+            .recv_batch(out, usize::MAX)
+            .map_err(|_| ChannelClosed)
+    }
+}
+
+/// Binds an ephemeral loopback listener and returns a connected
+/// client/server stream pair over it.
+fn loopback_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
+    let addr = listener.local_addr().expect("listener address");
+    let client = TcpStream::connect(addr).expect("connect loopback");
+    let (server, _) = listener.accept().expect("accept loopback");
+    (client, server)
+}
+
+/// The TCP transport backend: every engine channel becomes a loopback TCP
+/// connection carrying wire frames. Drop-in for [`slb_engine::InProc`] via
+/// [`Topology::run_windowed_on`](slb_engine::Topology::run_windowed_on) —
+/// the cross-backend differential suite proves the merged windowed counts
+/// are bit-identical.
+///
+/// This is also the building block of the multi-process deployment: the
+/// `slb-node` roles construct the same senders/receivers from accepted and
+/// dialed sockets instead of loopback pairs.
+pub struct TcpTransport {
+    epoch: Instant,
+}
+
+impl TcpTransport {
+    /// A transport whose epoch is "now" — the usual choice just before a
+    /// run starts.
+    pub fn loopback() -> Self {
+        Self::with_epoch(Instant::now())
+    }
+
+    /// A transport anchored at an explicit epoch (multi-process runs align
+    /// all nodes on one orchestrator-chosen epoch).
+    pub fn with_epoch(epoch: Instant) -> Self {
+        Self { epoch }
+    }
+
+    /// The epoch wire timestamps are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::loopback()
+    }
+}
+
+impl<P> Transport<P> for TcpTransport
+where
+    P: WirePartial + Send + 'static,
+{
+    type TupleTx = TcpTupleSender;
+    type TupleRx = TcpTupleReceiver;
+    type PartialTx = TcpPartialSender<P>;
+    type PartialRx = TcpPartialReceiver<P>;
+
+    fn tuple_channels(
+        &self,
+        workers: usize,
+        capacity_batches: usize,
+    ) -> (Vec<Self::TupleTx>, Vec<Self::TupleRx>) {
+        (0..workers)
+            .map(|_| {
+                let (client, server) = loopback_pair();
+                (
+                    TcpTupleSender::new(client, self.epoch),
+                    TcpTupleReceiver::spawn(vec![server], self.epoch, capacity_batches),
+                )
+            })
+            .unzip()
+    }
+
+    fn partial_channels(
+        &self,
+        aggregators: usize,
+        capacity_messages: usize,
+    ) -> (Vec<Self::PartialTx>, Vec<Self::PartialRx>) {
+        (0..aggregators)
+            .map(|_| {
+                let (client, server) = loopback_pair();
+                (
+                    TcpPartialSender::new(client, self.epoch),
+                    TcpPartialReceiver::spawn(vec![server], self.epoch, capacity_messages),
+                )
+            })
+            .unzip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn tuple_channel_delivers_batches_punctuation_and_eof() {
+        let transport = TcpTransport::loopback();
+        let (txs, rxs) = Transport::<u64>::tuple_channels(&transport, 1, 4);
+        let tx = txs.into_iter().next().unwrap();
+        let rx = rxs.into_iter().next().unwrap();
+        let epoch = transport.epoch();
+        tx.send(SourceMessage::Batch(TupleBatch {
+            keys: vec![10, 20, 30],
+            window: 2,
+            emitted_at: epoch + Duration::from_micros(55),
+        }))
+        .unwrap();
+        tx.send(SourceMessage::CloseWindow { window: 2 }).unwrap();
+        drop(tx);
+        let mut got: Vec<SourceMessage> = Vec::new();
+        while rx.recv_batch(&mut got).is_ok() {}
+        assert_eq!(got.len(), 2);
+        match &got[0] {
+            SourceMessage::Batch(batch) => {
+                assert_eq!(batch.keys, vec![10, 20, 30]);
+                assert_eq!(batch.window, 2);
+                assert_eq!(instant_to_us(epoch, batch.emitted_at), 55);
+            }
+            _ => panic!("expected batch first"),
+        }
+        assert!(matches!(got[1], SourceMessage::CloseWindow { window: 2 }));
+    }
+
+    #[test]
+    fn partial_channel_round_trips_count_partials() {
+        let transport = TcpTransport::loopback();
+        let (txs, rxs) = Transport::<HashMap<u64, u64>>::partial_channels(&transport, 1, 4);
+        let tx = txs.into_iter().next().unwrap();
+        let rx = rxs.into_iter().next().unwrap();
+        let mut counts = HashMap::new();
+        counts.insert(5u64, 3u64);
+        counts.insert(9, 1);
+        tx.send(PartialWindow {
+            window: 4,
+            partial: counts.clone(),
+            closed_at: Instant::now(),
+        })
+        .unwrap();
+        drop(tx);
+        let mut got = Vec::new();
+        while rx.recv_batch(&mut got).is_ok() {}
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].window, 4);
+        assert_eq!(got[0].partial, counts);
+    }
+
+    #[test]
+    fn cloned_senders_share_one_connection_and_eof_fires_on_last_drop() {
+        let transport = TcpTransport::loopback();
+        let (txs, rxs) = Transport::<u64>::tuple_channels(&transport, 1, 8);
+        let tx = txs.into_iter().next().unwrap();
+        let rx = rxs.into_iter().next().unwrap();
+        let clones: Vec<TcpTupleSender> = (0..4).map(|_| tx.clone()).collect();
+        drop(tx);
+        for (i, clone) in clones.iter().enumerate() {
+            clone
+                .send(SourceMessage::CloseWindow { window: i as u64 })
+                .unwrap();
+        }
+        drop(clones);
+        let mut got = Vec::new();
+        while rx.recv_batch(&mut got).is_ok() {}
+        assert_eq!(got.len(), 4, "EOF must come only after every message");
+    }
+
+    #[test]
+    fn timestamp_rebasing_is_inverse_up_to_saturation() {
+        let epoch = Instant::now();
+        for us in [0u64, 1, 999_999, 12_345_678] {
+            assert_eq!(instant_to_us(epoch, us_to_instant(epoch, us)), us);
+        }
+        // Pre-epoch instants clamp to zero rather than panicking.
+        let earlier = epoch - Duration::from_secs(1);
+        assert_eq!(instant_to_us(epoch, earlier), 0);
+    }
+}

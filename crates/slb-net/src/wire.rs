@@ -1,0 +1,835 @@
+//! The length-prefixed binary wire format.
+//!
+//! Every message on an `slb-net` socket is one *frame*:
+//!
+//! ```text
+//! ┌────────────┬─────────┬──────────────────────────────┐
+//! │ len: u32le │ tag: u8 │ body: len−1 bytes            │
+//! └────────────┴─────────┴──────────────────────────────┘
+//! ```
+//!
+//! `len` counts the tag byte plus the body, so a reader can skip or buffer a
+//! frame without understanding it. All integers are little-endian fixed
+//! width; collections are a `u32` count followed by the elements; `f64`s
+//! travel as their IEEE-754 bit patterns (`to_bits`), so configs round-trip
+//! bit-exactly. There are three frame families:
+//!
+//! * **tuple frames** ([`TupleFrame`]) — the source → worker hop: tuple
+//!   batches, window-close punctuation, and the end-of-stream marker.
+//! * **partial frames** ([`PartialFrame`]) — the worker → aggregator hop:
+//!   per-window partial aggregates, encoded through the
+//!   [`WirePartial`] hook in `slb-core`, plus end-of-stream.
+//! * **control frames** ([`ControlFrame`]) — the `slb-node` control plane:
+//!   hello/start handshakes and the per-stage end-of-run reports.
+//!
+//! Timestamps on the wire are microseconds since the run's shared epoch —
+//! `Instant`s never cross a socket; the TCP layer converts at the edges.
+//!
+//! Decoding is **total**: any byte sequence either decodes to a frame or
+//! returns a [`WireError`] — truncated, oversized, mis-tagged, or otherwise
+//! malformed input must never panic (the property suite in
+//! `tests/wire_props.rs` pins this down, along with round-trip identity).
+
+use std::io::{self, Read, Write};
+
+use slb_core::wire::{read_u32, read_u64, write_u32, write_u64, PartialDecodeError, WirePartial};
+
+/// Hard ceiling on one frame's payload (tag + body), defending the decoder
+/// against allocating on a corrupt length prefix. Generous: the largest
+/// legitimate frames are worker reports carrying run-length-encoded latency
+/// histograms, well under a mebibyte.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frame tags. Data-plane tags stay below 16; control-plane tags start at 16.
+pub mod tag {
+    /// A batch of same-window tuples.
+    pub const BATCH: u8 = 1;
+    /// Window-close punctuation.
+    pub const CLOSE: u8 = 2;
+    /// A per-window partial aggregate slice.
+    pub const PARTIAL: u8 = 3;
+    /// End of stream: the sender will write nothing further.
+    pub const EOF: u8 = 4;
+    /// Node → orchestrator: role, index, and data port.
+    pub const HELLO: u8 = 16;
+    /// Orchestrator → node: epoch, peer ports, and the run configuration.
+    pub const START: u8 = 17;
+    /// Source → orchestrator end-of-run report.
+    pub const SOURCE_REPORT: u8 = 18;
+    /// Worker → orchestrator end-of-run report.
+    pub const WORKER_REPORT: u8 = 19;
+    /// Aggregator → orchestrator end-of-run report.
+    pub const AGGREGATOR_REPORT: u8 = 20;
+}
+
+/// Everything that can go wrong turning bytes into frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The input ended inside a frame (header or body).
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is zero).
+    BadLength(usize),
+    /// The tag byte names no known frame type for this channel.
+    BadTag(u8),
+    /// The body parsed but violated a structural invariant.
+    Malformed(&'static str),
+    /// The body decoded to a frame with bytes left over.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o failed: {e}"),
+            WireError::Truncated => f.write_str("frame truncated"),
+            WireError::BadLength(len) => write!(f, "bad frame length {len}"),
+            WireError::BadTag(tag) => write!(f, "unknown frame tag {tag}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame body"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<PartialDecodeError> for WireError {
+    fn from(e: PartialDecodeError) -> Self {
+        WireError::Malformed(e.0)
+    }
+}
+
+/// One message on a source → worker socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleFrame {
+    /// A batch of same-window tuples.
+    Batch {
+        /// The window every key belongs to.
+        window: u64,
+        /// Batch emit time, µs since the run epoch.
+        emitted_us: u64,
+        /// The routed keys, in source emission order.
+        keys: Vec<u64>,
+    },
+    /// Punctuation: the sender finished `window`.
+    Close {
+        /// The finished window.
+        window: u64,
+    },
+    /// End of stream.
+    Eof,
+}
+
+/// One message on a worker → aggregator socket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartialFrame<P> {
+    /// One worker's finalized partial for one window, sliced to this
+    /// aggregator's shard.
+    Partial {
+        /// The window the partial belongs to.
+        window: u64,
+        /// Worker close time, µs since the run epoch.
+        closed_us: u64,
+        /// The shard slice.
+        partial: P,
+    },
+    /// End of stream.
+    Eof,
+}
+
+/// A worker's end-of-run report, `Instant`-free so it can cross a socket.
+/// Latency trackers travel as run-length-encoded `(value_us, count)` pairs —
+/// the batched engine records one value per batch for the whole batch, so
+/// the RLE is tiny compared to the raw per-tuple samples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerReportWire {
+    /// Worker index within the spawned universe.
+    pub worker: u32,
+    /// Tuples processed.
+    pub processed: u64,
+    /// Distinct keys held in state.
+    pub state_keys: u64,
+    /// Windows finalized.
+    pub windows_closed: u64,
+    /// Tuples processed per phase.
+    pub phase_counts: Vec<u64>,
+    /// Per-phase `(first, last)` batch-completion stamps, µs since epoch.
+    pub phase_spans: Vec<Option<(u64, u64)>>,
+    /// Per-phase latency samples, run-length encoded as `(value_us, count)`.
+    pub phase_latencies: Vec<Vec<(u64, u64)>>,
+}
+
+/// An aggregator's end-of-run report. The finalized windows carry exact
+/// per-key counts (`slb-node` runs the count aggregation — the one the
+/// differential proof is stated over).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AggregatorReportWire {
+    /// Aggregator shard index.
+    pub aggregator: u32,
+    /// Partial-window messages merged.
+    pub merged: u64,
+    /// Close→merge latency samples, run-length encoded.
+    pub latency: Vec<(u64, u64)>,
+    /// Final merged per-key counts per window this shard owned.
+    pub finalized: Vec<(u64, std::collections::HashMap<u64, u64>)>,
+}
+
+/// One message on an `slb-node` control socket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlFrame {
+    /// Node → orchestrator, immediately after connecting: who am I, and —
+    /// for workers and aggregators — which port my data listener bound.
+    Hello {
+        /// Role byte (see `cluster::NodeRole`).
+        role: u8,
+        /// Index within the role (source 0..S, worker 0..W, aggregator 0..A).
+        index: u32,
+        /// Bound data port; 0 for sources (they only dial out).
+        data_port: u16,
+    },
+    /// Orchestrator → node: the run is fully assembled, go.
+    Start {
+        /// Shared run epoch, µs since `UNIX_EPOCH`; every node anchors its
+        /// wire timestamps to this instant.
+        epoch_unix_micros: u64,
+        /// Data ports of workers 0..W (sources dial these).
+        worker_ports: Vec<u16>,
+        /// Data ports of aggregators 0..A (workers dial these).
+        aggregator_ports: Vec<u16>,
+        /// The encoded run configuration (see `cluster::RunSpec`).
+        config: Vec<u8>,
+    },
+    /// Source → orchestrator: tuples sent.
+    SourceReport {
+        /// Source index.
+        source: u32,
+        /// Tuples the source shipped.
+        sent: u64,
+    },
+    /// Worker → orchestrator end-of-run report.
+    WorkerReport(WorkerReportWire),
+    /// Aggregator → orchestrator end-of-run report.
+    AggregatorReport(AggregatorReportWire),
+}
+
+/// Reserves a frame header in `out`, returning the patch position.
+fn begin_frame(out: &mut Vec<u8>, tag: u8) -> usize {
+    let at = out.len();
+    write_u32(out, 0); // patched by end_frame
+    out.push(tag);
+    at
+}
+
+/// Patches the length prefix of the frame begun at `at`.
+fn end_frame(out: &mut [u8], at: usize) {
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn write_u16(out: &mut Vec<u8>, value: u16) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn read_u16(input: &mut &[u8]) -> Result<u16, WireError> {
+    if input.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let (bytes, rest) = input.split_at(2);
+    *input = rest;
+    Ok(u16::from_le_bytes(bytes.try_into().expect("2-byte split")))
+}
+
+pub(crate) fn read_u8(input: &mut &[u8]) -> Result<u8, WireError> {
+    let (&byte, rest) = input.split_first().ok_or(WireError::Truncated)?;
+    *input = rest;
+    Ok(byte)
+}
+
+/// Guards a `u32` element count against the bytes actually present.
+pub(crate) fn checked_count(
+    input: &[u8],
+    count: u32,
+    min_bytes_per_element: usize,
+) -> Result<usize, WireError> {
+    let count = count as usize;
+    if input.len() < count.saturating_mul(min_bytes_per_element) {
+        return Err(WireError::Malformed("collection shorter than its length"));
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------------
+// Tuple frames
+// ---------------------------------------------------------------------------
+
+/// Appends one complete tuple frame (header, tag, body) to `out`.
+pub fn encode_tuple_frame(frame: &TupleFrame, out: &mut Vec<u8>) {
+    match frame {
+        TupleFrame::Batch {
+            window,
+            emitted_us,
+            keys,
+        } => {
+            let at = begin_frame(out, tag::BATCH);
+            write_u64(out, *window);
+            write_u64(out, *emitted_us);
+            write_u32(out, keys.len() as u32);
+            for &key in keys {
+                write_u64(out, key);
+            }
+            end_frame(out, at);
+        }
+        TupleFrame::Close { window } => {
+            let at = begin_frame(out, tag::CLOSE);
+            write_u64(out, *window);
+            end_frame(out, at);
+        }
+        TupleFrame::Eof => {
+            let at = begin_frame(out, tag::EOF);
+            end_frame(out, at);
+        }
+    }
+}
+
+/// Decodes a tuple frame's payload (tag byte + body, the part after the
+/// length prefix).
+pub fn decode_tuple_payload(payload: &[u8]) -> Result<TupleFrame, WireError> {
+    let mut input = payload;
+    let frame = match read_u8(&mut input)? {
+        tag::BATCH => {
+            let window = read_u64(&mut input).map_err(WireError::from)?;
+            let emitted_us = read_u64(&mut input)?;
+            let count = read_u32(&mut input)?;
+            let count = checked_count(input, count, 8)?;
+            let mut keys = Vec::with_capacity(count);
+            for _ in 0..count {
+                keys.push(read_u64(&mut input)?);
+            }
+            TupleFrame::Batch {
+                window,
+                emitted_us,
+                keys,
+            }
+        }
+        tag::CLOSE => TupleFrame::Close {
+            window: read_u64(&mut input)?,
+        },
+        tag::EOF => TupleFrame::Eof,
+        other => return Err(WireError::BadTag(other)),
+    };
+    if !input.is_empty() {
+        return Err(WireError::TrailingBytes(input.len()));
+    }
+    Ok(frame)
+}
+
+/// Decodes one complete tuple frame from the front of `buf`, returning the
+/// frame and the total bytes consumed (header included).
+pub fn decode_tuple_frame(buf: &[u8]) -> Result<(TupleFrame, usize), WireError> {
+    let payload = split_frame(buf)?;
+    let frame = decode_tuple_payload(payload)?;
+    Ok((frame, 4 + payload.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Partial frames
+// ---------------------------------------------------------------------------
+
+/// Appends one complete partial frame to `out`, encoding the partial through
+/// its [`WirePartial`] hook.
+pub fn encode_partial_frame<P: WirePartial>(frame: &PartialFrame<P>, out: &mut Vec<u8>) {
+    match frame {
+        PartialFrame::Partial {
+            window,
+            closed_us,
+            partial,
+        } => {
+            let at = begin_frame(out, tag::PARTIAL);
+            write_u64(out, *window);
+            write_u64(out, *closed_us);
+            partial.encode_partial(out);
+            end_frame(out, at);
+        }
+        PartialFrame::Eof => {
+            let at = begin_frame(out, tag::EOF);
+            end_frame(out, at);
+        }
+    }
+}
+
+/// Decodes a partial frame's payload (tag byte + body).
+pub fn decode_partial_payload<P: WirePartial>(
+    payload: &[u8],
+) -> Result<PartialFrame<P>, WireError> {
+    let mut input = payload;
+    let frame = match read_u8(&mut input)? {
+        tag::PARTIAL => {
+            let window = read_u64(&mut input)?;
+            let closed_us = read_u64(&mut input)?;
+            let partial = P::decode_partial(&mut input)?;
+            PartialFrame::Partial {
+                window,
+                closed_us,
+                partial,
+            }
+        }
+        tag::EOF => PartialFrame::Eof,
+        other => return Err(WireError::BadTag(other)),
+    };
+    if !input.is_empty() {
+        return Err(WireError::TrailingBytes(input.len()));
+    }
+    Ok(frame)
+}
+
+/// Decodes one complete partial frame from the front of `buf`, returning the
+/// frame and the total bytes consumed.
+pub fn decode_partial_frame<P: WirePartial>(
+    buf: &[u8],
+) -> Result<(PartialFrame<P>, usize), WireError> {
+    let payload = split_frame(buf)?;
+    let frame = decode_partial_payload(payload)?;
+    Ok((frame, 4 + payload.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Control frames
+// ---------------------------------------------------------------------------
+
+fn write_u64_list(out: &mut Vec<u8>, values: &[u64]) {
+    write_u32(out, values.len() as u32);
+    for &v in values {
+        write_u64(out, v);
+    }
+}
+
+fn read_u64_list(input: &mut &[u8]) -> Result<Vec<u64>, WireError> {
+    let count = read_u32(input)?;
+    let count = checked_count(input, count, 8)?;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(read_u64(input)?);
+    }
+    Ok(values)
+}
+
+fn write_rle(out: &mut Vec<u8>, runs: &[(u64, u64)]) {
+    write_u32(out, runs.len() as u32);
+    for &(value, count) in runs {
+        write_u64(out, value);
+        write_u64(out, count);
+    }
+}
+
+fn read_rle(input: &mut &[u8]) -> Result<Vec<(u64, u64)>, WireError> {
+    let count = read_u32(input)?;
+    let count = checked_count(input, count, 16)?;
+    let mut runs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let value = read_u64(input)?;
+        let n = read_u64(input)?;
+        runs.push((value, n));
+    }
+    Ok(runs)
+}
+
+/// Appends one complete control frame to `out`.
+pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
+    match frame {
+        ControlFrame::Hello {
+            role,
+            index,
+            data_port,
+        } => {
+            let at = begin_frame(out, tag::HELLO);
+            out.push(*role);
+            write_u32(out, *index);
+            write_u16(out, *data_port);
+            end_frame(out, at);
+        }
+        ControlFrame::Start {
+            epoch_unix_micros,
+            worker_ports,
+            aggregator_ports,
+            config,
+        } => {
+            let at = begin_frame(out, tag::START);
+            write_u64(out, *epoch_unix_micros);
+            write_u32(out, worker_ports.len() as u32);
+            for &p in worker_ports {
+                write_u16(out, p);
+            }
+            write_u32(out, aggregator_ports.len() as u32);
+            for &p in aggregator_ports {
+                write_u16(out, p);
+            }
+            write_u32(out, config.len() as u32);
+            out.extend_from_slice(config);
+            end_frame(out, at);
+        }
+        ControlFrame::SourceReport { source, sent } => {
+            let at = begin_frame(out, tag::SOURCE_REPORT);
+            write_u32(out, *source);
+            write_u64(out, *sent);
+            end_frame(out, at);
+        }
+        ControlFrame::WorkerReport(report) => {
+            let at = begin_frame(out, tag::WORKER_REPORT);
+            write_u32(out, report.worker);
+            write_u64(out, report.processed);
+            write_u64(out, report.state_keys);
+            write_u64(out, report.windows_closed);
+            write_u64_list(out, &report.phase_counts);
+            write_u32(out, report.phase_spans.len() as u32);
+            for span in &report.phase_spans {
+                match span {
+                    None => out.push(0),
+                    Some((first, last)) => {
+                        out.push(1);
+                        write_u64(out, *first);
+                        write_u64(out, *last);
+                    }
+                }
+            }
+            write_u32(out, report.phase_latencies.len() as u32);
+            for runs in &report.phase_latencies {
+                write_rle(out, runs);
+            }
+            end_frame(out, at);
+        }
+        ControlFrame::AggregatorReport(report) => {
+            let at = begin_frame(out, tag::AGGREGATOR_REPORT);
+            write_u32(out, report.aggregator);
+            write_u64(out, report.merged);
+            write_rle(out, &report.latency);
+            write_u32(out, report.finalized.len() as u32);
+            for (window, counts) in &report.finalized {
+                write_u64(out, *window);
+                counts.encode_partial(out);
+            }
+            end_frame(out, at);
+        }
+    }
+}
+
+/// Decodes a control frame's payload (tag byte + body).
+pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError> {
+    let mut input = payload;
+    let frame = match read_u8(&mut input)? {
+        tag::HELLO => ControlFrame::Hello {
+            role: read_u8(&mut input)?,
+            index: read_u32(&mut input)?,
+            data_port: read_u16(&mut input)?,
+        },
+        tag::START => {
+            let epoch_unix_micros = read_u64(&mut input)?;
+            let workers = read_u32(&mut input)?;
+            let workers = checked_count(input, workers, 2)?;
+            let mut worker_ports = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                worker_ports.push(read_u16(&mut input)?);
+            }
+            let aggregators = read_u32(&mut input)?;
+            let aggregators = checked_count(input, aggregators, 2)?;
+            let mut aggregator_ports = Vec::with_capacity(aggregators);
+            for _ in 0..aggregators {
+                aggregator_ports.push(read_u16(&mut input)?);
+            }
+            let config_len = read_u32(&mut input)?;
+            let config_len = checked_count(input, config_len, 1)?;
+            let config = input[..config_len].to_vec();
+            input = &input[config_len..];
+            ControlFrame::Start {
+                epoch_unix_micros,
+                worker_ports,
+                aggregator_ports,
+                config,
+            }
+        }
+        tag::SOURCE_REPORT => ControlFrame::SourceReport {
+            source: read_u32(&mut input)?,
+            sent: read_u64(&mut input)?,
+        },
+        tag::WORKER_REPORT => {
+            let worker = read_u32(&mut input)?;
+            let processed = read_u64(&mut input)?;
+            let state_keys = read_u64(&mut input)?;
+            let windows_closed = read_u64(&mut input)?;
+            let phase_counts = read_u64_list(&mut input)?;
+            let spans = read_u32(&mut input)?;
+            let spans = checked_count(input, spans, 1)?;
+            let mut phase_spans = Vec::with_capacity(spans);
+            for _ in 0..spans {
+                phase_spans.push(match read_u8(&mut input)? {
+                    0 => None,
+                    1 => {
+                        let first = read_u64(&mut input)?;
+                        let last = read_u64(&mut input)?;
+                        Some((first, last))
+                    }
+                    _ => return Err(WireError::Malformed("span flag must be 0 or 1")),
+                });
+            }
+            let phases = read_u32(&mut input)?;
+            let phases = checked_count(input, phases, 4)?;
+            let mut phase_latencies = Vec::with_capacity(phases);
+            for _ in 0..phases {
+                phase_latencies.push(read_rle(&mut input)?);
+            }
+            ControlFrame::WorkerReport(WorkerReportWire {
+                worker,
+                processed,
+                state_keys,
+                windows_closed,
+                phase_counts,
+                phase_spans,
+                phase_latencies,
+            })
+        }
+        tag::AGGREGATOR_REPORT => {
+            let aggregator = read_u32(&mut input)?;
+            let merged = read_u64(&mut input)?;
+            let latency = read_rle(&mut input)?;
+            let windows = read_u32(&mut input)?;
+            let windows = checked_count(input, windows, 12)?;
+            let mut finalized = Vec::with_capacity(windows);
+            for _ in 0..windows {
+                let window = read_u64(&mut input)?;
+                let counts = std::collections::HashMap::<u64, u64>::decode_partial(&mut input)?;
+                finalized.push((window, counts));
+            }
+            ControlFrame::AggregatorReport(AggregatorReportWire {
+                aggregator,
+                merged,
+                latency,
+                finalized,
+            })
+        }
+        other => return Err(WireError::BadTag(other)),
+    };
+    if !input.is_empty() {
+        return Err(WireError::TrailingBytes(input.len()));
+    }
+    Ok(frame)
+}
+
+/// Decodes one complete control frame from the front of `buf`, returning the
+/// frame and the total bytes consumed.
+pub fn decode_control_frame(buf: &[u8]) -> Result<(ControlFrame, usize), WireError> {
+    let payload = split_frame(buf)?;
+    let frame = decode_control_payload(payload)?;
+    Ok((frame, 4 + payload.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Framing over byte slices and sockets
+// ---------------------------------------------------------------------------
+
+/// Splits the payload (tag + body) of the frame at the front of `buf`,
+/// validating the length prefix.
+pub fn split_frame(buf: &[u8]) -> Result<&[u8], WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let (header, rest) = buf.split_at(4);
+    let len = u32::from_le_bytes(header.try_into().expect("4-byte split")) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    if rest.len() < len {
+        return Err(WireError::Truncated);
+    }
+    Ok(&rest[..len])
+}
+
+/// Reads one frame's payload (tag + body) from `reader` into `scratch`.
+/// Returns `Ok(false)` on a clean end of stream (EOF exactly at a frame
+/// boundary); EOF inside a frame is [`WireError::Truncated`].
+pub fn read_frame<R: Read>(reader: &mut R, scratch: &mut Vec<u8>) -> Result<bool, WireError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match reader.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    scratch.clear();
+    scratch.resize(len, 0);
+    reader.read_exact(scratch).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Ok(true)
+}
+
+/// Writes pre-encoded frame bytes (as produced by the `encode_*` functions).
+pub fn write_frame_bytes<W: Write>(writer: &mut W, bytes: &[u8]) -> io::Result<()> {
+    writer.write_all(bytes)
+}
+
+/// Run-length encodes a latency tracker's samples as `(value_us, count)`
+/// pairs. The batched engine records one value per drained batch, so
+/// adjacent samples repeat and the RLE is compact.
+pub fn rle_encode(samples: &[u64]) -> Vec<(u64, u64)> {
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for &value in samples {
+        match runs.last_mut() {
+            Some((last, count)) if *last == value => *count += 1,
+            _ => runs.push((value, 1)),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_frames_round_trip() {
+        for frame in [
+            TupleFrame::Batch {
+                window: 7,
+                emitted_us: 123_456,
+                keys: vec![1, 2, 3, u64::MAX],
+            },
+            TupleFrame::Batch {
+                window: 0,
+                emitted_us: 0,
+                keys: vec![],
+            },
+            TupleFrame::Close { window: 99 },
+            TupleFrame::Eof,
+        ] {
+            let mut buf = Vec::new();
+            encode_tuple_frame(&frame, &mut buf);
+            let (back, consumed) = decode_tuple_frame(&buf).expect("own encoding decodes");
+            assert_eq!(back, frame);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let mut buf = Vec::new();
+        encode_tuple_frame(&TupleFrame::Close { window: 1 }, &mut buf);
+        encode_tuple_frame(&TupleFrame::Eof, &mut buf);
+        let (first, consumed) = decode_tuple_frame(&buf).unwrap();
+        assert_eq!(first, TupleFrame::Close { window: 1 });
+        let (second, rest) = decode_tuple_frame(&buf[consumed..]).unwrap();
+        assert_eq!(second, TupleFrame::Eof);
+        assert_eq!(consumed + rest, buf.len());
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_rejected() {
+        assert!(matches!(
+            split_frame(&[0, 0, 0, 0, 9]),
+            Err(WireError::BadLength(0))
+        ));
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        assert!(matches!(
+            split_frame(&[huge[0], huge[1], huge[2], huge[3]]),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_eof_from_truncation() {
+        let mut buf = Vec::new();
+        encode_tuple_frame(&TupleFrame::Close { window: 5 }, &mut buf);
+        // Clean: whole frame then EOF.
+        let mut reader = io::Cursor::new(buf.clone());
+        let mut scratch = Vec::new();
+        assert!(read_frame(&mut reader, &mut scratch).unwrap());
+        assert_eq!(
+            decode_tuple_payload(&scratch).unwrap(),
+            TupleFrame::Close { window: 5 }
+        );
+        assert!(!read_frame(&mut reader, &mut scratch).unwrap());
+        // Truncated: EOF mid-frame.
+        for cut in 1..buf.len() {
+            let mut reader = io::Cursor::new(buf[..cut].to_vec());
+            assert!(
+                matches!(
+                    read_frame(&mut reader, &mut scratch),
+                    Err(WireError::Truncated)
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let mut counts = std::collections::HashMap::new();
+        counts.insert(3u64, 14u64);
+        for frame in [
+            ControlFrame::Hello {
+                role: 1,
+                index: 3,
+                data_port: 40_123,
+            },
+            ControlFrame::Start {
+                epoch_unix_micros: 1_234_567_890,
+                worker_ports: vec![1000, 2000, 3000],
+                aggregator_ports: vec![4000],
+                config: vec![1, 2, 3, 4, 5],
+            },
+            ControlFrame::SourceReport {
+                source: 2,
+                sent: 88,
+            },
+            ControlFrame::WorkerReport(WorkerReportWire {
+                worker: 1,
+                processed: 500,
+                state_keys: 17,
+                windows_closed: 4,
+                phase_counts: vec![300, 200],
+                phase_spans: vec![Some((10, 90)), None],
+                phase_latencies: vec![vec![(5, 200), (9, 100)], vec![]],
+            }),
+            ControlFrame::AggregatorReport(AggregatorReportWire {
+                aggregator: 0,
+                merged: 12,
+                latency: vec![(2, 12)],
+                finalized: vec![(0, counts)],
+            }),
+        ] {
+            let mut buf = Vec::new();
+            encode_control_frame(&frame, &mut buf);
+            let (back, consumed) = decode_control_frame(&buf).expect("own encoding decodes");
+            assert_eq!(back, frame);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn rle_compresses_batched_samples() {
+        assert_eq!(rle_encode(&[]), vec![]);
+        assert_eq!(rle_encode(&[7, 7, 7, 9, 7]), vec![(7, 3), (9, 1), (7, 1)]);
+    }
+}

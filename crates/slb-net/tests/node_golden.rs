@@ -1,0 +1,181 @@
+//! Golden end-to-end tests for `slb-node`: real processes, real sockets.
+//!
+//! Each test writes a cluster spec, runs `slb-node orchestrate --spec ...
+//! --verify`, and asserts the orchestrator (1) completes, (2) reports the
+//! expected tuple totals, and (3) prints `exact-reference=MATCH` — i.e. the
+//! merged windowed counts of the multi-process run are bit-identical to the
+//! single-threaded exact reference. This is the acceptance check that the
+//! topology survives crossing process boundaries.
+//!
+//! The orchestrator, the S+W+A child processes, the control plane, the data
+//! plane, the report merge, and the verification all run exactly as a user
+//! would invoke them (`CARGO_BIN_EXE_slb-node` is the built binary).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn node_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_slb-node")
+}
+
+/// Writes `spec` to a unique temp file and returns its path.
+fn write_spec(name: &str, spec: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("slb-node-{name}-{}.spec", std::process::id()));
+    std::fs::write(&path, spec).expect("write spec file");
+    path
+}
+
+fn run_orchestrate(spec_path: &PathBuf) -> (String, String, bool) {
+    let output = Command::new(node_exe())
+        .arg("orchestrate")
+        .arg("--spec")
+        .arg(spec_path)
+        .arg("--verify")
+        .output()
+        .expect("spawn slb-node orchestrate");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn engine_run_over_processes_matches_exact_reference() {
+    let seed = std::env::var("SLB_TEST_SEED").unwrap_or_else(|_| "42".into());
+    let spec = format!(
+        "# golden: single-phase engine run across 2+3+2 processes\n\
+         mode engine\n\
+         scheme PKG\n\
+         sources 2\n\
+         workers 3\n\
+         keys 500\n\
+         skew 1.6\n\
+         messages 12000\n\
+         service_time_us 0\n\
+         queue_capacity 256\n\
+         seed {seed}\n\
+         batch_size 64\n\
+         window_size 1024\n\
+         aggregators 2\n"
+    );
+    let path = write_spec("engine", &spec);
+    let (stdout, stderr, ok) = run_orchestrate(&path);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        ok,
+        "orchestrate failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("processed=12000"),
+        "expected every tuple processed\n{stdout}"
+    );
+    assert!(
+        stdout.contains("sent=12000"),
+        "expected every tuple sent\n{stdout}"
+    );
+    assert!(
+        stdout.contains("exact-reference=MATCH"),
+        "multi-process counts diverged from the reference\n{stdout}\n{stderr}"
+    );
+}
+
+#[test]
+fn scenario_run_over_processes_matches_exact_reference() {
+    let seed = std::env::var("SLB_TEST_SEED").unwrap_or_else(|_| "7".into());
+    // Drift, scale-out (3 → 4 workers), heterogeneity, and a bursty
+    // scale-in phase — the full scenario machinery across processes.
+    let spec = format!(
+        "mode scenario\n\
+         scheme D-C\n\
+         name golden\n\
+         sources 2\n\
+         window_size 256\n\
+         seed {seed}\n\
+         service_time_us 0\n\
+         queue_capacity 256\n\
+         batch_size 64\n\
+         aggregators 2\n\
+         phase windows=2 keys=400 skew=1.8 workers=3\n\
+         phase windows=2 keys=400 skew=1.2 workers=4 drift_epochs=2 speed=2,1,1,1\n\
+         phase windows=1 keys=200 skew=0 workers=2 burst_tuples=96 pause_us=5\n"
+    );
+    let path = write_spec("scenario", &spec);
+    let (stdout, stderr, ok) = run_orchestrate(&path);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        ok,
+        "orchestrate failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // 2 sources × 5 windows × 256 tuples.
+    assert!(
+        stdout.contains("processed=2560"),
+        "expected every tuple processed\n{stdout}"
+    );
+    assert!(
+        stdout.contains("phase 2:"),
+        "expected per-phase metrics for all 3 phases\n{stdout}"
+    );
+    assert!(
+        stdout.contains("exact-reference=MATCH"),
+        "multi-process scenario counts diverged from the reference\n{stdout}\n{stderr}"
+    );
+}
+
+#[test]
+fn orchestrate_rejects_a_bad_spec() {
+    let path = write_spec("bad", "mode engine\nscheme PKG\n");
+    let output = Command::new(node_exe())
+        .arg("orchestrate")
+        .arg("--spec")
+        .arg(&path)
+        .output()
+        .expect("spawn slb-node orchestrate");
+    let _ = std::fs::remove_file(&path);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("missing field"),
+        "expected a parse error, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn node_cli_rejects_unknown_modes() {
+    let output = Command::new(node_exe())
+        .arg("conduct")
+        .output()
+        .expect("spawn slb-node");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown mode"));
+}
+
+#[test]
+fn orchestrate_fails_fast_when_children_exit_without_hello() {
+    // Spawning `true` as the node binary makes every child exit immediately
+    // without ever connecting to the control plane; the orchestrator must
+    // turn that into an error instead of blocking in accept forever.
+    use slb_net::cluster::{ClusterSpec, RunSpec};
+    use slb_net::node::orchestrate;
+    let spec = ClusterSpec {
+        run: RunSpec::Engine(
+            slb_engine::EngineConfig::smoke(slb_core::PartitionerKind::Pkg, 1.4)
+                .with_messages(4_000)
+                .with_service_time_us(0),
+        ),
+    };
+    let started = std::time::Instant::now();
+    let err = orchestrate(&spec, std::path::Path::new("true"))
+        .err()
+        .expect("dead children must fail the run");
+    assert!(
+        err.contains("exited prematurely"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "fast-fail took {:?}",
+        started.elapsed()
+    );
+}

@@ -1,0 +1,373 @@
+//! Property suite for the wire codec: round-trip identity and totality.
+//!
+//! Two families of properties, over randomly generated frames and partials:
+//!
+//! 1. **Round-trip identity** — `decode(encode(x)) == x` for every frame
+//!    type (tuple, partial over all three aggregate partial kinds, control)
+//!    and for the binary run-spec encoding, consuming exactly the bytes the
+//!    encoder produced (so frames concatenate on a stream).
+//! 2. **Totality on bad input** — every strict prefix of a valid encoding
+//!    decodes to an *error*, flipped tags decode to an error, and arbitrary
+//!    byte soup never panics a decoder. A remote peer's bytes are
+//!    untrusted; decoding must fail loudly but gracefully.
+//!
+//! The offline proptest shim has no `prop_map`, so frames are constructed
+//! in the test bodies from primitive inputs; coverage across frame variants
+//! comes from one property per variant.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use slb_core::wire::WirePartial;
+use slb_core::PartitionerKind;
+use slb_engine::{EngineConfig, ScenarioConfig};
+use slb_net::cluster::{decode_run_spec, encode_run_spec, RunSpec};
+use slb_net::wire::{
+    decode_control_frame, decode_partial_frame, decode_tuple_frame, encode_control_frame,
+    encode_partial_frame, encode_tuple_frame, rle_encode, AggregatorReportWire, ControlFrame,
+    PartialFrame, TupleFrame, WorkerReportWire,
+};
+use slb_sketch::{FrequencyEstimator, SpaceSaving};
+use slb_workloads::{Arrival, Scenario, ScenarioPhase};
+
+/// Deterministically derives a count map from a key vector (the shim has no
+/// tuple strategies; the derived counts still cover 1..2¹⁶ widely).
+fn counts_from(keys: &[u64]) -> HashMap<u64, u64> {
+    keys.iter().map(|&k| (k, (k >> 16 & 0xFFFF) | 1)).collect()
+}
+
+/// Builds one of each control-frame variant from primitive raw material, so
+/// every variant round-trips under the same random inputs.
+fn control_frames(raw: &[u64], ports: &[u16], samples: &[u64], keys: &[u64]) -> Vec<ControlFrame> {
+    let at = |i: usize| raw.get(i).copied().unwrap_or(0);
+    let runs = rle_encode(samples);
+    vec![
+        ControlFrame::Hello {
+            role: at(0) as u8,
+            index: at(1) as u32,
+            data_port: at(2) as u16,
+        },
+        ControlFrame::Start {
+            epoch_unix_micros: at(3),
+            worker_ports: ports.to_vec(),
+            aggregator_ports: ports.iter().rev().copied().collect(),
+            config: samples.iter().map(|&s| s as u8).collect(),
+        },
+        ControlFrame::SourceReport {
+            source: at(4) as u32,
+            sent: at(5),
+        },
+        ControlFrame::WorkerReport(WorkerReportWire {
+            worker: at(6) as u32,
+            processed: at(7),
+            state_keys: at(8),
+            windows_closed: at(9),
+            phase_counts: raw.to_vec(),
+            phase_spans: raw
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i % 3 != 0).then_some((v, v.saturating_add(i as u64))))
+                .collect(),
+            phase_latencies: vec![runs.clone(), Vec::new(), rle_encode(raw)],
+        }),
+        ControlFrame::AggregatorReport(AggregatorReportWire {
+            aggregator: at(10) as u32,
+            merged: at(11),
+            latency: runs,
+            finalized: vec![(at(12), counts_from(keys)), (at(13), HashMap::new())],
+        }),
+    ]
+}
+
+proptest! {
+    // 64 cases locally; ci.sh raises this via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases_env(64))]
+
+    #[test]
+    fn batch_frames_round_trip(
+        window in any::<u64>(),
+        emitted_us in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 0..600),
+    ) {
+        let frame = TupleFrame::Batch { window, emitted_us, keys: keys.clone() };
+        let mut buf = Vec::new();
+        encode_tuple_frame(&frame, &mut buf);
+        let (back, consumed) = decode_tuple_frame(&buf).expect("own encoding decodes");
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn close_and_eof_frames_round_trip_and_concatenate(window in any::<u64>()) {
+        let mut buf = Vec::new();
+        encode_tuple_frame(&TupleFrame::Close { window }, &mut buf);
+        encode_tuple_frame(&TupleFrame::Eof, &mut buf);
+        let (first, consumed) = decode_tuple_frame(&buf).expect("first frame decodes");
+        prop_assert_eq!(first, TupleFrame::Close { window });
+        let (second, rest) = decode_tuple_frame(&buf[consumed..]).expect("second frame decodes");
+        prop_assert_eq!(second, TupleFrame::Eof);
+        prop_assert_eq!(consumed + rest, buf.len());
+    }
+
+    #[test]
+    fn tuple_frame_prefixes_error_not_panic(
+        window in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 0..64),
+        fraction in 0.0f64..1.0,
+    ) {
+        let frame = TupleFrame::Batch { window, emitted_us: 7, keys: keys.clone() };
+        let mut buf = Vec::new();
+        encode_tuple_frame(&frame, &mut buf);
+        let cut = ((buf.len() - 1) as f64 * fraction) as usize;
+        prop_assert!(decode_tuple_frame(&buf[..cut]).is_err(), "prefix of {} bytes decoded", cut);
+    }
+
+    #[test]
+    fn tuple_frame_bad_tags_error(window in any::<u64>(), tag in 5u8..255) {
+        let mut buf = Vec::new();
+        encode_tuple_frame(&TupleFrame::Close { window }, &mut buf);
+        buf[4] = tag; // corrupt the tag byte; length prefix stays valid
+        prop_assert!(decode_tuple_frame(&buf).is_err());
+    }
+
+    #[test]
+    fn count_partial_frames_round_trip(
+        window in any::<u64>(),
+        closed_us in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 0..400),
+    ) {
+        let frame = PartialFrame::Partial { window, closed_us, partial: counts_from(&keys) };
+        let mut buf = Vec::new();
+        encode_partial_frame(&frame, &mut buf);
+        let (back, consumed) = decode_partial_frame::<HashMap<u64, u64>>(&buf).expect("decodes");
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn sum_partial_frames_round_trip(window in any::<u64>(), closed_us in any::<u64>(), sum in any::<u64>()) {
+        let frame = PartialFrame::Partial { window, closed_us, partial: sum };
+        let mut buf = Vec::new();
+        encode_partial_frame(&frame, &mut buf);
+        let (back, consumed) = decode_partial_frame::<u64>(&buf).expect("decodes");
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn top_k_partial_frames_round_trip(
+        stream in proptest::collection::vec(0u64..500, 0..2_000),
+        capacity in 1usize..128,
+        window in any::<u64>(),
+    ) {
+        let mut summary = SpaceSaving::<u64>::new(capacity);
+        for key in &stream {
+            summary.observe(key);
+        }
+        let frame = PartialFrame::Partial { window, closed_us: 9, partial: summary.clone() };
+        let mut buf = Vec::new();
+        encode_partial_frame(&frame, &mut buf);
+        let (back, consumed) = decode_partial_frame::<SpaceSaving<u64>>(&buf).expect("decodes");
+        prop_assert_eq!(consumed, buf.len());
+        let PartialFrame::Partial { partial: decoded, window: w, .. } = back else {
+            panic!("expected a partial frame back");
+        };
+        prop_assert_eq!(w, window);
+        prop_assert_eq!(decoded.total(), summary.total());
+        prop_assert_eq!(decoded.capacity(), summary.capacity());
+        // Counter content is order-free among ties: compare key-sorted.
+        let by_key = |s: &SpaceSaving<u64>| {
+            let mut counters = s.sorted_counters();
+            counters.sort_by_key(|c| c.key);
+            counters
+        };
+        prop_assert_eq!(by_key(&decoded), by_key(&summary));
+    }
+
+    #[test]
+    fn partial_frame_prefixes_error_not_panic(
+        keys in proptest::collection::vec(any::<u64>(), 0..200),
+        fraction in 0.0f64..1.0,
+    ) {
+        let frame = PartialFrame::Partial { window: 3, closed_us: 4, partial: counts_from(&keys) };
+        let mut buf = Vec::new();
+        encode_partial_frame(&frame, &mut buf);
+        let cut = ((buf.len() - 1) as f64 * fraction) as usize;
+        prop_assert!(decode_partial_frame::<HashMap<u64, u64>>(&buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn control_frames_round_trip(
+        raw in proptest::collection::vec(any::<u64>(), 14..20),
+        ports in proptest::collection::vec(any::<u16>(), 0..16),
+        samples in proptest::collection::vec(0u64..100, 0..200),
+        keys in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        for frame in control_frames(&raw, &ports, &samples, &keys) {
+            let mut buf = Vec::new();
+            encode_control_frame(&frame, &mut buf);
+            let (back, consumed) = decode_control_frame(&buf).expect("own encoding decodes");
+            prop_assert_eq!(back, frame);
+            prop_assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn control_frame_prefixes_error_not_panic(
+        raw in proptest::collection::vec(any::<u64>(), 14..20),
+        ports in proptest::collection::vec(any::<u16>(), 0..16),
+        samples in proptest::collection::vec(0u64..100, 0..200),
+        keys in proptest::collection::vec(any::<u64>(), 0..100),
+        fraction in 0.0f64..1.0,
+    ) {
+        for frame in control_frames(&raw, &ports, &samples, &keys) {
+            let mut buf = Vec::new();
+            encode_control_frame(&frame, &mut buf);
+            let cut = ((buf.len() - 1) as f64 * fraction) as usize;
+            prop_assert!(decode_control_frame(&buf[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics_any_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // The result may be Ok (the bytes can accidentally form a frame) —
+        // the property is that no input panics.
+        let _ = decode_tuple_frame(&bytes);
+        let _ = decode_partial_frame::<HashMap<u64, u64>>(&bytes);
+        let _ = decode_partial_frame::<u64>(&bytes);
+        let _ = decode_partial_frame::<SpaceSaving<u64>>(&bytes);
+        let _ = decode_control_frame(&bytes);
+        let _ = decode_run_spec(&bytes);
+    }
+
+    #[test]
+    fn engine_run_specs_round_trip_bit_exactly(
+        kind_idx in 0usize..6,
+        sources in 1usize..6,
+        workers in 1usize..9,
+        keys in 1usize..5_000,
+        messages in 0u64..400_000,
+        skew in 0.0f64..2.5,
+        window_size in 1u64..5_000,
+        queue_capacity in 1usize..2_000,
+        batch_size in 1usize..1_024,
+        service_time_us in 0u64..10_000,
+        aggregators in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let spec = RunSpec::Engine(EngineConfig {
+            kind: PartitionerKind::ALL[kind_idx],
+            sources,
+            workers,
+            keys,
+            skew,
+            messages,
+            service_time_us,
+            queue_capacity,
+            seed,
+            batch_size,
+            window_size,
+            aggregators,
+        });
+        let bytes = encode_run_spec(&spec);
+        let back = decode_run_spec(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&back, &spec);
+        // PartialEq compares floats; additionally pin the bit pattern.
+        let (RunSpec::Engine(a), RunSpec::Engine(b)) = (&back, &spec) else {
+            panic!("variant changed in round trip");
+        };
+        prop_assert_eq!(a.skew.to_bits(), b.skew.to_bits());
+        // Every strict prefix errors.
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_run_spec(&bytes[..cut]).is_err(), "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn scenario_run_specs_round_trip_bit_exactly(
+        kind_idx in 0usize..6,
+        name in ".{0,12}",
+        sources in 1usize..5,
+        window_size in 1u64..512,
+        seed in any::<u64>(),
+        phase_windows in proptest::collection::vec(1u64..5, 1..4),
+        phase_keys in proptest::collection::vec(1usize..2_000, 1..4),
+        phase_skews in proptest::collection::vec(0.0f64..2.5, 1..4),
+        phase_workers in proptest::collection::vec(1usize..8, 1..4),
+        burst in proptest::collection::vec(0u64..500, 1..4),
+        speed_len in 0usize..8,
+        service_time_us in 0u64..200,
+    ) {
+        // Derived rather than drawn: the shim's debug tuple caps at 12 inputs.
+        let aggregators = 1 + speed_len % 3;
+        let n = phase_windows.len();
+        let mut scenario = Scenario::new(name.clone(), sources, window_size, seed);
+        for p in 0..n {
+            let keys = phase_keys[p % phase_keys.len()];
+            let skew = phase_skews[p % phase_skews.len()];
+            let workers = phase_workers[p % phase_workers.len()];
+            let mut phase = ScenarioPhase::new(phase_windows[p], keys, skew, workers);
+            if speed_len > 0 && p == 0 {
+                phase = phase.with_worker_speed(
+                    (0..workers).map(|w| 1.0 + (w % speed_len.max(1)) as f64 * 0.5).collect(),
+                );
+            }
+            let burst_tuples = burst[p % burst.len()];
+            if burst_tuples > 0 {
+                phase = phase.with_arrival(Arrival::Bursty { burst_tuples, pause_us: burst_tuples / 3 });
+            }
+            scenario = scenario.phase(phase);
+        }
+        let spec = RunSpec::Scenario(
+            ScenarioConfig::new(PartitionerKind::ALL[kind_idx], scenario)
+                .with_service_time_us(service_time_us)
+                .with_aggregators(aggregators),
+        );
+        let bytes = encode_run_spec(&spec);
+        let back = decode_run_spec(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&back, &spec);
+        let (RunSpec::Scenario(a), RunSpec::Scenario(b)) = (&back, &spec) else {
+            panic!("variant changed in round trip");
+        };
+        for (pa, pb) in a.scenario.phases.iter().zip(&b.scenario.phases) {
+            prop_assert_eq!(pa.skew.to_bits(), pb.skew.to_bits());
+        }
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_run_spec(&bytes[..cut]).is_err(), "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn partial_encodings_are_self_delimiting(
+        keys_a in proptest::collection::vec(any::<u64>(), 0..200),
+        keys_b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        // Two partials concatenated decode back as exactly two partials.
+        let (a, b) = (counts_from(&keys_a), counts_from(&keys_b));
+        let mut buf = Vec::new();
+        a.encode_partial(&mut buf);
+        b.encode_partial(&mut buf);
+        let mut input = buf.as_slice();
+        let first = HashMap::<u64, u64>::decode_partial(&mut input).expect("first decodes");
+        let second = HashMap::<u64, u64>::decode_partial(&mut input).expect("second decodes");
+        prop_assert!(input.is_empty());
+        prop_assert_eq!(first, a);
+        prop_assert_eq!(second, b);
+    }
+
+    #[test]
+    fn rle_round_trips_sample_sequences(samples in proptest::collection::vec(0u64..50, 0..2_000)) {
+        let runs = rle_encode(&samples);
+        let mut back = Vec::new();
+        for (value, count) in &runs {
+            for _ in 0..*count {
+                back.push(*value);
+            }
+        }
+        prop_assert_eq!(back, samples);
+        // Adjacent runs never share a value (canonical form).
+        for pair in runs.windows(2) {
+            prop_assert!(pair[0].0 != pair[1].0);
+        }
+    }
+}

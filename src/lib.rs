@@ -15,7 +15,9 @@
 //! * [`simulator`] — the stream-replay simulator used for the imbalance
 //!   experiments (Figures 1 and 3–12).
 //! * [`engine`] — a threaded mini-DSPE used for the throughput/latency
-//!   experiments (Figures 13–14).
+//!   experiments (Figures 13–14), with a pluggable channel transport.
+//! * [`net`] — the networked transport backend (length-prefixed wire codec,
+//!   TCP channels, the `slb-node` multi-process cluster runner).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 pub use slb_core as core;
 pub use slb_engine as engine;
 pub use slb_hash as hash;
+pub use slb_net as net;
 pub use slb_simulator as simulator;
 pub use slb_sketch as sketch;
 pub use slb_workloads as workloads;
