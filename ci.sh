@@ -33,6 +33,12 @@ for seed in 1 42 1337; do
     SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test backend_differential --test node_golden
 done
 
+echo "==> fault-injection seed matrix (exactly-once under kills and losses, both backends)"
+for seed in 1 42 1337; do
+    echo "    SLB_TEST_SEED=$seed"
+    SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test fault_injection
+done
+
 echo "==> property suites at CI case counts"
 PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props --test rescale_props
 PROPTEST_CASES=256 cargo test -q -p slb-sketch --test proptests

@@ -20,10 +20,20 @@
 //!    below the in-process one by design — sockets are not crossbeam — but
 //!    well above what a per-tuple (rather than per-batch) framing bug or an
 //!    accidental per-frame flush storm would deliver.
+//! 4. **Checkpoint overhead** — the single-phase config against the same
+//!    config with per-window checkpoint persistence disabled (the
+//!    measurement-only baseline, `run_windowed_without_checkpoints`),
+//!    measured as five back-to-back A/B pairs. The always-on checkpoint
+//!    path — sequence bookkeeping plus one encoded `WorkerCheckpoint` per
+//!    window close — must cost less than 10% of fault-free throughput in
+//!    the best pair; a regression that makes checkpointing per-tuple (or
+//!    starts cloning worker state wholesale) lands far outside the budget
+//!    in every pair.
 //!
-//! The best of three runs is compared against each floor to damp scheduler
-//! noise on loaded CI machines. See `docs/PERF.md` for the measurement
-//! history.
+//! The best of three runs (for the floors) and the best of five A/B pairs
+//! (for the overhead ratio) are compared against the limits to damp
+//! scheduler noise on loaded CI machines. See `docs/PERF.md` for the
+//! measurement history.
 
 use slb_core::{CountAggregate, PartitionerKind};
 use slb_engine::{EngineConfig, ScenarioConfig, Topology};
@@ -42,6 +52,10 @@ const SCENARIO_FLOOR_EPS: f64 = 4.0e6;
 /// with one frame per 256-tuple batch comfortably exceed this on any
 /// machine; per-tuple framing regressions land an order of magnitude under.
 const TCP_FLOOR_EPS: f64 = 1.0e6;
+
+/// Maximum fraction of fault-free throughput the checkpoint path may cost:
+/// the best checkpointed-vs-baseline pair must clear a 0.90 ratio.
+const CHECKPOINT_MAX_OVERHEAD: f64 = 0.10;
 
 fn best_of_three(label: &str, run: impl Fn() -> (f64, u64, f64)) -> f64 {
     let mut best: f64 = 0.0;
@@ -88,6 +102,39 @@ fn main() {
         (r.throughput_eps, r.processed, r.elapsed_secs)
     });
 
+    // Checkpoint overhead A/B: the same config with durable checkpoint
+    // writes elided. The two sides run *interleaved* (checkpointed,
+    // baseline, checkpointed, …) and the gate takes the best *pairwise*
+    // ratio: each ratio compares two runs launched back to back under the
+    // same machine load, so time-varying CI load cancels within a pair
+    // instead of turning into a phantom overhead. Taking the best of five
+    // pairs damps the residual per-pair jitter — a real budget-busting
+    // regression (per-tuple checkpointing, wholesale state clones) is a
+    // multiple-of-throughput cost that no pair would survive, while a few
+    // percent of true overhead plus noise must not flake the build.
+    let mut checkpoint_best_ratio: f64 = 0.0;
+    for attempt in 0..5 {
+        let cfg = || {
+            EngineConfig::smoke(PartitionerKind::Pkg, 2.0)
+                .with_messages(400_000)
+                .with_service_time_us(0)
+        };
+        let cp = Topology::new(cfg()).run_windowed(CountAggregate).result;
+        let uncp = Topology::new(cfg())
+            .run_windowed_without_checkpoints(CountAggregate)
+            .result;
+        let ratio = cp.throughput_eps / uncp.throughput_eps;
+        println!(
+            "perf_smoke checkpoint pair {}: checkpointed {:.2} Melem/s vs baseline \
+             {:.2} Melem/s (ratio {:.3})",
+            attempt + 1,
+            cp.throughput_eps / 1e6,
+            uncp.throughput_eps / 1e6,
+            ratio
+        );
+        checkpoint_best_ratio = checkpoint_best_ratio.max(ratio);
+    }
+
     let mut failed = false;
     if single < FLOOR_EPS {
         eprintln!(
@@ -116,17 +163,28 @@ fn main() {
         );
         failed = true;
     }
+    if checkpoint_best_ratio < 1.0 - CHECKPOINT_MAX_OVERHEAD {
+        eprintln!(
+            "perf_smoke FAILED: best checkpointed/baseline pair ratio {:.3} is below \
+             {:.2} — the checkpoint path costs more than 10% of fault-free throughput",
+            checkpoint_best_ratio,
+            1.0 - CHECKPOINT_MAX_OVERHEAD
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     println!(
         "perf_smoke OK: single-phase {:.2} Melem/s clears {:.1}, scenario {:.2} Melem/s \
-         clears {:.1}, tcp-backend {:.2} Melem/s clears {:.1}",
+         clears {:.1}, tcp-backend {:.2} Melem/s clears {:.1}, checkpoint overhead \
+         {:.1}% within the 10% budget",
         single / 1e6,
         FLOOR_EPS / 1e6,
         scenario_best / 1e6,
         SCENARIO_FLOOR_EPS / 1e6,
         tcp_best / 1e6,
-        TCP_FLOOR_EPS / 1e6
+        TCP_FLOOR_EPS / 1e6,
+        (1.0 - checkpoint_best_ratio).max(0.0) * 100.0
     );
 }

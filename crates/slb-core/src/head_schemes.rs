@@ -229,7 +229,7 @@ impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
     }
 }
 
-impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for HeadAwarePartitioner<K> {
+impl<K: KeyHash + Eq + Hash + Clone + 'static> Partitioner<K> for HeadAwarePartitioner<K> {
     fn route(&mut self, key: &K) -> usize {
         self.route_one(key)
     }
@@ -267,6 +267,10 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for HeadAwarePartitioner<K> 
         } else {
             2
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn Partitioner<K>> {
+        Box::new(self.clone())
     }
 }
 

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod config;
 pub mod dchoices;
 pub mod head;
@@ -46,6 +47,7 @@ pub mod wire;
 pub use aggregate::{
     shard_of, CountAggregate, SumAggregate, TopKAggregate, WindowAggregate, SHARD_SEED,
 };
+pub use checkpoint::{OpenWindowState, WorkerCheckpoint};
 pub use config::{HeadThreshold, PartitionConfig};
 pub use dchoices::{
     constraints_hold, d_fraction, expected_worker_set_size, find_optimal_choices, ChoicesDecision,

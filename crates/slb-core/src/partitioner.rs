@@ -75,6 +75,20 @@ pub trait Partitioner<K: KeyHash + Eq + Hash + Clone> {
     /// use for the given key (1 for key grouping, 2 for PKG tail keys, `d`
     /// or `n` for head keys). Used by the memory-overhead accounting.
     fn current_choices(&mut self, key: &K) -> usize;
+
+    /// Clones the partitioner behind the trait object, preserving all
+    /// learned state (load vectors, heavy-hitter summaries, cursors).
+    ///
+    /// Recovery replays a window from a snapshot of the *routing state* the
+    /// source held at the window boundary; the clone must therefore route
+    /// every subsequent key bit-for-bit identically to the original.
+    fn clone_box(&self) -> Box<dyn Partitioner<K>>;
+}
+
+impl<K: KeyHash + Eq + Hash + Clone + 'static> Clone for Box<dyn Partitioner<K>> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Key grouping: a single hash function decides the worker for each key.
@@ -105,7 +119,7 @@ impl KeyGrouping {
     }
 }
 
-impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for KeyGrouping {
+impl<K: KeyHash + Eq + Hash + Clone + 'static> Partitioner<K> for KeyGrouping {
     fn route(&mut self, key: &K) -> usize {
         self.route_one(key)
     }
@@ -137,6 +151,10 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for KeyGrouping {
     fn current_choices(&mut self, _key: &K) -> usize {
         1
     }
+
+    fn clone_box(&self) -> Box<dyn Partitioner<K>> {
+        Box::new(self.clone())
+    }
 }
 
 /// Shuffle grouping: round-robin over the workers, ignoring keys.
@@ -161,7 +179,7 @@ impl ShuffleGrouping {
     }
 }
 
-impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for ShuffleGrouping {
+impl<K: KeyHash + Eq + Hash + Clone + 'static> Partitioner<K> for ShuffleGrouping {
     fn route(&mut self, _key: &K) -> usize {
         let worker = self.next;
         // Compare-and-reset instead of `(next + 1) % workers`: the branch is
@@ -208,6 +226,10 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for ShuffleGrouping {
 
     fn current_choices(&mut self, _key: &K) -> usize {
         self.workers
+    }
+
+    fn clone_box(&self) -> Box<dyn Partitioner<K>> {
+        Box::new(self.clone())
     }
 }
 

@@ -57,7 +57,7 @@ impl PartialKeyGrouping {
     }
 }
 
-impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for PartialKeyGrouping {
+impl<K: KeyHash + Eq + Hash + Clone + 'static> Partitioner<K> for PartialKeyGrouping {
     fn route(&mut self, key: &K) -> usize {
         self.route_one(key)
     }
@@ -88,6 +88,10 @@ impl<K: KeyHash + Eq + Hash + Clone> Partitioner<K> for PartialKeyGrouping {
 
     fn current_choices(&mut self, _key: &K) -> usize {
         2
+    }
+
+    fn clone_box(&self) -> Box<dyn Partitioner<K>> {
+        Box::new(self.clone())
     }
 }
 

@@ -1,0 +1,322 @@
+//! Deterministic fault injection and the worker checkpoint store.
+//!
+//! A [`FaultPlan`] is a declarative list of faults pinned to deterministic
+//! offsets — "kill worker 2 after it has processed 5 000 tuples", "drop 3
+//! consecutive batches from source 0 to worker 1 starting at its 40th
+//! message". Both the in-process and TCP backends execute the same plan at
+//! the same logical points, because the triggers count *logical* progress
+//! (tuples processed, messages sent on one connection), never wall-clock
+//! time. That is what lets the fault-injection differential suite demand
+//! bit-identical merged windowed counts against the single-threaded exact
+//! reference: the faults themselves are reproducible.
+//!
+//! Two fault shapes cover the failure modes the recovery protocol handles:
+//!
+//! * [`FaultEvent::KillWorker`] simulates a worker crash. The worker stage
+//!   discards all volatile state (open partials, counters, sequence
+//!   cursors) at the trigger point, restores its last checkpoint from the
+//!   [`CheckpointStore`], and asks every source to replay from the
+//!   checkpoint's sequence cursors.
+//! * [`FaultEvent::DropConnection`] simulates message loss on one
+//!   source → worker connection. The source silently discards `lose`
+//!   consecutive *batch* messages (sequence numbers still advance, so the
+//!   worker observes a gap and requests replay). Close markers are never
+//!   dropped: a window's close always survives, which guarantees the gap is
+//!   detected before the worker could finalize the window short.
+//!
+//! Faults fire **once**: a restored worker whose counters rewound below a
+//! kill threshold does not re-trip it.
+
+use std::sync::Mutex;
+
+/// One injected fault, pinned to a deterministic logical offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash worker `worker` immediately after it has processed
+    /// `after_tuples` tuples, discarding all volatile state. The worker
+    /// recovers from its last checkpoint and bounded replay.
+    KillWorker {
+        /// Index of the worker to crash.
+        worker: usize,
+        /// Lifetime processed-tuple count that trips the crash.
+        after_tuples: u64,
+    },
+    /// Silently lose `lose` consecutive batch messages on the
+    /// `source` → `worker` connection, starting after that connection has
+    /// carried `after_messages` messages. Sequence numbers advance across
+    /// the loss, so the receiver detects the gap exactly.
+    DropConnection {
+        /// Index of the sending source.
+        source: usize,
+        /// Index of the receiving worker.
+        worker: usize,
+        /// Messages sent on the connection before the loss begins.
+        after_messages: u64,
+        /// Number of consecutive batch messages to lose.
+        lose: u64,
+    },
+}
+
+/// A deterministic fault schedule for one run. Empty by default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// A source-side view of one [`FaultEvent::DropConnection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionDrop {
+    /// The receiving worker whose connection loses messages.
+    pub worker: usize,
+    /// Messages sent on the connection before the loss begins.
+    pub after_messages: u64,
+    /// Number of consecutive batch messages to lose.
+    pub lose: u64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: runs behave exactly like the plain engine.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Schedules a worker crash after `after_tuples` processed tuples.
+    pub fn kill_worker(mut self, worker: usize, after_tuples: u64) -> Self {
+        self.events.push(FaultEvent::KillWorker {
+            worker,
+            after_tuples,
+        });
+        self
+    }
+
+    /// Schedules the loss of `lose` consecutive batch messages on the
+    /// `source` → `worker` connection after `after_messages` messages.
+    pub fn drop_connection(
+        mut self,
+        source: usize,
+        worker: usize,
+        after_messages: u64,
+        lose: u64,
+    ) -> Self {
+        self.events.push(FaultEvent::DropConnection {
+            source,
+            worker,
+            after_messages,
+            lose,
+        });
+        self
+    }
+
+    /// The processed-tuple thresholds at which `worker` must crash, sorted
+    /// ascending.
+    pub fn kill_points(&self, worker: usize) -> Vec<u64> {
+        let mut points: Vec<u64> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::KillWorker {
+                    worker: w,
+                    after_tuples,
+                } if *w == worker => Some(*after_tuples),
+                _ => None,
+            })
+            .collect();
+        points.sort_unstable();
+        points
+    }
+
+    /// The connection drops `source` must inject, in insertion order.
+    pub fn drops_from(&self, source: usize) -> Vec<ConnectionDrop> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::DropConnection {
+                    source: s,
+                    worker,
+                    after_messages,
+                    lose,
+                } if *s == source => Some(ConnectionDrop {
+                    worker: *worker,
+                    after_messages: *after_messages,
+                    lose: *lose,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks every event's indices against the topology size.
+    pub fn validate(&self, sources: usize, workers: usize) -> Result<(), String> {
+        for event in &self.events {
+            match *event {
+                FaultEvent::KillWorker { worker, .. } => {
+                    if worker >= workers {
+                        return Err(format!(
+                            "kill-worker fault names worker {worker} of {workers}"
+                        ));
+                    }
+                }
+                FaultEvent::DropConnection {
+                    source,
+                    worker,
+                    lose,
+                    ..
+                } => {
+                    if source >= sources {
+                        return Err(format!(
+                            "drop-connection fault names source {source} of {sources}"
+                        ));
+                    }
+                    if worker >= workers {
+                        return Err(format!(
+                            "drop-connection fault names worker {worker} of {workers}"
+                        ));
+                    }
+                    if lose == 0 {
+                        return Err("drop-connection fault loses zero messages".to_string());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The in-memory durable store workers checkpoint into: one slot per worker
+/// holding the latest encoded [`slb_core::WorkerCheckpoint`].
+///
+/// A simulated crash discards everything the worker holds on its stack and
+/// restores *only* from these bytes, so the store stands in for the durable
+/// medium (local disk, replicated log) a production deployment would use —
+/// the recovery path decodes exactly what a real restart would read.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    slots: Mutex<Vec<Option<Vec<u8>>>>,
+    saves: Mutex<u64>,
+}
+
+impl CheckpointStore {
+    /// Creates a store with one empty slot per worker.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            slots: Mutex::new(vec![None; workers]),
+            saves: Mutex::new(0),
+        }
+    }
+
+    /// Replaces `worker`'s checkpoint with `bytes`. Takes a slice rather
+    /// than an owned vector so the slot's allocation is reused save after
+    /// save — workers checkpoint at every window close, and the store
+    /// sits on that path.
+    pub fn save(&self, worker: usize, bytes: &[u8]) {
+        let mut slots = self.slots.lock().unwrap();
+        if worker >= slots.len() {
+            slots.resize(worker + 1, None);
+        }
+        match &mut slots[worker] {
+            Some(slot) => {
+                slot.clear();
+                slot.extend_from_slice(bytes);
+            }
+            empty => *empty = Some(bytes.to_vec()),
+        }
+        *self.saves.lock().unwrap() += 1;
+    }
+
+    /// Returns a copy of `worker`'s latest checkpoint, if it has taken one.
+    pub fn load(&self, worker: usize) -> Option<Vec<u8>> {
+        self.slots.lock().unwrap().get(worker).cloned().flatten()
+    }
+
+    /// Total checkpoints saved across all workers (for tests and metrics).
+    pub fn saves(&self) -> u64 {
+        *self.saves.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::none().kill_points(0).is_empty());
+        assert!(FaultPlan::none().drops_from(0).is_empty());
+        assert_eq!(FaultPlan::none().validate(2, 4), Ok(()));
+    }
+
+    #[test]
+    fn kill_points_filter_and_sort_per_worker() {
+        let plan = FaultPlan::none()
+            .kill_worker(1, 900)
+            .kill_worker(0, 50)
+            .kill_worker(1, 100);
+        assert_eq!(plan.kill_points(1), vec![100, 900]);
+        assert_eq!(plan.kill_points(0), vec![50]);
+        assert!(plan.kill_points(2).is_empty());
+    }
+
+    #[test]
+    fn drops_filter_per_source() {
+        let plan = FaultPlan::none()
+            .drop_connection(0, 2, 10, 3)
+            .drop_connection(1, 0, 5, 1);
+        let drops = plan.drops_from(0);
+        assert_eq!(drops.len(), 1);
+        assert_eq!(
+            drops[0],
+            ConnectionDrop {
+                worker: 2,
+                after_messages: 10,
+                lose: 3
+            }
+        );
+        assert!(plan.drops_from(2).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_zero_loss() {
+        assert!(FaultPlan::none().kill_worker(4, 1).validate(2, 4).is_err());
+        assert!(FaultPlan::none()
+            .drop_connection(2, 0, 0, 1)
+            .validate(2, 4)
+            .is_err());
+        assert!(FaultPlan::none()
+            .drop_connection(0, 4, 0, 1)
+            .validate(2, 4)
+            .is_err());
+        assert!(FaultPlan::none()
+            .drop_connection(0, 0, 0, 0)
+            .validate(2, 4)
+            .is_err());
+        assert!(FaultPlan::none()
+            .kill_worker(3, 1)
+            .drop_connection(1, 3, 7, 2)
+            .validate(2, 4)
+            .is_ok());
+    }
+
+    #[test]
+    fn checkpoint_store_keeps_the_latest_per_worker() {
+        let store = CheckpointStore::new(2);
+        assert_eq!(store.load(0), None);
+        store.save(0, &[1, 2]);
+        store.save(1, &[3]);
+        store.save(0, &[9, 9, 9]);
+        assert_eq!(store.load(0), Some(vec![9, 9, 9]));
+        assert_eq!(store.load(1), Some(vec![3]));
+        assert_eq!(store.load(7), None, "unknown worker loads nothing");
+        assert_eq!(store.saves(), 3);
+    }
+}

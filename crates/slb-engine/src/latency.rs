@@ -178,6 +178,46 @@ pub struct StageMetrics {
     /// → worker completion; aggregator stage: worker window close →
     /// aggregator merge).
     pub latency: LatencySummary,
+    /// Fault-recovery accounting for the stage. All zero in a fault-free
+    /// run — the determinism suite pins that.
+    pub recovery: RecoveryMetrics,
+}
+
+/// Counters for the exactly-once recovery machinery of one stage.
+///
+/// In the worker stage, `restores` counts checkpoint restorations after a
+/// crash, `replayed_items` counts tuples reprocessed from replayed batches,
+/// and `duplicates_dropped` counts messages discarded by sequence-number
+/// dedup. In the aggregator stage only `duplicates_dropped` is meaningful:
+/// re-sent (worker, window) partials discarded instead of double-merged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryMetrics {
+    /// Checkpoint restorations performed after simulated crashes.
+    pub restores: u64,
+    /// Items reprocessed from replayed messages (already counted once in
+    /// `items` — this tracks the recovery overhead, not extra output).
+    pub replayed_items: u64,
+    /// Messages discarded as duplicates by sequence/worker dedup.
+    pub duplicates_dropped: u64,
+    /// Replay requests issued upstream (gap detected or post-crash resume).
+    pub replay_requests: u64,
+}
+
+impl RecoveryMetrics {
+    /// True when no recovery machinery fired.
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Field-wise sum of two counters (for merging per-thread reports).
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            restores: self.restores + other.restores,
+            replayed_items: self.replayed_items + other.replayed_items,
+            duplicates_dropped: self.duplicates_dropped + other.duplicates_dropped,
+            replay_requests: self.replay_requests + other.replay_requests,
+        }
+    }
 }
 
 impl StageMetrics {
@@ -191,6 +231,20 @@ impl StageMetrics {
                 0.0
             },
             latency,
+            recovery: RecoveryMetrics::default(),
+        }
+    }
+
+    /// Same as [`Self::new`] with explicit recovery counters.
+    pub fn with_recovery(
+        items: u64,
+        elapsed_secs: f64,
+        latency: LatencySummary,
+        recovery: RecoveryMetrics,
+    ) -> Self {
+        Self {
+            recovery,
+            ..Self::new(items, elapsed_secs, latency)
         }
     }
 }
@@ -317,6 +371,34 @@ mod tests {
         assert_eq!(s.p99_us, 42);
         assert_eq!(s.max_us, 42);
         assert!((s.mean_us - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_metrics_merge_field_wise_and_default_is_quiet() {
+        assert!(RecoveryMetrics::default().is_quiet());
+        let a = RecoveryMetrics {
+            restores: 1,
+            replayed_items: 10,
+            duplicates_dropped: 3,
+            replay_requests: 2,
+        };
+        let b = RecoveryMetrics {
+            restores: 0,
+            replayed_items: 5,
+            duplicates_dropped: 1,
+            replay_requests: 1,
+        };
+        let m = a.merged(b);
+        assert_eq!(
+            m,
+            RecoveryMetrics {
+                restores: 1,
+                replayed_items: 15,
+                duplicates_dropped: 4,
+                replay_requests: 3,
+            }
+        );
+        assert!(!m.is_quiet());
     }
 
     #[test]

@@ -48,22 +48,27 @@
 //! * [`latency`] — latency recording, percentile summaries, per-stage and
 //!   per-phase metrics.
 
+pub mod fault;
 pub mod latency;
 pub mod topology;
 pub mod transport;
 pub mod windows;
 
-pub use latency::{LatencySummary, LatencyTracker, PhaseMetrics, StageMetrics};
+pub use fault::{CheckpointStore, ConnectionDrop, FaultEvent, FaultPlan};
+pub use latency::{LatencySummary, LatencyTracker, PhaseMetrics, RecoveryMetrics, StageMetrics};
 pub use topology::{
     assemble_result, compare_schemes, compare_schemes_scenario, run_aggregator_stage,
-    run_source_stage, run_worker_stage, AggregatorStageReport, EngineConfig, EngineResult,
-    PhasePlan, ScenarioConfig, StagePlan, Topology, WorkerStageReport, DEFAULT_AGGREGATORS,
-    DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY, DEFAULT_WINDOW_SIZE,
+    run_source_stage, run_source_stage_recoverable, run_worker_stage, run_worker_stage_recoverable,
+    AggregatorStageReport, EngineConfig, EngineResult, PhasePlan, ScenarioConfig, StagePlan,
+    Topology, WorkerStageReport, DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_WINDOW_SIZE,
 };
 pub use transport::{
-    capacity_in_batches, partial_channel_capacity, ChannelClosed, InProc, PartialReceiver,
-    PartialSender, PartialWindow, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
+    capacity_in_batches, feedback_channel_capacity, partial_channel_capacity, ChannelClosed,
+    FeedbackReceiver, FeedbackSender, InProc, PartialReceiver, PartialSender, PartialWindow,
+    ReplayRequest, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
 };
 pub use windows::{
-    exact_scenario_windowed_counts, exact_windowed_counts, window_of, WindowId, WindowedRun,
+    diff_windows, exact_scenario_windowed_counts, exact_windowed_counts, window_of, WindowId,
+    WindowedRun,
 };

@@ -76,7 +76,7 @@
 //! recording close→merge latency as the second stage's metrics.
 
 use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -84,17 +84,26 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use slb_core::{
-    build_partitioner, CountAggregate, PartitionConfig, Partitioner, PartitionerKind,
-    PhaseLoadMatrix, WindowAggregate,
+    build_partitioner, CountAggregate, OpenWindowState, PartitionConfig, Partitioner,
+    PartitionerKind, PhaseLoadMatrix, WindowAggregate, WirePartial, WorkerCheckpoint,
 };
 use slb_workloads::{Arrival, KeyId, KeyStream, Scenario};
 
-use crate::latency::{LatencySummary, LatencyTracker, PhaseMetrics, StageMetrics};
+use crate::fault::{CheckpointStore, ConnectionDrop, FaultPlan};
+use crate::latency::{LatencySummary, LatencyTracker, PhaseMetrics, RecoveryMetrics, StageMetrics};
 use crate::transport::{
-    capacity_in_batches, partial_channel_capacity, InProc, PartialReceiver, PartialSender,
-    PartialWindow, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
+    capacity_in_batches, feedback_channel_capacity, partial_channel_capacity, FeedbackReceiver,
+    FeedbackSender, InProc, PartialReceiver, PartialSender, PartialWindow, ReplayRequest,
+    SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
 };
 use crate::windows::{window_of, WindowId, WindowedRun};
+
+/// Window-boundary snapshots a source keeps for bounded replay. A
+/// recovering worker's checkpoint cursor lags the source's emission frontier
+/// by at most the worker queue's depth, which a handful of window-boundary
+/// snapshots comfortably covers; requests older than the ring fall back to
+/// the origin snapshot (replay from the beginning of the stream).
+const REPLAY_SNAPSHOT_RING: usize = 8;
 
 /// Configuration of one single-phase engine run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -295,6 +304,8 @@ impl EngineConfig {
             aggregators: self.aggregators,
             phase_starts: Arc::new(vec![0]),
             phases: Arc::new(vec![phase]),
+            faults: Arc::new(FaultPlan::none()),
+            checkpointing: true,
         }
     }
 }
@@ -408,6 +419,8 @@ impl ScenarioConfig {
             aggregators: self.aggregators,
             phase_starts: Arc::new(phases.iter().map(|p| p.start_window).collect()),
             phases: Arc::new(phases),
+            faults: Arc::new(FaultPlan::none()),
+            checkpointing: true,
         }
     }
 
@@ -429,6 +442,7 @@ impl ScenarioConfig {
     pub fn run_windowed<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
     where
         A: WindowAggregate<KeyId>,
+        A::Partial: WirePartial,
     {
         self.run_windowed_on(aggregate, &InProc)
     }
@@ -441,9 +455,37 @@ impl ScenarioConfig {
     pub fn run_windowed_on<A, T>(&self, aggregate: A, transport: &T) -> WindowedRun<A::Partial>
     where
         A: WindowAggregate<KeyId>,
+        A::Partial: WirePartial,
         T: Transport<A::Partial>,
     {
-        let plan = self.stage_plan();
+        self.run_windowed_faulted_on(aggregate, transport, &FaultPlan::none())
+    }
+
+    /// Runs the scenario with the given [`FaultPlan`] injected: workers
+    /// crash and connections lose messages at the plan's deterministic
+    /// offsets, and the checkpoint/replay recovery protocol restores the
+    /// run. The merged windowed aggregates must come out identical to a
+    /// fault-free run (the `fault_injection` suite pins this).
+    ///
+    /// # Panics
+    /// Panics if the scenario, the engine knobs, or the fault plan are
+    /// invalid.
+    pub fn run_windowed_faulted_on<A, T>(
+        &self,
+        aggregate: A,
+        transport: &T,
+        faults: &FaultPlan,
+    ) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+        A::Partial: WirePartial,
+        T: Transport<A::Partial>,
+    {
+        let mut plan = self.stage_plan();
+        if let Err(message) = faults.validate(plan.sources, plan.spawned_workers) {
+            panic!("invalid fault plan: {message}");
+        }
+        plan.faults = Arc::new(faults.clone());
         let scenario = self.scenario.clone();
         let streams =
             Arc::new(move |phase: usize, source: usize| scenario.phase_stream(phase, source));
@@ -552,31 +594,143 @@ pub struct StagePlan {
     pub phase_starts: Arc<Vec<WindowId>>,
     /// One resolved plan per phase.
     pub phases: Arc<Vec<PhasePlan>>,
+    /// Deterministic fault schedule for the run (empty for plain runs).
+    /// Never serialized: fault plans travel beside a config, not inside it,
+    /// so the wire `RunSpec` of a distributed run stays unchanged.
+    pub faults: Arc<FaultPlan>,
+    /// Whether workers persist a checkpoint at every window finalization.
+    /// Always `true` for every public run entry point — recovery depends on
+    /// it — and only disabled by the perf smoke's A/B measurement of the
+    /// checkpoint path's cost ([`Topology::run_windowed_without_checkpoints`]).
+    pub checkpointing: bool,
+}
+
+impl StagePlan {
+    /// Total windows every worker must finalize over the whole run.
+    pub fn total_windows(&self) -> u64 {
+        self.phases.iter().map(|p| p.windows).sum()
+    }
+}
+
+/// The send side of one source: per-worker sequence counters, the
+/// connection-drop schedule, and the sent-tuple count. Every message to a
+/// worker — batch or close marker — consumes the next sequence number on
+/// that (source, worker) connection, *including* messages a
+/// [`ConnectionDrop`] fault then discards: the receiver observes the gap
+/// and recovers by requesting replay.
+struct SourceSendState<'a, Tx: TupleSender> {
+    senders: &'a [Tx],
+    source: usize,
+    next_seq: Vec<u64>,
+    /// `(drop spec, batches lost so far)`; close markers are never dropped,
+    /// so a window's close always survives and gap detection precedes
+    /// finalization.
+    drops: Vec<(ConnectionDrop, u64)>,
+    sent: u64,
+}
+
+impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
+    fn new(senders: &'a [Tx], source: usize, faults: &FaultPlan) -> Self {
+        Self {
+            senders,
+            source,
+            next_seq: vec![0; senders.len()],
+            drops: faults
+                .drops_from(source)
+                .into_iter()
+                .map(|d| (d, 0))
+                .collect(),
+            sent: 0,
+        }
+    }
+
+    /// True when the drop schedule says to lose the batch numbered `seq` on
+    /// the connection to `worker` (and charges it against the schedule).
+    fn loses(&mut self, worker: usize, seq: u64) -> bool {
+        for (spec, lost) in self.drops.iter_mut() {
+            if spec.worker == worker && *lost < spec.lose && seq >= spec.after_messages {
+                *lost += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn send_batch(
+        &mut self,
+        worker: usize,
+        keys: Vec<KeyId>,
+        window: WindowId,
+        emitted_at: Instant,
+    ) {
+        // `sent` counts at routing time even when the fault schedule then
+        // discards the frame: replay re-sends are never counted, so the
+        // run-level `sent == processed` invariant survives fault injection.
+        self.sent += keys.len() as u64;
+        let seq = self.next_seq[worker];
+        self.next_seq[worker] += 1;
+        if self.loses(worker, seq) {
+            return;
+        }
+        self.senders[worker]
+            .send(SourceMessage::Batch(TupleBatch {
+                keys,
+                window,
+                source: self.source,
+                seq,
+                emitted_at,
+            }))
+            .expect("worker queue closed prematurely");
+    }
+
+    fn send_close(&mut self, worker: usize, window: WindowId) {
+        let seq = self.next_seq[worker];
+        self.next_seq[worker] += 1;
+        self.senders[worker]
+            .send(SourceMessage::CloseWindow {
+                window,
+                source: self.source,
+                seq,
+            })
+            .expect("worker queue closed prematurely");
+    }
+
+    fn broadcast_close(&mut self, window: WindowId) {
+        for worker in 0..self.senders.len() {
+            self.send_close(worker, window);
+        }
+    }
 }
 
 /// Ships every non-empty pending batch for the given window downstream.
 fn flush_pending<Tx: TupleSender>(
-    senders: &[Tx],
+    state: &mut SourceSendState<'_, Tx>,
     pending: &mut [Vec<KeyId>],
     pending_since: &[Instant],
     window: WindowId,
     batch_size: usize,
-    sent: &mut u64,
 ) {
-    for (worker, buffer) in pending.iter_mut().enumerate() {
-        if buffer.is_empty() {
+    for worker in 0..pending.len() {
+        if pending[worker].is_empty() {
             continue;
         }
-        let keys = std::mem::replace(buffer, Vec::with_capacity(batch_size));
-        *sent += keys.len() as u64;
-        senders[worker]
-            .send(SourceMessage::Batch(TupleBatch {
-                keys,
-                window,
-                emitted_at: pending_since[worker],
-            }))
-            .expect("worker queue closed prematurely");
+        let keys = std::mem::replace(&mut pending[worker], Vec::with_capacity(batch_size));
+        state.send_batch(worker, keys, window, pending_since[worker]);
     }
+}
+
+/// Everything a source must remember to re-emit its stream from a window
+/// boundary: the positioned key stream, the routing state, and the stream
+/// and sequence cursors at the boundary. Pending per-worker buffers are
+/// always empty at a boundary (the window was just flushed), so they need
+/// no snapshotting.
+struct SourceSnapshot<S> {
+    phase_idx: usize,
+    stream: S,
+    partitioner: Box<dyn Partitioner<KeyId>>,
+    local_idx: u64,
+    emitted_in_phase: u64,
+    next_seq: Vec<u64>,
 }
 
 /// The phase that `window` belongs to, via the phase start-window table.
@@ -615,6 +769,7 @@ impl Topology {
     pub fn run_windowed<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
     where
         A: WindowAggregate<KeyId>,
+        A::Partial: WirePartial,
     {
         self.run_windowed_on(aggregate, &InProc)
     }
@@ -624,39 +779,133 @@ impl Topology {
     pub fn run_windowed_on<A, T>(&self, aggregate: A, transport: &T) -> WindowedRun<A::Partial>
     where
         A: WindowAggregate<KeyId>,
+        A::Partial: WirePartial,
         T: Transport<A::Partial>,
     {
-        let plan = self.config.stage_plan();
+        self.run_windowed_faulted_on(aggregate, transport, &FaultPlan::none())
+    }
+
+    /// Runs the topology with the given [`FaultPlan`] injected: workers
+    /// crash and connections lose messages at the plan's deterministic
+    /// offsets, and the checkpoint/replay recovery protocol restores the
+    /// run. The merged windowed aggregates must come out identical to a
+    /// fault-free run (the `fault_injection` suite pins this).
+    ///
+    /// # Panics
+    /// Panics if the fault plan names a source or worker outside the
+    /// topology.
+    pub fn run_windowed_faulted_on<A, T>(
+        &self,
+        aggregate: A,
+        transport: &T,
+        faults: &FaultPlan,
+    ) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+        A::Partial: WirePartial,
+        T: Transport<A::Partial>,
+    {
+        let mut plan = self.config.stage_plan();
+        if let Err(message) = faults.validate(plan.sources, plan.spawned_workers) {
+            panic!("invalid fault plan: {message}");
+        }
+        plan.faults = Arc::new(faults.clone());
         let cfg = self.config.clone();
         let streams = Arc::new(move |_phase: usize, source: usize| {
             crate::windows::source_stream(&cfg, source)
         });
         run_plan(&plan, streams, aggregate, transport)
     }
+
+    /// Runs the topology with per-window checkpoint persistence disabled —
+    /// the *measurement baseline* for the checkpoint path's cost, used by
+    /// the CI perf smoke to assert that fault-free runs pay less than a
+    /// fixed overhead budget for always-on checkpointing. Results are
+    /// bit-identical to [`Self::run_windowed`]; only the durable writes are
+    /// skipped. No faults can be injected here: recovery depends on the
+    /// checkpoints this entry point elides.
+    pub fn run_windowed_without_checkpoints<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+        A::Partial: WirePartial,
+    {
+        let mut plan = self.config.stage_plan();
+        plan.checkpointing = false;
+        let cfg = self.config.clone();
+        let streams = Arc::new(move |_phase: usize, source: usize| {
+            crate::windows::source_stream(&cfg, source)
+        });
+        run_plan(&plan, streams, aggregate, &InProc)
+    }
 }
 
-/// Everything one source contributes to a run: generates and routes its
-/// sub-stream phase by phase, ships batches and punctuation through
-/// `senders` (one per spawned worker), and returns how many tuples it sent.
+/// Everything one source contributes to a run, without a recovery channel:
+/// generates and routes its sub-stream phase by phase, ships batches and
+/// punctuation through `senders` (one per spawned worker), and returns how
+/// many tuples it sent. See [`run_source_stage_recoverable`] for the
+/// feedback-connected variant the in-process runner uses.
 ///
 /// `stream_for_phase(p)` must yield *this source's* key stream for phase
-/// `p` (callers close over their source index); the engine and `slb-node`
-/// both construct it from the shared config so every backend emits the
-/// identical stream.
+/// `p`; the engine and `slb-node` both construct it from the shared config
+/// so every backend emits the identical stream.
 ///
 /// # Panics
-/// Panics if a send fails (a worker endpoint disappeared mid-run).
+/// Panics if a send fails (a worker endpoint disappeared mid-run), or if
+/// the plan schedules connection drops for this source (loss cannot be
+/// recovered without a feedback channel).
 pub fn run_source_stage<S, Tx>(
     plan: &StagePlan,
-    mut stream_for_phase: impl FnMut(usize) -> S,
+    source_idx: usize,
+    stream_for_phase: impl FnMut(usize) -> S,
     senders: &[Tx],
 ) -> u64
 where
-    S: KeyStream,
+    S: KeyStream + Clone,
     Tx: TupleSender,
 {
+    run_source_stage_recoverable(
+        plan,
+        source_idx,
+        stream_for_phase,
+        senders,
+        None::<crossbeam_channel::Receiver<ReplayRequest>>,
+    )
+}
+
+/// [`run_source_stage`] plus the recovery protocol: the source keeps a ring
+/// of window-boundary snapshots (positioned stream + routing state), polls `feedback` for
+/// [`ReplayRequest`]s between chunks, serves them by re-emitting the
+/// requested suffix from the newest covering snapshot, and — after its own
+/// emission completes — keeps serving until every worker has dropped its
+/// feedback sender (the signal that all windows finalized everywhere).
+///
+/// Replay re-runs the *identical* generation, routing, and batching from a
+/// cloned stream and cloned routing state, so every re-sent frame is
+/// bit-for-bit the frame originally sent (same keys, same window, same
+/// sequence number); only the emit timestamp is fresh. Injected connection
+/// drops apply to first-time sends only, never to replay.
+///
+/// # Panics
+/// Panics if a send fails (a worker endpoint disappeared mid-run).
+pub fn run_source_stage_recoverable<S, Tx, Frx>(
+    plan: &StagePlan,
+    source_idx: usize,
+    mut stream_for_phase: impl FnMut(usize) -> S,
+    senders: &[Tx],
+    feedback: Option<Frx>,
+) -> u64
+where
+    S: KeyStream + Clone,
+    Tx: TupleSender,
+    Frx: FeedbackReceiver,
+{
+    assert!(
+        feedback.is_some() || plan.faults.drops_from(source_idx).is_empty(),
+        "connection-drop faults require a recovery feedback channel"
+    );
     let batch_size = plan.batch_size;
     let window_size = plan.window_size;
+    let mut send = SourceSendState::new(senders, source_idx, &plan.faults);
     let mut partitioner: Option<Box<dyn Partitioner<KeyId>>> = None;
     let mut keybuf: Vec<KeyId> = Vec::with_capacity(batch_size);
     let mut routebuf: Vec<usize> = Vec::with_capacity(batch_size);
@@ -671,8 +920,8 @@ where
     // smallest latencies. First-push stamping over-approximates
     // for later tuples in the batch; it never understates.
     let mut pending_since: Vec<Instant> = vec![Instant::now(); senders.len()];
-    let mut sent = 0u64;
     let mut local_idx = 0u64;
+    let mut snapshots: VecDeque<SourceSnapshot<S>> = VecDeque::new();
     'phases: for (phase_idx, phase) in plan.phases.iter().enumerate() {
         // Phase boundary: regenerate the routing state for the
         // phase's worker count. Build on first use, rescale in
@@ -683,10 +932,41 @@ where
             None => partitioner = Some(build_partitioner::<KeyId>(plan.kind, &partition)),
             Some(part) => part.rescale(&partition),
         }
-        let part = partitioner.as_mut().expect("partitioner built above");
         let mut stream = stream_for_phase(phase_idx);
+        if feedback.is_some() {
+            // Phase-start snapshot; for phase 0 this is the origin
+            // snapshot every replay can fall back to.
+            push_snapshot(
+                &mut snapshots,
+                SourceSnapshot {
+                    phase_idx,
+                    stream: stream.clone(),
+                    partitioner: partitioner
+                        .as_ref()
+                        .expect("partitioner built above")
+                        .clone(),
+                    local_idx,
+                    emitted_in_phase: 0,
+                    next_seq: send.next_seq.clone(),
+                },
+            );
+        }
         let mut emitted = 0u64;
         while emitted < phase.tuples_per_source {
+            // Serve replay requests between chunks so a recovering
+            // worker never waits on a source that is still emitting
+            // (and so the bounded feedback queue keeps draining).
+            if let Some(fb) = feedback.as_ref() {
+                serve_pending_replays(
+                    fb,
+                    plan,
+                    &mut stream_for_phase,
+                    senders,
+                    &snapshots,
+                    source_idx,
+                    &send.next_seq,
+                );
+            }
             // Cap the buffer at the window's (and phase's)
             // remaining tuples so a routed batch never spans a
             // boundary; in a bursty phase, also at the burst's
@@ -712,7 +992,10 @@ where
                 break 'phases;
             }
             let window = window_of(local_idx, window_size);
-            part.route_batch(&keybuf, &mut routebuf);
+            partitioner
+                .as_mut()
+                .expect("partitioner built above")
+                .route_batch(&keybuf, &mut routebuf);
             for (&key, &worker) in keybuf.iter().zip(&routebuf) {
                 if pending[worker].is_empty() {
                     pending_since[worker] = Instant::now();
@@ -721,17 +1004,10 @@ where
                 if pending[worker].len() == batch_size {
                     let keys =
                         std::mem::replace(&mut pending[worker], Vec::with_capacity(batch_size));
-                    sent += keys.len() as u64;
                     // A send only fails if the receiver is gone, which
                     // cannot happen before all senders are dropped;
                     // treat it as fatal.
-                    senders[worker]
-                        .send(SourceMessage::Batch(TupleBatch {
-                            keys,
-                            window,
-                            emitted_at: pending_since[worker],
-                        }))
-                        .expect("worker queue closed prematurely");
+                    send.send_batch(worker, keys, window, pending_since[worker]);
                 }
             }
             let chunk = keybuf.len() as u64;
@@ -740,18 +1016,26 @@ where
             if local_idx % window_size == 0 {
                 // Window complete: everything buffered belongs to it,
                 // so flush first, then broadcast the close marker.
-                flush_pending(
-                    senders,
-                    &mut pending,
-                    &pending_since,
-                    window,
-                    batch_size,
-                    &mut sent,
-                );
-                for sender in senders {
-                    sender
-                        .send(SourceMessage::CloseWindow { window })
-                        .expect("worker queue closed prematurely");
+                flush_pending(&mut send, &mut pending, &pending_since, window, batch_size);
+                send.broadcast_close(window);
+                if feedback.is_some() {
+                    // Boundary snapshot: pending buffers are empty
+                    // (just flushed), so the stream/routing/sequence
+                    // cursors fully describe the send state.
+                    push_snapshot(
+                        &mut snapshots,
+                        SourceSnapshot {
+                            phase_idx,
+                            stream: stream.clone(),
+                            partitioner: partitioner
+                                .as_ref()
+                                .expect("partitioner built above")
+                                .clone(),
+                            local_idx,
+                            emitted_in_phase: emitted,
+                            next_seq: send.next_seq.clone(),
+                        },
+                    );
                 }
             }
             // Burst pacing: chunks never span a burst boundary (the
@@ -776,21 +1060,205 @@ where
     // one-phase path's message count does not divide evenly).
     if local_idx % window_size != 0 {
         let window = window_of(local_idx, window_size);
-        flush_pending(
-            senders,
-            &mut pending,
-            &pending_since,
-            window,
-            batch_size,
-            &mut sent,
-        );
-        for sender in senders {
-            sender
-                .send(SourceMessage::CloseWindow { window })
-                .expect("worker queue closed prematurely");
+        flush_pending(&mut send, &mut pending, &pending_since, window, batch_size);
+        send.broadcast_close(window);
+    }
+    // Post-emission replay service: block until every worker has
+    // finalized its last window and dropped its feedback sender. The
+    // source keeps its tuple senders alive through this loop, so a worker
+    // recovering late can still be fed.
+    if let Some(fb) = feedback {
+        while let Ok(request) = fb.recv() {
+            replay_to_worker(
+                plan,
+                &mut stream_for_phase,
+                senders,
+                &snapshots,
+                source_idx,
+                request,
+                &send.next_seq,
+            );
         }
     }
-    sent
+    send.sent
+}
+
+/// Pushes a snapshot onto the replay ring, evicting the *second*-oldest
+/// entry when full: index 0 — the origin snapshot — is always retained so
+/// any `from_seq`, however old, has a covering snapshot.
+fn push_snapshot<S>(snapshots: &mut VecDeque<SourceSnapshot<S>>, snapshot: SourceSnapshot<S>) {
+    if snapshots.len() == REPLAY_SNAPSHOT_RING {
+        snapshots.remove(1);
+    }
+    snapshots.push_back(snapshot);
+}
+
+/// Drains every queued replay request without blocking and serves each one.
+fn serve_pending_replays<S, Tx>(
+    feedback: &impl FeedbackReceiver,
+    plan: &StagePlan,
+    stream_for_phase: &mut impl FnMut(usize) -> S,
+    senders: &[Tx],
+    snapshots: &VecDeque<SourceSnapshot<S>>,
+    source: usize,
+    live_next_seq: &[u64],
+) where
+    S: KeyStream + Clone,
+    Tx: TupleSender,
+{
+    while let Ok(Some(request)) = feedback.try_recv() {
+        replay_to_worker(
+            plan,
+            stream_for_phase,
+            senders,
+            snapshots,
+            source,
+            request,
+            live_next_seq,
+        );
+    }
+}
+
+/// Re-sends every message this source has already addressed to
+/// `request.worker` with `seq >= request.from_seq`, by re-running the
+/// emission loop from the newest snapshot whose cursor for that worker is
+/// at or before the requested position.
+///
+/// This mirrors the chunking, routing, and batching of
+/// [`run_source_stage_recoverable`] exactly — same stream, same routing
+/// state, same per-worker batch fill — so replayed frames carry the same
+/// keys, window, and sequence numbers as the originals. Differences are
+/// deliberate: sends to other workers are suppressed (their state is not
+/// rewound), burst pacing is skipped (timing only — burst chunk caps never
+/// change message composition, because batches fill per worker and flush
+/// only at window boundaries), fault drops are not re-applied, and nothing
+/// is added to the sent-tuple count. Replay stops as soon as the re-driven
+/// sequence cursor catches up with the live one: everything past it is the
+/// live loop's future, not replayable history.
+fn replay_to_worker<S, Tx>(
+    plan: &StagePlan,
+    stream_for_phase: &mut impl FnMut(usize) -> S,
+    senders: &[Tx],
+    snapshots: &VecDeque<SourceSnapshot<S>>,
+    source: usize,
+    request: ReplayRequest,
+    live_next_seq: &[u64],
+) where
+    S: KeyStream + Clone,
+    Tx: TupleSender,
+{
+    let target = request.worker;
+    let upto = live_next_seq[target];
+    if request.from_seq >= upto {
+        // Nothing sent past the requested cursor yet; the live loop will
+        // produce those messages in order.
+        return;
+    }
+    let snap = snapshots
+        .iter()
+        .rev()
+        .find(|s| s.next_seq[target] <= request.from_seq)
+        .expect("origin snapshot covers sequence zero");
+    let mut partitioner = snap.partitioner.clone();
+    let mut replay_seq = snap.next_seq[target];
+    let batch_size = plan.batch_size;
+    let window_size = plan.window_size;
+    let mut local_idx = snap.local_idx;
+    let mut keybuf: Vec<KeyId> = Vec::with_capacity(batch_size);
+    let mut routebuf: Vec<usize> = Vec::with_capacity(batch_size);
+    let mut pending: Vec<KeyId> = Vec::with_capacity(batch_size);
+    let deliver_batch = |replay_seq: &mut u64, keys: Vec<KeyId>, window: WindowId| {
+        let seq = *replay_seq;
+        *replay_seq += 1;
+        if seq >= request.from_seq {
+            senders[target]
+                .send(SourceMessage::Batch(TupleBatch {
+                    keys,
+                    window,
+                    source,
+                    seq,
+                    emitted_at: Instant::now(),
+                }))
+                .expect("worker queue closed prematurely");
+        }
+    };
+    let deliver_close = |replay_seq: &mut u64, window: WindowId| {
+        let seq = *replay_seq;
+        *replay_seq += 1;
+        if seq >= request.from_seq {
+            senders[target]
+                .send(SourceMessage::CloseWindow {
+                    window,
+                    source,
+                    seq,
+                })
+                .expect("worker queue closed prematurely");
+        }
+    };
+    let mut resumed = false;
+    'phases: for (phase_idx, phase) in plan.phases.iter().enumerate().skip(snap.phase_idx) {
+        let (mut stream, mut emitted) = if !resumed {
+            resumed = true;
+            (snap.stream.clone(), snap.emitted_in_phase)
+        } else {
+            // Crossing a phase boundary inside the replay: rescale the
+            // cloned routing state and open a fresh phase stream, exactly
+            // as the live loop did.
+            let partition = PartitionConfig::new(phase.workers).with_seed(plan.seed);
+            partitioner.rescale(&partition);
+            (stream_for_phase(phase_idx), 0u64)
+        };
+        while emitted < phase.tuples_per_source {
+            if replay_seq >= upto {
+                return;
+            }
+            let take = (batch_size as u64)
+                .min(window_size - local_idx % window_size)
+                .min(phase.tuples_per_source - emitted) as usize;
+            keybuf.clear();
+            while keybuf.len() < take {
+                match stream.next_key() {
+                    Some(key) => keybuf.push(key),
+                    None => break,
+                }
+            }
+            if keybuf.is_empty() {
+                break 'phases;
+            }
+            let window = window_of(local_idx, window_size);
+            partitioner.route_batch(&keybuf, &mut routebuf);
+            for (&key, &worker) in keybuf.iter().zip(&routebuf) {
+                if worker != target {
+                    continue;
+                }
+                pending.push(key);
+                if pending.len() == batch_size {
+                    let keys = std::mem::replace(&mut pending, Vec::with_capacity(batch_size));
+                    deliver_batch(&mut replay_seq, keys, window);
+                }
+            }
+            let chunk = keybuf.len() as u64;
+            local_idx += chunk;
+            emitted += chunk;
+            if local_idx % window_size == 0 {
+                if !pending.is_empty() {
+                    let keys = std::mem::replace(&mut pending, Vec::with_capacity(batch_size));
+                    deliver_batch(&mut replay_seq, keys, window);
+                }
+                deliver_close(&mut replay_seq, window);
+            }
+        }
+    }
+    // Trailing partial window, mirroring the live loop's end-of-stream
+    // flush (reached only when replay extends to the very end of the run).
+    if replay_seq < upto && local_idx % window_size != 0 {
+        let window = window_of(local_idx, window_size);
+        if !pending.is_empty() {
+            let keys = std::mem::replace(&mut pending, Vec::with_capacity(batch_size));
+            deliver_batch(&mut replay_seq, keys, window);
+        }
+        deliver_close(&mut replay_seq, window);
+    }
 }
 
 /// What one worker reports after draining its input channel: counts,
@@ -811,19 +1279,31 @@ pub struct WorkerStageReport {
     pub windows_closed: u64,
     /// Per-phase `(first, last)` batch-completion instants, µs since epoch.
     pub phase_spans: Vec<Option<(u64, u64)>>,
+    /// Recovery activity: restores, replayed tuples, dedup drops, replay
+    /// requests. All zero on a fault-free run.
+    pub recovery: RecoveryMetrics,
+    /// Checkpoints this worker saved (one per window finalization,
+    /// including re-finalizations after a restore).
+    pub checkpoints: u64,
 }
 
-/// Everything one worker contributes to a run: drains whole runs of batches
-/// from `receiver`, spins for the phase's per-worker service time,
-/// accumulates per-window partial aggregates, and — once every source's
-/// close marker for a window has arrived — shards the window's partial and
-/// ships the slices through `partial_senders` (one per aggregator).
+/// Everything one worker contributes to a run, without a recovery channel:
+/// drains whole runs of batches from `receiver`, spins for the phase's
+/// per-worker service time, accumulates per-window partial aggregates, and
+/// — once every source's close marker for a window has arrived — shards the
+/// window's partial and ships the slices through `partial_senders` (one per
+/// aggregator). Checkpoints are still taken at every window finalization
+/// (the durability cost is part of the engine, not of fault injection), but
+/// no crash can be simulated and no replay requested. See
+/// [`run_worker_stage_recoverable`] for the feedback-connected variant.
 ///
 /// `epoch` anchors the report's span timestamps; pass the instant the run
 /// started (the same epoch on every node of a distributed run).
 ///
 /// # Panics
-/// Panics if a partial send fails (an aggregator endpoint disappeared).
+/// Panics if a partial send fails (an aggregator endpoint disappeared), or
+/// if the plan schedules a kill for this worker (a crash cannot be
+/// recovered without a feedback channel).
 pub fn run_worker_stage<A, Rx, Tx>(
     plan: &StagePlan,
     worker_idx: usize,
@@ -834,30 +1314,243 @@ pub fn run_worker_stage<A, Rx, Tx>(
 ) -> WorkerStageReport
 where
     A: WindowAggregate<KeyId>,
+    A::Partial: WirePartial,
     Rx: TupleReceiver,
     Tx: PartialSender<A::Partial>,
+{
+    run_worker_stage_recoverable(
+        plan,
+        worker_idx,
+        epoch,
+        aggregate,
+        receiver,
+        partial_senders,
+        Vec::<crossbeam_channel::Sender<ReplayRequest>>::new(),
+    )
+}
+
+/// The worker's distinct-key set (the memory-footprint metric), kept in
+/// checkpoint order incrementally: per-tuple membership rides the hash
+/// set, and a *new* key — rare, bounded by the key-space size — is also
+/// placed into a sorted vector at its ordered position. The checkpoint
+/// encoding then borrows the vector as-is instead of collecting and
+/// re-sorting the whole set at every window close, which dominated the
+/// checkpoint path's cost at zero service time.
+struct StateKeys {
+    set: std::collections::HashSet<KeyId>,
+    sorted: Vec<KeyId>,
+}
+
+impl StateKeys {
+    fn new() -> Self {
+        Self {
+            set: std::collections::HashSet::new(),
+            sorted: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the set from a checkpoint's (strictly ascending) key list.
+    fn restore(keys: &[KeyId]) -> Self {
+        Self {
+            set: keys.iter().copied().collect(),
+            sorted: keys.to_vec(),
+        }
+    }
+
+    fn insert(&mut self, key: KeyId) {
+        if self.set.insert(key) {
+            let at = self.sorted.partition_point(|&k| k < key);
+            self.sorted.insert(at, key);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    fn sorted(&self) -> &[KeyId] {
+        &self.sorted
+    }
+}
+
+/// Builds the consistent snapshot a worker saves at a window finalization:
+/// counters, per-source sequence cursors, the (already sorted) state-key
+/// set, and every still-open window's close count and encoded partial —
+/// written into `out`, which the caller reuses across closes so the
+/// steady-state encode allocates nothing for the checkpoint bytes. The
+/// snapshot is a pure function of the per-source message prefixes recorded
+/// in `next_seq`, which is what makes restore + bounded replay land the
+/// worker in exactly the state it lost.
+#[allow(clippy::too_many_arguments)]
+fn encode_checkpoint_into<A>(
+    aggregate: &A,
+    worker: usize,
+    windows_closed: u64,
+    processed: u64,
+    phase_counts: &[u64],
+    next_seq: &[u64],
+    state_keys: &[KeyId],
+    open: &HashMap<WindowId, A::Partial>,
+    closes: &HashMap<WindowId, usize>,
+    out: &mut Vec<u8>,
+) where
+    A: WindowAggregate<KeyId>,
+    A::Partial: WirePartial,
+{
+    let _ = aggregate;
+    let mut windows: Vec<WindowId> = open.keys().chain(closes.keys()).copied().collect();
+    windows.sort_unstable();
+    windows.dedup();
+    let open_states: Vec<OpenWindowState> = windows
+        .into_iter()
+        .map(|window| OpenWindowState {
+            window,
+            closes_seen: closes.get(&window).copied().unwrap_or(0) as u64,
+            partial: open.get(&window).map(|partial| {
+                let mut blob = Vec::new();
+                partial.encode_partial(&mut blob);
+                blob
+            }),
+        })
+        .collect();
+    let checkpoint = WorkerCheckpoint {
+        worker: worker as u64,
+        windows_closed,
+        processed,
+        phase_counts: phase_counts.to_vec(),
+        next_seq: next_seq.to_vec(),
+        state_keys: state_keys.to_vec(),
+        open: open_states,
+    };
+    out.clear();
+    checkpoint.encode(out);
+}
+
+/// [`run_worker_stage`] plus the recovery protocol. Three mechanisms stack
+/// to make processing exactly-once under the plan's injected faults:
+///
+/// 1. **Sequence dedup.** Every message carries its per-(source, worker)
+///    sequence number. A message below the expected cursor is a replay
+///    overlap — dropped; above it is a gap — the worker sends one
+///    [`ReplayRequest`] per missing cursor position and drops until the
+///    expected message arrives; exactly at it — processed, cursor advances.
+/// 2. **Per-window checkpoints.** At every window finalization the worker
+///    saves an encoded [`WorkerCheckpoint`].
+/// 3. **Crash + restore.** At a [`FaultPlan`] kill point the worker
+///    discards *all* volatile state, decodes its last checkpoint (or starts
+///    empty if it never took one), and asks every source to replay from the
+///    checkpoint's cursors. Closed windows are never reprocessed — their
+///    tuples sit below the checkpoint cursors — so aggregators see each
+///    (worker, window) partial at most once per finalization.
+///
+/// After finalizing the plan's last window the worker drops its feedback
+/// senders (letting sources finish their replay-service loops) and keeps
+/// draining to EOF, shedding stragglers as duplicates.
+///
+/// # Panics
+/// Panics if a partial send fails, or if recovery is needed (gap observed,
+/// kill scheduled) and `feedback_senders` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn run_worker_stage_recoverable<A, Rx, Tx, Ftx>(
+    plan: &StagePlan,
+    worker_idx: usize,
+    epoch: Instant,
+    aggregate: &A,
+    receiver: Rx,
+    partial_senders: &[Tx],
+    mut feedback_senders: Vec<Ftx>,
+) -> WorkerStageReport
+where
+    A: WindowAggregate<KeyId>,
+    A::Partial: WirePartial,
+    Rx: TupleReceiver,
+    Tx: PartialSender<A::Partial>,
+    Ftx: FeedbackSender,
 {
     let n_phases = plan.phases.len();
     let sources = plan.sources;
     let aggregators = plan.aggregators;
+    let total_windows = plan.total_windows();
+    // Stands in for this worker's durable medium (local disk, replicated
+    // log): a simulated crash discards everything on the stack below and
+    // restores only from these bytes.
+    let store = CheckpointStore::new(1);
+    let mut kill_points: VecDeque<u64> = plan.faults.kill_points(worker_idx).into();
+    assert!(
+        kill_points.is_empty() || !feedback_senders.is_empty(),
+        "kill-worker faults require a recovery feedback channel"
+    );
     let mut processed = 0u64;
     let mut phase_counts = vec![0u64; n_phases];
     let mut phase_latencies: Vec<LatencyTracker> = (0..n_phases)
         .map(|_| LatencyTracker::with_capacity(1_024))
         .collect();
     // First/last batch-completion instants per phase, for the
-    // per-phase throughput span.
+    // per-phase throughput span. Timing diagnostics survive a simulated
+    // crash (they describe the wall clock, not the recovered state).
     let mut phase_spans: Vec<Option<(u64, u64)>> = vec![None; n_phases];
     // Distinct keys this worker has ever held state for (the
     // memory-footprint metric); the per-key counts themselves
     // live in the window partials.
-    let mut state: std::collections::HashSet<KeyId> = std::collections::HashSet::new();
+    let mut state = StateKeys::new();
     let mut open: HashMap<WindowId, A::Partial> = HashMap::new();
     let mut closes: HashMap<WindowId, usize> = HashMap::new();
     let mut windows_closed = 0u64;
+    // Per-source sequence dedup state.
+    let mut expected_seq = vec![0u64; sources];
+    // One past the highest sequence number ever observed per source; feeds
+    // only the replayed-items diagnostic (a delivery behind the frontier
+    // is a replay), never a recovery decision, so it survives crashes.
+    let mut frontier = vec![0u64; sources];
+    // The cursor a replay request is outstanding for, per source; cleared
+    // when the expected message arrives, so each gap asks exactly once.
+    let mut pending_request: Vec<Option<u64>> = vec![None; sources];
+    let mut recovery = RecoveryMetrics::default();
+    let mut checkpoints = 0u64;
+    // Reused across window closes so the steady-state checkpoint encode
+    // allocates nothing for the snapshot bytes.
+    let mut checkpoint_buf: Vec<u8> = Vec::new();
+    if total_windows == 0 {
+        // Degenerate empty run: no window will ever finalize, so release
+        // the sources' replay-service loops immediately.
+        feedback_senders.clear();
+    }
     let mut drained: Vec<SourceMessage> = Vec::new();
     while receiver.recv_batch(&mut drained).is_ok() {
         for message in drained.drain(..) {
+            let (src, seq) = message.source_seq();
+            frontier[src] = frontier[src].max(seq + 1);
+            if seq < expected_seq[src] {
+                // Replay overlap (or a frame re-sent past our progress):
+                // already processed, drop it.
+                recovery.duplicates_dropped += 1;
+                continue;
+            }
+            if seq > expected_seq[src] {
+                // Gap: a frame was lost ahead of us. Ask the source to
+                // replay from the missing cursor (once per cursor value)
+                // and shed everything until it arrives — FIFO per sender
+                // means the replayed run will precede any newer frames.
+                if pending_request[src] != Some(expected_seq[src]) {
+                    assert!(
+                        !feedback_senders.is_empty(),
+                        "sequence gap from source {src} without a recovery feedback channel"
+                    );
+                    feedback_senders[src]
+                        .send(ReplayRequest {
+                            worker: worker_idx,
+                            from_seq: expected_seq[src],
+                        })
+                        .expect("feedback channel closed prematurely");
+                    pending_request[src] = Some(expected_seq[src]);
+                    recovery.replay_requests += 1;
+                }
+                recovery.duplicates_dropped += 1;
+                continue;
+            }
+            expected_seq[src] += 1;
+            pending_request[src] = None;
+            let is_replay = seq + 1 < frontier[src];
             match message {
                 SourceMessage::Batch(batch) => {
                     let n = batch.keys.len() as u64;
@@ -883,6 +1576,9 @@ where
                         state.insert(*key);
                         aggregate.observe(partial, key, 1);
                     }
+                    if is_replay {
+                        recovery.replayed_items += n;
+                    }
                     let done = Instant::now();
                     let batch_latency_us = done.duration_since(batch.emitted_at).as_micros() as u64;
                     phase_latencies[phase].record_many_us(batch_latency_us, n);
@@ -891,17 +1587,68 @@ where
                     let done_us = done.saturating_duration_since(epoch).as_micros() as u64;
                     let span = phase_spans[phase].get_or_insert((done_us, done_us));
                     span.1 = done_us;
+                    // Injected crash: trips once when lifetime processed
+                    // tuples reach the threshold. Consumed before the
+                    // restore so the rewound counter cannot re-trip it.
+                    while kill_points.front().is_some_and(|&at| processed >= at) {
+                        kill_points.pop_front();
+                        recovery.restores += 1;
+                        // -- crash -- every live variable below is lost.
+                        let checkpoint = store
+                            .load(0)
+                            .map(|bytes| {
+                                WorkerCheckpoint::decode(&mut bytes.as_slice())
+                                    .expect("a worker's own checkpoint decodes")
+                            })
+                            .unwrap_or_default();
+                        // -- restart -- restore from the checkpoint alone.
+                        processed = checkpoint.processed;
+                        windows_closed = checkpoint.windows_closed;
+                        phase_counts = checkpoint.phase_counts.clone();
+                        phase_counts.resize(n_phases, 0);
+                        state = StateKeys::restore(&checkpoint.state_keys);
+                        expected_seq = checkpoint.next_seq.clone();
+                        expected_seq.resize(sources, 0);
+                        open = checkpoint
+                            .open
+                            .iter()
+                            .filter_map(|w| {
+                                w.partial.as_ref().map(|blob| {
+                                    let partial = A::Partial::decode_partial(&mut blob.as_slice())
+                                        .expect("a worker's own checkpoint decodes");
+                                    (w.window, partial)
+                                })
+                            })
+                            .collect();
+                        closes = checkpoint
+                            .open
+                            .iter()
+                            .filter(|w| w.closes_seen > 0)
+                            .map(|w| (w.window, w.closes_seen as usize))
+                            .collect();
+                        for (src, sender) in feedback_senders.iter().enumerate() {
+                            sender
+                                .send(ReplayRequest {
+                                    worker: worker_idx,
+                                    from_seq: expected_seq[src],
+                                })
+                                .expect("feedback channel closed prematurely");
+                            pending_request[src] = Some(expected_seq[src]);
+                            recovery.replay_requests += 1;
+                        }
+                    }
                 }
-                SourceMessage::CloseWindow { window } => {
+                SourceMessage::CloseWindow { window, .. } => {
                     let seen = closes.entry(window).or_insert(0);
                     *seen += 1;
                     if *seen < sources {
                         continue;
                     }
-                    // Channels are FIFO per source, so with all
-                    // sources' markers in hand this worker holds
-                    // every tuple of the window that was routed
-                    // to it: finalize and ship the shard slices.
+                    // Channels are FIFO per source and sequence dedup
+                    // admits each marker once, so with all sources'
+                    // markers in hand this worker holds every tuple of
+                    // the window that was routed to it: finalize and
+                    // ship the shard slices.
                     closes.remove(&window);
                     let partial = open.remove(&window).unwrap_or_else(|| aggregate.empty());
                     let closed_at = Instant::now();
@@ -913,12 +1660,39 @@ where
                         partial_senders[shard]
                             .send(PartialWindow {
                                 window,
+                                worker: worker_idx,
                                 partial: slice,
                                 closed_at,
                             })
                             .expect("aggregator queue closed prematurely");
                     }
                     windows_closed += 1;
+                    // Checkpoint at the finalization boundary: shipping
+                    // the partials and persisting the cursor that covers
+                    // them happen back to back, so a later restore never
+                    // re-finalizes this window.
+                    if plan.checkpointing {
+                        encode_checkpoint_into(
+                            aggregate,
+                            worker_idx,
+                            windows_closed,
+                            processed,
+                            &phase_counts,
+                            &expected_seq,
+                            state.sorted(),
+                            &open,
+                            &closes,
+                            &mut checkpoint_buf,
+                        );
+                        store.save(0, &checkpoint_buf);
+                        checkpoints += 1;
+                    }
+                    if windows_closed == total_windows {
+                        // Last window done: release the sources' replay
+                        // service, then keep draining to EOF (anything
+                        // still in flight is a replay overlap).
+                        feedback_senders.clear();
+                    }
                 }
             }
         }
@@ -934,23 +1708,36 @@ where
         state_keys: state.len() as u64,
         windows_closed,
         phase_spans,
+        recovery,
+        checkpoints,
     }
 }
 
 /// What one aggregator reports: the windows it finalized, the close→merge
-/// latency distribution, and how many partial messages it merged.
+/// latency distribution, how many partial messages it merged, and how many
+/// it dropped as duplicates.
 pub struct AggregatorStageReport<P> {
     /// Final merged aggregate per window this shard owned.
     pub finalized: BTreeMap<WindowId, P>,
     /// Close→merge latency samples.
     pub latencies: LatencyTracker,
-    /// Partial-window messages merged.
+    /// Partial-window messages merged (each counted at most once per
+    /// distinct `(worker, window)`).
     pub merged: u64,
+    /// Partial-window messages dropped because their `(worker, window)` had
+    /// already contributed — a recovered worker re-shipping a partial. Zero
+    /// on a fault-free run, and zero even under kill faults (checkpoints at
+    /// finalization mean closed windows are never re-finalized); the dedup
+    /// is the aggregator's own exactly-once guarantee regardless.
+    pub duplicates_dropped: u64,
 }
 
 /// Everything one aggregator contributes to a run: merges partial-window
 /// slices from `receiver` as they arrive; a window is final once every one
 /// of the `spawned_workers` workers has contributed its slice.
+/// Contributions are counted by *distinct* worker — a duplicate
+/// `(worker, window)` partial (a recovered worker re-shipping) is dropped,
+/// never double-merged.
 pub fn run_aggregator_stage<A, Rx>(
     spawned_workers: usize,
     aggregate: &A,
@@ -962,20 +1749,35 @@ where
 {
     let mut latencies = LatencyTracker::with_capacity(256);
     let mut merged = 0u64;
-    let mut open: HashMap<WindowId, (A::Partial, usize)> = HashMap::new();
+    let mut duplicates_dropped = 0u64;
+    // Per open window: the merged partial, which workers contributed, and
+    // the distinct-contributor count.
+    #[allow(clippy::type_complexity)]
+    let mut open: HashMap<WindowId, (A::Partial, Vec<bool>, usize)> = HashMap::new();
     let mut finalized: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
     let mut drained: Vec<PartialWindow<A::Partial>> = Vec::new();
     while receiver.recv_batch(&mut drained).is_ok() {
         for pw in drained.drain(..) {
-            latencies.record_us(pw.closed_at.elapsed().as_micros() as u64);
-            merged += 1;
+            if finalized.contains_key(&pw.window) {
+                // Every worker already contributed; a straggler can only
+                // be a re-shipped duplicate.
+                duplicates_dropped += 1;
+                continue;
+            }
             let slot = open
                 .entry(pw.window)
-                .or_insert_with(|| (aggregate.empty(), 0));
+                .or_insert_with(|| (aggregate.empty(), vec![false; spawned_workers], 0));
+            if slot.1[pw.worker] {
+                duplicates_dropped += 1;
+                continue;
+            }
+            slot.1[pw.worker] = true;
+            slot.2 += 1;
+            latencies.record_us(pw.closed_at.elapsed().as_micros() as u64);
+            merged += 1;
             aggregate.merge(&mut slot.0, pw.partial);
-            slot.1 += 1;
-            if slot.1 == spawned_workers {
-                let (partial, _) = open.remove(&pw.window).expect("window is open");
+            if slot.2 == spawned_workers {
+                let (partial, _, _) = open.remove(&pw.window).expect("window is open");
                 finalized.insert(pw.window, partial);
             }
         }
@@ -988,6 +1790,7 @@ where
         finalized,
         latencies,
         merged,
+        duplicates_dropped,
     }
 }
 
@@ -1016,11 +1819,13 @@ where
     let mut phase_matrix = PhaseLoadMatrix::new(n_phases, plan.spawned_workers);
     let mut phase_latencies: Vec<Vec<LatencyTracker>> = (0..n_phases).map(|_| Vec::new()).collect();
     let mut phase_spans: Vec<Option<(u64, u64)>> = vec![None; n_phases];
+    let mut worker_recovery = RecoveryMetrics::default();
     for (w, report) in worker_reports.into_iter().enumerate() {
         processed += report.processed;
         worker_counts.push(report.processed);
         worker_state_keys.push(report.state_keys);
         worker_windows_closed.push(report.windows_closed);
+        worker_recovery = worker_recovery.merged(report.recovery);
         for (p, tracker) in report.phase_latencies.into_iter().enumerate() {
             phase_matrix.add(p, w, report.phase_counts[p]);
             phase_latencies[p].push(tracker);
@@ -1037,8 +1842,10 @@ where
     let mut windows: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
     let mut aggregator_latencies = Vec::with_capacity(plan.aggregators);
     let mut partials_merged = 0u64;
+    let mut partials_deduped = 0u64;
     for report in aggregator_reports {
         partials_merged += report.merged;
+        partials_deduped += report.duplicates_dropped;
         aggregator_latencies.push(report.latencies);
         for (window, partial) in report.finalized {
             match windows.entry(window) {
@@ -1101,11 +1908,20 @@ where
         aggregators: plan.aggregators,
         windows: windows.len() as u64,
         phases: phases_out,
-        worker_stage: StageMetrics::new(processed, elapsed_secs, latency),
-        aggregator_stage: StageMetrics::new(
+        worker_stage: StageMetrics::with_recovery(
+            processed,
+            elapsed_secs,
+            latency,
+            worker_recovery,
+        ),
+        aggregator_stage: StageMetrics::with_recovery(
             partials_merged,
             elapsed_secs,
             LatencyTracker::summarize(&aggregator_latencies),
+            RecoveryMetrics {
+                duplicates_dropped: partials_deduped,
+                ..RecoveryMetrics::default()
+            },
         ),
     };
     WindowedRun { result, windows }
@@ -1123,8 +1939,9 @@ fn run_plan<A, F, S, T>(
 ) -> WindowedRun<A::Partial>
 where
     A: WindowAggregate<KeyId>,
+    A::Partial: WirePartial,
     F: Fn(usize, usize) -> S + Send + Sync + 'static,
-    S: KeyStream + Send,
+    S: KeyStream + Clone + Send,
     T: Transport<A::Partial>,
 {
     // The queue capacity is configured in tuples; the channels carry
@@ -1134,6 +1951,10 @@ where
     let (partial_senders, partial_receivers) = transport.partial_channels(
         plan.aggregators,
         partial_channel_capacity(plan.spawned_workers),
+    );
+    let (feedback_senders, feedback_receivers) = transport.feedback_channels(
+        plan.sources,
+        feedback_channel_capacity(plan.spawned_workers),
     );
 
     let start = Instant::now();
@@ -1152,27 +1973,37 @@ where
         let plan = plan.clone();
         let aggregate = aggregate.clone();
         let partial_senders = partial_senders.clone();
+        let feedback_senders = feedback_senders.clone();
         worker_handles.push(thread::spawn(move || {
-            run_worker_stage(
+            run_worker_stage_recoverable(
                 &plan,
                 worker_idx,
                 start,
                 &aggregate,
                 receiver,
                 &partial_senders,
+                feedback_senders,
             )
         }));
     }
-    // The workers hold their own clones of the partial senders.
+    // The workers hold their own clones of the partial and feedback
+    // senders.
     drop(partial_senders);
+    drop(feedback_senders);
 
     let mut source_handles = Vec::with_capacity(plan.sources);
-    for source_idx in 0..plan.sources {
+    for (source_idx, feedback) in feedback_receivers.into_iter().enumerate() {
         let plan = plan.clone();
         let senders = senders.clone();
         let streams = streams.clone();
         source_handles.push(thread::spawn(move || {
-            run_source_stage(&plan, |phase| (streams)(phase, source_idx), &senders)
+            run_source_stage_recoverable(
+                &plan,
+                source_idx,
+                |phase| (streams)(phase, source_idx),
+                &senders,
+                Some(feedback),
+            )
         }));
     }
     // Drop the topology's own copies so workers terminate when sources do.
@@ -1543,6 +2374,107 @@ mod tests {
         assert_eq!(plan.phases.len(), 3);
         assert_eq!(plan.spawned_workers, 5);
         assert_eq!(*plan.phase_starts, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn recovery_counters_are_quiet_on_plain_runs() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.4).with_service_time_us(0);
+        let run = Topology::new(cfg).run_windowed(CountAggregate);
+        assert!(run.result.worker_stage.recovery.is_quiet());
+        assert_eq!(run.result.aggregator_stage.recovery.duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn no_fault_plan_is_bit_identical_to_plain_run() {
+        let cfg = EngineConfig::smoke(PartitionerKind::DChoices, 1.8)
+            .with_messages(8_000)
+            .with_service_time_us(0);
+        let plain = Topology::new(cfg.clone()).run_windowed(CountAggregate);
+        let faulted =
+            Topology::new(cfg).run_windowed_faulted_on(CountAggregate, &InProc, &FaultPlan::none());
+        assert_eq!(plain.windows, faulted.windows);
+        assert_eq!(plain.result.worker_counts, faulted.result.worker_counts);
+        assert!(faulted.result.worker_stage.recovery.is_quiet());
+    }
+
+    #[test]
+    fn killed_worker_recovers_to_identical_windows() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.4)
+            .with_messages(12_000)
+            .with_service_time_us(0)
+            .with_window_size(512);
+        let clean = Topology::new(cfg.clone()).run_windowed(CountAggregate);
+        let faults = FaultPlan::none().kill_worker(0, 700).kill_worker(1, 1_500);
+        let hurt = Topology::new(cfg).run_windowed_faulted_on(CountAggregate, &InProc, &faults);
+        assert_eq!(clean.windows, hurt.windows, "kill changed merged windows");
+        assert_eq!(clean.result.worker_counts, hurt.result.worker_counts);
+        assert_eq!(
+            clean.result.worker_state_keys,
+            hurt.result.worker_state_keys
+        );
+        let recovery = &hurt.result.worker_stage.recovery;
+        assert_eq!(recovery.restores, 2, "both scheduled kills must fire");
+        assert!(recovery.replay_requests > 0);
+        // Closed windows are never re-finalized: recovery replays only the
+        // open window, so the aggregator sees no duplicate partials.
+        assert_eq!(hurt.result.aggregator_stage.recovery.duplicates_dropped, 0);
+        // Timing-only trackers survive the simulated crash, so replayed
+        // tuples add samples on top of the processed count.
+        assert!(hurt.result.latency.samples >= hurt.result.processed);
+    }
+
+    #[test]
+    fn dropped_connection_recovers_via_gap_replay() {
+        let cfg = EngineConfig::smoke(PartitionerKind::ShuffleGrouping, 1.2)
+            .with_messages(10_000)
+            .with_service_time_us(0)
+            .with_batch_size(64);
+        let clean = Topology::new(cfg.clone()).run_windowed(CountAggregate);
+        let faults = FaultPlan::none().drop_connection(0, 1, 3, 2);
+        let hurt = Topology::new(cfg).run_windowed_faulted_on(CountAggregate, &InProc, &faults);
+        assert_eq!(clean.windows, hurt.windows, "loss changed merged windows");
+        assert_eq!(clean.result.worker_counts, hurt.result.worker_counts);
+        let recovery = &hurt.result.worker_stage.recovery;
+        assert!(recovery.replay_requests > 0, "gap must request replay");
+        assert!(recovery.replayed_items > 0, "replay must redeliver tuples");
+        assert_eq!(recovery.restores, 0, "no worker was killed");
+    }
+
+    #[test]
+    fn scenario_survives_faults_with_identical_windows() {
+        let scenario = small_scenario(17);
+        let cfg = ScenarioConfig::new(PartitionerKind::WChoices, scenario);
+        let clean = cfg.run_windowed(CountAggregate);
+        let faults = FaultPlan::none()
+            .kill_worker(0, 150)
+            .drop_connection(1, 1, 2, 1);
+        let hurt = cfg.run_windowed_faulted_on(CountAggregate, &InProc, &faults);
+        assert_eq!(clean.windows, hurt.windows);
+        assert_eq!(clean.result.worker_counts, hurt.result.worker_counts);
+        assert!(hurt.result.worker_stage.recovery.restores >= 1);
+    }
+
+    #[test]
+    fn faulted_reruns_are_deterministic() {
+        let cfg = EngineConfig::smoke(PartitionerKind::DChoices, 1.6)
+            .with_messages(9_000)
+            .with_service_time_us(0);
+        let faults = FaultPlan::none()
+            .kill_worker(2, 400)
+            .drop_connection(1, 0, 1, 3);
+        let a =
+            Topology::new(cfg.clone()).run_windowed_faulted_on(CountAggregate, &InProc, &faults);
+        let b = Topology::new(cfg).run_windowed_faulted_on(CountAggregate, &InProc, &faults);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.result.worker_counts, b.result.worker_counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn out_of_range_fault_plan_panics() {
+        let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.0);
+        let faults = FaultPlan::none().kill_worker(999, 10);
+        let _ = Topology::new(cfg).run_windowed_faulted_on(CountAggregate, &InProc, &faults);
     }
 
     #[test]

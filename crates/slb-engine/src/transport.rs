@@ -1,12 +1,14 @@
 //! The engine's pluggable transport layer.
 //!
-//! The topology has exactly three kinds of hop:
+//! The topology has exactly four kinds of hop:
 //!
 //! 1. **source → worker tuple batches** ([`TupleBatch`]) — the hot path,
 //! 2. **source → worker punctuation** ([`SourceMessage::CloseWindow`]) —
 //!    the markers that close tuple-count windows,
 //! 3. **worker → aggregator partials** ([`PartialWindow`]) — one finalized
-//!    per-window shard slice per worker per aggregator.
+//!    per-window shard slice per worker per aggregator,
+//! 4. **worker → source recovery feedback** ([`ReplayRequest`]) — a
+//!    recovering worker asking a source to re-send from a sequence cursor.
 //!
 //! A [`Transport`] supplies the channel endpoints for those hops. The run
 //! loop in [`crate::topology`] is generic over it, so the *same* phased
@@ -48,6 +50,13 @@ pub struct TupleBatch {
     pub keys: Vec<KeyId>,
     /// The window every key in the batch belongs to.
     pub window: WindowId,
+    /// Index of the source that emitted the batch.
+    pub source: usize,
+    /// Position of this message in the per-(source, worker) sequence. Every
+    /// message a source sends to one worker — batch or close marker —
+    /// carries the next consecutive number, so the receiver can detect both
+    /// duplicates (replay overlap) and gaps (loss) exactly.
+    pub seq: u64,
     /// When the batch's first tuple was buffered at the source.
     pub emitted_at: Instant,
 }
@@ -61,7 +70,22 @@ pub enum SourceMessage {
     CloseWindow {
         /// The window the sending source has finished.
         window: WindowId,
+        /// Index of the source that finished it.
+        source: usize,
+        /// Position in the per-(source, worker) sequence (see
+        /// [`TupleBatch::seq`]).
+        seq: u64,
     },
+}
+
+impl SourceMessage {
+    /// The (source, sequence) coordinates of the message.
+    pub fn source_seq(&self) -> (usize, u64) {
+        match self {
+            SourceMessage::Batch(batch) => (batch.source, batch.seq),
+            SourceMessage::CloseWindow { source, seq, .. } => (*source, *seq),
+        }
+    }
 }
 
 /// One worker's finalized partial aggregate for one window, sliced to one
@@ -69,10 +93,26 @@ pub enum SourceMessage {
 pub struct PartialWindow<P> {
     /// The window the partial belongs to.
     pub window: WindowId,
+    /// Index of the worker that finalized the window. Aggregators count
+    /// contributions by *distinct* worker, so a recovered worker re-sending
+    /// a partial it already shipped is dropped as a duplicate instead of
+    /// double-counted.
+    pub worker: usize,
     /// The shard slice of the worker's partial aggregate.
     pub partial: P,
     /// When the worker finalized the window (all close markers collected).
     pub closed_at: Instant,
+}
+
+/// A recovering worker's request that a source re-send its stream from a
+/// sequence cursor. Carried on the worker → source feedback hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayRequest {
+    /// The worker asking for replay.
+    pub worker: usize,
+    /// First per-(source, worker) sequence number the worker is missing;
+    /// the source re-sends every message to that worker with `seq >= from`.
+    pub from_seq: u64,
 }
 
 /// The error every transport operation reports once the peer is gone: all
@@ -118,6 +158,28 @@ pub trait PartialReceiver<P: Send + 'static>: Send + 'static {
     fn recv_batch(&self, out: &mut Vec<PartialWindow<P>>) -> Result<usize, ChannelClosed>;
 }
 
+/// Sending half of a worker → source feedback channel. Cloned once per
+/// worker; workers drop their clones after finalizing their last window,
+/// which is how sources learn no further replay can be requested.
+pub trait FeedbackSender: Send + Clone + 'static {
+    /// Blocks until there is room, then enqueues `request`.
+    fn send(&self, request: ReplayRequest) -> Result<(), ChannelClosed>;
+}
+
+/// Receiving half of a worker → source feedback channel (one per source).
+pub trait FeedbackReceiver: Send + 'static {
+    /// Returns a pending request without blocking (`Ok(None)` when the
+    /// channel is momentarily empty). Sources poll this between batches so
+    /// that a worker blocked on recovery cannot deadlock against a source
+    /// blocked on a full tuple queue.
+    fn try_recv(&self) -> Result<Option<ReplayRequest>, ChannelClosed>;
+
+    /// Blocks until a request arrives. Reports [`ChannelClosed`] once every
+    /// worker has dropped its sender and the queue is empty — the source's
+    /// signal that the run is over.
+    fn recv(&self) -> Result<ReplayRequest, ChannelClosed>;
+}
+
 /// A factory of channel endpoints for the topology's hops, parameterized by
 /// the aggregate partial type `P` that crosses the worker → aggregator hop.
 pub trait Transport<P: Send + 'static> {
@@ -129,6 +191,10 @@ pub trait Transport<P: Send + 'static> {
     type PartialTx: PartialSender<P>;
     /// Worker → aggregator receiver handle (one per aggregator).
     type PartialRx: PartialReceiver<P>;
+    /// Worker → source feedback sender handle (shared by all workers).
+    type FeedbackTx: FeedbackSender;
+    /// Worker → source feedback receiver handle (one per source).
+    type FeedbackRx: FeedbackReceiver;
 
     /// Creates one source → worker channel per worker, each buffering at
     /// most `capacity_batches` in-flight messages.
@@ -145,6 +211,14 @@ pub trait Transport<P: Send + 'static> {
         aggregators: usize,
         capacity_messages: usize,
     ) -> (Vec<Self::PartialTx>, Vec<Self::PartialRx>);
+
+    /// Creates one worker → source feedback channel per source, each
+    /// buffering at most `capacity_messages` in-flight replay requests.
+    fn feedback_channels(
+        &self,
+        sources: usize,
+        capacity_messages: usize,
+    ) -> (Vec<Self::FeedbackTx>, Vec<Self::FeedbackRx>);
 }
 
 /// Converts the configured queue capacity (in tuples) into channel slots (in
@@ -165,6 +239,13 @@ pub fn capacity_in_batches(queue_capacity: usize, batch_size: usize) -> usize {
 /// slots per worker is plenty of double-buffering.
 pub fn partial_channel_capacity(spawned_workers: usize) -> usize {
     spawned_workers * 2 + 4
+}
+
+/// Channel slots for a worker → source feedback channel: a worker has at
+/// most one outstanding replay request per source per recovery, so one slot
+/// per worker plus headroom never blocks a recovering worker.
+pub fn feedback_channel_capacity(spawned_workers: usize) -> usize {
+    spawned_workers + 2
 }
 
 /// The in-process transport: bounded crossbeam channels, exactly the
@@ -197,11 +278,33 @@ impl<P: Send + 'static> PartialReceiver<P> for Receiver<PartialWindow<P>> {
     }
 }
 
+impl FeedbackSender for Sender<ReplayRequest> {
+    fn send(&self, request: ReplayRequest) -> Result<(), ChannelClosed> {
+        Sender::send(self, request).map_err(|_| ChannelClosed)
+    }
+}
+
+impl FeedbackReceiver for Receiver<ReplayRequest> {
+    fn try_recv(&self) -> Result<Option<ReplayRequest>, ChannelClosed> {
+        match Receiver::try_recv(self) {
+            Ok(request) => Ok(Some(request)),
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(ChannelClosed),
+        }
+    }
+
+    fn recv(&self) -> Result<ReplayRequest, ChannelClosed> {
+        Receiver::recv(self).map_err(|_| ChannelClosed)
+    }
+}
+
 impl<P: Send + 'static> Transport<P> for InProc {
     type TupleTx = Sender<SourceMessage>;
     type TupleRx = Receiver<SourceMessage>;
     type PartialTx = Sender<PartialWindow<P>>;
     type PartialRx = Receiver<PartialWindow<P>>;
+    type FeedbackTx = Sender<ReplayRequest>;
+    type FeedbackRx = Receiver<ReplayRequest>;
 
     fn tuple_channels(
         &self,
@@ -222,6 +325,16 @@ impl<P: Send + 'static> Transport<P> for InProc {
             .map(|_| bounded::<PartialWindow<P>>(capacity_messages))
             .unzip()
     }
+
+    fn feedback_channels(
+        &self,
+        sources: usize,
+        capacity_messages: usize,
+    ) -> (Vec<Self::FeedbackTx>, Vec<Self::FeedbackRx>) {
+        (0..sources)
+            .map(|_| bounded::<ReplayRequest>(capacity_messages))
+            .unzip()
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +351,38 @@ mod tests {
     }
 
     #[test]
+    fn capacity_conversion_handles_capacity_smaller_than_batch() {
+        // Any capacity strictly below one batch still yields the
+        // double-buffering floor, never zero or one slots.
+        for capacity in 1..256 {
+            assert_eq!(capacity_in_batches(capacity, 256), 2, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn capacity_conversion_of_zero_capacity_is_the_floor() {
+        assert_eq!(capacity_in_batches(0, 1), 2);
+        assert_eq!(capacity_in_batches(0, 256), 2);
+        assert_eq!(capacity_in_batches(0, usize::MAX), 2);
+    }
+
+    #[test]
+    fn capacity_conversion_exact_multiples_do_not_round() {
+        assert_eq!(capacity_in_batches(256, 256), 2, "one batch hits the floor");
+        assert_eq!(capacity_in_batches(512, 256), 2);
+        assert_eq!(capacity_in_batches(768, 256), 3);
+        assert_eq!(capacity_in_batches(2_560, 256), 10);
+        // One tuple past an exact multiple buys a whole extra slot.
+        assert_eq!(capacity_in_batches(769, 256), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn capacity_conversion_rejects_zero_batch_size() {
+        let _ = capacity_in_batches(1_024, 0);
+    }
+
+    #[test]
     fn inproc_channels_disconnect_when_senders_drop() {
         // Fully qualified: the crossbeam handles also have inherent
         // `send`/`recv_batch` methods, and it is the trait surface under
@@ -245,11 +390,27 @@ mod tests {
         let transport = InProc;
         let (txs, rxs) = Transport::<u64>::tuple_channels(&transport, 2, 4);
         assert_eq!(txs.len(), 2);
-        TupleSender::send(&txs[0], SourceMessage::CloseWindow { window: 3 }).unwrap();
+        TupleSender::send(
+            &txs[0],
+            SourceMessage::CloseWindow {
+                window: 3,
+                source: 0,
+                seq: 9,
+            },
+        )
+        .unwrap();
         drop(txs);
         let mut out = Vec::new();
         assert_eq!(TupleReceiver::recv_batch(&rxs[0], &mut out), Ok(1));
-        assert!(matches!(out[0], SourceMessage::CloseWindow { window: 3 }));
+        assert!(matches!(
+            out[0],
+            SourceMessage::CloseWindow {
+                window: 3,
+                source: 0,
+                seq: 9
+            }
+        ));
+        assert_eq!(out[0].source_seq(), (0, 9));
         assert_eq!(
             TupleReceiver::recv_batch(&rxs[0], &mut out),
             Err(ChannelClosed)
@@ -268,6 +429,7 @@ mod tests {
             &txs[0],
             PartialWindow {
                 window: 7,
+                worker: 2,
                 partial: 99u64,
                 closed_at: Instant::now(),
             },
@@ -277,6 +439,29 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(PartialReceiver::recv_batch(&rxs[0], &mut out), Ok(1));
         assert_eq!(out[0].window, 7);
+        assert_eq!(out[0].worker, 2);
         assert_eq!(out[0].partial, 99);
+    }
+
+    #[test]
+    fn inproc_feedback_channels_poll_and_block() {
+        let transport = InProc;
+        let (txs, rxs) = Transport::<u64>::feedback_channels(&transport, 2, 4);
+        assert_eq!(
+            FeedbackReceiver::try_recv(&rxs[0]),
+            Ok(None),
+            "empty but connected polls as None"
+        );
+        let request = ReplayRequest {
+            worker: 1,
+            from_seq: 17,
+        };
+        FeedbackSender::send(&txs[0], request).unwrap();
+        assert_eq!(FeedbackReceiver::try_recv(&rxs[0]), Ok(Some(request)));
+        FeedbackSender::send(&txs[1], request).unwrap();
+        assert_eq!(FeedbackReceiver::recv(&rxs[1]), Ok(request));
+        drop(txs);
+        assert_eq!(FeedbackReceiver::try_recv(&rxs[0]), Err(ChannelClosed));
+        assert_eq!(FeedbackReceiver::recv(&rxs[1]), Err(ChannelClosed));
     }
 }

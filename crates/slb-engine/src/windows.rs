@@ -126,6 +126,59 @@ pub fn exact_scenario_windowed_counts(
     windows
 }
 
+/// Explains the first divergence between two windowed count maps, or `None`
+/// when they are identical. Differential suites use this to turn a failed
+/// map equality into a message naming the first divergent window and key —
+/// "window 3, key 17: got 4, expected 5" — instead of dumping two maps with
+/// thousands of entries.
+pub fn diff_windows(
+    got: &BTreeMap<WindowId, HashMap<KeyId, u64>>,
+    expected: &BTreeMap<WindowId, HashMap<KeyId, u64>>,
+) -> Option<String> {
+    // Walk windows in ascending order across both maps.
+    let windows: std::collections::BTreeSet<WindowId> =
+        got.keys().chain(expected.keys()).copied().collect();
+    for window in windows {
+        let (g, e) = match (got.get(&window), expected.get(&window)) {
+            (Some(g), Some(e)) => (g, e),
+            (Some(g), None) => {
+                let tuples: u64 = g.values().sum();
+                return Some(format!(
+                    "window {window}: unexpected ({} keys, {tuples} tuples); expected side has no such window",
+                    g.len()
+                ));
+            }
+            (None, Some(e)) => {
+                let tuples: u64 = e.values().sum();
+                return Some(format!(
+                    "window {window}: missing; expected {} keys, {tuples} tuples",
+                    e.len()
+                ));
+            }
+            (None, None) => unreachable!("window drawn from one of the maps"),
+        };
+        if g == e {
+            continue;
+        }
+        // Report the smallest divergent key for a stable message.
+        let keys: std::collections::BTreeSet<KeyId> = g.keys().chain(e.keys()).copied().collect();
+        for key in keys {
+            let got_count = g.get(&key).copied().unwrap_or(0);
+            let expected_count = e.get(&key).copied().unwrap_or(0);
+            if got_count != expected_count {
+                let got_tuples: u64 = g.values().sum();
+                let expected_tuples: u64 = e.values().sum();
+                return Some(format!(
+                    "window {window}, key {key}: got {got_count}, expected {expected_count} \
+                     (window totals: got {got_tuples}, expected {expected_tuples})"
+                ));
+            }
+        }
+        unreachable!("maps differ but every key matches");
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +214,30 @@ mod tests {
     fn reference_is_deterministic_across_calls() {
         let cfg = EngineConfig::smoke(PartitionerKind::DChoices, 2.0).with_seed(99);
         assert_eq!(exact_windowed_counts(&cfg), exact_windowed_counts(&cfg));
+    }
+
+    #[test]
+    fn diff_windows_names_the_first_divergence() {
+        let mut a: BTreeMap<WindowId, HashMap<KeyId, u64>> = BTreeMap::new();
+        a.insert(0, [(1u64, 2u64), (5, 1)].into_iter().collect());
+        a.insert(1, [(7u64, 3u64)].into_iter().collect());
+        assert_eq!(diff_windows(&a, &a), None, "identical maps diff to None");
+        // A count divergence names window, key, and both counts.
+        let mut b = a.clone();
+        b.get_mut(&1).unwrap().insert(7, 4);
+        let message = diff_windows(&b, &a).expect("divergence found");
+        assert!(message.contains("window 1, key 7"), "{message}");
+        assert!(message.contains("got 4, expected 3"), "{message}");
+        // A key present on one side only reports count zero on the other.
+        let mut c = a.clone();
+        c.get_mut(&0).unwrap().remove(&5);
+        let message = diff_windows(&c, &a).expect("missing key found");
+        assert!(message.contains("window 0, key 5"), "{message}");
+        assert!(message.contains("got 0, expected 1"), "{message}");
+        // A whole missing window is reported as such.
+        let mut d = a.clone();
+        d.remove(&1);
+        let message = diff_windows(&d, &a).expect("missing window found");
+        assert!(message.contains("window 1: missing"), "{message}");
     }
 }

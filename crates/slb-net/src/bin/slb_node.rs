@@ -116,11 +116,12 @@ fn run_orchestrate(args: &[String]) {
     }
     if verify {
         let reference = exact_reference(&spec);
-        if outcome.windows == reference {
-            println!("exact-reference=MATCH ({} windows)", reference.len());
-        } else {
-            println!("exact-reference=MISMATCH");
-            exit(1);
+        match slb_engine::diff_windows(&outcome.windows, &reference) {
+            None => println!("exact-reference=MATCH ({} windows)", reference.len()),
+            Some(first_divergence) => {
+                println!("exact-reference=MISMATCH ({first_divergence})");
+                exit(1);
+            }
         }
     }
 }

@@ -49,7 +49,7 @@ use slb_engine::windows::source_stream;
 use slb_engine::{
     assemble_result, exact_scenario_windowed_counts, exact_windowed_counts, run_aggregator_stage,
     run_source_stage, run_worker_stage, AggregatorStageReport, EngineResult, LatencyTracker,
-    WindowId, WindowedRun, WorkerStageReport,
+    RecoveryMetrics, WindowId, WindowedRun, WorkerStageReport,
 };
 use slb_workloads::KeyId;
 
@@ -179,10 +179,11 @@ pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), Strin
             }
             let sent = match &spec.run {
                 RunSpec::Engine(cfg) => {
-                    run_source_stage(&plan, |_phase| source_stream(cfg, index), &senders)
+                    run_source_stage(&plan, index, |_phase| source_stream(cfg, index), &senders)
                 }
                 RunSpec::Scenario(cfg) => run_source_stage(
                     &plan,
+                    index,
                     |phase| cfg.scenario.phase_stream(phase, index),
                     &senders,
                 ),
@@ -238,6 +239,11 @@ pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), Strin
                         .iter()
                         .map(|t| rle_encode(t.samples()))
                         .collect(),
+                    restores: report.recovery.restores,
+                    replayed_items: report.recovery.replayed_items,
+                    duplicates_dropped: report.recovery.duplicates_dropped,
+                    replay_requests: report.recovery.replay_requests,
+                    checkpoints: report.checkpoints,
                 }),
             )
         }
@@ -530,6 +536,13 @@ fn orchestrate_inner(
                     state_keys: report.state_keys,
                     windows_closed: report.windows_closed,
                     phase_spans: report.phase_spans,
+                    recovery: RecoveryMetrics {
+                        restores: report.restores,
+                        replayed_items: report.replayed_items,
+                        duplicates_dropped: report.duplicates_dropped,
+                        replay_requests: report.replay_requests,
+                    },
+                    checkpoints: report.checkpoints,
                 });
             }
             ControlFrame::AggregatorReport(report) => {
@@ -537,6 +550,10 @@ fn orchestrate_inner(
                     finalized: report.finalized.into_iter().collect(),
                     latencies: tracker_from_rle(&report.latency),
                     merged: report.merged,
+                    // TCP delivers reliably and process respawn is not
+                    // simulated across machines, so multi-process
+                    // aggregators never see duplicate partials.
+                    duplicates_dropped: 0,
                 });
             }
             _ => {

@@ -47,16 +47,17 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, Receiver, Sender};
+use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
 use slb_core::WirePartial;
 use slb_engine::transport::{
-    ChannelClosed, PartialReceiver, PartialSender, PartialWindow, SourceMessage, Transport,
-    TupleBatch, TupleReceiver, TupleSender,
+    ChannelClosed, FeedbackReceiver, FeedbackSender, PartialReceiver, PartialSender, PartialWindow,
+    ReplayRequest, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
 };
 use slb_engine::WindowId;
 
 use crate::wire::{
-    self, encode_partial_frame, encode_tuple_frame, read_frame, tag, PartialFrame, TupleFrame,
+    self, encode_feedback_frame, encode_partial_frame, encode_tuple_frame, read_frame, tag,
+    FeedbackFrame, PartialFrame, TupleFrame,
 };
 
 /// Converts an [`Instant`] to wire form: µs since the transport epoch.
@@ -143,13 +144,25 @@ impl TupleSender for TcpTupleSender {
                 SourceMessage::Batch(TupleBatch {
                     keys,
                     window,
+                    source,
+                    seq,
                     emitted_at,
                 }) => TupleFrame::Batch {
                     window,
+                    source: source as u32,
+                    seq,
                     emitted_us: instant_to_us(epoch, emitted_at),
                     keys,
                 },
-                SourceMessage::CloseWindow { window } => TupleFrame::Close { window },
+                SourceMessage::CloseWindow {
+                    window,
+                    source,
+                    seq,
+                } => TupleFrame::Close {
+                    window,
+                    source: source as u32,
+                    seq,
+                },
             };
             encode_tuple_frame(&frame, buf);
         })
@@ -190,6 +203,7 @@ where
         self.core.send_frame(|buf, epoch| {
             let frame = PartialFrame::Partial {
                 window: message.window,
+                worker: message.worker as u32,
                 closed_us: instant_to_us(epoch, message.closed_at),
                 partial: message.partial,
             };
@@ -270,14 +284,26 @@ impl TcpTupleReceiver {
             Ok(match wire::decode_tuple_payload(payload)? {
                 TupleFrame::Batch {
                     window,
+                    source,
+                    seq,
                     emitted_us,
                     keys,
                 } => Some(SourceMessage::Batch(TupleBatch {
                     keys,
                     window: window as WindowId,
+                    source: source as usize,
+                    seq,
                     emitted_at: us_to_instant(epoch, emitted_us),
                 })),
-                TupleFrame::Close { window } => Some(SourceMessage::CloseWindow { window }),
+                TupleFrame::Close {
+                    window,
+                    source,
+                    seq,
+                } => Some(SourceMessage::CloseWindow {
+                    window,
+                    source: source as usize,
+                    seq,
+                }),
                 TupleFrame::Eof => None,
             })
         });
@@ -313,10 +339,12 @@ where
             Ok(match wire::decode_partial_payload::<P>(payload)? {
                 PartialFrame::Partial {
                     window,
+                    worker,
                     closed_us,
                     partial,
                 } => Some(PartialWindow {
                     window,
+                    worker: worker as usize,
                     partial,
                     closed_at: us_to_instant(epoch, closed_us),
                 }),
@@ -335,6 +363,78 @@ where
         self.queue
             .recv_batch(out, usize::MAX)
             .map_err(|_| ChannelClosed)
+    }
+}
+
+/// Worker → source feedback sender over one TCP connection. Clonable; the
+/// connection carries an EOF frame when the last clone drops, which is how
+/// the source learns no further replay can be requested.
+#[derive(Clone)]
+pub struct TcpFeedbackSender {
+    core: Arc<SenderCore>,
+}
+
+impl TcpFeedbackSender {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream, epoch: Instant) -> Self {
+        let _ = stream.set_nodelay(true);
+        Self {
+            core: Arc::new(SenderCore::new(stream, epoch)),
+        }
+    }
+}
+
+impl FeedbackSender for TcpFeedbackSender {
+    fn send(&self, request: ReplayRequest) -> Result<(), ChannelClosed> {
+        self.core.send_frame(|buf, _epoch| {
+            encode_feedback_frame(
+                &FeedbackFrame::Request {
+                    worker: request.worker as u32,
+                    from_seq: request.from_seq,
+                },
+                buf,
+            );
+        })
+    }
+}
+
+/// Worker → source feedback receiver: merges incoming connections into one
+/// bounded queue the source polls between chunks and drains after emission.
+pub struct TcpFeedbackReceiver {
+    queue: Receiver<ReplayRequest>,
+}
+
+impl TcpFeedbackReceiver {
+    /// Spawns the reader threads over `streams` with a bounded merge queue.
+    pub fn spawn(streams: Vec<TcpStream>, capacity_messages: usize) -> Self {
+        for s in &streams {
+            let _ = s.set_nodelay(true);
+        }
+        let (tx, rx) = bounded::<ReplayRequest>(capacity_messages);
+        spawn_readers(streams, tx, move |payload| {
+            Ok(match wire::decode_feedback_payload(payload)? {
+                FeedbackFrame::Request { worker, from_seq } => Some(ReplayRequest {
+                    worker: worker as usize,
+                    from_seq,
+                }),
+                FeedbackFrame::Eof => None,
+            })
+        });
+        Self { queue: rx }
+    }
+}
+
+impl FeedbackReceiver for TcpFeedbackReceiver {
+    fn try_recv(&self) -> Result<Option<ReplayRequest>, ChannelClosed> {
+        match Receiver::try_recv(&self.queue) {
+            Ok(request) => Ok(Some(request)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ChannelClosed),
+        }
+    }
+
+    fn recv(&self) -> Result<ReplayRequest, ChannelClosed> {
+        Receiver::recv(&self.queue).map_err(|_| ChannelClosed)
     }
 }
 
@@ -394,6 +494,8 @@ where
     type TupleRx = TcpTupleReceiver;
     type PartialTx = TcpPartialSender<P>;
     type PartialRx = TcpPartialReceiver<P>;
+    type FeedbackTx = TcpFeedbackSender;
+    type FeedbackRx = TcpFeedbackReceiver;
 
     fn tuple_channels(
         &self,
@@ -426,6 +528,22 @@ where
             })
             .unzip()
     }
+
+    fn feedback_channels(
+        &self,
+        sources: usize,
+        capacity_messages: usize,
+    ) -> (Vec<Self::FeedbackTx>, Vec<Self::FeedbackRx>) {
+        (0..sources)
+            .map(|_| {
+                let (client, server) = loopback_pair();
+                (
+                    TcpFeedbackSender::new(client, self.epoch),
+                    TcpFeedbackReceiver::spawn(vec![server], capacity_messages),
+                )
+            })
+            .unzip()
+    }
 }
 
 #[cfg(test)]
@@ -443,10 +561,17 @@ mod tests {
         tx.send(SourceMessage::Batch(TupleBatch {
             keys: vec![10, 20, 30],
             window: 2,
+            source: 1,
+            seq: 7,
             emitted_at: epoch + Duration::from_micros(55),
         }))
         .unwrap();
-        tx.send(SourceMessage::CloseWindow { window: 2 }).unwrap();
+        tx.send(SourceMessage::CloseWindow {
+            window: 2,
+            source: 1,
+            seq: 8,
+        })
+        .unwrap();
         drop(tx);
         let mut got: Vec<SourceMessage> = Vec::new();
         while rx.recv_batch(&mut got).is_ok() {}
@@ -455,11 +580,20 @@ mod tests {
             SourceMessage::Batch(batch) => {
                 assert_eq!(batch.keys, vec![10, 20, 30]);
                 assert_eq!(batch.window, 2);
+                assert_eq!(batch.source, 1);
+                assert_eq!(batch.seq, 7);
                 assert_eq!(instant_to_us(epoch, batch.emitted_at), 55);
             }
             _ => panic!("expected batch first"),
         }
-        assert!(matches!(got[1], SourceMessage::CloseWindow { window: 2 }));
+        assert!(matches!(
+            got[1],
+            SourceMessage::CloseWindow {
+                window: 2,
+                source: 1,
+                seq: 8
+            }
+        ));
     }
 
     #[test]
@@ -473,6 +607,7 @@ mod tests {
         counts.insert(9, 1);
         tx.send(PartialWindow {
             window: 4,
+            worker: 3,
             partial: counts.clone(),
             closed_at: Instant::now(),
         })
@@ -482,7 +617,33 @@ mod tests {
         while rx.recv_batch(&mut got).is_ok() {}
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].window, 4);
+        assert_eq!(got[0].worker, 3);
         assert_eq!(got[0].partial, counts);
+    }
+
+    #[test]
+    fn feedback_channel_polls_blocks_and_disconnects() {
+        let transport = TcpTransport::loopback();
+        let (txs, rxs) = Transport::<u64>::feedback_channels(&transport, 1, 4);
+        let tx = txs.into_iter().next().unwrap();
+        let rx = rxs.into_iter().next().unwrap();
+        assert_eq!(rx.try_recv(), Ok(None), "empty but connected polls None");
+        let request = ReplayRequest {
+            worker: 2,
+            from_seq: 31,
+        };
+        tx.send(request).unwrap();
+        assert_eq!(rx.recv(), Ok(request));
+        drop(tx);
+        // EOF propagates: the queue disconnects once the reader drains.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match rx.try_recv() {
+                Err(ChannelClosed) => break,
+                Ok(None) if Instant::now() < deadline => thread::sleep(Duration::from_millis(1)),
+                other => panic!("unexpected poll result before disconnect: {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -495,7 +656,11 @@ mod tests {
         drop(tx);
         for (i, clone) in clones.iter().enumerate() {
             clone
-                .send(SourceMessage::CloseWindow { window: i as u64 })
+                .send(SourceMessage::CloseWindow {
+                    window: i as u64,
+                    source: 0,
+                    seq: i as u64,
+                })
                 .unwrap();
         }
         drop(clones);

@@ -50,6 +50,8 @@ pub mod tag {
     pub const PARTIAL: u8 = 3;
     /// End of stream: the sender will write nothing further.
     pub const EOF: u8 = 4;
+    /// A recovering worker's replay request (worker → source feedback hop).
+    pub const REPLAY_REQUEST: u8 = 5;
     /// Node → orchestrator: role, index, and data port.
     pub const HELLO: u8 = 16;
     /// Orchestrator → node: epoch, peer ports, and the run configuration.
@@ -113,6 +115,10 @@ pub enum TupleFrame {
     Batch {
         /// The window every key belongs to.
         window: u64,
+        /// Index of the source that emitted the batch.
+        source: u32,
+        /// Position in the per-(source, worker) message sequence.
+        seq: u64,
         /// Batch emit time, µs since the run epoch.
         emitted_us: u64,
         /// The routed keys, in source emission order.
@@ -122,6 +128,10 @@ pub enum TupleFrame {
     Close {
         /// The finished window.
         window: u64,
+        /// Index of the source that finished it.
+        source: u32,
+        /// Position in the per-(source, worker) message sequence.
+        seq: u64,
     },
     /// End of stream.
     Eof,
@@ -135,10 +145,28 @@ pub enum PartialFrame<P> {
     Partial {
         /// The window the partial belongs to.
         window: u64,
+        /// Index of the worker that finalized the window (the aggregator's
+        /// dedup key, together with `window`).
+        worker: u32,
         /// Worker close time, µs since the run epoch.
         closed_us: u64,
         /// The shard slice.
         partial: P,
+    },
+    /// End of stream.
+    Eof,
+}
+
+/// One message on a worker → source feedback socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackFrame {
+    /// A recovering worker asks the source to re-send from a sequence
+    /// cursor.
+    Request {
+        /// The worker requesting replay.
+        worker: u32,
+        /// First per-(source, worker) sequence number the worker is missing.
+        from_seq: u64,
     },
     /// End of stream.
     Eof,
@@ -164,6 +192,16 @@ pub struct WorkerReportWire {
     pub phase_spans: Vec<Option<(u64, u64)>>,
     /// Per-phase latency samples, run-length encoded as `(value_us, count)`.
     pub phase_latencies: Vec<Vec<(u64, u64)>>,
+    /// Checkpoint restorations after simulated crashes.
+    pub restores: u64,
+    /// Tuples reprocessed from replayed messages.
+    pub replayed_items: u64,
+    /// Messages discarded as duplicates by sequence dedup.
+    pub duplicates_dropped: u64,
+    /// Replay requests issued upstream.
+    pub replay_requests: u64,
+    /// Checkpoints saved (one per window finalization).
+    pub checkpoints: u64,
 }
 
 /// An aggregator's end-of-run report. The finalized windows carry exact
@@ -274,11 +312,15 @@ pub fn encode_tuple_frame(frame: &TupleFrame, out: &mut Vec<u8>) {
     match frame {
         TupleFrame::Batch {
             window,
+            source,
+            seq,
             emitted_us,
             keys,
         } => {
             let at = begin_frame(out, tag::BATCH);
             write_u64(out, *window);
+            write_u32(out, *source);
+            write_u64(out, *seq);
             write_u64(out, *emitted_us);
             write_u32(out, keys.len() as u32);
             for &key in keys {
@@ -286,9 +328,15 @@ pub fn encode_tuple_frame(frame: &TupleFrame, out: &mut Vec<u8>) {
             }
             end_frame(out, at);
         }
-        TupleFrame::Close { window } => {
+        TupleFrame::Close {
+            window,
+            source,
+            seq,
+        } => {
             let at = begin_frame(out, tag::CLOSE);
             write_u64(out, *window);
+            write_u32(out, *source);
+            write_u64(out, *seq);
             end_frame(out, at);
         }
         TupleFrame::Eof => {
@@ -305,6 +353,8 @@ pub fn decode_tuple_payload(payload: &[u8]) -> Result<TupleFrame, WireError> {
     let frame = match read_u8(&mut input)? {
         tag::BATCH => {
             let window = read_u64(&mut input).map_err(WireError::from)?;
+            let source = read_u32(&mut input)?;
+            let seq = read_u64(&mut input)?;
             let emitted_us = read_u64(&mut input)?;
             let count = read_u32(&mut input)?;
             let count = checked_count(input, count, 8)?;
@@ -314,13 +364,22 @@ pub fn decode_tuple_payload(payload: &[u8]) -> Result<TupleFrame, WireError> {
             }
             TupleFrame::Batch {
                 window,
+                source,
+                seq,
                 emitted_us,
                 keys,
             }
         }
-        tag::CLOSE => TupleFrame::Close {
-            window: read_u64(&mut input)?,
-        },
+        tag::CLOSE => {
+            let window = read_u64(&mut input)?;
+            let source = read_u32(&mut input)?;
+            let seq = read_u64(&mut input)?;
+            TupleFrame::Close {
+                window,
+                source,
+                seq,
+            }
+        }
         tag::EOF => TupleFrame::Eof,
         other => return Err(WireError::BadTag(other)),
     };
@@ -348,11 +407,13 @@ pub fn encode_partial_frame<P: WirePartial>(frame: &PartialFrame<P>, out: &mut V
     match frame {
         PartialFrame::Partial {
             window,
+            worker,
             closed_us,
             partial,
         } => {
             let at = begin_frame(out, tag::PARTIAL);
             write_u64(out, *window);
+            write_u32(out, *worker);
             write_u64(out, *closed_us);
             partial.encode_partial(out);
             end_frame(out, at);
@@ -372,10 +433,12 @@ pub fn decode_partial_payload<P: WirePartial>(
     let frame = match read_u8(&mut input)? {
         tag::PARTIAL => {
             let window = read_u64(&mut input)?;
+            let worker = read_u32(&mut input)?;
             let closed_us = read_u64(&mut input)?;
             let partial = P::decode_partial(&mut input)?;
             PartialFrame::Partial {
                 window,
+                worker,
                 closed_us,
                 partial,
             }
@@ -396,6 +459,52 @@ pub fn decode_partial_frame<P: WirePartial>(
 ) -> Result<(PartialFrame<P>, usize), WireError> {
     let payload = split_frame(buf)?;
     let frame = decode_partial_payload(payload)?;
+    Ok((frame, 4 + payload.len()))
+}
+
+// ---------------------------------------------------------------------------
+// Feedback frames
+// ---------------------------------------------------------------------------
+
+/// Appends one complete feedback frame (worker → source replay request) to
+/// `out`.
+pub fn encode_feedback_frame(frame: &FeedbackFrame, out: &mut Vec<u8>) {
+    match frame {
+        FeedbackFrame::Request { worker, from_seq } => {
+            let at = begin_frame(out, tag::REPLAY_REQUEST);
+            write_u32(out, *worker);
+            write_u64(out, *from_seq);
+            end_frame(out, at);
+        }
+        FeedbackFrame::Eof => {
+            let at = begin_frame(out, tag::EOF);
+            end_frame(out, at);
+        }
+    }
+}
+
+/// Decodes a feedback frame's payload (tag byte + body).
+pub fn decode_feedback_payload(payload: &[u8]) -> Result<FeedbackFrame, WireError> {
+    let mut input = payload;
+    let frame = match read_u8(&mut input)? {
+        tag::REPLAY_REQUEST => FeedbackFrame::Request {
+            worker: read_u32(&mut input)?,
+            from_seq: read_u64(&mut input)?,
+        },
+        tag::EOF => FeedbackFrame::Eof,
+        other => return Err(WireError::BadTag(other)),
+    };
+    if !input.is_empty() {
+        return Err(WireError::TrailingBytes(input.len()));
+    }
+    Ok(frame)
+}
+
+/// Decodes one complete feedback frame from the front of `buf`, returning
+/// the frame and the total bytes consumed.
+pub fn decode_feedback_frame(buf: &[u8]) -> Result<(FeedbackFrame, usize), WireError> {
+    let payload = split_frame(buf)?;
+    let frame = decode_feedback_payload(payload)?;
     Ok((frame, 4 + payload.len()))
 }
 
@@ -502,6 +611,11 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
             for runs in &report.phase_latencies {
                 write_rle(out, runs);
             }
+            write_u64(out, report.restores);
+            write_u64(out, report.replayed_items);
+            write_u64(out, report.duplicates_dropped);
+            write_u64(out, report.replay_requests);
+            write_u64(out, report.checkpoints);
             end_frame(out, at);
         }
         ControlFrame::AggregatorReport(report) => {
@@ -583,6 +697,11 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
             for _ in 0..phases {
                 phase_latencies.push(read_rle(&mut input)?);
             }
+            let restores = read_u64(&mut input)?;
+            let replayed_items = read_u64(&mut input)?;
+            let duplicates_dropped = read_u64(&mut input)?;
+            let replay_requests = read_u64(&mut input)?;
+            let checkpoints = read_u64(&mut input)?;
             ControlFrame::WorkerReport(WorkerReportWire {
                 worker,
                 processed,
@@ -591,6 +710,11 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
                 phase_counts,
                 phase_spans,
                 phase_latencies,
+                restores,
+                replayed_items,
+                duplicates_dropped,
+                replay_requests,
+                checkpoints,
             })
         }
         tag::AGGREGATOR_REPORT => {
@@ -713,15 +837,23 @@ mod tests {
         for frame in [
             TupleFrame::Batch {
                 window: 7,
+                source: 3,
+                seq: 42,
                 emitted_us: 123_456,
                 keys: vec![1, 2, 3, u64::MAX],
             },
             TupleFrame::Batch {
                 window: 0,
+                source: 0,
+                seq: 0,
                 emitted_us: 0,
                 keys: vec![],
             },
-            TupleFrame::Close { window: 99 },
+            TupleFrame::Close {
+                window: 99,
+                source: 1,
+                seq: u64::MAX,
+            },
             TupleFrame::Eof,
         ] {
             let mut buf = Vec::new();
@@ -734,14 +866,40 @@ mod tests {
 
     #[test]
     fn frames_concatenate() {
+        let close = TupleFrame::Close {
+            window: 1,
+            source: 0,
+            seq: 5,
+        };
         let mut buf = Vec::new();
-        encode_tuple_frame(&TupleFrame::Close { window: 1 }, &mut buf);
+        encode_tuple_frame(&close, &mut buf);
         encode_tuple_frame(&TupleFrame::Eof, &mut buf);
         let (first, consumed) = decode_tuple_frame(&buf).unwrap();
-        assert_eq!(first, TupleFrame::Close { window: 1 });
+        assert_eq!(first, close);
         let (second, rest) = decode_tuple_frame(&buf[consumed..]).unwrap();
         assert_eq!(second, TupleFrame::Eof);
         assert_eq!(consumed + rest, buf.len());
+    }
+
+    #[test]
+    fn feedback_frames_round_trip() {
+        for frame in [
+            FeedbackFrame::Request {
+                worker: 7,
+                from_seq: 1_234,
+            },
+            FeedbackFrame::Request {
+                worker: 0,
+                from_seq: 0,
+            },
+            FeedbackFrame::Eof,
+        ] {
+            let mut buf = Vec::new();
+            encode_feedback_frame(&frame, &mut buf);
+            let (back, consumed) = decode_feedback_frame(&buf).expect("own encoding decodes");
+            assert_eq!(back, frame);
+            assert_eq!(consumed, buf.len());
+        }
     }
 
     #[test]
@@ -759,16 +917,18 @@ mod tests {
 
     #[test]
     fn read_frame_distinguishes_clean_eof_from_truncation() {
+        let close = TupleFrame::Close {
+            window: 5,
+            source: 2,
+            seq: 8,
+        };
         let mut buf = Vec::new();
-        encode_tuple_frame(&TupleFrame::Close { window: 5 }, &mut buf);
+        encode_tuple_frame(&close, &mut buf);
         // Clean: whole frame then EOF.
         let mut reader = io::Cursor::new(buf.clone());
         let mut scratch = Vec::new();
         assert!(read_frame(&mut reader, &mut scratch).unwrap());
-        assert_eq!(
-            decode_tuple_payload(&scratch).unwrap(),
-            TupleFrame::Close { window: 5 }
-        );
+        assert_eq!(decode_tuple_payload(&scratch).unwrap(), close);
         assert!(!read_frame(&mut reader, &mut scratch).unwrap());
         // Truncated: EOF mid-frame.
         for cut in 1..buf.len() {
@@ -811,6 +971,11 @@ mod tests {
                 phase_counts: vec![300, 200],
                 phase_spans: vec![Some((10, 90)), None],
                 phase_latencies: vec![vec![(5, 200), (9, 100)], vec![]],
+                restores: 2,
+                replayed_items: 120,
+                duplicates_dropped: 3,
+                replay_requests: 4,
+                checkpoints: 4,
             }),
             ControlFrame::AggregatorReport(AggregatorReportWire {
                 aggregator: 0,

@@ -14,15 +14,28 @@
 //! `SLB_TEST_SEED` (a single u64) replaces the pair with that seed, which is
 //! how `ci.sh` sweeps its seed matrix without re-paying for the defaults.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use slb_core::{CountAggregate, PartitionerKind};
 use slb_engine::{
-    exact_scenario_windowed_counts, exact_windowed_counts, EngineConfig, InProc, ScenarioConfig,
-    Topology, WindowId,
+    diff_windows, exact_scenario_windowed_counts, exact_windowed_counts, EngineConfig, InProc,
+    ScenarioConfig, Topology, WindowId,
 };
 use slb_net::tcp::TcpTransport;
 use slb_workloads::{Arrival, KeyId, Scenario, ScenarioPhase};
+
+/// Equality with a readable failure: instead of dumping two whole maps,
+/// a mismatch panics with the first divergent window and key.
+#[track_caller]
+fn assert_windows_match(
+    got: &BTreeMap<WindowId, HashMap<KeyId, u64>>,
+    expected: &BTreeMap<WindowId, HashMap<KeyId, u64>>,
+    context: &str,
+) {
+    if let Some(first_divergence) = diff_windows(got, expected) {
+        panic!("{context}: {first_divergence}");
+    }
+}
 
 /// Seeds to exercise: `SLB_TEST_SEED` alone when set, the built-in pair
 /// otherwise (deliberately disjoint from ci.sh's {1, 42, 1337} matrix).
@@ -55,13 +68,15 @@ fn assert_backends_agree(cfg: &EngineConfig) {
     let inproc = Topology::new(cfg.clone()).run_windowed_on(CountAggregate, &InProc);
     let tcp = Topology::new(cfg.clone()).run_windowed_on(CountAggregate, &TcpTransport::loopback());
     let label = format!("{} z={} seed={}", cfg.kind.symbol(), cfg.skew, cfg.seed);
-    assert_eq!(
-        tcp.windows, inproc.windows,
-        "{label}: TCP merged windows diverged from InProc"
+    assert_windows_match(
+        &tcp.windows,
+        &inproc.windows,
+        &format!("{label}: TCP merged windows diverged from InProc"),
     );
-    assert_eq!(
-        tcp.windows, reference,
-        "{label}: TCP merged windows diverged from the exact reference"
+    assert_windows_match(
+        &tcp.windows,
+        &reference,
+        &format!("{label}: TCP merged windows diverged from the exact reference"),
     );
     // The transport also must not change *routing*: per-worker counts and
     // state footprints are decided at the sources, before any transport.
@@ -127,13 +142,15 @@ fn tcp_matches_inproc_and_reference_on_scenarios() {
             let inproc = cfg.run_windowed_on(CountAggregate, &InProc);
             let tcp = cfg.run_windowed_on(CountAggregate, &TcpTransport::loopback());
             let label = format!("{} seed={seed}", kind.symbol());
-            assert_eq!(
-                tcp.windows, inproc.windows,
-                "{label}: scenario windows diverged across backends"
+            assert_windows_match(
+                &tcp.windows,
+                &inproc.windows,
+                &format!("{label}: scenario windows diverged across backends"),
             );
-            assert_eq!(
-                tcp.windows, reference,
-                "{label}: scenario windows diverged from the exact reference"
+            assert_windows_match(
+                &tcp.windows,
+                &reference,
+                &format!("{label}: scenario windows diverged from the exact reference"),
             );
             assert_eq!(
                 tcp.result.worker_counts, inproc.result.worker_counts,
@@ -159,12 +176,12 @@ fn tcp_is_knob_insensitive_like_inproc() {
             .with_queue_capacity(queue_capacity)
             .with_batch_size(batch_size);
         let run = Topology::new(cfg).run_windowed_on(CountAggregate, &TcpTransport::loopback());
-        let merged: Vec<(WindowId, HashMap<KeyId, u64>)> = run.windows.into_iter().collect();
-        let expected: Vec<(WindowId, HashMap<KeyId, u64>)> =
-            reference.clone().into_iter().collect();
-        assert_eq!(
-            merged, expected,
-            "queue={queue_capacity} batch={batch_size}: counts moved with transport knobs"
+        assert_windows_match(
+            &run.windows,
+            &reference,
+            &format!(
+                "queue={queue_capacity} batch={batch_size}: counts moved with transport knobs"
+            ),
         );
     }
 }
@@ -177,6 +194,10 @@ fn tcp_supports_multiple_aggregator_shards() {
     for aggregators in [1usize, 3] {
         let cfg = base.clone().with_aggregators(aggregators);
         let run = Topology::new(cfg).run_windowed_on(CountAggregate, &TcpTransport::loopback());
-        assert_eq!(run.windows, reference, "aggregators={aggregators}");
+        assert_windows_match(
+            &run.windows,
+            &reference,
+            &format!("aggregators={aggregators}"),
+        );
     }
 }

@@ -19,13 +19,14 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 use slb_core::wire::WirePartial;
-use slb_core::PartitionerKind;
+use slb_core::{OpenWindowState, PartitionerKind, WorkerCheckpoint};
 use slb_engine::{EngineConfig, ScenarioConfig};
 use slb_net::cluster::{decode_run_spec, encode_run_spec, RunSpec};
 use slb_net::wire::{
-    decode_control_frame, decode_partial_frame, decode_tuple_frame, encode_control_frame,
-    encode_partial_frame, encode_tuple_frame, rle_encode, AggregatorReportWire, ControlFrame,
-    PartialFrame, TupleFrame, WorkerReportWire,
+    decode_control_frame, decode_feedback_frame, decode_partial_frame, decode_tuple_frame,
+    encode_control_frame, encode_feedback_frame, encode_partial_frame, encode_tuple_frame,
+    rle_encode, AggregatorReportWire, ControlFrame, FeedbackFrame, PartialFrame, TupleFrame,
+    WorkerReportWire,
 };
 use slb_sketch::{FrequencyEstimator, SpaceSaving};
 use slb_workloads::{Arrival, Scenario, ScenarioPhase};
@@ -69,6 +70,11 @@ fn control_frames(raw: &[u64], ports: &[u16], samples: &[u64], keys: &[u64]) -> 
                 .map(|(i, &v)| (i % 3 != 0).then_some((v, v.saturating_add(i as u64))))
                 .collect(),
             phase_latencies: vec![runs.clone(), Vec::new(), rle_encode(raw)],
+            restores: at(14),
+            replayed_items: at(15),
+            duplicates_dropped: at(16),
+            replay_requests: at(17),
+            checkpoints: at(18),
         }),
         ControlFrame::AggregatorReport(AggregatorReportWire {
             aggregator: at(10) as u32,
@@ -86,10 +92,12 @@ proptest! {
     #[test]
     fn batch_frames_round_trip(
         window in any::<u64>(),
+        source in any::<u32>(),
+        seq in any::<u64>(),
         emitted_us in any::<u64>(),
         keys in proptest::collection::vec(any::<u64>(), 0..600),
     ) {
-        let frame = TupleFrame::Batch { window, emitted_us, keys: keys.clone() };
+        let frame = TupleFrame::Batch { window, source, seq, emitted_us, keys: keys.clone() };
         let mut buf = Vec::new();
         encode_tuple_frame(&frame, &mut buf);
         let (back, consumed) = decode_tuple_frame(&buf).expect("own encoding decodes");
@@ -98,12 +106,17 @@ proptest! {
     }
 
     #[test]
-    fn close_and_eof_frames_round_trip_and_concatenate(window in any::<u64>()) {
+    fn close_and_eof_frames_round_trip_and_concatenate(
+        window in any::<u64>(),
+        source in any::<u32>(),
+        seq in any::<u64>(),
+    ) {
+        let close = TupleFrame::Close { window, source, seq };
         let mut buf = Vec::new();
-        encode_tuple_frame(&TupleFrame::Close { window }, &mut buf);
+        encode_tuple_frame(&close, &mut buf);
         encode_tuple_frame(&TupleFrame::Eof, &mut buf);
         let (first, consumed) = decode_tuple_frame(&buf).expect("first frame decodes");
-        prop_assert_eq!(first, TupleFrame::Close { window });
+        prop_assert_eq!(first, close);
         let (second, rest) = decode_tuple_frame(&buf[consumed..]).expect("second frame decodes");
         prop_assert_eq!(second, TupleFrame::Eof);
         prop_assert_eq!(consumed + rest, buf.len());
@@ -115,7 +128,7 @@ proptest! {
         keys in proptest::collection::vec(any::<u64>(), 0..64),
         fraction in 0.0f64..1.0,
     ) {
-        let frame = TupleFrame::Batch { window, emitted_us: 7, keys: keys.clone() };
+        let frame = TupleFrame::Batch { window, source: 2, seq: 11, emitted_us: 7, keys: keys.clone() };
         let mut buf = Vec::new();
         encode_tuple_frame(&frame, &mut buf);
         let cut = ((buf.len() - 1) as f64 * fraction) as usize;
@@ -124,10 +137,97 @@ proptest! {
 
     #[test]
     fn tuple_frame_bad_tags_error(window in any::<u64>(), tag in 5u8..255) {
+        // Tags 5.. are never valid on a tuple channel — REPLAY_REQUEST (5)
+        // belongs to the feedback channel, whose decoder is separate.
         let mut buf = Vec::new();
-        encode_tuple_frame(&TupleFrame::Close { window }, &mut buf);
+        encode_tuple_frame(&TupleFrame::Close { window, source: 0, seq: 0 }, &mut buf);
         buf[4] = tag; // corrupt the tag byte; length prefix stays valid
         prop_assert!(decode_tuple_frame(&buf).is_err());
+    }
+
+    #[test]
+    fn feedback_frames_round_trip_and_concatenate(
+        worker in any::<u32>(),
+        from_seq in any::<u64>(),
+    ) {
+        let request = FeedbackFrame::Request { worker, from_seq };
+        let mut buf = Vec::new();
+        encode_feedback_frame(&request, &mut buf);
+        encode_feedback_frame(&FeedbackFrame::Eof, &mut buf);
+        let (first, consumed) = decode_feedback_frame(&buf).expect("first frame decodes");
+        prop_assert_eq!(first, request);
+        let (second, rest) = decode_feedback_frame(&buf[consumed..]).expect("second frame decodes");
+        prop_assert_eq!(second, FeedbackFrame::Eof);
+        prop_assert_eq!(consumed + rest, buf.len());
+    }
+
+    #[test]
+    fn feedback_frame_prefixes_and_bad_tags_error(
+        worker in any::<u32>(),
+        from_seq in any::<u64>(),
+        tag in 6u8..255,
+    ) {
+        let mut buf = Vec::new();
+        encode_feedback_frame(&FeedbackFrame::Request { worker, from_seq }, &mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(decode_feedback_frame(&buf[..cut]).is_err(), "cut at {}", cut);
+        }
+        // A feedback channel accepts only REPLAY_REQUEST (5) and EOF (4).
+        buf[4] = tag;
+        prop_assert!(decode_feedback_frame(&buf).is_err());
+    }
+
+    #[test]
+    fn worker_checkpoints_round_trip_and_truncations_error(
+        worker in any::<u64>(),
+        windows_closed in any::<u64>(),
+        processed in any::<u64>(),
+        phase_counts in proptest::collection::vec(any::<u64>(), 0..6),
+        next_seq in proptest::collection::vec(any::<u64>(), 0..6),
+        keys in proptest::collection::vec(any::<u64>(), 0..64),
+        open_windows in proptest::collection::vec(0u64..1_000, 0..4),
+        partial_keys in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        // The encoder demands sorted state keys and open windows.
+        let mut state_keys = keys.clone();
+        state_keys.sort_unstable();
+        state_keys.dedup();
+        let mut windows = open_windows.clone();
+        windows.sort_unstable();
+        windows.dedup();
+        let open: Vec<OpenWindowState> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, &window)| OpenWindowState {
+                window,
+                closes_seen: i as u64,
+                partial: (i % 2 == 0).then(|| {
+                    let mut blob = Vec::new();
+                    counts_from(&partial_keys).encode_partial(&mut blob);
+                    blob
+                }),
+            })
+            .collect();
+        let checkpoint = WorkerCheckpoint {
+            worker,
+            windows_closed,
+            processed,
+            phase_counts: phase_counts.clone(),
+            next_seq: next_seq.clone(),
+            state_keys,
+            open,
+        };
+        let mut buf = Vec::new();
+        checkpoint.encode(&mut buf);
+        let mut input = buf.as_slice();
+        let back = WorkerCheckpoint::decode(&mut input).expect("own encoding decodes");
+        prop_assert!(input.is_empty(), "decode consumed exactly the encoding");
+        prop_assert_eq!(back, checkpoint);
+        // Totality: every strict prefix errors, never panics.
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            prop_assert!(WorkerCheckpoint::decode(&mut slice).is_err(), "cut at {}", cut);
+        }
     }
 
     #[test]
@@ -136,7 +236,7 @@ proptest! {
         closed_us in any::<u64>(),
         keys in proptest::collection::vec(any::<u64>(), 0..400),
     ) {
-        let frame = PartialFrame::Partial { window, closed_us, partial: counts_from(&keys) };
+        let frame = PartialFrame::Partial { window, worker: 5, closed_us, partial: counts_from(&keys) };
         let mut buf = Vec::new();
         encode_partial_frame(&frame, &mut buf);
         let (back, consumed) = decode_partial_frame::<HashMap<u64, u64>>(&buf).expect("decodes");
@@ -145,8 +245,13 @@ proptest! {
     }
 
     #[test]
-    fn sum_partial_frames_round_trip(window in any::<u64>(), closed_us in any::<u64>(), sum in any::<u64>()) {
-        let frame = PartialFrame::Partial { window, closed_us, partial: sum };
+    fn sum_partial_frames_round_trip(
+        window in any::<u64>(),
+        worker in any::<u32>(),
+        closed_us in any::<u64>(),
+        sum in any::<u64>(),
+    ) {
+        let frame = PartialFrame::Partial { window, worker, closed_us, partial: sum };
         let mut buf = Vec::new();
         encode_partial_frame(&frame, &mut buf);
         let (back, consumed) = decode_partial_frame::<u64>(&buf).expect("decodes");
@@ -164,7 +269,7 @@ proptest! {
         for key in &stream {
             summary.observe(key);
         }
-        let frame = PartialFrame::Partial { window, closed_us: 9, partial: summary.clone() };
+        let frame = PartialFrame::Partial { window, worker: 1, closed_us: 9, partial: summary.clone() };
         let mut buf = Vec::new();
         encode_partial_frame(&frame, &mut buf);
         let (back, consumed) = decode_partial_frame::<SpaceSaving<u64>>(&buf).expect("decodes");
@@ -189,7 +294,7 @@ proptest! {
         keys in proptest::collection::vec(any::<u64>(), 0..200),
         fraction in 0.0f64..1.0,
     ) {
-        let frame = PartialFrame::Partial { window: 3, closed_us: 4, partial: counts_from(&keys) };
+        let frame = PartialFrame::Partial { window: 3, worker: 0, closed_us: 4, partial: counts_from(&keys) };
         let mut buf = Vec::new();
         encode_partial_frame(&frame, &mut buf);
         let cut = ((buf.len() - 1) as f64 * fraction) as usize;
@@ -236,8 +341,10 @@ proptest! {
         let _ = decode_partial_frame::<HashMap<u64, u64>>(&bytes);
         let _ = decode_partial_frame::<u64>(&bytes);
         let _ = decode_partial_frame::<SpaceSaving<u64>>(&bytes);
+        let _ = decode_feedback_frame(&bytes);
         let _ = decode_control_frame(&bytes);
         let _ = decode_run_spec(&bytes);
+        let _ = WorkerCheckpoint::decode(&mut bytes.as_slice());
     }
 
     #[test]

@@ -452,4 +452,22 @@ mod tests {
             assert_eq!(Some(k), KeyStream::next_key(&mut y));
         }
     }
+
+    #[test]
+    fn mid_stream_clone_replays_the_identical_suffix() {
+        // A positioned generator cloned mid-stream is a replay cursor: the
+        // clone re-emits exactly the tuples the original goes on to emit.
+        // Source-side replay in the engine's recovery protocol snapshots
+        // streams by cloning at window boundaries, so exactly-once delivery
+        // rests on this property.
+        let mut original = ZipfGenerator::with_limit(500, 1.6, 13, 2_000).scrambled_like(3);
+        for _ in 0..777 {
+            KeyStream::next_key(&mut original).expect("stream not exhausted");
+        }
+        let mut replay = original.clone();
+        while let Some(k) = KeyStream::next_key(&mut original) {
+            assert_eq!(Some(k), KeyStream::next_key(&mut replay));
+        }
+        assert_eq!(KeyStream::next_key(&mut replay), None);
+    }
 }

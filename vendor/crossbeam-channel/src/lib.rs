@@ -60,6 +60,28 @@ impl fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Error returned by [`Receiver::try_recv`] when no message is ready.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders are still alive.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
 /// The sending half of a bounded channel. Clonable; `send` blocks while the
 /// channel is full.
 pub struct Sender<T> {
@@ -151,6 +173,24 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             state = self.shared.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Returns a queued message immediately if one is available, without
+    /// blocking. Distinguishes a momentarily-empty channel
+    /// ([`TryRecvError::Empty`]) from one that can never deliver again
+    /// ([`TryRecvError::Disconnected`]), matching the real crate.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(msg) = state.queue.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
         }
     }
 
@@ -331,6 +371,19 @@ mod tests {
         let (_tx, rx) = bounded::<u8>(1);
         let mut out = Vec::new();
         let _ = rx.recv_batch(&mut out, 0);
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = bounded::<u32>(2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(6).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(6), "drains before reporting disconnect");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]
