@@ -37,10 +37,15 @@ echo "==> fault-injection seed matrix (exactly-once under kills and losses, both
 for seed in 1 42 1337; do
     echo "    SLB_TEST_SEED=$seed"
     SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test fault_injection
+    # Process-level faults: SIGKILL a live worker, respawn from the durable
+    # checkpoint, verify bit-identical counts; then exhaust the budget and
+    # verify degrade-instead-of-hang. The hard wall-clock cap turns any
+    # supervision deadlock into a CI failure rather than a stuck pipeline.
+    SLB_TEST_SEED="$seed" timeout 300 cargo test -q -p slb-net --test node_faults
 done
 
 echo "==> property suites at CI case counts"
-PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props --test rescale_props
+PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props --test rescale_props --test durable_props
 PROPTEST_CASES=256 cargo test -q -p slb-sketch --test proptests
 PROPTEST_CASES=256 cargo test -q -p slb-workloads --test scenario_props
 PROPTEST_CASES=256 cargo test -q -p slb-engine --test scenario_props

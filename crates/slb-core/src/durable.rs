@@ -1,0 +1,357 @@
+//! Durable on-disk checkpoint storage for worker recovery.
+//!
+//! The in-memory `CheckpointStore` in `slb-engine` stands in for a durable
+//! medium when faults are *simulated* inside one process. This module is
+//! the real medium for process-level fault tolerance: a respawned
+//! `slb-node worker` has nothing but its checkpoint directory, so the
+//! bytes it reads back must survive a crash at **any** instruction of the
+//! writer — including mid-`write` and mid-`rename`.
+//!
+//! Two mechanisms provide that:
+//!
+//! * **Atomic replace.** A save writes the framed checkpoint to a
+//!   temporary file, `sync_all`s it, renames the current checkpoint to the
+//!   `.prev` generation, and renames the temporary file into place.
+//!   Renames within a directory are atomic on POSIX, so at every instant
+//!   the directory holds at least one intact generation.
+//! * **Self-validating framing.** Each file carries a magic, a
+//!   monotonically increasing generation counter, the payload length, and
+//!   a CRC-32 of the payload. [`decode_checkpoint_file`] is **total**:
+//!   truncated, bit-flipped, or arbitrary bytes produce a
+//!   [`CheckpointFileError`], never a panic — and the store's
+//!   [`DurableCheckpointStore::load`] treats a corrupt current file as
+//!   recoverable by falling back to the previous generation.
+//!
+//! The payload is opaque here (the store neither knows nor cares that the
+//! engine puts an encoded [`crate::WorkerCheckpoint`] in it); totality of
+//! the *payload* decode is the checkpoint codec's own property.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! file := magic:"SLBCKPT1" generation:u64le payload_len:u32le crc32:u32le payload
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 (the zlib/PNG polynomial, reflected,
+//! init/xorout `0xFFFF_FFFF`) of the payload bytes alone — the header
+//! fields are covered implicitly because a corrupt `payload_len` changes
+//! which bytes the CRC is computed over.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a checkpoint file and pins format version 1.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"SLBCKPT1";
+
+/// Fixed header length: magic + generation + payload length + CRC.
+const HEADER_LEN: usize = 8 + 8 + 4 + 4;
+
+/// Why a checkpoint file failed to load. `Corrupt` is *expected* after a
+/// crash mid-save (a torn write to the temporary file that a later crash
+/// left in place never reaches the current name, but defense in depth is
+/// the point of the CRC); the store recovers by falling back one
+/// generation.
+#[derive(Debug)]
+pub enum CheckpointFileError {
+    /// The file could not be read (not found, permissions, I/O error).
+    Io(std::io::Error),
+    /// The bytes are not an intact checkpoint file: bad magic, truncated
+    /// header or payload, length/CRC mismatch, or trailing garbage.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointFileError::Io(e) => write!(f, "checkpoint file unreadable: {e}"),
+            CheckpointFileError::Corrupt(what) => write!(f, "checkpoint file corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointFileError {}
+
+impl From<std::io::Error> for CheckpointFileError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointFileError::Io(e)
+    }
+}
+
+/// IEEE CRC-32 lookup table (reflected polynomial `0xEDB8_8320`), built at
+/// compile time so the hot save path pays one table lookup per byte.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (zlib/PNG variant) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Frames `payload` as one checkpoint file image for `generation`.
+pub fn encode_checkpoint_file(generation: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one checkpoint file image into `(generation, payload)`.
+///
+/// Total: any byte sequence that is not an intact file — wrong magic,
+/// truncation anywhere, a payload length disagreeing with the file size,
+/// a CRC mismatch from a bit flip — returns
+/// [`CheckpointFileError::Corrupt`]; no input panics.
+pub fn decode_checkpoint_file(bytes: &[u8]) -> Result<(u64, Vec<u8>), CheckpointFileError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CheckpointFileError::Corrupt("shorter than the header"));
+    }
+    if bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(CheckpointFileError::Corrupt("bad magic"));
+    }
+    let generation = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() < payload_len {
+        return Err(CheckpointFileError::Corrupt("payload truncated"));
+    }
+    if payload.len() > payload_len {
+        return Err(CheckpointFileError::Corrupt("trailing bytes after payload"));
+    }
+    if crc32(payload) != crc {
+        return Err(CheckpointFileError::Corrupt("payload CRC mismatch"));
+    }
+    Ok((generation, payload.to_vec()))
+}
+
+/// A per-worker durable checkpoint slot backed by files in a directory:
+/// `worker-{w}.ckpt` (current generation), `worker-{w}.ckpt.prev` (the one
+/// before it), and a transient `worker-{w}.ckpt.tmp` that exists only
+/// mid-save. See the module docs for the crash-safety argument.
+#[derive(Debug)]
+pub struct DurableCheckpointStore {
+    current: PathBuf,
+    prev: PathBuf,
+    tmp: PathBuf,
+    generation: u64,
+}
+
+impl DurableCheckpointStore {
+    /// Opens (creating the directory if needed) worker `worker`'s slot
+    /// under `dir`. If intact generations already exist — this process is
+    /// a respawn — the next save continues the generation counter past
+    /// the newest loadable one.
+    pub fn open(dir: &Path, worker: usize) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let base = dir.join(format!("worker-{worker}.ckpt"));
+        let mut store = Self {
+            prev: base.with_extension("ckpt.prev"),
+            tmp: base.with_extension("ckpt.tmp"),
+            current: base,
+            generation: 0,
+        };
+        if let Some((generation, _)) = store.load() {
+            store.generation = generation;
+        }
+        Ok(store)
+    }
+
+    /// Atomically replaces the current checkpoint with `payload` under the
+    /// next generation number, keeping the previous generation on disk.
+    /// Returns the generation written.
+    pub fn save(&mut self, payload: &[u8]) -> std::io::Result<u64> {
+        let generation = self.generation + 1;
+        let image = encode_checkpoint_file(generation, payload);
+        let mut file = fs::File::create(&self.tmp)?;
+        file.write_all(&image)?;
+        file.sync_all()?;
+        drop(file);
+        // Demote the current generation before promoting the new one: a
+        // crash between the two renames leaves `.prev` intact and no
+        // current file, which `load` handles by falling back.
+        match fs::rename(&self.current, &self.prev) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        fs::rename(&self.tmp, &self.current)?;
+        self.generation = generation;
+        Ok(generation)
+    }
+
+    /// Loads the newest intact checkpoint: the current file if it decodes,
+    /// else the previous generation if that does. Total — I/O errors,
+    /// missing files, and corruption all fold into `None` (a worker with
+    /// no loadable checkpoint starts from empty state and replays from
+    /// sequence zero, which is always correct).
+    pub fn load(&self) -> Option<(u64, Vec<u8>)> {
+        self.load_path(&self.current)
+            .or_else(|| self.load_path(&self.prev))
+    }
+
+    /// Like [`load`](Self::load), but reporting *why* each generation was
+    /// skipped: one result per generation file, newest first. Lets callers
+    /// (and the proptests) distinguish "no checkpoint yet" from "current
+    /// corrupt, recovered from previous".
+    pub fn load_generations(&self) -> Vec<Result<(u64, Vec<u8>), CheckpointFileError>> {
+        [&self.current, &self.prev]
+            .into_iter()
+            .map(|path| {
+                let bytes = fs::read(path)?;
+                decode_checkpoint_file(&bytes)
+            })
+            .collect()
+    }
+
+    /// The generation the next save will write minus one: zero before any
+    /// save, continuing across respawns.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Path of the current-generation file (tests corrupt it in place).
+    pub fn current_path(&self) -> &Path {
+        &self.current
+    }
+
+    /// Path of the previous-generation file.
+    pub fn prev_path(&self) -> &Path {
+        &self.prev
+    }
+
+    /// Path of the transient mid-save file (a crashed save may leave it).
+    pub fn tmp_path(&self) -> &Path {
+        &self.tmp
+    }
+
+    fn load_path(&self, path: &Path) -> Option<(u64, Vec<u8>)> {
+        let bytes = fs::read(path).ok()?;
+        decode_checkpoint_file(&bytes).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("slb-durable-{name}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn save_then_load_round_trips_and_generations_advance() {
+        let dir = scratch_dir("roundtrip");
+        let mut store = DurableCheckpointStore::open(&dir, 3).unwrap();
+        assert_eq!(store.load(), None);
+        assert_eq!(store.save(b"alpha").unwrap(), 1);
+        assert_eq!(store.load(), Some((1, b"alpha".to_vec())));
+        assert_eq!(store.save(b"beta").unwrap(), 2);
+        assert_eq!(store.load(), Some((2, b"beta".to_vec())));
+        // The demoted generation is still on disk.
+        let generations = store.load_generations();
+        assert!(matches!(&generations[1], Ok((1, p)) if p == b"alpha"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_the_generation_counter() {
+        let dir = scratch_dir("reopen");
+        let mut store = DurableCheckpointStore::open(&dir, 0).unwrap();
+        store.save(b"one").unwrap();
+        store.save(b"two").unwrap();
+        drop(store);
+        let mut respawned = DurableCheckpointStore::open(&dir, 0).unwrap();
+        assert_eq!(respawned.load(), Some((2, b"two".to_vec())));
+        assert_eq!(respawned.save(b"three").unwrap(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_current_falls_back_to_previous_generation() {
+        let dir = scratch_dir("fallback");
+        let mut store = DurableCheckpointStore::open(&dir, 1).unwrap();
+        store.save(b"good-old").unwrap();
+        store.save(b"good-new").unwrap();
+        // Flip a payload bit in the current file.
+        let mut bytes = fs::read(store.current_path()).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(store.current_path(), &bytes).unwrap();
+        assert_eq!(store.load(), Some((1, b"good-old".to_vec())));
+        let generations = store.load_generations();
+        assert!(matches!(
+            &generations[0],
+            Err(CheckpointFileError::Corrupt("payload CRC mismatch"))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_tmp_file_is_ignored() {
+        let dir = scratch_dir("tmp");
+        let mut store = DurableCheckpointStore::open(&dir, 2).unwrap();
+        store.save(b"committed").unwrap();
+        // Simulate a crash mid-save: a torn tmp file never renamed.
+        fs::write(store.tmp_path(), b"garbage from a dying writer").unwrap();
+        assert_eq!(store.load(), Some((1, b"committed".to_vec())));
+        drop(store);
+        let reopened = DurableCheckpointStore::open(&dir, 2).unwrap();
+        assert_eq!(reopened.load(), Some((1, b"committed".to_vec())));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decode_rejects_everything_that_is_not_an_intact_file() {
+        let image = encode_checkpoint_file(7, b"payload");
+        assert!(matches!(
+            decode_checkpoint_file(&image),
+            Ok((7, ref p)) if p == b"payload"
+        ));
+        for cut in 0..image.len() {
+            assert!(decode_checkpoint_file(&image[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad_magic = image.clone();
+        bad_magic[0] ^= 1;
+        assert!(decode_checkpoint_file(&bad_magic).is_err());
+        let mut trailing = image.clone();
+        trailing.push(0);
+        assert!(decode_checkpoint_file(&trailing).is_err());
+    }
+}

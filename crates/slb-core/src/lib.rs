@@ -36,6 +36,7 @@ pub mod aggregate;
 pub mod checkpoint;
 pub mod config;
 pub mod dchoices;
+pub mod durable;
 pub mod head;
 pub mod head_schemes;
 pub mod load;
@@ -51,6 +52,10 @@ pub use checkpoint::{OpenWindowState, WorkerCheckpoint};
 pub use config::{HeadThreshold, PartitionConfig};
 pub use dchoices::{
     constraints_hold, d_fraction, expected_worker_set_size, find_optimal_choices, ChoicesDecision,
+};
+pub use durable::{
+    crc32, decode_checkpoint_file, encode_checkpoint_file, CheckpointFileError,
+    DurableCheckpointStore, CHECKPOINT_MAGIC,
 };
 pub use head::{HeadSnapshot, HeadTracker};
 pub use head_schemes::HeadAwarePartitioner;

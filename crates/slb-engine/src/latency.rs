@@ -201,6 +201,11 @@ pub struct RecoveryMetrics {
     pub duplicates_dropped: u64,
     /// Replay requests issued upstream (gap detected or post-crash resume).
     pub replay_requests: u64,
+    /// Transport-level receive errors survived (a reader thread reporting a
+    /// malformed frame or failed read instead of a clean EOF). Zero on a
+    /// healthy run; nonzero means a peer died mid-frame and the stage kept
+    /// going on the remaining connections.
+    pub transport_errors: u64,
 }
 
 impl RecoveryMetrics {
@@ -216,6 +221,7 @@ impl RecoveryMetrics {
             replayed_items: self.replayed_items + other.replayed_items,
             duplicates_dropped: self.duplicates_dropped + other.duplicates_dropped,
             replay_requests: self.replay_requests + other.replay_requests,
+            transport_errors: self.transport_errors + other.transport_errors,
         }
     }
 }
@@ -381,12 +387,14 @@ mod tests {
             replayed_items: 10,
             duplicates_dropped: 3,
             replay_requests: 2,
+            transport_errors: 1,
         };
         let b = RecoveryMetrics {
             restores: 0,
             replayed_items: 5,
             duplicates_dropped: 1,
             replay_requests: 1,
+            transport_errors: 0,
         };
         let m = a.merged(b);
         assert_eq!(
@@ -396,6 +404,7 @@ mod tests {
                 replayed_items: 15,
                 duplicates_dropped: 4,
                 replay_requests: 3,
+                transport_errors: 1,
             }
         );
         assert!(!m.is_quiet());

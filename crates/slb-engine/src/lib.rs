@@ -58,15 +58,17 @@ pub use fault::{CheckpointStore, ConnectionDrop, FaultEvent, FaultPlan};
 pub use latency::{LatencySummary, LatencyTracker, PhaseMetrics, RecoveryMetrics, StageMetrics};
 pub use topology::{
     assemble_result, compare_schemes, compare_schemes_scenario, run_aggregator_stage,
-    run_source_stage, run_source_stage_recoverable, run_worker_stage, run_worker_stage_recoverable,
-    AggregatorStageReport, EngineConfig, EngineResult, PhasePlan, ScenarioConfig, StagePlan,
-    Topology, WorkerStageReport, DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY,
-    DEFAULT_WINDOW_SIZE,
+    run_aggregator_stage_supervised, run_source_stage, run_source_stage_recoverable,
+    run_source_stage_supervised, run_worker_stage, run_worker_stage_durable,
+    run_worker_stage_recoverable, AggregatorStageReport, EngineConfig, EngineResult, PhasePlan,
+    ScenarioConfig, SourceControlEvent, StagePlan, Topology, WorkerStageReport,
+    DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY, DEFAULT_WINDOW_SIZE,
 };
 pub use transport::{
     capacity_in_batches, feedback_channel_capacity, partial_channel_capacity, ChannelClosed,
     FeedbackReceiver, FeedbackSender, InProc, PartialReceiver, PartialSender, PartialWindow,
-    ReplayRequest, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
+    RecvError, ReplayRequest, SourceMessage, Transport, TransportError, TupleBatch, TupleReceiver,
+    TupleSender,
 };
 pub use windows::{
     diff_windows, exact_scenario_windowed_counts, exact_windowed_counts, window_of, WindowId,

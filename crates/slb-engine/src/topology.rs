@@ -93,8 +93,8 @@ use crate::fault::{CheckpointStore, ConnectionDrop, FaultPlan};
 use crate::latency::{LatencySummary, LatencyTracker, PhaseMetrics, RecoveryMetrics, StageMetrics};
 use crate::transport::{
     capacity_in_batches, feedback_channel_capacity, partial_channel_capacity, FeedbackReceiver,
-    FeedbackSender, InProc, PartialReceiver, PartialSender, PartialWindow, ReplayRequest,
-    SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
+    FeedbackSender, InProc, PartialReceiver, PartialSender, PartialWindow, RecvError,
+    ReplayRequest, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
 };
 use crate::windows::{window_of, WindowId, WindowedRun};
 
@@ -627,6 +627,11 @@ struct SourceSendState<'a, Tx: TupleSender> {
     /// finalization.
     drops: Vec<(ConnectionDrop, u64)>,
     sent: u64,
+    /// Workers the supervisor excluded after an exhausted respawn budget.
+    /// Their sequence cursors still advance — the cursor space stays
+    /// uniform for snapshots and replay — but no frame is handed to the
+    /// dead endpoint's sender.
+    excluded: Vec<bool>,
 }
 
 impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
@@ -641,6 +646,7 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
                 .map(|d| (d, 0))
                 .collect(),
             sent: 0,
+            excluded: vec![false; senders.len()],
         }
     }
 
@@ -669,7 +675,7 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
         self.sent += keys.len() as u64;
         let seq = self.next_seq[worker];
         self.next_seq[worker] += 1;
-        if self.loses(worker, seq) {
+        if self.loses(worker, seq) || self.excluded[worker] {
             return;
         }
         self.senders[worker]
@@ -686,6 +692,9 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
     fn send_close(&mut self, worker: usize, window: WindowId) {
         let seq = self.next_seq[worker];
         self.next_seq[worker] += 1;
+        if self.excluded[worker] {
+            return;
+        }
         self.senders[worker]
             .send(SourceMessage::CloseWindow {
                 window,
@@ -731,6 +740,18 @@ struct SourceSnapshot<S> {
     local_idx: u64,
     emitted_in_phase: u64,
     next_seq: Vec<u64>,
+    /// Exclusion flags at the boundary, so replay maps routed slots to the
+    /// same actual worker indices the live loop used.
+    excluded: Vec<bool>,
+}
+
+/// The actual worker indices a source routes to in a phase: the phase's
+/// active prefix minus every supervisor-excluded worker. The partitioner is
+/// (re)built for `active.len()` slots and a routed slot `r` addresses
+/// `active[r]`; with nothing excluded this is the identity over the phase's
+/// workers, so plain runs route bit-identically to earlier versions.
+fn active_workers(phase_workers: usize, excluded: &[bool]) -> Vec<usize> {
+    (0..phase_workers).filter(|&w| !excluded[w]).collect()
 }
 
 /// The phase that `window` belongs to, via the phase start-window table.
@@ -890,9 +911,108 @@ where
 pub fn run_source_stage_recoverable<S, Tx, Frx>(
     plan: &StagePlan,
     source_idx: usize,
+    stream_for_phase: impl FnMut(usize) -> S,
+    senders: &[Tx],
+    feedback: Option<Frx>,
+) -> u64
+where
+    S: KeyStream + Clone,
+    Tx: TupleSender,
+    Frx: FeedbackReceiver,
+{
+    run_source_stage_inner(plan, source_idx, stream_for_phase, senders, feedback, None)
+}
+
+/// A supervisor directive delivered to a running source stage, for
+/// process-level fault tolerance (see docs/FAULTS.md). The orchestrator
+/// translates control-plane frames into these events; the source handles
+/// them on its own emission thread, between chunks, so replay and live
+/// frames never interleave out of order on one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceControlEvent {
+    /// A worker process respawned: swap in its fresh connection (the
+    /// `reattach` hook), then replay this source's history to it from
+    /// `from_seq` — the worker's restored per-source cursor.
+    Rejoin {
+        /// The respawned worker.
+        worker: usize,
+        /// This source's cursor from the worker's durable checkpoint.
+        from_seq: u64,
+    },
+    /// A worker exhausted its respawn budget: stop routing to it from the
+    /// next window boundary on (the only point where routing state may
+    /// change; see [`Partitioner::rescale`]).
+    Exclude {
+        /// The permanently failed worker.
+        worker: usize,
+    },
+    /// Every live worker and aggregator has reported; no further replay
+    /// can be requested and the stage may return.
+    Release,
+}
+
+/// The supervised source's control-plane hookup: the event queue and the
+/// reattach hook that swaps a respawned worker's connection, plus the
+/// deferred-exclusion and release state the event loop accumulates.
+struct Supervision<'a> {
+    events: &'a crossbeam_channel::Receiver<SourceControlEvent>,
+    reattach: &'a mut dyn FnMut(usize),
+    pending_exclusions: Vec<usize>,
+    released: bool,
+}
+
+/// [`run_source_stage`] plus the supervisor protocol of the process-level
+/// fault-tolerant runner: the source keeps the same window-boundary
+/// snapshot ring as [`run_source_stage_recoverable`], but replay is driven
+/// by [`SourceControlEvent`]s from the orchestrator's control plane instead
+/// of a worker → source feedback channel (a respawned worker cannot keep a
+/// feedback socket across its own death — its restored cursors travel in
+/// the `Rejoin` control frame instead).
+///
+/// `reattach(worker)` must swap the sender for `worker` to the respawned
+/// process's fresh data connection; it is called on this thread, before the
+/// replay that follows it, so replayed frames always precede later live
+/// frames. After emission the stage blocks on the event queue until
+/// `Release` (or the queue closing) instead of waiting for feedback senders
+/// to drop.
+///
+/// Returns the number of tuples sent (replay re-sends are not counted, and
+/// tuples routed to an excluded worker count as sent — the degradation
+/// report, not the sent count, carries the loss).
+pub fn run_source_stage_supervised<S, Tx>(
+    plan: &StagePlan,
+    source_idx: usize,
+    stream_for_phase: impl FnMut(usize) -> S,
+    senders: &[Tx],
+    events: &crossbeam_channel::Receiver<SourceControlEvent>,
+    mut reattach: impl FnMut(usize),
+) -> u64
+where
+    S: KeyStream + Clone,
+    Tx: TupleSender,
+{
+    run_source_stage_inner(
+        plan,
+        source_idx,
+        stream_for_phase,
+        senders,
+        None::<crossbeam_channel::Receiver<ReplayRequest>>,
+        Some(Supervision {
+            events,
+            reattach: &mut reattach,
+            pending_exclusions: Vec::new(),
+            released: false,
+        }),
+    )
+}
+
+fn run_source_stage_inner<S, Tx, Frx>(
+    plan: &StagePlan,
+    source_idx: usize,
     mut stream_for_phase: impl FnMut(usize) -> S,
     senders: &[Tx],
     feedback: Option<Frx>,
+    mut supervision: Option<Supervision<'_>>,
 ) -> u64
 where
     S: KeyStream + Clone,
@@ -903,6 +1023,9 @@ where
         feedback.is_some() || plan.faults.drops_from(source_idx).is_empty(),
         "connection-drop faults require a recovery feedback channel"
     );
+    // Snapshots serve replay over the feedback channel (in-process
+    // recovery) or over supervisor Rejoin events (process-level recovery).
+    let keep_snapshots = feedback.is_some() || supervision.is_some();
     let batch_size = plan.batch_size;
     let window_size = plan.window_size;
     let mut send = SourceSendState::new(senders, source_idx, &plan.faults);
@@ -927,13 +1050,24 @@ where
         // phase's worker count. Build on first use, rescale in
         // place afterwards — bit-for-bit equivalent to a fresh
         // build (see slb-core's rescale_props suite).
-        let partition = PartitionConfig::new(phase.workers).with_seed(plan.seed);
+        //
+        // Supervisor exclusions shrink the routed set: the partitioner
+        // spans only the ACTIVE workers and `active` maps its slots back
+        // to actual worker indices. Until an exclusion happens that map
+        // is the identity, so unsupervised runs are bit-for-bit
+        // unchanged.
+        let mut active = active_workers(phase.workers, &send.excluded);
+        assert!(
+            !active.is_empty(),
+            "every worker excluded; nothing to route to"
+        );
+        let partition = PartitionConfig::new(active.len()).with_seed(plan.seed);
         match partitioner.as_mut() {
             None => partitioner = Some(build_partitioner::<KeyId>(plan.kind, &partition)),
             Some(part) => part.rescale(&partition),
         }
         let mut stream = stream_for_phase(phase_idx);
-        if feedback.is_some() {
+        if keep_snapshots {
             // Phase-start snapshot; for phase 0 this is the origin
             // snapshot every replay can fall back to.
             push_snapshot(
@@ -948,6 +1082,7 @@ where
                     local_idx,
                     emitted_in_phase: 0,
                     next_seq: send.next_seq.clone(),
+                    excluded: send.excluded.clone(),
                 },
             );
         }
@@ -959,6 +1094,21 @@ where
             if let Some(fb) = feedback.as_ref() {
                 serve_pending_replays(
                     fb,
+                    plan,
+                    &mut stream_for_phase,
+                    senders,
+                    &snapshots,
+                    source_idx,
+                    &send.next_seq,
+                );
+            }
+            // Same idea for the supervisor protocol: a respawned
+            // worker's Rejoin is served (reattach + replay) between
+            // chunks, on this thread, so every replayed frame precedes
+            // any later live frame on the fresh connection.
+            if let Some(sup) = supervision.as_mut() {
+                serve_supervision_events(
+                    sup,
                     plan,
                     &mut stream_for_phase,
                     senders,
@@ -996,7 +1146,8 @@ where
                 .as_mut()
                 .expect("partitioner built above")
                 .route_batch(&keybuf, &mut routebuf);
-            for (&key, &worker) in keybuf.iter().zip(&routebuf) {
+            for (&key, &route) in keybuf.iter().zip(&routebuf) {
+                let worker = active[route];
                 if pending[worker].is_empty() {
                     pending_since[worker] = Instant::now();
                 }
@@ -1018,10 +1169,34 @@ where
                 // so flush first, then broadcast the close marker.
                 flush_pending(&mut send, &mut pending, &pending_since, window, batch_size);
                 send.broadcast_close(window);
-                if feedback.is_some() {
+                // Apply deferred exclusions now that the window is
+                // sealed: mark the dead workers, shrink the active
+                // map, and rescale the partitioner — the same
+                // split-minimising move a planned scale-in uses — so
+                // the next window never routes to them.
+                if let Some(sup) = supervision.as_mut() {
+                    if !sup.pending_exclusions.is_empty() {
+                        for &worker in &sup.pending_exclusions {
+                            send.excluded[worker] = true;
+                        }
+                        sup.pending_exclusions.clear();
+                        active = active_workers(phase.workers, &send.excluded);
+                        assert!(
+                            !active.is_empty(),
+                            "every worker excluded; nothing to route to"
+                        );
+                        partitioner
+                            .as_mut()
+                            .expect("partitioner built above")
+                            .rescale(&PartitionConfig::new(active.len()).with_seed(plan.seed));
+                    }
+                }
+                if keep_snapshots {
                     // Boundary snapshot: pending buffers are empty
                     // (just flushed), so the stream/routing/sequence
-                    // cursors fully describe the send state.
+                    // cursors fully describe the send state. Taken
+                    // AFTER exclusions apply, so a replay covering
+                    // this point routes exactly as the live loop will.
                     push_snapshot(
                         &mut snapshots,
                         SourceSnapshot {
@@ -1034,6 +1209,7 @@ where
                             local_idx,
                             emitted_in_phase: emitted,
                             next_seq: send.next_seq.clone(),
+                            excluded: send.excluded.clone(),
                         },
                     );
                 }
@@ -1080,7 +1256,69 @@ where
             );
         }
     }
+    // Supervised analogue: block on the control-event queue until the
+    // orchestrator's Release (every live worker and aggregator has
+    // reported) or the queue closing. A worker respawning after this
+    // source finished emitting still gets its reattach + replay here.
+    if let Some(sup) = supervision.as_mut() {
+        while !sup.released {
+            match sup.events.recv() {
+                Ok(SourceControlEvent::Rejoin { worker, from_seq }) => {
+                    (sup.reattach)(worker);
+                    replay_to_worker(
+                        plan,
+                        &mut stream_for_phase,
+                        senders,
+                        &snapshots,
+                        source_idx,
+                        ReplayRequest { worker, from_seq },
+                        &send.next_seq,
+                    );
+                }
+                Ok(SourceControlEvent::Exclude { .. }) => {}
+                Ok(SourceControlEvent::Release) | Err(_) => break,
+            }
+        }
+    }
     send.sent
+}
+
+/// Drains every queued supervisor event without blocking. `Rejoin` swaps
+/// in the respawned worker's fresh connection (the reattach hook) and then
+/// replays this source's history from the worker's restored cursor;
+/// `Exclude` is deferred to the next window boundary — the only point
+/// where routing state may change; `Release` ends the post-emission wait.
+#[allow(clippy::too_many_arguments)]
+fn serve_supervision_events<S, Tx>(
+    sup: &mut Supervision<'_>,
+    plan: &StagePlan,
+    stream_for_phase: &mut impl FnMut(usize) -> S,
+    senders: &[Tx],
+    snapshots: &VecDeque<SourceSnapshot<S>>,
+    source: usize,
+    live_next_seq: &[u64],
+) where
+    S: KeyStream + Clone,
+    Tx: TupleSender,
+{
+    while let Ok(event) = sup.events.try_recv() {
+        match event {
+            SourceControlEvent::Rejoin { worker, from_seq } => {
+                (sup.reattach)(worker);
+                replay_to_worker(
+                    plan,
+                    stream_for_phase,
+                    senders,
+                    snapshots,
+                    source,
+                    ReplayRequest { worker, from_seq },
+                    live_next_seq,
+                );
+            }
+            SourceControlEvent::Exclude { worker } => sup.pending_exclusions.push(worker),
+            SourceControlEvent::Release => sup.released = true,
+        }
+    }
 }
 
 /// Pushes a snapshot onto the replay ring, evicting the *second*-oldest
@@ -1160,6 +1398,13 @@ fn replay_to_worker<S, Tx>(
         .find(|s| s.next_seq[target] <= request.from_seq)
         .expect("origin snapshot covers sequence zero");
     let mut partitioner = snap.partitioner.clone();
+    // Routed slots map through the snapshot's exclusion set, exactly as
+    // the live loop's did at that point — the identity map until a
+    // supervisor exclusion happened. (A replay spanning an exclusion
+    // boundary would route the post-boundary stretch with the
+    // pre-boundary map; that cannot arise here because exclusion is
+    // permanent death — an excluded worker never rejoins to request one.)
+    let mut active = active_workers(plan.phases[snap.phase_idx].workers, &snap.excluded);
     let mut replay_seq = snap.next_seq[target];
     let batch_size = plan.batch_size;
     let window_size = plan.window_size;
@@ -1204,7 +1449,8 @@ fn replay_to_worker<S, Tx>(
             // Crossing a phase boundary inside the replay: rescale the
             // cloned routing state and open a fresh phase stream, exactly
             // as the live loop did.
-            let partition = PartitionConfig::new(phase.workers).with_seed(plan.seed);
+            active = active_workers(phase.workers, &snap.excluded);
+            let partition = PartitionConfig::new(active.len()).with_seed(plan.seed);
             partitioner.rescale(&partition);
             (stream_for_phase(phase_idx), 0u64)
         };
@@ -1227,8 +1473,8 @@ fn replay_to_worker<S, Tx>(
             }
             let window = window_of(local_idx, window_size);
             partitioner.route_batch(&keybuf, &mut routebuf);
-            for (&key, &worker) in keybuf.iter().zip(&routebuf) {
-                if worker != target {
+            for (&key, &route) in keybuf.iter().zip(&routebuf) {
+                if active[route] != target {
                     continue;
                 }
                 pending.push(key);
@@ -1458,7 +1704,148 @@ pub fn run_worker_stage_recoverable<A, Rx, Tx, Ftx>(
     aggregate: &A,
     receiver: Rx,
     partial_senders: &[Tx],
+    feedback_senders: Vec<Ftx>,
+) -> WorkerStageReport
+where
+    A: WindowAggregate<KeyId>,
+    A::Partial: WirePartial,
+    Rx: TupleReceiver,
+    Tx: PartialSender<A::Partial>,
+    Ftx: FeedbackSender,
+{
+    run_worker_stage_inner(
+        plan,
+        worker_idx,
+        epoch,
+        aggregate,
+        receiver,
+        partial_senders,
+        feedback_senders,
+        None,
+        None,
+        false,
+    )
+}
+
+/// [`run_worker_stage`] for the process-level fault-tolerant runner. Two
+/// differences from the in-process recoverable variant:
+///
+/// - The worker may *start* from a durable checkpoint (`initial`, decoded
+///   from the on-disk [`slb_core::DurableCheckpointStore`] by the respawned
+///   process), and every checkpoint it takes is mirrored to `persist` (the
+///   durable store's `save`) right after the in-memory save.
+/// - There is no feedback channel: replay is requested on the worker's
+///   behalf by the orchestrator — the `Rejoin` control frame carries the
+///   restored cursors to every source. Consequently the stage *returns* as
+///   soon as the plan's last window finalizes instead of draining to EOF,
+///   because its tuple sockets stay open until the orchestrator's Release
+///   (sources hold them for potential replay to OTHER respawned workers).
+///
+/// # Panics
+/// Panics if a partial send fails, or on a sequence gap (with no feedback
+/// channel a gap is unrecoverable from inside the stage; the supervised
+/// source protocol guarantees gap-free delivery on each connection).
+#[allow(clippy::too_many_arguments)]
+pub fn run_worker_stage_durable<A, Rx, Tx>(
+    plan: &StagePlan,
+    worker_idx: usize,
+    epoch: Instant,
+    aggregate: &A,
+    receiver: Rx,
+    partial_senders: &[Tx],
+    initial: Option<&WorkerCheckpoint>,
+    persist: &mut dyn FnMut(&[u8]),
+) -> WorkerStageReport
+where
+    A: WindowAggregate<KeyId>,
+    A::Partial: WirePartial,
+    Rx: TupleReceiver,
+    Tx: PartialSender<A::Partial>,
+{
+    run_worker_stage_inner(
+        plan,
+        worker_idx,
+        epoch,
+        aggregate,
+        receiver,
+        partial_senders,
+        Vec::<crossbeam_channel::Sender<ReplayRequest>>::new(),
+        initial,
+        Some(persist),
+        true,
+    )
+}
+
+/// Rebuilds every piece of volatile worker state a checkpoint covers:
+/// `(processed, windows_closed, phase_counts, state, expected_seq, open,
+/// closes)`. Shared by the simulated-crash restore (same process) and the
+/// respawn restore (new process, checkpoint read from disk).
+#[allow(clippy::type_complexity)]
+fn restore_checkpoint_state<A>(
+    checkpoint: &WorkerCheckpoint,
+    n_phases: usize,
+    sources: usize,
+) -> (
+    u64,
+    u64,
+    Vec<u64>,
+    StateKeys,
+    Vec<u64>,
+    HashMap<WindowId, A::Partial>,
+    HashMap<WindowId, usize>,
+)
+where
+    A: WindowAggregate<KeyId>,
+    A::Partial: WirePartial,
+{
+    let mut phase_counts = checkpoint.phase_counts.clone();
+    phase_counts.resize(n_phases, 0);
+    let mut expected_seq = checkpoint.next_seq.clone();
+    expected_seq.resize(sources, 0);
+    let open = checkpoint
+        .open
+        .iter()
+        .filter_map(|w| {
+            w.partial.as_ref().map(|blob| {
+                let partial = A::Partial::decode_partial(&mut blob.as_slice())
+                    .expect("a worker's own checkpoint decodes");
+                (w.window, partial)
+            })
+        })
+        .collect();
+    let closes = checkpoint
+        .open
+        .iter()
+        .filter(|w| w.closes_seen > 0)
+        .map(|w| (w.window, w.closes_seen as usize))
+        .collect();
+    (
+        checkpoint.processed,
+        checkpoint.windows_closed,
+        phase_counts,
+        StateKeys::restore(&checkpoint.state_keys),
+        expected_seq,
+        open,
+        closes,
+    )
+}
+
+/// The durable worker's checkpoint-persist hook: called with the encoded
+/// [`WorkerCheckpoint`] bytes at every window-finalization boundary.
+type PersistFn<'a> = &'a mut dyn FnMut(&[u8]);
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker_stage_inner<A, Rx, Tx, Ftx>(
+    plan: &StagePlan,
+    worker_idx: usize,
+    epoch: Instant,
+    aggregate: &A,
+    receiver: Rx,
+    partial_senders: &[Tx],
     mut feedback_senders: Vec<Ftx>,
+    initial: Option<&WorkerCheckpoint>,
+    mut persist: Option<PersistFn<'_>>,
+    exit_at_last_window: bool,
 ) -> WorkerStageReport
 where
     A: WindowAggregate<KeyId>,
@@ -1510,13 +1897,42 @@ where
     // Reused across window closes so the steady-state checkpoint encode
     // allocates nothing for the snapshot bytes.
     let mut checkpoint_buf: Vec<u8> = Vec::new();
+    if let Some(checkpoint) = initial {
+        // Respawn restore: this process starts where its predecessor's
+        // last durable checkpoint left off. The replay that fills the
+        // gap was already requested on our behalf (the Rejoin frame
+        // carried these cursors to every source).
+        recovery.restores += 1;
+        recovery.replay_requests += sources as u64;
+        let (p, w, pc, st, es, op, cl) =
+            restore_checkpoint_state::<A>(checkpoint, n_phases, sources);
+        processed = p;
+        windows_closed = w;
+        phase_counts = pc;
+        state = st;
+        expected_seq = es;
+        open = op;
+        closes = cl;
+    }
     if total_windows == 0 {
         // Degenerate empty run: no window will ever finalize, so release
         // the sources' replay-service loops immediately.
         feedback_senders.clear();
     }
     let mut drained: Vec<SourceMessage> = Vec::new();
-    while receiver.recv_batch(&mut drained).is_ok() {
+    'recv: loop {
+        match receiver.recv_batch(&mut drained) {
+            Ok(_) => {}
+            Err(RecvError::Transport(_)) => {
+                // A reader thread hit a malformed frame or a failed
+                // read. Survivable: the erroring connection is done,
+                // but the queue itself (and any other connection
+                // feeding it) lives on — count it and keep draining.
+                recovery.transport_errors += 1;
+                continue;
+            }
+            Err(RecvError::Closed) => break,
+        }
         for message in drained.drain(..) {
             let (src, seq) = message.source_seq();
             frontier[src] = frontier[src].max(seq + 1);
@@ -1602,30 +2018,15 @@ where
                             })
                             .unwrap_or_default();
                         // -- restart -- restore from the checkpoint alone.
-                        processed = checkpoint.processed;
-                        windows_closed = checkpoint.windows_closed;
-                        phase_counts = checkpoint.phase_counts.clone();
-                        phase_counts.resize(n_phases, 0);
-                        state = StateKeys::restore(&checkpoint.state_keys);
-                        expected_seq = checkpoint.next_seq.clone();
-                        expected_seq.resize(sources, 0);
-                        open = checkpoint
-                            .open
-                            .iter()
-                            .filter_map(|w| {
-                                w.partial.as_ref().map(|blob| {
-                                    let partial = A::Partial::decode_partial(&mut blob.as_slice())
-                                        .expect("a worker's own checkpoint decodes");
-                                    (w.window, partial)
-                                })
-                            })
-                            .collect();
-                        closes = checkpoint
-                            .open
-                            .iter()
-                            .filter(|w| w.closes_seen > 0)
-                            .map(|w| (w.window, w.closes_seen as usize))
-                            .collect();
+                        let (p, w, pc, st, es, op, cl) =
+                            restore_checkpoint_state::<A>(&checkpoint, n_phases, sources);
+                        processed = p;
+                        windows_closed = w;
+                        phase_counts = pc;
+                        state = st;
+                        expected_seq = es;
+                        open = op;
+                        closes = cl;
                         for (src, sender) in feedback_senders.iter().enumerate() {
                             sender
                                 .send(ReplayRequest {
@@ -1685,13 +2086,27 @@ where
                             &mut checkpoint_buf,
                         );
                         store.save(0, &checkpoint_buf);
+                        // Mirror to the durable medium: the hook runs
+                        // back to back with shipping the partials, so a
+                        // respawn restoring these bytes never
+                        // re-finalizes this window.
+                        if let Some(hook) = persist.as_mut() {
+                            hook(&checkpoint_buf);
+                        }
                         checkpoints += 1;
                     }
                     if windows_closed == total_windows {
                         // Last window done: release the sources' replay
                         // service, then keep draining to EOF (anything
-                        // still in flight is a replay overlap).
+                        // still in flight is a replay overlap) — unless
+                        // this is the durable runner, whose sockets stay
+                        // open until the orchestrator's Release: return
+                        // instead of waiting for an EOF that only
+                        // arrives after the release.
                         feedback_senders.clear();
+                        if exit_at_last_window {
+                            break 'recv;
+                        }
                     }
                 }
             }
@@ -1730,6 +2145,10 @@ pub struct AggregatorStageReport<P> {
     /// finalization mean closed windows are never re-finalized); the dedup
     /// is the aggregator's own exactly-once guarantee regardless.
     pub duplicates_dropped: u64,
+    /// Transport-level receive errors survived (a reader thread reporting
+    /// a malformed frame or failed read instead of a clean EOF — e.g. a
+    /// SIGKILLed worker's connection tearing mid-frame).
+    pub transport_errors: u64,
 }
 
 /// Everything one aggregator contributes to a run: merges partial-window
@@ -1747,20 +2166,113 @@ where
     A: WindowAggregate<KeyId>,
     Rx: PartialReceiver<A::Partial>,
 {
+    run_aggregator_stage_inner(spawned_workers, None, aggregate, receiver, None)
+}
+
+/// [`run_aggregator_stage`] plus the supervisor protocol of the
+/// process-level fault-tolerant runner:
+///
+/// - An `Exclude` on the `exclusions` channel drops a permanently dead
+///   worker from every finalization quorum — windows already waiting only
+///   on it finalize immediately, and later windows no longer expect it.
+///   (Graceful degradation: window counts lose the dead worker's share,
+///   but the run *terminates* with a report instead of hanging.)
+/// - The stage returns as soon as `total_windows` windows have finalized,
+///   instead of draining to EOF: under a respawn the data queue's senders
+///   (the listener accepting reconnections) outlive the stage on purpose.
+pub fn run_aggregator_stage_supervised<A, Rx>(
+    spawned_workers: usize,
+    total_windows: u64,
+    aggregate: &A,
+    receiver: Rx,
+    exclusions: &crossbeam_channel::Receiver<usize>,
+) -> AggregatorStageReport<A::Partial>
+where
+    A: WindowAggregate<KeyId>,
+    Rx: PartialReceiver<A::Partial>,
+{
+    run_aggregator_stage_inner(
+        spawned_workers,
+        Some(total_windows),
+        aggregate,
+        receiver,
+        Some(exclusions),
+    )
+}
+
+fn run_aggregator_stage_inner<A, Rx>(
+    spawned_workers: usize,
+    total_windows: Option<u64>,
+    aggregate: &A,
+    receiver: Rx,
+    exclusions: Option<&crossbeam_channel::Receiver<usize>>,
+) -> AggregatorStageReport<A::Partial>
+where
+    A: WindowAggregate<KeyId>,
+    Rx: PartialReceiver<A::Partial>,
+{
     let mut latencies = LatencyTracker::with_capacity(256);
     let mut merged = 0u64;
     let mut duplicates_dropped = 0u64;
+    let mut transport_errors = 0u64;
+    // Supervisor-excluded workers: no longer part of any quorum.
+    let mut excluded = vec![false; spawned_workers];
+    let mut excluded_any = false;
     // Per open window: the merged partial, which workers contributed, and
     // the distinct-contributor count.
     #[allow(clippy::type_complexity)]
     let mut open: HashMap<WindowId, (A::Partial, Vec<bool>, usize)> = HashMap::new();
     let mut finalized: BTreeMap<WindowId, A::Partial> = BTreeMap::new();
     let mut drained: Vec<PartialWindow<A::Partial>> = Vec::new();
-    while receiver.recv_batch(&mut drained).is_ok() {
+    let all_done = |finalized: &BTreeMap<WindowId, A::Partial>| {
+        total_windows.is_some_and(|t| finalized.len() as u64 >= t)
+    };
+    'recv: while !all_done(&finalized) {
+        // Serve supervisor exclusions between receive rounds (the shim's
+        // channels have no select, so the data queue is polled with its
+        // own blocking receive and exclusions are drained non-blockingly;
+        // the orchestrator follows every Exclude broadcast with data-side
+        // progress — at minimum the queue closing — so this never
+        // deadlocks).
+        if let Some(rx) = exclusions {
+            let mut changed = false;
+            while let Ok(worker) = rx.try_recv() {
+                if worker < spawned_workers && !excluded[worker] {
+                    excluded[worker] = true;
+                    excluded_any = true;
+                    changed = true;
+                }
+            }
+            if changed {
+                finalize_quorate_windows(&mut open, &mut finalized, &excluded, spawned_workers);
+                if all_done(&finalized) {
+                    break 'recv;
+                }
+            }
+        }
+        match receiver.recv_batch(&mut drained) {
+            Ok(_) => {}
+            Err(RecvError::Transport(_)) => {
+                // One connection tore mid-frame (e.g. its worker was
+                // SIGKILLed); the queue and every other connection
+                // feeding it live on. Count and keep draining.
+                transport_errors += 1;
+                continue;
+            }
+            Err(RecvError::Closed) => break,
+        }
         for pw in drained.drain(..) {
             if finalized.contains_key(&pw.window) {
                 // Every worker already contributed; a straggler can only
-                // be a re-shipped duplicate.
+                // be a re-shipped duplicate (or, under degradation, a
+                // dead worker's late partial outrun by its exclusion).
+                duplicates_dropped += 1;
+                continue;
+            }
+            if excluded[pw.worker] {
+                // A late partial from a worker already dropped from the
+                // quorum: merging it now would double-count against the
+                // exclusion-finalized windows, so shed it.
                 duplicates_dropped += 1;
                 continue;
             }
@@ -1776,21 +2288,60 @@ where
             latencies.record_us(pw.closed_at.elapsed().as_micros() as u64);
             merged += 1;
             aggregate.merge(&mut slot.0, pw.partial);
-            if slot.2 == spawned_workers {
+            let complete = if excluded_any {
+                (0..spawned_workers).all(|w| excluded[w] || slot.1[w])
+            } else {
+                slot.2 == spawned_workers
+            };
+            if complete {
                 let (partial, _, _) = open.remove(&pw.window).expect("window is open");
                 finalized.insert(pw.window, partial);
+                if all_done(&finalized) {
+                    break 'recv;
+                }
             }
         }
     }
+    // The data queue may close (or the window budget fill) with an
+    // Exclude still queued; apply it so windows waiting only on the dead
+    // worker still finalize and the caller terminates with a report.
+    if let Some(rx) = exclusions {
+        while let Ok(worker) = rx.try_recv() {
+            if worker < spawned_workers {
+                excluded[worker] = true;
+            }
+        }
+        finalize_quorate_windows(&mut open, &mut finalized, &excluded, spawned_workers);
+    }
     debug_assert!(
         open.is_empty(),
-        "every window must receive a partial from every worker"
+        "every window must receive a partial from every (live) worker"
     );
     AggregatorStageReport {
         finalized,
         latencies,
         merged,
         duplicates_dropped,
+        transport_errors,
+    }
+}
+
+/// Moves every open window whose quorum is now satisfied — every worker
+/// either contributed or is excluded — into the finalized map.
+fn finalize_quorate_windows<P>(
+    open: &mut HashMap<WindowId, (P, Vec<bool>, usize)>,
+    finalized: &mut BTreeMap<WindowId, P>,
+    excluded: &[bool],
+    spawned_workers: usize,
+) {
+    let ready: Vec<WindowId> = open
+        .iter()
+        .filter(|(_, slot)| (0..spawned_workers).all(|w| excluded[w] || slot.1[w]))
+        .map(|(&window, _)| window)
+        .collect();
+    for window in ready {
+        let (partial, _, _) = open.remove(&window).expect("window is open");
+        finalized.insert(window, partial);
     }
 }
 
@@ -1843,9 +2394,11 @@ where
     let mut aggregator_latencies = Vec::with_capacity(plan.aggregators);
     let mut partials_merged = 0u64;
     let mut partials_deduped = 0u64;
+    let mut partials_transport_errors = 0u64;
     for report in aggregator_reports {
         partials_merged += report.merged;
         partials_deduped += report.duplicates_dropped;
+        partials_transport_errors += report.transport_errors;
         aggregator_latencies.push(report.latencies);
         for (window, partial) in report.finalized {
             match windows.entry(window) {
@@ -1856,11 +2409,14 @@ where
             }
         }
     }
+    // `<=`, not `==`: a worker excluded mid-run after exhausting its
+    // respawn budget legitimately closes fewer windows than the run has
+    // (its report is synthesized empty); no worker can ever close MORE.
     debug_assert!(
         worker_windows_closed
             .iter()
-            .all(|&w| w == windows.len() as u64),
-        "every worker closes every window exactly once"
+            .all(|&w| w <= windows.len() as u64),
+        "no worker closes more windows than the run has"
     );
 
     // Grouped by worker across phases, so the "max avg" statistic keeps the
@@ -1920,6 +2476,7 @@ where
             LatencyTracker::summarize(&aggregator_latencies),
             RecoveryMetrics {
                 duplicates_dropped: partials_deduped,
+                transport_errors: partials_transport_errors,
                 ..RecoveryMetrics::default()
             },
         ),
@@ -2066,6 +2623,10 @@ mod tests {
     use slb_core::{SumAggregate, TopKAggregate};
     use slb_sketch::FrequencyEstimator;
     use slb_workloads::ScenarioPhase;
+
+    /// [`CountAggregate`]'s partial type, spelled once for the supervised
+    /// stage tests that wire transports by hand.
+    type CountPartial = std::collections::HashMap<KeyId, u64>;
 
     #[test]
     fn smoke_run_processes_every_message() {
@@ -2511,5 +3072,304 @@ mod tests {
     fn zero_aggregators_panics() {
         let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.0).with_aggregators(0);
         let _ = Topology::new(cfg);
+    }
+
+    /// A single-source, single-worker supervised config whose entire stream
+    /// (live + one full replay) fits in the bounded queue, so the test can
+    /// drive the source from one thread without a draining peer.
+    fn tiny_supervised_config() -> EngineConfig {
+        let mut cfg = EngineConfig::smoke(PartitionerKind::Pkg, 1.4)
+            .with_messages(2_048)
+            .with_service_time_us(0)
+            .with_batch_size(64)
+            .with_window_size(512);
+        cfg.sources = 1;
+        cfg.workers = 1;
+        cfg.aggregators = 1;
+        cfg.queue_capacity = 16_384;
+        cfg
+    }
+
+    /// Drains messages from an in-proc receiver until `tuples` tuples and
+    /// `closes` close markers have arrived, returning them in order.
+    fn drain_exactly(
+        receiver: &impl TupleReceiver,
+        tuples: u64,
+        closes: usize,
+    ) -> Vec<SourceMessage> {
+        let mut got = Vec::new();
+        let mut tuple_count = 0u64;
+        let mut close_count = 0usize;
+        let mut buf = Vec::new();
+        while tuple_count < tuples || close_count < closes {
+            receiver.recv_batch(&mut buf).expect("stream stays open");
+            for message in buf.drain(..) {
+                match &message {
+                    SourceMessage::Batch(batch) => tuple_count += batch.keys.len() as u64,
+                    SourceMessage::CloseWindow { .. } => close_count += 1,
+                }
+                got.push(message);
+            }
+        }
+        assert_eq!(tuple_count, tuples, "over-delivered tuples");
+        assert_eq!(close_count, closes, "over-delivered closes");
+        got
+    }
+
+    #[test]
+    fn supervised_source_replays_full_history_on_rejoin() {
+        let cfg = tiny_supervised_config();
+        let plan = cfg.stage_plan();
+        let windows = plan.total_windows() as usize;
+        let (senders, receivers) = <InProc as Transport<CountPartial>>::tuple_channels(
+            &InProc,
+            1,
+            capacity_in_batches(plan.queue_capacity, plan.batch_size),
+        );
+        let receiver = receivers.into_iter().next().unwrap();
+        let (event_tx, event_rx) = crossbeam_channel::bounded(64);
+        let reattached = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let reattached_in_source = reattached.clone();
+        let stream_cfg = cfg.clone();
+        let source = thread::spawn(move || {
+            run_source_stage_supervised(
+                &cfg.stage_plan(),
+                0,
+                |_phase| crate::windows::source_stream(&stream_cfg, 0),
+                &senders,
+                &event_rx,
+                |worker| {
+                    reattached_in_source.fetch_add(worker + 1, std::sync::atomic::Ordering::SeqCst);
+                },
+            )
+        });
+        // Live emission: the whole stream fits in the queue.
+        let live = drain_exactly(&receiver, plan.phases[0].tuples_per_source, windows);
+        // The source is now parked in its post-emission wait. A Rejoin from
+        // sequence zero must reattach and re-deliver the entire history,
+        // bit-for-bit: same sequences, same windows, same batches.
+        event_tx
+            .send(SourceControlEvent::Rejoin {
+                worker: 0,
+                from_seq: 0,
+            })
+            .unwrap();
+        let replayed = drain_exactly(&receiver, plan.phases[0].tuples_per_source, windows);
+        assert_eq!(reattached.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(live.len(), replayed.len());
+        for (a, b) in live.iter().zip(&replayed) {
+            assert_eq!(a.source_seq(), b.source_seq());
+            match (a, b) {
+                (SourceMessage::Batch(x), SourceMessage::Batch(y)) => {
+                    assert_eq!(x.keys, y.keys);
+                    assert_eq!(x.window, y.window);
+                }
+                (
+                    SourceMessage::CloseWindow { window: x, .. },
+                    SourceMessage::CloseWindow { window: y, .. },
+                ) => assert_eq!(x, y),
+                _ => panic!("live and replayed message kinds diverge"),
+            }
+        }
+        event_tx.send(SourceControlEvent::Release).unwrap();
+        let sent = source.join().expect("source thread panicked");
+        // Replays are re-sends, not new tuples.
+        assert_eq!(sent, plan.phases[0].tuples_per_source);
+    }
+
+    #[test]
+    fn supervised_source_exclusion_reroutes_from_next_window_boundary() {
+        let mut cfg = tiny_supervised_config();
+        cfg.workers = 2;
+        let plan = cfg.stage_plan();
+        let windows = plan.total_windows();
+        let (senders, receivers) = <InProc as Transport<CountPartial>>::tuple_channels(
+            &InProc,
+            2,
+            capacity_in_batches(plan.queue_capacity, plan.batch_size),
+        );
+        let mut receivers = receivers.into_iter();
+        let (rx0, rx1) = (receivers.next().unwrap(), receivers.next().unwrap());
+        let (event_tx, event_rx) = crossbeam_channel::bounded(64);
+        // Queued before the source starts: served at the first chunk,
+        // applied at the first window boundary.
+        event_tx
+            .send(SourceControlEvent::Exclude { worker: 1 })
+            .unwrap();
+        event_tx.send(SourceControlEvent::Release).unwrap();
+        let stream_cfg = cfg.clone();
+        let source = thread::spawn(move || {
+            run_source_stage_supervised(
+                &cfg.stage_plan(),
+                0,
+                |_phase| crate::windows::source_stream(&stream_cfg, 0),
+                &senders,
+                &event_rx,
+                |_| panic!("no rejoin in this test"),
+            )
+        });
+        let sent = source.join().expect("source thread panicked");
+        assert_eq!(sent, plan.phases[0].tuples_per_source);
+        // Worker 1 saw only window 0 (its exclusion landed at window 0's
+        // boundary): batches and exactly one close, nothing later.
+        let mut buf = Vec::new();
+        let mut w1_tuples = 0u64;
+        let mut w1_closes = 0usize;
+        while TupleReceiver::recv_batch(&rx1, &mut buf).is_ok() {
+            for message in buf.drain(..) {
+                match message {
+                    SourceMessage::Batch(batch) => {
+                        assert_eq!(batch.window, 0, "excluded worker got a post-boundary batch");
+                        w1_tuples += batch.keys.len() as u64;
+                    }
+                    SourceMessage::CloseWindow { window, .. } => {
+                        assert_eq!(window, 0);
+                        w1_closes += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(w1_closes, 1);
+        // Worker 0 saw everything else: all remaining tuples and every
+        // window's close.
+        let mut w0_tuples = 0u64;
+        let mut w0_closes = 0usize;
+        while TupleReceiver::recv_batch(&rx0, &mut buf).is_ok() {
+            for message in buf.drain(..) {
+                match message {
+                    SourceMessage::Batch(batch) => w0_tuples += batch.keys.len() as u64,
+                    SourceMessage::CloseWindow { .. } => w0_closes += 1,
+                }
+            }
+        }
+        assert_eq!(w0_closes as u64, windows);
+        assert_eq!(w0_tuples + w1_tuples, plan.phases[0].tuples_per_source);
+    }
+
+    #[test]
+    fn supervised_aggregator_finalizes_without_an_excluded_worker() {
+        let aggregate = CountAggregate;
+        let (partial_senders, partial_receivers) =
+            <InProc as Transport<CountPartial>>::partial_channels(&InProc, 1, 16);
+        let receiver = partial_receivers.into_iter().next().unwrap();
+        let (exclude_tx, exclude_rx) = crossbeam_channel::bounded(16);
+        let handle = thread::spawn(move || {
+            run_aggregator_stage_supervised(2, 3, &CountAggregate, receiver, &exclude_rx)
+        });
+        let ship = |worker: usize, window: WindowId, key: KeyId, count: u64| {
+            let mut partial = aggregate.empty();
+            aggregate.observe(&mut partial, &key, count);
+            partial_senders[0]
+                .send(PartialWindow {
+                    window,
+                    worker,
+                    partial,
+                    closed_at: Instant::now(),
+                })
+                .unwrap();
+        };
+        // Worker 0 contributes every window; worker 1 dies after window 0.
+        ship(0, 0, 7, 2);
+        ship(1, 0, 7, 3);
+        ship(0, 1, 7, 5);
+        ship(0, 2, 9, 1);
+        exclude_tx.send(1).unwrap();
+        // Data-side progress follows the exclusion: close the queue.
+        drop(partial_senders);
+        let report = handle.join().expect("aggregator thread panicked");
+        assert_eq!(report.finalized.len(), 3, "degraded windows must finalize");
+        assert_eq!(report.merged, 4);
+        assert_eq!(report.finalized[&0][&7], 5);
+        assert_eq!(report.finalized[&1][&7], 5);
+        assert_eq!(report.finalized[&2][&9], 1);
+        assert_eq!(report.transport_errors, 0);
+    }
+
+    #[test]
+    fn durable_worker_restores_from_checkpoint_and_dedups_replay() {
+        let cfg = tiny_supervised_config();
+        let plan = cfg.stage_plan();
+        let windows = plan.total_windows();
+        assert!(windows >= 2, "test needs at least two windows");
+        let per_source = plan.phases[0].tuples_per_source;
+        let start = Instant::now();
+        // First life: run the full stream through a durable worker,
+        // capturing every checkpoint the persist hook mirrors out.
+        let checkpoints: Arc<std::sync::Mutex<Vec<Vec<u8>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let run_once = |initial: Option<&WorkerCheckpoint>| {
+            let (senders, receivers) = <InProc as Transport<CountPartial>>::tuple_channels(
+                &InProc,
+                1,
+                capacity_in_batches(plan.queue_capacity, plan.batch_size),
+            );
+            let receiver = receivers.into_iter().next().unwrap();
+            let (partial_senders, partial_receivers) =
+                <InProc as Transport<CountPartial>>::partial_channels(
+                    &InProc,
+                    1,
+                    partial_channel_capacity(1),
+                );
+            let partial_receiver = partial_receivers.into_iter().next().unwrap();
+            let stream_cfg = cfg.clone();
+            let source_plan = plan.clone();
+            let source = thread::spawn(move || {
+                run_source_stage(
+                    &source_plan,
+                    0,
+                    |_phase| crate::windows::source_stream(&stream_cfg, 0),
+                    &senders,
+                )
+            });
+            let sink = thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut merged: BTreeMap<WindowId, u64> = BTreeMap::new();
+                while PartialReceiver::recv_batch(&partial_receiver, &mut buf).is_ok() {
+                    for pw in buf.drain(..) {
+                        *merged.entry(pw.window).or_default() += pw.partial.values().sum::<u64>();
+                    }
+                }
+                merged
+            });
+            let sink_checkpoints = checkpoints.clone();
+            let report = run_worker_stage_durable(
+                &plan,
+                0,
+                start,
+                &CountAggregate,
+                receiver,
+                &partial_senders,
+                initial,
+                &mut |bytes: &[u8]| sink_checkpoints.lock().unwrap().push(bytes.to_vec()),
+            );
+            drop(partial_senders);
+            source.join().expect("source thread panicked");
+            (report, sink.join().expect("sink thread panicked"))
+        };
+        let (first_report, first_merged) = run_once(None);
+        assert_eq!(first_report.processed, per_source);
+        assert_eq!(first_report.windows_closed, windows);
+        assert_eq!(first_report.recovery.restores, 0);
+        let saved = checkpoints.lock().unwrap().clone();
+        assert_eq!(saved.len() as u64, windows, "one persist per window close");
+        // Second life: restore from the FIRST window's checkpoint and
+        // replay the whole stream from sequence zero — everything below
+        // the restored cursor must shed as duplicates, everything above
+        // must process once, and the merged output must match.
+        let checkpoint = WorkerCheckpoint::decode(&mut saved[0].as_slice())
+            .expect("a worker's own checkpoint decodes");
+        let (second_report, second_merged) = run_once(Some(&checkpoint));
+        assert_eq!(second_report.recovery.restores, 1);
+        assert_eq!(second_report.recovery.replay_requests, 1);
+        assert!(second_report.recovery.duplicates_dropped > 0);
+        assert_eq!(second_report.processed, per_source);
+        assert_eq!(second_report.windows_closed, windows);
+        // The restored life re-finalizes only the windows past its
+        // checkpoint; merged window totals for those match the first life.
+        for (window, total) in &second_merged {
+            if *window >= 1 {
+                assert_eq!(total, &first_merged[window], "window {window}");
+            }
+        }
     }
 }

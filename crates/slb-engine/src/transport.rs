@@ -129,6 +129,51 @@ impl std::fmt::Display for ChannelClosed {
 
 impl std::error::Error for ChannelClosed {}
 
+/// A transport-level receive failure that is *not* a clean shutdown: a
+/// reader thread observed a malformed frame or a failed read from one peer
+/// connection. Distinct from [`ChannelClosed`] so stage loops can tell a
+/// crashed peer from an orderly EOF — the stage counts it
+/// ([`crate::RecoveryMetrics::transport_errors`]) and keeps receiving from
+/// the remaining connections instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// The peer connection the error came from (transport-specific label).
+    pub peer: String,
+    /// What went wrong (decode error, I/O error).
+    pub detail: String,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transport error from {}: {}", self.peer, self.detail)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Why a `recv_batch` produced no messages: the channel shut down cleanly
+/// (every sender dropped, queue drained) or one peer connection failed.
+/// `Closed` is terminal; `Transport` is survivable — later calls keep
+/// delivering messages from the healthy connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// All senders gone and the queue drained: the orderly end of stream.
+    Closed,
+    /// One connection died mid-stream; the channel itself is still open.
+    Transport(TransportError),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => f.write_str("transport channel closed"),
+            RecvError::Transport(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
 /// Sending half of a source → worker channel. Cloned once per source; the
 /// channel disconnects when the last clone drops.
 pub trait TupleSender: Send + Clone + 'static {
@@ -140,8 +185,10 @@ pub trait TupleSender: Send + Clone + 'static {
 pub trait TupleReceiver: Send + 'static {
     /// Blocks until at least one message is available, then appends every
     /// queued message to `out` and returns how many were appended. Reports
-    /// [`ChannelClosed`] once all senders are gone and the queue is empty.
-    fn recv_batch(&self, out: &mut Vec<SourceMessage>) -> Result<usize, ChannelClosed>;
+    /// [`RecvError::Closed`] once all senders are gone and the queue is
+    /// empty, or [`RecvError::Transport`] when a peer connection failed
+    /// mid-stream (survivable: keep calling for the healthy connections).
+    fn recv_batch(&self, out: &mut Vec<SourceMessage>) -> Result<usize, RecvError>;
 }
 
 /// Sending half of a worker → aggregator channel. Cloned once per worker.
@@ -154,8 +201,10 @@ pub trait PartialSender<P: Send + 'static>: Send + Clone + 'static {
 pub trait PartialReceiver<P: Send + 'static>: Send + 'static {
     /// Blocks until at least one message is available, then appends every
     /// queued message to `out` and returns how many were appended. Reports
-    /// [`ChannelClosed`] once all senders are gone and the queue is empty.
-    fn recv_batch(&self, out: &mut Vec<PartialWindow<P>>) -> Result<usize, ChannelClosed>;
+    /// [`RecvError::Closed`] once all senders are gone and the queue is
+    /// empty, or [`RecvError::Transport`] when a peer connection failed
+    /// mid-stream (survivable: keep calling for the healthy connections).
+    fn recv_batch(&self, out: &mut Vec<PartialWindow<P>>) -> Result<usize, RecvError>;
 }
 
 /// Sending half of a worker → source feedback channel. Cloned once per
@@ -261,8 +310,8 @@ impl TupleSender for Sender<SourceMessage> {
 }
 
 impl TupleReceiver for Receiver<SourceMessage> {
-    fn recv_batch(&self, out: &mut Vec<SourceMessage>) -> Result<usize, ChannelClosed> {
-        Receiver::recv_batch(self, out, usize::MAX).map_err(|_| ChannelClosed)
+    fn recv_batch(&self, out: &mut Vec<SourceMessage>) -> Result<usize, RecvError> {
+        Receiver::recv_batch(self, out, usize::MAX).map_err(|_| RecvError::Closed)
     }
 }
 
@@ -273,8 +322,8 @@ impl<P: Send + 'static> PartialSender<P> for Sender<PartialWindow<P>> {
 }
 
 impl<P: Send + 'static> PartialReceiver<P> for Receiver<PartialWindow<P>> {
-    fn recv_batch(&self, out: &mut Vec<PartialWindow<P>>) -> Result<usize, ChannelClosed> {
-        Receiver::recv_batch(self, out, usize::MAX).map_err(|_| ChannelClosed)
+    fn recv_batch(&self, out: &mut Vec<PartialWindow<P>>) -> Result<usize, RecvError> {
+        Receiver::recv_batch(self, out, usize::MAX).map_err(|_| RecvError::Closed)
     }
 }
 
@@ -413,11 +462,11 @@ mod tests {
         assert_eq!(out[0].source_seq(), (0, 9));
         assert_eq!(
             TupleReceiver::recv_batch(&rxs[0], &mut out),
-            Err(ChannelClosed)
+            Err(RecvError::Closed)
         );
         assert_eq!(
             TupleReceiver::recv_batch(&rxs[1], &mut out),
-            Err(ChannelClosed)
+            Err(RecvError::Closed)
         );
     }
 

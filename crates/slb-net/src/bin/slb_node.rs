@@ -2,10 +2,13 @@
 //! orchestrator that runs a whole cluster.
 //!
 //! ```text
-//! slb-node orchestrate --spec cluster.spec [--verify]
-//! slb-node source     --index N --control HOST:PORT
-//! slb-node worker     --index N --control HOST:PORT
-//! slb-node aggregator --index N --control HOST:PORT
+//! slb-node orchestrate --spec cluster.spec [--verify] [--fault-tolerant]
+//!                      [--respawn-budget N] [--ckpt-dir DIR]
+//!                      [--kill-worker W@MS]
+//! slb-node source     --index N --control HOST:PORT [--fault-tolerant]
+//! slb-node worker     --index N --control HOST:PORT [--fault-tolerant]
+//!                      [--rejoin] [--ckpt-dir DIR]
+//! slb-node aggregator --index N --control HOST:PORT [--fault-tolerant]
 //! ```
 //!
 //! `orchestrate` parses the text cluster spec (see `docs/DISTRIBUTED.md`),
@@ -16,17 +19,29 @@
 //! replays the run's single-threaded exact reference and reports
 //! `exact-reference=MATCH` (exit 0) or `MISMATCH` (exit 1).
 //!
+//! With `--fault-tolerant` the orchestrator supervises the workers —
+//! durable checkpoints, heartbeats, respawn-with-rejoin, exclusion once the
+//! respawn budget runs out (see `docs/FAULTS.md`). `--kill-worker W@MS` is
+//! the built-in fault injector: it SIGKILLs worker `W` roughly `MS`
+//! milliseconds after `Start`, which is how the process-kill test suite
+//! exercises the whole recovery path end to end.
+//!
 //! The role modes are not meant to be typed by hand — the orchestrator
 //! spawns them — but nothing stops a future launcher (or a human with three
 //! terminals) from wiring a cluster manually.
 
+use std::path::PathBuf;
 use std::process::exit;
 
 use slb_net::cluster::{ClusterSpec, NodeRole};
-use slb_net::node::{exact_reference, orchestrate, run_node};
+use slb_net::node::{
+    exact_reference, orchestrate_with, run_node_with, NodeOptions, OrchestrateOptions,
+};
 
-const USAGE: &str = "usage: slb-node orchestrate --spec FILE [--verify]
-       slb-node (source|worker|aggregator) --index N --control HOST:PORT";
+const USAGE: &str = "usage: slb-node orchestrate --spec FILE [--verify] [--fault-tolerant]
+                [--respawn-budget N] [--ckpt-dir DIR] [--kill-worker W@MS]
+       slb-node (source|worker|aggregator) --index N --control HOST:PORT
+                [--fault-tolerant] [--rejoin] [--ckpt-dir DIR]";
 
 fn fail(message: &str) -> ! {
     eprintln!("slb-node: {message}");
@@ -63,10 +78,21 @@ fn run_role(role: NodeRole, args: &[String]) {
     let Some(control) = flag_value(args, "--control") else {
         fail("role modes need --control HOST:PORT");
     };
-    if let Err(message) = run_node(role, index, control) {
+    let options = NodeOptions {
+        fault_tolerant: args.iter().any(|a| a == "--fault-tolerant"),
+        rejoin: args.iter().any(|a| a == "--rejoin"),
+        ckpt_dir: flag_value(args, "--ckpt-dir").map(PathBuf::from),
+    };
+    if let Err(message) = run_node_with(role, index, control, &options) {
         eprintln!("slb-node {} {index}: {message}", role.name());
         exit(1);
     }
+}
+
+/// Parses `--kill-worker W@MS` into `(worker, delay_ms)`.
+fn parse_kill_worker(value: &str) -> Option<(usize, u64)> {
+    let (worker, delay) = value.split_once('@')?;
+    Some((worker.parse().ok()?, delay.parse().ok()?))
 }
 
 fn run_orchestrate(args: &[String]) {
@@ -74,6 +100,26 @@ fn run_orchestrate(args: &[String]) {
         fail("orchestrate needs --spec FILE");
     };
     let verify = args.iter().any(|a| a == "--verify");
+    let mut options = OrchestrateOptions {
+        fault_tolerant: args.iter().any(|a| a == "--fault-tolerant"),
+        ckpt_dir: flag_value(args, "--ckpt-dir").map(PathBuf::from),
+        ..OrchestrateOptions::default()
+    };
+    if let Some(budget) = flag_value(args, "--respawn-budget") {
+        match budget.parse::<u32>() {
+            Ok(budget) => options.respawn_budget = budget,
+            Err(_) => fail("--respawn-budget needs a non-negative integer"),
+        }
+    }
+    if let Some(kill) = flag_value(args, "--kill-worker") {
+        match parse_kill_worker(kill) {
+            Some(plan) => options.kill_worker = Some(plan),
+            None => fail("--kill-worker needs W@MS (worker index @ delay in ms)"),
+        }
+    }
+    if (options.kill_worker.is_some() || options.ckpt_dir.is_some()) && !options.fault_tolerant {
+        fail("--kill-worker and --ckpt-dir require --fault-tolerant");
+    }
     let text = match std::fs::read_to_string(spec_path) {
         Ok(text) => text,
         Err(e) => fail(&format!("reading {spec_path}: {e}")),
@@ -87,12 +133,17 @@ fn run_orchestrate(args: &[String]) {
         Err(e) => fail(&format!("locating own binary: {e}")),
     };
     println!(
-        "slb-node orchestrate: {} sources, {} workers, {} aggregators over TCP loopback",
+        "slb-node orchestrate: {} sources, {} workers, {} aggregators over TCP loopback{}",
         spec.sources(),
         spec.workers(),
-        spec.aggregators()
+        spec.aggregators(),
+        if options.fault_tolerant {
+            " (supervised)"
+        } else {
+            ""
+        }
     );
-    let outcome = match orchestrate(&spec, &node_exe) {
+    let outcome = match orchestrate_with(&spec, &node_exe, &options) {
         Ok(outcome) => outcome,
         Err(message) => {
             eprintln!("slb-node orchestrate: {message}");
@@ -113,6 +164,24 @@ fn run_orchestrate(args: &[String]) {
             "phase {}: workers={} tuples={} imbalance={:.4}",
             phase.phase, phase.workers, phase.stage.items, phase.imbalance
         );
+    }
+    let wr = &r.worker_stage.recovery;
+    println!(
+        "worker_recovery restores={} replayed_items={} duplicates_dropped={} \
+         replay_requests={} transport_errors={}",
+        wr.restores,
+        wr.replayed_items,
+        wr.duplicates_dropped,
+        wr.replay_requests,
+        wr.transport_errors
+    );
+    let ar = &r.aggregator_stage.recovery;
+    println!(
+        "aggregator_recovery duplicates_dropped={} transport_errors={}",
+        ar.duplicates_dropped, ar.transport_errors
+    );
+    if !outcome.degraded.is_empty() {
+        println!("degraded workers={:?}", outcome.degraded);
     }
     if verify {
         let reference = exact_reference(&spec);

@@ -34,38 +34,94 @@
 //! `slb-node` runs the **count aggregation** ([`CountAggregate`]): exact
 //! merges are what make "a distributed run equals the reference" an equality
 //! statement rather than a statistical one.
+//!
+//! ## Fault tolerance
+//!
+//! With [`OrchestrateOptions::fault_tolerant`] the orchestrator becomes a
+//! *supervisor*: workers persist a [`WorkerCheckpoint`] through a
+//! [`DurableCheckpointStore`] at every window boundary and stream
+//! `Heartbeat` frames; the orchestrator watches three death signals (control
+//! connection close, child-process exit, heartbeat silence) and answers a
+//! worker death by respawning the process with `--rejoin`:
+//!
+//! ```text
+//! orchestrator                     respawned worker w        sources
+//!      │  spawn `slb-node worker --rejoin --ckpt-dir D`
+//!      │ ◀── Rejoin { w, data_port, cursors } ──  (cursors restored
+//!      │                                           from disk)
+//!      │ ─────────── Rejoin { w, port, cursors } ─────────────▶
+//!      │ ── Start ──▶ (accepts S conns)   sources re-dial the new
+//!      │                                  port and replay each from
+//!      │                                  cursors[s]; the worker's
+//!      │                                  dedup drops anything its
+//!      │                                  checkpoint already covers
+//! ```
+//!
+//! A worker that exhausts its respawn budget is *excluded*: sources rescale
+//! it out at the next window boundary, aggregators finalize without its
+//! partials, and the run terminates degraded-but-reported
+//! ([`OrchestratorOutcome::degraded`]) instead of hanging. Once every worker
+//! is done or excluded the orchestrator broadcasts `Release`, which ends the
+//! sources' post-emission replay wait and stops the aggregators' late-accept
+//! loops.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use slb_core::CountAggregate;
+use crossbeam_channel::bounded;
+use slb_core::{CountAggregate, DurableCheckpointStore, WorkerCheckpoint};
 use slb_engine::transport::{capacity_in_batches, partial_channel_capacity};
 use slb_engine::windows::source_stream;
 use slb_engine::{
     assemble_result, exact_scenario_windowed_counts, exact_windowed_counts, run_aggregator_stage,
-    run_source_stage, run_worker_stage, AggregatorStageReport, EngineResult, LatencyTracker,
-    RecoveryMetrics, WindowId, WindowedRun, WorkerStageReport,
+    run_aggregator_stage_supervised, run_source_stage, run_source_stage_supervised,
+    run_worker_stage, run_worker_stage_durable, AggregatorStageReport, EngineResult,
+    LatencyTracker, RecoveryMetrics, SourceControlEvent, WindowId, WindowedRun, WorkerStageReport,
 };
 use slb_workloads::KeyId;
 
 use crate::cluster::{decode_run_spec, encode_run_spec, ClusterSpec, NodeRole, RunSpec};
-use crate::tcp::{TcpPartialReceiver, TcpPartialSender, TcpTupleReceiver, TcpTupleSender};
+use crate::tcp::{
+    connect_with_retry, ReattachableTupleSender, TcpPartialReceiver, TcpPartialSender,
+    TcpTupleReceiver, TcpTupleSender,
+};
 use crate::wire::{
     encode_control_frame, read_frame, rle_encode, AggregatorReportWire, ControlFrame, WireError,
     WorkerReportWire,
 };
 
-/// How long the control-plane *handshake* (connect + Hello) may take before
-/// the orchestrator declares the cluster wedged and tears it down. Report
-/// reads after `Start` are deliberately unbounded — a healthy run's duration
-/// scales with its config — with liveness watched through the child
-/// processes instead.
+/// How long the control-plane *handshake* (connect + Hello, and a respawned
+/// worker's Rejoin) may take before the orchestrator declares the cluster
+/// wedged and tears it down. Report reads after `Start` are deliberately
+/// unbounded — a healthy run's duration scales with its config — with
+/// liveness watched through child exits and heartbeats instead.
 const CONTROL_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How often a fault-tolerant worker streams `Heartbeat` frames.
+const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Default heartbeat silence after which a worker is declared dead. Large
+/// relative to [`HEARTBEAT_INTERVAL`] so a scheduling hiccup is never a
+/// death sentence; override with `SLB_HEARTBEAT_TIMEOUT_MS`.
+const DEFAULT_HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Connect-retry schedule for data-plane dials (sources → workers,
+/// workers → aggregators): the peer is known to be starting, so retry hard.
+const DIAL_ATTEMPTS: u32 = 40;
+const DIAL_BASE_DELAY: Duration = Duration::from_millis(25);
+
+/// Connect-retry schedule for a source re-dialing a respawned worker: the
+/// listener was already bound when Rejoin was forwarded, so the first
+/// attempt almost always lands — keep the backoff tight.
+const REJOIN_DIAL_ATTEMPTS: u32 = 40;
+const REJOIN_DIAL_BASE_DELAY: Duration = Duration::from_millis(5);
 
 /// The count partial `slb-node` ships on its worker → aggregator hop.
 type CountPartial = HashMap<KeyId, u64>;
@@ -81,6 +137,14 @@ fn send_control(stream: &mut TcpStream, frame: &ControlFrame) -> Result<(), Stri
     stream
         .write_all(&buf)
         .map_err(|e| io_err("control write failed", e))
+}
+
+/// Writes one control frame through a shared write half. Heartbeat threads
+/// and the end-of-run report share the worker's control stream; the mutex
+/// keeps their frames from interleaving mid-frame.
+fn send_control_shared(stream: &Mutex<TcpStream>, frame: &ControlFrame) -> Result<(), String> {
+    let mut guard = stream.lock().expect("control stream poisoned");
+    send_control(&mut guard, frame)
 }
 
 /// Reads one control frame from `reader`.
@@ -113,8 +177,12 @@ fn epoch_from_unix_micros(epoch_unix_micros: u64) -> Instant {
     }
 }
 
+/// Dials a local data port with bounded retry: the peer process is known to
+/// be starting (its Hello already reached the orchestrator), so transient
+/// refusals during its accept-loop setup are expected, not fatal.
 fn dial(port: u16) -> Result<TcpStream, String> {
-    TcpStream::connect(("127.0.0.1", port)).map_err(|e| io_err("dialing data port failed", e))
+    connect_with_retry(&format!("127.0.0.1:{port}"), DIAL_ATTEMPTS, DIAL_BASE_DELAY)
+        .map_err(|e| io_err("dialing data port failed", e))
 }
 
 fn tracker_from_rle(runs: &[(u64, u64)]) -> LatencyTracker {
@@ -125,13 +193,39 @@ fn tracker_from_rle(runs: &[(u64, u64)]) -> LatencyTracker {
     tracker
 }
 
+/// Per-process knobs for [`run_node_with`]. The default is the plain
+/// (non-fault-tolerant) node [`run_node`] runs.
+#[derive(Debug, Clone, Default)]
+pub struct NodeOptions {
+    /// Run the fault-tolerant stage variants: durable checkpoints and
+    /// heartbeats (workers), supervised replay (sources), quorum-aware
+    /// finalization with late reattach (aggregators).
+    pub fault_tolerant: bool,
+    /// This worker is a respawn: restore from the durable checkpoint and
+    /// announce with `Rejoin` instead of `Hello`. Workers only.
+    pub rejoin: bool,
+    /// Directory for durable checkpoint files. Required when
+    /// `fault_tolerant` is set on a worker.
+    pub ckpt_dir: Option<PathBuf>,
+}
+
 /// Runs one node process: handshake, data-plane wiring, the stage itself,
 /// and the end-of-run report. Blocks until the stage completes.
 pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), String> {
-    let mut control_stream =
-        TcpStream::connect(control).map_err(|e| io_err("connecting to orchestrator", e))?;
+    run_node_with(role, index, control, &NodeOptions::default())
+}
+
+/// [`run_node`] with explicit [`NodeOptions`].
+pub fn run_node_with(
+    role: NodeRole,
+    index: usize,
+    control: &str,
+    options: &NodeOptions,
+) -> Result<(), String> {
+    let mut control_stream = connect_with_retry(control, DIAL_ATTEMPTS, DIAL_BASE_DELAY)
+        .map_err(|e| io_err("connecting to orchestrator", e))?;
     // Workers and aggregators bind their data listener *before* saying
-    // hello, so the Start frame can carry every port.
+    // hello (or rejoin), so the announcement can carry the port.
     let listener = match role {
         NodeRole::Source => None,
         NodeRole::Worker | NodeRole::Aggregator => Some(
@@ -144,14 +238,46 @@ pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), Strin
         .transpose()
         .map_err(|e| io_err("reading listener address", e))?
         .unwrap_or(0);
-    send_control(
-        &mut control_stream,
-        &ControlFrame::Hello {
+
+    // A fault-tolerant worker opens its durable store before announcing
+    // itself: a rejoin restores state from disk and sends the recovered
+    // cursors with the announcement so sources know where replay starts.
+    let mut store: Option<DurableCheckpointStore> = None;
+    let mut initial: Option<WorkerCheckpoint> = None;
+    if options.fault_tolerant && role == NodeRole::Worker {
+        let dir = options
+            .ckpt_dir
+            .as_ref()
+            .ok_or("fault-tolerant workers need a checkpoint directory (--ckpt-dir)")?;
+        let opened = DurableCheckpointStore::open(dir, index)
+            .map_err(|e| io_err("opening durable checkpoint store", e))?;
+        if options.rejoin {
+            if let Some((_generation, bytes)) = opened.load() {
+                let mut input = bytes.as_slice();
+                let ckpt = WorkerCheckpoint::decode(&mut input)
+                    .map_err(|e| io_err("decoding restored checkpoint", e))?;
+                initial = Some(ckpt);
+            }
+        }
+        store = Some(opened);
+    }
+    let announcement = if options.rejoin {
+        ControlFrame::Rejoin {
+            worker: index as u32,
+            data_port,
+            cursors: initial
+                .as_ref()
+                .map(|c| c.next_seq.clone())
+                .unwrap_or_default(),
+        }
+    } else {
+        ControlFrame::Hello {
             role: role.as_u8(),
             index: index as u32,
             data_port,
-        },
-    )?;
+        }
+    };
+    send_control(&mut control_stream, &announcement)?;
     let mut control_reader = BufReader::new(
         control_stream
             .try_clone()
@@ -172,6 +298,14 @@ pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), Strin
     let epoch = epoch_from_unix_micros(epoch_unix_micros);
 
     match role {
+        NodeRole::Source if options.fault_tolerant => run_source_node_supervised(
+            &spec,
+            index,
+            epoch,
+            &worker_ports,
+            control_stream,
+            control_reader,
+        ),
         NodeRole::Source => {
             let mut senders = Vec::with_capacity(worker_ports.len());
             for &port in &worker_ports {
@@ -216,35 +350,64 @@ pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), Strin
             for &port in &aggregator_ports {
                 partial_senders.push(TcpPartialSender::new(dial(port)?, epoch));
             }
-            let report = run_worker_stage(
-                &plan,
-                index,
-                epoch,
-                &CountAggregate,
-                receiver,
-                &partial_senders,
-            );
+            let report = if options.fault_tolerant {
+                let mut store = store.expect("fault-tolerant workers open a store");
+                // The shared write half lets the heartbeat thread and the
+                // final report use one control connection.
+                let shared = Arc::new(Mutex::new(control_stream));
+                let stop = Arc::new(AtomicBool::new(false));
+                let heartbeats = {
+                    let stream = Arc::clone(&shared);
+                    let stop = Arc::clone(&stop);
+                    let worker = index as u32;
+                    thread::spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            if send_control_shared(&stream, &ControlFrame::Heartbeat { worker })
+                                .is_err()
+                            {
+                                break;
+                            }
+                            thread::sleep(HEARTBEAT_INTERVAL);
+                        }
+                    })
+                };
+                let report = run_worker_stage_durable(
+                    &plan,
+                    index,
+                    epoch,
+                    &CountAggregate,
+                    receiver,
+                    &partial_senders,
+                    initial.as_ref(),
+                    &mut |bytes| {
+                        // A failed save degrades durability (a later crash
+                        // replays more), never correctness — keep running.
+                        if let Err(e) = store.save(bytes) {
+                            eprintln!("worker {index}: checkpoint save failed: {e}");
+                        }
+                    },
+                );
+                drop(partial_senders); // EOF to every aggregator
+                stop.store(true, Ordering::Relaxed);
+                let _ = heartbeats.join();
+                return send_control_shared(
+                    &shared,
+                    &ControlFrame::WorkerReport(worker_report_to_wire(index, &report)),
+                );
+            } else {
+                run_worker_stage(
+                    &plan,
+                    index,
+                    epoch,
+                    &CountAggregate,
+                    receiver,
+                    &partial_senders,
+                )
+            };
             drop(partial_senders); // EOF to every aggregator
             send_control(
                 &mut control_stream,
-                &ControlFrame::WorkerReport(WorkerReportWire {
-                    worker: index as u32,
-                    processed: report.processed,
-                    state_keys: report.state_keys,
-                    windows_closed: report.windows_closed,
-                    phase_counts: report.phase_counts,
-                    phase_spans: report.phase_spans,
-                    phase_latencies: report
-                        .phase_latencies
-                        .iter()
-                        .map(|t| rle_encode(t.samples()))
-                        .collect(),
-                    restores: report.recovery.restores,
-                    replayed_items: report.recovery.replayed_items,
-                    duplicates_dropped: report.recovery.duplicates_dropped,
-                    replay_requests: report.recovery.replay_requests,
-                    checkpoints: report.checkpoints,
-                }),
+                &ControlFrame::WorkerReport(worker_report_to_wire(index, &report)),
             )
         }
         NodeRole::Aggregator => {
@@ -256,12 +419,20 @@ pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), Strin
                     .map_err(|e| io_err("accepting worker connection", e))?;
                 incoming.push(stream);
             }
-            let receiver = TcpPartialReceiver::<CountPartial>::spawn(
-                incoming,
-                epoch,
-                partial_channel_capacity(plan.spawned_workers),
-            );
-            let report = run_aggregator_stage(plan.spawned_workers, &CountAggregate, receiver);
+            let capacity = partial_channel_capacity(plan.spawned_workers);
+            let report = if options.fault_tolerant {
+                run_aggregator_node_supervised(
+                    &plan,
+                    listener,
+                    incoming,
+                    epoch,
+                    capacity,
+                    control_reader,
+                )?
+            } else {
+                let receiver = TcpPartialReceiver::<CountPartial>::spawn(incoming, epoch, capacity);
+                run_aggregator_stage(plan.spawned_workers, &CountAggregate, receiver)
+            };
             send_control(
                 &mut control_stream,
                 &ControlFrame::AggregatorReport(AggregatorReportWire {
@@ -269,9 +440,251 @@ pub fn run_node(role: NodeRole, index: usize, control: &str) -> Result<(), Strin
                     merged: report.merged,
                     latency: rle_encode(report.latencies.samples()),
                     finalized: report.finalized.into_iter().collect(),
+                    duplicates_dropped: report.duplicates_dropped,
+                    transport_errors: report.transport_errors,
                 }),
             )
         }
+    }
+}
+
+/// The fault-tolerant source body: supervised emission with a control-reader
+/// thread translating orchestrator frames into [`SourceControlEvent`]s and a
+/// reattach hook that re-dials respawned workers.
+fn run_source_node_supervised(
+    spec: &ClusterSpec,
+    index: usize,
+    epoch: Instant,
+    worker_ports: &[u16],
+    mut control_stream: TcpStream,
+    mut control_reader: BufReader<TcpStream>,
+) -> Result<(), String> {
+    let plan = spec.stage_plan();
+    let mut senders = Vec::with_capacity(worker_ports.len());
+    for &port in worker_ports {
+        senders.push(ReattachableTupleSender::new(dial(port)?, epoch));
+    }
+    // Rejoin ports land here *before* the event is queued, so the reattach
+    // hook always finds the port when the emission thread processes it.
+    let rejoin_ports: Arc<Mutex<Vec<Option<u16>>>> =
+        Arc::new(Mutex::new(vec![None; worker_ports.len()]));
+    let (event_tx, event_rx) = bounded::<SourceControlEvent>(64);
+    let control_thread = {
+        let ports = Arc::clone(&rejoin_ports);
+        thread::spawn(move || loop {
+            match recv_control(&mut control_reader) {
+                Ok(ControlFrame::Rejoin {
+                    worker,
+                    data_port,
+                    cursors,
+                }) => {
+                    let w = worker as usize;
+                    if let Some(slot) = ports.lock().expect("rejoin ports poisoned").get_mut(w) {
+                        *slot = Some(data_port);
+                    }
+                    let from_seq = cursors.get(index).copied().unwrap_or(0);
+                    if event_tx
+                        .send(SourceControlEvent::Rejoin {
+                            worker: w,
+                            from_seq,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(ControlFrame::Exclude { worker }) => {
+                    if event_tx
+                        .send(SourceControlEvent::Exclude {
+                            worker: worker as usize,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                // A broken control connection releases the stage too: with
+                // the orchestrator gone, waiting for replay requests that
+                // can never arrive would wedge the process.
+                Ok(ControlFrame::Release) | Err(_) => {
+                    let _ = event_tx.send(SourceControlEvent::Release);
+                    break;
+                }
+                Ok(_) => {}
+            }
+        })
+    };
+    let reattach = |w: usize| {
+        let port = rejoin_ports
+            .lock()
+            .expect("rejoin ports poisoned")
+            .get(w)
+            .copied()
+            .flatten();
+        let Some(port) = port else {
+            eprintln!("source {index}: rejoin for worker {w} carried no port");
+            return;
+        };
+        match connect_with_retry(
+            &format!("127.0.0.1:{port}"),
+            REJOIN_DIAL_ATTEMPTS,
+            REJOIN_DIAL_BASE_DELAY,
+        ) {
+            Ok(stream) => senders[w].reattach(stream),
+            Err(e) => eprintln!("source {index}: re-dialing worker {w} failed: {e}"),
+        }
+    };
+    let sent = match &spec.run {
+        RunSpec::Engine(cfg) => run_source_stage_supervised(
+            &plan,
+            index,
+            |_phase| source_stream(cfg, index),
+            &senders,
+            &event_rx,
+            reattach,
+        ),
+        RunSpec::Scenario(cfg) => run_source_stage_supervised(
+            &plan,
+            index,
+            |phase| cfg.scenario.phase_stream(phase, index),
+            &senders,
+            &event_rx,
+            reattach,
+        ),
+    };
+    drop(senders); // EOF to every worker
+    let _ = control_thread.join(); // exited on Release
+    send_control(
+        &mut control_stream,
+        &ControlFrame::SourceReport {
+            source: index as u32,
+            sent,
+        },
+    )
+}
+
+/// The fault-tolerant aggregator body: an attachable merge queue with a
+/// late-accept loop for respawned workers' fresh connections, and a
+/// control-reader thread feeding exclusions into the supervised stage.
+fn run_aggregator_node_supervised(
+    plan: &slb_engine::StagePlan,
+    listener: TcpListener,
+    incoming: Vec<TcpStream>,
+    epoch: Instant,
+    capacity: usize,
+    mut control_reader: BufReader<TcpStream>,
+) -> Result<AggregatorStageReport<CountPartial>, String> {
+    let (receiver, attach) =
+        TcpPartialReceiver::<CountPartial>::spawn_attachable(incoming, epoch, capacity);
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("setting data listener non-blocking", e))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        attach.attach(stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Dropping the attach handle here is what lets the merge queue
+            // disconnect once every connected worker has sent EOF.
+        })
+    };
+    let (excl_tx, excl_rx) = bounded::<usize>(16);
+    let control_stop = Arc::clone(&stop);
+    // Deliberately not joined: the thread exits on Release or when the
+    // orchestrator drops the connection, either of which may come after the
+    // stage (and this process's useful life) is already over.
+    thread::spawn(move || {
+        loop {
+            match recv_control(&mut control_reader) {
+                Ok(ControlFrame::Exclude { worker }) => {
+                    let _ = excl_tx.send(worker as usize);
+                }
+                Ok(ControlFrame::Release) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        control_stop.store(true, Ordering::Relaxed);
+    });
+    let report = run_aggregator_stage_supervised(
+        plan.spawned_workers,
+        plan.total_windows(),
+        &CountAggregate,
+        receiver,
+        &excl_rx,
+    );
+    stop.store(true, Ordering::Relaxed);
+    let _ = accept_thread.join();
+    Ok(report)
+}
+
+fn worker_report_to_wire(index: usize, report: &WorkerStageReport) -> WorkerReportWire {
+    WorkerReportWire {
+        worker: index as u32,
+        processed: report.processed,
+        state_keys: report.state_keys,
+        windows_closed: report.windows_closed,
+        phase_counts: report.phase_counts.clone(),
+        phase_spans: report.phase_spans.clone(),
+        phase_latencies: report
+            .phase_latencies
+            .iter()
+            .map(|t| rle_encode(t.samples()))
+            .collect(),
+        restores: report.recovery.restores,
+        replayed_items: report.recovery.replayed_items,
+        duplicates_dropped: report.recovery.duplicates_dropped,
+        replay_requests: report.recovery.replay_requests,
+        transport_errors: report.recovery.transport_errors,
+        checkpoints: report.checkpoints,
+    }
+}
+
+fn worker_report_from_wire(report: WorkerReportWire) -> WorkerStageReport {
+    WorkerStageReport {
+        processed: report.processed,
+        phase_counts: report.phase_counts,
+        phase_latencies: report
+            .phase_latencies
+            .iter()
+            .map(|runs| tracker_from_rle(runs))
+            .collect(),
+        state_keys: report.state_keys,
+        windows_closed: report.windows_closed,
+        phase_spans: report.phase_spans,
+        recovery: RecoveryMetrics {
+            restores: report.restores,
+            replayed_items: report.replayed_items,
+            duplicates_dropped: report.duplicates_dropped,
+            replay_requests: report.replay_requests,
+            transport_errors: report.transport_errors,
+        },
+        checkpoints: report.checkpoints,
+    }
+}
+
+fn aggregator_report_from_wire(
+    report: AggregatorReportWire,
+) -> AggregatorStageReport<CountPartial> {
+    AggregatorStageReport {
+        finalized: report.finalized.into_iter().collect(),
+        latencies: tracker_from_rle(&report.latency),
+        merged: report.merged,
+        duplicates_dropped: report.duplicates_dropped,
+        transport_errors: report.transport_errors,
     }
 }
 
@@ -282,9 +695,48 @@ pub struct OrchestratorOutcome {
     pub result: EngineResult,
     /// Final merged per-window per-key counts.
     pub windows: BTreeMap<WindowId, CountPartial>,
-    /// Tuples the sources reported sending (must equal
-    /// `result.processed`).
+    /// Tuples the sources reported sending (must equal `result.processed`
+    /// unless the run degraded).
     pub sent_total: u64,
+    /// Workers that exhausted their respawn budget and were excluded. Empty
+    /// on a fully healthy (or fully recovered) run.
+    pub degraded: Vec<usize>,
+}
+
+/// Supervision knobs for [`orchestrate_with`]. The default is the plain
+/// fail-fast run [`orchestrate`] performs.
+#[derive(Debug, Clone)]
+pub struct OrchestrateOptions {
+    /// Supervise the cluster: respawn dead workers from durable checkpoints
+    /// instead of failing the run.
+    pub fault_tolerant: bool,
+    /// How many times each worker may be respawned before it is excluded.
+    pub respawn_budget: u32,
+    /// Durable checkpoint directory handed to workers. Defaults to a
+    /// pid-scoped directory under the system temp dir.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Fault injection: SIGKILL worker `.0` roughly `.1` milliseconds after
+    /// `Start` — the process-level analogue of the engine's fault plans.
+    pub kill_worker: Option<(usize, u64)>,
+    /// Heartbeat silence after which a worker is declared dead.
+    pub heartbeat_timeout: Duration,
+}
+
+impl Default for OrchestrateOptions {
+    fn default() -> Self {
+        let heartbeat_timeout = std::env::var("SLB_HEARTBEAT_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_HEARTBEAT_TIMEOUT);
+        Self {
+            fault_tolerant: false,
+            respawn_budget: 1,
+            ckpt_dir: None,
+            kill_worker: None,
+            heartbeat_timeout,
+        }
+    }
 }
 
 /// Errors if any child process has already exited — used during the
@@ -301,7 +753,8 @@ fn check_no_child_exited(children: &mut [Child]) -> Result<(), String> {
 }
 
 /// Errors if any child process exited *unsuccessfully* — used while waiting
-/// for reports, where a clean exit is legitimate once a node has reported.
+/// for reports in plain mode, where a clean exit is legitimate once a node
+/// has reported but any failure is fatal.
 fn check_no_child_failed(children: &mut [Child]) -> Result<(), String> {
     for child in children.iter_mut() {
         if let Ok(Some(status)) = child.try_wait() {
@@ -321,18 +774,156 @@ struct NodeConn {
     reader: BufReader<TcpStream>,
 }
 
+/// What the per-connection reader threads feed the supervision loop.
+enum SupervisorEvent {
+    /// A control frame arrived from `(role, index)`.
+    Frame {
+        role: NodeRole,
+        index: usize,
+        frame: ControlFrame,
+    },
+    /// The control connection to `(role, index)` ended (clean close or read
+    /// error — indistinguishable from here, and treated alike). `gen`
+    /// identifies *which* connection to a respawning worker closed, so a
+    /// stale close from a replaced connection never reads as a fresh death.
+    Closed {
+        role: NodeRole,
+        index: usize,
+        gen: u64,
+        detail: String,
+    },
+}
+
+fn spawn_control_reader(
+    role: NodeRole,
+    index: usize,
+    gen: u64,
+    mut reader: BufReader<TcpStream>,
+    tx: std::sync::mpsc::Sender<SupervisorEvent>,
+) {
+    thread::spawn(move || loop {
+        match recv_control(&mut reader) {
+            Ok(frame) => {
+                if tx
+                    .send(SupervisorEvent::Frame { role, index, frame })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Err(detail) => {
+                let _ = tx.send(SupervisorEvent::Closed {
+                    role,
+                    index,
+                    gen,
+                    detail,
+                });
+                break;
+            }
+        }
+    });
+}
+
+/// Per-worker lifecycle state in the supervision loop.
+#[derive(Debug, Clone, Copy)]
+enum WState {
+    /// Alive: control connection open, heartbeats flowing.
+    Running,
+    /// Respawned; waiting for its Rejoin on a fresh control connection.
+    Awaiting(Instant),
+    /// Reported and finished.
+    Done,
+    /// Respawn budget exhausted; excluded from the run.
+    Excluded,
+}
+
+/// Everything the supervision loop tracks per worker.
+struct WorkerSupervision {
+    state: Vec<WState>,
+    last_seen: Vec<Instant>,
+    budget_left: Vec<u32>,
+    /// Index of each worker's *current* child process in the children vec
+    /// (respawns are appended, never overwritten).
+    slot: Vec<usize>,
+    conn_gen: Vec<u64>,
+    degraded: Vec<usize>,
+}
+
+/// Handles one observed worker death: respawn with `--rejoin` while budget
+/// remains, exclude (and notify sources and aggregators) once it runs out.
+#[allow(clippy::too_many_arguments)]
+fn handle_worker_death(
+    w: usize,
+    sup: &mut WorkerSupervision,
+    worker_reports: &mut [Option<WorkerStageReport>],
+    children: &Arc<Mutex<Vec<Child>>>,
+    node_exe: &Path,
+    control_addr: &SocketAddr,
+    ckpt_dir: &Path,
+    source_streams: &mut [TcpStream],
+    aggregator_streams: &mut [TcpStream],
+) -> Result<(), String> {
+    if sup.budget_left[w] > 0 {
+        sup.budget_left[w] -= 1;
+        let child = Command::new(node_exe)
+            .arg(NodeRole::Worker.name())
+            .arg("--index")
+            .arg(w.to_string())
+            .arg("--control")
+            .arg(control_addr.to_string())
+            .arg("--fault-tolerant")
+            .arg("--rejoin")
+            .arg("--ckpt-dir")
+            .arg(ckpt_dir)
+            .spawn()
+            .map_err(|e| io_err("respawning worker process", e))?;
+        let mut kids = children.lock().expect("children poisoned");
+        kids.push(child);
+        sup.slot[w] = kids.len() - 1;
+        sup.state[w] = WState::Awaiting(Instant::now());
+    } else {
+        sup.state[w] = WState::Excluded;
+        sup.degraded.push(w);
+        // An excluded worker contributes an empty report; the engine's
+        // assemble path tolerates it and the aggregators finalize its
+        // windows without a partial from it.
+        worker_reports[w] = Some(WorkerStageReport::default());
+        let mut bytes = Vec::new();
+        encode_control_frame(&ControlFrame::Exclude { worker: w as u32 }, &mut bytes);
+        // Best-effort: a peer that already finished (and closed) simply no
+        // longer needs the exclusion.
+        for stream in source_streams.iter_mut() {
+            let _ = stream.write_all(&bytes);
+        }
+        for stream in aggregator_streams.iter_mut() {
+            let _ = stream.write_all(&bytes);
+        }
+    }
+    Ok(())
+}
+
 /// Spawns the node processes for `spec`, wires the control plane, runs the
 /// cluster to completion, and merges the reports. `node_exe` is the
 /// `slb-node` binary to spawn (usually `std::env::current_exe()`).
 pub fn orchestrate(spec: &ClusterSpec, node_exe: &Path) -> Result<OrchestratorOutcome, String> {
-    let mut children: Vec<Child> = Vec::new();
-    let outcome = orchestrate_inner(spec, node_exe, &mut children);
+    orchestrate_with(spec, node_exe, &OrchestrateOptions::default())
+}
+
+/// [`orchestrate`] with explicit supervision [`OrchestrateOptions`].
+pub fn orchestrate_with(
+    spec: &ClusterSpec,
+    node_exe: &Path,
+    options: &OrchestrateOptions,
+) -> Result<OrchestratorOutcome, String> {
+    let children: Arc<Mutex<Vec<Child>>> = Arc::new(Mutex::new(Vec::new()));
+    let outcome = orchestrate_inner(spec, node_exe, &children, options);
+    let mut kids = children.lock().expect("children poisoned");
     if outcome.is_err() {
-        for child in &mut children {
+        for child in kids.iter_mut() {
             let _ = child.kill();
         }
     }
-    for child in &mut children {
+    for child in kids.iter_mut() {
         let _ = child.wait();
     }
     outcome
@@ -341,9 +932,14 @@ pub fn orchestrate(spec: &ClusterSpec, node_exe: &Path) -> Result<OrchestratorOu
 fn orchestrate_inner(
     spec: &ClusterSpec,
     node_exe: &Path,
-    children: &mut Vec<Child>,
+    children: &Arc<Mutex<Vec<Child>>>,
+    options: &OrchestrateOptions,
 ) -> Result<OrchestratorOutcome, String> {
     let plan = spec.stage_plan();
+    let ft = options.fault_tolerant;
+    let ckpt_dir = options.ckpt_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("slb-node-ckpt-{}", std::process::id()))
+    });
     let control_listener =
         TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_err("binding control listener", e))?;
     let control_addr: SocketAddr = control_listener
@@ -357,18 +953,25 @@ fn orchestrate_inner(
     ];
     for (role, count) in roles {
         for index in 0..count {
-            let child = Command::new(node_exe)
-                .arg(role.name())
+            let mut cmd = Command::new(node_exe);
+            cmd.arg(role.name())
                 .arg("--index")
                 .arg(index.to_string())
                 .arg("--control")
-                .arg(control_addr.to_string())
+                .arg(control_addr.to_string());
+            if ft {
+                cmd.arg("--fault-tolerant");
+                if role == NodeRole::Worker {
+                    cmd.arg("--ckpt-dir").arg(&ckpt_dir);
+                }
+            }
+            let child = cmd
                 .spawn()
                 .map_err(|e| io_err("spawning node process", e))?;
-            children.push(child);
+            children.lock().expect("children poisoned").push(child);
         }
     }
-    let total_nodes = children.len();
+    let total_nodes = spec.sources() + spec.workers() + spec.aggregators();
 
     // Collect every hello; remember each node's control connection and the
     // data port it bound. The accept loop is non-blocking with a deadline
@@ -385,7 +988,7 @@ fn orchestrate_inner(
         let stream = match control_listener.accept() {
             Ok((stream, _)) => stream,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                check_no_child_exited(children)?;
+                check_no_child_exited(&mut children.lock().expect("children poisoned"))?;
                 if Instant::now() > hello_deadline {
                     return Err(format!(
                         "timed out waiting for node hellos ({}/{total_nodes} connected)",
@@ -450,117 +1053,388 @@ fn orchestrate_inner(
         aggregator_ports,
         config: encode_run_spec(&spec.run),
     };
+    // The encoded Start is cached: a respawned worker gets the *same* bytes
+    // after its Rejoin, so every incarnation resolves the identical plan.
+    let mut start_bytes = Vec::new();
+    encode_control_frame(&start_frame, &mut start_bytes);
     for conn in &mut conns {
-        send_control(&mut conn.stream, &start_frame)?;
+        conn.stream
+            .write_all(&start_bytes)
+            .map_err(|e| io_err("control write failed", e))?;
     }
     let started = Instant::now();
 
-    // One report per node. A healthy run may legitimately outlast any fixed
-    // read timeout (the run duration scales with the config), so the report
-    // reads are *unbounded* — one blocking reader thread per connection —
-    // and liveness is watched through the child processes instead: a child
-    // that dies without reporting fails the run; children that already
-    // reported are free to exit.
+    // Fault injection: kill a worker's process a fixed delay after Start.
+    if let Some((victim, delay_ms)) = options.kill_worker {
+        let children = Arc::clone(children);
+        let slot = spec.sources() + victim;
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(delay_ms));
+            if let Some(child) = children.lock().expect("children poisoned").get_mut(slot) {
+                let _ = child.kill();
+            }
+        });
+    }
+
+    // Reports (and heartbeats) may legitimately outlast any fixed read
+    // timeout, so control reads are unbounded — one blocking reader thread
+    // per connection feeding one supervision queue — and liveness is
+    // watched through child exits and heartbeat recency instead.
     for conn in &conns {
         conn.reader
             .get_ref()
             .set_read_timeout(None)
             .map_err(|e| io_err("clearing control timeout", e))?;
     }
-    let (report_tx, report_rx) = std::sync::mpsc::channel();
+    let (event_tx, event_rx) = std::sync::mpsc::channel::<SupervisorEvent>();
+    let mut source_streams: Vec<Option<TcpStream>> = (0..spec.sources()).map(|_| None).collect();
+    let mut aggregator_streams: Vec<Option<TcpStream>> =
+        (0..spec.aggregators()).map(|_| None).collect();
     for conn in conns {
-        let tx = report_tx.clone();
         let NodeConn {
             role,
             index,
             stream,
-            mut reader,
+            reader,
         } = conn;
-        thread::spawn(move || {
-            let result = recv_control(&mut reader);
-            let _ = tx.send((role, index, result));
-            drop(stream);
-        });
+        spawn_control_reader(role, index, 0, reader, event_tx.clone());
+        // Keep the write halves the supervisor still talks to: sources and
+        // aggregators receive Rejoin/Exclude/Release. Workers only ever
+        // receive Start, which is already sent.
+        match role {
+            NodeRole::Source => {
+                *source_streams
+                    .get_mut(index)
+                    .ok_or("source hello index out of range")? = Some(stream);
+            }
+            NodeRole::Aggregator => {
+                *aggregator_streams
+                    .get_mut(index)
+                    .ok_or("aggregator hello index out of range")? = Some(stream);
+            }
+            NodeRole::Worker => drop(stream),
+        }
     }
-    drop(report_tx);
+    let mut source_streams: Vec<TcpStream> = source_streams
+        .into_iter()
+        .enumerate()
+        .map(|(s, stream)| stream.ok_or(format!("no hello from source {s}")))
+        .collect::<Result<_, _>>()?;
+    let mut aggregator_streams: Vec<TcpStream> = aggregator_streams
+        .into_iter()
+        .enumerate()
+        .map(|(a, stream)| stream.ok_or(format!("no hello from aggregator {a}")))
+        .collect::<Result<_, _>>()?;
 
+    let now = Instant::now();
+    let mut sup = WorkerSupervision {
+        state: vec![WState::Running; spec.workers()],
+        last_seen: vec![now; spec.workers()],
+        budget_left: vec![options.respawn_budget; spec.workers()],
+        slot: (spec.sources()..spec.sources() + spec.workers()).collect(),
+        conn_gen: vec![0; spec.workers()],
+        degraded: Vec::new(),
+    };
     let mut sent_total = 0u64;
+    let mut sources_reported = vec![false; spec.sources()];
+    let mut aggregators_reported = vec![false; spec.aggregators()];
     let mut worker_reports: Vec<Option<WorkerStageReport>> =
         (0..spec.workers()).map(|_| None).collect();
     let mut aggregator_reports: Vec<AggregatorStageReport<CountPartial>> = Vec::new();
-    let mut outstanding = total_nodes;
+    let mut released = false;
     // Ticks observed with every child exited but reports still missing: the
     // grace period for reports already in the socket buffers.
     let mut drained_ticks = 0u32;
-    while outstanding > 0 {
-        let (role, index, frame) = match report_rx.recv_timeout(Duration::from_secs(1)) {
-            Ok(message) => message,
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                check_no_child_failed(children)?;
-                if children
-                    .iter_mut()
-                    .all(|c| matches!(c.try_wait(), Ok(Some(_))))
-                {
-                    drained_ticks += 1;
-                    if drained_ticks > 10 {
-                        return Err(format!(
-                            "every node process exited but {outstanding} report(s) \
-                                 never arrived"
-                        ));
+
+    loop {
+        let workers_settled = sup
+            .state
+            .iter()
+            .all(|s| matches!(s, WState::Done | WState::Excluded));
+        if ft && workers_settled && !released {
+            // Every worker is done or gone for good: no further rejoin or
+            // replay is possible. Release the sources' post-emission wait
+            // and the aggregators' late-accept loops.
+            released = true;
+            let mut bytes = Vec::new();
+            encode_control_frame(&ControlFrame::Release, &mut bytes);
+            for stream in source_streams.iter_mut() {
+                let _ = stream.write_all(&bytes);
+            }
+            for stream in aggregator_streams.iter_mut() {
+                let _ = stream.write_all(&bytes);
+            }
+        }
+        if workers_settled
+            && sources_reported.iter().all(|&r| r)
+            && aggregators_reported.iter().all(|&r| r)
+        {
+            break;
+        }
+
+        // A respawned worker announces itself on a *fresh* control
+        // connection; poll for it alongside the event queue.
+        if ft {
+            match control_listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| io_err("setting control stream blocking", e))?;
+                    stream
+                        .set_read_timeout(Some(CONTROL_TIMEOUT))
+                        .map_err(|e| io_err("setting control timeout", e))?;
+                    let mut reader = BufReader::new(
+                        stream
+                            .try_clone()
+                            .map_err(|e| io_err("cloning control stream", e))?,
+                    );
+                    let frame = recv_control(&mut reader)?;
+                    let ControlFrame::Rejoin {
+                        worker,
+                        data_port,
+                        cursors,
+                    } = frame
+                    else {
+                        return Err("expected Rejoin frame on a late control connection".into());
+                    };
+                    let w = worker as usize;
+                    if w >= spec.workers() {
+                        return Err(format!("rejoin from unknown worker {w}"));
+                    }
+                    // Sources learn the new port and the replay cursors
+                    // *before* the worker starts accepting, so their
+                    // re-dial always finds the listener bound.
+                    let mut bytes = Vec::new();
+                    encode_control_frame(
+                        &ControlFrame::Rejoin {
+                            worker,
+                            data_port,
+                            cursors,
+                        },
+                        &mut bytes,
+                    );
+                    for stream in source_streams.iter_mut() {
+                        stream
+                            .write_all(&bytes)
+                            .map_err(|e| io_err("forwarding rejoin to source", e))?;
+                    }
+                    stream
+                        .write_all(&start_bytes)
+                        .map_err(|e| io_err("restarting respawned worker", e))?;
+                    stream
+                        .set_read_timeout(None)
+                        .map_err(|e| io_err("clearing control timeout", e))?;
+                    sup.conn_gen[w] += 1;
+                    spawn_control_reader(
+                        NodeRole::Worker,
+                        w,
+                        sup.conn_gen[w],
+                        reader,
+                        event_tx.clone(),
+                    );
+                    sup.last_seen[w] = Instant::now();
+                    sup.state[w] = WState::Running;
+                    drop(stream); // workers need nothing further
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(io_err("accepting control connection", e)),
+            }
+        }
+
+        match event_rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(SupervisorEvent::Frame { role, index, frame }) => match frame {
+                ControlFrame::SourceReport { source, sent } => {
+                    let slot = sources_reported
+                        .get_mut(source as usize)
+                        .ok_or("source report index out of range")?;
+                    *slot = true;
+                    sent_total += sent;
+                }
+                ControlFrame::WorkerReport(report) => {
+                    let w = report.worker as usize;
+                    let slot = worker_reports
+                        .get_mut(w)
+                        .ok_or("worker report index out of range")?;
+                    *slot = Some(worker_report_from_wire(report));
+                    sup.state[w] = WState::Done;
+                }
+                ControlFrame::AggregatorReport(report) => {
+                    let slot = aggregators_reported
+                        .get_mut(report.aggregator as usize)
+                        .ok_or("aggregator report index out of range")?;
+                    *slot = true;
+                    aggregator_reports.push(aggregator_report_from_wire(report));
+                }
+                ControlFrame::Heartbeat { worker } => {
+                    if let Some(seen) = sup.last_seen.get_mut(worker as usize) {
+                        *seen = Instant::now();
                     }
                 }
-                continue;
+                _ => {
+                    return Err(format!(
+                        "unexpected control frame from {} {index}",
+                        role.name()
+                    ))
+                }
+            },
+            Ok(SupervisorEvent::Closed {
+                role,
+                index,
+                gen,
+                detail,
+            }) => match role {
+                NodeRole::Worker if ft => {
+                    // Only the *current* connection closing while the
+                    // worker was thought alive is a death signal.
+                    if gen == sup.conn_gen[index] && matches!(sup.state[index], WState::Running) {
+                        handle_worker_death(
+                            index,
+                            &mut sup,
+                            &mut worker_reports,
+                            children,
+                            node_exe,
+                            &control_addr,
+                            &ckpt_dir,
+                            &mut source_streams,
+                            &mut aggregator_streams,
+                        )?;
+                    }
+                }
+                NodeRole::Worker => {
+                    if !matches!(sup.state[index], WState::Done) {
+                        return Err(format!("worker {index}: {detail}"));
+                    }
+                }
+                NodeRole::Source => {
+                    if !sources_reported.get(index).copied().unwrap_or(true) {
+                        return Err(format!("source {index}: {detail}"));
+                    }
+                }
+                NodeRole::Aggregator => {
+                    if !aggregators_reported.get(index).copied().unwrap_or(true) {
+                        return Err(format!("aggregator {index}: {detail}"));
+                    }
+                }
+            },
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if ft {
+                    // Liveness sweep: child exits and heartbeat silence.
+                    for w in 0..spec.workers() {
+                        match sup.state[w] {
+                            WState::Running => {
+                                let exited = children
+                                    .lock()
+                                    .expect("children poisoned")
+                                    .get_mut(sup.slot[w])
+                                    .and_then(|c| c.try_wait().ok().flatten())
+                                    .is_some();
+                                if exited || sup.last_seen[w].elapsed() > options.heartbeat_timeout
+                                {
+                                    handle_worker_death(
+                                        w,
+                                        &mut sup,
+                                        &mut worker_reports,
+                                        children,
+                                        node_exe,
+                                        &control_addr,
+                                        &ckpt_dir,
+                                        &mut source_streams,
+                                        &mut aggregator_streams,
+                                    )?;
+                                }
+                            }
+                            WState::Awaiting(since) => {
+                                let exited = children
+                                    .lock()
+                                    .expect("children poisoned")
+                                    .get_mut(sup.slot[w])
+                                    .and_then(|c| c.try_wait().ok().flatten())
+                                    .is_some();
+                                if exited {
+                                    // The respawn died before rejoining —
+                                    // burn more budget or exclude.
+                                    handle_worker_death(
+                                        w,
+                                        &mut sup,
+                                        &mut worker_reports,
+                                        children,
+                                        node_exe,
+                                        &control_addr,
+                                        &ckpt_dir,
+                                        &mut source_streams,
+                                        &mut aggregator_streams,
+                                    )?;
+                                } else if since.elapsed() > CONTROL_TIMEOUT {
+                                    return Err(format!("worker {w} respawned but never rejoined"));
+                                }
+                            }
+                            WState::Done | WState::Excluded => {}
+                        }
+                    }
+                    // Sources and aggregators have no respawn path: an
+                    // unreported one failing is fatal.
+                    {
+                        let mut kids = children.lock().expect("children poisoned");
+                        for (s, &reported) in sources_reported.iter().enumerate() {
+                            if reported {
+                                continue;
+                            }
+                            if let Some(Some(status)) =
+                                kids.get_mut(s).map(|c| c.try_wait().ok().flatten())
+                            {
+                                if !status.success() {
+                                    return Err(format!("source {s} failed ({status})"));
+                                }
+                            }
+                        }
+                        let agg_base = spec.sources() + spec.workers();
+                        for (a, &reported) in aggregators_reported.iter().enumerate() {
+                            if reported {
+                                continue;
+                            }
+                            if let Some(Some(status)) = kids
+                                .get_mut(agg_base + a)
+                                .map(|c| c.try_wait().ok().flatten())
+                            {
+                                if !status.success() {
+                                    return Err(format!("aggregator {a} failed ({status})"));
+                                }
+                            }
+                        }
+                    }
+                    if released
+                        && children
+                            .lock()
+                            .expect("children poisoned")
+                            .iter_mut()
+                            .all(|c| matches!(c.try_wait(), Ok(Some(_))))
+                    {
+                        drained_ticks += 1;
+                        if drained_ticks > 10 {
+                            return Err(
+                                "every node process exited but reports never arrived".into()
+                            );
+                        }
+                    }
+                } else {
+                    check_no_child_failed(&mut children.lock().expect("children poisoned"))?;
+                    if children
+                        .lock()
+                        .expect("children poisoned")
+                        .iter_mut()
+                        .all(|c| matches!(c.try_wait(), Ok(Some(_))))
+                    {
+                        drained_ticks += 1;
+                        if drained_ticks > 10 {
+                            return Err(
+                                "every node process exited but reports never arrived".into()
+                            );
+                        }
+                    }
+                }
             }
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                return Err(format!(
-                    "control connections closed with {outstanding} report(s) missing"
-                ))
-            }
-        };
-        let frame = frame.map_err(|e| format!("{} {index}: {e}", role.name()))?;
-        outstanding -= 1;
-        match frame {
-            ControlFrame::SourceReport { sent, .. } => sent_total += sent,
-            ControlFrame::WorkerReport(report) => {
-                let slot = worker_reports
-                    .get_mut(report.worker as usize)
-                    .ok_or("worker report index out of range")?;
-                *slot = Some(WorkerStageReport {
-                    processed: report.processed,
-                    phase_counts: report.phase_counts,
-                    phase_latencies: report
-                        .phase_latencies
-                        .iter()
-                        .map(|runs| tracker_from_rle(runs))
-                        .collect(),
-                    state_keys: report.state_keys,
-                    windows_closed: report.windows_closed,
-                    phase_spans: report.phase_spans,
-                    recovery: RecoveryMetrics {
-                        restores: report.restores,
-                        replayed_items: report.replayed_items,
-                        duplicates_dropped: report.duplicates_dropped,
-                        replay_requests: report.replay_requests,
-                    },
-                    checkpoints: report.checkpoints,
-                });
-            }
-            ControlFrame::AggregatorReport(report) => {
-                aggregator_reports.push(AggregatorStageReport {
-                    finalized: report.finalized.into_iter().collect(),
-                    latencies: tracker_from_rle(&report.latency),
-                    merged: report.merged,
-                    // TCP delivers reliably and process respawn is not
-                    // simulated across machines, so multi-process
-                    // aggregators never see duplicate partials.
-                    duplicates_dropped: 0,
-                });
-            }
-            _ => {
-                return Err(format!(
-                    "unexpected control frame from {} {index}",
-                    role.name()
-                ))
+                return Err("supervisor event channel closed unexpectedly".into());
             }
         }
     }
@@ -578,7 +1452,9 @@ fn orchestrate_inner(
         aggregator_reports,
         elapsed,
     );
-    if sent_total != result.processed {
+    // A degraded run *loses* the excluded worker's unshipped tuples by
+    // design; the conservation check only holds for healthy runs.
+    if sup.degraded.is_empty() && sent_total != result.processed {
         return Err(format!(
             "lost tuples: sources sent {} but workers processed {}",
             sent_total, result.processed
@@ -588,6 +1464,7 @@ fn orchestrate_inner(
         result,
         windows,
         sent_total,
+        degraded: sup.degraded,
     })
 }
 
@@ -626,5 +1503,29 @@ mod tests {
         let runs = rle_encode(tracker.samples());
         assert_eq!(runs, vec![(7, 300), (12, 1), (7, 2)]);
         assert_eq!(tracker_from_rle(&runs).samples(), tracker.samples());
+    }
+
+    #[test]
+    fn worker_report_wire_round_trip_preserves_recovery() {
+        let mut report = WorkerStageReport {
+            processed: 100,
+            windows_closed: 4,
+            state_keys: 12,
+            checkpoints: 4,
+            ..WorkerStageReport::default()
+        };
+        report.recovery = RecoveryMetrics {
+            restores: 1,
+            replayed_items: 37,
+            duplicates_dropped: 5,
+            replay_requests: 2,
+            transport_errors: 3,
+        };
+        let wire = worker_report_to_wire(7, &report);
+        assert_eq!(wire.worker, 7);
+        let back = worker_report_from_wire(wire);
+        assert_eq!(back.recovery, report.recovery);
+        assert_eq!(back.processed, report.processed);
+        assert_eq!(back.checkpoints, report.checkpoints);
     }
 }

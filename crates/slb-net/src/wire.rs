@@ -62,6 +62,16 @@ pub mod tag {
     pub const WORKER_REPORT: u8 = 19;
     /// Aggregator → orchestrator end-of-run report.
     pub const AGGREGATOR_REPORT: u8 = 20;
+    /// Worker → orchestrator liveness beacon (periodic while running).
+    pub const HEARTBEAT: u8 = 21;
+    /// Respawned worker → orchestrator (then orchestrator → sources): the
+    /// worker is back, listening on `data_port`, restored to these cursors.
+    pub const REJOIN: u8 = 22;
+    /// Orchestrator → sources/aggregators: a worker is out of respawn
+    /// budget; stop routing to it / finalize without it.
+    pub const EXCLUDE: u8 = 23;
+    /// Orchestrator → sources: no further rejoin can occur, stop waiting.
+    pub const RELEASE: u8 = 24;
 }
 
 /// Everything that can go wrong turning bytes into frames.
@@ -202,6 +212,8 @@ pub struct WorkerReportWire {
     pub replay_requests: u64,
     /// Checkpoints saved (one per window finalization).
     pub checkpoints: u64,
+    /// Connections that died uncleanly mid-run (torn frame / failed read).
+    pub transport_errors: u64,
 }
 
 /// An aggregator's end-of-run report. The finalized windows carry exact
@@ -217,6 +229,11 @@ pub struct AggregatorReportWire {
     pub latency: Vec<(u64, u64)>,
     /// Final merged per-key counts per window this shard owned.
     pub finalized: Vec<(u64, std::collections::HashMap<u64, u64>)>,
+    /// Partials discarded as duplicates (replayed windows after a respawn,
+    /// or late partials from an excluded worker).
+    pub duplicates_dropped: u64,
+    /// Connections that died uncleanly mid-run (torn frame / failed read).
+    pub transport_errors: u64,
 }
 
 /// One message on an `slb-node` control socket.
@@ -255,6 +272,35 @@ pub enum ControlFrame {
     WorkerReport(WorkerReportWire),
     /// Aggregator → orchestrator end-of-run report.
     AggregatorReport(AggregatorReportWire),
+    /// Worker → orchestrator: still alive (sent periodically while the
+    /// stage runs; silence past the timeout marks the worker suspect).
+    Heartbeat {
+        /// Worker index.
+        worker: u32,
+    },
+    /// A respawned worker announcing itself — sent worker → orchestrator in
+    /// place of `Hello`, then forwarded orchestrator → sources so they can
+    /// re-dial and replay.
+    Rejoin {
+        /// Worker index.
+        worker: u32,
+        /// The respawned worker's (new) data listener port.
+        data_port: u16,
+        /// Restored per-source sequence cursors: for source `s`,
+        /// `cursors[s]` is the next sequence number the worker expects —
+        /// exactly where replay must start.
+        cursors: Vec<u64>,
+    },
+    /// Orchestrator → sources and aggregators: worker `worker` is gone for
+    /// good (respawn budget exhausted). Sources stop routing to it at the
+    /// next window boundary; aggregators finalize windows without it.
+    Exclude {
+        /// Worker index.
+        worker: u32,
+    },
+    /// Orchestrator → sources: every surviving worker has reported; no
+    /// further rejoin/replay can be requested, stop waiting and exit.
+    Release,
 }
 
 /// Reserves a frame header in `out`, returning the patch position.
@@ -616,6 +662,7 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
             write_u64(out, report.duplicates_dropped);
             write_u64(out, report.replay_requests);
             write_u64(out, report.checkpoints);
+            write_u64(out, report.transport_errors);
             end_frame(out, at);
         }
         ControlFrame::AggregatorReport(report) => {
@@ -628,6 +675,33 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
                 write_u64(out, *window);
                 counts.encode_partial(out);
             }
+            write_u64(out, report.duplicates_dropped);
+            write_u64(out, report.transport_errors);
+            end_frame(out, at);
+        }
+        ControlFrame::Heartbeat { worker } => {
+            let at = begin_frame(out, tag::HEARTBEAT);
+            write_u32(out, *worker);
+            end_frame(out, at);
+        }
+        ControlFrame::Rejoin {
+            worker,
+            data_port,
+            cursors,
+        } => {
+            let at = begin_frame(out, tag::REJOIN);
+            write_u32(out, *worker);
+            write_u16(out, *data_port);
+            write_u64_list(out, cursors);
+            end_frame(out, at);
+        }
+        ControlFrame::Exclude { worker } => {
+            let at = begin_frame(out, tag::EXCLUDE);
+            write_u32(out, *worker);
+            end_frame(out, at);
+        }
+        ControlFrame::Release => {
+            let at = begin_frame(out, tag::RELEASE);
             end_frame(out, at);
         }
     }
@@ -702,6 +776,7 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
             let duplicates_dropped = read_u64(&mut input)?;
             let replay_requests = read_u64(&mut input)?;
             let checkpoints = read_u64(&mut input)?;
+            let transport_errors = read_u64(&mut input)?;
             ControlFrame::WorkerReport(WorkerReportWire {
                 worker,
                 processed,
@@ -715,6 +790,7 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
                 duplicates_dropped,
                 replay_requests,
                 checkpoints,
+                transport_errors,
             })
         }
         tag::AGGREGATOR_REPORT => {
@@ -729,13 +805,29 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
                 let counts = std::collections::HashMap::<u64, u64>::decode_partial(&mut input)?;
                 finalized.push((window, counts));
             }
+            let duplicates_dropped = read_u64(&mut input)?;
+            let transport_errors = read_u64(&mut input)?;
             ControlFrame::AggregatorReport(AggregatorReportWire {
                 aggregator,
                 merged,
                 latency,
                 finalized,
+                duplicates_dropped,
+                transport_errors,
             })
         }
+        tag::HEARTBEAT => ControlFrame::Heartbeat {
+            worker: read_u32(&mut input)?,
+        },
+        tag::REJOIN => ControlFrame::Rejoin {
+            worker: read_u32(&mut input)?,
+            data_port: read_u16(&mut input)?,
+            cursors: read_u64_list(&mut input)?,
+        },
+        tag::EXCLUDE => ControlFrame::Exclude {
+            worker: read_u32(&mut input)?,
+        },
+        tag::RELEASE => ControlFrame::Release,
         other => return Err(WireError::BadTag(other)),
     };
     if !input.is_empty() {
@@ -976,13 +1068,24 @@ mod tests {
                 duplicates_dropped: 3,
                 replay_requests: 4,
                 checkpoints: 4,
+                transport_errors: 1,
             }),
             ControlFrame::AggregatorReport(AggregatorReportWire {
                 aggregator: 0,
                 merged: 12,
                 latency: vec![(2, 12)],
                 finalized: vec![(0, counts)],
+                duplicates_dropped: 2,
+                transport_errors: 1,
             }),
+            ControlFrame::Heartbeat { worker: 3 },
+            ControlFrame::Rejoin {
+                worker: 1,
+                data_port: 45_001,
+                cursors: vec![17, 0, 9_000_000_000],
+            },
+            ControlFrame::Exclude { worker: 2 },
+            ControlFrame::Release,
         ] {
             let mut buf = Vec::new();
             encode_control_frame(&frame, &mut buf);

@@ -1,0 +1,177 @@
+//! Process-kill fault tests for `slb-node`: real SIGKILL, real respawn.
+//!
+//! These are the process-level analogue of the engine's fault-injection
+//! suite. Each test runs `slb-node orchestrate --fault-tolerant` with the
+//! built-in `--kill-worker W@MS` injector, which SIGKILLs a live worker
+//! process mid-run, and asserts the supervisor's recovery contract:
+//!
+//! * **Respawn path** — the worker is respawned, restores from its durable
+//!   on-disk checkpoint, rejoins over the control plane, sources replay
+//!   from its cursors, and the merged windowed counts are *bit-identical*
+//!   to the single-threaded exact reference (`exact-reference=MATCH`) with
+//!   zero duplicate partials reaching the aggregators.
+//! * **Degrade path** — with a zero respawn budget the worker is excluded,
+//!   the survivors rescale it out at a window boundary, and the run
+//!   terminates with a degraded report instead of hanging.
+//!
+//! The run is sized so the kill is guaranteed to land mid-run: with
+//! `service_time_us 50` the worker stage has a busy floor of hundreds of
+//! milliseconds, far past the kill delay.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn node_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_slb-node")
+}
+
+fn seed() -> String {
+    std::env::var("SLB_TEST_SEED").unwrap_or_else(|_| "42".into())
+}
+
+/// Writes `spec` to a unique temp file and returns its path.
+fn write_spec(name: &str, spec: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("slb-node-{name}-{}.spec", std::process::id()));
+    std::fs::write(&path, spec).expect("write spec file");
+    path
+}
+
+/// A unique checkpoint directory per test, removed afterwards.
+fn ckpt_dir(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("slb-node-ckpt-{}-{name}", std::process::id()));
+    path
+}
+
+#[test]
+fn killed_worker_respawns_from_checkpoint_and_counts_match_exactly() {
+    // ~820 ms of pure service time spread over 3 workers: the kill at
+    // 250 ms is deep mid-run, with dozens of checkpointed windows behind
+    // it and dozens of windows left to replay and process.
+    let spec = format!(
+        "# fault golden: SIGKILL worker 1 mid-run, respawn, replay, verify\n\
+         mode engine\n\
+         scheme PKG\n\
+         sources 2\n\
+         workers 3\n\
+         keys 500\n\
+         skew 1.6\n\
+         messages 49152\n\
+         service_time_us 50\n\
+         queue_capacity 256\n\
+         seed {}\n\
+         batch_size 64\n\
+         window_size 256\n\
+         aggregators 2\n",
+        seed()
+    );
+    let path = write_spec("fault-respawn", &spec);
+    let dir = ckpt_dir("respawn");
+    let output = Command::new(node_exe())
+        .arg("orchestrate")
+        .arg("--spec")
+        .arg(&path)
+        .arg("--verify")
+        .arg("--fault-tolerant")
+        .arg("--respawn-budget")
+        .arg("1")
+        .arg("--ckpt-dir")
+        .arg(&dir)
+        .arg("--kill-worker")
+        .arg("1@250")
+        .output()
+        .expect("spawn slb-node orchestrate");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "supervised orchestrate failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("exact-reference=MATCH"),
+        "counts diverged from the reference after a worker kill\n{stdout}\n{stderr}"
+    );
+    // Exactly-once across the process boundary: replayed tuples are
+    // deduplicated at the worker, so at most the *tail* window — shipped
+    // but not yet checkpointed when the SIGKILL landed — may reach the
+    // aggregators twice, and their (worker, window) dedup drops it. With
+    // the store's two on-disk generations that bounds the duplicates at
+    // 2 windows × `aggregators` partials; anything above means worker-side
+    // dedup failed and tuples were re-counted.
+    let dropped = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("aggregator_recovery duplicates_dropped="))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("missing aggregator recovery report");
+    assert!(
+        dropped <= 4,
+        "more than the tail windows reached the aggregators twice \
+         (duplicates_dropped={dropped})\n{stdout}"
+    );
+    assert!(
+        stdout.contains("worker_recovery restores="),
+        "missing worker recovery report\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("degraded workers="),
+        "a budgeted respawn must not degrade the run\n{stdout}"
+    );
+}
+
+#[test]
+fn exhausted_respawn_budget_degrades_instead_of_hanging() {
+    let spec = format!(
+        "# fault golden: SIGKILL worker 1 with a zero respawn budget\n\
+         mode engine\n\
+         scheme PKG\n\
+         sources 2\n\
+         workers 3\n\
+         keys 500\n\
+         skew 1.6\n\
+         messages 24576\n\
+         service_time_us 50\n\
+         queue_capacity 256\n\
+         seed {}\n\
+         batch_size 64\n\
+         window_size 256\n\
+         aggregators 2\n",
+        seed()
+    );
+    let path = write_spec("fault-degrade", &spec);
+    let dir = ckpt_dir("degrade");
+    // No --verify: excluding a worker forfeits its unshipped tuples by
+    // design, so the merged counts legitimately differ from the reference.
+    let output = Command::new(node_exe())
+        .arg("orchestrate")
+        .arg("--spec")
+        .arg(&path)
+        .arg("--fault-tolerant")
+        .arg("--respawn-budget")
+        .arg("0")
+        .arg("--ckpt-dir")
+        .arg(&dir)
+        .arg("--kill-worker")
+        .arg("1@150")
+        .output()
+        .expect("spawn slb-node orchestrate");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "degraded run must terminate with a report, not an error\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("degraded workers=[1]"),
+        "expected worker 1 to be reported as degraded\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("scheme="),
+        "expected a full result report despite the exclusion\n{stdout}"
+    );
+}

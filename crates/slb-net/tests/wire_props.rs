@@ -75,13 +75,28 @@ fn control_frames(raw: &[u64], ports: &[u16], samples: &[u64], keys: &[u64]) -> 
             duplicates_dropped: at(16),
             replay_requests: at(17),
             checkpoints: at(18),
+            transport_errors: at(19),
         }),
         ControlFrame::AggregatorReport(AggregatorReportWire {
             aggregator: at(10) as u32,
             merged: at(11),
             latency: runs,
             finalized: vec![(at(12), counts_from(keys)), (at(13), HashMap::new())],
+            duplicates_dropped: at(20),
+            transport_errors: at(21),
         }),
+        ControlFrame::Heartbeat {
+            worker: at(22) as u32,
+        },
+        ControlFrame::Rejoin {
+            worker: at(23) as u32,
+            data_port: at(24) as u16,
+            cursors: raw.to_vec(),
+        },
+        ControlFrame::Exclude {
+            worker: at(25) as u32,
+        },
+        ControlFrame::Release,
     ]
 }
 
