@@ -27,13 +27,14 @@ echo "==> differential seed matrix (key-splitting soundness per seed, static + s
 for seed in 1 42 1337; do
     echo "    SLB_TEST_SEED=$seed"
     SLB_TEST_SEED="$seed" cargo test -q -p slb-engine --test differential --test scenario_differential
-    # Cross-backend: the same configs over TCP loopback must merge
-    # bit-identical windows (and the multi-process slb-node golden run
-    # re-verifies against the exact reference at this seed).
+    # Cross-backend: the same configs over the SPSC ring backend and TCP
+    # loopback must merge bit-identical windows (and the multi-process
+    # slb-node golden run re-verifies against the exact reference at this
+    # seed).
     SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test backend_differential --test node_golden
 done
 
-echo "==> fault-injection seed matrix (exactly-once under kills and losses, both backends)"
+echo "==> fault-injection seed matrix (exactly-once under kills and losses, every backend)"
 for seed in 1 42 1337; do
     echo "    SLB_TEST_SEED=$seed"
     SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test fault_injection
@@ -48,7 +49,7 @@ echo "==> property suites at CI case counts"
 PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props --test rescale_props --test durable_props
 PROPTEST_CASES=256 cargo test -q -p slb-sketch --test proptests
 PROPTEST_CASES=256 cargo test -q -p slb-workloads --test scenario_props
-PROPTEST_CASES=256 cargo test -q -p slb-engine --test scenario_props
+PROPTEST_CASES=256 cargo test -q -p slb-engine --test scenario_props --test ring_props
 PROPTEST_CASES=256 cargo test -q -p slb-net --test wire_props
 
 echo "==> rustdoc (deny warnings)"
@@ -58,7 +59,7 @@ echo "==> examples (quickstart and imbalance_study already ran via tests/example
 cargo run --quiet --release --example trending_topics > /dev/null
 cargo run --quiet --release --example storm_like_topology > /dev/null
 
-echo "==> perf smoke (batched engine + phased scenario loop + TCP backend at zero service time must clear their floors)"
+echo "==> perf smoke (batched engine + phased scenario loop + TCP and SPSC backends at zero service time must clear their floors; SPSC must not lose to InProc)"
 cargo run --quiet --release -p slb-bench --bin perf_smoke
 
 echo "==> criterion benches (quick mode, compile + run)"

@@ -1,0 +1,104 @@
+//! Criterion bench for the thread-per-core SPSC transport, head-to-head
+//! against the lock-based in-process backend on identical configurations.
+//!
+//! Three groups:
+//! * `engine_backend_ab` — the zero-service hot path over `InProc` and
+//!   `Spsc` at the same batch size: the headline A/B the transport exists
+//!   for. Routing, windowing, and aggregation are byte-identical across
+//!   the pair (the differential suite proves it), so any delta is pure
+//!   transport: lock/wakeup cost vs ring stores plus recycling.
+//! * `spsc_batch_sweep` — the SPSC backend across batch sizes. Batch 1
+//!   maximizes ring crossings per tuple and shows the per-message floor;
+//!   large batches amortize toward the routing ceiling.
+//! * `spsc_schemes` — the paper's grouping schemes over SPSC, mirroring
+//!   `engine_zero_service` in `bench_engine.rs` so the two backends'
+//!   scheme profiles can be compared run-to-run.
+//!
+//! Keep the per-iteration work small: Criterion repeats each measurement
+//! many times and a full-size topology per iteration would take minutes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use slb_core::{CountAggregate, PartitionerKind};
+use slb_engine::{EngineConfig, InProc, Spsc, Topology};
+
+fn zero_service_cfg(kind: PartitionerKind, messages: u64) -> EngineConfig {
+    EngineConfig::smoke(kind, 2.0)
+        .with_messages(messages)
+        .with_service_time_us(0)
+}
+
+fn backend_ab(c: &mut Criterion) {
+    let messages = 100_000u64;
+    let mut group = c.benchmark_group("engine_backend_ab");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(messages));
+    group.bench_function("inproc", |b| {
+        b.iter(|| {
+            let cfg = zero_service_cfg(PartitionerKind::Pkg, messages);
+            let run = Topology::new(cfg).run_windowed_on(CountAggregate, &InProc);
+            black_box(run.result.processed)
+        })
+    });
+    group.bench_function("spsc", |b| {
+        b.iter(|| {
+            let cfg = zero_service_cfg(PartitionerKind::Pkg, messages);
+            let run = Topology::new(cfg).run_windowed_on(CountAggregate, &Spsc);
+            black_box(run.result.processed)
+        })
+    });
+    group.finish();
+}
+
+fn spsc_batch_sweep(c: &mut Criterion) {
+    let messages = 100_000u64;
+    let mut group = c.benchmark_group("spsc_batch_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(messages));
+    for batch in [1usize, 16, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let cfg = zero_service_cfg(PartitionerKind::Pkg, messages).with_batch_size(batch);
+                let run = Topology::new(cfg).run_windowed_on(CountAggregate, &Spsc);
+                black_box(run.result.processed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn spsc_schemes(c: &mut Criterion) {
+    let messages = 100_000u64;
+    let mut group = c.benchmark_group("spsc_schemes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(messages));
+    for kind in [
+        PartitionerKind::KeyGrouping,
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+        PartitionerKind::ShuffleGrouping,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scheme", kind.symbol()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let cfg = zero_service_cfg(kind, messages);
+                    let run = Topology::new(cfg).run_windowed_on(CountAggregate, &Spsc);
+                    black_box(run.result.processed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, backend_ab, spsc_batch_sweep, spsc_schemes);
+criterion_main!(benches);

@@ -20,7 +20,14 @@
 //!    below the in-process one by design — sockets are not crossbeam — but
 //!    well above what a per-tuple (rather than per-batch) framing bug or an
 //!    accidental per-frame flush storm would deliver.
-//! 4. **Checkpoint overhead** — the single-phase config against the same
+//! 4. **SPSC-backend run** — the same single-phase config over the
+//!    thread-per-core SPSC ring transport (lock-free rings, batch
+//!    recycling, core pinning). Gated two ways: an absolute floor, and a
+//!    relative gate against the interleaved InProc run of the same pair —
+//!    the SPSC backend must not lose to the lock-based backend it exists
+//!    to beat (a small tolerance absorbs scheduler noise; on multi-core
+//!    machines the margin is a multiple, not a percentage).
+//! 5. **Checkpoint overhead** — the single-phase config against the same
 //!    config with per-window checkpoint persistence disabled (the
 //!    measurement-only baseline, `run_windowed_without_checkpoints`),
 //!    measured as five back-to-back A/B pairs. The always-on checkpoint
@@ -36,7 +43,7 @@
 //! measurement history.
 
 use slb_core::{CountAggregate, PartitionerKind};
-use slb_engine::{EngineConfig, ScenarioConfig, Topology};
+use slb_engine::{EngineConfig, InProc, ScenarioConfig, Spsc, Topology};
 use slb_net::tcp::TcpTransport;
 use slb_workloads::{Scenario, ScenarioPhase};
 
@@ -56,6 +63,15 @@ const TCP_FLOOR_EPS: f64 = 1.0e6;
 /// Maximum fraction of fault-free throughput the checkpoint path may cost:
 /// the best checkpointed-vs-baseline pair must clear a 0.90 ratio.
 const CHECKPOINT_MAX_OVERHEAD: f64 = 0.10;
+
+/// Conservative SPSC-backend absolute floor, in events per second.
+const SPSC_FLOOR_EPS: f64 = 5.0e6;
+
+/// The best SPSC/InProc pairwise ratio must clear this: the lock-free
+/// backend must at least match the lock-based one (0.95 leaves room for
+/// scheduler noise on single-core CI runners, where both backends are
+/// serialized onto one CPU and the SPSC win shrinks to the lock savings).
+const SPSC_MIN_RATIO: f64 = 0.95;
 
 fn best_of_three(label: &str, run: impl Fn() -> (f64, u64, f64)) -> f64 {
     let mut best: f64 = 0.0;
@@ -101,6 +117,35 @@ fn main() {
             .result;
         (r.throughput_eps, r.processed, r.elapsed_secs)
     });
+
+    // SPSC vs InProc A/B: interleaved pairs, best pairwise ratio — the same
+    // noise-cancelling structure as the checkpoint gate below. The absolute
+    // SPSC floor comes from the best SPSC side of any pair.
+    let mut spsc_best: f64 = 0.0;
+    let mut spsc_best_ratio: f64 = 0.0;
+    for attempt in 0..3 {
+        let cfg = || {
+            EngineConfig::smoke(PartitionerKind::Pkg, 2.0)
+                .with_messages(400_000)
+                .with_service_time_us(0)
+        };
+        let spsc = Topology::new(cfg())
+            .run_windowed_on(CountAggregate, &Spsc)
+            .result;
+        let inproc = Topology::new(cfg())
+            .run_windowed_on(CountAggregate, &InProc)
+            .result;
+        let ratio = spsc.throughput_eps / inproc.throughput_eps;
+        println!(
+            "perf_smoke spsc pair {}: spsc {:.2} Melem/s vs inproc {:.2} Melem/s (ratio {:.3})",
+            attempt + 1,
+            spsc.throughput_eps / 1e6,
+            inproc.throughput_eps / 1e6,
+            ratio
+        );
+        spsc_best = spsc_best.max(spsc.throughput_eps);
+        spsc_best_ratio = spsc_best_ratio.max(ratio);
+    }
 
     // Checkpoint overhead A/B: the same config with durable checkpoint
     // writes elided. The two sides run *interleaved* (checkpointed,
@@ -163,6 +208,23 @@ fn main() {
         );
         failed = true;
     }
+    if spsc_best < SPSC_FLOOR_EPS {
+        eprintln!(
+            "perf_smoke FAILED: SPSC-backend best {:.2} Melem/s is below the {:.1} Melem/s \
+             floor — the thread-per-core transport has regressed",
+            spsc_best / 1e6,
+            SPSC_FLOOR_EPS / 1e6
+        );
+        failed = true;
+    }
+    if spsc_best_ratio < SPSC_MIN_RATIO {
+        eprintln!(
+            "perf_smoke FAILED: best SPSC/InProc pair ratio {:.3} is below {:.2} — \
+             the lock-free backend is losing to the lock-based one",
+            spsc_best_ratio, SPSC_MIN_RATIO
+        );
+        failed = true;
+    }
     if checkpoint_best_ratio < 1.0 - CHECKPOINT_MAX_OVERHEAD {
         eprintln!(
             "perf_smoke FAILED: best checkpointed/baseline pair ratio {:.3} is below \
@@ -177,14 +239,17 @@ fn main() {
     }
     println!(
         "perf_smoke OK: single-phase {:.2} Melem/s clears {:.1}, scenario {:.2} Melem/s \
-         clears {:.1}, tcp-backend {:.2} Melem/s clears {:.1}, checkpoint overhead \
-         {:.1}% within the 10% budget",
+         clears {:.1}, tcp-backend {:.2} Melem/s clears {:.1}, spsc-backend {:.2} Melem/s \
+         clears {:.1} at {:.2}x InProc, checkpoint overhead {:.1}% within the 10% budget",
         single / 1e6,
         FLOOR_EPS / 1e6,
         scenario_best / 1e6,
         SCENARIO_FLOOR_EPS / 1e6,
         tcp_best / 1e6,
         TCP_FLOOR_EPS / 1e6,
+        spsc_best / 1e6,
+        SPSC_FLOOR_EPS / 1e6,
+        spsc_best_ratio,
         (1.0 - checkpoint_best_ratio).max(0.0) * 100.0
     );
 }

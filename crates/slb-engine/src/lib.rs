@@ -43,6 +43,8 @@
 //! * [`topology`] — configuration, the phased three-stage runner, and the
 //!   per-stage entry points a distributed deployment composes.
 //! * [`transport`] — the transport abstraction and the in-process backend.
+//! * [`spsc`] — the thread-per-core backend: lock-free SPSC rings per stage
+//!   pair, batch-buffer recycling, and best-effort core pinning.
 //! * [`windows`] — deterministic tuple-count windows and the exact
 //!   single-threaded reference aggregations (config and scenario).
 //! * [`latency`] — latency recording, percentile summaries, per-stage and
@@ -50,12 +52,14 @@
 
 pub mod fault;
 pub mod latency;
+pub mod spsc;
 pub mod topology;
 pub mod transport;
 pub mod windows;
 
 pub use fault::{CheckpointStore, ConnectionDrop, FaultEvent, FaultPlan};
 pub use latency::{LatencySummary, LatencyTracker, PhaseMetrics, RecoveryMetrics, StageMetrics};
+pub use spsc::{Spsc, SpscReceiver, SpscSender};
 pub use topology::{
     assemble_result, compare_schemes, compare_schemes_scenario, run_aggregator_stage,
     run_aggregator_stage_supervised, run_source_stage, run_source_stage_recoverable,
@@ -66,9 +70,9 @@ pub use topology::{
 };
 pub use transport::{
     capacity_in_batches, feedback_channel_capacity, partial_channel_capacity, ChannelClosed,
-    FeedbackReceiver, FeedbackSender, InProc, PartialReceiver, PartialSender, PartialWindow,
-    RecvError, ReplayRequest, SourceMessage, Transport, TransportError, TupleBatch, TupleReceiver,
-    TupleSender,
+    CorePinning, FeedbackReceiver, FeedbackSender, InProc, PartialReceiver, PartialSender,
+    PartialWindow, RecvError, ReplayRequest, SourceMessage, StageRole, Transport, TransportError,
+    TupleBatch, TupleReceiver, TupleSender,
 };
 pub use windows::{
     diff_windows, exact_scenario_windowed_counts, exact_windowed_counts, window_of, WindowId,

@@ -94,7 +94,7 @@ use crate::latency::{LatencySummary, LatencyTracker, PhaseMetrics, RecoveryMetri
 use crate::transport::{
     capacity_in_batches, feedback_channel_capacity, partial_channel_capacity, FeedbackReceiver,
     FeedbackSender, InProc, PartialReceiver, PartialSender, PartialWindow, RecvError,
-    ReplayRequest, SourceMessage, Transport, TupleBatch, TupleReceiver, TupleSender,
+    ReplayRequest, SourceMessage, StageRole, Transport, TupleBatch, TupleReceiver, TupleSender,
 };
 use crate::windows::{window_of, WindowId, WindowedRun};
 
@@ -133,6 +133,9 @@ pub struct EngineConfig {
     /// Number of tuples carried per channel message. Batch 1 reproduces the
     /// original tuple-at-a-time transport; the default of 256 amortizes the
     /// channel synchronization and timestamping cost across the batch.
+    /// Clamped to `queue_capacity` when resolving the plan so a small
+    /// queue bound is honored (a batch larger than the queue could never
+    /// be accepted by the bounded channel).
     pub batch_size: usize,
     /// Tuples per window in each source sub-stream (window boundaries are
     /// deterministic: tuple `i` of a source belongs to window
@@ -278,6 +281,7 @@ impl EngineConfig {
     /// Panics if [`Self::validate`] does.
     pub fn stage_plan(&self) -> StagePlan {
         self.validate();
+        let batch_size = effective_batch_size(self.batch_size, self.queue_capacity);
         let per_source = self.messages / self.sources as u64;
         let phase = PhasePlan {
             tuples_per_source: per_source,
@@ -299,7 +303,7 @@ impl EngineConfig {
             sources: self.sources,
             spawned_workers: self.workers,
             window_size: self.window_size,
-            batch_size: self.batch_size,
+            batch_size,
             queue_capacity: self.queue_capacity,
             aggregators: self.aggregators,
             phase_starts: Arc::new(vec![0]),
@@ -324,7 +328,8 @@ pub struct ScenarioConfig {
     pub service_time_us: u64,
     /// Capacity of each worker's input queue, in tuples.
     pub queue_capacity: usize,
-    /// Tuples per transported channel message.
+    /// Tuples per transported channel message (clamped to `queue_capacity`
+    /// when resolving the plan, like [`EngineConfig::batch_size`]).
     pub batch_size: usize,
     /// Number of aggregator shards.
     pub aggregators: usize,
@@ -387,6 +392,7 @@ impl ScenarioConfig {
         assert!(self.queue_capacity > 0, "queues need capacity");
         assert!(self.batch_size > 0, "batches need at least one tuple");
         assert!(self.aggregators > 0, "need at least one aggregator");
+        let batch_size = effective_batch_size(self.batch_size, self.queue_capacity);
         let scenario = &self.scenario;
         let base_us = self.service_time_us;
         let spawned = scenario.max_workers();
@@ -414,7 +420,7 @@ impl ScenarioConfig {
             sources: scenario.sources,
             spawned_workers: spawned,
             window_size: scenario.window_size,
-            batch_size: self.batch_size,
+            batch_size,
             queue_capacity: self.queue_capacity,
             aggregators: self.aggregators,
             phase_starts: Arc::new(phases.iter().map(|p| p.start_window).collect()),
@@ -612,6 +618,18 @@ impl StagePlan {
     }
 }
 
+/// The batch size a plan actually runs with: the configured size clamped to
+/// the configured queue capacity. [`capacity_in_batches`] floors at two
+/// batches so senders can double-buffer, which means a batch larger than the
+/// queue would silently buffer `2 × batch_size` tuples — up to 64× a small
+/// requested bound. Clamping the batch instead keeps worst-case buffering at
+/// `2 × queue_capacity` while leaving every configuration with
+/// `batch_size <= queue_capacity` (including all defaults) bit-for-bit
+/// unchanged.
+fn effective_batch_size(batch_size: usize, queue_capacity: usize) -> usize {
+    batch_size.min(queue_capacity)
+}
+
 /// The send side of one source: per-worker sequence counters, the
 /// connection-drop schedule, and the sent-tuple count. Every message to a
 /// worker — batch or close marker — consumes the next sequence number on
@@ -709,6 +727,22 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
             self.send_close(worker, window);
         }
     }
+
+    /// A buffer for the next batch to `worker`: a spent one off the
+    /// transport's recycling return path when available (cleared, capacity
+    /// intact), else a fresh allocation. On backends with a return path
+    /// (the SPSC transport) this makes the steady-state source loop
+    /// allocation-free — the same buffers shuttle source → worker → source
+    /// for the whole run.
+    fn batch_buf(&self, worker: usize, batch_size: usize) -> Vec<KeyId> {
+        match self.senders[worker].take_recycled() {
+            Some(mut keys) => {
+                keys.clear();
+                keys
+            }
+            None => Vec::with_capacity(batch_size),
+        }
+    }
 }
 
 /// Ships every non-empty pending batch for the given window downstream.
@@ -723,7 +757,7 @@ fn flush_pending<Tx: TupleSender>(
         if pending[worker].is_empty() {
             continue;
         }
-        let keys = std::mem::replace(&mut pending[worker], Vec::with_capacity(batch_size));
+        let keys = std::mem::replace(&mut pending[worker], state.batch_buf(worker, batch_size));
         state.send_batch(worker, keys, window, pending_since[worker]);
     }
 }
@@ -1154,7 +1188,7 @@ where
                 pending[worker].push(key);
                 if pending[worker].len() == batch_size {
                     let keys =
-                        std::mem::replace(&mut pending[worker], Vec::with_capacity(batch_size));
+                        std::mem::replace(&mut pending[worker], send.batch_buf(worker, batch_size));
                     // A send only fails if the receiver is gone, which
                     // cannot happen before all senders are dropped;
                     // treat it as fatal.
@@ -1216,8 +1250,16 @@ where
             }
             // Burst pacing: chunks never span a burst boundary (the
             // `take` cap above), so exactly one pause fires per
-            // completed burst. Pacing shapes timing only; routing
-            // and counts are untouched.
+            // completed burst. Before sleeping, flush the partial
+            // batches buffered so far: their latency stamp is the
+            // *first* tuple's arrival, so letting them sit through the
+            // pause (and however many pauses it takes to fill them)
+            // would charge the whole wait to every tuple in the batch
+            // and blow up tail latency at trickle rates. A burst
+            // boundary is a deterministic point in the tuple sequence,
+            // so replay re-derives the identical flush (and the
+            // identical batch boundaries/seqs) with no wall-clock
+            // input. Routing and counts are untouched.
             if let Arrival::Bursty {
                 burst_tuples,
                 pause_us,
@@ -1225,6 +1267,7 @@ where
             {
                 if pause_us > 0 && emitted % burst_tuples == 0 && emitted < phase.tuples_per_source
                 {
+                    flush_pending(&mut send, &mut pending, &pending_since, window, batch_size);
                     thread::sleep(Duration::from_micros(pause_us));
                 }
             }
@@ -1364,15 +1407,16 @@ fn serve_pending_replays<S, Tx>(
 ///
 /// This mirrors the chunking, routing, and batching of
 /// [`run_source_stage_recoverable`] exactly — same stream, same routing
-/// state, same per-worker batch fill — so replayed frames carry the same
-/// keys, window, and sequence numbers as the originals. Differences are
-/// deliberate: sends to other workers are suppressed (their state is not
-/// rewound), burst pacing is skipped (timing only — burst chunk caps never
-/// change message composition, because batches fill per worker and flush
-/// only at window boundaries), fault drops are not re-applied, and nothing
-/// is added to the sent-tuple count. Replay stops as soon as the re-driven
-/// sequence cursor catches up with the live one: everything past it is the
-/// live loop's future, not replayable history.
+/// state, same per-worker batch fill, same burst-boundary flushes — so
+/// replayed frames carry the same keys, window, and sequence numbers as the
+/// originals. Differences are deliberate: sends to other workers are
+/// suppressed (their state is not rewound), the burst *sleep* is skipped
+/// (timing only — but the burst chunk cap and the boundary flush ARE
+/// mirrored, because the flush changes batch boundaries and therefore
+/// sequence numbers), fault drops are not re-applied, and nothing is added
+/// to the sent-tuple count. Replay stops as soon as the re-driven sequence
+/// cursor catches up with the live one: everything past it is the live
+/// loop's future, not replayable history.
 fn replay_to_worker<S, Tx>(
     plan: &StagePlan,
     stream_for_phase: &mut impl FnMut(usize) -> S,
@@ -1458,9 +1502,13 @@ fn replay_to_worker<S, Tx>(
             if replay_seq >= upto {
                 return;
             }
-            let take = (batch_size as u64)
+            let mut take = (batch_size as u64)
                 .min(window_size - local_idx % window_size)
-                .min(phase.tuples_per_source - emitted) as usize;
+                .min(phase.tuples_per_source - emitted);
+            if let Arrival::Bursty { burst_tuples, .. } = phase.arrival {
+                take = take.min(burst_tuples - emitted % burst_tuples);
+            }
+            let take = take as usize;
             keybuf.clear();
             while keybuf.len() < take {
                 match stream.next_key() {
@@ -1492,6 +1540,24 @@ fn replay_to_worker<S, Tx>(
                     deliver_batch(&mut replay_seq, keys, window);
                 }
                 deliver_close(&mut replay_seq, window);
+            }
+            // Burst-boundary flush, mirroring the live loop (sans sleep):
+            // the flush consumes a sequence number whenever the target's
+            // buffer is non-empty, so skipping it here would desync every
+            // seq after the first mid-window burst boundary.
+            if let Arrival::Bursty {
+                burst_tuples,
+                pause_us,
+            } = phase.arrival
+            {
+                if pause_us > 0
+                    && emitted % burst_tuples == 0
+                    && emitted < phase.tuples_per_source
+                    && !pending.is_empty()
+                {
+                    let keys = std::mem::replace(&mut pending, Vec::with_capacity(batch_size));
+                    deliver_batch(&mut replay_seq, keys, window);
+                }
             }
         }
     }
@@ -2038,6 +2104,10 @@ where
                             recovery.replay_requests += 1;
                         }
                     }
+                    // The batch is consumed; hand its buffer back to the
+                    // sources on transports with a recycling return path
+                    // (a no-op everywhere else).
+                    receiver.recycle(batch.keys);
                 }
                 SourceMessage::CloseWindow { window, .. } => {
                     let seen = closes.entry(window).or_insert(0);
@@ -2513,14 +2583,21 @@ where
         plan.sources,
         feedback_channel_capacity(plan.spawned_workers),
     );
+    // Transports that care about cache affinity (the SPSC backend) hand
+    // back a deterministic thread → core map; each stage thread applies
+    // its own pin, best-effort, as the first thing it does.
+    let pinning = transport.core_pinning(plan.sources, plan.spawned_workers, plan.aggregators);
 
     let start = Instant::now();
 
     let mut aggregator_handles = Vec::with_capacity(plan.aggregators);
-    for receiver in partial_receivers {
+    for (agg_idx, receiver) in partial_receivers.into_iter().enumerate() {
         let aggregate = aggregate.clone();
         let workers = plan.spawned_workers;
         aggregator_handles.push(thread::spawn(move || {
+            if let Some(p) = pinning {
+                p.pin_current_thread(StageRole::Aggregator, agg_idx);
+            }
             run_aggregator_stage(workers, &aggregate, receiver)
         }));
     }
@@ -2532,6 +2609,9 @@ where
         let partial_senders = partial_senders.clone();
         let feedback_senders = feedback_senders.clone();
         worker_handles.push(thread::spawn(move || {
+            if let Some(p) = pinning {
+                p.pin_current_thread(StageRole::Worker, worker_idx);
+            }
             run_worker_stage_recoverable(
                 &plan,
                 worker_idx,
@@ -2554,6 +2634,9 @@ where
         let senders = senders.clone();
         let streams = streams.clone();
         source_handles.push(thread::spawn(move || {
+            if let Some(p) = pinning {
+                p.pin_current_thread(StageRole::Source, source_idx);
+            }
             run_source_stage_recoverable(
                 &plan,
                 source_idx,
@@ -2627,6 +2710,50 @@ mod tests {
     /// [`CountAggregate`]'s partial type, spelled once for the supervised
     /// stage tests that wire transports by hand.
     type CountPartial = std::collections::HashMap<KeyId, u64>;
+
+    #[test]
+    fn stage_plan_clamps_batch_size_to_queue_capacity() {
+        // A queue bound below the batch size must win: batch 256 against a
+        // queue of 8 used to buffer 2 × 256 tuples (the two-batch floor of
+        // `capacity_in_batches`), 64× the requested bound.
+        let plan = EngineConfig::smoke(PartitionerKind::Pkg, 1.4)
+            .with_queue_capacity(8)
+            .stage_plan();
+        assert_eq!(plan.batch_size, 8);
+        assert_eq!(capacity_in_batches(plan.queue_capacity, plan.batch_size), 2);
+        // A roomy queue leaves the configured batch size alone.
+        let plan = EngineConfig::smoke(PartitionerKind::Pkg, 1.4)
+            .with_queue_capacity(1024)
+            .stage_plan();
+        assert_eq!(plan.batch_size, DEFAULT_BATCH_SIZE);
+        // Equality is a no-op, not an off-by-one.
+        let plan = EngineConfig::smoke(PartitionerKind::Pkg, 1.4)
+            .with_batch_size(64)
+            .with_queue_capacity(64)
+            .stage_plan();
+        assert_eq!(plan.batch_size, 64);
+    }
+
+    #[test]
+    fn scenario_stage_plan_clamps_batch_size_to_queue_capacity() {
+        let scenario = Scenario::new("clamp", 2, 128, 7).phase(ScenarioPhase::new(1, 100, 1.0, 2));
+        let mut cfg = ScenarioConfig::new(PartitionerKind::Pkg, scenario);
+        cfg.batch_size = 1000;
+        cfg.queue_capacity = 32;
+        assert_eq!(cfg.stage_plan().batch_size, 32);
+    }
+
+    #[test]
+    fn clamped_batch_size_preserves_merged_windows() {
+        // Shrinking the effective batch reshapes transport framing only:
+        // merged window contents must be bit-identical to the default run.
+        let base = EngineConfig::smoke(PartitionerKind::Pkg, 1.4).with_service_time_us(0);
+        let small_queue =
+            Topology::new(base.clone().with_queue_capacity(8)).run_windowed(CountAggregate);
+        let default_queue = Topology::new(base).run_windowed(CountAggregate);
+        assert_eq!(small_queue.windows, default_queue.windows);
+        assert_eq!(small_queue.result.processed, default_queue.result.processed);
+    }
 
     #[test]
     fn smoke_run_processes_every_message() {

@@ -1,0 +1,214 @@
+//! Property suite for the SPSC transport's rings and lane protocol.
+//!
+//! The properties drive the *public* transport surface — the endpoints
+//! [`Spsc`] hands out — with randomized capacities, message counts, and
+//! interleavings, and pin the contract every backend owes the engine:
+//!
+//! 1. **FIFO per sender through wrap-around** — with ring capacities far
+//!    smaller than the message count, every index wraps the buffer many
+//!    times and the blocking send exercises the full boundary; each
+//!    sender's sequence must still arrive intact and in order.
+//! 2. **Full/empty boundary** — a capacity-1 ring alternates strictly
+//!    between full and empty; nothing may be lost, duplicated, or
+//!    reordered at either edge.
+//! 3. **Punctuation interleaving** — batches and `CloseWindow` markers
+//!    share the ring as in-band frames; per source, every batch of window
+//!    `w` must be delivered before that source's close of `w`, and closes
+//!    must arrive in window order.
+//! 4. **Recycling round trip** — buffers handed back by the receiver come
+//!    out of `take_recycled` with contents intact, and the try-only
+//!    recycling path never blocks or manufactures buffers.
+
+use std::thread;
+use std::time::Instant;
+
+use proptest::prelude::*;
+
+use slb_engine::{
+    RecvError, SourceMessage, Spsc, Transport, TupleBatch, TupleReceiver, TupleSender,
+};
+
+/// Drains the channel to EOF, returning every message in arrival order.
+fn drain_all<R: TupleReceiver>(rx: &R) -> Vec<SourceMessage> {
+    let mut out = Vec::new();
+    loop {
+        match rx.recv_batch(&mut out) {
+            Ok(_) => {}
+            Err(RecvError::Closed) => return out,
+            Err(e) => panic!("unexpected receive error: {e}"),
+        }
+    }
+}
+
+fn batch(source: usize, seq: u64, window: u64, keys: Vec<u64>) -> SourceMessage {
+    SourceMessage::Batch(TupleBatch {
+        keys,
+        window,
+        source,
+        seq,
+        emitted_at: Instant::now(),
+    })
+}
+
+proptest! {
+    // 64 cases locally; ci.sh raises this via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases_env(64))]
+
+    #[test]
+    fn fifo_per_sender_survives_wraparound(
+        capacity in 1usize..5,
+        counts in proptest::collection::vec(1u64..120, 1..4),
+    ) {
+        // `counts.len()` sender threads, each a clone with a private lane,
+        // all funneling into one receiver through rings that wrap dozens
+        // of times (capacity < 5, up to 120 messages per lane).
+        let (mut txs, mut rxs) = Transport::<u64>::tuple_channels(&Spsc, 1, capacity);
+        let rx = rxs.remove(0);
+        let tx = txs.remove(0);
+        let producers: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(source, &n)| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for seq in 0..n {
+                        tx.send(batch(source, seq, 0, vec![seq])).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let received = drain_all(&rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        prop_assert_eq!(received.len() as u64, counts.iter().sum::<u64>());
+        // Per sender: the exact sequence, in order, payloads intact.
+        for (source, &n) in counts.iter().enumerate() {
+            let mut mine = Vec::new();
+            for message in received.iter().filter(|m| m.source_seq().0 == source) {
+                let SourceMessage::Batch(b) = message else {
+                    panic!("only batches were sent");
+                };
+                prop_assert_eq!(&b.keys, &vec![b.seq], "payload corrupted in transit");
+                mine.push(b.seq);
+            }
+            prop_assert_eq!(mine, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn capacity_one_ring_crosses_full_and_empty_every_message(
+        n in 1u64..200,
+    ) {
+        // With one slot the ring is full after every push and empty after
+        // every pop: 2n boundary crossings, zero slack to hide an
+        // off-by-one in the index arithmetic.
+        let (mut txs, mut rxs) = Transport::<u64>::tuple_channels(&Spsc, 1, 1);
+        let rx = rxs.remove(0);
+        let tx = txs.remove(0);
+        let producer = thread::spawn(move || {
+            for seq in 0..n {
+                tx.send(batch(0, seq, 0, vec![seq * 3])).unwrap();
+            }
+        });
+        let received = drain_all(&rx);
+        producer.join().unwrap();
+        let seqs: Vec<u64> = received.iter().map(|m| m.source_seq().1).collect();
+        prop_assert_eq!(seqs, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn punctuation_orders_against_batches_per_source(
+        capacity in 1usize..6,
+        windows in 1u64..6,
+        batches_per_window in proptest::collection::vec(0u64..5, 1..4),
+    ) {
+        // Each source emits `batches_per_window[source]` batches then a
+        // close, per window. The receiver must observe, per source, every
+        // window-w batch before close(w) and the closes in window order —
+        // exactly what the worker's finalization logic relies on.
+        let sources = batches_per_window.len();
+        let (mut txs, mut rxs) = Transport::<u64>::tuple_channels(&Spsc, 1, capacity);
+        let rx = rxs.remove(0);
+        let tx = txs.remove(0);
+        let producers: Vec<_> = batches_per_window
+            .iter()
+            .enumerate()
+            .map(|(source, &per_window)| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    let mut seq = 0u64;
+                    for window in 0..windows {
+                        for _ in 0..per_window {
+                            tx.send(batch(source, seq, window, vec![window])).unwrap();
+                            seq += 1;
+                        }
+                        tx.send(SourceMessage::CloseWindow { window, source, seq })
+                            .unwrap();
+                        seq += 1;
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let received = drain_all(&rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        for (source, &per_window) in batches_per_window.iter().enumerate().take(sources) {
+            let mut closed_below = 0u64; // windows 0..closed_below are closed
+            let mut batches_seen = 0u64;
+            for message in received.iter().filter(|m| m.source_seq().0 == source) {
+                match message {
+                    SourceMessage::Batch(b) => {
+                        prop_assert!(
+                            b.window >= closed_below,
+                            "source {} batch for window {} after its close",
+                            source,
+                            b.window
+                        );
+                        batches_seen += 1;
+                    }
+                    SourceMessage::CloseWindow { window, .. } => {
+                        prop_assert_eq!(*window, closed_below, "closes out of order");
+                        closed_below = window + 1;
+                    }
+                }
+            }
+            prop_assert_eq!(closed_below, windows);
+            prop_assert_eq!(batches_seen, per_window * windows);
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_round_trip_intact(
+        capacity in 1usize..6,
+        buffers in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..8),
+            0..12,
+        ),
+    ) {
+        let (mut txs, mut rxs) = Transport::<u64>::tuple_channels(&Spsc, 1, capacity);
+        let rx = rxs.remove(0);
+        let tx = txs.remove(0);
+        // One send claims the lane (and with it the recycling ring).
+        tx.send(batch(0, 0, 0, vec![7])).unwrap();
+        let mut out = Vec::new();
+        rx.recv_batch(&mut out).unwrap();
+        for keys in &buffers {
+            rx.recycle(keys.clone());
+        }
+        // The return ring holds `capacity` buffers; overflow is dropped,
+        // never blocked on. What does come back is FIFO and bit-intact.
+        let mut returned = Vec::new();
+        while let Some(keys) = tx.take_recycled() {
+            returned.push(keys);
+        }
+        prop_assert_eq!(returned.len(), buffers.len().min(capacity));
+        for (got, want) in returned.iter().zip(&buffers) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(tx.take_recycled().is_none(), "drained ring yields None");
+    }
+}

@@ -1,0 +1,50 @@
+//! Tail-latency regression test for trickle-rate arrivals.
+//!
+//! The per-batch latency stamp is taken when the *first* tuple is buffered,
+//! so before the burst-boundary flush landed, a partial batch at a low
+//! arrival rate sat through every inter-burst pause until it filled (or the
+//! window closed) — and every tuple in it inherited that full wait. With
+//! bursts of 16 tuples and a 10 ms pause against the default 256-tuple
+//! batch, p99 used to sit in the hundreds of milliseconds; flushing partial
+//! batches at each burst boundary keeps it near the actual queueing delay.
+//!
+//! The flush point is a deterministic position in the tuple sequence (not a
+//! wall-clock timer), so the run's routing, counts, and sequence numbers
+//! stay bit-identical to a steady run of the same spec — asserted here via
+//! the exact reference.
+
+use slb_core::{CountAggregate, PartitionerKind};
+use slb_engine::{exact_scenario_windowed_counts, ScenarioConfig};
+use slb_workloads::{Arrival, Scenario, ScenarioPhase};
+
+#[test]
+fn trickle_rate_p99_stays_near_queueing_delay() {
+    // 2 sources × 512 tuples in bursts of 16 with a 10 ms pause: a batch
+    // would need ~16 bursts (~160 ms of pauses) to fill without the flush.
+    let scenario = Scenario::single_phase(
+        "trickle",
+        2,
+        256,
+        41,
+        ScenarioPhase::new(2, 100, 0.0, 2).with_arrival(Arrival::Bursty {
+            burst_tuples: 16,
+            pause_us: 10_000,
+        }),
+    );
+    let run = ScenarioConfig::new(PartitionerKind::ShuffleGrouping, scenario.clone())
+        .run_windowed(CountAggregate);
+    assert_eq!(run.result.processed, 1024);
+    assert!(
+        run.result.latency.p99_us < 20_000,
+        "trickle-rate p99 blew past the queueing delay — partial batches \
+         are sitting through inter-burst pauses again (p99={}us, p50={}us)",
+        run.result.latency.p99_us,
+        run.result.latency.p50_us
+    );
+    // The flush must not change what is computed, only when it ships.
+    assert_eq!(
+        run.windows,
+        exact_scenario_windowed_counts(&scenario),
+        "burst-boundary flushing changed merged window contents"
+    );
+}

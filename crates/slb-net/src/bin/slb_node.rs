@@ -4,7 +4,7 @@
 //! ```text
 //! slb-node orchestrate --spec cluster.spec [--verify] [--fault-tolerant]
 //!                      [--respawn-budget N] [--ckpt-dir DIR]
-//!                      [--kill-worker W@MS]
+//!                      [--kill-worker W@MS] [--crash-worker W@N]
 //! slb-node source     --index N --control HOST:PORT [--fault-tolerant]
 //! slb-node worker     --index N --control HOST:PORT [--fault-tolerant]
 //!                      [--rejoin] [--ckpt-dir DIR]
@@ -24,7 +24,11 @@
 //! respawn budget runs out (see `docs/FAULTS.md`). `--kill-worker W@MS` is
 //! the built-in fault injector: it SIGKILLs worker `W` roughly `MS`
 //! milliseconds after `Start`, which is how the process-kill test suite
-//! exercises the whole recovery path end to end.
+//! exercises the whole recovery path end to end. `--crash-worker W@N` is its
+//! deterministic sibling: worker `W` aborts itself at its `N`-th window
+//! finalization, after shipping that window's partials but before the
+//! durable save — the exact interleaving of the tail-window re-ship race,
+//! so the recovery counters have a single predictable value.
 //!
 //! The role modes are not meant to be typed by hand — the orchestrator
 //! spawns them — but nothing stops a future launcher (or a human with three
@@ -40,8 +44,10 @@ use slb_net::node::{
 
 const USAGE: &str = "usage: slb-node orchestrate --spec FILE [--verify] [--fault-tolerant]
                 [--respawn-budget N] [--ckpt-dir DIR] [--kill-worker W@MS]
+                [--crash-worker W@N]
        slb-node (source|worker|aggregator) --index N --control HOST:PORT
-                [--fault-tolerant] [--rejoin] [--ckpt-dir DIR]";
+                [--fault-tolerant] [--rejoin] [--ckpt-dir DIR]
+                [--crash-after-closes N]";
 
 fn fail(message: &str) -> ! {
     eprintln!("slb-node: {message}");
@@ -82,6 +88,10 @@ fn run_role(role: NodeRole, args: &[String]) {
         fault_tolerant: args.iter().any(|a| a == "--fault-tolerant"),
         rejoin: args.iter().any(|a| a == "--rejoin"),
         ckpt_dir: flag_value(args, "--ckpt-dir").map(PathBuf::from),
+        crash_after_closes: flag_value(args, "--crash-after-closes").map(|v| {
+            v.parse::<u64>()
+                .unwrap_or_else(|_| fail("--crash-after-closes needs a positive integer"))
+        }),
     };
     if let Err(message) = run_node_with(role, index, control, &options) {
         eprintln!("slb-node {} {index}: {message}", role.name());
@@ -89,8 +99,8 @@ fn run_role(role: NodeRole, args: &[String]) {
     }
 }
 
-/// Parses `--kill-worker W@MS` into `(worker, delay_ms)`.
-fn parse_kill_worker(value: &str) -> Option<(usize, u64)> {
+/// Parses `--kill-worker W@MS` / `--crash-worker W@N` into `(worker, u64)`.
+fn parse_worker_at(value: &str) -> Option<(usize, u64)> {
     let (worker, delay) = value.split_once('@')?;
     Some((worker.parse().ok()?, delay.parse().ok()?))
 }
@@ -112,13 +122,25 @@ fn run_orchestrate(args: &[String]) {
         }
     }
     if let Some(kill) = flag_value(args, "--kill-worker") {
-        match parse_kill_worker(kill) {
+        match parse_worker_at(kill) {
             Some(plan) => options.kill_worker = Some(plan),
             None => fail("--kill-worker needs W@MS (worker index @ delay in ms)"),
         }
     }
-    if (options.kill_worker.is_some() || options.ckpt_dir.is_some()) && !options.fault_tolerant {
-        fail("--kill-worker and --ckpt-dir require --fault-tolerant");
+    if let Some(crash) = flag_value(args, "--crash-worker") {
+        match parse_worker_at(crash) {
+            Some((_, 0)) | None => {
+                fail("--crash-worker needs W@N (worker index @ 1-based window close count)")
+            }
+            Some(plan) => options.crash_worker = Some(plan),
+        }
+    }
+    if (options.kill_worker.is_some()
+        || options.crash_worker.is_some()
+        || options.ckpt_dir.is_some())
+        && !options.fault_tolerant
+    {
+        fail("--kill-worker, --crash-worker, and --ckpt-dir require --fault-tolerant");
     }
     let text = match std::fs::read_to_string(spec_path) {
         Ok(text) => text,

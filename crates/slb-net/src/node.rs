@@ -207,6 +207,11 @@ pub struct NodeOptions {
     /// Directory for durable checkpoint files. Required when
     /// `fault_tolerant` is set on a worker.
     pub ckpt_dir: Option<PathBuf>,
+    /// Deterministic fault injection (workers only): abort the process at
+    /// the N-th window finalization, after shipping the window's partials
+    /// but before the durable save — the exact interleaving of the
+    /// tail-window re-ship race. Never passed to respawned incarnations.
+    pub crash_after_closes: Option<u64>,
 }
 
 /// Runs one node process: handshake, data-plane wiring, the stage itself,
@@ -371,6 +376,8 @@ pub fn run_node_with(
                         }
                     })
                 };
+                let mut closes_persisted = 0u64;
+                let crash_after_closes = options.crash_after_closes;
                 let report = run_worker_stage_durable(
                     &plan,
                     index,
@@ -380,6 +387,15 @@ pub fn run_node_with(
                     &partial_senders,
                     initial.as_ref(),
                     &mut |bytes| {
+                        // Deterministic crash injection: the hook runs after
+                        // the window's partials shipped but before the save
+                        // below makes the close durable — aborting here is
+                        // exactly the tail-window re-ship race, pinned to a
+                        // fixed window instead of a wall-clock kill.
+                        closes_persisted += 1;
+                        if crash_after_closes == Some(closes_persisted) {
+                            std::process::abort();
+                        }
                         // A failed save degrades durability (a later crash
                         // replays more), never correctness — keep running.
                         if let Err(e) = store.save(bytes) {
@@ -718,23 +734,50 @@ pub struct OrchestrateOptions {
     /// Fault injection: SIGKILL worker `.0` roughly `.1` milliseconds after
     /// `Start` — the process-level analogue of the engine's fault plans.
     pub kill_worker: Option<(usize, u64)>,
+    /// Deterministic fault injection: worker `.0` aborts itself at its
+    /// `.1`-th window finalization, *after* shipping the window's partials
+    /// but *before* the durable checkpoint save. This pins the tail-window
+    /// re-ship race at a fixed logical point: the respawned worker restores
+    /// the previous checkpoint, re-finalizes exactly that one window, and
+    /// every aggregator drops exactly one duplicate — so the expected
+    /// `duplicates_dropped` is exactly the aggregator count, not a bound.
+    pub crash_worker: Option<(usize, u64)>,
     /// Heartbeat silence after which a worker is declared dead.
     pub heartbeat_timeout: Duration,
 }
 
 impl Default for OrchestrateOptions {
     fn default() -> Self {
-        let heartbeat_timeout = std::env::var("SLB_HEARTBEAT_TIMEOUT_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .map(Duration::from_millis)
-            .unwrap_or(DEFAULT_HEARTBEAT_TIMEOUT);
         Self {
             fault_tolerant: false,
             respawn_budget: 1,
             ckpt_dir: None,
             kill_worker: None,
-            heartbeat_timeout,
+            crash_worker: None,
+            heartbeat_timeout: heartbeat_timeout_from_env(),
+        }
+    }
+}
+
+/// Reads the `SLB_HEARTBEAT_TIMEOUT_MS` override, failing fast on a
+/// malformed value: a typo like `5s` must abort with a clear message, not
+/// silently run with the default and mask the operator's intent.
+///
+/// # Panics
+/// Panics if the variable is set but is not an unsigned integer number of
+/// milliseconds.
+fn heartbeat_timeout_from_env() -> Duration {
+    match std::env::var("SLB_HEARTBEAT_TIMEOUT_MS") {
+        Ok(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms),
+            Err(_) => panic!(
+                "SLB_HEARTBEAT_TIMEOUT_MS must be an integer number of \
+                 milliseconds, got {raw:?} (e.g. SLB_HEARTBEAT_TIMEOUT_MS=5000)"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => DEFAULT_HEARTBEAT_TIMEOUT,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("SLB_HEARTBEAT_TIMEOUT_MS must be valid UTF-8, got {raw:?}")
         }
     }
 }
@@ -963,6 +1006,14 @@ fn orchestrate_inner(
                 cmd.arg("--fault-tolerant");
                 if role == NodeRole::Worker {
                     cmd.arg("--ckpt-dir").arg(&ckpt_dir);
+                    // Only the initial incarnation carries the crash plan:
+                    // respawn commands (handle_worker_death) never add it,
+                    // so the injected abort fires exactly once.
+                    if let Some((victim, closes)) = options.crash_worker {
+                        if victim == index {
+                            cmd.arg("--crash-after-closes").arg(closes.to_string());
+                        }
+                    }
                 }
             }
             let child = cmd
@@ -1503,6 +1554,34 @@ mod tests {
         let runs = rle_encode(tracker.samples());
         assert_eq!(runs, vec![(7, 300), (12, 1), (7, 2)]);
         assert_eq!(tracker_from_rle(&runs).samples(), tracker.samples());
+    }
+
+    /// One serial test for the env knob (parallel tests racing on
+    /// `set_var` would be flaky): unset → default, well-formed → parsed,
+    /// malformed → panic naming the variable and the bad value.
+    #[test]
+    fn heartbeat_timeout_env_parses_or_fails_fast() {
+        let var = "SLB_HEARTBEAT_TIMEOUT_MS";
+        let saved = std::env::var_os(var);
+        std::env::remove_var(var);
+        assert_eq!(heartbeat_timeout_from_env(), DEFAULT_HEARTBEAT_TIMEOUT);
+        std::env::set_var(var, "750");
+        assert_eq!(heartbeat_timeout_from_env(), Duration::from_millis(750));
+        std::env::set_var(var, "5s");
+        let panic = std::panic::catch_unwind(heartbeat_timeout_from_env)
+            .expect_err("a malformed timeout must fail fast, not fall back to the default");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(
+            message.contains("SLB_HEARTBEAT_TIMEOUT_MS") && message.contains("5s"),
+            "panic must name the variable and the bad value, got: {message}"
+        );
+        match saved {
+            Some(value) => std::env::set_var(var, value),
+            None => std::env::remove_var(var),
+        }
     }
 
     #[test]

@@ -1,14 +1,16 @@
-//! Cross-backend differential suite: `Tcp` ≡ `InProc` ≡ exact reference.
+//! Cross-backend differential suite: `Spsc` ≡ `Tcp` ≡ `InProc` ≡ exact
+//! reference.
 //!
 //! The transport abstraction's contract is that routing, windowing, and
 //! aggregation are transport-blind. This suite turns that into an equality
 //! check: for every grouping scheme and seed, the same
 //! `EngineConfig`/`ScenarioConfig` runs once over the in-process crossbeam
-//! backend and once over TCP loopback sockets, and the merged per-window
-//! per-key counts must be **bit-identical** — to each other and to the
-//! single-threaded exact reference. Any framing bug, lost frame, reordered
-//! punctuation, or mis-decoded partial fails an exact equality, not a
-//! statistical bound.
+//! backend, once over the thread-per-core SPSC ring backend, and once over
+//! TCP loopback sockets, and the merged per-window per-key counts must be
+//! **bit-identical** — to each other and to the single-threaded exact
+//! reference. Any framing bug, lost frame, reordered punctuation,
+//! mis-recycled batch buffer, or mis-decoded partial fails an exact
+//! equality, not a statistical bound.
 //!
 //! Seeds: the suite runs a built-in seed pair by default; setting
 //! `SLB_TEST_SEED` (a single u64) replaces the pair with that seed, which is
@@ -19,7 +21,7 @@ use std::collections::{BTreeMap, HashMap};
 use slb_core::{CountAggregate, PartitionerKind};
 use slb_engine::{
     diff_windows, exact_scenario_windowed_counts, exact_windowed_counts, EngineConfig, InProc,
-    ScenarioConfig, Topology, WindowId,
+    ScenarioConfig, Spsc, Topology, WindowId,
 };
 use slb_net::tcp::TcpTransport;
 use slb_workloads::{Arrival, KeyId, Scenario, ScenarioPhase};
@@ -66,30 +68,35 @@ fn differential_config(kind: PartitionerKind, skew: f64, seed: u64) -> EngineCon
 fn assert_backends_agree(cfg: &EngineConfig) {
     let reference = exact_windowed_counts(cfg);
     let inproc = Topology::new(cfg.clone()).run_windowed_on(CountAggregate, &InProc);
+    let spsc = Topology::new(cfg.clone()).run_windowed_on(CountAggregate, &Spsc);
     let tcp = Topology::new(cfg.clone()).run_windowed_on(CountAggregate, &TcpTransport::loopback());
     let label = format!("{} z={} seed={}", cfg.kind.symbol(), cfg.skew, cfg.seed);
-    assert_windows_match(
-        &tcp.windows,
-        &inproc.windows,
-        &format!("{label}: TCP merged windows diverged from InProc"),
-    );
-    assert_windows_match(
-        &tcp.windows,
-        &reference,
-        &format!("{label}: TCP merged windows diverged from the exact reference"),
-    );
+    for (windows, backend) in [(&spsc.windows, "SPSC"), (&tcp.windows, "TCP")] {
+        assert_windows_match(
+            windows,
+            &inproc.windows,
+            &format!("{label}: {backend} merged windows diverged from InProc"),
+        );
+        assert_windows_match(
+            windows,
+            &reference,
+            &format!("{label}: {backend} merged windows diverged from the exact reference"),
+        );
+    }
     // The transport also must not change *routing*: per-worker counts and
     // state footprints are decided at the sources, before any transport.
-    assert_eq!(
-        tcp.result.worker_counts, inproc.result.worker_counts,
-        "{label}: per-worker counts diverged across backends"
-    );
-    assert_eq!(
-        tcp.result.worker_state_keys, inproc.result.worker_state_keys,
-        "{label}: per-worker state diverged across backends"
-    );
-    assert_eq!(tcp.result.processed, inproc.result.processed);
-    assert_eq!(tcp.result.latency.samples, tcp.result.processed);
+    for (result, backend) in [(&spsc.result, "SPSC"), (&tcp.result, "TCP")] {
+        assert_eq!(
+            result.worker_counts, inproc.result.worker_counts,
+            "{label}: {backend} per-worker counts diverged across backends"
+        );
+        assert_eq!(
+            result.worker_state_keys, inproc.result.worker_state_keys,
+            "{label}: {backend} per-worker state diverged across backends"
+        );
+        assert_eq!(result.processed, inproc.result.processed);
+        assert_eq!(result.latency.samples, result.processed);
+    }
 }
 
 /// One test per scheme so failures name the scheme and the matrix runs in
@@ -140,33 +147,41 @@ fn tcp_matches_inproc_and_reference_on_scenarios() {
         for kind in PartitionerKind::ALL {
             let cfg = ScenarioConfig::new(kind, scenario.clone()).with_batch_size(64);
             let inproc = cfg.run_windowed_on(CountAggregate, &InProc);
+            let spsc = cfg.run_windowed_on(CountAggregate, &Spsc);
             let tcp = cfg.run_windowed_on(CountAggregate, &TcpTransport::loopback());
             let label = format!("{} seed={seed}", kind.symbol());
-            assert_windows_match(
-                &tcp.windows,
-                &inproc.windows,
-                &format!("{label}: scenario windows diverged across backends"),
-            );
-            assert_windows_match(
-                &tcp.windows,
-                &reference,
-                &format!("{label}: scenario windows diverged from the exact reference"),
-            );
-            assert_eq!(
-                tcp.result.worker_counts, inproc.result.worker_counts,
-                "{label}: scenario per-worker counts diverged"
-            );
-            for (a, b) in tcp.result.phases.iter().zip(&inproc.result.phases) {
-                assert_eq!(a.worker_counts, b.worker_counts, "{label}: phase counts");
+            for (run, backend) in [(&spsc, "SPSC"), (&tcp, "TCP")] {
+                assert_windows_match(
+                    &run.windows,
+                    &inproc.windows,
+                    &format!("{label}: {backend} scenario windows diverged across backends"),
+                );
+                assert_windows_match(
+                    &run.windows,
+                    &reference,
+                    &format!(
+                        "{label}: {backend} scenario windows diverged from the exact reference"
+                    ),
+                );
+                assert_eq!(
+                    run.result.worker_counts, inproc.result.worker_counts,
+                    "{label}: {backend} scenario per-worker counts diverged"
+                );
+                for (a, b) in run.result.phases.iter().zip(&inproc.result.phases) {
+                    assert_eq!(
+                        a.worker_counts, b.worker_counts,
+                        "{label}: {backend} phase counts"
+                    );
+                }
             }
         }
     }
 }
 
 #[test]
-fn tcp_is_knob_insensitive_like_inproc() {
-    // Queue capacity and batch size shape timing, never counts — on TCP
-    // exactly as in process.
+fn tcp_and_spsc_are_knob_insensitive_like_inproc() {
+    // Queue capacity and batch size shape timing (and, on SPSC, ring
+    // sizing), never counts — on every backend exactly as in process.
     let seed = seeds()[0];
     let base = differential_config(PartitionerKind::Pkg, 1.6, seed);
     let reference = exact_windowed_counts(&base);
@@ -175,29 +190,36 @@ fn tcp_is_knob_insensitive_like_inproc() {
             .clone()
             .with_queue_capacity(queue_capacity)
             .with_batch_size(batch_size);
-        let run = Topology::new(cfg).run_windowed_on(CountAggregate, &TcpTransport::loopback());
-        assert_windows_match(
-            &run.windows,
-            &reference,
-            &format!(
-                "queue={queue_capacity} batch={batch_size}: counts moved with transport knobs"
-            ),
-        );
+        let spsc = Topology::new(cfg.clone()).run_windowed_on(CountAggregate, &Spsc);
+        let tcp = Topology::new(cfg).run_windowed_on(CountAggregate, &TcpTransport::loopback());
+        for (run, backend) in [(&spsc, "SPSC"), (&tcp, "TCP")] {
+            assert_windows_match(
+                &run.windows,
+                &reference,
+                &format!(
+                    "{backend} queue={queue_capacity} batch={batch_size}: \
+                     counts moved with transport knobs"
+                ),
+            );
+        }
     }
 }
 
 #[test]
-fn tcp_supports_multiple_aggregator_shards() {
+fn tcp_and_spsc_support_multiple_aggregator_shards() {
     let seed = seeds()[0];
     let base = differential_config(PartitionerKind::DChoices, 2.0, seed);
     let reference = exact_windowed_counts(&base);
     for aggregators in [1usize, 3] {
         let cfg = base.clone().with_aggregators(aggregators);
-        let run = Topology::new(cfg).run_windowed_on(CountAggregate, &TcpTransport::loopback());
-        assert_windows_match(
-            &run.windows,
-            &reference,
-            &format!("aggregators={aggregators}"),
-        );
+        let spsc = Topology::new(cfg.clone()).run_windowed_on(CountAggregate, &Spsc);
+        let tcp = Topology::new(cfg).run_windowed_on(CountAggregate, &TcpTransport::loopback());
+        for (run, backend) in [(&spsc, "SPSC"), (&tcp, "TCP")] {
+            assert_windows_match(
+                &run.windows,
+                &reference,
+                &format!("{backend} aggregators={aggregators}"),
+            );
+        }
     }
 }

@@ -1,12 +1,13 @@
 //! Fault-injection differential suite: exactly-once under kills and losses,
-//! on both backends.
+//! on every backend.
 //!
 //! The recovery machinery's contract is stronger than "no data loss": after
 //! any scheduled worker kill or connection drop, the merged per-window
 //! per-key counts must be **bit-identical** to the single-threaded exact
 //! reference — exactly-once, not at-least-once. This suite executes the
-//! same deterministic `FaultPlan`s over the in-process backend and over TCP
-//! loopback sockets and asserts:
+//! same deterministic `FaultPlan`s over the in-process backend, the
+//! thread-per-core SPSC ring backend, and TCP loopback sockets, and
+//! asserts:
 //!
 //! * merged windows equal the exact reference (and each other) after every
 //!   fault, for every grouping scheme, skew, and seed;
@@ -32,7 +33,7 @@ use std::collections::{BTreeMap, HashMap};
 use slb_core::{CountAggregate, PartitionerKind};
 use slb_engine::{
     diff_windows, exact_scenario_windowed_counts, exact_windowed_counts, EngineConfig, FaultEvent,
-    FaultPlan, InProc, ScenarioConfig, Topology, WindowId,
+    FaultPlan, InProc, ScenarioConfig, Spsc, Topology, WindowId,
 };
 use slb_net::tcp::TcpTransport;
 use slb_workloads::{Arrival, KeyId, Scenario, ScenarioPhase};
@@ -115,13 +116,14 @@ fn assert_faulted_run_is_exact(cfg: &EngineConfig, faults: &FaultPlan) {
     let reference = exact_windowed_counts(cfg);
     let inproc =
         Topology::new(cfg.clone()).run_windowed_faulted_on(CountAggregate, &InProc, faults);
+    let spsc = Topology::new(cfg.clone()).run_windowed_faulted_on(CountAggregate, &Spsc, faults);
     let tcp = Topology::new(cfg.clone()).run_windowed_faulted_on(
         CountAggregate,
         &TcpTransport::loopback(),
         faults,
     );
     let label = format!("{} z={} seed={}", cfg.kind.symbol(), cfg.skew, cfg.seed);
-    for (name, run) in [("InProc", &inproc), ("TCP", &tcp)] {
+    for (name, run) in [("InProc", &inproc), ("SPSC", &spsc), ("TCP", &tcp)] {
         assert_windows_match(
             &run.windows,
             &reference,
@@ -145,13 +147,15 @@ fn assert_faulted_run_is_exact(cfg: &EngineConfig, faults: &FaultPlan) {
         );
     }
     // Routing is decided at the sources and replay re-runs the identical
-    // routing, so faults must not move per-worker counts — on either
-    // backend, relative to each other.
-    assert_eq!(
-        tcp.result.worker_counts, inproc.result.worker_counts,
-        "{label}: per-worker counts diverged across backends under faults"
-    );
-    assert_eq!(tcp.result.processed, inproc.result.processed);
+    // routing, so faults must not move per-worker counts — on any backend,
+    // relative to the others.
+    for run in [&spsc, &tcp] {
+        assert_eq!(
+            run.result.worker_counts, inproc.result.worker_counts,
+            "{label}: per-worker counts diverged across backends under faults"
+        );
+        assert_eq!(run.result.processed, inproc.result.processed);
+    }
 }
 
 /// One test per scheme so failures name the scheme and the matrix runs in
@@ -197,6 +201,10 @@ fn worker_killed_mid_window_recovers_on_both_backends() {
                     &InProc,
                     &faults,
                 ),
+            ),
+            (
+                "SPSC",
+                Topology::new(cfg.clone()).run_windowed_faulted_on(CountAggregate, &Spsc, &faults),
             ),
             (
                 "TCP",
@@ -247,6 +255,10 @@ fn connection_drops_recover_on_both_backends() {
                     &InProc,
                     &faults,
                 ),
+            ),
+            (
+                "SPSC",
+                Topology::new(cfg.clone()).run_windowed_faulted_on(CountAggregate, &Spsc, &faults),
             ),
             (
                 "TCP",
@@ -355,10 +367,11 @@ fn scenario_faults_are_exactly_once_on_both_backends() {
         for kind in [PartitionerKind::Pkg, PartitionerKind::WChoices] {
             let cfg = ScenarioConfig::new(kind, scenario.clone()).with_batch_size(64);
             let inproc = cfg.run_windowed_faulted_on(CountAggregate, &InProc, &faults);
+            let spsc = cfg.run_windowed_faulted_on(CountAggregate, &Spsc, &faults);
             let tcp =
                 cfg.run_windowed_faulted_on(CountAggregate, &TcpTransport::loopback(), &faults);
             let label = format!("{} seed={seed}", kind.symbol());
-            for (name, run) in [("InProc", &inproc), ("TCP", &tcp)] {
+            for (name, run) in [("InProc", &inproc), ("SPSC", &spsc), ("TCP", &tcp)] {
                 assert_windows_match(
                     &run.windows,
                     &reference,
@@ -367,10 +380,12 @@ fn scenario_faults_are_exactly_once_on_both_backends() {
                 assert_eq!(run.result.worker_stage.recovery.restores, 1, "[{name}]");
                 assert_eq!(run.result.aggregator_stage.recovery.duplicates_dropped, 0);
             }
-            assert_eq!(
-                tcp.result.worker_counts, inproc.result.worker_counts,
-                "{label}: scenario per-worker counts diverged under faults"
-            );
+            for run in [&spsc, &tcp] {
+                assert_eq!(
+                    run.result.worker_counts, inproc.result.worker_counts,
+                    "{label}: scenario per-worker counts diverged under faults"
+                );
+            }
         }
     }
 }

@@ -10,6 +10,10 @@
 //!   from its cursors, and the merged windowed counts are *bit-identical*
 //!   to the single-threaded exact reference (`exact-reference=MATCH`) with
 //!   zero duplicate partials reaching the aggregators.
+//! * **Exact duplicate accounting** — the deterministic `--crash-worker W@N`
+//!   injector aborts between shipping a window and saving its checkpoint,
+//!   so the re-shipped tail window is guaranteed: `duplicates_dropped` must
+//!   equal `aggregators` exactly, with exactly one restore.
 //! * **Degrade path** — with a zero respawn budget the worker is excluded,
 //!   the survivors rescale it out at a window boundary, and the run
 //!   terminates with a degraded report instead of hanging.
@@ -23,6 +27,16 @@ use std::process::Command;
 
 fn node_exe() -> &'static str {
     env!("CARGO_BIN_EXE_slb-node")
+}
+
+/// Pulls the integer that follows `prefix` out of a report line.
+fn parse_counter(stdout: &str, prefix: &str) -> u64 {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix(prefix))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("missing `{prefix}` report line in:\n{stdout}"))
 }
 
 fn seed() -> String {
@@ -97,24 +111,92 @@ fn killed_worker_respawns_from_checkpoint_and_counts_match_exactly() {
     // Exactly-once across the process boundary: replayed tuples are
     // deduplicated at the worker, so at most the *tail* window — shipped
     // but not yet checkpointed when the SIGKILL landed — may reach the
-    // aggregators twice, and their (worker, window) dedup drops it. With
-    // the store's two on-disk generations that bounds the duplicates at
-    // 2 windows × `aggregators` partials; anything above means worker-side
-    // dedup failed and tuples were re-counted.
-    let dropped = stdout
-        .lines()
-        .find_map(|l| l.strip_prefix("aggregator_recovery duplicates_dropped="))
-        .and_then(|rest| rest.split_whitespace().next())
-        .and_then(|n| n.parse::<u64>().ok())
-        .expect("missing aggregator recovery report");
+    // aggregators twice, and their (worker, window) dedup drops it. The
+    // store saves window W's checkpoint before window W+1 ships, so each
+    // restore re-ships at most that one tail window: `aggregators`
+    // partials per restore. Anything above means worker-side dedup failed
+    // and tuples were re-counted.
+    let dropped = parse_counter(&stdout, "aggregator_recovery duplicates_dropped=");
+    let restores = parse_counter(&stdout, "worker_recovery restores=");
     assert!(
-        dropped <= 4,
-        "more than the tail windows reached the aggregators twice \
-         (duplicates_dropped={dropped})\n{stdout}"
+        dropped <= restores * 2,
+        "more than one tail window per restore reached the aggregators twice \
+         (duplicates_dropped={dropped}, restores={restores}, aggregators=2)\n{stdout}"
     );
     assert!(
-        stdout.contains("worker_recovery restores="),
-        "missing worker recovery report\n{stdout}"
+        restores >= 1,
+        "the kill landed but no restore was reported\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("degraded workers="),
+        "a budgeted respawn must not degrade the run\n{stdout}"
+    );
+}
+
+#[test]
+fn deterministic_crash_after_ship_yields_exactly_one_reshipped_tail_window() {
+    // `--crash-worker 1@10` makes worker 1 abort at its 10th window
+    // finalization, after shipping that window's partials but *before* the
+    // durable save — the worst interleaving of the tail-window re-ship
+    // race, pinned to a fixed point instead of a wall-clock kill. The
+    // restored worker replays exactly that window and re-ships it, so the
+    // aggregators must drop exactly `aggregators` duplicate partials — no
+    // more (dedup works), no fewer (the race really happened).
+    let spec = format!(
+        "# fault golden: deterministic abort between ship and save\n\
+         mode engine\n\
+         scheme PKG\n\
+         sources 2\n\
+         workers 3\n\
+         keys 500\n\
+         skew 1.6\n\
+         messages 24576\n\
+         service_time_us 50\n\
+         queue_capacity 256\n\
+         seed {}\n\
+         batch_size 64\n\
+         window_size 256\n\
+         aggregators 2\n",
+        seed()
+    );
+    let path = write_spec("fault-crash-exact", &spec);
+    let dir = ckpt_dir("crash-exact");
+    let output = Command::new(node_exe())
+        .arg("orchestrate")
+        .arg("--spec")
+        .arg(&path)
+        .arg("--verify")
+        .arg("--fault-tolerant")
+        .arg("--respawn-budget")
+        .arg("1")
+        .arg("--ckpt-dir")
+        .arg(&dir)
+        .arg("--crash-worker")
+        .arg("1@10")
+        .output()
+        .expect("spawn slb-node orchestrate");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "supervised orchestrate failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("exact-reference=MATCH"),
+        "counts diverged from the reference after the injected crash\n{stdout}\n{stderr}"
+    );
+    let restores = parse_counter(&stdout, "worker_recovery restores=");
+    assert_eq!(
+        restores, 1,
+        "the injected crash must cause exactly one restore\n{stdout}"
+    );
+    let dropped = parse_counter(&stdout, "aggregator_recovery duplicates_dropped=");
+    assert_eq!(
+        dropped, 2,
+        "crash-after-ship-before-save must re-ship exactly the tail window \
+         (one duplicate partial per aggregator)\n{stdout}"
     );
     assert!(
         !stdout.contains("degraded workers="),
