@@ -32,6 +32,11 @@ for seed in 1 42 1337; do
     # slb-node golden run re-verifies against the exact reference at this
     # seed).
     SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test backend_differential --test node_golden
+    # Closed-loop elasticity: controlled runs must stay bit-identical to the
+    # exact reference on every backend, beat the static-d baselines on
+    # drift, and produce one decision log everywhere (engine == simulator,
+    # InProc == SPSC == TCP, any batch size, with or without faults).
+    SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test controller_differential
 done
 
 echo "==> fault-injection seed matrix (exactly-once under kills and losses, every backend)"
@@ -46,7 +51,7 @@ for seed in 1 42 1337; do
 done
 
 echo "==> property suites at CI case counts"
-PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props --test rescale_props --test durable_props
+PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test aggregate_props --test rescale_props --test durable_props --test controller_props
 PROPTEST_CASES=256 cargo test -q -p slb-sketch --test proptests
 PROPTEST_CASES=256 cargo test -q -p slb-workloads --test scenario_props
 PROPTEST_CASES=256 cargo test -q -p slb-engine --test scenario_props --test ring_props
@@ -59,7 +64,7 @@ echo "==> examples (quickstart and imbalance_study already ran via tests/example
 cargo run --quiet --release --example trending_topics > /dev/null
 cargo run --quiet --release --example storm_like_topology > /dev/null
 
-echo "==> perf smoke (batched engine + phased scenario loop + TCP and SPSC backends at zero service time must clear their floors; SPSC must not lose to InProc)"
+echo "==> perf smoke (batched engine + phased scenario loop + TCP and SPSC backends at zero service time must clear their floors; SPSC must not lose to InProc; idle controller within 5%)"
 cargo run --quiet --release -p slb-bench --bin perf_smoke
 
 echo "==> criterion benches (quick mode, compile + run)"

@@ -1,0 +1,120 @@
+//! Closed-loop elasticity study: the online controller versus static `d`.
+//!
+//! The paper chooses the number of choices `d` offline from the analytical
+//! bound and never revisits it; ROADMAP item 3 closes the loop at runtime.
+//! This experiment replays the drift-heavy scenario preset through the
+//! analytic simulator twice per scheme — once with the elasticity
+//! controller (online `d` re-solving plus worker activation inside
+//! `[min, max]` bounds) and once without — and reports what the controller
+//! did and what it bought.
+//!
+//! Expected shape: for D-Choices the controller both retunes (as each
+//! drift epoch churns the head) and activates workers while windows run
+//! hot; the head-blind schemes can only scale workers (no head snapshot to
+//! re-solve). The two imbalance columns are over different worker
+//! universes — the static run's constant count versus the controller's
+//! spawned universe, where partially-used activated slots raise the
+//! statistic — so compare *within* a column across schemes, not across the
+//! columns. The apples-to-apples beat-static claim is asserted by the
+//! `controller_differential` suite, which pins the worker count and lets
+//! only the `d` lever move.
+
+use slb_bench::json::Table;
+use slb_bench::{options_from_env, print_header, sci};
+use slb_core::{ControllerAction, ControllerConfig, PartitionerKind};
+use slb_simulator::experiments::ExperimentScale;
+use slb_simulator::{simulate_scenario, simulate_scenario_controlled};
+use slb_workloads::Scenario;
+
+fn main() {
+    let options = options_from_env();
+    print_header(
+        "Elasticity: closed-loop controller",
+        "Controller (online d re-solve + scale-out) vs static runs on the drift preset",
+        &options,
+    );
+
+    let (window_size, workers) = match options.scale {
+        ExperimentScale::Smoke => (512, 4),
+        ExperimentScale::Laptop => (4_096, 8),
+        ExperimentScale::Paper => (16_384, 16),
+    };
+    let sources = 2;
+    let scenario = Scenario::drift(sources, window_size, workers, options.seed);
+    // Capacity below the balanced per-worker share of one window keeps
+    // scale-out pressure on until the active set widens; the bounds leave
+    // room to halve or double the scenario's constant worker count.
+    let controller = ControllerConfig::new(
+        (workers / 2).max(2),
+        workers * 2,
+        (window_size / workers as u64).max(1),
+    );
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>6} {:>5} {:>7} {:>9}",
+        "scheme", "static_imb", "online_imb", "out", "in", "retune", "workers"
+    );
+    let mut table = Table::new(
+        "elasticity",
+        &[
+            "scheme",
+            "static_imbalance",
+            "controlled_imbalance",
+            "scale_outs",
+            "scale_ins",
+            "retunes",
+            "final_workers",
+        ],
+    );
+    for kind in PartitionerKind::ALL {
+        let fixed = simulate_scenario(kind, &scenario);
+        let controlled = simulate_scenario_controlled(kind, &scenario, &controller);
+        let count = |action: ControllerAction| {
+            controlled
+                .controller
+                .events
+                .iter()
+                .filter(|e| e.action == action)
+                .count()
+        };
+        let (outs, ins, retunes) = (
+            count(ControllerAction::ScaleOut),
+            count(ControllerAction::ScaleIn),
+            count(ControllerAction::Retune),
+        );
+        // Workers that actually absorbed load under control — the spawned
+        // universe minus the slots the controller never activated.
+        let used = controlled.worker_counts.iter().filter(|&&c| c > 0).count();
+        let static_final = fixed.phases.last().expect("scenario has phases").imbalance;
+        println!(
+            "{:<8} {:>12} {:>12} {:>6} {:>5} {:>7} {:>9}",
+            controlled.scheme,
+            sci(static_final),
+            sci(controlled.imbalance),
+            outs,
+            ins,
+            retunes,
+            used
+        );
+        table.row([
+            controlled.scheme.as_str().into(),
+            static_final.into(),
+            controlled.imbalance.into(),
+            outs.into(),
+            ins.into(),
+            retunes.into(),
+            used.into(),
+        ]);
+    }
+    table.emit();
+    println!(
+        "# drift preset: {} sources, {}-tuple windows, {} workers (controller bounds \
+         [{}, {}], capacity {}); online_imb is over the controller's spawned universe",
+        sources,
+        window_size,
+        workers,
+        controller.min_workers,
+        controller.max_workers,
+        controller.worker_capacity
+    );
+}

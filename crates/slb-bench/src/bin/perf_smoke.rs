@@ -36,13 +36,22 @@
 //!    the best pair; a regression that makes checkpointing per-tuple (or
 //!    starts cloning worker state wholesale) lands far outside the budget
 //!    in every pair.
+//! 6. **Controller overhead** — a static single-phase scenario with the
+//!    elasticity controller enabled (worker count pinned, capacity
+//!    effectively infinite: the controller observes every window, snapshots
+//!    the head, re-solves `d`, and decides to do nothing) against the same
+//!    scenario with the controller off, as five interleaved A/B pairs.
+//!    The always-on cost — one `PerWindowLoads::record` per tuple plus the
+//!    per-window observe/snapshot/solve step — must stay within 5% in the
+//!    best pair; an accidental per-tuple snapshot or solver call is a
+//!    multiple, not a percentage.
 //!
 //! The best of three runs (for the floors) and the best of five A/B pairs
 //! (for the overhead ratio) are compared against the limits to damp
 //! scheduler noise on loaded CI machines. See `docs/PERF.md` for the
 //! measurement history.
 
-use slb_core::{CountAggregate, PartitionerKind};
+use slb_core::{ControllerConfig, CountAggregate, PartitionerKind};
 use slb_engine::{EngineConfig, InProc, ScenarioConfig, Spsc, Topology};
 use slb_net::tcp::TcpTransport;
 use slb_workloads::{Scenario, ScenarioPhase};
@@ -63,6 +72,11 @@ const TCP_FLOOR_EPS: f64 = 1.0e6;
 /// Maximum fraction of fault-free throughput the checkpoint path may cost:
 /// the best checkpointed-vs-baseline pair must clear a 0.90 ratio.
 const CHECKPOINT_MAX_OVERHEAD: f64 = 0.10;
+
+/// Maximum fraction of throughput the enabled-but-idle elasticity
+/// controller may cost on a static scenario: the best controlled-vs-off
+/// pair must clear a 0.95 ratio.
+const CONTROLLER_MAX_OVERHEAD: f64 = 0.05;
 
 /// Conservative SPSC-backend absolute floor, in events per second.
 const SPSC_FLOOR_EPS: f64 = 5.0e6;
@@ -180,6 +194,36 @@ fn main() {
         checkpoint_best_ratio = checkpoint_best_ratio.max(ratio);
     }
 
+    // Controller overhead A/B: a *static* single-phase scenario — the
+    // controller has nothing useful to do, so the measurement isolates its
+    // standing cost (per-tuple window-load recording, per-window
+    // observe/snapshot/re-solve). D-Choices so the head snapshot and solver
+    // are actually exercised; worker count pinned and capacity effectively
+    // infinite so no rescale fires and both sides route the same stream
+    // shape. Same interleaved best-pairwise-ratio structure as above.
+    let controller_scenario =
+        Scenario::new("perf-controller", 2, 4_096, 42).phase(ScenarioPhase::new(48, 1_000, 2.0, 4));
+    let mut controller_best_ratio: f64 = 0.0;
+    for attempt in 0..5 {
+        let base = ScenarioConfig::new(PartitionerKind::DChoices, controller_scenario.clone());
+        let on = base
+            .clone()
+            .with_controller(ControllerConfig::new(4, 4, u64::MAX))
+            .run_windowed_on(CountAggregate, &InProc)
+            .result;
+        let off = base.run_windowed_on(CountAggregate, &InProc).result;
+        let ratio = on.throughput_eps / off.throughput_eps;
+        println!(
+            "perf_smoke controller pair {}: controlled {:.2} Melem/s vs off {:.2} Melem/s \
+             (ratio {:.3})",
+            attempt + 1,
+            on.throughput_eps / 1e6,
+            off.throughput_eps / 1e6,
+            ratio
+        );
+        controller_best_ratio = controller_best_ratio.max(ratio);
+    }
+
     let mut failed = false;
     if single < FLOOR_EPS {
         eprintln!(
@@ -234,13 +278,23 @@ fn main() {
         );
         failed = true;
     }
+    if controller_best_ratio < 1.0 - CONTROLLER_MAX_OVERHEAD {
+        eprintln!(
+            "perf_smoke FAILED: best controlled/off pair ratio {:.3} is below {:.2} — \
+             the idle elasticity controller costs more than 5% of throughput",
+            controller_best_ratio,
+            1.0 - CONTROLLER_MAX_OVERHEAD
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     println!(
         "perf_smoke OK: single-phase {:.2} Melem/s clears {:.1}, scenario {:.2} Melem/s \
          clears {:.1}, tcp-backend {:.2} Melem/s clears {:.1}, spsc-backend {:.2} Melem/s \
-         clears {:.1} at {:.2}x InProc, checkpoint overhead {:.1}% within the 10% budget",
+         clears {:.1} at {:.2}x InProc, checkpoint overhead {:.1}% within the 10% budget, \
+         controller overhead {:.1}% within the 5% budget",
         single / 1e6,
         FLOOR_EPS / 1e6,
         scenario_best / 1e6,
@@ -250,6 +304,7 @@ fn main() {
         spsc_best / 1e6,
         SPSC_FLOOR_EPS / 1e6,
         spsc_best_ratio,
-        (1.0 - checkpoint_best_ratio).max(0.0) * 100.0
+        (1.0 - checkpoint_best_ratio).max(0.0) * 100.0,
+        (1.0 - controller_best_ratio).max(0.0) * 100.0
     );
 }

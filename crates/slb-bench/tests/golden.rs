@@ -294,6 +294,42 @@ fn expt_scenarios_scaleout_keeps_orderings_and_matches_the_exact_reference() {
 }
 
 #[test]
+fn expt_elasticity_controller_acts_where_it_can() {
+    let stdout = run_smoke(env!("CARGO_BIN_EXE_expt_elasticity"));
+    // Columns: scheme static_imb online_imb out in retune workers.
+    let mut retunes = Vec::new();
+    for line in stdout.lines().skip(4) {
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() != 7 || line.starts_with('#') {
+            continue;
+        }
+        let scheme = cols[0];
+        let outs: u64 = cols[3]
+            .parse()
+            .unwrap_or_else(|_| panic!("bad row: {line}"));
+        let retune: u64 = cols[5].parse().expect("retune column");
+        let used: u64 = cols[6].parse().expect("workers column");
+        // Only D-Choices exposes a head snapshot, so only it can retune.
+        if scheme != "D-C" {
+            assert_eq!(retune, 0, "{scheme} retuned without a head snapshot");
+        }
+        retunes.push((scheme.to_string(), outs, retune));
+        assert!(
+            (1..=8).contains(&used),
+            "{scheme}: {used} used workers escaped the controller's universe"
+        );
+    }
+    assert_eq!(retunes.len(), 6, "expected one row per scheme:\n{stdout}");
+    let dc = retunes
+        .iter()
+        .find(|(s, _, _)| s == "D-C")
+        .expect("D-C row");
+    // The drift preset must actually exercise both levers for D-Choices.
+    assert!(dc.1 > 0, "no scale-out under drift pressure:\n{stdout}");
+    assert!(dc.2 > 0, "no retune across drift epochs:\n{stdout}");
+}
+
+#[test]
 fn expt_fig15_aggregation_accounting_is_exact() {
     let stdout = run_smoke(env!("CARGO_BIN_EXE_expt_fig15_aggregation_cost"));
     // Columns: scheme window shards tuples/s windows partials p50 p99.

@@ -90,6 +90,30 @@ impl Default for HeadThreshold {
     }
 }
 
+/// How a head-aware partitioner chooses `d`, the number of choices for head
+/// keys.
+///
+/// The default, [`SolverMode::Online`], is the paper's behavior: the
+/// D-Choices solver re-runs whenever the head membership changes or every
+/// `solver_interval` messages. The other two modes exist for controlled
+/// experiments and for the elasticity controller:
+///
+/// * [`SolverMode::Fixed`] pins `d` to a constant — the static-`d` baselines
+///   the controller is measured against.
+/// * [`SolverMode::External`] disables the internal solver entirely; `d`
+///   only changes through [`crate::Partitioner::apply_choices`], making an
+///   external controller the single adaptation authority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolverMode {
+    /// Re-solve `d` online inside the partitioner (paper behavior).
+    #[default]
+    Online,
+    /// Pin `d` to the given constant (clamped to the worker count).
+    Fixed(usize),
+    /// Never solve internally; `d` changes only via `apply_choices`.
+    External,
+}
+
 /// Configuration for building a partitioner.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartitionConfig {
@@ -108,6 +132,9 @@ pub struct PartitionConfig {
     /// How many messages may elapse between re-runs of the D-Choices solver.
     /// The solver also re-runs whenever the head membership changes.
     pub solver_interval: u64,
+    /// How `d` is chosen for head keys (online solver, pinned constant, or
+    /// externally controlled). Defaults to [`SolverMode::Online`].
+    pub solver: SolverMode,
 }
 
 impl PartitionConfig {
@@ -125,6 +152,7 @@ impl PartitionConfig {
             threshold: HeadThreshold::DEFAULT,
             sketch_capacity: 10 * workers,
             solver_interval: 1_000,
+            solver: SolverMode::Online,
         }
     }
 
@@ -158,6 +186,15 @@ impl PartitionConfig {
     pub fn with_solver_interval(mut self, interval: u64) -> Self {
         assert!(interval > 0, "solver interval must be positive");
         self.solver_interval = interval;
+        self
+    }
+
+    /// Sets the solver mode (see [`SolverMode`]).
+    pub fn with_solver(mut self, solver: SolverMode) -> Self {
+        if let SolverMode::Fixed(d) = solver {
+            assert!(d >= 2, "a fixed d must be at least 2 (got {d})");
+        }
+        self.solver = solver;
         self
     }
 
@@ -229,5 +266,25 @@ mod tests {
     #[should_panic(expected = "epsilon must be positive")]
     fn non_positive_epsilon_panics() {
         let _ = PartitionConfig::new(5).with_epsilon(0.0);
+    }
+
+    #[test]
+    fn solver_mode_defaults_to_online() {
+        assert_eq!(PartitionConfig::new(5).solver, SolverMode::Online);
+        assert_eq!(SolverMode::default(), SolverMode::Online);
+    }
+
+    #[test]
+    fn solver_mode_builder_applies() {
+        let cfg = PartitionConfig::new(8).with_solver(SolverMode::Fixed(3));
+        assert_eq!(cfg.solver, SolverMode::Fixed(3));
+        let cfg = cfg.with_solver(SolverMode::External);
+        assert_eq!(cfg.solver, SolverMode::External);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn fixed_d_below_two_panics() {
+        let _ = PartitionConfig::new(5).with_solver(SolverMode::Fixed(1));
     }
 }

@@ -18,9 +18,9 @@ use std::hash::Hash;
 
 use slb_hash::{HashFamily, KeyHash};
 
-use crate::config::PartitionConfig;
+use crate::config::{PartitionConfig, SolverMode};
 use crate::dchoices::{find_optimal_choices, ChoicesDecision};
-use crate::head::HeadTracker;
+use crate::head::{HeadSnapshot, HeadTracker};
 use crate::load::LoadVector;
 use crate::partitioner::Partitioner;
 
@@ -44,6 +44,9 @@ pub struct HeadAwarePartitioner<K: Eq + Hash + Clone> {
     tracker: HeadTracker<K>,
     epsilon: f64,
     solver_interval: u64,
+    /// How `d` is chosen: the internal solver (`Online`), a pinned constant
+    /// (`Fixed`), or an external controller via `apply_choices` (`External`).
+    solver_mode: SolverMode,
     /// Cached solver decision and the tracker generation / message count it
     /// was computed at.
     cached_decision: ChoicesDecision,
@@ -74,7 +77,13 @@ impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
             tracker: HeadTracker::new(config.sketch_capacity, theta),
             epsilon: config.epsilon,
             solver_interval: config.solver_interval,
-            cached_decision: ChoicesDecision::UseD(2),
+            solver_mode: config.solver,
+            // `Fixed(d)` pins the decision at build time; the other modes
+            // start from the fresh default `UseD(2)` (the PKG process).
+            cached_decision: match config.solver {
+                SolverMode::Fixed(d) => ChoicesDecision::UseD(d),
+                SolverMode::Online | SolverMode::External => ChoicesDecision::UseD(2),
+            },
             cached_at_generation: 0,
             cached_at_total: 0,
             rr_next: (config.seed as usize) % config.workers,
@@ -129,6 +138,11 @@ impl<K: KeyHash + Eq + Hash + Clone> HeadAwarePartitioner<K> {
     }
 
     fn refresh_solver_if_stale(&mut self) {
+        // Only the online mode ever re-solves internally: a pinned `d` never
+        // moves, and under external control only `apply_choices` may move it.
+        if self.solver_mode != SolverMode::Online {
+            return;
+        }
         let generation = self.tracker.generation();
         let total = self.tracker.total();
         let stale = generation != self.cached_at_generation
@@ -271,6 +285,27 @@ impl<K: KeyHash + Eq + Hash + Clone + 'static> Partitioner<K> for HeadAwareParti
 
     fn clone_box(&self) -> Box<dyn Partitioner<K>> {
         Box::new(self.clone())
+    }
+
+    fn head_snapshot(&self) -> Option<HeadSnapshot<K>> {
+        // Only D-Choices under external control has a head the controller
+        // can retune: W-C/RR ignore `d` for head routing, and in the other
+        // modes the internal solver (or the pin) is the authority.
+        match (self.policy, self.solver_mode) {
+            (HeadPolicy::DChoices, SolverMode::External) => Some(self.tracker.snapshot()),
+            _ => None,
+        }
+    }
+
+    fn apply_choices(&mut self, decision: ChoicesDecision) {
+        if self.policy != HeadPolicy::DChoices || self.solver_mode != SolverMode::External {
+            return;
+        }
+        self.cached_decision = decision;
+        // Mark the cache fresh at the current tracker state; the candidate
+        // cache re-keys itself on the next head route if `d` moved.
+        self.cached_at_generation = self.tracker.generation();
+        self.cached_at_total = self.tracker.total();
     }
 }
 
@@ -500,6 +535,82 @@ mod tests {
         assert!(dc.candidate_cache.len() <= dc.cache_capacity);
         for (key, cached) in &dc.candidate_cache {
             assert_eq!(cached, &dc.family.choices(key, dc.cache_d), "key {key}");
+        }
+    }
+
+    #[test]
+    fn fixed_mode_pins_d_regardless_of_skew() {
+        let cfg = config(50, 4).with_solver(SolverMode::Fixed(3));
+        let mut dc = HeadAwarePartitioner::<u64>::d_choices(&cfg);
+        for k in &skewed_stream(40_000, 0.4, 500) {
+            dc.route(k);
+        }
+        assert_eq!(
+            dc.head_choices(),
+            3,
+            "a 40% hot key must not move a pinned d"
+        );
+        assert_eq!(dc.solver_decision(), ChoicesDecision::UseD(3));
+    }
+
+    #[test]
+    fn external_mode_moves_only_via_apply_choices() {
+        let cfg = config(50, 4).with_solver(SolverMode::External);
+        let mut dc = HeadAwarePartitioner::<u64>::d_choices(&cfg);
+        for k in &skewed_stream(40_000, 0.4, 500) {
+            dc.route(k);
+        }
+        assert_eq!(dc.head_choices(), 2, "no internal solve under External");
+        let snapshot = Partitioner::<u64>::head_snapshot(&dc).expect("external D-C has a head");
+        assert!(
+            snapshot.keys.contains(&0),
+            "hot key must be in the head snapshot"
+        );
+        dc.apply_choices(ChoicesDecision::UseD(7));
+        assert_eq!(dc.head_choices(), 7);
+        // Routing keeps working after the retune and the cache re-keys.
+        for k in &skewed_stream(5_000, 0.4, 500) {
+            dc.route(k);
+        }
+        assert_eq!(dc.head_choices(), 7, "still externally pinned");
+    }
+
+    #[test]
+    fn head_snapshot_is_none_outside_external_d_choices() {
+        let stream = skewed_stream(20_000, 0.4, 300);
+        let online = {
+            let mut p = HeadAwarePartitioner::<u64>::d_choices(&config(10, 1));
+            for k in &stream {
+                p.route(k);
+            }
+            Partitioner::<u64>::head_snapshot(&p).is_none()
+        };
+        assert!(online, "Online D-C exposes no snapshot to a controller");
+        let cfg = config(10, 1).with_solver(SolverMode::External);
+        let mut wc = HeadAwarePartitioner::<u64>::w_choices(&cfg);
+        for k in &stream {
+            wc.route(k);
+        }
+        assert!(Partitioner::<u64>::head_snapshot(&wc).is_none());
+        // And apply_choices is a no-op there.
+        let before = wc.head_choices();
+        wc.apply_choices(ChoicesDecision::UseD(9));
+        assert_eq!(wc.head_choices(), before);
+    }
+
+    #[test]
+    fn external_and_online_route_identically_before_any_retune() {
+        // Until the first apply_choices, External behaves exactly like the
+        // fresh default (UseD(2)) — the PKG process for every key.
+        let stream = skewed_stream(10_000, 0.3, 200);
+        let mut ext = HeadAwarePartitioner::<u64>::d_choices(
+            &config(20, 9).with_solver(SolverMode::External),
+        );
+        let mut pinned = HeadAwarePartitioner::<u64>::d_choices(
+            &config(20, 9).with_solver(SolverMode::Fixed(2)),
+        );
+        for k in &stream {
+            assert_eq!(ext.route(k), pinned.route(k));
         }
     }
 

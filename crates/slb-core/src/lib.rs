@@ -35,6 +35,7 @@
 pub mod aggregate;
 pub mod checkpoint;
 pub mod config;
+pub mod controller;
 pub mod dchoices;
 pub mod durable;
 pub mod head;
@@ -49,7 +50,11 @@ pub use aggregate::{
     shard_of, CountAggregate, SumAggregate, TopKAggregate, WindowAggregate, SHARD_SEED,
 };
 pub use checkpoint::{OpenWindowState, WorkerCheckpoint};
-pub use config::{HeadThreshold, PartitionConfig};
+pub use config::{HeadThreshold, PartitionConfig, SolverMode};
+pub use controller::{
+    decode_decision, encode_decision, ControllerAction, ControllerConfig, ControllerEvent,
+    ControllerMetrics, ElasticityController,
+};
 pub use dchoices::{
     constraints_hold, d_fraction, expected_worker_set_size, find_optimal_choices, ChoicesDecision,
 };
@@ -59,7 +64,7 @@ pub use durable::{
 };
 pub use head::{HeadSnapshot, HeadTracker};
 pub use head_schemes::HeadAwarePartitioner;
-pub use load::{imbalance, imbalance_fractions, LoadVector, PhaseLoadMatrix};
+pub use load::{imbalance, imbalance_fractions, LoadVector, PerWindowLoads, PhaseLoadMatrix};
 pub use memory::{estimated_replicas, relative_overhead_pct, MemoryScheme};
 pub use partitioner::{KeyGrouping, Partitioner, ShuffleGrouping};
 pub use pkg::PartialKeyGrouping;

@@ -156,6 +156,88 @@ pub fn imbalance_fractions(loads: &[f64]) -> f64 {
     max - avg
 }
 
+/// Incremental per-window load accounting for a single source.
+///
+/// `StageMetrics` only assembles per-window imbalance at end-of-run; the
+/// elasticity controller needs the imbalance of the *window that just
+/// closed*, inside the source hot loop, without allocating. This is a
+/// fixed-capacity counter buffer sized once to the spawned worker universe:
+/// `record` is a single index increment, and `finish_window` computes the
+/// closing window's imbalance over the active prefix and resets the buffer
+/// in place.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerWindowLoads {
+    counts: Vec<u64>,
+    total: u64,
+    max_count: u64,
+}
+
+impl PerWindowLoads {
+    /// Creates a zeroed buffer for a universe of `workers` workers.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "per-window loads need at least one worker");
+        Self {
+            counts: vec![0; workers],
+            total: 0,
+            max_count: 0,
+        }
+    }
+
+    /// Records one message routed to `worker` in the current window.
+    #[inline]
+    pub fn record(&mut self, worker: usize) {
+        let c = self.counts[worker] + 1;
+        self.counts[worker] = c;
+        self.total += 1;
+        if c > self.max_count {
+            self.max_count = c;
+        }
+    }
+
+    /// Messages recorded in the current window so far.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest per-worker count in the current window so far.
+    #[inline]
+    pub fn max_count(&self) -> u64 {
+        self.max_count
+    }
+
+    /// The raw per-worker counts of the current window (full universe).
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Closes the current window: returns its imbalance evaluated over the
+    /// first `active` workers and resets the buffer for the next window.
+    /// Zero-allocation: the buffer is `fill(0)` in place.
+    ///
+    /// # Panics
+    /// Panics if `active` is zero or exceeds the worker universe.
+    pub fn finish_window(&mut self, active: usize) -> f64 {
+        assert!(
+            active > 0 && active <= self.counts.len(),
+            "active worker count {active} out of range"
+        );
+        debug_assert!(
+            self.counts[active..].iter().all(|&c| c == 0),
+            "window routed messages beyond its {active} active workers"
+        );
+        let imb = imbalance(&self.counts[..active]);
+        self.counts.fill(0);
+        self.total = 0;
+        self.max_count = 0;
+        imb
+    }
+}
+
 /// Per-phase per-worker load accounting for multi-phase (scenario) runs.
 ///
 /// A scenario changes the active worker set and the workload at phase
@@ -410,5 +492,36 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn zero_phase_matrix_panics() {
         let _ = PhaseLoadMatrix::new(0, 2);
+    }
+
+    #[test]
+    fn per_window_loads_match_plain_imbalance_and_reset() {
+        let mut w = PerWindowLoads::new(4);
+        for slot in [0, 0, 0, 1, 2] {
+            w.record(slot);
+        }
+        assert_eq!(w.total(), 5);
+        assert_eq!(w.max_count(), 3);
+        let imb = w.finish_window(3);
+        assert!((imb - imbalance(&[3, 1, 1])).abs() < 1e-15);
+        // Fully reset: the next window starts from zero.
+        assert_eq!(w.total(), 0);
+        assert_eq!(w.max_count(), 0);
+        assert!((w.finish_window(4) - 0.0).abs() < 1e-15, "empty window");
+    }
+
+    #[test]
+    fn per_window_loads_evaluate_over_active_prefix_only() {
+        let mut w = PerWindowLoads::new(8);
+        w.record(0);
+        w.record(1);
+        assert!(w.finish_window(2).abs() < 1e-12, "balanced over 2 active");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn per_window_loads_reject_oversized_active_set() {
+        let mut w = PerWindowLoads::new(2);
+        let _ = w.finish_window(3);
     }
 }

@@ -19,6 +19,8 @@ use std::hash::Hash;
 use slb_hash::{HashFamily, KeyHash};
 
 use crate::config::PartitionConfig;
+use crate::dchoices::ChoicesDecision;
+use crate::head::HeadSnapshot;
 use crate::load::LoadVector;
 
 /// A stream partitioner: maps each observed key to a destination worker.
@@ -83,6 +85,21 @@ pub trait Partitioner<K: KeyHash + Eq + Hash + Clone> {
     /// source held at the window boundary; the clone must therefore route
     /// every subsequent key bit-for-bit identically to the original.
     fn clone_box(&self) -> Box<dyn Partitioner<K>>;
+
+    /// A snapshot of the scheme's current head estimate, for schemes whose
+    /// head routing depends on a solvable `d` — i.e. D-Choices under
+    /// [`crate::SolverMode::External`]. Everything else returns `None`
+    /// (default), which tells the elasticity controller there is nothing to
+    /// retune for this scheme.
+    fn head_snapshot(&self) -> Option<HeadSnapshot<K>> {
+        None
+    }
+
+    /// Installs an externally computed solver decision (the elasticity
+    /// controller's retune step). A no-op for schemes without a tunable `d`;
+    /// D-Choices under [`crate::SolverMode::External`] adopts the decision
+    /// for all subsequent head routing.
+    fn apply_choices(&mut self, _decision: ChoicesDecision) {}
 }
 
 impl<K: KeyHash + Eq + Hash + Clone + 'static> Clone for Box<dyn Partitioner<K>> {

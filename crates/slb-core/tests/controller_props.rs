@@ -1,0 +1,183 @@
+//! Property tests for the elasticity controller's policy invariants.
+//!
+//! Three guarantees the closed loop leans on, checked over the whole knob
+//! space rather than hand-picked examples:
+//!
+//! 1. **No oscillation on a constant signal** — whatever the hysteresis
+//!    knobs, a constant `(total, max)` window signal can only ever push the
+//!    controller in one direction. Mixed ScaleOut/ScaleIn logs would mean
+//!    the hysteresis is broken and a steady workload could make the engine
+//!    thrash between rescales.
+//! 2. **Re-solved `d` is monotone in head skew** — a strictly hotter head
+//!    key never makes the solver ask for *fewer* choices. This is the
+//!    sanity bound from the paper's Figure 4: the d/n fraction grows with
+//!    skew until W-Choices takes over.
+//! 3. **Activation respects the bounds** — under arbitrary window signals
+//!    the active worker count never leaves `[min_workers, max_workers]`,
+//!    every returned rescale target equals the controller's own view, and
+//!    consecutive targets differ by at most `step`.
+
+use proptest::prelude::*;
+
+use slb_core::{
+    find_optimal_choices, ChoicesDecision, ControllerAction, ControllerConfig, ElasticityController,
+};
+
+/// Builds a validated config from raw knob draws (the vendored proptest has
+/// no `prop_map`, so composition happens in the test body).
+fn build_config(
+    min: usize,
+    span: usize,
+    capacity: u64,
+    patience: u32,
+    cooldown: u32,
+    step: usize,
+) -> ControllerConfig {
+    ControllerConfig::new(min, min + span, capacity)
+        .with_patience(patience)
+        .with_cooldown(cooldown)
+        .with_step(step)
+}
+
+proptest! {
+    // 32 cases locally; ci.sh raises this via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases_env(32))]
+
+    /// Guarantee 1: on a constant signal, the action log never mixes
+    /// directions — scale-out pressure suppresses scale-in, and without
+    /// pressure scale-out cannot fire, so one of the two is absent.
+    #[test]
+    fn constant_signal_never_oscillates(
+        min in 1usize..6,
+        span in 0usize..12,
+        capacity in 1u64..10_000,
+        patience in 1u32..5,
+        cooldown in 0u32..5,
+        step in 1usize..4,
+        initial in 1usize..16,
+        window_max in 0u64..20_000,
+        extra_total in 0u64..40_000,
+        windows in 1usize..128,
+    ) {
+        let cfg = build_config(min, span, capacity, patience, cooldown, step);
+        let mut ctrl = ElasticityController::new(cfg, 0, initial);
+        let window_total = window_max + extra_total;
+        for _ in 0..windows {
+            let _ = ctrl.observe_window(window_total, window_max);
+        }
+        let saw_out = ctrl.events().iter().any(|e| e.action == ControllerAction::ScaleOut);
+        let saw_in = ctrl.events().iter().any(|e| e.action == ControllerAction::ScaleIn);
+        prop_assert!(
+            !(saw_out && saw_in),
+            "constant signal (total={}, max={}) produced both directions: {:?}",
+            window_total,
+            window_max,
+            ctrl.events()
+        );
+    }
+
+    /// Guarantee 2: a hotter head never asks for fewer choices. Single
+    /// head-key model: frequency `p` head, `1 - p` tail; the effective
+    /// candidate count (`d`, or `n` for SwitchToW) is non-decreasing in `p`.
+    #[test]
+    fn resolved_d_is_monotone_in_head_skew(
+        workers in 2usize..64,
+        p_lo_millis in 1u64..998,
+        gap_millis in 1u64..500,
+        epsilon in prop_oneof![Just(1e-4), Just(1e-3), Just(1e-2)],
+    ) {
+        let p_lo = p_lo_millis as f64 / 1000.0;
+        let p_hi = ((p_lo_millis + gap_millis).min(999)) as f64 / 1000.0;
+        let d_lo = find_optimal_choices(&[p_lo], 1.0 - p_lo, workers, epsilon)
+            .effective_d(workers);
+        let d_hi = find_optimal_choices(&[p_hi], 1.0 - p_hi, workers, epsilon)
+            .effective_d(workers);
+        prop_assert!(
+            d_lo <= d_hi,
+            "skew {} -> d={}, hotter skew {} -> d={} (n={})",
+            p_lo,
+            d_lo,
+            p_hi,
+            d_hi,
+            workers
+        );
+    }
+
+    /// Guarantee 3: under an arbitrary window signal the controller stays
+    /// inside its bounds, reports targets consistent with its own state,
+    /// and moves at most `step` workers per action.
+    #[test]
+    fn activation_respects_bounds_under_arbitrary_signals(
+        min in 1usize..6,
+        span in 0usize..12,
+        capacity in 1u64..4_000,
+        patience in 1u32..5,
+        cooldown in 0u32..5,
+        step in 1usize..4,
+        initial in 1usize..20,
+        signal in proptest::collection::vec(0u64..16_000_000, 1..200),
+    ) {
+        let cfg = build_config(min, span, capacity, patience, cooldown, step);
+        let mut ctrl = ElasticityController::new(cfg.clone(), 0, initial);
+        let mut previous = ctrl.active_workers();
+        prop_assert!(previous >= cfg.min_workers && previous <= cfg.max_workers);
+        for &draw in &signal {
+            // Decompose one draw into a (max, total) pair with max <= total.
+            let window_max = draw % 4_000;
+            let window_total = window_max + (draw / 4_000) % 4_000;
+            let changed = ctrl.observe_window(window_total, window_max);
+            let active = ctrl.active_workers();
+            prop_assert!(
+                active >= cfg.min_workers && active <= cfg.max_workers,
+                "active {} escaped [{}, {}]",
+                active,
+                cfg.min_workers,
+                cfg.max_workers
+            );
+            if let Some(target) = changed {
+                prop_assert_eq!(target, active);
+                prop_assert!(
+                    active.abs_diff(previous) <= cfg.step,
+                    "jumped {} -> {} with step {}",
+                    previous,
+                    active,
+                    cfg.step
+                );
+            } else {
+                prop_assert_eq!(active, previous);
+            }
+            previous = active;
+        }
+        // The event log agrees with the final state: the last scale event's
+        // recorded worker count is where the controller ended.
+        if let Some(last) = ctrl
+            .events()
+            .iter()
+            .rev()
+            .find(|e| e.action != ControllerAction::Retune)
+        {
+            prop_assert_eq!(last.workers as usize, ctrl.active_workers());
+        }
+    }
+
+    /// The retune path never logs a no-op: every Retune event changes the
+    /// recorded decision relative to the one before it.
+    #[test]
+    fn retune_events_always_change_the_decision(
+        workers in 2usize..32,
+        freqs_millis in proptest::collection::vec(1u64..900, 1..40),
+    ) {
+        let cfg = ControllerConfig::new(workers, workers, u64::MAX);
+        let mut ctrl = ElasticityController::new(cfg, 0, workers);
+        let mut last = ChoicesDecision::UseD(2);
+        for &f in &freqs_millis {
+            let p = f as f64 / 1000.0;
+            if let Some(decision) = ctrl.retune(&[p], 1.0 - p) {
+                // A logged retune must actually change the decision.
+                prop_assert_ne!(decision, last);
+                last = decision;
+            }
+        }
+        prop_assert_eq!(ctrl.current_decision(), last);
+    }
+}

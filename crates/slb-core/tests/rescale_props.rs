@@ -74,4 +74,63 @@ proptest! {
             );
         }
     }
+
+    /// A chain of back-to-back rescales (with arbitrary traffic between
+    /// them) is equivalent to a single fresh build at the final
+    /// configuration. This is what lets the elasticity controller fire
+    /// scale decisions in consecutive windows — even rescale-then-rescale
+    /// with zero tuples in between — without accumulating hidden state:
+    /// only the *last* configuration matters.
+    #[test]
+    fn rescale_chain_equals_single_fresh_build(
+        hops in 1usize..6,
+        hot_permille in 0u16..700,
+        interleave_len in 0usize..600,
+        suffix_len in 1usize..2_000,
+        seed in any::<u64>(),
+        state0 in any::<u64>(),
+    ) {
+        // Worker counts and per-hop traffic derived deterministically from
+        // the seed; some hops route zero tuples before the next rescale,
+        // the back-to-back case the controller's cooldown=0 setting allows.
+        let mut mix = seed | 1;
+        let mut next = move || {
+            mix ^= mix << 13;
+            mix ^= mix >> 7;
+            mix ^= mix << 17;
+            mix
+        };
+        let counts: Vec<usize> = (0..=hops).map(|_| 1 + (next() % 40) as usize).collect();
+        let traffic: Vec<usize> = (0..hops).map(|_| (next() as usize) % (interleave_len + 1)).collect();
+        let suffix = stream(suffix_len, hot_permille, 500, state0 ^ 0xABCD);
+        for kind in PartitionerKind::ALL {
+            let cfg_at = |hop: usize| {
+                PartitionConfig::new(counts[hop]).with_seed(seed.wrapping_add(hop as u64))
+            };
+            let mut chained = build_partitioner::<u64>(kind, &cfg_at(0));
+            for (hop, &tuples) in traffic.iter().enumerate() {
+                for key in stream(tuples, hot_permille, 500, state0 ^ hop as u64) {
+                    chained.route(&key);
+                }
+                chained.rescale(&cfg_at(hop + 1));
+            }
+            let mut fresh = build_partitioner::<u64>(kind, &cfg_at(hops));
+            prop_assert_eq!(chained.workers(), fresh.workers());
+            for key in &suffix {
+                let a = chained.route(key);
+                let b = fresh.route(key);
+                prop_assert_eq!(
+                    a, b,
+                    "{:?} diverged from a fresh build after a {}-hop rescale chain",
+                    kind, hops
+                );
+            }
+            prop_assert_eq!(
+                chained.local_loads().counts(),
+                fresh.local_loads().counts(),
+                "{:?} load vectors diverged after a rescale chain",
+                kind
+            );
+        }
+    }
 }

@@ -84,8 +84,9 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use slb_core::{
-    build_partitioner, CountAggregate, OpenWindowState, PartitionConfig, Partitioner,
-    PartitionerKind, PhaseLoadMatrix, WindowAggregate, WirePartial, WorkerCheckpoint,
+    build_partitioner, ControllerConfig, ControllerEvent, ControllerMetrics, CountAggregate,
+    ElasticityController, OpenWindowState, PartitionConfig, Partitioner, PartitionerKind,
+    PerWindowLoads, PhaseLoadMatrix, SolverMode, WindowAggregate, WirePartial, WorkerCheckpoint,
 };
 use slb_workloads::{Arrival, KeyId, KeyStream, Scenario};
 
@@ -144,6 +145,16 @@ pub struct EngineConfig {
     /// Number of aggregator threads; the key space is sharded across them
     /// by key hash so the merge stage scales past one thread.
     pub aggregators: usize,
+    /// How head-aware schemes choose `d` (see [`SolverMode`]); `Fixed(d)`
+    /// gives the static-`d` baselines the elasticity controller is measured
+    /// against. Forced to `External` when a controller is attached.
+    pub solver: SolverMode,
+    /// Optional elasticity controller stepped at every window boundary
+    /// (see [`ControllerConfig`] and docs/ELASTICITY.md). When set, the
+    /// controller owns the active worker count within
+    /// `[min_workers, max_workers]` and `workers` is only the starting
+    /// point; workers are spawned up to `max_workers`.
+    pub controller: Option<ControllerConfig>,
 }
 
 /// Default number of tuples per transported batch.
@@ -175,6 +186,8 @@ impl EngineConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             window_size: DEFAULT_WINDOW_SIZE,
             aggregators: DEFAULT_AGGREGATORS,
+            solver: SolverMode::Online,
+            controller: None,
         }
     }
 
@@ -194,6 +207,8 @@ impl EngineConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             window_size: 16_384,
             aggregators: 4,
+            solver: SolverMode::Online,
+            controller: None,
         }
     }
 
@@ -215,6 +230,8 @@ impl EngineConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             window_size: 2_048,
             aggregators: DEFAULT_AGGREGATORS,
+            solver: SolverMode::Online,
+            controller: None,
         }
     }
 
@@ -260,6 +277,30 @@ impl EngineConfig {
         self
     }
 
+    /// Overrides the solver mode of head-aware schemes; `Fixed(d)` is the
+    /// static-`d` baseline the controller is compared against.
+    pub fn with_solver(mut self, solver: SolverMode) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Pins head-aware schemes to a constant `d` (sugar for
+    /// [`Self::with_solver`] with [`SolverMode::Fixed`]).
+    pub fn with_fixed_d(self, d: usize) -> Self {
+        self.with_solver(SolverMode::Fixed(d))
+    }
+
+    /// Attaches an elasticity controller: it is stepped at every window
+    /// boundary of every source and owns the active worker count for the
+    /// whole run (workers are spawned up to `controller.max_workers`). The
+    /// solver mode becomes [`SolverMode::External`] so the controller is
+    /// the single adaptation authority.
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        controller.validate();
+        self.controller = Some(controller);
+        self
+    }
+
     /// Asserts the structural invariants every run entry point relies on.
     ///
     /// # Panics
@@ -272,6 +313,9 @@ impl EngineConfig {
         assert!(self.batch_size > 0, "batches need at least one tuple");
         assert!(self.window_size > 0, "windows need at least one tuple");
         assert!(self.aggregators > 0, "need at least one aggregator");
+        if let Some(controller) = &self.controller {
+            controller.validate();
+        }
     }
 
     /// Resolves this configuration into the one-phase [`StagePlan`] every
@@ -283,6 +327,12 @@ impl EngineConfig {
         self.validate();
         let batch_size = effective_batch_size(self.batch_size, self.queue_capacity);
         let per_source = self.messages / self.sources as u64;
+        // With a controller attached the spawned universe must cover every
+        // worker the controller may ever activate.
+        let spawned = match &self.controller {
+            Some(c) => self.workers.max(c.max_workers),
+            None => self.workers,
+        };
         let phase = PhasePlan {
             tuples_per_source: per_source,
             start_window: 0,
@@ -290,10 +340,7 @@ impl EngineConfig {
             // run's actual (empty) window set.
             windows: per_source.div_ceil(self.window_size),
             workers: self.workers,
-            service: Arc::new(vec![
-                Duration::from_micros(self.service_time_us);
-                self.workers
-            ]),
+            service: Arc::new(vec![Duration::from_micros(self.service_time_us); spawned]),
             arrival: Arrival::Steady,
         };
         StagePlan {
@@ -301,7 +348,7 @@ impl EngineConfig {
             seed: self.seed,
             skew: self.skew,
             sources: self.sources,
-            spawned_workers: self.workers,
+            spawned_workers: spawned,
             window_size: self.window_size,
             batch_size,
             queue_capacity: self.queue_capacity,
@@ -310,7 +357,20 @@ impl EngineConfig {
             phases: Arc::new(vec![phase]),
             faults: Arc::new(FaultPlan::none()),
             checkpointing: true,
+            solver: resolved_solver(self.solver, self.controller.as_ref()),
+            controller: self.controller.clone(),
         }
+    }
+}
+
+/// The solver mode a plan's partitioners actually run with: `External`
+/// whenever a controller is attached (it is the single adaptation
+/// authority), the configured mode otherwise.
+fn resolved_solver(solver: SolverMode, controller: Option<&ControllerConfig>) -> SolverMode {
+    if controller.is_some() {
+        SolverMode::External
+    } else {
+        solver
     }
 }
 
@@ -333,6 +393,14 @@ pub struct ScenarioConfig {
     pub batch_size: usize,
     /// Number of aggregator shards.
     pub aggregators: usize,
+    /// How head-aware schemes choose `d` (see [`SolverMode`]). Forced to
+    /// `External` when a controller is attached.
+    pub solver: SolverMode,
+    /// Optional elasticity controller (see [`EngineConfig::controller`]).
+    /// When set, the scenario phases' worker counts are advisory — the
+    /// first phase seeds the controller's starting point and the controller
+    /// owns the active count from there.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl ScenarioConfig {
@@ -347,6 +415,8 @@ impl ScenarioConfig {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             batch_size: DEFAULT_BATCH_SIZE,
             aggregators: DEFAULT_AGGREGATORS,
+            solver: SolverMode::Online,
+            controller: None,
         }
     }
 
@@ -380,6 +450,27 @@ impl ScenarioConfig {
         self
     }
 
+    /// Overrides the solver mode of head-aware schemes; `Fixed(d)` is the
+    /// static-`d` baseline the controller is compared against.
+    pub fn with_solver(mut self, solver: SolverMode) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Pins head-aware schemes to a constant `d` (sugar for
+    /// [`Self::with_solver`] with [`SolverMode::Fixed`]).
+    pub fn with_fixed_d(self, d: usize) -> Self {
+        self.with_solver(SolverMode::Fixed(d))
+    }
+
+    /// Attaches an elasticity controller (see
+    /// [`EngineConfig::with_controller`]).
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        controller.validate();
+        self.controller = Some(controller);
+        self
+    }
+
     /// Resolves this configuration into the multi-phase [`StagePlan`] every
     /// execution backend runs.
     ///
@@ -395,7 +486,10 @@ impl ScenarioConfig {
         let batch_size = effective_batch_size(self.batch_size, self.queue_capacity);
         let scenario = &self.scenario;
         let base_us = self.service_time_us;
-        let spawned = scenario.max_workers();
+        let spawned = match &self.controller {
+            Some(c) => scenario.max_workers().max(c.max_workers),
+            None => scenario.max_workers(),
+        };
         let phases: Vec<PhasePlan> = scenario
             .phases
             .iter()
@@ -427,6 +521,8 @@ impl ScenarioConfig {
             phases: Arc::new(phases),
             faults: Arc::new(FaultPlan::none()),
             checkpointing: true,
+            solver: resolved_solver(self.solver, self.controller.as_ref()),
+            controller: self.controller.clone(),
         }
     }
 
@@ -539,6 +635,10 @@ pub struct EngineResult {
     /// Aggregator-stage metrics: partial-window messages merged, and the
     /// worker-close → aggregator-merge latency distribution.
     pub aggregator_stage: StageMetrics,
+    /// Elasticity-controller decisions, merged across sources and sorted by
+    /// `(source, window)`; `enabled == false` (and no events) when no
+    /// controller was attached.
+    pub controller: ControllerMetrics,
 }
 
 impl EngineResult {
@@ -609,6 +709,12 @@ pub struct StagePlan {
     /// it — and only disabled by the perf smoke's A/B measurement of the
     /// checkpoint path's cost ([`Topology::run_windowed_without_checkpoints`]).
     pub checkpointing: bool,
+    /// Solver mode every source passes into its partitioner's
+    /// [`PartitionConfig`]; `External` whenever `controller` is set.
+    pub solver: SolverMode,
+    /// Elasticity controller stepped by every source at its window
+    /// boundaries; `None` runs exactly the pre-controller engine.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl StagePlan {
@@ -777,6 +883,31 @@ struct SourceSnapshot<S> {
     /// Exclusion flags at the boundary, so replay maps routed slots to the
     /// same actual worker indices the live loop used.
     excluded: Vec<bool>,
+    /// Controller state at the boundary (post-step, like the partitioner),
+    /// so replay re-derives the identical adaptation decisions. The
+    /// per-window load buffer is *not* snapshotted: boundaries always leave
+    /// it zeroed, so replay starts from a fresh one.
+    controller: Option<ElasticityController>,
+}
+
+/// What a source stage returns: the sent-tuple count and, when an
+/// elasticity controller ran, its drained decision log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceStageReport {
+    /// Tuples sent (replay re-sends are never counted).
+    pub sent: u64,
+    /// The controller's decision log, in window order; empty without a
+    /// controller.
+    pub controller_events: Vec<ControllerEvent>,
+}
+
+/// The partitioner configuration a source builds/rescales with for
+/// `active` routed slots: the plan's seed and solver mode, paper defaults
+/// otherwise.
+fn partition_config(plan: &StagePlan, active: usize) -> PartitionConfig {
+    PartitionConfig::new(active)
+        .with_seed(plan.seed)
+        .with_solver(plan.solver)
 }
 
 /// The actual worker indices a source routes to in a phase: the phase's
@@ -896,9 +1027,10 @@ impl Topology {
 
 /// Everything one source contributes to a run, without a recovery channel:
 /// generates and routes its sub-stream phase by phase, ships batches and
-/// punctuation through `senders` (one per spawned worker), and returns how
-/// many tuples it sent. See [`run_source_stage_recoverable`] for the
-/// feedback-connected variant the in-process runner uses.
+/// punctuation through `senders` (one per spawned worker), and returns its
+/// [`SourceStageReport`] (sent-tuple count plus any controller decisions).
+/// See [`run_source_stage_recoverable`] for the feedback-connected variant
+/// the in-process runner uses.
 ///
 /// `stream_for_phase(p)` must yield *this source's* key stream for phase
 /// `p`; the engine and `slb-node` both construct it from the shared config
@@ -913,7 +1045,7 @@ pub fn run_source_stage<S, Tx>(
     source_idx: usize,
     stream_for_phase: impl FnMut(usize) -> S,
     senders: &[Tx],
-) -> u64
+) -> SourceStageReport
 where
     S: KeyStream + Clone,
     Tx: TupleSender,
@@ -948,7 +1080,7 @@ pub fn run_source_stage_recoverable<S, Tx, Frx>(
     stream_for_phase: impl FnMut(usize) -> S,
     senders: &[Tx],
     feedback: Option<Frx>,
-) -> u64
+) -> SourceStageReport
 where
     S: KeyStream + Clone,
     Tx: TupleSender,
@@ -1020,7 +1152,7 @@ pub fn run_source_stage_supervised<S, Tx>(
     senders: &[Tx],
     events: &crossbeam_channel::Receiver<SourceControlEvent>,
     mut reattach: impl FnMut(usize),
-) -> u64
+) -> SourceStageReport
 where
     S: KeyStream + Clone,
     Tx: TupleSender,
@@ -1047,7 +1179,7 @@ fn run_source_stage_inner<S, Tx, Frx>(
     senders: &[Tx],
     feedback: Option<Frx>,
     mut supervision: Option<Supervision<'_>>,
-) -> u64
+) -> SourceStageReport
 where
     S: KeyStream + Clone,
     Tx: TupleSender,
@@ -1063,6 +1195,17 @@ where
     let batch_size = plan.batch_size;
     let window_size = plan.window_size;
     let mut send = SourceSendState::new(senders, source_idx, &plan.faults);
+    // The elasticity controller and its zero-allocation per-window load
+    // buffer (both `None` without a controller — the hot loop then runs
+    // exactly the pre-controller engine). The first phase's worker count
+    // seeds the controller; from there it owns the active count.
+    let mut controller = plan.controller.as_ref().map(|cfg| {
+        ElasticityController::new(cfg.clone(), source_idx as u32, plan.phases[0].workers)
+    });
+    let mut window_loads = plan
+        .controller
+        .as_ref()
+        .map(|_| PerWindowLoads::new(senders.len()));
     let mut partitioner: Option<Box<dyn Partitioner<KeyId>>> = None;
     let mut keybuf: Vec<KeyId> = Vec::with_capacity(batch_size);
     let mut routebuf: Vec<usize> = Vec::with_capacity(batch_size);
@@ -1090,15 +1233,26 @@ where
         // to actual worker indices. Until an exclusion happens that map
         // is the identity, so unsupervised runs are bit-for-bit
         // unchanged.
-        let mut active = active_workers(phase.workers, &send.excluded);
+        // With a controller, phase worker counts are advisory past phase 0:
+        // the controller's active count carries across phase boundaries.
+        let phase_active = match controller.as_ref() {
+            Some(ctrl) => ctrl.active_workers(),
+            None => phase.workers,
+        };
+        let mut active = active_workers(phase_active, &send.excluded);
         assert!(
             !active.is_empty(),
             "every worker excluded; nothing to route to"
         );
-        let partition = PartitionConfig::new(active.len()).with_seed(plan.seed);
+        let partition = partition_config(plan, active.len());
         match partitioner.as_mut() {
             None => partitioner = Some(build_partitioner::<KeyId>(plan.kind, &partition)),
-            Some(part) => part.rescale(&partition),
+            Some(part) => {
+                part.rescale(&partition);
+                if let Some(ctrl) = controller.as_mut() {
+                    ctrl.note_partitioner_rebuilt();
+                }
+            }
         }
         let mut stream = stream_for_phase(phase_idx);
         if keep_snapshots {
@@ -1117,6 +1271,7 @@ where
                     emitted_in_phase: 0,
                     next_seq: send.next_seq.clone(),
                     excluded: send.excluded.clone(),
+                    controller: controller.clone(),
                 },
             );
         }
@@ -1180,6 +1335,13 @@ where
                 .as_mut()
                 .expect("partitioner built above")
                 .route_batch(&keybuf, &mut routebuf);
+            // Controller signal: per-window counts by routed *slot* (slots
+            // are the active prefix, so the imbalance view is contiguous).
+            if let Some(wl) = window_loads.as_mut() {
+                for &route in &routebuf {
+                    wl.record(route);
+                }
+            }
             for (&key, &route) in keybuf.iter().zip(&routebuf) {
                 let worker = active[route];
                 if pending[worker].is_empty() {
@@ -1214,7 +1376,11 @@ where
                             send.excluded[worker] = true;
                         }
                         sup.pending_exclusions.clear();
-                        active = active_workers(phase.workers, &send.excluded);
+                        let count = match controller.as_ref() {
+                            Some(ctrl) => ctrl.active_workers(),
+                            None => phase.workers,
+                        };
+                        active = active_workers(count, &send.excluded);
                         assert!(
                             !active.is_empty(),
                             "every worker excluded; nothing to route to"
@@ -1222,7 +1388,43 @@ where
                         partitioner
                             .as_mut()
                             .expect("partitioner built above")
-                            .rescale(&PartitionConfig::new(active.len()).with_seed(plan.seed));
+                            .rescale(&partition_config(plan, active.len()));
+                        if let Some(ctrl) = controller.as_mut() {
+                            ctrl.note_partitioner_rebuilt();
+                        }
+                    }
+                }
+                // Elasticity-controller step: feed it the closing window's
+                // per-slot loads; a scale decision rebuilds the routing
+                // state for the new active count (the same split-minimising
+                // move a planned scale-out uses), otherwise the head
+                // snapshot drives an online d re-solve. Runs before the
+                // boundary snapshot so replay resumes from post-decision
+                // state and re-derives the identical future.
+                if let Some(ctrl) = controller.as_mut() {
+                    let wl = window_loads.as_mut().expect("window loads with controller");
+                    let window_total = wl.total();
+                    let window_max = wl.max_count();
+                    wl.finish_window(active.len());
+                    if let Some(new_active) = ctrl.observe_window(window_total, window_max) {
+                        active = active_workers(new_active, &send.excluded);
+                        assert!(
+                            !active.is_empty(),
+                            "every worker excluded; nothing to route to"
+                        );
+                        partitioner
+                            .as_mut()
+                            .expect("partitioner built above")
+                            .rescale(&partition_config(plan, active.len()));
+                    } else {
+                        let part = partitioner.as_mut().expect("partitioner built above");
+                        if let Some(snapshot) = part.head_snapshot() {
+                            if let Some(decision) =
+                                ctrl.retune(&snapshot.frequencies, snapshot.tail_mass())
+                            {
+                                part.apply_choices(decision);
+                            }
+                        }
                     }
                 }
                 if keep_snapshots {
@@ -1244,6 +1446,7 @@ where
                             emitted_in_phase: emitted,
                             next_seq: send.next_seq.clone(),
                             excluded: send.excluded.clone(),
+                            controller: controller.clone(),
                         },
                     );
                 }
@@ -1323,7 +1526,13 @@ where
             }
         }
     }
-    send.sent
+    SourceStageReport {
+        sent: send.sent,
+        controller_events: controller
+            .as_mut()
+            .map(|c| c.take_events())
+            .unwrap_or_default(),
+    }
 }
 
 /// Drains every queued supervisor event without blocking. `Rejoin` swaps
@@ -1442,13 +1651,27 @@ fn replay_to_worker<S, Tx>(
         .find(|s| s.next_seq[target] <= request.from_seq)
         .expect("origin snapshot covers sequence zero");
     let mut partitioner = snap.partitioner.clone();
+    // Controller mirroring: replay re-steps a clone of the snapshot's
+    // controller at every window boundary with the identical per-slot
+    // signal (the full key buffer is routed below, not just the target's
+    // share), so every adaptation decision — rescale or retune — replays
+    // bit-identically. The clone's event log is discarded with the clone;
+    // only the live loop's log is ever reported.
+    let mut controller = snap.controller.clone();
+    let mut window_loads = controller
+        .as_ref()
+        .map(|_| PerWindowLoads::new(senders.len()));
     // Routed slots map through the snapshot's exclusion set, exactly as
     // the live loop's did at that point — the identity map until a
     // supervisor exclusion happened. (A replay spanning an exclusion
     // boundary would route the post-boundary stretch with the
     // pre-boundary map; that cannot arise here because exclusion is
     // permanent death — an excluded worker never rejoins to request one.)
-    let mut active = active_workers(plan.phases[snap.phase_idx].workers, &snap.excluded);
+    let snap_active = match controller.as_ref() {
+        Some(ctrl) => ctrl.active_workers(),
+        None => plan.phases[snap.phase_idx].workers,
+    };
+    let mut active = active_workers(snap_active, &snap.excluded);
     let mut replay_seq = snap.next_seq[target];
     let batch_size = plan.batch_size;
     let window_size = plan.window_size;
@@ -1493,9 +1716,15 @@ fn replay_to_worker<S, Tx>(
             // Crossing a phase boundary inside the replay: rescale the
             // cloned routing state and open a fresh phase stream, exactly
             // as the live loop did.
-            active = active_workers(phase.workers, &snap.excluded);
-            let partition = PartitionConfig::new(active.len()).with_seed(plan.seed);
-            partitioner.rescale(&partition);
+            let count = match controller.as_ref() {
+                Some(ctrl) => ctrl.active_workers(),
+                None => phase.workers,
+            };
+            active = active_workers(count, &snap.excluded);
+            partitioner.rescale(&partition_config(plan, active.len()));
+            if let Some(ctrl) = controller.as_mut() {
+                ctrl.note_partitioner_rebuilt();
+            }
             (stream_for_phase(phase_idx), 0u64)
         };
         while emitted < phase.tuples_per_source {
@@ -1521,6 +1750,11 @@ fn replay_to_worker<S, Tx>(
             }
             let window = window_of(local_idx, window_size);
             partitioner.route_batch(&keybuf, &mut routebuf);
+            if let Some(wl) = window_loads.as_mut() {
+                for &route in &routebuf {
+                    wl.record(route);
+                }
+            }
             for (&key, &route) in keybuf.iter().zip(&routebuf) {
                 if active[route] != target {
                     continue;
@@ -1540,6 +1774,25 @@ fn replay_to_worker<S, Tx>(
                     deliver_batch(&mut replay_seq, keys, window);
                 }
                 deliver_close(&mut replay_seq, window);
+                // Controller step, mirroring the live loop's boundary
+                // exactly (same signal, same order), so the cloned routing
+                // state takes the same rescale/retune path.
+                if let Some(ctrl) = controller.as_mut() {
+                    let wl = window_loads.as_mut().expect("window loads with controller");
+                    let window_total = wl.total();
+                    let window_max = wl.max_count();
+                    wl.finish_window(active.len());
+                    if let Some(new_active) = ctrl.observe_window(window_total, window_max) {
+                        active = active_workers(new_active, &snap.excluded);
+                        partitioner.rescale(&partition_config(plan, active.len()));
+                    } else if let Some(snapshot) = partitioner.head_snapshot() {
+                        if let Some(decision) =
+                            ctrl.retune(&snapshot.frequencies, snapshot.tail_mass())
+                        {
+                            partitioner.apply_choices(decision);
+                        }
+                    }
+                }
             }
             // Burst-boundary flush, mirroring the live loop (sans sleep):
             // the flush consumes a sequence number whenever the target's
@@ -2421,12 +2674,16 @@ fn finalize_quorate_windows<P>(
 ///
 /// `worker_reports` must be indexed by worker; aggregator reports may come
 /// in any order (their window sets are disjoint by sharding, and the merge
-/// is associative and commutative anyway).
+/// is associative and commutative anyway). `controller_events` are the
+/// concatenated per-source elasticity decision logs (empty when the run had
+/// no controller); [`ControllerMetrics::merged`] sorts them into the
+/// canonical (source, window) order.
 pub fn assemble_result<A>(
     plan: &StagePlan,
     aggregate: &A,
     worker_reports: Vec<WorkerStageReport>,
     aggregator_reports: Vec<AggregatorStageReport<A::Partial>>,
+    controller_events: Vec<ControllerEvent>,
     elapsed_secs: f64,
 ) -> WindowedRun<A::Partial>
 where
@@ -2505,13 +2762,22 @@ where
             let span_secs = phase_spans[p]
                 .map(|(first, last)| last.saturating_sub(first) as f64 / 1e6)
                 .unwrap_or(0.0);
+            // With an elasticity controller the phase's configured worker
+            // count is only the starting point — the controller may have
+            // activated workers beyond it mid-phase — so the per-phase view
+            // covers the whole spawned universe instead.
+            let phase_width = if plan.controller.is_some() {
+                plan.spawned_workers
+            } else {
+                phase.workers
+            };
             PhaseMetrics {
                 phase: p,
-                workers: phase.workers,
+                workers: phase_width,
                 start_window: phase.start_window,
                 windows: phase.windows,
-                worker_counts: phase_matrix.phase_counts(p)[..phase.workers].to_vec(),
-                imbalance: phase_matrix.phase_imbalance(p, phase.workers),
+                worker_counts: phase_matrix.phase_counts(p)[..phase_width].to_vec(),
+                imbalance: phase_matrix.phase_imbalance(p, phase_width),
                 stage: StageMetrics::new(
                     phase_matrix.phase_total(p),
                     span_secs,
@@ -2550,6 +2816,7 @@ where
                 ..RecoveryMetrics::default()
             },
         ),
+        controller: ControllerMetrics::merged(controller_events),
     };
     WindowedRun { result, windows }
 }
@@ -2650,8 +2917,11 @@ where
     drop(senders);
 
     let mut sent_total = 0u64;
+    let mut controller_events = Vec::new();
     for h in source_handles {
-        sent_total += h.join().expect("source thread panicked");
+        let report = h.join().expect("source thread panicked");
+        sent_total += report.sent;
+        controller_events.extend(report.controller_events);
     }
     let worker_reports: Vec<WorkerStageReport> = worker_handles
         .into_iter()
@@ -2671,6 +2941,7 @@ where
         &aggregate,
         worker_reports,
         aggregator_reports,
+        controller_events,
         elapsed,
     )
 }
@@ -3299,7 +3570,7 @@ mod tests {
             }
         }
         event_tx.send(SourceControlEvent::Release).unwrap();
-        let sent = source.join().expect("source thread panicked");
+        let sent = source.join().expect("source thread panicked").sent;
         // Replays are re-sends, not new tuples.
         assert_eq!(sent, plan.phases[0].tuples_per_source);
     }
@@ -3335,7 +3606,7 @@ mod tests {
                 |_| panic!("no rejoin in this test"),
             )
         });
-        let sent = source.join().expect("source thread panicked");
+        let sent = source.join().expect("source thread panicked").sent;
         assert_eq!(sent, plan.phases[0].tuples_per_source);
         // Worker 1 saw only window 0 (its exclusion landed at window 0's
         // boundary): batches and exactly one close, nothing later.

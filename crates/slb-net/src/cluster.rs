@@ -23,7 +23,7 @@
 use std::str::FromStr;
 
 use slb_core::wire::{read_u32, read_u64, write_u32, write_u64};
-use slb_core::PartitionerKind;
+use slb_core::{ControllerConfig, PartitionerKind, SolverMode};
 use slb_engine::{EngineConfig, ScenarioConfig, StagePlan};
 use slb_workloads::{Arrival, Scenario, ScenarioPhase};
 
@@ -112,8 +112,14 @@ impl ClusterSpec {
     /// activate a prefix).
     pub fn workers(&self) -> usize {
         match &self.run {
-            RunSpec::Engine(cfg) => cfg.workers,
-            RunSpec::Scenario(cfg) => cfg.scenario.max_workers(),
+            RunSpec::Engine(cfg) => match &cfg.controller {
+                Some(c) => cfg.workers.max(c.max_workers),
+                None => cfg.workers,
+            },
+            RunSpec::Scenario(cfg) => match &cfg.controller {
+                Some(c) => cfg.scenario.max_workers().max(c.max_workers),
+                None => cfg.scenario.max_workers(),
+            },
         }
     }
 
@@ -169,9 +175,23 @@ impl ClusterSpec {
                 .parse::<u64>()
                 .map_err(|_| format!("field {name} must be an integer"))
         };
+        let opt = |name: &str| -> Option<String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+        };
         let scheme = take("scheme")?
             .parse::<PartitionerKind>()
             .map_err(|e| format!("bad scheme: {e}"))?;
+        let solver = match opt("solver") {
+            Some(text) => parse_solver(&text)?,
+            None => SolverMode::Online,
+        };
+        let controller = match opt("controller") {
+            Some(text) => Some(parse_controller(&text)?),
+            None => None,
+        };
         match mode.as_deref() {
             Some("engine") => {
                 let cfg = EngineConfig {
@@ -189,6 +209,8 @@ impl ClusterSpec {
                     batch_size: int("batch_size")? as usize,
                     window_size: int("window_size")?,
                     aggregators: int("aggregators")? as usize,
+                    solver,
+                    controller,
                 };
                 Ok(Self {
                     run: RunSpec::Engine(cfg),
@@ -205,11 +227,15 @@ impl ClusterSpec {
                     int("seed")?,
                 );
                 scenario.phases = phases;
-                let cfg = ScenarioConfig::new(scheme, scenario)
+                let mut cfg = ScenarioConfig::new(scheme, scenario)
                     .with_service_time_us(int("service_time_us")?)
                     .with_queue_capacity(int("queue_capacity")? as usize)
                     .with_batch_size(int("batch_size")? as usize)
-                    .with_aggregators(int("aggregators")? as usize);
+                    .with_aggregators(int("aggregators")? as usize)
+                    .with_solver(solver);
+                if let Some(controller) = controller {
+                    cfg = cfg.with_controller(controller);
+                }
                 cfg.scenario
                     .validate()
                     .map_err(|e| format!("invalid scenario: {e}"))?;
@@ -246,6 +272,12 @@ impl ClusterSpec {
                 line("batch_size", cfg.batch_size.to_string());
                 line("window_size", cfg.window_size.to_string());
                 line("aggregators", cfg.aggregators.to_string());
+                if cfg.solver != SolverMode::Online {
+                    line("solver", render_solver(cfg.solver));
+                }
+                if let Some(controller) = &cfg.controller {
+                    line("controller", render_controller(controller));
+                }
             }
             RunSpec::Scenario(cfg) => {
                 line("mode", "scenario".into());
@@ -258,6 +290,12 @@ impl ClusterSpec {
                 line("queue_capacity", cfg.queue_capacity.to_string());
                 line("batch_size", cfg.batch_size.to_string());
                 line("aggregators", cfg.aggregators.to_string());
+                if cfg.solver != SolverMode::Online {
+                    line("solver", render_solver(cfg.solver));
+                }
+                if let Some(controller) = &cfg.controller {
+                    line("controller", render_controller(controller));
+                }
                 for phase in &cfg.scenario.phases {
                     line("phase", render_phase(phase));
                 }
@@ -345,6 +383,85 @@ fn render_phase(phase: &ScenarioPhase) -> String {
     parts.join(" ")
 }
 
+fn parse_solver(text: &str) -> Result<SolverMode, String> {
+    match text {
+        "online" => Ok(SolverMode::Online),
+        "external" => Ok(SolverMode::External),
+        other => match other.strip_prefix("fixed:") {
+            Some(d) => {
+                let d = d
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad fixed d: {d}"))?;
+                if d < 2 {
+                    return Err(format!("fixed d must be at least 2, got {d}"));
+                }
+                Ok(SolverMode::Fixed(d))
+            }
+            None => Err(format!("unknown solver mode: {other}")),
+        },
+    }
+}
+
+fn render_solver(solver: SolverMode) -> String {
+    match solver {
+        SolverMode::Online => "online".into(),
+        SolverMode::Fixed(d) => format!("fixed:{d}"),
+        SolverMode::External => "external".into(),
+    }
+}
+
+fn parse_controller(tokens: &str) -> Result<ControllerConfig, String> {
+    let mut min = None;
+    let mut max = None;
+    let mut capacity = None;
+    let mut occupancy = 0.5f64;
+    let mut patience = 2u32;
+    let mut cooldown = 2u32;
+    let mut step = 1usize;
+    let mut epsilon = 1e-4f64;
+    for token in tokens.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("controller token `{token}` is not key=value"))?;
+        let bad = |what: &str| format!("controller {key} must be {what}");
+        match key {
+            "min" => min = Some(value.parse::<usize>().map_err(|_| bad("an integer"))?),
+            "max" => max = Some(value.parse::<usize>().map_err(|_| bad("an integer"))?),
+            "capacity" => capacity = Some(value.parse::<u64>().map_err(|_| bad("an integer"))?),
+            "occupancy" => occupancy = value.parse::<f64>().map_err(|_| bad("a float"))?,
+            "patience" => patience = value.parse::<u32>().map_err(|_| bad("an integer"))?,
+            "cooldown" => cooldown = value.parse::<u32>().map_err(|_| bad("an integer"))?,
+            "step" => step = value.parse::<usize>().map_err(|_| bad("an integer"))?,
+            "epsilon" => epsilon = value.parse::<f64>().map_err(|_| bad("a float"))?,
+            other => return Err(format!("unknown controller field: {other}")),
+        }
+    }
+    Ok(ControllerConfig {
+        min_workers: min.ok_or("controller needs min=")?,
+        max_workers: max.ok_or("controller needs max=")?,
+        worker_capacity: capacity.ok_or("controller needs capacity=")?,
+        scale_in_occupancy: occupancy,
+        patience,
+        cooldown,
+        step,
+        epsilon,
+    })
+}
+
+fn render_controller(cfg: &ControllerConfig) -> String {
+    format!(
+        "min={} max={} capacity={} occupancy={} patience={} cooldown={} step={} epsilon={}",
+        cfg.min_workers,
+        cfg.max_workers,
+        cfg.worker_capacity,
+        cfg.scale_in_occupancy,
+        cfg.patience,
+        cfg.cooldown,
+        cfg.step,
+        cfg.epsilon
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Binary form (control plane)
 // ---------------------------------------------------------------------------
@@ -397,6 +514,62 @@ fn read_str(input: &mut &[u8]) -> Result<String, WireError> {
     Ok(s)
 }
 
+fn write_solver(out: &mut Vec<u8>, solver: SolverMode) {
+    match solver {
+        SolverMode::Online => out.push(0),
+        SolverMode::Fixed(d) => {
+            out.push(1);
+            write_u64(out, d as u64);
+        }
+        SolverMode::External => out.push(2),
+    }
+}
+
+fn read_solver(input: &mut &[u8]) -> Result<SolverMode, WireError> {
+    use crate::wire::read_u8;
+    Ok(match read_u8(input)? {
+        0 => SolverMode::Online,
+        1 => SolverMode::Fixed(read_u64(input)? as usize),
+        2 => SolverMode::External,
+        _ => return Err(WireError::Malformed("unknown solver-mode tag")),
+    })
+}
+
+fn write_controller(out: &mut Vec<u8>, controller: &Option<ControllerConfig>) {
+    match controller {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            write_u64(out, c.min_workers as u64);
+            write_u64(out, c.max_workers as u64);
+            write_u64(out, c.worker_capacity);
+            write_f64(out, c.scale_in_occupancy);
+            write_u32(out, c.patience);
+            write_u32(out, c.cooldown);
+            write_u64(out, c.step as u64);
+            write_f64(out, c.epsilon);
+        }
+    }
+}
+
+fn read_controller(input: &mut &[u8]) -> Result<Option<ControllerConfig>, WireError> {
+    use crate::wire::read_u8;
+    Ok(match read_u8(input)? {
+        0 => None,
+        1 => Some(ControllerConfig {
+            min_workers: read_u64(input)? as usize,
+            max_workers: read_u64(input)? as usize,
+            worker_capacity: read_u64(input)?,
+            scale_in_occupancy: read_f64(input)?,
+            patience: read_u32(input)?,
+            cooldown: read_u32(input)?,
+            step: read_u64(input)? as usize,
+            epsilon: read_f64(input)?,
+        }),
+        _ => return Err(WireError::Malformed("unknown controller tag")),
+    })
+}
+
 /// Encodes a run spec for the control plane's `Start` frame.
 pub fn encode_run_spec(spec: &RunSpec) -> Vec<u8> {
     let mut out = Vec::new();
@@ -415,6 +588,8 @@ pub fn encode_run_spec(spec: &RunSpec) -> Vec<u8> {
             write_u64(&mut out, cfg.batch_size as u64);
             write_u64(&mut out, cfg.window_size);
             write_u64(&mut out, cfg.aggregators as u64);
+            write_solver(&mut out, cfg.solver);
+            write_controller(&mut out, &cfg.controller);
         }
         RunSpec::Scenario(cfg) => {
             out.push(1);
@@ -423,6 +598,8 @@ pub fn encode_run_spec(spec: &RunSpec) -> Vec<u8> {
             write_u64(&mut out, cfg.queue_capacity as u64);
             write_u64(&mut out, cfg.batch_size as u64);
             write_u64(&mut out, cfg.aggregators as u64);
+            write_solver(&mut out, cfg.solver);
+            write_controller(&mut out, &cfg.controller);
             write_str(&mut out, &cfg.scenario.name);
             write_u64(&mut out, cfg.scenario.sources as u64);
             write_u64(&mut out, cfg.scenario.window_size);
@@ -475,6 +652,8 @@ pub fn decode_run_spec(bytes: &[u8]) -> Result<RunSpec, WireError> {
                 batch_size: read_u64(&mut input)? as usize,
                 window_size: read_u64(&mut input)?,
                 aggregators: read_u64(&mut input)? as usize,
+                solver: read_solver(&mut input)?,
+                controller: read_controller(&mut input)?,
             })
         }
         1 => {
@@ -483,6 +662,8 @@ pub fn decode_run_spec(bytes: &[u8]) -> Result<RunSpec, WireError> {
             let queue_capacity = read_u64(&mut input)? as usize;
             let batch_size = read_u64(&mut input)? as usize;
             let aggregators = read_u64(&mut input)? as usize;
+            let solver = read_solver(&mut input)?;
+            let controller = read_controller(&mut input)?;
             let name = read_str(&mut input)?;
             let sources = read_u64(&mut input)? as usize;
             let window_size = read_u64(&mut input)?;
@@ -517,13 +698,16 @@ pub fn decode_run_spec(bytes: &[u8]) -> Result<RunSpec, WireError> {
                 phase = phase.with_arrival(arrival);
                 scenario = scenario.phase(phase);
             }
-            RunSpec::Scenario(
-                ScenarioConfig::new(kind, scenario)
-                    .with_service_time_us(service_time_us)
-                    .with_queue_capacity(queue_capacity)
-                    .with_batch_size(batch_size)
-                    .with_aggregators(aggregators),
-            )
+            let mut cfg = ScenarioConfig::new(kind, scenario)
+                .with_service_time_us(service_time_us)
+                .with_queue_capacity(queue_capacity)
+                .with_batch_size(batch_size)
+                .with_aggregators(aggregators)
+                .with_solver(solver);
+            if let Some(controller) = controller {
+                cfg = cfg.with_controller(controller);
+            }
+            RunSpec::Scenario(cfg)
         }
         _ => return Err(WireError::Malformed("unknown run-spec tag")),
     };

@@ -316,7 +316,7 @@ pub fn run_node_with(
             for &port in &worker_ports {
                 senders.push(TcpTupleSender::new(dial(port)?, epoch));
             }
-            let sent = match &spec.run {
+            let report = match &spec.run {
                 RunSpec::Engine(cfg) => {
                     run_source_stage(&plan, index, |_phase| source_stream(cfg, index), &senders)
                 }
@@ -332,7 +332,8 @@ pub fn run_node_with(
                 &mut control_stream,
                 &ControlFrame::SourceReport {
                     source: index as u32,
-                    sent,
+                    sent: report.sent,
+                    controller_events: report.controller_events,
                 },
             )
         }
@@ -550,7 +551,7 @@ fn run_source_node_supervised(
             Err(e) => eprintln!("source {index}: re-dialing worker {w} failed: {e}"),
         }
     };
-    let sent = match &spec.run {
+    let report = match &spec.run {
         RunSpec::Engine(cfg) => run_source_stage_supervised(
             &plan,
             index,
@@ -574,7 +575,8 @@ fn run_source_node_supervised(
         &mut control_stream,
         &ControlFrame::SourceReport {
             source: index as u32,
-            sent,
+            sent: report.sent,
+            controller_events: report.controller_events,
         },
     )
 }
@@ -1187,6 +1189,7 @@ fn orchestrate_inner(
         degraded: Vec::new(),
     };
     let mut sent_total = 0u64;
+    let mut controller_events = Vec::new();
     let mut sources_reported = vec![false; spec.sources()];
     let mut aggregators_reported = vec![false; spec.aggregators()];
     let mut worker_reports: Vec<Option<WorkerStageReport>> =
@@ -1294,12 +1297,17 @@ fn orchestrate_inner(
 
         match event_rx.recv_timeout(Duration::from_millis(200)) {
             Ok(SupervisorEvent::Frame { role, index, frame }) => match frame {
-                ControlFrame::SourceReport { source, sent } => {
+                ControlFrame::SourceReport {
+                    source,
+                    sent,
+                    controller_events: events,
+                } => {
                     let slot = sources_reported
                         .get_mut(source as usize)
                         .ok_or("source report index out of range")?;
                     *slot = true;
                     sent_total += sent;
+                    controller_events.extend(events);
                 }
                 ControlFrame::WorkerReport(report) => {
                     let w = report.worker as usize;
@@ -1501,6 +1509,7 @@ fn orchestrate_inner(
         &CountAggregate,
         worker_reports,
         aggregator_reports,
+        controller_events,
         elapsed,
     );
     // A degraded run *loses* the excluded worker's unshipped tuples by

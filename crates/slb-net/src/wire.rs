@@ -33,6 +33,7 @@
 use std::io::{self, Read, Write};
 
 use slb_core::wire::{read_u32, read_u64, write_u32, write_u64, PartialDecodeError, WirePartial};
+use slb_core::{ControllerAction, ControllerEvent};
 
 /// Hard ceiling on one frame's payload (tag + body), defending the decoder
 /// against allocating on a corrupt length prefix. Generous: the largest
@@ -261,12 +262,15 @@ pub enum ControlFrame {
         /// The encoded run configuration (see `cluster::RunSpec`).
         config: Vec<u8>,
     },
-    /// Source → orchestrator: tuples sent.
+    /// Source → orchestrator: tuples sent plus the source's elasticity
+    /// decision log (empty when the run had no controller).
     SourceReport {
         /// Source index.
         source: u32,
         /// Tuples the source shipped.
         sent: u64,
+        /// The source controller's decision log, in window order.
+        controller_events: Vec<ControllerEvent>,
     },
     /// Worker → orchestrator end-of-run report.
     WorkerReport(WorkerReportWire),
@@ -629,10 +633,26 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
             out.extend_from_slice(config);
             end_frame(out, at);
         }
-        ControlFrame::SourceReport { source, sent } => {
+        ControlFrame::SourceReport {
+            source,
+            sent,
+            controller_events,
+        } => {
             let at = begin_frame(out, tag::SOURCE_REPORT);
             write_u32(out, *source);
             write_u64(out, *sent);
+            write_u32(out, controller_events.len() as u32);
+            for event in controller_events {
+                write_u32(out, event.source);
+                write_u64(out, event.window);
+                out.push(match event.action {
+                    ControllerAction::ScaleOut => 0,
+                    ControllerAction::ScaleIn => 1,
+                    ControllerAction::Retune => 2,
+                });
+                write_u32(out, event.workers);
+                write_u32(out, event.d);
+            }
             end_frame(out, at);
         }
         ControlFrame::WorkerReport(report) => {
@@ -741,10 +761,38 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
                 config,
             }
         }
-        tag::SOURCE_REPORT => ControlFrame::SourceReport {
-            source: read_u32(&mut input)?,
-            sent: read_u64(&mut input)?,
-        },
+        tag::SOURCE_REPORT => {
+            let source = read_u32(&mut input)?;
+            let sent = read_u64(&mut input)?;
+            let n_events = read_u32(&mut input)?;
+            // Each event is 4 + 8 + 1 + 4 + 4 = 21 bytes on the wire.
+            let n_events = checked_count(input, n_events, 21)?;
+            let mut controller_events = Vec::with_capacity(n_events);
+            for _ in 0..n_events {
+                let event_source = read_u32(&mut input)?;
+                let window = read_u64(&mut input)?;
+                let action = match read_u8(&mut input)? {
+                    0 => ControllerAction::ScaleOut,
+                    1 => ControllerAction::ScaleIn,
+                    2 => ControllerAction::Retune,
+                    _ => return Err(WireError::Malformed("unknown controller action")),
+                };
+                let workers = read_u32(&mut input)?;
+                let d = read_u32(&mut input)?;
+                controller_events.push(ControllerEvent {
+                    source: event_source,
+                    window,
+                    action,
+                    workers,
+                    d,
+                });
+            }
+            ControlFrame::SourceReport {
+                source,
+                sent,
+                controller_events,
+            }
+        }
         tag::WORKER_REPORT => {
             let worker = read_u32(&mut input)?;
             let processed = read_u64(&mut input)?;
@@ -1054,6 +1102,22 @@ mod tests {
             ControlFrame::SourceReport {
                 source: 2,
                 sent: 88,
+                controller_events: vec![
+                    ControllerEvent {
+                        source: 2,
+                        window: 5,
+                        action: ControllerAction::ScaleOut,
+                        workers: 6,
+                        d: 2,
+                    },
+                    ControllerEvent {
+                        source: 2,
+                        window: 9,
+                        action: ControllerAction::Retune,
+                        workers: 6,
+                        d: 0,
+                    },
+                ],
             },
             ControlFrame::WorkerReport(WorkerReportWire {
                 worker: 1,

@@ -19,7 +19,10 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 use slb_core::wire::WirePartial;
-use slb_core::{OpenWindowState, PartitionerKind, WorkerCheckpoint};
+use slb_core::{
+    ControllerAction, ControllerConfig, ControllerEvent, OpenWindowState, PartitionerKind,
+    SolverMode, WorkerCheckpoint,
+};
 use slb_engine::{EngineConfig, ScenarioConfig};
 use slb_net::cluster::{decode_run_spec, encode_run_spec, RunSpec};
 use slb_net::wire::{
@@ -35,6 +38,34 @@ use slb_workloads::{Arrival, Scenario, ScenarioPhase};
 /// tuple strategies; the derived counts still cover 1..2¹⁶ widely).
 fn counts_from(keys: &[u64]) -> HashMap<u64, u64> {
     keys.iter().map(|&k| (k, (k >> 16 & 0xFFFF) | 1)).collect()
+}
+
+/// Derives one of the three solver modes from a seed (the shim's input cap
+/// leaves no room for a dedicated strategy parameter).
+fn solver_from(seed: u64) -> SolverMode {
+    match seed % 3 {
+        0 => SolverMode::Online,
+        1 => SolverMode::Fixed(2 + (seed % 7) as usize),
+        _ => SolverMode::External,
+    }
+}
+
+/// Derives an optional, always-valid controller config from a seed.
+fn controller_from(seed: u64, workers: usize) -> Option<ControllerConfig> {
+    if seed % 2 != 0 {
+        return None;
+    }
+    let min = 1 + (seed % 3) as usize;
+    Some(ControllerConfig {
+        min_workers: min,
+        max_workers: min + workers + (seed % 5) as usize,
+        worker_capacity: 1 + seed % 10_000,
+        scale_in_occupancy: 0.25 + (seed % 8) as f64 / 16.0,
+        patience: 1 + (seed % 4) as u32,
+        cooldown: (seed % 4) as u32,
+        step: 1 + (seed % 2) as usize,
+        epsilon: 1e-4 + (seed % 9) as f64 * 1e-5,
+    })
 }
 
 /// Builds one of each control-frame variant from primitive raw material, so
@@ -57,6 +88,21 @@ fn control_frames(raw: &[u64], ports: &[u16], samples: &[u64], keys: &[u64]) -> 
         ControlFrame::SourceReport {
             source: at(4) as u32,
             sent: at(5),
+            controller_events: raw
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ControllerEvent {
+                    source: at(4) as u32,
+                    window: v,
+                    action: match i % 3 {
+                        0 => ControllerAction::ScaleOut,
+                        1 => ControllerAction::ScaleIn,
+                        _ => ControllerAction::Retune,
+                    },
+                    workers: (v % 64) as u32,
+                    d: (v % 8) as u32,
+                })
+                .collect(),
         },
         ControlFrame::WorkerReport(WorkerReportWire {
             worker: at(6) as u32,
@@ -390,6 +436,8 @@ proptest! {
             batch_size,
             window_size,
             aggregators,
+            solver: solver_from(seed),
+            controller: controller_from(seed, workers),
         });
         let bytes = encode_run_spec(&spec);
         let back = decode_run_spec(&bytes).expect("own encoding decodes");
@@ -440,11 +488,14 @@ proptest! {
             }
             scenario = scenario.phase(phase);
         }
-        let spec = RunSpec::Scenario(
-            ScenarioConfig::new(PartitionerKind::ALL[kind_idx], scenario)
-                .with_service_time_us(service_time_us)
-                .with_aggregators(aggregators),
-        );
+        let mut cfg = ScenarioConfig::new(PartitionerKind::ALL[kind_idx], scenario)
+            .with_service_time_us(service_time_us)
+            .with_aggregators(aggregators)
+            .with_solver(solver_from(seed));
+        if let Some(controller) = controller_from(seed, phase_workers.iter().copied().max().unwrap_or(1)) {
+            cfg = cfg.with_controller(controller);
+        }
+        let spec = RunSpec::Scenario(cfg);
         let bytes = encode_run_spec(&spec);
         let back = decode_run_spec(&bytes).expect("own encoding decodes");
         prop_assert_eq!(&back, &spec);

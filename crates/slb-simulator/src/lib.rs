@@ -25,6 +25,7 @@ pub mod simulation;
 
 pub use metrics::{HeadTailLoad, SimulationResult, TimeSeriesPoint};
 pub use scenario::{
-    compare_scenario_schemes, simulate_scenario, ScenarioPhaseOutcome, ScenarioSimResult,
+    compare_scenario_schemes, simulate_scenario, simulate_scenario_controlled, ControlledSimResult,
+    ScenarioPhaseOutcome, ScenarioSimResult,
 };
 pub use simulation::{SimulationConfig, Simulator};

@@ -18,8 +18,9 @@
 use serde::{Deserialize, Serialize};
 
 use slb_core::{
-    build_partitioner, imbalance_fractions, PartitionConfig, Partitioner, PartitionerKind,
-    PhaseLoadMatrix,
+    build_partitioner, imbalance_fractions, ControllerConfig, ControllerMetrics,
+    ElasticityController, PartitionConfig, Partitioner, PartitionerKind, PerWindowLoads,
+    PhaseLoadMatrix, SolverMode,
 };
 use slb_workloads::{KeyId, KeyStream, Scenario};
 
@@ -110,6 +111,118 @@ pub fn simulate_scenario(kind: PartitionerKind, scenario: &Scenario) -> Scenario
         scenario: scenario.name.clone(),
         tuples: matrix.total(),
         phases,
+    }
+}
+
+/// Routing outcome of a scenario replayed under an elasticity controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlledSimResult {
+    /// Scheme symbol (KG, SG, PKG, D-C, W-C, RR).
+    pub scheme: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Total tuples routed.
+    pub tuples: u64,
+    /// Per-worker routed counts over the spawned worker universe
+    /// (`max(scenario.max_workers(), controller.max_workers)`).
+    pub worker_counts: Vec<u64>,
+    /// The paper's imbalance `I` over the spawned worker universe — the
+    /// same statistic `EngineResult::imbalance` reports for controlled
+    /// engine runs.
+    pub imbalance: f64,
+    /// All controller decisions, canonically merged across sources.
+    pub controller: ControllerMetrics,
+}
+
+/// Replays `scenario` under `kind` with the elasticity controller enabled —
+/// the analytic mirror of the engine's controlled scenario runs.
+///
+/// Each source gets its own [`ElasticityController`] stepped at every
+/// window boundary with the same two signals the engine feeds it: the
+/// closing window's per-slot routed counts ([`PerWindowLoads`]) and the
+/// partitioner's own head snapshot. Because both signals are pure functions
+/// of the source's stream prefix, the decision log and the routed counts
+/// are *exactly* equal to the engine's
+/// (`slb-net/tests/controller_differential.rs` pins this across backends).
+///
+/// # Panics
+/// Panics if the scenario or the controller config is invalid.
+pub fn simulate_scenario_controlled(
+    kind: PartitionerKind,
+    scenario: &Scenario,
+    controller: &ControllerConfig,
+) -> ControlledSimResult {
+    if let Err(message) = scenario.validate() {
+        panic!("invalid scenario: {message}");
+    }
+    controller.validate();
+    let spawned = scenario.max_workers().max(controller.max_workers);
+    let mut counts = vec![0u64; spawned];
+    let mut events = Vec::new();
+    // Sources are independent: each carries its own controller and
+    // partitioner across all phases, exactly like one engine source thread.
+    for source in 0..scenario.sources {
+        let mut ctrl = ElasticityController::new(
+            controller.clone(),
+            source as u32,
+            scenario.phases[0].workers,
+        );
+        let mut window_loads = PerWindowLoads::new(spawned);
+        let mut partitioner: Option<Box<dyn Partitioner<KeyId>>> = None;
+        for (p, phase) in scenario.phases.iter().enumerate() {
+            // The controller owns the active count: phase worker counts are
+            // advisory only (they seeded the controller's initial count).
+            let mut active = ctrl.active_workers();
+            let config = |workers: usize| {
+                PartitionConfig::new(workers)
+                    .with_seed(scenario.seed)
+                    .with_solver(SolverMode::External)
+            };
+            match partitioner.as_mut() {
+                None => partitioner = Some(build_partitioner::<KeyId>(kind, &config(active))),
+                Some(part) => {
+                    part.rescale(&config(active));
+                    ctrl.note_partitioner_rebuilt();
+                }
+            }
+            let part = partitioner.as_mut().expect("partitioner built above");
+            let mut stream = scenario.phase_stream(p, source);
+            for _window in 0..phase.windows {
+                for _ in 0..scenario.window_size {
+                    let key = stream.next_key().expect("stream covers every window");
+                    let slot = part.route(&key);
+                    counts[slot] += 1;
+                    window_loads.record(slot);
+                }
+                // The engine's window-boundary controller step, verbatim:
+                // observe, then either rescale or retune — never both.
+                let window_total = window_loads.total();
+                let window_max = window_loads.max_count();
+                window_loads.finish_window(active);
+                if let Some(new_active) = ctrl.observe_window(window_total, window_max) {
+                    active = new_active;
+                    part.rescale(&config(active));
+                } else if let Some(snapshot) = part.head_snapshot() {
+                    if let Some(decision) = ctrl.retune(&snapshot.frequencies, snapshot.tail_mass())
+                    {
+                        part.apply_choices(decision);
+                    }
+                }
+            }
+            assert!(
+                stream.next_key().is_none(),
+                "phase stream outlived its windows"
+            );
+        }
+        events.extend(ctrl.take_events());
+    }
+    ControlledSimResult {
+        scheme: kind.symbol().to_string(),
+        scenario: scenario.name.clone(),
+        tuples: counts.iter().sum(),
+        imbalance: slb_core::imbalance(&counts),
+        worker_counts: counts,
+        controller: ControllerMetrics::merged(events),
     }
 }
 
@@ -239,5 +352,55 @@ mod tests {
     fn invalid_scenario_panics() {
         let s = Scenario::new("empty", 1, 64, 0);
         let _ = simulate_scenario(PartitionerKind::Pkg, &s);
+    }
+
+    #[test]
+    fn controlled_replay_is_deterministic_and_conserves_tuples() {
+        let s = Scenario::drift(2, 128, 4, 11);
+        let cfg = ControllerConfig::new(2, 8, 60);
+        let a = simulate_scenario_controlled(PartitionerKind::DChoices, &s, &cfg);
+        let b = simulate_scenario_controlled(PartitionerKind::DChoices, &s, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.tuples, s.total_tuples());
+        // The spawned universe covers the controller's reach.
+        assert_eq!(a.worker_counts.len(), 8);
+        assert_eq!(a.worker_counts.iter().sum::<u64>(), a.tuples);
+        assert!(a.controller.enabled);
+        for e in &a.controller.events {
+            assert!(
+                (2..=8).contains(&(e.workers as usize)),
+                "decision outside bounds: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_replay_scales_out_under_pressure() {
+        // Capacity 30 on 128-tuple windows: even perfectly balanced load on
+        // 4 workers (32 each) exceeds capacity, so the controller must
+        // activate workers beyond the scenario's constant 4.
+        let s = Scenario::drift(1, 128, 4, 3);
+        let cfg = ControllerConfig::new(2, 8, 30);
+        let r = simulate_scenario_controlled(PartitionerKind::DChoices, &s, &cfg);
+        assert!(
+            r.controller.events.iter().any(|e| e.workers as usize > 4),
+            "no scale-out happened: {:?}",
+            r.controller.events
+        );
+        assert!(
+            r.worker_counts[4..].iter().any(|&c| c > 0),
+            "activated workers received no load"
+        );
+    }
+
+    #[test]
+    fn controller_events_only_for_tunable_schemes() {
+        // PKG has no tunable d and no head snapshot: with a capacity no
+        // window can exceed, the controller stays silent end to end.
+        let s = Scenario::drift(1, 64, 4, 5);
+        let cfg = ControllerConfig::new(4, 4, u64::MAX);
+        let r = simulate_scenario_controlled(PartitionerKind::Pkg, &s, &cfg);
+        assert!(r.controller.enabled);
+        assert!(r.controller.events.is_empty());
     }
 }

@@ -369,6 +369,26 @@ impl Scenario {
                 ScenarioPhase::new(2, 1_000, 0.0, workers),
             )
     }
+
+    /// A drift-heavy scenario for the elasticity controller: the configured
+    /// worker count stays constant (when a controller is attached, *it* owns
+    /// any changes) while the head set churns repeatedly under high skew —
+    /// the regime where online `d` re-solving beats any static `d`.
+    pub fn drift(sources: usize, window_size: u64, workers: usize, seed: u64) -> Self {
+        Self::new("drift", sources, window_size, seed)
+            .phase(
+                // Heavy skew with the hot keys remapped three times.
+                ScenarioPhase::new(6, 400, 1.9, workers).with_drift_epochs(3),
+            )
+            .phase(
+                // Hotter still, over a smaller key space.
+                ScenarioPhase::new(6, 300, 2.0, workers).with_drift_epochs(2),
+            )
+            .phase(
+                // Cool-down at moderate skew, one last head.
+                ScenarioPhase::new(4, 600, 1.5, workers),
+            )
+    }
 }
 
 #[cfg(test)]
@@ -546,5 +566,17 @@ mod tests {
             .iter()
             .any(|p| matches!(p.arrival, Arrival::Bursty { .. })));
         assert!(s.phases.iter().any(|p| !p.worker_speed.is_empty()));
+    }
+
+    #[test]
+    fn drift_preset_is_valid_with_constant_workers() {
+        let s = Scenario::drift(2, 512, 5, 7);
+        assert!(s.validate().is_ok());
+        // The worker count never changes: adaptation is the controller's job.
+        assert!(s.phases.iter().all(|p| p.workers == 5));
+        assert_eq!(s.max_workers(), 5);
+        // At least two phases churn their head sets mid-phase.
+        assert!(s.phases.iter().filter(|p| p.drift_epochs > 1).count() >= 2);
+        assert!(s.phases.iter().all(|p| p.skew >= 1.5));
     }
 }
