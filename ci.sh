@@ -37,6 +37,9 @@ for seed in 1 42 1337; do
     # drift, and produce one decision log everywhere (engine == simulator,
     # InProc == SPSC == TCP, any batch size, with or without faults).
     SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test controller_differential
+    # Logical traces: the telemetry event stream must be bit-identical
+    # across backends, reruns, and batch sizes (docs/OBSERVABILITY.md).
+    SLB_TEST_SEED="$seed" cargo test -q -p slb-net --test trace_differential
 done
 
 echo "==> fault-injection seed matrix (exactly-once under kills and losses, every backend)"
@@ -55,6 +58,7 @@ PROPTEST_CASES=256 cargo test -q -p slb-core --test batch_equivalence --test agg
 PROPTEST_CASES=256 cargo test -q -p slb-sketch --test proptests
 PROPTEST_CASES=256 cargo test -q -p slb-workloads --test scenario_props
 PROPTEST_CASES=256 cargo test -q -p slb-engine --test scenario_props --test ring_props
+PROPTEST_CASES=256 cargo test -q -p slb-telemetry --test histogram_props
 PROPTEST_CASES=256 cargo test -q -p slb-net --test wire_props
 
 echo "==> rustdoc (deny warnings)"
@@ -64,7 +68,7 @@ echo "==> examples (quickstart and imbalance_study already ran via tests/example
 cargo run --quiet --release --example trending_topics > /dev/null
 cargo run --quiet --release --example storm_like_topology > /dev/null
 
-echo "==> perf smoke (batched engine + phased scenario loop + TCP and SPSC backends at zero service time must clear their floors; SPSC must not lose to InProc; idle controller within 5%)"
+echo "==> perf smoke (batched engine + phased scenario loop + TCP and SPSC backends at zero service time must clear their floors; SPSC must not lose to InProc; idle controller within 5%; telemetry within 5%)"
 cargo run --quiet --release -p slb-bench --bin perf_smoke
 
 echo "==> criterion benches (quick mode, compile + run)"

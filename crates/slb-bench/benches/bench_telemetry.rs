@@ -1,0 +1,98 @@
+//! Criterion benches for the telemetry layer: the primitives themselves
+//! (histogram record/merge/quantile) and the end-to-end cost of leaving
+//! telemetry on (instrumented vs baseline topology runs — the micro
+//! counterpart of the CI perf smoke's telemetry gate).
+//!
+//! The primitive numbers bound what the hot path pays per call: a histogram
+//! record is a few arithmetic ops and one array increment, a merge is a
+//! fixed 1-KiB-ish array walk, and neither allocates. The end-to-end pair
+//! shows the aggregate cost at per-batch granularity.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use slb_core::{CountAggregate, PartitionerKind};
+use slb_engine::{EngineConfig, Topology};
+use slb_telemetry::{HopTelemetry, LogHistogram};
+
+fn telemetry_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_primitives");
+
+    // One histogram record per iteration, over a value sweep wide enough to
+    // touch many buckets (the bucket index is a function of the value).
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("histogram_record", |b| {
+        let mut hist = LogHistogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            hist.record(black_box(x >> 32));
+        });
+        black_box(hist.count());
+    });
+
+    // Merging two fully populated histograms: the per-snapshot and
+    // per-report rollup cost. Fixed-size, allocation-free.
+    let mut a = LogHistogram::new();
+    let mut b_hist = LogHistogram::new();
+    for i in 0..100_000u64 {
+        a.record(i.wrapping_mul(2_654_435_761));
+        b_hist.record(i.wrapping_mul(11_400_714_819_323_198_485));
+    }
+    group.bench_function("histogram_merge", |bencher| {
+        bencher.iter(|| {
+            let mut merged = a.clone();
+            merged.merge(black_box(&b_hist));
+            black_box(merged.count())
+        })
+    });
+    group.bench_function("histogram_quantile_p99", |bencher| {
+        bencher.iter(|| black_box(a.quantile(black_box(0.99))))
+    });
+
+    // The per-batch hop-telemetry update a live sender performs: two
+    // counter adds and one occupancy record.
+    group.bench_function("hop_record_batch", |bencher| {
+        let hop = HopTelemetry::default();
+        bencher.iter(|| {
+            let n = black_box(256u64);
+            hop.batches_sent.add(1);
+            hop.tuples_sent.add(n);
+            hop.batch_occupancy.record(n);
+        });
+        black_box(hop.snapshot());
+    });
+    group.finish();
+}
+
+fn telemetry_end_to_end(c: &mut Criterion) {
+    let messages = 100_000u64;
+    let mut group = c.benchmark_group("telemetry_end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(messages));
+    for (label, telemetry) in [("instrumented", true), ("baseline", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("windowed", label),
+            &telemetry,
+            |b, &telemetry| {
+                b.iter(|| {
+                    let cfg = EngineConfig::smoke(PartitionerKind::Pkg, 2.0)
+                        .with_messages(messages)
+                        .with_service_time_us(0);
+                    let topo = Topology::new(cfg);
+                    let run = if telemetry {
+                        topo.run_windowed(CountAggregate)
+                    } else {
+                        topo.run_windowed_without_telemetry(CountAggregate)
+                    };
+                    black_box(run.result.processed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, telemetry_primitives, telemetry_end_to_end);
+criterion_main!(benches);

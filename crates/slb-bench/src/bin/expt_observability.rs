@@ -1,0 +1,163 @@
+//! Observability fidelity: the paper's latency-percentile figure rebuilt
+//! from the telemetry layer's mergeable histograms alone.
+//!
+//! Figure 14 reports p50/p95/p99 latency per scheme from *exact* sorted
+//! samples. A production deployment cannot retain every raw sample, so the
+//! telemetry layer's claim is that its fixed-size log₂ histograms (16
+//! sub-buckets per octave) carry enough fidelity to reproduce the figure.
+//! This experiment measures that claim within single runs: each scheme ×
+//! skew cell runs once, and the cell's exact percentiles (from the run's
+//! retained raw samples) are compared against the quantiles of the *same
+//! run's* merged latency histogram ([`slb_engine::EngineResult`]'s
+//! `latency_histogram` — the distribution a remote node's `MetricsSnapshot`
+//! ships over the wire). Latencies are wall-clock, so only a same-run
+//! comparison is meaningful; a rerun would measure scheduler noise, not
+//! bucketing error.
+//!
+//! The histogram quantile is the floor of the bucket holding the
+//! nearest-rank sample, so it can only under-report, by less than one
+//! sub-bucket width: 2⁻⁴ = 6.25% relative. The run fails if any cell
+//! exceeds that bound — the bound is structural, not statistical, so a
+//! violation means the histogram path is broken, not that the machine was
+//! loaded. The figure's *shape* (KG's tail blow-up at high skew, PKG
+//! cutting it down, D-C/W-C tracking SG) survives bucketing, which is the
+//! operational point: live cluster dashboards built from merged
+//! `MetricsSnapshot` histograms rank schemes the same way the paper does.
+//!
+//! A deployment that sets `SLB_LATENCY_RETAIN=0` (no raw samples at all)
+//! gets exactly the histogram column as its report — the bound measured
+//! here is that configuration's worst-case reporting error.
+
+use slb_bench::json::Table;
+use slb_bench::{options_from_env, print_header};
+use slb_core::PartitionerKind;
+use slb_engine::{EngineConfig, Topology};
+use slb_simulator::experiments::ExperimentScale;
+
+/// One sub-bucket of relative under-report, plus one microsecond of
+/// integer slop for tiny percentiles.
+fn within_bound(exact: u64, bucketed: u64) -> bool {
+    bucketed <= exact && (exact - bucketed) as f64 <= exact as f64 / 16.0 + 1.0
+}
+
+fn err_pct(exact: u64, bucketed: u64) -> f64 {
+    if exact == 0 {
+        0.0
+    } else {
+        100.0 * (exact as f64 - bucketed as f64) / exact as f64
+    }
+}
+
+fn main() {
+    let options = options_from_env();
+    print_header(
+        "Observability",
+        "Latency percentiles from exact samples vs telemetry histograms",
+        &options,
+    );
+
+    let schemes = [
+        PartitionerKind::KeyGrouping,
+        PartitionerKind::Pkg,
+        PartitionerKind::DChoices,
+        PartitionerKind::WChoices,
+        PartitionerKind::ShuffleGrouping,
+    ];
+    let skews = [1.4f64, 1.7, 2.0];
+    let base = |kind: PartitionerKind, z: f64| {
+        match options.scale {
+            ExperimentScale::Smoke => EngineConfig::smoke(kind, z),
+            ExperimentScale::Laptop => EngineConfig::laptop(kind, z),
+            ExperimentScale::Paper => EngineConfig::paper(kind, z),
+        }
+        .with_seed(options.seed)
+    };
+
+    println!(
+        "{:<8} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "scheme",
+        "skew",
+        "p50 (us)",
+        "p50 hist",
+        "p95 (us)",
+        "p95 hist",
+        "p99 (us)",
+        "p99 hist",
+        "err max"
+    );
+    let mut table = Table::new(
+        "observability",
+        &[
+            "scheme",
+            "skew",
+            "p50_exact_us",
+            "p50_hist_us",
+            "p95_exact_us",
+            "p95_hist_us",
+            "p99_exact_us",
+            "p99_hist_us",
+        ],
+    );
+    let mut failed = false;
+    for &z in &skews {
+        for &kind in &schemes {
+            let scheme = kind.symbol();
+            let r = Topology::new(base(kind, z)).run();
+            let exact = &r.latency;
+            let hist = &r.latency_histogram;
+            assert_eq!(
+                hist.count(),
+                exact.samples,
+                "the histogram and the summary must cover the same population"
+            );
+            let pairs = [
+                (exact.p50_us, hist.quantile(0.50)),
+                (exact.p95_us, hist.quantile(0.95)),
+                (exact.p99_us, hist.quantile(0.99)),
+            ];
+            let worst = pairs
+                .into_iter()
+                .map(|(e, b)| {
+                    if !within_bound(e, b) {
+                        failed = true;
+                        eprintln!(
+                            "expt_observability FAILED: {scheme} z={z} histogram percentile \
+                             {b}us breaks the one-sub-bucket bound around the exact {e}us"
+                        );
+                    }
+                    err_pct(e, b)
+                })
+                .fold(0.0f64, f64::max);
+            println!(
+                "{:<8} {:>5.1} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.2}%",
+                scheme,
+                z,
+                exact.p50_us,
+                pairs[0].1,
+                exact.p95_us,
+                pairs[1].1,
+                exact.p99_us,
+                pairs[2].1,
+                worst
+            );
+            table.row([
+                scheme.into(),
+                z.into(),
+                exact.p50_us.into(),
+                pairs[0].1.into(),
+                exact.p95_us.into(),
+                pairs[1].1.into(),
+                exact.p99_us.into(),
+                pairs[2].1.into(),
+            ]);
+        }
+    }
+    table.emit();
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "# histogram percentiles under-report by < 6.25% in every cell: the \
+         telemetry layer reproduces the latency figure without raw samples"
+    );
+}

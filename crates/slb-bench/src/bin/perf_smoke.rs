@@ -36,7 +36,15 @@
 //!    the best pair; a regression that makes checkpointing per-tuple (or
 //!    starts cloning worker state wholesale) lands far outside the budget
 //!    in every pair.
-//! 6. **Controller overhead** — a static single-phase scenario with the
+//! 6. **Telemetry overhead** — the single-phase config against the same
+//!    config with telemetry collection disabled (the measurement-only
+//!    baseline, `run_windowed_without_telemetry`), as five interleaved A/B
+//!    pairs. The always-on observability layer — per-batch hop counters,
+//!    occupancy histogram updates, and logical trace pushes — must stay
+//!    within 5% of baseline throughput in the best pair; anything that
+//!    moves telemetry into the per-tuple path (or adds an allocation per
+//!    batch) is a multiple, not a percentage.
+//! 7. **Controller overhead** — a static single-phase scenario with the
 //!    elasticity controller enabled (worker count pinned, capacity
 //!    effectively infinite: the controller observes every window, snapshots
 //!    the head, re-solves `d`, and decides to do nothing) against the same
@@ -77,6 +85,10 @@ const CHECKPOINT_MAX_OVERHEAD: f64 = 0.10;
 /// controller may cost on a static scenario: the best controlled-vs-off
 /// pair must clear a 0.95 ratio.
 const CONTROLLER_MAX_OVERHEAD: f64 = 0.05;
+
+/// Maximum fraction of throughput the always-on telemetry layer may cost:
+/// the best instrumented-vs-baseline pair must clear a 0.95 ratio.
+const TELEMETRY_MAX_OVERHEAD: f64 = 0.05;
 
 /// Conservative SPSC-backend absolute floor, in events per second.
 const SPSC_FLOOR_EPS: f64 = 5.0e6;
@@ -194,6 +206,35 @@ fn main() {
         checkpoint_best_ratio = checkpoint_best_ratio.max(ratio);
     }
 
+    // Telemetry overhead A/B: the same config with the observability layer
+    // (hop counters, occupancy histograms, trace pushes) disabled. Same
+    // interleaved best-pairwise-ratio structure as the checkpoint gate:
+    // telemetry is per-batch and per-window by construction, so its true
+    // cost is a few percent at worst, and a regression that instruments the
+    // per-tuple path fails every pair by a multiple.
+    let mut telemetry_best_ratio: f64 = 0.0;
+    for attempt in 0..5 {
+        let cfg = || {
+            EngineConfig::smoke(PartitionerKind::Pkg, 2.0)
+                .with_messages(400_000)
+                .with_service_time_us(0)
+        };
+        let on = Topology::new(cfg()).run_windowed(CountAggregate).result;
+        let off = Topology::new(cfg())
+            .run_windowed_without_telemetry(CountAggregate)
+            .result;
+        let ratio = on.throughput_eps / off.throughput_eps;
+        println!(
+            "perf_smoke telemetry pair {}: instrumented {:.2} Melem/s vs baseline \
+             {:.2} Melem/s (ratio {:.3})",
+            attempt + 1,
+            on.throughput_eps / 1e6,
+            off.throughput_eps / 1e6,
+            ratio
+        );
+        telemetry_best_ratio = telemetry_best_ratio.max(ratio);
+    }
+
     // Controller overhead A/B: a *static* single-phase scenario — the
     // controller has nothing useful to do, so the measurement isolates its
     // standing cost (per-tuple window-load recording, per-window
@@ -278,6 +319,15 @@ fn main() {
         );
         failed = true;
     }
+    if telemetry_best_ratio < 1.0 - TELEMETRY_MAX_OVERHEAD {
+        eprintln!(
+            "perf_smoke FAILED: best instrumented/baseline pair ratio {:.3} is below \
+             {:.2} — the telemetry layer costs more than 5% of throughput",
+            telemetry_best_ratio,
+            1.0 - TELEMETRY_MAX_OVERHEAD
+        );
+        failed = true;
+    }
     if controller_best_ratio < 1.0 - CONTROLLER_MAX_OVERHEAD {
         eprintln!(
             "perf_smoke FAILED: best controlled/off pair ratio {:.3} is below {:.2} — \
@@ -294,6 +344,7 @@ fn main() {
         "perf_smoke OK: single-phase {:.2} Melem/s clears {:.1}, scenario {:.2} Melem/s \
          clears {:.1}, tcp-backend {:.2} Melem/s clears {:.1}, spsc-backend {:.2} Melem/s \
          clears {:.1} at {:.2}x InProc, checkpoint overhead {:.1}% within the 10% budget, \
+         telemetry overhead {:.1}% within the 5% budget, \
          controller overhead {:.1}% within the 5% budget",
         single / 1e6,
         FLOOR_EPS / 1e6,
@@ -305,6 +356,7 @@ fn main() {
         SPSC_FLOOR_EPS / 1e6,
         spsc_best_ratio,
         (1.0 - checkpoint_best_ratio).max(0.0) * 100.0,
+        (1.0 - telemetry_best_ratio).max(0.0) * 100.0,
         (1.0 - controller_best_ratio).max(0.0) * 100.0
     );
 }

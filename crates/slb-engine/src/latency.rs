@@ -5,81 +5,186 @@
 //! across all workers (Figure 14). Workers record each tuple's end-to-end
 //! latency (emit time at the source to completion time at the worker); the
 //! summaries are computed after the run.
+//!
+//! # Storage and the percentile error bound
+//!
+//! A tracker always feeds a bounded [`LogHistogram`] (exact `count`,
+//! `sum`, `min`, `max`; log₂-linear buckets with 16 sub-buckets per
+//! octave) and *additionally* retains raw samples up to a cap, so long
+//! runs no longer grow memory without bound. While every recording is
+//! still retained, summaries use the exact nearest-rank percentiles over
+//! the raw samples — bit-identical to the historical behavior, which is
+//! what the differential suites compare. Once a tracker overflows the
+//! cap, summaries switch to histogram quantiles, which **under-report by
+//! strictly less than 2⁻⁴ = 6.25 % relative error** (each bucket spans
+//! 1/16 of its octave and quantiles report the bucket floor); `samples`,
+//! `mean_us`, `max_avg_us`, and `max_us` stay exact in either mode.
+//!
+//! The cap is `SLB_LATENCY_RETAIN`: unset defaults to
+//! [`DEFAULT_SAMPLE_RETENTION`], a number overrides it (`0` = bucketed
+//! only), and `exact` disables the cap for tests that need unbounded raw
+//! retention. A malformed value fails fast at first use, like
+//! `SLB_HEARTBEAT_TIMEOUT_MS`.
+
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
+use slb_telemetry::LogHistogram;
 
-/// Collects individual latency samples (in microseconds) for one worker.
+/// Raw samples a tracker retains by default before switching summaries to
+/// the bucketed path (64 Ki samples = 512 KiB per tracker at most).
+pub const DEFAULT_SAMPLE_RETENTION: usize = 65_536;
+
+/// Parses an `SLB_LATENCY_RETAIN` value: `None` (unset) gives
+/// [`DEFAULT_SAMPLE_RETENTION`], `"exact"` disables the cap, a number is
+/// the cap itself. Anything else is a configuration mistake and panics —
+/// fail fast beats silently mis-sized retention.
+pub fn parse_sample_retention(value: Option<&str>) -> usize {
+    match value {
+        None => DEFAULT_SAMPLE_RETENTION,
+        Some("exact") => usize::MAX,
+        Some(text) => text.parse().unwrap_or_else(|_| {
+            panic!("SLB_LATENCY_RETAIN must be `exact` or a sample count, got {text:?}")
+        }),
+    }
+}
+
+/// The process-wide retention cap, resolved from the environment once.
+fn sample_retention() -> usize {
+    static RETENTION: OnceLock<usize> = OnceLock::new();
+    *RETENTION
+        .get_or_init(|| parse_sample_retention(std::env::var("SLB_LATENCY_RETAIN").ok().as_deref()))
+}
+
+/// Collects latency samples (in microseconds) for one worker: a bounded
+/// histogram of everything plus a capped raw-sample prefix (module docs).
 #[derive(Debug, Clone, Default)]
 pub struct LatencyTracker {
     samples_us: Vec<u64>,
+    hist: LogHistogram,
 }
 
 impl LatencyTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self {
-            samples_us: Vec::new(),
-        }
+        Self::default()
     }
 
-    /// Creates a tracker pre-allocating room for `capacity` samples.
+    /// Creates a tracker pre-allocating room for `capacity` raw samples.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            samples_us: Vec::with_capacity(capacity),
+            samples_us: Vec::with_capacity(capacity.min(sample_retention())),
+            hist: LogHistogram::new(),
         }
     }
 
     /// Records one latency sample in microseconds.
     #[inline]
     pub fn record_us(&mut self, micros: u64) {
-        self.samples_us.push(micros);
+        self.hist.record(micros);
+        if self.samples_us.len() < sample_retention() {
+            self.samples_us.push(micros);
+        }
     }
 
     /// Records the same latency for `count` tuples at once — used by the
     /// batched engine, where every tuple of a drained batch shares one
-    /// timestamped emit instant.
+    /// timestamped emit instant. Feeds the histogram in O(1); raw copies
+    /// are pushed only up to the retention cap.
     #[inline]
     pub fn record_many_us(&mut self, micros: u64, count: u64) {
-        self.samples_us
-            .resize(self.samples_us.len() + count as usize, micros);
+        self.hist.record_n(micros, count);
+        let room = sample_retention().saturating_sub(self.samples_us.len());
+        let keep = (count as usize).min(room);
+        if keep > 0 {
+            self.samples_us.resize(self.samples_us.len() + keep, micros);
+        }
     }
 
-    /// Number of samples recorded.
+    /// Number of samples recorded (all of them, not just the retained
+    /// raw prefix).
     pub fn len(&self) -> usize {
-        self.samples_us.len()
+        self.hist.count() as usize
     }
 
     /// True if no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_us.is_empty()
+        self.hist.is_empty()
     }
 
-    /// Mean latency in microseconds (0 when empty).
+    /// True while every recording is still retained raw, i.e. summaries
+    /// take the exact nearest-rank path.
+    pub fn is_exact(&self) -> bool {
+        self.samples_us.len() as u64 == self.hist.count()
+    }
+
+    /// Mean latency in microseconds (0 when empty). Exact in both modes
+    /// (the histogram tracks the exact sum).
     pub fn mean_us(&self) -> f64 {
-        if self.samples_us.is_empty() {
-            return 0.0;
-        }
-        self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64
+        self.hist.mean()
     }
 
-    /// The raw samples.
+    /// The retained raw samples — the full recording while
+    /// [`Self::is_exact`], a capped prefix after.
     pub fn samples(&self) -> &[u64] {
         &self.samples_us
+    }
+
+    /// The always-fed bounded histogram behind the tracker.
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
+    }
+
+    /// The recording as `(value_us, count)` runs for the wire: an exact
+    /// run-length encoding of the raw samples while [`Self::is_exact`]
+    /// (batched samples compress well — adjacent tuples share an emit
+    /// instant), the sparse histogram `(bucket floor, count)` pairs once
+    /// the cap overflowed. Bucket floors re-bucket into the same buckets
+    /// (`bucket_floor` is a fixed point of `bucket_index`), so a peer
+    /// rebuilding a tracker from these runs via [`Self::record_many_us`]
+    /// reconstructs the bucket counts exactly; in bucketed mode the
+    /// rebuilt mean/min/max inherit the ≤ 6.25 % under-report of the
+    /// floors.
+    pub fn value_runs(&self) -> Vec<(u64, u64)> {
+        if self.is_exact() {
+            let mut runs: Vec<(u64, u64)> = Vec::new();
+            for &value in &self.samples_us {
+                match runs.last_mut() {
+                    Some((last, count)) if *last == value => *count += 1,
+                    _ => runs.push((value, 1)),
+                }
+            }
+            runs
+        } else {
+            self.hist
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(bucket, count)| (slb_telemetry::bucket_floor(bucket as usize), count))
+                .collect()
+        }
     }
 
     /// Merges the samples of several trackers and produces a summary, also
     /// reporting the maximum per-tracker mean (the paper's "max avg").
     pub fn summarize(trackers: &[LatencyTracker]) -> LatencySummary {
-        let all: Vec<u64> = trackers
-            .iter()
-            .flat_map(|t| t.samples_us.iter().copied())
-            .collect();
         let max_avg_us = trackers
             .iter()
             .filter(|t| !t.is_empty())
             .map(LatencyTracker::mean_us)
             .fold(0.0f64, f64::max);
-        Self::summary_of(all, max_avg_us)
+        if trackers.iter().all(LatencyTracker::is_exact) {
+            let all: Vec<u64> = trackers
+                .iter()
+                .flat_map(|t| t.samples_us.iter().copied())
+                .collect();
+            Self::summary_of(all, max_avg_us)
+        } else {
+            let mut merged = LogHistogram::new();
+            for tracker in trackers {
+                merged.merge(&tracker.hist);
+            }
+            Self::summary_of_histogram(&merged, max_avg_us)
+        }
     }
 
     /// Summarizes a phase-major tracker matrix (`trackers[phase][worker]`),
@@ -90,26 +195,40 @@ impl LatencyTracker {
     /// run's latency-sample memory at join time).
     pub fn summarize_by_worker(phase_major: &[Vec<LatencyTracker>]) -> LatencySummary {
         let workers = phase_major.first().map_or(0, Vec::len);
-        let total: usize = phase_major.iter().flatten().map(LatencyTracker::len).sum();
-        let mut all: Vec<u64> = Vec::with_capacity(total);
         let mut max_avg_us = 0.0f64;
         for worker in 0..workers {
-            let mut sum = 0u64;
-            let mut count = 0u64;
+            let mut merged = LogHistogram::new();
             for row in phase_major {
-                let tracker = &row[worker];
-                sum += tracker.samples_us.iter().sum::<u64>();
-                count += tracker.len() as u64;
-                all.extend_from_slice(&tracker.samples_us);
+                merged.merge(&row[worker].hist);
             }
-            if count > 0 {
-                max_avg_us = max_avg_us.max(sum as f64 / count as f64);
+            if !merged.is_empty() {
+                max_avg_us = max_avg_us.max(merged.mean());
             }
         }
-        Self::summary_of(all, max_avg_us)
+        let exact = phase_major.iter().flatten().all(LatencyTracker::is_exact);
+        if exact {
+            let total: usize = phase_major
+                .iter()
+                .flatten()
+                .map(|t| t.samples_us.len())
+                .sum();
+            let mut all: Vec<u64> = Vec::with_capacity(total);
+            for row in phase_major {
+                for tracker in row {
+                    all.extend_from_slice(&tracker.samples_us);
+                }
+            }
+            Self::summary_of(all, max_avg_us)
+        } else {
+            let mut merged = LogHistogram::new();
+            for tracker in phase_major.iter().flatten() {
+                merged.merge(&tracker.hist);
+            }
+            Self::summary_of_histogram(&merged, max_avg_us)
+        }
     }
 
-    /// Percentile/mean summary over an unsorted sample vector.
+    /// Exact percentile/mean summary over an unsorted sample vector.
     fn summary_of(mut all: Vec<u64>, max_avg_us: f64) -> LatencySummary {
         if all.is_empty() {
             return LatencySummary::default();
@@ -121,12 +240,30 @@ impl LatencyTracker {
         };
         LatencySummary {
             samples: all.len() as u64,
-            mean_us: all.iter().sum::<u64>() as f64 / all.len() as f64,
+            mean_us: all.iter().map(|&v| v as u128).sum::<u128>() as f64 / all.len() as f64,
             max_avg_us,
             p50_us: pct(0.50),
             p95_us: pct(0.95),
             p99_us: pct(0.99),
             max_us: *all.last().expect("non-empty"),
+        }
+    }
+
+    /// Bucketed summary for trackers past the retention cap: percentiles
+    /// from histogram quantiles (< 6.25 % under-report, module docs);
+    /// samples, mean, and max stay exact.
+    fn summary_of_histogram(hist: &LogHistogram, max_avg_us: f64) -> LatencySummary {
+        if hist.is_empty() {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            samples: hist.count(),
+            mean_us: hist.mean(),
+            max_avg_us,
+            p50_us: hist.quantile(0.50),
+            p95_us: hist.quantile(0.95),
+            p99_us: hist.quantile(0.99),
+            max_us: hist.max(),
         }
     }
 }
@@ -377,6 +514,98 @@ mod tests {
         assert_eq!(s.p99_us, 42);
         assert_eq!(s.max_us, 42);
         assert!((s.mean_us - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retention_knob_parses_and_fails_fast() {
+        assert_eq!(parse_sample_retention(None), DEFAULT_SAMPLE_RETENTION);
+        assert_eq!(parse_sample_retention(Some("exact")), usize::MAX);
+        assert_eq!(parse_sample_retention(Some("0")), 0);
+        assert_eq!(parse_sample_retention(Some("1024")), 1024);
+        let panic = std::panic::catch_unwind(|| parse_sample_retention(Some("plenty")))
+            .expect_err("malformed SLB_LATENCY_RETAIN must panic");
+        let message = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            message.contains("SLB_LATENCY_RETAIN") && message.contains("plenty"),
+            "panic must name the variable and value: {message}"
+        );
+    }
+
+    #[test]
+    fn overflowed_tracker_summarizes_from_the_histogram() {
+        // Simulate retention overflow without touching the process-wide
+        // env knob: drop the raw prefix so only the histogram remains.
+        let mut t = LatencyTracker::new();
+        for v in 1..=100_000u64 {
+            t.record_us(v);
+        }
+        t.samples_us.clear();
+        assert!(!t.is_exact());
+        assert_eq!(t.len(), 100_000);
+        let s = LatencyTracker::summarize(&[t]);
+        // Scalars stay exact on the bucketed path...
+        assert_eq!(s.samples, 100_000);
+        assert!((s.mean_us - 50_000.5).abs() < 1e-6);
+        assert_eq!(s.max_us, 100_000);
+        // ...while percentiles under-report within the 6.25% bound.
+        for (got, exact) in [
+            (s.p50_us, 50_001u64),
+            (s.p95_us, 95_001),
+            (s.p99_us, 99_001),
+        ] {
+            assert!(got <= exact, "quantile must never over-report");
+            assert!(
+                (exact as f64) < (got as f64) * (1.0 + 1.0 / 16.0) + 1.0,
+                "reported {got} vs exact {exact} exceeds the bound"
+            );
+        }
+    }
+
+    #[test]
+    fn one_overflowed_tracker_switches_the_worker_matrix_to_bucketed() {
+        let exact_tracker = |values: &[u64]| {
+            let mut t = LatencyTracker::new();
+            for &v in values {
+                t.record_us(v);
+            }
+            t
+        };
+        let mut overflowed = exact_tracker(&[500, 600, 700]);
+        overflowed.samples_us.truncate(1);
+        let phase_major = vec![vec![exact_tracker(&[100, 200]), overflowed]];
+        let s = LatencyTracker::summarize_by_worker(&phase_major);
+        assert_eq!(s.samples, 5);
+        assert!((s.mean_us - 420.0).abs() < 1e-9);
+        // Worker means come from exact histogram sums in both modes.
+        assert!((s.max_avg_us - 600.0).abs() < 1e-9);
+        assert_eq!(s.max_us, 700);
+    }
+
+    #[test]
+    fn value_runs_compress_exact_samples_and_rebuild_overflowed_histograms() {
+        let mut t = LatencyTracker::new();
+        t.record_many_us(7, 3);
+        t.record_us(9);
+        t.record_many_us(7, 2);
+        assert_eq!(t.value_runs(), vec![(7, 3), (9, 1), (7, 2)]);
+
+        // Overflowed: runs are bucket floors, which rebuild the bucket
+        // counts exactly on the receiving side (floors are bucket fixed
+        // points); only the scalar sum/min/max inherit the floor rounding.
+        let mut big = LatencyTracker::new();
+        for v in (1..=50_000u64).step_by(7) {
+            big.record_us(v);
+        }
+        big.samples_us.clear();
+        let mut rebuilt = LatencyTracker::new();
+        for (value, count) in big.value_runs() {
+            rebuilt.record_many_us(value, count);
+        }
+        assert_eq!(
+            rebuilt.histogram().nonzero_buckets(),
+            big.histogram().nonzero_buckets()
+        );
+        assert_eq!(rebuilt.len(), big.len());
     }
 
     #[test]

@@ -65,8 +65,9 @@ pub use topology::{
     run_aggregator_stage_supervised, run_source_stage, run_source_stage_recoverable,
     run_source_stage_supervised, run_worker_stage, run_worker_stage_durable,
     run_worker_stage_recoverable, AggregatorStageReport, EngineConfig, EngineResult, PhasePlan,
-    ScenarioConfig, SourceControlEvent, SourceStageReport, StagePlan, Topology, WorkerStageReport,
-    DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY, DEFAULT_WINDOW_SIZE,
+    ScenarioConfig, SourceControlEvent, SourceStageReport, StagePlan, Topology, TransportStats,
+    WorkerStageReport, DEFAULT_AGGREGATORS, DEFAULT_BATCH_SIZE, DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_WINDOW_SIZE,
 };
 pub use transport::{
     capacity_in_batches, feedback_channel_capacity, partial_channel_capacity, ChannelClosed,

@@ -190,6 +190,15 @@ impl<T> Producer<T> {
     fn consumer_gone(&self) -> bool {
         self.ring.consumer_gone.load(Ordering::Acquire)
     }
+
+    /// Values currently in the ring — a racy telemetry snapshot. `tail` is
+    /// this producer's own exact index; the consumer's `head` is loaded
+    /// Relaxed, so the result can only over-estimate (the consumer drains
+    /// concurrently), which is the safe direction for a high-water mark.
+    fn occupancy(&self) -> usize {
+        self.tail
+            .wrapping_sub(self.ring.head.0.load(Ordering::Relaxed))
+    }
 }
 
 /// The consuming half of one ring.
@@ -371,6 +380,18 @@ impl<T: Send + 'static> SpscSender<T> {
             .as_mut()?
             .try_pop()
     }
+
+    /// `(queued, capacity)` of this handle's *own lane* — each clone owns a
+    /// private ring, so that is the queue whose depth this sender can
+    /// actually observe (and the one its sends block on).
+    fn lane_depth(&self) -> (usize, usize) {
+        let occupied = self
+            .lane
+            .borrow()
+            .as_ref()
+            .map_or(0, |lane| lane.producer.occupancy());
+        (occupied, self.edge.capacity)
+    }
 }
 
 /// Receiver-side mutable state, behind a `RefCell` so the `&self` trait
@@ -546,6 +567,10 @@ impl TupleSender for SpscSender<SourceMessage> {
 
     fn take_recycled(&self) -> Option<Vec<KeyId>> {
         self.pop_recycled()
+    }
+
+    fn queue_depth_hint(&self) -> Option<(usize, usize)> {
+        Some(self.lane_depth())
     }
 }
 

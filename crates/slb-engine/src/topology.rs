@@ -84,9 +84,14 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use slb_core::{
-    build_partitioner, ControllerConfig, ControllerEvent, ControllerMetrics, CountAggregate,
-    ElasticityController, OpenWindowState, PartitionConfig, Partitioner, PartitionerKind,
-    PerWindowLoads, PhaseLoadMatrix, SolverMode, WindowAggregate, WirePartial, WorkerCheckpoint,
+    build_partitioner, ControllerAction, ControllerConfig, ControllerEvent, ControllerMetrics,
+    CountAggregate, ElasticityController, OpenWindowState, PartitionConfig, Partitioner,
+    PartitionerKind, PerWindowLoads, PhaseLoadMatrix, SolverMode, WindowAggregate, WirePartial,
+    WorkerCheckpoint,
+};
+use slb_telemetry::{
+    sort_canonical, trace_kind, trace_stage, HopStats, HopTelemetry, LogHistogram, TraceBuf,
+    TraceEvent,
 };
 use slb_workloads::{Arrival, KeyId, KeyStream, Scenario};
 
@@ -357,6 +362,7 @@ impl EngineConfig {
             phases: Arc::new(vec![phase]),
             faults: Arc::new(FaultPlan::none()),
             checkpointing: true,
+            telemetry: true,
             solver: resolved_solver(self.solver, self.controller.as_ref()),
             controller: self.controller.clone(),
         }
@@ -521,6 +527,7 @@ impl ScenarioConfig {
             phases: Arc::new(phases),
             faults: Arc::new(FaultPlan::none()),
             checkpointing: true,
+            telemetry: true,
             solver: resolved_solver(self.solver, self.controller.as_ref()),
             controller: self.controller.clone(),
         }
@@ -639,6 +646,25 @@ pub struct EngineResult {
     /// `(source, window)`; `enabled == false` (and no events) when no
     /// controller was attached.
     pub controller: ControllerMetrics,
+    /// The run's merged logical trace, in the canonical
+    /// `(stage, instance, seq)` order (see [`sort_canonical`]): every
+    /// window close, checkpoint save/restore, replay, rescale, and
+    /// controller decision across all stage instances. Empty when the plan
+    /// disables telemetry. Deterministic for a fixed config and seed —
+    /// bit-identical across transport backends, reruns, and batch sizes on
+    /// fault-free runs (docs/OBSERVABILITY.md states the argument).
+    pub trace: Vec<TraceEvent>,
+    /// Per-hop transport counters, merged across the instances of each
+    /// stage. Wall-clock shaped (stall/wait times, high-water marks), so —
+    /// unlike [`Self::trace`] — NOT deterministic across runs.
+    pub transport: TransportStats,
+    /// The telemetry-layer view of [`Self::latency`]: the merged end-to-end
+    /// latency histogram across every worker's trackers — the exact
+    /// distribution a remote node's `MetricsSnapshot` carries, so quantiles
+    /// derived from it are what a live cluster dashboard would show
+    /// (under-reporting the exact percentiles by < 6.25%;
+    /// `expt_observability` measures this against [`Self::latency`]).
+    pub latency_histogram: LogHistogram,
 }
 
 impl EngineResult {
@@ -646,6 +672,21 @@ impl EngineResult {
     pub fn total_state_replicas(&self) -> u64 {
         self.worker_state_keys.iter().sum()
     }
+}
+
+/// The run's transport counters, one [`HopStats`] per stage: what each
+/// stage saw on its own send/receive seams (source→worker sends, worker
+/// receive + worker→aggregator sends, aggregator receives).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Merged over all source instances (send side of source→worker).
+    pub source: HopStats,
+    /// Merged over all workers (receive side of source→worker plus send
+    /// side of worker→aggregator).
+    pub worker: HopStats,
+    /// Merged over all aggregator shards (receive side of
+    /// worker→aggregator).
+    pub aggregator: HopStats,
 }
 
 /// One phase of a run plan, fully resolved for execution.
@@ -709,6 +750,13 @@ pub struct StagePlan {
     /// it — and only disabled by the perf smoke's A/B measurement of the
     /// checkpoint path's cost ([`Topology::run_windowed_without_checkpoints`]).
     pub checkpointing: bool,
+    /// Whether the stages collect telemetry: per-hop transport counters
+    /// ([`HopStats`] in the reports) and the logical trace stream. Always
+    /// `true` for every public run entry point — telemetry is designed to
+    /// be cheap enough to leave on — and only disabled by the perf smoke's
+    /// A/B measurement of its cost
+    /// ([`Topology::run_windowed_without_telemetry`]).
+    pub telemetry: bool,
     /// Solver mode every source passes into its partitioner's
     /// [`PartitionConfig`]; `External` whenever `controller` is set.
     pub solver: SolverMode,
@@ -756,10 +804,18 @@ struct SourceSendState<'a, Tx: TupleSender> {
     /// uniform for snapshots and replay — but no frame is handed to the
     /// dead endpoint's sender.
     excluded: Vec<bool>,
+    /// Per-hop transport telemetry, updated once per sent message (never
+    /// per tuple); `None` when the plan disabled telemetry.
+    hop: Option<&'a HopTelemetry>,
 }
 
 impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
-    fn new(senders: &'a [Tx], source: usize, faults: &FaultPlan) -> Self {
+    fn new(
+        senders: &'a [Tx],
+        source: usize,
+        faults: &FaultPlan,
+        hop: Option<&'a HopTelemetry>,
+    ) -> Self {
         Self {
             senders,
             source,
@@ -771,6 +827,7 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
                 .collect(),
             sent: 0,
             excluded: vec![false; senders.len()],
+            hop,
         }
     }
 
@@ -802,6 +859,19 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
         if self.loses(worker, seq) || self.excluded[worker] {
             return;
         }
+        // Telemetry rides the per-batch path only: a handful of Relaxed
+        // counter bumps and one occupancy sample per shipped batch, zero
+        // work per tuple.
+        let timed = self.hop.map(|h| {
+            h.batches_sent.add(1);
+            h.tuples_sent.add(keys.len() as u64);
+            h.batch_occupancy.record(keys.len() as u64);
+            if let Some((occupied, capacity)) = self.senders[worker].queue_depth_hint() {
+                h.ring_occupancy_hwm.record(occupied as u64);
+                h.ring_capacity.set(capacity as u64);
+            }
+            (h, Instant::now())
+        });
         self.senders[worker]
             .send(SourceMessage::Batch(TupleBatch {
                 keys,
@@ -811,6 +881,9 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
                 emitted_at,
             }))
             .expect("worker queue closed prematurely");
+        if let Some((h, before)) = timed {
+            h.send_stall_us.add(before.elapsed().as_micros() as u64);
+        }
     }
 
     fn send_close(&mut self, worker: usize, window: WindowId) {
@@ -819,6 +892,7 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
         if self.excluded[worker] {
             return;
         }
+        let timed = self.hop.map(|h| (h, Instant::now()));
         self.senders[worker]
             .send(SourceMessage::CloseWindow {
                 window,
@@ -826,6 +900,9 @@ impl<'a, Tx: TupleSender> SourceSendState<'a, Tx> {
                 seq,
             })
             .expect("worker queue closed prematurely");
+        if let Some((h, before)) = timed {
+            h.send_stall_us.add(before.elapsed().as_micros() as u64);
+        }
     }
 
     fn broadcast_close(&mut self, window: WindowId) {
@@ -899,6 +976,13 @@ pub struct SourceStageReport {
     /// The controller's decision log, in window order; empty without a
     /// controller.
     pub controller_events: Vec<ControllerEvent>,
+    /// The deterministic logical trace of this source (window closes,
+    /// rescales, controller decisions, replay serves); empty when the plan
+    /// disables telemetry.
+    pub trace: Vec<TraceEvent>,
+    /// Transport counters for the source→worker hop; all-zero when the plan
+    /// disables telemetry.
+    pub transport: HopStats,
 }
 
 /// The partitioner configuration a source builds/rescales with for
@@ -1017,6 +1101,26 @@ impl Topology {
     {
         let mut plan = self.config.stage_plan();
         plan.checkpointing = false;
+        let cfg = self.config.clone();
+        let streams = Arc::new(move |_phase: usize, source: usize| {
+            crate::windows::source_stream(&cfg, source)
+        });
+        run_plan(&plan, streams, aggregate, &InProc)
+    }
+
+    /// Runs the topology with telemetry collection disabled — the
+    /// *measurement baseline* for the telemetry layer's cost, used by the
+    /// CI perf smoke to assert that the per-batch counters and trace pushes
+    /// stay within a fixed overhead budget. Results are bit-identical to
+    /// [`Self::run_windowed`]; only the counters, histograms, and trace
+    /// stream come back empty.
+    pub fn run_windowed_without_telemetry<A>(&self, aggregate: A) -> WindowedRun<A::Partial>
+    where
+        A: WindowAggregate<KeyId>,
+        A::Partial: WirePartial,
+    {
+        let mut plan = self.config.stage_plan();
+        plan.telemetry = false;
         let cfg = self.config.clone();
         let streams = Arc::new(move |_phase: usize, source: usize| {
             crate::windows::source_stream(&cfg, source)
@@ -1145,6 +1249,11 @@ struct Supervision<'a> {
 /// Returns the number of tuples sent (replay re-sends are not counted, and
 /// tuples routed to an excluded worker count as sent — the degradation
 /// report, not the sent count, carries the loss).
+///
+/// `live`, when given, is a shared [`HopTelemetry`] the stage updates in
+/// place so a metrics ticker on another thread can snapshot it mid-run;
+/// without it the stage keeps a private one (plan-gated) and only the final
+/// report carries the numbers.
 pub fn run_source_stage_supervised<S, Tx>(
     plan: &StagePlan,
     source_idx: usize,
@@ -1152,12 +1261,13 @@ pub fn run_source_stage_supervised<S, Tx>(
     senders: &[Tx],
     events: &crossbeam_channel::Receiver<SourceControlEvent>,
     mut reattach: impl FnMut(usize),
+    live: Option<Arc<HopTelemetry>>,
 ) -> SourceStageReport
 where
     S: KeyStream + Clone,
     Tx: TupleSender,
 {
-    run_source_stage_inner(
+    run_source_stage_inner_with_live(
         plan,
         source_idx,
         stream_for_phase,
@@ -1169,16 +1279,42 @@ where
             pending_exclusions: Vec::new(),
             released: false,
         }),
+        live,
     )
 }
 
 fn run_source_stage_inner<S, Tx, Frx>(
     plan: &StagePlan,
     source_idx: usize,
+    stream_for_phase: impl FnMut(usize) -> S,
+    senders: &[Tx],
+    feedback: Option<Frx>,
+    supervision: Option<Supervision<'_>>,
+) -> SourceStageReport
+where
+    S: KeyStream + Clone,
+    Tx: TupleSender,
+    Frx: FeedbackReceiver,
+{
+    run_source_stage_inner_with_live(
+        plan,
+        source_idx,
+        stream_for_phase,
+        senders,
+        feedback,
+        supervision,
+        None,
+    )
+}
+
+fn run_source_stage_inner_with_live<S, Tx, Frx>(
+    plan: &StagePlan,
+    source_idx: usize,
     mut stream_for_phase: impl FnMut(usize) -> S,
     senders: &[Tx],
     feedback: Option<Frx>,
     mut supervision: Option<Supervision<'_>>,
+    live: Option<Arc<HopTelemetry>>,
 ) -> SourceStageReport
 where
     S: KeyStream + Clone,
@@ -1194,7 +1330,14 @@ where
     let keep_snapshots = feedback.is_some() || supervision.is_some();
     let batch_size = plan.batch_size;
     let window_size = plan.window_size;
-    let mut send = SourceSendState::new(senders, source_idx, &plan.faults);
+    // Hop telemetry: share the caller's live handle when given (so a
+    // metrics ticker can snapshot mid-run), else keep a private plan-gated
+    // one. `hop == None` means telemetry is off and the hot path pays
+    // nothing beyond a branch per batch.
+    let local_hop = (live.is_none() && plan.telemetry).then(HopTelemetry::default);
+    let hop = live.as_deref().or(local_hop.as_ref());
+    let mut trace = TraceBuf::new(trace_stage::SOURCE, source_idx as u32, plan.telemetry);
+    let mut send = SourceSendState::new(senders, source_idx, &plan.faults, hop);
     // The elasticity controller and its zero-allocation per-window load
     // buffer (both `None` without a controller — the hot loop then runs
     // exactly the pre-controller engine). The first phase's worker count
@@ -1252,6 +1395,12 @@ where
                 if let Some(ctrl) = controller.as_mut() {
                     ctrl.note_partitioner_rebuilt();
                 }
+                trace.push(
+                    trace_kind::RESCALE,
+                    window_of(local_idx, window_size),
+                    active.len() as u64,
+                    phase_idx as u64,
+                );
             }
         }
         let mut stream = stream_for_phase(phase_idx);
@@ -1289,6 +1438,7 @@ where
                     &snapshots,
                     source_idx,
                     &send.next_seq,
+                    &mut trace,
                 );
             }
             // Same idea for the supervisor protocol: a respawned
@@ -1304,6 +1454,7 @@ where
                     &snapshots,
                     source_idx,
                     &send.next_seq,
+                    &mut trace,
                 );
             }
             // Cap the buffer at the window's (and phase's)
@@ -1365,6 +1516,7 @@ where
                 // so flush first, then broadcast the close marker.
                 flush_pending(&mut send, &mut pending, &pending_since, window, batch_size);
                 send.broadcast_close(window);
+                trace.push(trace_kind::WINDOW_CLOSE, window, 0, 0);
                 // Apply deferred exclusions now that the window is
                 // sealed: mark the dead workers, shrink the active
                 // map, and rescale the partitioner — the same
@@ -1392,6 +1544,7 @@ where
                         if let Some(ctrl) = controller.as_mut() {
                             ctrl.note_partitioner_rebuilt();
                         }
+                        trace.push(trace_kind::RESCALE, window, active.len() as u64, 0);
                     }
                 }
                 // Elasticity-controller step: feed it the closing window's
@@ -1484,6 +1637,7 @@ where
         let window = window_of(local_idx, window_size);
         flush_pending(&mut send, &mut pending, &pending_since, window, batch_size);
         send.broadcast_close(window);
+        trace.push(trace_kind::WINDOW_CLOSE, window, 0, 0);
     }
     // Post-emission replay service: block until every worker has
     // finalized its last window and dropped its feedback sender. The
@@ -1499,6 +1653,7 @@ where
                 source_idx,
                 request,
                 &send.next_seq,
+                &mut trace,
             );
         }
     }
@@ -1519,6 +1674,7 @@ where
                         source_idx,
                         ReplayRequest { worker, from_seq },
                         &send.next_seq,
+                        &mut trace,
                     );
                 }
                 Ok(SourceControlEvent::Exclude { .. }) => {}
@@ -1526,12 +1682,32 @@ where
             }
         }
     }
+    // Controller decisions become trace events here, after the loop, from
+    // the drained decision log: the log is already deterministic (window
+    // order), so the trace inherits that without instrumenting controller
+    // internals.
+    let controller_events = controller
+        .as_mut()
+        .map(|c| c.take_events())
+        .unwrap_or_default();
+    for event in &controller_events {
+        let kind = match event.action {
+            ControllerAction::ScaleOut => trace_kind::CTRL_SCALE_OUT,
+            ControllerAction::ScaleIn => trace_kind::CTRL_SCALE_IN,
+            ControllerAction::Retune => trace_kind::CTRL_RETUNE,
+        };
+        trace.push(
+            kind,
+            event.window,
+            u64::from(event.workers),
+            u64::from(event.d),
+        );
+    }
     SourceStageReport {
         sent: send.sent,
-        controller_events: controller
-            .as_mut()
-            .map(|c| c.take_events())
-            .unwrap_or_default(),
+        controller_events,
+        trace: trace.into_events(),
+        transport: hop.map(HopTelemetry::snapshot).unwrap_or_default(),
     }
 }
 
@@ -1549,6 +1725,7 @@ fn serve_supervision_events<S, Tx>(
     snapshots: &VecDeque<SourceSnapshot<S>>,
     source: usize,
     live_next_seq: &[u64],
+    trace: &mut TraceBuf,
 ) where
     S: KeyStream + Clone,
     Tx: TupleSender,
@@ -1565,6 +1742,7 @@ fn serve_supervision_events<S, Tx>(
                     source,
                     ReplayRequest { worker, from_seq },
                     live_next_seq,
+                    trace,
                 );
             }
             SourceControlEvent::Exclude { worker } => sup.pending_exclusions.push(worker),
@@ -1584,6 +1762,7 @@ fn push_snapshot<S>(snapshots: &mut VecDeque<SourceSnapshot<S>>, snapshot: Sourc
 }
 
 /// Drains every queued replay request without blocking and serves each one.
+#[allow(clippy::too_many_arguments)]
 fn serve_pending_replays<S, Tx>(
     feedback: &impl FeedbackReceiver,
     plan: &StagePlan,
@@ -1592,6 +1771,7 @@ fn serve_pending_replays<S, Tx>(
     snapshots: &VecDeque<SourceSnapshot<S>>,
     source: usize,
     live_next_seq: &[u64],
+    trace: &mut TraceBuf,
 ) where
     S: KeyStream + Clone,
     Tx: TupleSender,
@@ -1605,6 +1785,7 @@ fn serve_pending_replays<S, Tx>(
             source,
             request,
             live_next_seq,
+            trace,
         );
     }
 }
@@ -1626,6 +1807,7 @@ fn serve_pending_replays<S, Tx>(
 /// to the sent-tuple count. Replay stops as soon as the re-driven sequence
 /// cursor catches up with the live one: everything past it is the live
 /// loop's future, not replayable history.
+#[allow(clippy::too_many_arguments)]
 fn replay_to_worker<S, Tx>(
     plan: &StagePlan,
     stream_for_phase: &mut impl FnMut(usize) -> S,
@@ -1634,6 +1816,7 @@ fn replay_to_worker<S, Tx>(
     source: usize,
     request: ReplayRequest,
     live_next_seq: &[u64],
+    trace: &mut TraceBuf,
 ) where
     S: KeyStream + Clone,
     Tx: TupleSender,
@@ -1645,6 +1828,7 @@ fn replay_to_worker<S, Tx>(
         // produce those messages in order.
         return;
     }
+    trace.push(trace_kind::REPLAY_SERVE, 0, target as u64, request.from_seq);
     let snap = snapshots
         .iter()
         .rev()
@@ -1850,6 +2034,13 @@ pub struct WorkerStageReport {
     /// Checkpoints this worker saved (one per window finalization,
     /// including re-finalizations after a restore).
     pub checkpoints: u64,
+    /// The deterministic logical trace of this worker (window closes,
+    /// checkpoint saves/restores, replay requests); empty when the plan
+    /// disables telemetry.
+    pub trace: Vec<TraceEvent>,
+    /// Transport counters for this worker's receive side plus its
+    /// worker→aggregator sends; all-zero when the plan disables telemetry.
+    pub transport: HopStats,
 }
 
 /// Everything one worker contributes to a run, without a recovery channel:
@@ -2043,6 +2234,7 @@ where
         None,
         None,
         false,
+        None,
     )
 }
 
@@ -2064,6 +2256,10 @@ where
 /// Panics if a partial send fails, or on a sequence gap (with no feedback
 /// channel a gap is unrecoverable from inside the stage; the supervised
 /// source protocol guarantees gap-free delivery on each connection).
+///
+/// `live`, when given, is a shared [`HopTelemetry`] the stage updates in
+/// place so a metrics ticker on another thread can snapshot it mid-run;
+/// without it the stage keeps a private one (plan-gated).
 #[allow(clippy::too_many_arguments)]
 pub fn run_worker_stage_durable<A, Rx, Tx>(
     plan: &StagePlan,
@@ -2074,6 +2270,7 @@ pub fn run_worker_stage_durable<A, Rx, Tx>(
     partial_senders: &[Tx],
     initial: Option<&WorkerCheckpoint>,
     persist: &mut dyn FnMut(&[u8]),
+    live: Option<Arc<HopTelemetry>>,
 ) -> WorkerStageReport
 where
     A: WindowAggregate<KeyId>,
@@ -2092,6 +2289,7 @@ where
         initial,
         Some(persist),
         true,
+        live,
     )
 }
 
@@ -2165,6 +2363,7 @@ fn run_worker_stage_inner<A, Rx, Tx, Ftx>(
     initial: Option<&WorkerCheckpoint>,
     mut persist: Option<PersistFn<'_>>,
     exit_at_last_window: bool,
+    live: Option<Arc<HopTelemetry>>,
 ) -> WorkerStageReport
 where
     A: WindowAggregate<KeyId>,
@@ -2213,6 +2412,11 @@ where
     let mut pending_request: Vec<Option<u64>> = vec![None; sources];
     let mut recovery = RecoveryMetrics::default();
     let mut checkpoints = 0u64;
+    // Hop telemetry and the logical trace; see the source stage for the
+    // live-vs-private convention. All per-message, never per-tuple.
+    let local_hop = (live.is_none() && plan.telemetry).then(HopTelemetry::default);
+    let hop = live.as_deref().or(local_hop.as_ref());
+    let mut trace = TraceBuf::new(trace_stage::WORKER, worker_idx as u32, plan.telemetry);
     // Reused across window closes so the steady-state checkpoint encode
     // allocates nothing for the snapshot bytes.
     let mut checkpoint_buf: Vec<u8> = Vec::new();
@@ -2232,6 +2436,7 @@ where
         expected_seq = es;
         open = op;
         closes = cl;
+        trace.push(trace_kind::CHECKPOINT_RESTORE, windows_closed, processed, 0);
     }
     if total_windows == 0 {
         // Degenerate empty run: no window will ever finalize, so release
@@ -2240,7 +2445,12 @@ where
     }
     let mut drained: Vec<SourceMessage> = Vec::new();
     'recv: loop {
-        match receiver.recv_batch(&mut drained) {
+        let wait = hop.map(|h| (h, Instant::now()));
+        let received = receiver.recv_batch(&mut drained);
+        if let Some((h, before)) = wait {
+            h.recv_wait_us.add(before.elapsed().as_micros() as u64);
+        }
+        match received {
             Ok(_) => {}
             Err(RecvError::Transport(_)) => {
                 // A reader thread hit a malformed frame or a failed
@@ -2251,6 +2461,9 @@ where
                 continue;
             }
             Err(RecvError::Closed) => break,
+        }
+        if let Some(h) = hop {
+            h.queue_depth_hwm.record(drained.len() as u64);
         }
         for message in drained.drain(..) {
             let (src, seq) = message.source_seq();
@@ -2277,6 +2490,7 @@ where
                             from_seq: expected_seq[src],
                         })
                         .expect("feedback channel closed prematurely");
+                    trace.push(trace_kind::REPLAY_REQUEST, 0, src as u64, expected_seq[src]);
                     pending_request[src] = Some(expected_seq[src]);
                     recovery.replay_requests += 1;
                 }
@@ -2289,6 +2503,11 @@ where
             match message {
                 SourceMessage::Batch(batch) => {
                     let n = batch.keys.len() as u64;
+                    if let Some(h) = hop {
+                        h.batches_received.add(1);
+                        h.tuples_received.add(n);
+                        h.batch_occupancy.record(n);
+                    }
                     let phase = phase_of(&plan.phase_starts, batch.window);
                     let service = plan.phases[phase].service[worker_idx];
                     // Emulate the aggregation work with one
@@ -2346,6 +2565,7 @@ where
                         expected_seq = es;
                         open = op;
                         closes = cl;
+                        trace.push(trace_kind::CHECKPOINT_RESTORE, windows_closed, processed, 0);
                         for (src, sender) in feedback_senders.iter().enumerate() {
                             sender
                                 .send(ReplayRequest {
@@ -2353,6 +2573,12 @@ where
                                     from_seq: expected_seq[src],
                                 })
                                 .expect("feedback channel closed prematurely");
+                            trace.push(
+                                trace_kind::REPLAY_REQUEST,
+                                0,
+                                src as u64,
+                                expected_seq[src],
+                            );
                             pending_request[src] = Some(expected_seq[src]);
                             recovery.replay_requests += 1;
                         }
@@ -2376,6 +2602,7 @@ where
                     closes.remove(&window);
                     let partial = open.remove(&window).unwrap_or_else(|| aggregate.empty());
                     let closed_at = Instant::now();
+                    let timed = hop.map(|h| (h, Instant::now()));
                     for (shard, slice) in aggregate
                         .shard(partial, aggregators)
                         .into_iter()
@@ -2390,7 +2617,13 @@ where
                             })
                             .expect("aggregator queue closed prematurely");
                     }
+                    if let Some((h, before)) = timed {
+                        h.send_stall_us.add(before.elapsed().as_micros() as u64);
+                        h.batches_sent.add(aggregators as u64);
+                        h.tuples_sent.add(aggregators as u64);
+                    }
                     windows_closed += 1;
+                    trace.push(trace_kind::WINDOW_CLOSE, window, windows_closed, 0);
                     // Checkpoint at the finalization boundary: shipping
                     // the partials and persisting the cursor that covers
                     // them happen back to back, so a later restore never
@@ -2417,6 +2650,7 @@ where
                             hook(&checkpoint_buf);
                         }
                         checkpoints += 1;
+                        trace.push(trace_kind::CHECKPOINT_SAVE, window, windows_closed, 0);
                     }
                     if windows_closed == total_windows {
                         // Last window done: release the sources' replay
@@ -2448,6 +2682,8 @@ where
         phase_spans,
         recovery,
         checkpoints,
+        trace: trace.into_events(),
+        transport: hop.map(HopTelemetry::snapshot).unwrap_or_default(),
     }
 }
 
@@ -2472,6 +2708,13 @@ pub struct AggregatorStageReport<P> {
     /// a malformed frame or failed read instead of a clean EOF — e.g. a
     /// SIGKILLed worker's connection tearing mid-frame).
     pub transport_errors: u64,
+    /// The deterministic logical trace of this shard (one `WINDOW_CLOSE`
+    /// per finalized window, in finalization order); empty when telemetry
+    /// is disabled.
+    pub trace: Vec<TraceEvent>,
+    /// Transport counters for this shard's receive side; all-zero when
+    /// telemetry is disabled.
+    pub transport: HopStats,
 }
 
 /// Everything one aggregator contributes to a run: merges partial-window
@@ -2480,16 +2723,30 @@ pub struct AggregatorStageReport<P> {
 /// Contributions are counted by *distinct* worker — a duplicate
 /// `(worker, window)` partial (a recovered worker re-shipping) is dropped,
 /// never double-merged.
+///
+/// `shard` is this aggregator's index (it keys the trace); `telemetry`
+/// gates both the trace and the hop counters.
 pub fn run_aggregator_stage<A, Rx>(
     spawned_workers: usize,
     aggregate: &A,
     receiver: Rx,
+    shard: usize,
+    telemetry: bool,
 ) -> AggregatorStageReport<A::Partial>
 where
     A: WindowAggregate<KeyId>,
     Rx: PartialReceiver<A::Partial>,
 {
-    run_aggregator_stage_inner(spawned_workers, None, aggregate, receiver, None)
+    run_aggregator_stage_inner(
+        spawned_workers,
+        None,
+        aggregate,
+        receiver,
+        None,
+        shard,
+        telemetry,
+        None,
+    )
 }
 
 /// [`run_aggregator_stage`] plus the supervisor protocol of the
@@ -2503,12 +2760,19 @@ where
 /// - The stage returns as soon as `total_windows` windows have finalized,
 ///   instead of draining to EOF: under a respawn the data queue's senders
 ///   (the listener accepting reconnections) outlive the stage on purpose.
+///
+/// `live`, when given, is a shared [`HopTelemetry`] the stage updates in
+/// place so a metrics ticker on another thread can snapshot it mid-run.
+#[allow(clippy::too_many_arguments)]
 pub fn run_aggregator_stage_supervised<A, Rx>(
     spawned_workers: usize,
     total_windows: u64,
     aggregate: &A,
     receiver: Rx,
     exclusions: &crossbeam_channel::Receiver<usize>,
+    shard: usize,
+    telemetry: bool,
+    live: Option<Arc<HopTelemetry>>,
 ) -> AggregatorStageReport<A::Partial>
 where
     A: WindowAggregate<KeyId>,
@@ -2520,20 +2784,32 @@ where
         aggregate,
         receiver,
         Some(exclusions),
+        shard,
+        telemetry,
+        live,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_aggregator_stage_inner<A, Rx>(
     spawned_workers: usize,
     total_windows: Option<u64>,
     aggregate: &A,
     receiver: Rx,
     exclusions: Option<&crossbeam_channel::Receiver<usize>>,
+    shard: usize,
+    telemetry: bool,
+    live: Option<Arc<HopTelemetry>>,
 ) -> AggregatorStageReport<A::Partial>
 where
     A: WindowAggregate<KeyId>,
     Rx: PartialReceiver<A::Partial>,
 {
+    // Hop telemetry and the logical trace; see the source stage for the
+    // live-vs-private convention.
+    let local_hop = (live.is_none() && telemetry).then(HopTelemetry::default);
+    let hop = live.as_deref().or(local_hop.as_ref());
+    let mut trace = TraceBuf::new(trace_stage::AGGREGATOR, shard as u32, telemetry);
     let mut latencies = LatencyTracker::with_capacity(256);
     let mut merged = 0u64;
     let mut duplicates_dropped = 0u64;
@@ -2567,13 +2843,24 @@ where
                 }
             }
             if changed {
-                finalize_quorate_windows(&mut open, &mut finalized, &excluded, spawned_workers);
+                finalize_quorate_windows(
+                    &mut open,
+                    &mut finalized,
+                    &excluded,
+                    spawned_workers,
+                    &mut trace,
+                );
                 if all_done(&finalized) {
                     break 'recv;
                 }
             }
         }
-        match receiver.recv_batch(&mut drained) {
+        let wait = hop.map(|h| (h, Instant::now()));
+        let received = receiver.recv_batch(&mut drained);
+        if let Some((h, before)) = wait {
+            h.recv_wait_us.add(before.elapsed().as_micros() as u64);
+        }
+        match received {
             Ok(_) => {}
             Err(RecvError::Transport(_)) => {
                 // One connection tore mid-frame (e.g. its worker was
@@ -2583,6 +2870,14 @@ where
                 continue;
             }
             Err(RecvError::Closed) => break,
+        }
+        if let Some(h) = hop {
+            // Each drained element is one partial-window message.
+            let n = drained.len() as u64;
+            h.batches_received.add(n);
+            h.tuples_received.add(n);
+            h.queue_depth_hwm.record(n);
+            h.batch_occupancy.record(n);
         }
         for pw in drained.drain(..) {
             if finalized.contains_key(&pw.window) {
@@ -2619,6 +2914,7 @@ where
             if complete {
                 let (partial, _, _) = open.remove(&pw.window).expect("window is open");
                 finalized.insert(pw.window, partial);
+                trace.push(trace_kind::WINDOW_CLOSE, pw.window, 0, 0);
                 if all_done(&finalized) {
                     break 'recv;
                 }
@@ -2634,7 +2930,13 @@ where
                 excluded[worker] = true;
             }
         }
-        finalize_quorate_windows(&mut open, &mut finalized, &excluded, spawned_workers);
+        finalize_quorate_windows(
+            &mut open,
+            &mut finalized,
+            &excluded,
+            spawned_workers,
+            &mut trace,
+        );
     }
     debug_assert!(
         open.is_empty(),
@@ -2646,25 +2948,32 @@ where
         merged,
         duplicates_dropped,
         transport_errors,
+        trace: trace.into_events(),
+        transport: hop.map(HopTelemetry::snapshot).unwrap_or_default(),
     }
 }
 
 /// Moves every open window whose quorum is now satisfied — every worker
-/// either contributed or is excluded — into the finalized map.
+/// either contributed or is excluded — into the finalized map, in window
+/// order (the candidate set comes off a `HashMap`, whose iteration order
+/// is arbitrary — sorting keeps the trace deterministic).
 fn finalize_quorate_windows<P>(
     open: &mut HashMap<WindowId, (P, Vec<bool>, usize)>,
     finalized: &mut BTreeMap<WindowId, P>,
     excluded: &[bool],
     spawned_workers: usize,
+    trace: &mut TraceBuf,
 ) {
-    let ready: Vec<WindowId> = open
+    let mut ready: Vec<WindowId> = open
         .iter()
         .filter(|(_, slot)| (0..spawned_workers).all(|w| excluded[w] || slot.1[w]))
         .map(|(&window, _)| window)
         .collect();
+    ready.sort_unstable();
     for window in ready {
         let (partial, _, _) = open.remove(&window).expect("window is open");
         finalized.insert(window, partial);
+        trace.push(trace_kind::WINDOW_CLOSE, window, 0, 0);
     }
 }
 
@@ -2674,22 +2983,32 @@ fn finalize_quorate_windows<P>(
 ///
 /// `worker_reports` must be indexed by worker; aggregator reports may come
 /// in any order (their window sets are disjoint by sharding, and the merge
-/// is associative and commutative anyway). `controller_events` are the
-/// concatenated per-source elasticity decision logs (empty when the run had
-/// no controller); [`ControllerMetrics::merged`] sorts them into the
-/// canonical (source, window) order.
+/// is associative and commutative anyway). `source_reports` carry the sent
+/// counts, the per-source elasticity decision logs
+/// ([`ControllerMetrics::merged`] sorts them into the canonical
+/// (source, window) order), and the sources' trace/transport shares; the
+/// run's merged trace is sorted canonically and the per-stage transport
+/// counters are summed here.
 pub fn assemble_result<A>(
     plan: &StagePlan,
     aggregate: &A,
+    source_reports: Vec<SourceStageReport>,
     worker_reports: Vec<WorkerStageReport>,
     aggregator_reports: Vec<AggregatorStageReport<A::Partial>>,
-    controller_events: Vec<ControllerEvent>,
     elapsed_secs: f64,
 ) -> WindowedRun<A::Partial>
 where
     A: WindowAggregate<KeyId>,
 {
     let n_phases = plan.phases.len();
+    let mut controller_events = Vec::new();
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let mut transport = TransportStats::default();
+    for report in source_reports {
+        controller_events.extend(report.controller_events);
+        trace.extend(report.trace);
+        transport.source.merge(&report.transport);
+    }
     let mut processed = 0u64;
     let mut worker_counts = Vec::with_capacity(plan.spawned_workers);
     let mut worker_state_keys = Vec::with_capacity(plan.spawned_workers);
@@ -2704,6 +3023,8 @@ where
         worker_state_keys.push(report.state_keys);
         worker_windows_closed.push(report.windows_closed);
         worker_recovery = worker_recovery.merged(report.recovery);
+        trace.extend(report.trace);
+        transport.worker.merge(&report.transport);
         for (p, tracker) in report.phase_latencies.into_iter().enumerate() {
             phase_matrix.add(p, w, report.phase_counts[p]);
             phase_latencies[p].push(tracker);
@@ -2726,6 +3047,8 @@ where
         partials_merged += report.merged;
         partials_deduped += report.duplicates_dropped;
         partials_transport_errors += report.transport_errors;
+        trace.extend(report.trace);
+        transport.aggregator.merge(&report.transport);
         aggregator_latencies.push(report.latencies);
         for (window, partial) in report.finalized {
             match windows.entry(window) {
@@ -2749,6 +3072,10 @@ where
     // Grouped by worker across phases, so the "max avg" statistic keeps the
     // paper's per-worker semantics without copying every sample.
     let latency = LatencyTracker::summarize_by_worker(&phase_latencies);
+    let mut latency_histogram = LogHistogram::new();
+    for tracker in phase_latencies.iter().flatten() {
+        latency_histogram.merge(tracker.histogram());
+    }
     let throughput_eps = if elapsed_secs > 0.0 {
         processed as f64 / elapsed_secs
     } else {
@@ -2817,6 +3144,12 @@ where
             },
         ),
         controller: ControllerMetrics::merged(controller_events),
+        trace: {
+            sort_canonical(&mut trace);
+            trace
+        },
+        transport,
+        latency_histogram,
     };
     WindowedRun { result, windows }
 }
@@ -2861,11 +3194,12 @@ where
     for (agg_idx, receiver) in partial_receivers.into_iter().enumerate() {
         let aggregate = aggregate.clone();
         let workers = plan.spawned_workers;
+        let telemetry = plan.telemetry;
         aggregator_handles.push(thread::spawn(move || {
             if let Some(p) = pinning {
                 p.pin_current_thread(StageRole::Aggregator, agg_idx);
             }
-            run_aggregator_stage(workers, &aggregate, receiver)
+            run_aggregator_stage(workers, &aggregate, receiver, agg_idx, telemetry)
         }));
     }
 
@@ -2916,13 +3250,11 @@ where
     // Drop the topology's own copies so workers terminate when sources do.
     drop(senders);
 
-    let mut sent_total = 0u64;
-    let mut controller_events = Vec::new();
-    for h in source_handles {
-        let report = h.join().expect("source thread panicked");
-        sent_total += report.sent;
-        controller_events.extend(report.controller_events);
-    }
+    let source_reports: Vec<SourceStageReport> = source_handles
+        .into_iter()
+        .map(|h| h.join().expect("source thread panicked"))
+        .collect();
+    let sent_total: u64 = source_reports.iter().map(|r| r.sent).sum();
     let worker_reports: Vec<WorkerStageReport> = worker_handles
         .into_iter()
         .map(|h| h.join().expect("worker thread panicked"))
@@ -2939,9 +3271,9 @@ where
     assemble_result(
         plan,
         &aggregate,
+        source_reports,
         worker_reports,
         aggregator_reports,
-        controller_events,
         elapsed,
     )
 }
@@ -3003,6 +3335,36 @@ mod tests {
             .with_queue_capacity(64)
             .stage_plan();
         assert_eq!(plan.batch_size, 64);
+    }
+
+    #[test]
+    fn trace_is_deterministic_across_reruns_and_empty_when_disabled() {
+        let topo = Topology::new(EngineConfig::smoke(PartitionerKind::Pkg, 1.2));
+        let first = topo.run_windowed(CountAggregate).result;
+        let second = topo.run_windowed(CountAggregate).result;
+        assert!(!first.trace.is_empty());
+        assert_eq!(first.trace, second.trace);
+        // Every stage contributed: sources and aggregators log one
+        // WINDOW_CLOSE per window, workers log one close + one checkpoint.
+        for stage in [
+            trace_stage::SOURCE,
+            trace_stage::WORKER,
+            trace_stage::AGGREGATOR,
+        ] {
+            assert!(
+                first.trace.iter().any(|e| e.stage == stage),
+                "stage {stage} missing from trace"
+            );
+        }
+        // Transport counters saw the run's traffic.
+        assert_eq!(first.transport.source.tuples_sent, first.processed);
+        assert_eq!(first.transport.worker.tuples_received, first.processed);
+        let off = topo.run_windowed_without_telemetry(CountAggregate).result;
+        assert!(off.trace.is_empty());
+        assert_eq!(off.transport, TransportStats::default());
+        // Telemetry never changes the computation itself.
+        assert_eq!(off.processed, first.processed);
+        assert_eq!(off.worker_counts, first.worker_counts);
     }
 
     #[test]
@@ -3539,6 +3901,7 @@ mod tests {
                 |worker| {
                     reattached_in_source.fetch_add(worker + 1, std::sync::atomic::Ordering::SeqCst);
                 },
+                None,
             )
         });
         // Live emission: the whole stream fits in the queue.
@@ -3604,6 +3967,7 @@ mod tests {
                 &senders,
                 &event_rx,
                 |_| panic!("no rejoin in this test"),
+                None,
             )
         });
         let sent = source.join().expect("source thread panicked").sent;
@@ -3652,7 +4016,16 @@ mod tests {
         let receiver = partial_receivers.into_iter().next().unwrap();
         let (exclude_tx, exclude_rx) = crossbeam_channel::bounded(16);
         let handle = thread::spawn(move || {
-            run_aggregator_stage_supervised(2, 3, &CountAggregate, receiver, &exclude_rx)
+            run_aggregator_stage_supervised(
+                2,
+                3,
+                &CountAggregate,
+                receiver,
+                &exclude_rx,
+                0,
+                true,
+                None,
+            )
         });
         let ship = |worker: usize, window: WindowId, key: KeyId, count: u64| {
             let mut partial = aggregate.empty();
@@ -3739,6 +4112,7 @@ mod tests {
                 &partial_senders,
                 initial,
                 &mut |bytes: &[u8]| sink_checkpoints.lock().unwrap().push(bytes.to_vec()),
+                None,
             );
             drop(partial_senders);
             source.join().expect("source thread panicked");

@@ -187,6 +187,15 @@ pub trait TupleSender: Send + Clone + 'static {
     fn take_recycled(&self) -> Option<Vec<KeyId>> {
         None
     }
+
+    /// A racy `(queued_messages, capacity)` snapshot of the channel, for
+    /// telemetry high-water marks. Sources sample it once per sent batch —
+    /// never on the per-tuple path — so an implementation may take a lock.
+    /// The default `None` is for backends that cannot observe their queue
+    /// cheaply (a TCP socket's depth lives in kernel buffers).
+    fn queue_depth_hint(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// Receiving half of a source → worker channel.
@@ -424,6 +433,10 @@ pub struct InProc;
 impl TupleSender for Sender<SourceMessage> {
     fn send(&self, message: SourceMessage) -> Result<(), ChannelClosed> {
         Sender::send(self, message).map_err(|_| ChannelClosed)
+    }
+
+    fn queue_depth_hint(&self) -> Option<(usize, usize)> {
+        Some((Sender::len(self), Sender::capacity(self).unwrap_or(0)))
     }
 }
 

@@ -5,6 +5,7 @@
 //! slb-node orchestrate --spec cluster.spec [--verify] [--fault-tolerant]
 //!                      [--respawn-budget N] [--ckpt-dir DIR]
 //!                      [--kill-worker W@MS] [--crash-worker W@N]
+//!                      [--metrics-dir DIR] [--metrics-interval-ms MS]
 //! slb-node source     --index N --control HOST:PORT [--fault-tolerant]
 //! slb-node worker     --index N --control HOST:PORT [--fault-tolerant]
 //!                      [--rejoin] [--ckpt-dir DIR]
@@ -30,32 +31,48 @@
 //! durable save — the exact interleaving of the tail-window re-ship race,
 //! so the recovery counters have a single predictable value.
 //!
+//! With `--metrics-dir DIR` the orchestrator appends every node's
+//! [`MetricsSnapshot`](slb_telemetry::MetricsSnapshot) to
+//! `DIR/metrics.jsonl` (one JSON object per line, cluster rollup last);
+//! `--metrics-interval-ms MS` additionally makes fault-tolerant stages
+//! stream periodic snapshots at that cadence (see `docs/OBSERVABILITY.md`).
+//!
+//! Diagnostics go to stderr through the `SLB_LOG` leveled logger
+//! (`error|warn|info|debug`, default `info`); stdout stays reserved for the
+//! machine-readable run report.
+//!
 //! The role modes are not meant to be typed by hand — the orchestrator
 //! spawns them — but nothing stops a future launcher (or a human with three
 //! terminals) from wiring a cluster manually.
 
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Duration;
 
 use slb_net::cluster::{ClusterSpec, NodeRole};
 use slb_net::node::{
     exact_reference, orchestrate_with, run_node_with, NodeOptions, OrchestrateOptions,
 };
+use slb_telemetry::log;
 
 const USAGE: &str = "usage: slb-node orchestrate --spec FILE [--verify] [--fault-tolerant]
                 [--respawn-budget N] [--ckpt-dir DIR] [--kill-worker W@MS]
-                [--crash-worker W@N]
+                [--crash-worker W@N] [--metrics-dir DIR]
+                [--metrics-interval-ms MS]
        slb-node (source|worker|aggregator) --index N --control HOST:PORT
                 [--fault-tolerant] [--rejoin] [--ckpt-dir DIR]
-                [--crash-after-closes N]";
+                [--crash-after-closes N] [--metrics-interval-ms MS]";
 
 fn fail(message: &str) -> ! {
-    eprintln!("slb-node: {message}");
+    log::error("slb-node", message);
     eprintln!("{USAGE}");
     exit(2);
 }
 
 fn main() {
+    // Resolve `SLB_LOG` first so a malformed level fails at startup, not at
+    // the first diagnostic mid-run.
+    log::init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(mode) = args.first() else {
         fail("missing mode");
@@ -77,6 +94,16 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Parses `--metrics-interval-ms MS`; `0` disables periodic snapshots, the
+/// same convention as `SLB_METRICS_INTERVAL_MS`.
+fn parse_metrics_interval(args: &[String]) -> Option<Duration> {
+    flag_value(args, "--metrics-interval-ms").and_then(|v| match v.parse::<u64>() {
+        Ok(0) => None,
+        Ok(ms) => Some(Duration::from_millis(ms)),
+        Err(_) => fail("--metrics-interval-ms needs an integer number of milliseconds"),
+    })
+}
+
 fn run_role(role: NodeRole, args: &[String]) {
     let Some(index) = flag_value(args, "--index").and_then(|v| v.parse::<usize>().ok()) else {
         fail("role modes need --index N");
@@ -92,9 +119,10 @@ fn run_role(role: NodeRole, args: &[String]) {
             v.parse::<u64>()
                 .unwrap_or_else(|_| fail("--crash-after-closes needs a positive integer"))
         }),
+        metrics_interval: parse_metrics_interval(args),
     };
     if let Err(message) = run_node_with(role, index, control, &options) {
-        eprintln!("slb-node {} {index}: {message}", role.name());
+        log::error("slb-node", &format!("{} {index}: {message}", role.name()));
         exit(1);
     }
 }
@@ -113,8 +141,12 @@ fn run_orchestrate(args: &[String]) {
     let mut options = OrchestrateOptions {
         fault_tolerant: args.iter().any(|a| a == "--fault-tolerant"),
         ckpt_dir: flag_value(args, "--ckpt-dir").map(PathBuf::from),
+        metrics_dir: flag_value(args, "--metrics-dir").map(PathBuf::from),
         ..OrchestrateOptions::default()
     };
+    if let Some(interval) = parse_metrics_interval(args) {
+        options.metrics_interval = Some(interval);
+    }
     if let Some(budget) = flag_value(args, "--respawn-budget") {
         match budget.parse::<u32>() {
             Ok(budget) => options.respawn_budget = budget,
@@ -154,21 +186,24 @@ fn run_orchestrate(args: &[String]) {
         Ok(path) => path,
         Err(e) => fail(&format!("locating own binary: {e}")),
     };
-    println!(
-        "slb-node orchestrate: {} sources, {} workers, {} aggregators over TCP loopback{}",
-        spec.sources(),
-        spec.workers(),
-        spec.aggregators(),
-        if options.fault_tolerant {
-            " (supervised)"
-        } else {
-            ""
-        }
+    log::info(
+        "slb-node",
+        &format!(
+            "orchestrate: {} sources, {} workers, {} aggregators over TCP loopback{}",
+            spec.sources(),
+            spec.workers(),
+            spec.aggregators(),
+            if options.fault_tolerant {
+                " (supervised)"
+            } else {
+                ""
+            }
+        ),
     );
     let outcome = match orchestrate_with(&spec, &node_exe, &options) {
         Ok(outcome) => outcome,
         Err(message) => {
-            eprintln!("slb-node orchestrate: {message}");
+            log::error("slb-node", &format!("orchestrate: {message}"));
             exit(1);
         }
     };
@@ -202,6 +237,30 @@ fn run_orchestrate(args: &[String]) {
         "aggregator_recovery duplicates_dropped={} transport_errors={}",
         ar.duplicates_dropped, ar.transport_errors
     );
+    if let Some(metrics) = &outcome.metrics {
+        println!(
+            "cluster_metrics windows_closed={} checkpoints={} batches_sent={} \
+             tuples_sent={} send_stall_us={} recv_wait_us={} queue_depth_hwm={} \
+             latency_count={}",
+            metrics.windows_closed,
+            metrics.checkpoints,
+            metrics.batches_sent,
+            metrics.tuples_sent,
+            metrics.send_stall_us,
+            metrics.recv_wait_us,
+            metrics.queue_depth_hwm,
+            metrics.latency_count
+        );
+    }
+    if let Some(dir) = &options.metrics_dir {
+        log::info(
+            "slb-node",
+            &format!(
+                "metrics stream written to {}",
+                dir.join("metrics.jsonl").display()
+            ),
+        );
+    }
     if !outcome.degraded.is_empty() {
         println!("degraded workers={:?}", outcome.degraded);
     }

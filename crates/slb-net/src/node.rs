@@ -66,11 +66,11 @@
 //! loops.
 
 use std::collections::{BTreeMap, HashMap};
-use std::io::{BufReader, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -83,8 +83,10 @@ use slb_engine::{
     assemble_result, exact_scenario_windowed_counts, exact_windowed_counts, run_aggregator_stage,
     run_aggregator_stage_supervised, run_source_stage, run_source_stage_supervised,
     run_worker_stage, run_worker_stage_durable, AggregatorStageReport, EngineResult,
-    LatencyTracker, RecoveryMetrics, SourceControlEvent, WindowId, WindowedRun, WorkerStageReport,
+    LatencyTracker, RecoveryMetrics, SourceControlEvent, SourceStageReport, WindowId, WindowedRun,
+    WorkerStageReport,
 };
+use slb_telemetry::{log, snapshot_stage, HopTelemetry, LogHistogram, MetricsSnapshot};
 use slb_workloads::KeyId;
 
 use crate::cluster::{decode_run_spec, encode_run_spec, ClusterSpec, NodeRole, RunSpec};
@@ -93,7 +95,7 @@ use crate::tcp::{
     TcpTupleReceiver, TcpTupleSender,
 };
 use crate::wire::{
-    encode_control_frame, read_frame, rle_encode, AggregatorReportWire, ControlFrame, WireError,
+    encode_control_frame, read_frame, AggregatorReportWire, ControlFrame, WireError,
     WorkerReportWire,
 };
 
@@ -193,6 +195,135 @@ fn tracker_from_rle(runs: &[(u64, u64)]) -> LatencyTracker {
     tracker
 }
 
+/// Reads the `SLB_METRICS_INTERVAL_MS` override for the periodic metrics
+/// ticker, failing fast on a malformed value (same contract as
+/// `SLB_HEARTBEAT_TIMEOUT_MS`). Unset or `0` disables periodic snapshots;
+/// the exact end-of-stage snapshot is always sent.
+///
+/// # Panics
+/// Panics if the variable is set but is not an unsigned integer number of
+/// milliseconds.
+pub fn metrics_interval_from_env() -> Option<Duration> {
+    match std::env::var("SLB_METRICS_INTERVAL_MS") {
+        Ok(raw) => match raw.parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => panic!(
+                "SLB_METRICS_INTERVAL_MS must be an integer number of \
+                 milliseconds, got {raw:?} (e.g. SLB_METRICS_INTERVAL_MS=250)"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("SLB_METRICS_INTERVAL_MS must be valid UTF-8, got {raw:?}")
+        }
+    }
+}
+
+/// Streams periodic (non-final) [`MetricsSnapshot`] frames built from a live
+/// [`HopTelemetry`] handle until `stop` is raised. Shares the control stream
+/// with heartbeats and the end-of-run report through the frame mutex.
+fn spawn_metrics_ticker(
+    shared: Arc<Mutex<TcpStream>>,
+    stage: u8,
+    instance: u32,
+    hop: Arc<HopTelemetry>,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+    seq: Arc<AtomicU64>,
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            thread::sleep(interval);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let stats = hop.snapshot();
+            let mut snap = MetricsSnapshot {
+                stage,
+                instance,
+                seq: seq.fetch_add(1, Ordering::Relaxed),
+                ..MetricsSnapshot::default()
+            };
+            // Items-so-far approximation: what this stage has pushed through
+            // its outbound (source) or inbound (worker, aggregator) hop. The
+            // final snapshot replaces it with the report's exact count.
+            snap.items = if stage == snapshot_stage::SOURCE {
+                stats.tuples_sent
+            } else {
+                stats.tuples_received
+            };
+            snap.set_transport(&stats);
+            if send_control_shared(&shared, &ControlFrame::Metrics(snap)).is_err() {
+                break;
+            }
+        }
+    })
+}
+
+/// The exact end-of-stage snapshot for a source.
+fn source_final_snapshot(index: usize, report: &SourceStageReport, seq: u64) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot {
+        stage: snapshot_stage::SOURCE,
+        instance: index as u32,
+        seq,
+        finished: true,
+        items: report.sent,
+        ..MetricsSnapshot::default()
+    };
+    snap.set_transport(&report.transport);
+    snap
+}
+
+/// The exact end-of-stage snapshot for a worker, with the worker's full
+/// latency distribution merged across phases.
+fn worker_final_snapshot(index: usize, report: &WorkerStageReport, seq: u64) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot {
+        stage: snapshot_stage::WORKER,
+        instance: index as u32,
+        seq,
+        finished: true,
+        items: report.processed,
+        windows_closed: report.windows_closed,
+        checkpoints: report.checkpoints,
+        restores: report.recovery.restores,
+        replayed_items: report.recovery.replayed_items,
+        duplicates_dropped: report.recovery.duplicates_dropped,
+        replay_requests: report.recovery.replay_requests,
+        transport_errors: report.recovery.transport_errors,
+        ..MetricsSnapshot::default()
+    };
+    snap.set_transport(&report.transport);
+    let mut latency = LogHistogram::new();
+    for tracker in &report.phase_latencies {
+        latency.merge(tracker.histogram());
+    }
+    snap.set_latency(&latency);
+    snap
+}
+
+/// The exact end-of-stage snapshot for an aggregator shard.
+fn aggregator_final_snapshot(
+    index: usize,
+    report: &AggregatorStageReport<CountPartial>,
+    seq: u64,
+) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot {
+        stage: snapshot_stage::AGGREGATOR,
+        instance: index as u32,
+        seq,
+        finished: true,
+        items: report.merged,
+        windows_closed: report.finalized.len() as u64,
+        duplicates_dropped: report.duplicates_dropped,
+        transport_errors: report.transport_errors,
+        ..MetricsSnapshot::default()
+    };
+    snap.set_transport(&report.transport);
+    snap.set_latency(report.latencies.histogram());
+    snap
+}
+
 /// Per-process knobs for [`run_node_with`]. The default is the plain
 /// (non-fault-tolerant) node [`run_node`] runs.
 #[derive(Debug, Clone, Default)]
@@ -212,6 +343,12 @@ pub struct NodeOptions {
     /// but before the durable save — the exact interleaving of the
     /// tail-window re-ship race. Never passed to respawned incarnations.
     pub crash_after_closes: Option<u64>,
+    /// Stream periodic [`MetricsSnapshot`] frames at this cadence while the
+    /// stage runs (fault-tolerant stages only — they are the ones with a
+    /// live telemetry handle). `None` falls back to
+    /// [`metrics_interval_from_env`]; the exact final snapshot is sent
+    /// either way.
+    pub metrics_interval: Option<Duration>,
 }
 
 /// Runs one node process: handshake, data-plane wiring, the stage itself,
@@ -301,6 +438,7 @@ pub fn run_node_with(
     let spec = ClusterSpec { run };
     let plan = spec.stage_plan();
     let epoch = epoch_from_unix_micros(epoch_unix_micros);
+    let metrics_interval = options.metrics_interval.or_else(metrics_interval_from_env);
 
     match role {
         NodeRole::Source if options.fault_tolerant => run_source_node_supervised(
@@ -310,6 +448,7 @@ pub fn run_node_with(
             &worker_ports,
             control_stream,
             control_reader,
+            metrics_interval,
         ),
         NodeRole::Source => {
             let mut senders = Vec::with_capacity(worker_ports.len());
@@ -330,10 +469,16 @@ pub fn run_node_with(
             drop(senders); // EOF to every worker
             send_control(
                 &mut control_stream,
+                &ControlFrame::Metrics(source_final_snapshot(index, &report, 0)),
+            )?;
+            send_control(
+                &mut control_stream,
                 &ControlFrame::SourceReport {
                     source: index as u32,
                     sent: report.sent,
                     controller_events: report.controller_events,
+                    trace: report.trace,
+                    transport: report.transport,
                 },
             )
         }
@@ -358,8 +503,8 @@ pub fn run_node_with(
             }
             let report = if options.fault_tolerant {
                 let mut store = store.expect("fault-tolerant workers open a store");
-                // The shared write half lets the heartbeat thread and the
-                // final report use one control connection.
+                // The shared write half lets the heartbeat and metrics
+                // threads and the final report use one control connection.
                 let shared = Arc::new(Mutex::new(control_stream));
                 let stop = Arc::new(AtomicBool::new(false));
                 let heartbeats = {
@@ -377,6 +522,19 @@ pub fn run_node_with(
                         }
                     })
                 };
+                let live = plan.telemetry.then(|| Arc::new(HopTelemetry::default()));
+                let metrics_seq = Arc::new(AtomicU64::new(0));
+                let ticker = metrics_interval.zip(live.clone()).map(|(interval, hop)| {
+                    spawn_metrics_ticker(
+                        Arc::clone(&shared),
+                        snapshot_stage::WORKER,
+                        index as u32,
+                        hop,
+                        interval,
+                        Arc::clone(&stop),
+                        Arc::clone(&metrics_seq),
+                    )
+                });
                 let mut closes_persisted = 0u64;
                 let crash_after_closes = options.crash_after_closes;
                 let report = run_worker_stage_durable(
@@ -400,13 +558,28 @@ pub fn run_node_with(
                         // A failed save degrades durability (a later crash
                         // replays more), never correctness — keep running.
                         if let Err(e) = store.save(bytes) {
-                            eprintln!("worker {index}: checkpoint save failed: {e}");
+                            log::error(
+                                "slb-node",
+                                &format!("worker {index}: checkpoint save failed: {e}"),
+                            );
                         }
                     },
+                    live,
                 );
                 drop(partial_senders); // EOF to every aggregator
                 stop.store(true, Ordering::Relaxed);
                 let _ = heartbeats.join();
+                if let Some(ticker) = ticker {
+                    let _ = ticker.join();
+                }
+                send_control_shared(
+                    &shared,
+                    &ControlFrame::Metrics(worker_final_snapshot(
+                        index,
+                        &report,
+                        metrics_seq.load(Ordering::Relaxed),
+                    )),
+                )?;
                 return send_control_shared(
                     &shared,
                     &ControlFrame::WorkerReport(worker_report_to_wire(index, &report)),
@@ -424,6 +597,10 @@ pub fn run_node_with(
             drop(partial_senders); // EOF to every aggregator
             send_control(
                 &mut control_stream,
+                &ControlFrame::Metrics(worker_final_snapshot(index, &report, 0)),
+            )?;
+            send_control(
+                &mut control_stream,
                 &ControlFrame::WorkerReport(worker_report_to_wire(index, &report)),
             )
         }
@@ -437,28 +614,66 @@ pub fn run_node_with(
                 incoming.push(stream);
             }
             let capacity = partial_channel_capacity(plan.spawned_workers);
+            let shared = Arc::new(Mutex::new(control_stream));
+            let metrics_seq = Arc::new(AtomicU64::new(0));
             let report = if options.fault_tolerant {
-                run_aggregator_node_supervised(
+                let live = plan.telemetry.then(|| Arc::new(HopTelemetry::default()));
+                let stop = Arc::new(AtomicBool::new(false));
+                let ticker = metrics_interval.zip(live.clone()).map(|(interval, hop)| {
+                    spawn_metrics_ticker(
+                        Arc::clone(&shared),
+                        snapshot_stage::AGGREGATOR,
+                        index as u32,
+                        hop,
+                        interval,
+                        Arc::clone(&stop),
+                        Arc::clone(&metrics_seq),
+                    )
+                });
+                let report = run_aggregator_node_supervised(
                     &plan,
                     listener,
                     incoming,
                     epoch,
                     capacity,
                     control_reader,
-                )?
+                    index,
+                    live,
+                )?;
+                stop.store(true, Ordering::Relaxed);
+                if let Some(ticker) = ticker {
+                    let _ = ticker.join();
+                }
+                report
             } else {
                 let receiver = TcpPartialReceiver::<CountPartial>::spawn(incoming, epoch, capacity);
-                run_aggregator_stage(plan.spawned_workers, &CountAggregate, receiver)
+                run_aggregator_stage(
+                    plan.spawned_workers,
+                    &CountAggregate,
+                    receiver,
+                    index,
+                    plan.telemetry,
+                )
             };
-            send_control(
-                &mut control_stream,
+            send_control_shared(
+                &shared,
+                &ControlFrame::Metrics(aggregator_final_snapshot(
+                    index,
+                    &report,
+                    metrics_seq.load(Ordering::Relaxed),
+                )),
+            )?;
+            send_control_shared(
+                &shared,
                 &ControlFrame::AggregatorReport(AggregatorReportWire {
                     aggregator: index as u32,
                     merged: report.merged,
-                    latency: rle_encode(report.latencies.samples()),
+                    latency: report.latencies.value_runs(),
                     finalized: report.finalized.into_iter().collect(),
                     duplicates_dropped: report.duplicates_dropped,
                     transport_errors: report.transport_errors,
+                    trace: report.trace,
+                    transport: report.transport,
                 }),
             )
         }
@@ -473,8 +688,9 @@ fn run_source_node_supervised(
     index: usize,
     epoch: Instant,
     worker_ports: &[u16],
-    mut control_stream: TcpStream,
+    control_stream: TcpStream,
     mut control_reader: BufReader<TcpStream>,
+    metrics_interval: Option<Duration>,
 ) -> Result<(), String> {
     let plan = spec.stage_plan();
     let mut senders = Vec::with_capacity(worker_ports.len());
@@ -539,7 +755,10 @@ fn run_source_node_supervised(
             .copied()
             .flatten();
         let Some(port) = port else {
-            eprintln!("source {index}: rejoin for worker {w} carried no port");
+            log::warn(
+                "slb-node",
+                &format!("source {index}: rejoin for worker {w} carried no port"),
+            );
             return;
         };
         match connect_with_retry(
@@ -548,9 +767,27 @@ fn run_source_node_supervised(
             REJOIN_DIAL_BASE_DELAY,
         ) {
             Ok(stream) => senders[w].reattach(stream),
-            Err(e) => eprintln!("source {index}: re-dialing worker {w} failed: {e}"),
+            Err(e) => log::error(
+                "slb-node",
+                &format!("source {index}: re-dialing worker {w} failed: {e}"),
+            ),
         }
     };
+    let shared = Arc::new(Mutex::new(control_stream));
+    let live = plan.telemetry.then(|| Arc::new(HopTelemetry::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let metrics_seq = Arc::new(AtomicU64::new(0));
+    let ticker = metrics_interval.zip(live.clone()).map(|(interval, hop)| {
+        spawn_metrics_ticker(
+            Arc::clone(&shared),
+            snapshot_stage::SOURCE,
+            index as u32,
+            hop,
+            interval,
+            Arc::clone(&stop),
+            Arc::clone(&metrics_seq),
+        )
+    });
     let report = match &spec.run {
         RunSpec::Engine(cfg) => run_source_stage_supervised(
             &plan,
@@ -559,6 +796,7 @@ fn run_source_node_supervised(
             &senders,
             &event_rx,
             reattach,
+            live.clone(),
         ),
         RunSpec::Scenario(cfg) => run_source_stage_supervised(
             &plan,
@@ -567,16 +805,31 @@ fn run_source_node_supervised(
             &senders,
             &event_rx,
             reattach,
+            live.clone(),
         ),
     };
     drop(senders); // EOF to every worker
     let _ = control_thread.join(); // exited on Release
-    send_control(
-        &mut control_stream,
+    stop.store(true, Ordering::Relaxed);
+    if let Some(ticker) = ticker {
+        let _ = ticker.join();
+    }
+    send_control_shared(
+        &shared,
+        &ControlFrame::Metrics(source_final_snapshot(
+            index,
+            &report,
+            metrics_seq.load(Ordering::Relaxed),
+        )),
+    )?;
+    send_control_shared(
+        &shared,
         &ControlFrame::SourceReport {
             source: index as u32,
             sent: report.sent,
             controller_events: report.controller_events,
+            trace: report.trace,
+            transport: report.transport,
         },
     )
 }
@@ -584,6 +837,7 @@ fn run_source_node_supervised(
 /// The fault-tolerant aggregator body: an attachable merge queue with a
 /// late-accept loop for respawned workers' fresh connections, and a
 /// control-reader thread feeding exclusions into the supervised stage.
+#[allow(clippy::too_many_arguments)]
 fn run_aggregator_node_supervised(
     plan: &slb_engine::StagePlan,
     listener: TcpListener,
@@ -591,6 +845,8 @@ fn run_aggregator_node_supervised(
     epoch: Instant,
     capacity: usize,
     mut control_reader: BufReader<TcpStream>,
+    shard: usize,
+    live: Option<Arc<HopTelemetry>>,
 ) -> Result<AggregatorStageReport<CountPartial>, String> {
     let (receiver, attach) =
         TcpPartialReceiver::<CountPartial>::spawn_attachable(incoming, epoch, capacity);
@@ -643,6 +899,9 @@ fn run_aggregator_node_supervised(
         &CountAggregate,
         receiver,
         &excl_rx,
+        shard,
+        plan.telemetry,
+        live,
     );
     stop.store(true, Ordering::Relaxed);
     let _ = accept_thread.join();
@@ -660,7 +919,7 @@ fn worker_report_to_wire(index: usize, report: &WorkerStageReport) -> WorkerRepo
         phase_latencies: report
             .phase_latencies
             .iter()
-            .map(|t| rle_encode(t.samples()))
+            .map(|t| t.value_runs())
             .collect(),
         restores: report.recovery.restores,
         replayed_items: report.recovery.replayed_items,
@@ -668,6 +927,8 @@ fn worker_report_to_wire(index: usize, report: &WorkerStageReport) -> WorkerRepo
         replay_requests: report.recovery.replay_requests,
         transport_errors: report.recovery.transport_errors,
         checkpoints: report.checkpoints,
+        trace: report.trace.clone(),
+        transport: report.transport.clone(),
     }
 }
 
@@ -691,6 +952,8 @@ fn worker_report_from_wire(report: WorkerReportWire) -> WorkerStageReport {
             transport_errors: report.transport_errors,
         },
         checkpoints: report.checkpoints,
+        trace: report.trace,
+        transport: report.transport,
     }
 }
 
@@ -703,6 +966,8 @@ fn aggregator_report_from_wire(
         merged: report.merged,
         duplicates_dropped: report.duplicates_dropped,
         transport_errors: report.transport_errors,
+        trace: report.trace,
+        transport: report.transport,
     }
 }
 
@@ -719,6 +984,11 @@ pub struct OrchestratorOutcome {
     /// Workers that exhausted their respawn budget and were excluded. Empty
     /// on a fully healthy (or fully recovered) run.
     pub degraded: Vec<usize>,
+    /// Cluster-wide rollup of every stage's exact final [`MetricsSnapshot`]
+    /// (stage = `cluster`): counters summed, high-water marks maxed, latency
+    /// histograms merged. `None` only if no stage delivered its final
+    /// snapshot (impossible on a completed run with current nodes).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Supervision knobs for [`orchestrate_with`]. The default is the plain
@@ -746,6 +1016,15 @@ pub struct OrchestrateOptions {
     pub crash_worker: Option<(usize, u64)>,
     /// Heartbeat silence after which a worker is declared dead.
     pub heartbeat_timeout: Duration,
+    /// Directory for the merged metrics stream: every [`MetricsSnapshot`]
+    /// the nodes ship (periodic and final) is appended as one JSON object
+    /// per line to `<dir>/metrics.jsonl`, ending with the cluster rollup.
+    /// `None` keeps the rollup in [`OrchestratorOutcome::metrics`] only.
+    pub metrics_dir: Option<PathBuf>,
+    /// Periodic snapshot cadence handed to the nodes
+    /// (`--metrics-interval-ms`). Defaults to [`metrics_interval_from_env`];
+    /// `None` means final snapshots only.
+    pub metrics_interval: Option<Duration>,
 }
 
 impl Default for OrchestrateOptions {
@@ -757,6 +1036,8 @@ impl Default for OrchestrateOptions {
             kill_worker: None,
             crash_worker: None,
             heartbeat_timeout: heartbeat_timeout_from_env(),
+            metrics_dir: None,
+            metrics_interval: metrics_interval_from_env(),
         }
     }
 }
@@ -825,7 +1106,7 @@ enum SupervisorEvent {
     Frame {
         role: NodeRole,
         index: usize,
-        frame: ControlFrame,
+        frame: Box<ControlFrame>,
     },
     /// The control connection to `(role, index)` ended (clean close or read
     /// error — indistinguishable from here, and treated alike). `gen`
@@ -850,7 +1131,11 @@ fn spawn_control_reader(
         match recv_control(&mut reader) {
             Ok(frame) => {
                 if tx
-                    .send(SupervisorEvent::Frame { role, index, frame })
+                    .send(SupervisorEvent::Frame {
+                        role,
+                        index,
+                        frame: Box::new(frame),
+                    })
                     .is_err()
                 {
                     break;
@@ -905,13 +1190,14 @@ fn handle_worker_death(
     node_exe: &Path,
     control_addr: &SocketAddr,
     ckpt_dir: &Path,
+    metrics_interval: Option<Duration>,
     source_streams: &mut [TcpStream],
     aggregator_streams: &mut [TcpStream],
 ) -> Result<(), String> {
     if sup.budget_left[w] > 0 {
         sup.budget_left[w] -= 1;
-        let child = Command::new(node_exe)
-            .arg(NodeRole::Worker.name())
+        let mut cmd = Command::new(node_exe);
+        cmd.arg(NodeRole::Worker.name())
             .arg("--index")
             .arg(w.to_string())
             .arg("--control")
@@ -919,7 +1205,12 @@ fn handle_worker_death(
             .arg("--fault-tolerant")
             .arg("--rejoin")
             .arg("--ckpt-dir")
-            .arg(ckpt_dir)
+            .arg(ckpt_dir);
+        if let Some(interval) = metrics_interval {
+            cmd.arg("--metrics-interval-ms")
+                .arg(interval.as_millis().to_string());
+        }
+        let child = cmd
             .spawn()
             .map_err(|e| io_err("respawning worker process", e))?;
         let mut kids = children.lock().expect("children poisoned");
@@ -1004,6 +1295,10 @@ fn orchestrate_inner(
                 .arg(index.to_string())
                 .arg("--control")
                 .arg(control_addr.to_string());
+            if let Some(interval) = options.metrics_interval {
+                cmd.arg("--metrics-interval-ms")
+                    .arg(interval.as_millis().to_string());
+            }
             if ft {
                 cmd.arg("--fault-tolerant");
                 if role == NodeRole::Worker {
@@ -1189,12 +1484,25 @@ fn orchestrate_inner(
         degraded: Vec::new(),
     };
     let mut sent_total = 0u64;
-    let mut controller_events = Vec::new();
-    let mut sources_reported = vec![false; spec.sources()];
+    let mut source_reports: Vec<Option<SourceStageReport>> =
+        (0..spec.sources()).map(|_| None).collect();
     let mut aggregators_reported = vec![false; spec.aggregators()];
     let mut worker_reports: Vec<Option<WorkerStageReport>> =
         (0..spec.workers()).map(|_| None).collect();
     let mut aggregator_reports: Vec<AggregatorStageReport<CountPartial>> = Vec::new();
+    // The merged metrics stream: every Metrics frame, in arrival order, one
+    // JSON object per line. Final (`finished`) snapshots also fold into the
+    // cluster rollup.
+    let mut metrics_writer = match &options.metrics_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| io_err("creating metrics directory", e))?;
+            let file = std::fs::File::create(dir.join("metrics.jsonl"))
+                .map_err(|e| io_err("creating metrics.jsonl", e))?;
+            Some(BufWriter::new(file))
+        }
+        None => None,
+    };
+    let mut metrics_rollup: Option<MetricsSnapshot> = None;
     let mut released = false;
     // Ticks observed with every child exited but reports still missing: the
     // grace period for reports already in the socket buffers.
@@ -1220,7 +1528,7 @@ fn orchestrate_inner(
             }
         }
         if workers_settled
-            && sources_reported.iter().all(|&r| r)
+            && source_reports.iter().all(Option::is_some)
             && aggregators_reported.iter().all(|&r| r)
         {
             break;
@@ -1296,18 +1604,24 @@ fn orchestrate_inner(
         }
 
         match event_rx.recv_timeout(Duration::from_millis(200)) {
-            Ok(SupervisorEvent::Frame { role, index, frame }) => match frame {
+            Ok(SupervisorEvent::Frame { role, index, frame }) => match *frame {
                 ControlFrame::SourceReport {
                     source,
                     sent,
-                    controller_events: events,
+                    controller_events,
+                    trace,
+                    transport,
                 } => {
-                    let slot = sources_reported
+                    let slot = source_reports
                         .get_mut(source as usize)
                         .ok_or("source report index out of range")?;
-                    *slot = true;
                     sent_total += sent;
-                    controller_events.extend(events);
+                    *slot = Some(SourceStageReport {
+                        sent,
+                        controller_events,
+                        trace,
+                        transport,
+                    });
                 }
                 ControlFrame::WorkerReport(report) => {
                     let w = report.worker as usize;
@@ -1327,6 +1641,23 @@ fn orchestrate_inner(
                 ControlFrame::Heartbeat { worker } => {
                     if let Some(seen) = sup.last_seen.get_mut(worker as usize) {
                         *seen = Instant::now();
+                    }
+                }
+                ControlFrame::Metrics(snap) => {
+                    if let Some(writer) = metrics_writer.as_mut() {
+                        writeln!(writer, "{}", snap.to_json())
+                            .map_err(|e| io_err("writing metrics line", e))?;
+                    }
+                    if snap.finished {
+                        match metrics_rollup.as_mut() {
+                            Some(rollup) => rollup.merge(&snap),
+                            None => {
+                                let mut rollup = snap.clone();
+                                rollup.stage = snapshot_stage::CLUSTER;
+                                rollup.instance = 0;
+                                metrics_rollup = Some(rollup);
+                            }
+                        }
                     }
                 }
                 _ => {
@@ -1354,6 +1685,7 @@ fn orchestrate_inner(
                             node_exe,
                             &control_addr,
                             &ckpt_dir,
+                            options.metrics_interval,
                             &mut source_streams,
                             &mut aggregator_streams,
                         )?;
@@ -1365,7 +1697,7 @@ fn orchestrate_inner(
                     }
                 }
                 NodeRole::Source => {
-                    if !sources_reported.get(index).copied().unwrap_or(true) {
+                    if source_reports.get(index).is_some_and(Option::is_none) {
                         return Err(format!("source {index}: {detail}"));
                     }
                 }
@@ -1397,6 +1729,7 @@ fn orchestrate_inner(
                                         node_exe,
                                         &control_addr,
                                         &ckpt_dir,
+                                        options.metrics_interval,
                                         &mut source_streams,
                                         &mut aggregator_streams,
                                     )?;
@@ -1420,6 +1753,7 @@ fn orchestrate_inner(
                                         node_exe,
                                         &control_addr,
                                         &ckpt_dir,
+                                        options.metrics_interval,
                                         &mut source_streams,
                                         &mut aggregator_streams,
                                     )?;
@@ -1434,8 +1768,8 @@ fn orchestrate_inner(
                     // unreported one failing is fatal.
                     {
                         let mut kids = children.lock().expect("children poisoned");
-                        for (s, &reported) in sources_reported.iter().enumerate() {
-                            if reported {
+                        for (s, report) in source_reports.iter().enumerate() {
+                            if report.is_some() {
                                 continue;
                             }
                             if let Some(Some(status)) =
@@ -1498,18 +1832,35 @@ fn orchestrate_inner(
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
+    let source_reports: Vec<SourceStageReport> = source_reports
+        .into_iter()
+        .enumerate()
+        .map(|(s, r)| r.ok_or(format!("no report from source {s}")))
+        .collect::<Result<_, _>>()?;
     let worker_reports: Vec<WorkerStageReport> = worker_reports
         .into_iter()
         .enumerate()
         .map(|(w, r)| r.ok_or(format!("no report from worker {w}")))
         .collect::<Result<_, _>>()?;
 
+    // Close the metrics stream: the rollup is always its last line, so a
+    // consumer can `tail -n 1` for the cluster totals.
+    if let Some(mut writer) = metrics_writer.take() {
+        if let Some(rollup) = &metrics_rollup {
+            writeln!(writer, "{}", rollup.to_json())
+                .map_err(|e| io_err("writing metrics rollup", e))?;
+        }
+        writer
+            .flush()
+            .map_err(|e| io_err("flushing metrics.jsonl", e))?;
+    }
+
     let WindowedRun { result, windows } = assemble_result(
         &plan,
         &CountAggregate,
+        source_reports,
         worker_reports,
         aggregator_reports,
-        controller_events,
         elapsed,
     );
     // A degraded run *loses* the excluded worker's unshipped tuples by
@@ -1525,6 +1876,7 @@ fn orchestrate_inner(
         windows,
         sent_total,
         degraded: sup.degraded,
+        metrics: metrics_rollup,
     })
 }
 
@@ -1560,7 +1912,7 @@ mod tests {
         tracker.record_many_us(7, 300);
         tracker.record_us(12);
         tracker.record_many_us(7, 2);
-        let runs = rle_encode(tracker.samples());
+        let runs = crate::wire::rle_encode(tracker.samples());
         assert_eq!(runs, vec![(7, 300), (12, 1), (7, 2)]);
         assert_eq!(tracker_from_rle(&runs).samples(), tracker.samples());
     }

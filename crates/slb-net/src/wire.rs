@@ -34,6 +34,7 @@ use std::io::{self, Read, Write};
 
 use slb_core::wire::{read_u32, read_u64, write_u32, write_u64, PartialDecodeError, WirePartial};
 use slb_core::{ControllerAction, ControllerEvent};
+use slb_telemetry::{HopStats, LogHistogram, MetricsSnapshot, TraceEvent};
 
 /// Hard ceiling on one frame's payload (tag + body), defending the decoder
 /// against allocating on a corrupt length prefix. Generous: the largest
@@ -73,6 +74,8 @@ pub mod tag {
     pub const EXCLUDE: u8 = 23;
     /// Orchestrator → sources: no further rejoin can occur, stop waiting.
     pub const RELEASE: u8 = 24;
+    /// Node → orchestrator: a live (or final) telemetry snapshot.
+    pub const METRICS: u8 = 25;
 }
 
 /// Everything that can go wrong turning bytes into frames.
@@ -215,6 +218,10 @@ pub struct WorkerReportWire {
     pub checkpoints: u64,
     /// Connections that died uncleanly mid-run (torn frame / failed read).
     pub transport_errors: u64,
+    /// The worker's deterministic logical trace.
+    pub trace: Vec<TraceEvent>,
+    /// The worker's transport-hop counters.
+    pub transport: HopStats,
 }
 
 /// An aggregator's end-of-run report. The finalized windows carry exact
@@ -235,6 +242,10 @@ pub struct AggregatorReportWire {
     pub duplicates_dropped: u64,
     /// Connections that died uncleanly mid-run (torn frame / failed read).
     pub transport_errors: u64,
+    /// The shard's deterministic logical trace.
+    pub trace: Vec<TraceEvent>,
+    /// The shard's transport-hop counters.
+    pub transport: HopStats,
 }
 
 /// One message on an `slb-node` control socket.
@@ -271,6 +282,10 @@ pub enum ControlFrame {
         sent: u64,
         /// The source controller's decision log, in window order.
         controller_events: Vec<ControllerEvent>,
+        /// The source's deterministic logical trace.
+        trace: Vec<TraceEvent>,
+        /// The source's transport-hop counters.
+        transport: HopStats,
     },
     /// Worker → orchestrator end-of-run report.
     WorkerReport(WorkerReportWire),
@@ -305,6 +320,10 @@ pub enum ControlFrame {
     /// Orchestrator → sources: every surviving worker has reported; no
     /// further rejoin/replay can be requested, stop waiting and exit.
     Release,
+    /// Node → orchestrator: one stage instance's telemetry — periodic
+    /// while the stage runs (when a metrics interval is configured), and
+    /// one exact `finished` snapshot right before the end-of-run report.
+    Metrics(MetricsSnapshot),
 }
 
 /// Reserves a frame header in `out`, returning the patch position.
@@ -599,6 +618,120 @@ fn read_rle(input: &mut &[u8]) -> Result<Vec<(u64, u64)>, WireError> {
     Ok(runs)
 }
 
+/// `(bucket_index, count)` pair lists — sparse histograms on the wire.
+fn write_bucket_list(out: &mut Vec<u8>, buckets: &[(u32, u64)]) {
+    write_u32(out, buckets.len() as u32);
+    for &(bucket, count) in buckets {
+        write_u32(out, bucket);
+        write_u64(out, count);
+    }
+}
+
+fn read_bucket_list(input: &mut &[u8]) -> Result<Vec<(u32, u64)>, WireError> {
+    let count = read_u32(input)?;
+    let count = checked_count(input, count, 12)?;
+    let mut buckets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let bucket = read_u32(input)?;
+        let n = read_u64(input)?;
+        buckets.push((bucket, n));
+    }
+    Ok(buckets)
+}
+
+/// A [`LogHistogram`] on the wire: exact scalars plus the sparse nonzero
+/// buckets (the 128-bit sum travels as a low/high u64 pair).
+fn write_histogram(out: &mut Vec<u8>, hist: &LogHistogram) {
+    write_u64(out, hist.count());
+    let sum = hist.sum();
+    write_u64(out, sum as u64);
+    write_u64(out, (sum >> 64) as u64);
+    write_u64(out, hist.min());
+    write_u64(out, hist.max());
+    write_bucket_list(out, &hist.nonzero_buckets());
+}
+
+fn read_histogram(input: &mut &[u8]) -> Result<LogHistogram, WireError> {
+    let count = read_u64(input)?;
+    let sum_lo = read_u64(input)?;
+    let sum_hi = read_u64(input)?;
+    let min = read_u64(input)?;
+    let max = read_u64(input)?;
+    let buckets = read_bucket_list(input)?;
+    let sum = (u128::from(sum_hi) << 64) | u128::from(sum_lo);
+    Ok(LogHistogram::from_parts(&buckets, count, sum, min, max))
+}
+
+/// A [`HopStats`] block: nine scalar counters plus the batch-occupancy
+/// histogram.
+fn write_hop_stats(out: &mut Vec<u8>, hop: &HopStats) {
+    write_u64(out, hop.batches_sent);
+    write_u64(out, hop.tuples_sent);
+    write_u64(out, hop.send_stall_us);
+    write_u64(out, hop.batches_received);
+    write_u64(out, hop.tuples_received);
+    write_u64(out, hop.recv_wait_us);
+    write_u64(out, hop.queue_depth_hwm);
+    write_u64(out, hop.ring_occupancy_hwm);
+    write_u64(out, hop.ring_capacity);
+    write_histogram(out, &hop.batch_occupancy);
+}
+
+fn read_hop_stats(input: &mut &[u8]) -> Result<HopStats, WireError> {
+    Ok(HopStats {
+        batches_sent: read_u64(input)?,
+        tuples_sent: read_u64(input)?,
+        send_stall_us: read_u64(input)?,
+        batches_received: read_u64(input)?,
+        tuples_received: read_u64(input)?,
+        recv_wait_us: read_u64(input)?,
+        queue_depth_hwm: read_u64(input)?,
+        ring_occupancy_hwm: read_u64(input)?,
+        ring_capacity: read_u64(input)?,
+        batch_occupancy: read_histogram(input)?,
+    })
+}
+
+/// A [`TraceEvent`] list. Each event is 1 + 4 + 8 + 1 + 8 + 8 + 8 = 38
+/// bytes on the wire.
+fn write_trace(out: &mut Vec<u8>, trace: &[TraceEvent]) {
+    write_u32(out, trace.len() as u32);
+    for event in trace {
+        out.push(event.stage);
+        write_u32(out, event.instance);
+        write_u64(out, event.seq);
+        out.push(event.kind);
+        write_u64(out, event.window);
+        write_u64(out, event.a);
+        write_u64(out, event.b);
+    }
+}
+
+fn read_trace(input: &mut &[u8]) -> Result<Vec<TraceEvent>, WireError> {
+    let count = read_u32(input)?;
+    let count = checked_count(input, count, 38)?;
+    let mut trace = Vec::with_capacity(count);
+    for _ in 0..count {
+        let stage = read_u8(input)?;
+        let instance = read_u32(input)?;
+        let seq = read_u64(input)?;
+        let kind = read_u8(input)?;
+        let window = read_u64(input)?;
+        let a = read_u64(input)?;
+        let b = read_u64(input)?;
+        trace.push(TraceEvent {
+            stage,
+            instance,
+            seq,
+            kind,
+            window,
+            a,
+            b,
+        });
+    }
+    Ok(trace)
+}
+
 /// Appends one complete control frame to `out`.
 pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
     match frame {
@@ -637,6 +770,8 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
             source,
             sent,
             controller_events,
+            trace,
+            transport,
         } => {
             let at = begin_frame(out, tag::SOURCE_REPORT);
             write_u32(out, *source);
@@ -653,6 +788,8 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
                 write_u32(out, event.workers);
                 write_u32(out, event.d);
             }
+            write_trace(out, trace);
+            write_hop_stats(out, transport);
             end_frame(out, at);
         }
         ControlFrame::WorkerReport(report) => {
@@ -683,6 +820,8 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
             write_u64(out, report.replay_requests);
             write_u64(out, report.checkpoints);
             write_u64(out, report.transport_errors);
+            write_trace(out, &report.trace);
+            write_hop_stats(out, &report.transport);
             end_frame(out, at);
         }
         ControlFrame::AggregatorReport(report) => {
@@ -697,6 +836,8 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
             }
             write_u64(out, report.duplicates_dropped);
             write_u64(out, report.transport_errors);
+            write_trace(out, &report.trace);
+            write_hop_stats(out, &report.transport);
             end_frame(out, at);
         }
         ControlFrame::Heartbeat { worker } => {
@@ -722,6 +863,36 @@ pub fn encode_control_frame(frame: &ControlFrame, out: &mut Vec<u8>) {
         }
         ControlFrame::Release => {
             let at = begin_frame(out, tag::RELEASE);
+            end_frame(out, at);
+        }
+        ControlFrame::Metrics(snap) => {
+            let at = begin_frame(out, tag::METRICS);
+            out.push(snap.stage);
+            write_u32(out, snap.instance);
+            write_u64(out, snap.seq);
+            out.push(u8::from(snap.finished));
+            write_u64(out, snap.items);
+            write_u64(out, snap.windows_closed);
+            write_u64(out, snap.checkpoints);
+            write_u64(out, snap.restores);
+            write_u64(out, snap.replayed_items);
+            write_u64(out, snap.duplicates_dropped);
+            write_u64(out, snap.replay_requests);
+            write_u64(out, snap.transport_errors);
+            write_u64(out, snap.batches_sent);
+            write_u64(out, snap.tuples_sent);
+            write_u64(out, snap.send_stall_us);
+            write_u64(out, snap.batches_received);
+            write_u64(out, snap.tuples_received);
+            write_u64(out, snap.recv_wait_us);
+            write_u64(out, snap.queue_depth_hwm);
+            write_u64(out, snap.ring_occupancy_hwm);
+            write_u64(out, snap.ring_capacity);
+            write_u64(out, snap.latency_count);
+            write_u64(out, snap.latency_sum_us);
+            write_u64(out, snap.latency_min_us);
+            write_u64(out, snap.latency_max_us);
+            write_bucket_list(out, &snap.latency_buckets);
             end_frame(out, at);
         }
     }
@@ -787,10 +958,14 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
                     d,
                 });
             }
+            let trace = read_trace(&mut input)?;
+            let transport = read_hop_stats(&mut input)?;
             ControlFrame::SourceReport {
                 source,
                 sent,
                 controller_events,
+                trace,
+                transport,
             }
         }
         tag::WORKER_REPORT => {
@@ -825,6 +1000,8 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
             let replay_requests = read_u64(&mut input)?;
             let checkpoints = read_u64(&mut input)?;
             let transport_errors = read_u64(&mut input)?;
+            let trace = read_trace(&mut input)?;
+            let transport = read_hop_stats(&mut input)?;
             ControlFrame::WorkerReport(WorkerReportWire {
                 worker,
                 processed,
@@ -839,6 +1016,8 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
                 replay_requests,
                 checkpoints,
                 transport_errors,
+                trace,
+                transport,
             })
         }
         tag::AGGREGATOR_REPORT => {
@@ -855,6 +1034,8 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
             }
             let duplicates_dropped = read_u64(&mut input)?;
             let transport_errors = read_u64(&mut input)?;
+            let trace = read_trace(&mut input)?;
+            let transport = read_hop_stats(&mut input)?;
             ControlFrame::AggregatorReport(AggregatorReportWire {
                 aggregator,
                 merged,
@@ -862,6 +1043,8 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
                 finalized,
                 duplicates_dropped,
                 transport_errors,
+                trace,
+                transport,
             })
         }
         tag::HEARTBEAT => ControlFrame::Heartbeat {
@@ -876,6 +1059,44 @@ pub fn decode_control_payload(payload: &[u8]) -> Result<ControlFrame, WireError>
             worker: read_u32(&mut input)?,
         },
         tag::RELEASE => ControlFrame::Release,
+        tag::METRICS => {
+            let stage = read_u8(&mut input)?;
+            let instance = read_u32(&mut input)?;
+            let seq = read_u64(&mut input)?;
+            let finished = match read_u8(&mut input)? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("finished flag must be 0 or 1")),
+            };
+            ControlFrame::Metrics(MetricsSnapshot {
+                stage,
+                instance,
+                seq,
+                finished,
+                items: read_u64(&mut input)?,
+                windows_closed: read_u64(&mut input)?,
+                checkpoints: read_u64(&mut input)?,
+                restores: read_u64(&mut input)?,
+                replayed_items: read_u64(&mut input)?,
+                duplicates_dropped: read_u64(&mut input)?,
+                replay_requests: read_u64(&mut input)?,
+                transport_errors: read_u64(&mut input)?,
+                batches_sent: read_u64(&mut input)?,
+                tuples_sent: read_u64(&mut input)?,
+                send_stall_us: read_u64(&mut input)?,
+                batches_received: read_u64(&mut input)?,
+                tuples_received: read_u64(&mut input)?,
+                recv_wait_us: read_u64(&mut input)?,
+                queue_depth_hwm: read_u64(&mut input)?,
+                ring_occupancy_hwm: read_u64(&mut input)?,
+                ring_capacity: read_u64(&mut input)?,
+                latency_count: read_u64(&mut input)?,
+                latency_sum_us: read_u64(&mut input)?,
+                latency_min_us: read_u64(&mut input)?,
+                latency_max_us: read_u64(&mut input)?,
+                latency_buckets: read_bucket_list(&mut input)?,
+            })
+        }
         other => return Err(WireError::BadTag(other)),
     };
     if !input.is_empty() {
@@ -1083,10 +1304,71 @@ mod tests {
         }
     }
 
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                stage: 1,
+                instance: 2,
+                seq: 0,
+                kind: 0,
+                window: 7,
+                a: 1,
+                b: 0,
+            },
+            TraceEvent {
+                stage: 1,
+                instance: 2,
+                seq: 1,
+                kind: 1,
+                window: 7,
+                a: 1,
+                b: 0,
+            },
+        ]
+    }
+
+    fn sample_hop_stats() -> HopStats {
+        let mut occupancy = LogHistogram::new();
+        occupancy.record_n(32, 10);
+        occupancy.record(7);
+        HopStats {
+            batches_sent: 11,
+            tuples_sent: 327,
+            send_stall_us: 42,
+            batches_received: 9,
+            tuples_received: 288,
+            recv_wait_us: 1_000,
+            batch_occupancy: occupancy,
+            queue_depth_hwm: 12,
+            ring_occupancy_hwm: 48,
+            ring_capacity: 64,
+        }
+    }
+
     #[test]
     fn control_frames_round_trip() {
         let mut counts = std::collections::HashMap::new();
         counts.insert(3u64, 14u64);
+        let mut final_metrics = MetricsSnapshot {
+            stage: 1,
+            instance: 3,
+            seq: 9,
+            finished: true,
+            items: 4_096,
+            windows_closed: 16,
+            checkpoints: 16,
+            restores: 1,
+            replayed_items: 128,
+            duplicates_dropped: 2,
+            replay_requests: 1,
+            transport_errors: 1,
+            ..MetricsSnapshot::default()
+        };
+        final_metrics.set_transport(&sample_hop_stats());
+        let mut latency = LogHistogram::new();
+        latency.record_n(900, 500);
+        latency.record(15_000);
+        final_metrics.set_latency(&latency);
         for frame in [
             ControlFrame::Hello {
                 role: 1,
@@ -1118,6 +1400,8 @@ mod tests {
                         d: 0,
                     },
                 ],
+                trace: sample_trace(),
+                transport: sample_hop_stats(),
             },
             ControlFrame::WorkerReport(WorkerReportWire {
                 worker: 1,
@@ -1133,6 +1417,8 @@ mod tests {
                 replay_requests: 4,
                 checkpoints: 4,
                 transport_errors: 1,
+                trace: sample_trace(),
+                transport: sample_hop_stats(),
             }),
             ControlFrame::AggregatorReport(AggregatorReportWire {
                 aggregator: 0,
@@ -1141,8 +1427,11 @@ mod tests {
                 finalized: vec![(0, counts)],
                 duplicates_dropped: 2,
                 transport_errors: 1,
+                trace: sample_trace(),
+                transport: sample_hop_stats(),
             }),
             ControlFrame::Heartbeat { worker: 3 },
+            ControlFrame::Metrics(final_metrics),
             ControlFrame::Rejoin {
                 worker: 1,
                 data_port: 45_001,

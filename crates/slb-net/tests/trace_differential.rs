@@ -1,0 +1,169 @@
+//! Logical-trace differential suite: the trace stream is a *logical* record
+//! of the run (window closes, checkpoints, replays, rescales, controller
+//! decisions keyed by `(stage, instance, seq)`), so for a fixed config and
+//! seed it must be **bit-identical** across
+//!
+//! 1. transport backends (`InProc` ≡ `Spsc` ≡ `Tcp`),
+//! 2. reruns of the same backend (no wall-clock leakage), and
+//! 3. batch-size / queue-capacity knobs (framing shapes timing, never the
+//!    logical event stream).
+//!
+//! Any event that sneaks a timestamp, thread id, or arrival-order artifact
+//! into the trace fails an exact `Vec<TraceEvent>` equality here, not a
+//! statistical bound. docs/OBSERVABILITY.md states the determinism
+//! argument; this suite is its enforcement.
+//!
+//! Seeds: like the other differential suites, `SLB_TEST_SEED` (a single
+//! u64) replaces the built-in pair, which is how `ci.sh` sweeps its seed
+//! matrix.
+
+use std::collections::HashMap;
+
+use slb_core::{CountAggregate, PartitionerKind};
+use slb_engine::{EngineConfig, InProc, ScenarioConfig, Spsc, Topology, Transport};
+use slb_net::tcp::TcpTransport;
+use slb_telemetry::{trace_kind, TraceEvent};
+use slb_workloads::KeyId;
+use slb_workloads::{Scenario, ScenarioPhase};
+
+/// Seeds to exercise: `SLB_TEST_SEED` alone when set, a built-in pair
+/// otherwise.
+fn seeds() -> Vec<u64> {
+    match std::env::var("SLB_TEST_SEED") {
+        Ok(value) => {
+            let seed: u64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("SLB_TEST_SEED must be a u64, got {value:?}"));
+            vec![seed]
+        }
+        Err(_) => vec![23, 87],
+    }
+}
+
+/// Equality with a readable failure: a mismatch names the first divergent
+/// event instead of dumping two whole traces.
+#[track_caller]
+fn assert_traces_match(got: &[TraceEvent], expected: &[TraceEvent], context: &str) {
+    if got == expected {
+        return;
+    }
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "{context}: trace lengths diverged ({} vs {} events)",
+        got.len(),
+        expected.len()
+    );
+    for (i, (g, e)) in got.iter().zip(expected).enumerate() {
+        assert_eq!(g, e, "{context}: first divergent event at index {i}");
+    }
+}
+
+fn trace_config(kind: PartitionerKind, skew: f64, seed: u64) -> EngineConfig {
+    EngineConfig::smoke(kind, skew)
+        .with_seed(seed)
+        .with_messages(12_000)
+        .with_service_time_us(0)
+        .with_window_size(512)
+        .with_batch_size(64)
+}
+
+fn trace_of(
+    cfg: &EngineConfig,
+    transport: &impl Transport<HashMap<KeyId, u64>>,
+) -> Vec<TraceEvent> {
+    Topology::new(cfg.clone())
+        .run_windowed_on(CountAggregate, transport)
+        .result
+        .trace
+}
+
+#[test]
+fn traces_are_identical_across_backends_and_reruns() {
+    for seed in seeds() {
+        for (kind, skew) in [
+            (PartitionerKind::Pkg, 1.8),
+            (PartitionerKind::KeyGrouping, 0.0),
+            (PartitionerKind::DChoices, 1.2),
+        ] {
+            let cfg = trace_config(kind, skew, seed);
+            let label = format!("{} z={skew} seed={seed}", kind.symbol());
+            let inproc = trace_of(&cfg, &InProc);
+            assert!(
+                !inproc.is_empty(),
+                "{label}: telemetry is on by default, the trace must not be empty"
+            );
+            assert!(
+                inproc.iter().any(|e| e.kind == trace_kind::WINDOW_CLOSE),
+                "{label}: a windowed run must trace window closes"
+            );
+            assert_traces_match(
+                &trace_of(&cfg, &Spsc),
+                &inproc,
+                &format!("{label}: SPSC trace diverged from InProc"),
+            );
+            assert_traces_match(
+                &trace_of(&cfg, &TcpTransport::loopback()),
+                &inproc,
+                &format!("{label}: TCP trace diverged from InProc"),
+            );
+            assert_traces_match(
+                &trace_of(&cfg, &InProc),
+                &inproc,
+                &format!("{label}: InProc rerun trace diverged (wall-clock leaked in)"),
+            );
+        }
+    }
+}
+
+#[test]
+fn traces_are_batch_size_and_queue_insensitive() {
+    let seed = seeds()[0];
+    let base = trace_config(PartitionerKind::Pkg, 1.6, seed);
+    let reference = trace_of(&base, &InProc);
+    for (queue_capacity, batch_size) in [(64usize, 16usize), (1_024, 256), (32, 1_000)] {
+        let cfg = base
+            .clone()
+            .with_queue_capacity(queue_capacity)
+            .with_batch_size(batch_size);
+        assert_traces_match(
+            &trace_of(&cfg, &Spsc),
+            &reference,
+            &format!("SPSC queue={queue_capacity} batch={batch_size}: trace moved with knobs"),
+        );
+        assert_traces_match(
+            &trace_of(&cfg, &TcpTransport::loopback()),
+            &reference,
+            &format!("TCP queue={queue_capacity} batch={batch_size}: trace moved with knobs"),
+        );
+    }
+}
+
+#[test]
+fn scenario_traces_cover_rescales_and_controller_events_identically() {
+    for seed in seeds() {
+        // Two phases with different worker counts forces RESCALE events;
+        // checkpointing is on by default so CHECKPOINT_SAVE events appear.
+        let scenario = Scenario::new("trace-diff", 2, 256, seed)
+            .phase(ScenarioPhase::new(2, 400, 1.8, 3))
+            .phase(ScenarioPhase::new(2, 400, 1.0, 5));
+        let cfg = ScenarioConfig::new(PartitionerKind::Pkg, scenario).with_batch_size(64);
+        let inproc = cfg.run_windowed_on(CountAggregate, &InProc).result.trace;
+        let label = format!("scenario seed={seed}");
+        assert!(
+            inproc.iter().any(|e| e.kind == trace_kind::RESCALE),
+            "{label}: a worker-count change must trace a rescale"
+        );
+        assert!(
+            inproc.iter().any(|e| e.kind == trace_kind::CHECKPOINT_SAVE),
+            "{label}: checkpointing runs must trace checkpoint saves"
+        );
+        let spsc = cfg.run_windowed_on(CountAggregate, &Spsc).result.trace;
+        let tcp = cfg
+            .run_windowed_on(CountAggregate, &TcpTransport::loopback())
+            .result
+            .trace;
+        assert_traces_match(&spsc, &inproc, &format!("{label}: SPSC"));
+        assert_traces_match(&tcp, &inproc, &format!("{label}: TCP"));
+    }
+}

@@ -32,6 +32,7 @@ use slb_net::wire::{
     WorkerReportWire,
 };
 use slb_sketch::{FrequencyEstimator, SpaceSaving};
+use slb_telemetry::{HopStats, LogHistogram, MetricsSnapshot, TraceEvent};
 use slb_workloads::{Arrival, Scenario, ScenarioPhase};
 
 /// Deterministically derives a count map from a key vector (the shim has no
@@ -66,6 +67,75 @@ fn controller_from(seed: u64, workers: usize) -> Option<ControllerConfig> {
         step: 1 + (seed % 2) as usize,
         epsilon: 1e-4 + (seed % 9) as f64 * 1e-5,
     })
+}
+
+/// Derives a logical trace from the sample vector: every sample becomes one
+/// event, exercising wide `window`/payload values and all kind bytes.
+fn trace_from(samples: &[u64], raw: &[u64]) -> Vec<TraceEvent> {
+    samples
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| TraceEvent {
+            stage: (s % 3) as u8,
+            instance: (s % 7) as u32,
+            seq: i as u64,
+            kind: (s % 6) as u8,
+            window: raw.get(i % raw.len().max(1)).copied().unwrap_or(u64::MAX),
+            a: s.wrapping_mul(31),
+            b: s.rotate_left(17),
+        })
+        .collect()
+}
+
+/// Derives a populated histogram from the sample vector (empty when the
+/// samples are empty, covering the zero-count wire path too).
+fn histogram_from(samples: &[u64]) -> LogHistogram {
+    let mut hist = LogHistogram::new();
+    for &s in samples {
+        hist.record(s.wrapping_mul(2_654_435_761).wrapping_add(1));
+    }
+    hist
+}
+
+/// Derives per-hop transport stats, histogram included, from raw material.
+fn hop_stats_from(raw: &[u64], samples: &[u64]) -> HopStats {
+    let at = |i: usize| raw.get(i).copied().unwrap_or(0);
+    HopStats {
+        batches_sent: at(0),
+        tuples_sent: at(1),
+        send_stall_us: at(2),
+        batches_received: at(3),
+        tuples_received: at(4),
+        recv_wait_us: at(5),
+        batch_occupancy: histogram_from(samples),
+        queue_depth_hwm: at(6),
+        ring_occupancy_hwm: at(7),
+        ring_capacity: at(8),
+    }
+}
+
+/// Derives a full metrics snapshot — every scalar populated, latency
+/// histogram included — from raw material.
+fn metrics_from(raw: &[u64], samples: &[u64]) -> MetricsSnapshot {
+    let at = |i: usize| raw.get(i).copied().unwrap_or(0);
+    let mut snap = MetricsSnapshot {
+        stage: (at(0) % 4) as u8,
+        instance: at(1) as u32,
+        seq: at(2),
+        finished: at(3) % 2 == 0,
+        items: at(4),
+        windows_closed: at(5),
+        checkpoints: at(6),
+        restores: at(7),
+        replayed_items: at(8),
+        duplicates_dropped: at(9),
+        replay_requests: at(10),
+        transport_errors: at(11),
+        ..MetricsSnapshot::default()
+    };
+    snap.set_transport(&hop_stats_from(raw, samples));
+    snap.set_latency(&histogram_from(samples));
+    snap
 }
 
 /// Builds one of each control-frame variant from primitive raw material, so
@@ -103,6 +173,8 @@ fn control_frames(raw: &[u64], ports: &[u16], samples: &[u64], keys: &[u64]) -> 
                     d: (v % 8) as u32,
                 })
                 .collect(),
+            trace: trace_from(samples, raw),
+            transport: hop_stats_from(raw, samples),
         },
         ControlFrame::WorkerReport(WorkerReportWire {
             worker: at(6) as u32,
@@ -122,6 +194,8 @@ fn control_frames(raw: &[u64], ports: &[u16], samples: &[u64], keys: &[u64]) -> 
             replay_requests: at(17),
             checkpoints: at(18),
             transport_errors: at(19),
+            trace: trace_from(samples, raw),
+            transport: hop_stats_from(raw, samples),
         }),
         ControlFrame::AggregatorReport(AggregatorReportWire {
             aggregator: at(10) as u32,
@@ -130,10 +204,13 @@ fn control_frames(raw: &[u64], ports: &[u16], samples: &[u64], keys: &[u64]) -> 
             finalized: vec![(at(12), counts_from(keys)), (at(13), HashMap::new())],
             duplicates_dropped: at(20),
             transport_errors: at(21),
+            trace: trace_from(samples, raw),
+            transport: hop_stats_from(raw, samples),
         }),
         ControlFrame::Heartbeat {
             worker: at(22) as u32,
         },
+        ControlFrame::Metrics(metrics_from(raw, samples)),
         ControlFrame::Rejoin {
             worker: at(23) as u32,
             data_port: at(24) as u16,

@@ -1,0 +1,445 @@
+//! Fixed-bucket log₂-linear histograms with an associative, commutative
+//! merge.
+//!
+//! # Bucket layout
+//!
+//! Values below 2^[`SUB_BITS`] (= 16) get one bucket each and are recorded
+//! *exactly*. Every larger value lands in one of 16 linear sub-buckets of
+//! its power-of-two octave: for a value with floor(log₂ v) = e ≥ 4 the
+//! bucket is identified by `(e, top 4 mantissa bits below the leading
+//! one)`, so each octave is split into 16 equal-width slices. The full
+//! `u64` range fits in [`NUM_BUCKETS`] = 976 buckets (~7.6 KiB of `u64`
+//! counts) — bounded memory no matter how many values are recorded, which
+//! is the whole point versus retaining raw samples.
+//!
+//! # Error bound
+//!
+//! A bucket covering `[floor, floor + width)` has
+//! `width / floor ≤ 2⁻⁴ = 6.25 %`. Quantiles report the bucket *floor*
+//! (clamped into the exactly-tracked `[min, max]`), so a reported quantile
+//! `q̂` satisfies `q̂ ≤ q < q̂ · (1 + 2⁻⁴)`: quantiles under-report by
+//! strictly less than 6.25 % relative error, and are exact for values
+//! below 16 and for any value whose significand fits in 5 bits
+//! (e.g. 96, 100·2ᵏ is *not* such a value but 96·2ᵏ is). `count`, `sum`
+//! (hence the mean), `min`, and `max` are always exact.
+//!
+//! # Merge laws
+//!
+//! [`LogHistogram::merge`] adds bucket counts element-wise and combines
+//! the exact scalars (`count`/`sum` add, `min`/`max` min/max), all of
+//! which are associative and commutative with the empty histogram as the
+//! identity. Therefore `merge(a, b) == record the union of a's and b's
+//! recordings`, in any grouping and order — the property the
+//! `histogram_props` suite pins, and what makes per-worker histograms
+//! safely mergeable into cluster-wide rollups.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` slices, bounding relative quantile error at `2^-SUB_BITS`.
+pub const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per octave (16).
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total buckets needed to cover all of `u64`: 16 exact unit buckets plus
+/// 60 octaves × 16 slices (`bucket_index(u64::MAX) == 975`).
+pub const NUM_BUCKETS: usize = 976;
+
+/// The bucket a value is counted in. Total on all of `u64`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUBS {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros();
+        let sub = (value >> (exp - SUB_BITS)) & (SUBS - 1);
+        (((exp - (SUB_BITS - 1)) as usize) << SUB_BITS) + sub as usize
+    }
+}
+
+/// The smallest value that maps to bucket `index` — the quantile
+/// representative. `bucket_index(bucket_floor(i)) == i` for every valid
+/// index, which is what makes re-recording a histogram's floors land in
+/// identical buckets (the wire round-trip relies on this idempotence).
+#[inline]
+pub fn bucket_floor(index: usize) -> u64 {
+    if index < SUBS as usize {
+        index as u64
+    } else {
+        let exp = (index >> SUB_BITS) as u32 + (SUB_BITS - 1);
+        let sub = (index as u64) & (SUBS - 1);
+        (SUBS + sub) << (exp - SUB_BITS)
+    }
+}
+
+/// A plain (single-threaded) log₂-linear histogram. See the module docs
+/// for the bucket layout, error bound, and merge laws.
+///
+/// The bucket array is allocated lazily on the first recording, so an
+/// empty histogram is a few machine words.
+#[derive(Clone, Debug, Default)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl PartialEq for LogHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && (self.count == 0 || (self.min == other.min && self.max == other.max))
+            && {
+                let n = self.counts.len().max(other.counts.len());
+                (0..n).all(|i| {
+                    self.counts.get(i).copied().unwrap_or(0)
+                        == other.counts.get(i).copied().unwrap_or(0)
+                })
+            }
+    }
+}
+
+impl Eq for LogHistogram {}
+
+impl LogHistogram {
+    /// An empty histogram (no bucket storage until the first record).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a histogram from its wire parts: sparse `(bucket, count)`
+    /// pairs plus the exact scalars. Pairs with out-of-range indices or
+    /// zero counts are ignored; `count`/`sum`/`min`/`max` are trusted as
+    /// the exact scalars the peer tracked.
+    pub fn from_parts(buckets: &[(u32, u64)], count: u64, sum: u128, min: u64, max: u64) -> Self {
+        let mut hist = Self::new();
+        for &(index, n) in buckets {
+            if (index as usize) < NUM_BUCKETS && n > 0 {
+                hist.ensure_counts();
+                hist.counts[index as usize] += n;
+            }
+        }
+        hist.count = count;
+        hist.sum = sum;
+        hist.min = min;
+        hist.max = max;
+        hist
+    }
+
+    #[inline]
+    fn ensure_counts(&mut self) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value` in O(1).
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.ensure_counts();
+        self.counts[bucket_index(value)] += n;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Element-wise merge: afterwards `self` summarizes the union of both
+    /// histograms' recordings. Associative and commutative; the empty
+    /// histogram is the identity.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.ensure_counts();
+        if !other.counts.is_empty() {
+            for (into, &from) in self.counts.iter_mut().zip(&other.counts) {
+                *into += from;
+            }
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Values recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded values.
+    #[inline]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact mean of all recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile, matching `LatencySummary`'s convention
+    /// (`rank = round((count − 1) · p)`, 0-based): the floor of the bucket
+    /// holding that rank, clamped into the exact `[min, max]`. Monotone in
+    /// `p`, and under-reports by < 2⁻⁴ relative error (module docs).
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * p).round() as u64;
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen > rank {
+                return bucket_floor(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs, ascending by
+    /// index — the sparse wire/JSON representation.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect()
+    }
+}
+
+/// A thread-shared histogram: the same buckets as [`LogHistogram`] behind
+/// relaxed atomics, so a stage thread can record per-batch while an
+/// exporter thread snapshots concurrently. Snapshots are *not* a
+/// consistent cut across fields (count/sum/min/max race by a batch or
+/// two); the final end-of-run snapshot is taken after the stage quiesces
+/// and is exact.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    pub fn new() -> Self {
+        Self {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `n` occurrences of `value`. Lock-free; relaxed ordering
+    /// (monitoring data, amortized to one call per batch).
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Copies the current contents into a plain histogram.
+    pub fn snapshot(&self) -> LogHistogram {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut hist = LogHistogram::new();
+        if count == 0 {
+            return hist;
+        }
+        hist.ensure_counts();
+        for (into, from) in hist.counts.iter_mut().zip(&self.counts) {
+            *into = from.load(Ordering::Relaxed);
+        }
+        hist.count = count;
+        hist.sum = self.sum.load(Ordering::Relaxed) as u128;
+        hist.min = self.min.load(Ordering::Relaxed);
+        hist.max = self.max.load(Ordering::Relaxed);
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_u64_and_floor_is_idempotent() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        for index in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(index)), index, "index {index}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_in_value() {
+        let mut last = 0;
+        for value in [0u64, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, u64::MAX] {
+            let index = bucket_index(value);
+            assert!(index >= last, "bucket order broke at {value}");
+            assert!(bucket_floor(index) <= value);
+            last = index;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut hist = LogHistogram::new();
+        for v in 0..16u64 {
+            hist.record(v);
+        }
+        assert_eq!(hist.quantile(0.0), 0);
+        assert_eq!(hist.quantile(1.0), 15);
+        assert_eq!(hist.count(), 16);
+        assert_eq!(hist.sum(), 120);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut hist = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            hist.record(v);
+        }
+        for (p, exact) in [(0.5, 50_000u64), (0.95, 95_000), (0.99, 99_000)] {
+            let got = hist.quantile(p) as f64;
+            let exact = exact as f64;
+            assert!(got <= exact, "quantile must under-report, got {got}");
+            assert!(
+                exact < got * (1.0 + 1.0 / 16.0) + 1.0,
+                "p{p}: {got} vs exact {exact} exceeds the 6.25% bound"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let values_a = [3u64, 17, 17, 1 << 30, 999];
+        let values_b = [0u64, 5, 123_456, u64::MAX];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut union = LogHistogram::new();
+        for &v in &values_a {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &values_b {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+        // Identity: merging an empty histogram changes nothing.
+        let before = a.clone();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LogHistogram::new();
+        for v in [1u64, 40, 40, 7_000, 1 << 40] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        atomic.record_n(99, 3);
+        plain.record_n(99, 3);
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn from_parts_round_trips_nonzero_buckets() {
+        let mut hist = LogHistogram::new();
+        for v in [9u64, 17, 17, 400, 1 << 50] {
+            hist.record(v);
+        }
+        let back = LogHistogram::from_parts(
+            &hist.nonzero_buckets(),
+            hist.count(),
+            hist.sum(),
+            hist.min(),
+            hist.max(),
+        );
+        assert_eq!(back, hist);
+    }
+}

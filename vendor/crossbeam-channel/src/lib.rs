@@ -118,6 +118,23 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T> Sender<T> {
+    /// Number of messages currently queued — a racy snapshot, matching the
+    /// real crate's `len`. Used for telemetry high-water marks only.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no messages are queued at the instant of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity. Always `Some` here (only bounded channels
+    /// exist in this shim); the `Option` matches the real crate.
+    pub fn capacity(&self) -> Option<usize> {
+        Some(self.shared.capacity)
+    }
+
     /// Blocks until there is room, then enqueues `msg`. Fails only when all
     /// receivers have been dropped.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
